@@ -1,0 +1,57 @@
+//! Per-read protection cost — the paper's §2.1.2 perf claim.
+//!
+//! The paper measured (with perf) that searches over a 100-node
+//! Harris-Michael list spend ≈50% of cycles reading hazard pointers under
+//! classic HP, versus ≈15% leaky. Here we measure the same effect as
+//! wall-clock per-lookup cost across schemes on a 100-node list: expect
+//! HP ≫ {HPAsym, HazardPtrPOP, EpochPOP} ≈ NR, with HE in between.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use pop_core::{
+    Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, NbrPlus,
+    NoReclaim, Smr, SmrConfig,
+};
+use pop_ds::hml::HmList;
+use pop_ds::ConcurrentMap;
+
+const LIST_KEYS: u64 = 100;
+
+fn bench_scheme<S: Smr>(c: &mut Criterion) {
+    let smr = S::new(SmrConfig::for_threads(1));
+    let list = HmList::new(Arc::clone(&smr));
+    let reg = smr.register(0);
+    for k in 0..LIST_KEYS {
+        list.insert(0, k, k);
+    }
+    let mut x = 0x12345678u64;
+    c.bench_with_input(
+        BenchmarkId::new("contains_100_node_list", S::NAME),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                std::hint::black_box(list.contains(0, x % LIST_KEYS))
+            })
+        },
+    );
+    drop(reg);
+}
+
+fn protect_overhead(c: &mut Criterion) {
+    bench_scheme::<NoReclaim>(c);
+    bench_scheme::<Ebr>(c);
+    bench_scheme::<HazardPtr>(c);
+    bench_scheme::<HazardPtrAsym>(c);
+    bench_scheme::<HazardEra>(c);
+    bench_scheme::<HazardPtrPop>(c);
+    bench_scheme::<HazardEraPop>(c);
+    bench_scheme::<EpochPop>(c);
+    bench_scheme::<NbrPlus>(c);
+}
+
+criterion_group!(benches, protect_overhead);
+criterion_main!(benches);

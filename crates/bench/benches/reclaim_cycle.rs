@@ -1,0 +1,49 @@
+//! Full retire→reclaim cycle cost per scheme: the amortized price of a
+//! reclamation event (scan/ping/free), measured by driving insert+delete
+//! pairs through a list with a small retire threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use pop_core::{
+    Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrPop, Hyaline, Ibr, Smr, SmrConfig,
+};
+use pop_ds::hml::HmList;
+use pop_ds::ConcurrentMap;
+
+fn reclaim_cycle<S: Smr>(c: &mut Criterion) {
+    let smr = S::new(SmrConfig::for_threads(1).with_reclaim_freq(256));
+    let list = HmList::new(Arc::clone(&smr));
+    let reg = smr.register(0);
+    for k in 0..512u64 {
+        list.insert(0, k * 2, k);
+    }
+    let mut i = 0u64;
+    c.bench_with_input(
+        BenchmarkId::new("insert_delete_pair", S::NAME),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let k = (i % 512) * 2 + 1;
+                list.insert(0, k, i);
+                list.remove(0, k);
+                i += 1;
+            })
+        },
+    );
+    drop(reg);
+}
+
+fn benches(c: &mut Criterion) {
+    reclaim_cycle::<Ebr>(c);
+    reclaim_cycle::<Ibr>(c);
+    reclaim_cycle::<HazardPtr>(c);
+    reclaim_cycle::<HazardEra>(c);
+    reclaim_cycle::<HazardPtrPop>(c);
+    reclaim_cycle::<HazardEraPop>(c);
+    reclaim_cycle::<EpochPop>(c);
+    reclaim_cycle::<Hyaline>(c);
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

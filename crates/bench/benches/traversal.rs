@@ -1,0 +1,39 @@
+//! Traversal-length scaling: how the per-read cost compounds with chain
+//! length (the paper's motivation: "in linked data structures the fence
+//! cost is paid for every node visited").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+use pop_core::{Ebr, HazardPtr, HazardPtrPop, NoReclaim, Smr, SmrConfig};
+use pop_ds::hml::HmList;
+use pop_ds::ConcurrentMap;
+
+fn traversal_scaling<S: Smr>(c: &mut Criterion) {
+    for len in [16u64, 128, 1024] {
+        let smr = S::new(SmrConfig::for_threads(1));
+        let list = HmList::new(Arc::clone(&smr));
+        let reg = smr.register(0);
+        for k in 0..len {
+            list.insert(0, k, k);
+        }
+        let mut g = c.benchmark_group(format!("traverse_{}", S::NAME));
+        g.throughput(Throughput::Elements(len));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            // Probe the last key: a full-length traversal.
+            b.iter(|| std::hint::black_box(list.contains(0, len - 1)))
+        });
+        g.finish();
+        drop(reg);
+    }
+}
+
+fn traversal(c: &mut Criterion) {
+    traversal_scaling::<NoReclaim>(c);
+    traversal_scaling::<Ebr>(c);
+    traversal_scaling::<HazardPtr>(c);
+    traversal_scaling::<HazardPtrPop>(c);
+}
+
+criterion_group!(benches, traversal);
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! # `pop-bench` — figure harness and microbenchmarks
+//!
+//! Static dispatch over the full `(scheme × structure)` matrix the paper
+//! evaluates, plus the figure specifications (workload, size, metrics) for
+//! every table and figure in the paper. The `figures` binary drives these;
+//! criterion benches under `benches/` cover the per-read-cost and
+//! signal-latency microclaims.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod figures;
+
+use std::sync::Arc;
+
+use pop_core::{
+    Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, Hyaline, Ibr,
+    NbrPlus, NoReclaim, Smr, SmrConfig,
+};
+use pop_ds::ab_tree::AbTree;
+use pop_ds::ext_bst::ExtBst;
+use pop_ds::hash_map::HashMapHm;
+use pop_ds::hml::HmList;
+use pop_ds::lazy_list::LazyList;
+use pop_workload::{run_latency_probe, run_workload, LatencyReport, RunConfig, RunRecord};
+
+/// The paper's hash-table load factor (§5.0.1).
+pub const HASH_LOAD_FACTOR: u64 = 6;
+
+/// Scheme selector for runtime dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum SchemeId {
+    Nr,
+    Ebr,
+    Ibr,
+    Hp,
+    HpAsym,
+    He,
+    NbrPlus,
+    HazardPtrPop,
+    HazardEraPop,
+    EpochPop,
+    Hyaline,
+}
+
+impl SchemeId {
+    /// Every scheme in the paper's main figures (Hyaline joins only the
+    /// appendix Crystalline comparison).
+    pub const MAIN: [SchemeId; 10] = [
+        SchemeId::Nr,
+        SchemeId::Ebr,
+        SchemeId::Ibr,
+        SchemeId::Hp,
+        SchemeId::HpAsym,
+        SchemeId::He,
+        SchemeId::NbrPlus,
+        SchemeId::HazardPtrPop,
+        SchemeId::HazardEraPop,
+        SchemeId::EpochPop,
+    ];
+
+    /// All schemes including the Crystalline-family stand-in.
+    pub const ALL: [SchemeId; 11] = [
+        SchemeId::Nr,
+        SchemeId::Ebr,
+        SchemeId::Ibr,
+        SchemeId::Hp,
+        SchemeId::HpAsym,
+        SchemeId::He,
+        SchemeId::NbrPlus,
+        SchemeId::HazardPtrPop,
+        SchemeId::HazardEraPop,
+        SchemeId::EpochPop,
+        SchemeId::Hyaline,
+    ];
+
+    /// Plot label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeId::Nr => NoReclaim::NAME,
+            SchemeId::Ebr => Ebr::NAME,
+            SchemeId::Ibr => Ibr::NAME,
+            SchemeId::Hp => HazardPtr::NAME,
+            SchemeId::HpAsym => HazardPtrAsym::NAME,
+            SchemeId::He => HazardEra::NAME,
+            SchemeId::NbrPlus => NbrPlus::NAME,
+            SchemeId::HazardPtrPop => HazardPtrPop::NAME,
+            SchemeId::HazardEraPop => HazardEraPop::NAME,
+            SchemeId::EpochPop => EpochPop::NAME,
+            SchemeId::Hyaline => Hyaline::NAME,
+        }
+    }
+
+    /// Parses a scheme label (case-insensitive).
+    pub fn parse(s: &str) -> Option<SchemeId> {
+        Self::ALL
+            .into_iter()
+            .find(|id| id.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Data-structure selector for runtime dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum DsId {
+    Hml,
+    Ll,
+    Hmht,
+    Dgt,
+    Abt,
+}
+
+impl DsId {
+    /// Plot label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DsId::Hml => "HML",
+            DsId::Ll => "LL",
+            DsId::Hmht => "HMHT",
+            DsId::Dgt => "DGT",
+            DsId::Abt => "ABT",
+        }
+    }
+}
+
+fn run_ds<S: Smr>(ds: DsId, cfg: &RunConfig, smr_cfg: SmrConfig) -> RunRecord {
+    match ds {
+        DsId::Hml => run_workload::<S, HmList<S>, _>(cfg, smr_cfg, HmList::new),
+        DsId::Ll => run_workload::<S, LazyList<S>, _>(cfg, smr_cfg, LazyList::new),
+        DsId::Hmht => {
+            let range = cfg.key_range;
+            run_workload::<S, HashMapHm<S>, _>(cfg, smr_cfg, move |smr: Arc<S>| {
+                HashMapHm::for_key_range(smr, range, HASH_LOAD_FACTOR)
+            })
+        }
+        DsId::Dgt => run_workload::<S, ExtBst<S>, _>(cfg, smr_cfg, ExtBst::new),
+        DsId::Abt => run_workload::<S, AbTree<S>, _>(cfg, smr_cfg, AbTree::new),
+    }
+}
+
+/// Runs one `(scheme, structure)` benchmark trial.
+pub fn run_one(scheme: SchemeId, ds: DsId, cfg: &RunConfig, smr_cfg: SmrConfig) -> RunRecord {
+    match scheme {
+        SchemeId::Nr => run_ds::<NoReclaim>(ds, cfg, smr_cfg),
+        SchemeId::Ebr => run_ds::<Ebr>(ds, cfg, smr_cfg),
+        SchemeId::Ibr => run_ds::<Ibr>(ds, cfg, smr_cfg),
+        SchemeId::Hp => run_ds::<HazardPtr>(ds, cfg, smr_cfg),
+        SchemeId::HpAsym => run_ds::<HazardPtrAsym>(ds, cfg, smr_cfg),
+        SchemeId::He => run_ds::<HazardEra>(ds, cfg, smr_cfg),
+        SchemeId::NbrPlus => run_ds::<NbrPlus>(ds, cfg, smr_cfg),
+        SchemeId::HazardPtrPop => run_ds::<HazardPtrPop>(ds, cfg, smr_cfg),
+        SchemeId::HazardEraPop => run_ds::<HazardEraPop>(ds, cfg, smr_cfg),
+        SchemeId::EpochPop => run_ds::<EpochPop>(ds, cfg, smr_cfg),
+        SchemeId::Hyaline => run_ds::<Hyaline>(ds, cfg, smr_cfg),
+    }
+}
+
+fn latency_ds<S: Smr>(ds: DsId, cfg: &RunConfig, smr_cfg: SmrConfig) -> LatencyReport {
+    match ds {
+        DsId::Hml => run_latency_probe::<S, HmList<S>, _>(cfg, smr_cfg, HmList::new),
+        DsId::Ll => run_latency_probe::<S, LazyList<S>, _>(cfg, smr_cfg, LazyList::new),
+        DsId::Hmht => {
+            let range = cfg.key_range;
+            run_latency_probe::<S, HashMapHm<S>, _>(cfg, smr_cfg, move |smr: Arc<S>| {
+                HashMapHm::for_key_range(smr, range, HASH_LOAD_FACTOR)
+            })
+        }
+        DsId::Dgt => run_latency_probe::<S, ExtBst<S>, _>(cfg, smr_cfg, ExtBst::new),
+        DsId::Abt => run_latency_probe::<S, AbTree<S>, _>(cfg, smr_cfg, AbTree::new),
+    }
+}
+
+/// Runs one `(scheme, structure)` tail-latency probe (extension
+/// experiment: do reclamation pings surface in reader tail latency?).
+pub fn run_latency_one(
+    scheme: SchemeId,
+    ds: DsId,
+    cfg: &RunConfig,
+    smr_cfg: SmrConfig,
+) -> LatencyReport {
+    match scheme {
+        SchemeId::Nr => latency_ds::<NoReclaim>(ds, cfg, smr_cfg),
+        SchemeId::Ebr => latency_ds::<Ebr>(ds, cfg, smr_cfg),
+        SchemeId::Ibr => latency_ds::<Ibr>(ds, cfg, smr_cfg),
+        SchemeId::Hp => latency_ds::<HazardPtr>(ds, cfg, smr_cfg),
+        SchemeId::HpAsym => latency_ds::<HazardPtrAsym>(ds, cfg, smr_cfg),
+        SchemeId::He => latency_ds::<HazardEra>(ds, cfg, smr_cfg),
+        SchemeId::NbrPlus => latency_ds::<NbrPlus>(ds, cfg, smr_cfg),
+        SchemeId::HazardPtrPop => latency_ds::<HazardPtrPop>(ds, cfg, smr_cfg),
+        SchemeId::HazardEraPop => latency_ds::<HazardEraPop>(ds, cfg, smr_cfg),
+        SchemeId::EpochPop => latency_ds::<EpochPop>(ds, cfg, smr_cfg),
+        SchemeId::Hyaline => latency_ds::<Hyaline>(ds, cfg, smr_cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_workload::{OpMix, WorkloadKind};
+    use std::time::Duration;
+
+    #[test]
+    fn scheme_parse_roundtrip() {
+        for id in SchemeId::ALL {
+            assert_eq!(SchemeId::parse(id.name()), Some(id));
+        }
+        assert_eq!(SchemeId::parse("hazardptrpop"), Some(SchemeId::HazardPtrPop));
+        assert_eq!(SchemeId::parse("bogus"), None);
+    }
+
+    #[test]
+    fn dispatch_covers_matrix_smoke() {
+        // One fast trial for a few representative cells of the matrix.
+        let cfg = RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(50),
+            key_range: 64,
+            kind: WorkloadKind::Uniform(OpMix::UPDATE_HEAVY),
+            prefill: true,
+            pin_threads: false,
+            seed: 1,
+            skew: 0.0,
+        };
+        for (s, d) in [
+            (SchemeId::HazardPtrPop, DsId::Hml),
+            (SchemeId::EpochPop, DsId::Dgt),
+            (SchemeId::NbrPlus, DsId::Ll),
+            (SchemeId::Hyaline, DsId::Abt),
+        ] {
+            let rec = run_one(s, d, &cfg, pop_core::SmrConfig::for_tests(2).with_reclaim_freq(64));
+            assert!(rec.ops > 0, "{}/{} executed no ops", s.name(), d.name());
+        }
+    }
+}

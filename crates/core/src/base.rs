@@ -1,0 +1,356 @@
+//! Domain plumbing shared by every scheme: thread-slot occupancy, retire
+//! lists, the quarantine use-after-free detector, and orphan handling.
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::SmrConfig;
+use crate::header::Retired;
+use crate::stats::DomainStats;
+
+/// A per-thread retire list with single-owner interior mutability.
+///
+/// Soundness: only the thread that claimed the enclosing tid (enforced by
+/// [`DomainBase::claim`]'s panic-on-double-claim) may call [`Self::get`].
+pub(crate) struct RetireSlot(UnsafeCell<Vec<Retired>>);
+
+// SAFETY: access is confined to the owning thread by the registration
+// protocol; the cell itself is never aliased across threads.
+unsafe impl Sync for RetireSlot {}
+unsafe impl Send for RetireSlot {}
+
+impl RetireSlot {
+    pub(crate) fn new() -> Self {
+        RetireSlot(UnsafeCell::new(Vec::new()))
+    }
+
+    /// # Safety
+    ///
+    /// Caller must be the registered owner of the enclosing tid.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get(&self) -> &mut Vec<Retired> {
+        // SAFETY: single-owner contract above.
+        unsafe { &mut *self.0.get() }
+    }
+}
+
+/// State common to all reclamation domains.
+pub(crate) struct DomainBase {
+    pub cfg: SmrConfig,
+    pub stats: Arc<DomainStats>,
+    occupied: Box<[AtomicBool]>,
+    /// Domain tid → global thread id + 1 (0 = unbound). Used by
+    /// signal-based schemes to ping participants.
+    gtid_of: Box<[AtomicUsize]>,
+    /// Quarantined (poisoned) nodes when `cfg.quarantine` is set.
+    quarantine: Mutex<Vec<Retired>>,
+    /// Retire-list leftovers from threads that unregistered while some of
+    /// their garbage was still reserved by others. Freed on domain drop.
+    orphans: Mutex<Vec<Retired>>,
+}
+
+impl DomainBase {
+    pub(crate) fn new(cfg: SmrConfig) -> Self {
+        let n = cfg.max_threads;
+        assert!(n >= 1, "domain needs at least one thread slot");
+        let mut occupied = Vec::with_capacity(n);
+        occupied.resize_with(n, || AtomicBool::new(false));
+        let mut gtids = Vec::with_capacity(n);
+        gtids.resize_with(n, || AtomicUsize::new(0));
+        DomainBase {
+            cfg,
+            stats: Arc::new(DomainStats::default()),
+            occupied: occupied.into_boxed_slice(),
+            gtid_of: gtids.into_boxed_slice(),
+            quarantine: Mutex::new(Vec::new()),
+            orphans: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn claim(&self, tid: usize) {
+        assert!(
+            tid < self.cfg.max_threads,
+            "tid {tid} out of range (max_threads = {})",
+            self.cfg.max_threads
+        );
+        let was = self.occupied[tid].swap(true, Ordering::AcqRel);
+        assert!(!was, "tid {tid} is already registered in this domain");
+    }
+
+    pub(crate) fn release(&self, tid: usize) {
+        self.occupied[tid].store(false, Ordering::Release);
+    }
+
+    pub(crate) fn is_registered(&self, tid: usize) -> bool {
+        self.occupied[tid].load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bind_gtid(&self, tid: usize, gtid: usize) {
+        self.gtid_of[tid].store(gtid + 1, Ordering::Release);
+    }
+
+    pub(crate) fn clear_gtid(&self, tid: usize) {
+        self.gtid_of[tid].store(0, Ordering::Release);
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn gtid(&self, tid: usize) -> Option<usize> {
+        match self.gtid_of[tid].load(Ordering::Acquire) {
+            0 => None,
+            g => Some(g - 1),
+        }
+    }
+
+    /// Frees (or quarantines) one retired object, updating accounting.
+    ///
+    /// # Safety
+    ///
+    /// The scheme must have proven no thread can access the object.
+    pub(crate) unsafe fn free_now(&self, r: Retired) {
+        let bytes = r.header().size() as u64;
+        self.stats.freed_nodes.fetch_add(1, Ordering::Relaxed);
+        self.stats.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if self.cfg.quarantine {
+            r.header().poison();
+            self.quarantine.lock().push(r);
+        } else {
+            // SAFETY: forwarded contract.
+            unsafe { r.free() };
+        }
+    }
+
+    /// Parks leftovers from an unregistering thread; they are deallocated
+    /// when the domain drops (at which point no readers remain).
+    pub(crate) fn adopt_orphans(&self, leftovers: Vec<Retired>) {
+        if !leftovers.is_empty() {
+            self.orphans.lock().extend(leftovers);
+        }
+    }
+
+    /// Number of quarantined nodes (test observability).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn quarantine_len(&self) -> usize {
+        self.quarantine.lock().len()
+    }
+}
+
+impl Drop for DomainBase {
+    fn drop(&mut self) {
+        // Skip the discipline check when unwinding from an unrelated panic
+        // (a panicking destructor would abort the process).
+        if !std::thread::panicking() {
+            debug_assert!(
+                self.occupied.iter().all(|o| !o.load(Ordering::Acquire)),
+                "domain dropped while threads are still registered"
+            );
+        }
+        // All participants are gone: quarantined and orphaned nodes can be
+        // deallocated for real.
+        for r in self.quarantine.get_mut().drain(..) {
+            // SAFETY: no registered threads remain, so no reader exists.
+            unsafe { r.free() };
+        }
+        for r in self.orphans.get_mut().drain(..) {
+            self.stats.freed_nodes.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .freed_bytes
+                .fetch_add(r.header().size() as u64, Ordering::Relaxed);
+            // SAFETY: as above.
+            unsafe { r.free() };
+        }
+    }
+}
+
+/// Frees every entry of `list` whose pointer is **not** in the sorted
+/// `reserved` set; reserved entries are retained. Returns the number freed.
+///
+/// # Safety
+///
+/// `reserved` must contain every (unmarked) pointer any thread may still
+/// access — the scheme's scan guarantees this.
+pub(crate) unsafe fn free_unreserved(
+    base: &DomainBase,
+    list: &mut Vec<Retired>,
+    reserved: &[u64],
+) -> usize {
+    debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
+    let old = core::mem::take(list);
+    let mut freed = 0;
+    for r in old {
+        if reserved.binary_search(&(r.ptr() as u64)).is_ok() {
+            list.push(r);
+        } else {
+            // SAFETY: pointer absent from the complete reservation set.
+            unsafe { base.free_now(r) };
+            freed += 1;
+        }
+    }
+    freed
+}
+
+/// Frees every entry whose `[birth_era, retire_era]` lifespan intersects no
+/// reserved era in the sorted `reserved` slice (hazard-eras `canFree`,
+/// paper Alg. 4/5). Returns the number freed.
+///
+/// # Safety
+///
+/// `reserved` must include every era any thread may have reserved.
+pub(crate) unsafe fn free_era_unreserved(
+    base: &DomainBase,
+    list: &mut Vec<Retired>,
+    reserved: &[u64],
+) -> usize {
+    debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
+    let old = core::mem::take(list);
+    let mut freed = 0;
+    for r in old {
+        let birth = r.header().birth_era;
+        let retire = r.header().retire_era();
+        if era_range_reserved(reserved, birth, retire) {
+            list.push(r);
+        } else {
+            // SAFETY: no reserved era intersects the lifespan.
+            unsafe { base.free_now(r) };
+            freed += 1;
+        }
+    }
+    freed
+}
+
+/// Whether any era in sorted `reserved` lies within `[birth, retire]`.
+pub fn era_range_reserved(reserved: &[u64], birth: u64, retire: u64) -> bool {
+    // First reserved era >= birth; blocked if it also <= retire.
+    let idx = reserved.partition_point(|&e| e < birth);
+    idx < reserved.len() && reserved[idx] <= retire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{Header, Retired};
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl crate::header::HasHeader for N {}
+
+    fn mk(base: &DomainBase, birth: u64, retire: u64) -> Retired {
+        base.stats
+            .allocated_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        let p = Box::into_raw(Box::new(N {
+            hdr: Header::new(birth, core::mem::size_of::<N>()),
+            v: 0,
+        }));
+        let r = unsafe { Retired::new(p) };
+        r.header().set_retire_era(retire);
+        r
+    }
+
+    #[test]
+    fn claim_release_cycle() {
+        let b = DomainBase::new(SmrConfig::for_tests(2));
+        b.claim(0);
+        assert!(b.is_registered(0));
+        b.release(0);
+        assert!(!b.is_registered(0));
+        b.claim(0); // reclaimable after release
+        b.release(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn double_claim_panics() {
+        let b = DomainBase::new(SmrConfig::for_tests(2));
+        b.claim(1);
+        b.claim(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_claim_panics() {
+        let b = DomainBase::new(SmrConfig::for_tests(2));
+        b.claim(2);
+    }
+
+    #[test]
+    fn gtid_binding() {
+        let b = DomainBase::new(SmrConfig::for_tests(2));
+        assert_eq!(b.gtid(0), None);
+        b.bind_gtid(0, 17);
+        assert_eq!(b.gtid(0), Some(17));
+        b.clear_gtid(0);
+        assert_eq!(b.gtid(0), None);
+    }
+
+    #[test]
+    fn free_unreserved_respects_reservations() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = vec![mk(&b, 0, 0), mk(&b, 0, 0), mk(&b, 0, 0)];
+        let kept = list[1].ptr() as u64;
+        let reserved = vec![kept];
+        let freed = unsafe { free_unreserved(&b, &mut list, &reserved) };
+        assert_eq!(freed, 2);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].ptr() as u64, kept);
+        // Free the survivor so the allocation is not leaked in the test.
+        let survivor = list.pop().unwrap();
+        unsafe { b.free_now(survivor) };
+    }
+
+    #[test]
+    fn quarantine_poisons_instead_of_freeing() {
+        let b = DomainBase::new(SmrConfig::for_tests(1).with_quarantine());
+        let r = mk(&b, 0, 0);
+        let ptr = r.ptr();
+        unsafe { b.free_now(r) };
+        assert_eq!(b.quarantine_len(), 1);
+        // The allocation is still mapped and poisoned.
+        assert!(unsafe { &*ptr }.is_poisoned());
+        assert_eq!(b.stats.freed_nodes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn era_reservation_blocking() {
+        // reserved eras: 5, 10, 20
+        let reserved = vec![5, 10, 20];
+        assert!(era_range_reserved(&reserved, 4, 6)); // 5 inside
+        assert!(era_range_reserved(&reserved, 10, 10)); // exact hit
+        assert!(!era_range_reserved(&reserved, 6, 9)); // gap
+        assert!(!era_range_reserved(&reserved, 21, 30)); // above all
+        assert!(!era_range_reserved(&reserved, 0, 4)); // below all
+        assert!(era_range_reserved(&reserved, 0, 100)); // spans all
+        assert!(!era_range_reserved(&[], 0, u64::MAX)); // nothing reserved
+    }
+
+    #[test]
+    fn era_free_pass() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        // lifespans: [1,2] freeable, [4,6] blocked by era 5, [7,9] freeable
+        let mut list = vec![mk(&b, 1, 2), mk(&b, 4, 6), mk(&b, 7, 9)];
+        let freed = unsafe { free_era_unreserved(&b, &mut list, &[3, 5, 10]) };
+        assert_eq!(freed, 2);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].header().birth_era, 4);
+        let survivor = list.pop().unwrap();
+        unsafe { b.free_now(survivor) };
+    }
+
+    #[test]
+    fn orphans_freed_on_drop() {
+        let stats;
+        {
+            let b = DomainBase::new(SmrConfig::for_tests(1));
+            stats = Arc::clone(&b.stats);
+            let leftovers = vec![mk(&b, 0, 0), mk(&b, 0, 0)];
+            b.adopt_orphans(leftovers);
+            assert_eq!(stats.freed_nodes.load(Ordering::Relaxed), 0);
+        }
+        assert_eq!(stats.freed_nodes.load(Ordering::Relaxed), 2);
+    }
+}

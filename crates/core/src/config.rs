@@ -1,0 +1,115 @@
+//! Reclamation-domain configuration.
+
+/// Tuning knobs shared by every reclamation scheme.
+///
+/// Field names follow the paper's pseudocode: `reclaim_freq` is the retire
+/// list threshold that triggers a reclamation pass (Alg. 1 line 1),
+/// `epoch_freq` the operations-per-epoch-advance period of the epoch-based
+/// schemes (Alg. 3 line 1), and `pop_c` the multiplier `C` after which
+/// EpochPOP escalates from epoch reclamation to publish-on-ping
+/// (Alg. 3 line 26).
+#[derive(Clone, Debug)]
+pub struct SmrConfig {
+    /// Number of domain-local thread ids (`tid` in `0..max_threads`).
+    pub max_threads: usize,
+    /// Hazard-slot count per thread (`MAX_HP`). Lists need 3, trees 4; the
+    /// default leaves headroom for user structures.
+    pub slots: usize,
+    /// Retire-list length that triggers a reclamation event. The paper uses
+    /// 24 576 for all schemes (§5.0.1).
+    pub reclaim_freq: usize,
+    /// Operations between global-epoch advances for EBR / EpochPOP / IBR.
+    pub epoch_freq: usize,
+    /// EpochPOP escalation multiplier `C`: after an epoch-mode reclaim pass,
+    /// a retire list still longer than `pop_c * reclaim_freq` indicates a
+    /// delayed thread and engages publish-on-ping.
+    pub pop_c: usize,
+    /// Testing mode: freed nodes are poisoned and quarantined instead of
+    /// deallocated, turning any use-after-free into a deterministic panic
+    /// inside `protect`.
+    pub quarantine: bool,
+}
+
+impl SmrConfig {
+    /// Paper-faithful defaults for `n` threads.
+    pub fn for_threads(n: usize) -> Self {
+        SmrConfig {
+            max_threads: n,
+            slots: 8,
+            reclaim_freq: 24_576,
+            epoch_freq: 64,
+            pop_c: 2,
+            quarantine: false,
+        }
+    }
+
+    /// Small thresholds that force frequent reclamation; intended for tests
+    /// so every code path (ping, publish, scan, free) runs within a few
+    /// hundred operations.
+    pub fn for_tests(n: usize) -> Self {
+        SmrConfig {
+            max_threads: n,
+            slots: 8,
+            reclaim_freq: 64,
+            epoch_freq: 4,
+            pop_c: 2,
+            quarantine: false,
+        }
+    }
+
+    /// Builder-style override of the retire-list threshold.
+    pub fn with_reclaim_freq(mut self, f: usize) -> Self {
+        self.reclaim_freq = f.max(1);
+        self
+    }
+
+    /// Builder-style override of the epoch advance period.
+    pub fn with_epoch_freq(mut self, f: usize) -> Self {
+        self.epoch_freq = f.max(1);
+        self
+    }
+
+    /// Builder-style override of the EpochPOP escalation multiplier.
+    pub fn with_pop_c(mut self, c: usize) -> Self {
+        self.pop_c = c.max(1);
+        self
+    }
+
+    /// Builder-style override of the per-thread hazard slot count.
+    pub fn with_slots(mut self, s: usize) -> Self {
+        self.slots = s.max(1);
+        self
+    }
+
+    /// Enables the quarantine use-after-free detector (tests only).
+    pub fn with_quarantine(mut self) -> Self {
+        self.quarantine = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SmrConfig::for_threads(4);
+        assert_eq!(c.reclaim_freq, 24_576, "paper §5.0.1 retire threshold");
+        assert_eq!(c.max_threads, 4);
+        assert!(!c.quarantine);
+    }
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let c = SmrConfig::for_tests(1)
+            .with_reclaim_freq(0)
+            .with_epoch_freq(0)
+            .with_pop_c(0)
+            .with_slots(0);
+        assert_eq!(c.reclaim_freq, 1);
+        assert_eq!(c.epoch_freq, 1);
+        assert_eq!(c.pop_c, 1);
+        assert_eq!(c.slots, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Reclaimable-object header and type-erased retirement records.
+//!
+//! Every object managed by a reclamation scheme embeds a [`Header`] as its
+//! **first** field and is `#[repr(C)]`, so `*mut Node` and `*mut Header`
+//! are interconvertible. The header carries the era tags used by hazard
+//! eras / IBR (`birth_era`, `retire_era`), the allocation size for memory
+//! accounting, and a liveness magic word used by the quarantine
+//! use-after-free detector.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic value in [`Header::meta`]'s high 32 bits while an object is live.
+const LIVE_MAGIC: u64 = 0x51AE_0000_0000_0000;
+/// Magic value after the object is logically freed into quarantine.
+const POISON_MAGIC: u64 = 0xDEAD_0000_0000_0000;
+const MAGIC_MASK: u64 = 0xFFFF_0000_0000_0000;
+const SIZE_MASK: u64 = 0x0000_0000_FFFF_FFFF;
+
+/// Intrusive header for reclaimable objects.
+///
+/// # Layout contract
+///
+/// Objects embedding a `Header` must be `#[repr(C)]` with the header first,
+/// and must implement [`HasHeader`] (an unsafe marker enforcing exactly
+/// that), so schemes can operate on type-erased `*mut Header`.
+#[repr(C)]
+pub struct Header {
+    /// Global era at allocation time (hazard eras / IBR lifespan lower
+    /// bound). Zero for schemes without eras.
+    pub birth_era: u64,
+    /// Global era at retirement. Written once by the retiring thread;
+    /// relaxed atomics make the cross-thread scan in reclaimers race-free.
+    retire_era: AtomicU64,
+    /// `magic | allocation size` word; see module docs.
+    meta: AtomicU64,
+}
+
+impl Header {
+    /// A live header for an object of `size` bytes born in `birth_era`.
+    pub fn new(birth_era: u64, size: usize) -> Self {
+        debug_assert!(size as u64 <= SIZE_MASK, "allocation too large to track");
+        Header {
+            birth_era,
+            retire_era: AtomicU64::new(u64::MAX),
+            meta: AtomicU64::new(LIVE_MAGIC | (size as u64 & SIZE_MASK)),
+        }
+    }
+
+    /// Records the era at which the object was retired.
+    pub fn set_retire_era(&self, era: u64) {
+        self.retire_era.store(era, Ordering::Relaxed);
+    }
+
+    /// Era recorded by [`Self::set_retire_era`], or `u64::MAX` if live.
+    pub fn retire_era(&self) -> u64 {
+        self.retire_era.load(Ordering::Relaxed)
+    }
+
+    /// Allocation size recorded at construction.
+    pub fn size(&self) -> usize {
+        (self.meta.load(Ordering::Relaxed) & SIZE_MASK) as usize
+    }
+
+    /// Whether the quarantine detector has marked this object freed.
+    pub fn is_poisoned(&self) -> bool {
+        self.meta.load(Ordering::Relaxed) & MAGIC_MASK == POISON_MAGIC
+    }
+
+    /// Marks the object freed (quarantine mode).
+    pub(crate) fn poison(&self) {
+        let size = self.meta.load(Ordering::Relaxed) & SIZE_MASK;
+        self.meta.store(POISON_MAGIC | size, Ordering::Release);
+    }
+}
+
+/// Marker trait for `#[repr(C)]` types whose first field is a [`Header`].
+///
+/// # Safety
+///
+/// Implementors guarantee the layout contract above, making
+/// `*mut Self ⇄ *mut Header` casts valid.
+pub unsafe trait HasHeader: Sized {
+    /// Shared access to the embedded header.
+    fn header(&self) -> &Header {
+        // SAFETY: repr(C) + header-first guaranteed by the implementor.
+        unsafe { &*(self as *const Self as *const Header) }
+    }
+}
+
+/// Type-erased record of a retired object awaiting reclamation.
+///
+/// Carries the deallocation function so heterogeneous node types can share
+/// one retire list.
+pub struct Retired {
+    ptr: *mut Header,
+    drop_fn: unsafe fn(*mut Header),
+}
+
+// SAFETY: a Retired is an exclusively-owned deferred destructor; the object
+// it points to is unlinked and only ever freed once, by whichever thread
+// drains the retire list.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// Creates a retirement record for `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to a live, heap-allocated (`Box`) `T` that has been
+    /// unlinked from every shared structure, and must not be retired again.
+    pub unsafe fn new<T: HasHeader>(ptr: *mut T) -> Retired {
+        unsafe fn drop_box<T>(h: *mut Header) {
+            // SAFETY: constructed from Box<T> in `Retired::new`; called at
+            // most once, after the scheme proved no thread can access it.
+            unsafe { drop(Box::from_raw(h as *mut T)) }
+        }
+        Retired {
+            ptr: ptr as *mut Header,
+            drop_fn: drop_box::<T>,
+        }
+    }
+
+    /// The retired object's header.
+    pub fn header(&self) -> &Header {
+        // SAFETY: `ptr` stays valid until `free` (quarantine keeps the
+        // allocation alive even after poisoning).
+        unsafe { &*self.ptr }
+    }
+
+    /// Raw header pointer (for reservation-set membership tests).
+    pub fn ptr(&self) -> *mut Header {
+        self.ptr
+    }
+
+    /// Invokes the deallocation function.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have established that no thread can access the object —
+    /// this is precisely the reclamation scheme's job.
+    pub(crate) unsafe fn free(self) {
+        // SAFETY: forwarded contract.
+        unsafe { (self.drop_fn)(self.ptr) }
+    }
+}
+
+impl core::fmt::Debug for Retired {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Retired")
+            .field("ptr", &self.ptr)
+            .field("birth_era", &self.header().birth_era)
+            .field("retire_era", &self.header().retire_era())
+            .finish()
+    }
+}
+
+/// Strips data-structure mark bits (low 2 bits) from a pointer-sized word.
+///
+/// Lock-free structures tag pointers (e.g. Harris-Michael deletion marks);
+/// reservations must record the *node address*, so schemes unmark before
+/// storing and comparing.
+#[inline(always)]
+pub fn unmark_word(p: u64) -> u64 {
+    p & !0b11
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[repr(C)]
+    struct TestNode {
+        hdr: Header,
+        payload: [u64; 4],
+    }
+    unsafe impl HasHeader for TestNode {}
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header::new(42, 96);
+        assert_eq!(h.birth_era, 42);
+        assert_eq!(h.size(), 96);
+        assert_eq!(h.retire_era(), u64::MAX);
+        assert!(!h.is_poisoned());
+        h.set_retire_era(77);
+        assert_eq!(h.retire_era(), 77);
+        h.poison();
+        assert!(h.is_poisoned());
+        assert_eq!(h.size(), 96, "poisoning must preserve the size field");
+    }
+
+    #[test]
+    fn retired_reads_through_header() {
+        let node = Box::into_raw(Box::new(TestNode {
+            hdr: Header::new(3, core::mem::size_of::<TestNode>()),
+            payload: [0; 4],
+        }));
+        let r = unsafe { Retired::new(node) };
+        assert_eq!(r.header().birth_era, 3);
+        r.header().set_retire_era(9);
+        assert_eq!(unsafe { &*node }.hdr.retire_era(), 9);
+        unsafe { r.free() };
+    }
+
+    #[test]
+    fn unmark_strips_low_bits() {
+        assert_eq!(unmark_word(0x1000), 0x1000);
+        assert_eq!(unmark_word(0x1001), 0x1000);
+        assert_eq!(unmark_word(0x1003), 0x1000);
+        assert_eq!(unmark_word(3), 0);
+    }
+
+    #[test]
+    fn has_header_view_matches_field() {
+        let node = TestNode {
+            hdr: Header::new(11, 64),
+            payload: [1; 4],
+        };
+        assert_eq!(node.header().birth_era, 11);
+        assert_eq!(node.header().size(), 64);
+    }
+}

@@ -1,0 +1,59 @@
+//! # `pop-core` — Publish-on-Ping safe memory reclamation
+//!
+//! Reproduction of the reclamation schemes from *"Publish on Ping: A Better
+//! Way to Publish Reservations in Memory Reclamation for Concurrent Data
+//! Structures"* (Singh & Brown, PPoPP 2025), plus every baseline the paper
+//! evaluates against.
+//!
+//! ## Model
+//!
+//! * A **domain** ([`Smr`] instance) manages reclamation for one data
+//!   structure (or a group sharing garbage).
+//! * Threads [`Smr::register`] for a domain-local `tid` and bracket each
+//!   operation with [`Smr::begin_op`]/[`Smr::end_op`].
+//! * Every shared-pointer read goes through [`Smr::protect`] (the paper's
+//!   `read()`), every unlinked node through [`Smr::retire`].
+//! * Reclaimable node types embed a [`Header`] first field (`#[repr(C)]`)
+//!   and implement the [`HasHeader`] marker.
+//!
+//! ## Schemes
+//!
+//! See [`schemes`] for the full table. The paper's contributions are
+//! [`schemes::hp_pop::HazardPtrPop`], [`schemes::he_pop::HazardEraPop`] and
+//! [`schemes::epoch_pop::EpochPop`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod base;
+pub mod config;
+pub mod header;
+mod pop_shared;
+pub mod schemes;
+pub mod smr;
+pub mod stats;
+
+/// Internals re-exported for property tests and diagnostics. Not a stable
+/// API surface.
+#[doc(hidden)]
+pub mod testing {
+    pub use crate::base::era_range_reserved;
+}
+
+pub use config::SmrConfig;
+pub use header::{unmark_word, HasHeader, Header, Retired};
+pub use smr::{as_header, protect_infallible, retire_node, ReadResult, Registration, Restart, Smr};
+pub use stats::{DomainStats, StatsSnapshot};
+
+// Convenience aliases matching the paper's plot labels.
+pub use schemes::ebr::Ebr;
+pub use schemes::epoch_pop::EpochPop;
+pub use schemes::he::HazardEra;
+pub use schemes::he_pop::HazardEraPop;
+pub use schemes::hp::HazardPtr;
+pub use schemes::hp_asym::HazardPtrAsym;
+pub use schemes::hp_pop::HazardPtrPop;
+pub use schemes::hyaline::Hyaline;
+pub use schemes::ibr::Ibr;
+pub use schemes::nbr::NbrPlus;
+pub use schemes::nr::NoReclaim;

@@ -1,0 +1,317 @@
+//! The publish-on-ping engine shared by HazardPtrPOP, HazardEraPOP and
+//! EpochPOP.
+//!
+//! Implements the paper's Algorithms 1–2 machinery: per-thread
+//! `localReservations` (written with relaxed stores on the read path — *no
+//! fence*), `sharedReservations` (SWMR slots filled by the signal handler),
+//! the per-thread `publishCounter`, and the reclaimer-side
+//! `collectPublishedCounters` / `pingAllToPublish` / `waitForAllPublished`
+//! sequence. Reservation words are opaque `u64`s: pointer bits for
+//! HazardPtrPOP/EpochPOP, era numbers for HazardEraPOP.
+//!
+//! Instances are leaked (`&'static`) because the process-global signal
+//! handler may dereference them at any time; see `pop-runtime` docs.
+
+use core::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use pop_runtime::signal::ping_gtid;
+use pop_runtime::Publisher;
+
+use crate::stats::DomainStats;
+
+/// Shared reservation state for one publish-on-ping domain.
+pub(crate) struct PopShared {
+    nthreads: usize,
+    slots: usize,
+    /// `localReservations[tid][slot]` — owner-written (relaxed), read by the
+    /// owner's own signal handler and by diagnostic code.
+    local: Box<[AtomicU64]>,
+    /// `sharedReservations[tid][slot]` — filled on publish, scanned by
+    /// reclaimers.
+    shared: Box<[AtomicU64]>,
+    /// `publishCounter[tid]`.
+    counter: Box<[CachePadded<AtomicU64>]>,
+    /// Whether a domain tid currently participates.
+    registered: Box<[AtomicBool]>,
+    /// Domain tid → global thread id + 1 (0 = unbound).
+    gtid_of: Box<[AtomicUsize]>,
+    stats: Arc<DomainStats>,
+}
+
+impl PopShared {
+    /// Allocates and leaks the shared state (see module docs for why).
+    pub(crate) fn leak(nthreads: usize, slots: usize, stats: Arc<DomainStats>) -> &'static Self {
+        let cells = nthreads * slots;
+        let mut local = Vec::with_capacity(cells);
+        local.resize_with(cells, || AtomicU64::new(0));
+        let mut shared = Vec::with_capacity(cells);
+        shared.resize_with(cells, || AtomicU64::new(0));
+        let mut counter = Vec::with_capacity(nthreads);
+        counter.resize_with(nthreads, || CachePadded::new(AtomicU64::new(0)));
+        let mut registered = Vec::with_capacity(nthreads);
+        registered.resize_with(nthreads, || AtomicBool::new(false));
+        let mut gtid_of = Vec::with_capacity(nthreads);
+        gtid_of.resize_with(nthreads, || AtomicUsize::new(0));
+        Box::leak(Box::new(PopShared {
+            nthreads,
+            slots,
+            local: local.into_boxed_slice(),
+            shared: shared.into_boxed_slice(),
+            counter: counter.into_boxed_slice(),
+            registered: registered.into_boxed_slice(),
+            gtid_of: gtid_of.into_boxed_slice(),
+            stats,
+        }))
+    }
+
+    #[inline(always)]
+    fn idx(&self, tid: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.slots);
+        tid * self.slots + slot
+    }
+
+    /// Hot-path local reservation (paper Alg. 1 line 11): a relaxed store,
+    /// **no fence** — this is the entire point of publish-on-ping.
+    #[inline(always)]
+    pub(crate) fn set_local(&self, tid: usize, slot: usize, word: u64) {
+        self.local[self.idx(tid, slot)].store(word, Ordering::Relaxed);
+    }
+
+    /// Owner-side read of a local reservation (HazardEraPOP caches the last
+    /// reserved era this way).
+    #[inline(always)]
+    pub(crate) fn local_at(&self, tid: usize, slot: usize) -> u64 {
+        self.local[self.idx(tid, slot)].load(Ordering::Relaxed)
+    }
+
+    /// Paper's `clear()` (Alg. 1 line 23): reset local reservations when
+    /// going quiescent. Shared slots intentionally keep their last published
+    /// value — stale entries are conservative and refreshed at the next ping.
+    pub(crate) fn clear_local(&self, tid: usize) {
+        for s in 0..self.slots {
+            self.local[self.idx(tid, s)].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Joins the domain's ping set.
+    pub(crate) fn register(&self, tid: usize, gtid: usize) {
+        for s in 0..self.slots {
+            self.local[self.idx(tid, s)].store(0, Ordering::Relaxed);
+            self.shared[self.idx(tid, s)].store(0, Ordering::Relaxed);
+        }
+        self.gtid_of[tid].store(gtid + 1, Ordering::Relaxed);
+        // Release publishes the cleared slots before the thread is pingable.
+        self.registered[tid].store(true, Ordering::Release);
+    }
+
+    /// Leaves the ping set, flushing empty reservations so any reclaimer
+    /// concurrently waiting on this thread observes either the counter
+    /// increment or the deregistration.
+    pub(crate) fn unregister(&self, tid: usize) {
+        self.clear_local(tid);
+        self.publish_tid(tid);
+        self.registered[tid].store(false, Ordering::Release);
+        self.gtid_of[tid].store(0, Ordering::Relaxed);
+    }
+
+    /// The paper's `publishReservations` (Alg. 2 line 40): copy local →
+    /// shared, one fence, bump the publish counter. Async-signal-safe.
+    pub(crate) fn publish_tid(&self, tid: usize) {
+        let base = tid * self.slots;
+        for s in 0..self.slots {
+            let w = self.local[base + s].load(Ordering::Relaxed);
+            self.shared[base + s].store(w, Ordering::Relaxed);
+        }
+        // The single fence that replaces one-fence-per-read of classic HP.
+        fence(Ordering::SeqCst);
+        self.counter[tid].fetch_add(1, Ordering::Release);
+        self.stats.publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reclaimer-side sequence: self-publish, `collectPublishedCounters`,
+    /// `pingAllToPublish`, `waitForAllPublished` (Alg. 1 lines 19–21).
+    pub(crate) fn ping_all_and_wait(&self, me: usize) {
+        // The reclaimer publishes its own reservations directly — it may
+        // itself hold protected pointers (e.g. a traversal retiring nodes
+        // mid-walk) that the scan must honor.
+        self.publish_tid(me);
+
+        const SKIP: u64 = u64::MAX;
+        let mut collected = vec![SKIP; self.nthreads];
+        for t in 0..self.nthreads {
+            if t != me && self.registered[t].load(Ordering::Acquire) {
+                collected[t] = self.counter[t].load(Ordering::Acquire);
+            }
+        }
+        fence(Ordering::SeqCst);
+        let mut pings = 0u64;
+        for t in 0..self.nthreads {
+            if collected[t] != SKIP {
+                if let Some(gtid) = self.gtid(t) {
+                    if ping_gtid(gtid) {
+                        pings += 1;
+                    }
+                }
+            }
+        }
+        self.stats.pings_sent.fetch_add(pings, Ordering::Relaxed);
+        for t in 0..self.nthreads {
+            if collected[t] == SKIP {
+                continue;
+            }
+            loop {
+                // Acquire pairs with the handler's Release increment,
+                // making the published reservations visible to the scan.
+                if self.counter[t].load(Ordering::Acquire) > collected[t] {
+                    break;
+                }
+                // A thread that deregistered flushed empty reservations on
+                // the way out; do not wait for it.
+                if !self.registered[t].load(Ordering::Acquire) {
+                    break;
+                }
+                core::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Scans `sharedReservations` of every registered thread (Alg. 2 lines
+    /// 28–31), returning the sorted, deduplicated set of non-zero words.
+    pub(crate) fn collect_reserved(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(self.nthreads * self.slots);
+        for t in 0..self.nthreads {
+            if !self.registered[t].load(Ordering::Acquire) {
+                continue;
+            }
+            for s in 0..self.slots {
+                let w = self.shared[t * self.slots + s].load(Ordering::Acquire);
+                if w != 0 {
+                    v.push(w);
+                }
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn gtid(&self, tid: usize) -> Option<usize> {
+        match self.gtid_of[tid].load(Ordering::Acquire) {
+            0 => None,
+            g => Some(g - 1),
+        }
+    }
+
+    /// Published counter value (test observability).
+    #[cfg(test)]
+    pub(crate) fn counter_of(&self, tid: usize) -> u64 {
+        self.counter[tid].load(Ordering::Acquire)
+    }
+}
+
+impl Publisher for PopShared {
+    /// Signal-handler entry: publish for whichever domain tid the pinged
+    /// thread holds. Bounded loop over domain tids; atomics and one fence
+    /// only — async-signal-safe.
+    fn publish(&self, gtid: usize) {
+        for t in 0..self.nthreads {
+            if self.registered[t].load(Ordering::Acquire)
+                && self.gtid_of[t].load(Ordering::Acquire) == gtid + 1
+            {
+                self.publish_tid(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(n: usize, slots: usize) -> &'static PopShared {
+        PopShared::leak(n, slots, Arc::new(DomainStats::default()))
+    }
+
+    #[test]
+    fn local_then_publish_reaches_shared() {
+        let p = mk(2, 4);
+        p.register(0, 100);
+        p.set_local(0, 1, 0xABCD00);
+        assert!(p.collect_reserved().is_empty(), "local is private pre-ping");
+        p.publish_tid(0);
+        assert_eq!(p.collect_reserved(), vec![0xABCD00]);
+    }
+
+    #[test]
+    fn clear_local_then_publish_empties_shared() {
+        let p = mk(1, 2);
+        p.register(0, 0);
+        p.set_local(0, 0, 42);
+        p.publish_tid(0);
+        assert_eq!(p.collect_reserved(), vec![42]);
+        p.clear_local(0);
+        assert_eq!(
+            p.collect_reserved(),
+            vec![42],
+            "shared keeps stale value until next publish (conservative)"
+        );
+        p.publish_tid(0);
+        assert!(p.collect_reserved().is_empty());
+    }
+
+    #[test]
+    fn collect_sorts_and_dedups_across_threads() {
+        let p = mk(3, 2);
+        for t in 0..3 {
+            p.register(t, t);
+        }
+        p.set_local(0, 0, 30);
+        p.set_local(1, 0, 10);
+        p.set_local(1, 1, 30);
+        p.set_local(2, 1, 20);
+        for t in 0..3 {
+            p.publish_tid(t);
+        }
+        assert_eq!(p.collect_reserved(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn unregister_flushes_and_removes() {
+        let p = mk(2, 2);
+        p.register(0, 0);
+        p.register(1, 1);
+        p.set_local(1, 0, 7);
+        p.publish_tid(1);
+        assert_eq!(p.collect_reserved(), vec![7]);
+        let c = p.counter_of(1);
+        p.unregister(1);
+        assert!(p.counter_of(1) > c, "unregister must bump the counter");
+        assert!(p.collect_reserved().is_empty());
+    }
+
+    #[test]
+    fn publisher_dispatch_maps_gtid_to_tid() {
+        let p = mk(2, 1);
+        p.register(0, 55);
+        p.register(1, 66);
+        p.set_local(0, 0, 111);
+        p.set_local(1, 0, 222);
+        Publisher::publish(p, 66);
+        assert_eq!(
+            p.collect_reserved(),
+            vec![222],
+            "only the pinged gtid's tid publishes"
+        );
+    }
+
+    #[test]
+    fn ping_all_without_peers_returns_immediately() {
+        let p = mk(4, 2);
+        p.register(2, 9);
+        p.set_local(2, 0, 5);
+        p.ping_all_and_wait(2); // peers unregistered: must not block
+        assert_eq!(p.collect_reserved(), vec![5], "self-publish happened");
+    }
+}

@@ -1,0 +1,272 @@
+//! `EBR` — RCU-style epoch-based reclamation (paper Appendix C, Alg. 6).
+//!
+//! Readers announce the global epoch on operation entry (one ordered store
+//! per *operation*, not per read) and announce `u64::MAX` on exit.
+//! Reclaimers free objects retired strictly before the minimum announced
+//! epoch. Fast, but **not robust**: one delayed reader pins every retire
+//! list in the system — the failure mode EpochPOP repairs.
+
+use core::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::base::{DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::Retired;
+use crate::smr::{ReadResult, Smr};
+use crate::stats::DomainStats;
+
+/// Epoch announced while quiescent.
+pub(crate) const QUIESCENT: u64 = u64::MAX;
+
+struct ThreadState {
+    retire: RetireSlot,
+    /// Operations since registration; drives the periodic epoch advance.
+    op_count: AtomicU64,
+}
+
+/// RCU-style epoch-based reclamation.
+pub struct Ebr {
+    base: DomainBase,
+    epoch: CachePadded<AtomicU64>,
+    /// `reservedEpoch[tid]` (Alg. 6 line 4).
+    reserved: Box<[CachePadded<AtomicU64>]>,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl Ebr {
+    fn reclaim_epoch_freeable(&self, tid: usize) {
+        self.base.stats.epoch_passes.fetch_add(1, Ordering::Relaxed);
+        // Order the announcement scan after this thread's preceding unlinks.
+        fence(Ordering::SeqCst);
+        let min = self.min_reserved_epoch();
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        let old = core::mem::take(list);
+        for r in old {
+            if r.header().retire_era() < min {
+                // SAFETY: retired before every announced epoch — no thread
+                // that could hold a reference is still in its operation.
+                unsafe { self.base.free_now(r) };
+            } else {
+                list.push(r);
+            }
+        }
+    }
+
+    fn min_reserved_epoch(&self) -> u64 {
+        let mut min = u64::MAX;
+        for t in 0..self.base.cfg.max_threads {
+            if self.base.is_registered(t) {
+                min = min.min(self.reserved[t].load(Ordering::SeqCst));
+            }
+        }
+        min
+    }
+
+    /// Current minimum announced epoch (test/diagnostic use).
+    pub fn min_epoch(&self) -> u64 {
+        self.min_reserved_epoch()
+    }
+}
+
+impl Smr for Ebr {
+    const NAME: &'static str = "EBR";
+    const ROBUST: bool = false;
+    const NEEDS_SIGNALS: bool = false;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let n = cfg.max_threads;
+        let mut reserved = Vec::with_capacity(n);
+        reserved.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+                op_count: AtomicU64::new(0),
+            })
+        });
+        Arc::new(Ebr {
+            base: DomainBase::new(cfg),
+            epoch: CachePadded::new(AtomicU64::new(1)),
+            reserved: reserved.into_boxed_slice(),
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+        self.reserved[tid].store(QUIESCENT, Ordering::SeqCst);
+    }
+
+    fn unregister(&self, tid: usize) {
+        self.reserved[tid].store(QUIESCENT, Ordering::SeqCst);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        self.base.release(tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, tid: usize) {
+        let ts = &self.threads[tid];
+        let c = ts.op_count.load(Ordering::Relaxed) + 1;
+        ts.op_count.store(c, Ordering::Relaxed);
+        if c % self.base.cfg.epoch_freq as u64 == 0 {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        // SeqCst: the announcement must be globally visible before this
+        // thread reads any data-structure pointer (the one fence EBR pays
+        // per operation).
+        self.reserved[tid].store(self.epoch.load(Ordering::Acquire), Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        self.reserved[tid].store(QUIESCENT, Ordering::Release);
+    }
+
+    #[inline]
+    fn protect<T>(&self, _tid: usize, _slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        // Epoch readers are pre-protected by their announcement.
+        Ok(src.load(Ordering::Acquire))
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() % self.base.cfg.reclaim_freq == 0 {
+            self.reclaim_epoch_freeable(tid);
+        }
+    }
+
+    fn current_era(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn flush(&self, tid: usize) {
+        self.reclaim_epoch_freeable(tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::retire_node;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &Ebr, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn single_thread_reclaims_after_quiescence() {
+        let smr = Ebr::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        for i in 0..100 {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert_eq!(s.retired_nodes, 100);
+        assert!(
+            s.freed_nodes >= 90,
+            "quiescent single thread frees nearly everything, freed = {}",
+            s.freed_nodes
+        );
+        drop(reg);
+    }
+
+    #[test]
+    fn stalled_reader_blocks_reclamation() {
+        let smr = Ebr::new(SmrConfig::for_tests(2));
+        let reg0 = smr.register(0);
+        let stalled = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            move || {
+                let reg1 = smr.register(1);
+                smr.begin_op(1); // enter and never leave
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Reader parked in an old epoch: nothing retired after its entry
+        // may be freed.
+        let freed_before = smr.stats().snapshot().freed_nodes;
+        for i in 0..500 {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert_eq!(
+            s.freed_nodes, freed_before,
+            "EBR must not free past a stalled reader (the robustness gap)"
+        );
+        stalled.join().unwrap();
+        smr.flush(0);
+        assert!(
+            smr.stats().snapshot().freed_nodes > freed_before,
+            "after the reader leaves, garbage drains"
+        );
+        drop(reg0);
+    }
+
+    #[test]
+    fn epoch_advances_with_operations() {
+        let smr = Ebr::new(SmrConfig::for_tests(1).with_epoch_freq(2));
+        let reg = smr.register(0);
+        let e0 = smr.current_era();
+        for _ in 0..10 {
+            smr.begin_op(0);
+            smr.end_op(0);
+        }
+        assert!(smr.current_era() >= e0 + 4, "epoch advances every 2 ops");
+        drop(reg);
+    }
+
+    #[test]
+    fn min_epoch_ignores_unregistered_slots() {
+        let smr = Ebr::new(SmrConfig::for_tests(4));
+        let reg = smr.register(2);
+        smr.begin_op(2);
+        assert_eq!(smr.min_epoch(), smr.reserved[2].load(Ordering::SeqCst));
+        smr.end_op(2);
+        assert_eq!(smr.min_epoch(), QUIESCENT);
+        drop(reg);
+    }
+}

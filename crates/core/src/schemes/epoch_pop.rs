@@ -1,0 +1,338 @@
+//! **`EpochPOP`** — epoch-based reclamation fused with HazardPtrPOP (paper
+//! §4.2, Alg. 3).
+//!
+//! Threads run *both* protocols simultaneously:
+//!
+//! * **Epoch mode** (the common case): operations announce the global epoch
+//!   like EBR; reclaimers free nodes retired before the minimum announced
+//!   epoch. Fast — one ordered store per operation.
+//! * **POP mode** (delay suspected): every read has *also* been recording a
+//!   private pointer reservation (relaxed store, no fence). When an
+//!   epoch-mode pass leaves the retire list above `C × reclaim_freq`, the
+//!   reclaimer concludes some thread is stuck in an old epoch, pings all
+//!   threads, and frees everything not ptr-reserved — skipping only the
+//!   bounded `N × H` reserved set. No global mode switch; different threads
+//!   may reclaim in different modes concurrently (unlike QSense).
+
+use core::sync::atomic::{compiler_fence, fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use pop_runtime::signal::register_publisher;
+use pop_runtime::PublisherHandle;
+
+use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::{unmark_word, Retired};
+use crate::pop_shared::PopShared;
+use crate::smr::{ReadResult, Smr};
+use crate::stats::DomainStats;
+
+use super::ebr::QUIESCENT;
+
+struct ThreadState {
+    retire: RetireSlot,
+    op_count: AtomicU64,
+}
+
+/// Dual-mode epoch + publish-on-ping reclamation.
+pub struct EpochPop {
+    base: DomainBase,
+    epoch: CachePadded<AtomicU64>,
+    /// `reservedEpoch[tid]` (Alg. 3 line 4).
+    reserved_epoch: Box<[CachePadded<AtomicU64>]>,
+    /// Private pointer reservations published on ping (Alg. 3 lines 6–8).
+    pop: &'static PopShared,
+    publisher: PublisherHandle,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl EpochPop {
+    /// Alg. 3 `reclaimEpochFreeable`: the EBR fast path.
+    fn reclaim_epoch_freeable(&self, tid: usize) {
+        self.base.stats.epoch_passes.fetch_add(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let mut min = u64::MAX;
+        for t in 0..self.base.cfg.max_threads {
+            if self.base.is_registered(t) {
+                min = min.min(self.reserved_epoch[t].load(Ordering::SeqCst));
+            }
+        }
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        let old = core::mem::take(list);
+        for r in old {
+            if r.header().retire_era() < min {
+                // SAFETY: retired before every announced epoch.
+                unsafe { self.base.free_now(r) };
+            } else {
+                list.push(r);
+            }
+        }
+    }
+
+    /// Alg. 3 lines 26–30: the robust POP escalation.
+    fn reclaim_pop_freeable(&self, tid: usize) {
+        self.base.stats.pop_passes.fetch_add(1, Ordering::Relaxed);
+        self.pop.ping_all_and_wait(tid);
+        let reserved = self.pop.collect_reserved();
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        // SAFETY: every thread published its private reservations (or
+        // deregistered); anything unreserved is unreachable — even for
+        // threads stuck in ancient epochs, because they too record local
+        // reservations on every read.
+        unsafe { free_unreserved(&self.base, list, &reserved) };
+    }
+
+}
+
+impl Smr for EpochPop {
+    const NAME: &'static str = "EpochPOP";
+    const ROBUST: bool = true;
+    const NEEDS_SIGNALS: bool = true;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let n = cfg.max_threads;
+        let base = DomainBase::new(cfg);
+        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
+        let publisher = register_publisher(pop);
+        let mut reserved = Vec::with_capacity(n);
+        reserved.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+                op_count: AtomicU64::new(0),
+            })
+        });
+        Arc::new(EpochPop {
+            base,
+            epoch: CachePadded::new(AtomicU64::new(1)),
+            reserved_epoch: reserved.into_boxed_slice(),
+            pop,
+            publisher,
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn bind_gtid(&self, tid: usize, gtid: usize) {
+        self.base.bind_gtid(tid, gtid);
+        self.pop.register(tid, gtid);
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+        self.reserved_epoch[tid].store(QUIESCENT, Ordering::SeqCst);
+    }
+
+    fn unregister(&self, tid: usize) {
+        self.reserved_epoch[tid].store(QUIESCENT, Ordering::SeqCst);
+        self.pop.clear_local(tid);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        self.pop.unregister(tid);
+        self.base.clear_gtid(tid);
+        self.base.release(tid);
+    }
+
+    /// Alg. 3 `startOp`: periodic epoch advance + announcement.
+    #[inline]
+    fn begin_op(&self, tid: usize) {
+        let ts = &self.threads[tid];
+        let c = ts.op_count.load(Ordering::Relaxed) + 1;
+        ts.op_count.store(c, Ordering::Relaxed);
+        if c % self.base.cfg.epoch_freq as u64 == 0 {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        self.reserved_epoch[tid].store(self.epoch.load(Ordering::Acquire), Ordering::SeqCst);
+    }
+
+    /// Alg. 3 `endOp`: announce quiescence and clear local reservations.
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        self.reserved_epoch[tid].store(QUIESCENT, Ordering::Release);
+        self.pop.clear_local(tid);
+    }
+
+    /// Alg. 3 `read()`: identical to HazardPtrPOP — private reservation,
+    /// no fence. In epoch mode these reservations are ignored; they become
+    /// load-bearing the moment a reclaimer escalates.
+    #[inline]
+    fn protect<T>(&self, tid: usize, slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        loop {
+            let p = src.load(Ordering::Acquire);
+            self.pop.set_local(tid, slot, unmark_word(p as u64));
+            compiler_fence(Ordering::SeqCst);
+            if src.load(Ordering::Acquire) == p {
+                return Ok(p);
+            }
+        }
+    }
+
+    /// Alg. 3 `retire`: epoch pass every `reclaim_freq`, POP escalation
+    /// when the list stays above `C × reclaim_freq`.
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() % self.base.cfg.reclaim_freq == 0 {
+            self.reclaim_epoch_freeable(tid);
+            // Re-check *after* the epoch pass (Alg. 3 line 26): a long list
+            // that epochs could not drain implicates a delayed thread.
+            let still = unsafe { self.threads[tid].retire.get() }.len();
+            if still >= self.base.cfg.pop_c * self.base.cfg.reclaim_freq {
+                self.reclaim_pop_freeable(tid);
+            }
+        }
+    }
+
+    fn current_era(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn flush(&self, tid: usize) {
+        self.reclaim_epoch_freeable(tid);
+        if !unsafe { self.threads[tid].retire.get() }.is_empty() {
+            self.reclaim_pop_freeable(tid);
+        }
+    }
+}
+
+impl Drop for EpochPop {
+    fn drop(&mut self) {
+        self.publisher.deactivate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::retire_node;
+    use std::sync::atomic::AtomicBool;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &EpochPop, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn epoch_mode_reclaims_without_signals() {
+        let smr = EpochPop::new(SmrConfig::for_tests(1).with_reclaim_freq(16));
+        let reg = smr.register(0);
+        for i in 0..200 {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        let s = smr.stats().snapshot();
+        assert!(s.epoch_passes >= 1, "epoch fast path ran");
+        assert_eq!(
+            s.pings_sent, 0,
+            "undelayed workload must never escalate to signals — the \
+             paper's headline property of EpochPOP"
+        );
+        assert!(s.freed_nodes > 0);
+        drop(reg);
+    }
+
+    #[test]
+    fn stalled_thread_triggers_pop_escalation_and_bounded_garbage() {
+        let cfg = SmrConfig::for_tests(2).with_reclaim_freq(16).with_pop_c(2);
+        let smr = EpochPop::new(cfg);
+        let reg0 = smr.register(0);
+        let hot = alloc(&smr, 9);
+        let src = Arc::new(AtomicPtr::new(hot));
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let stalled = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let src = Arc::clone(&src);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                smr.begin_op(1); // announce an epoch and never advance
+                let p = smr.protect(1, 0, &src).unwrap();
+                tx.send(()).unwrap();
+                while hold.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                // The protected node must still be readable even though
+                // thousands of epoch-mode frees were blocked and POP
+                // reclaimed around us.
+                assert_eq!(unsafe { (*p).v }, 9);
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+        rx.recv().unwrap();
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..4000u64 {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        let s = smr.stats().snapshot();
+        assert!(s.pop_passes >= 1, "stall must engage publish-on-ping");
+        assert!(s.pings_sent >= 1);
+        let bound = (smr.config().pop_c * smr.config().reclaim_freq
+            + smr.config().max_threads * smr.config().slots) as u64;
+        assert!(
+            s.unreclaimed_nodes() <= bound,
+            "garbage {} exceeds EpochPOP bound {} despite stalled reader",
+            s.unreclaimed_nodes(),
+            bound
+        );
+        hold.store(false, Ordering::Release);
+        stalled.join().unwrap();
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg0);
+    }
+
+    #[test]
+    fn flush_drains_via_both_modes() {
+        let smr = EpochPop::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        smr.begin_op(0);
+        for i in 0..10 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        // Still inside an op: epoch pass can't free everything, flush
+        // escalates to POP which skips only the (empty) reserved set.
+        smr.end_op(0);
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg);
+    }
+}

@@ -1,0 +1,273 @@
+//! `HE` — hazard eras (Ramalhete & Correia 2017; paper Appendix B.1,
+//! Alg. 4).
+//!
+//! Readers reserve the current *era* (a global monotonically increasing
+//! timestamp) instead of individual pointers. A fence is needed only when
+//! the era changed since the slot's last publication, which amortizes the
+//! per-read cost of classic HP. A node is freeable when no reserved era
+//! intersects its `[birth_era, retire_era]` lifespan.
+
+use core::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::base::{free_era_unreserved, DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::Retired;
+use crate::smr::{ReadResult, Smr};
+use crate::stats::DomainStats;
+
+/// Era slot value meaning "nothing reserved".
+pub(crate) const NONE: u64 = 0;
+
+struct ThreadState {
+    retire: RetireSlot,
+}
+
+/// Hazard eras with eager (fenced) era publication.
+pub struct HazardEra {
+    base: DomainBase,
+    /// Global era clock, starts at 1 (0 is the NONE sentinel).
+    era: CachePadded<AtomicU64>,
+    /// `sharedReservations[tid][slot]` holding era numbers.
+    shared: Box<[AtomicU64]>,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl HazardEra {
+    #[inline(always)]
+    fn idx(&self, tid: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.base.cfg.slots);
+        tid * self.base.cfg.slots + slot
+    }
+
+    fn collect_reserved_eras(&self) -> Vec<u64> {
+        let slots = self.base.cfg.slots;
+        let mut v = Vec::with_capacity(self.base.cfg.max_threads * slots);
+        for t in 0..self.base.cfg.max_threads {
+            if !self.base.is_registered(t) {
+                continue;
+            }
+            for s in 0..slots {
+                let e = self.shared[t * slots + s].load(Ordering::Acquire);
+                if e != NONE {
+                    v.push(e);
+                }
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn reclaim(&self, tid: usize) {
+        // Alg. 4 line 21: advance the era so nodes retired from now on have
+        // disjoint lifespans from long-held reservations.
+        self.era.fetch_add(1, Ordering::AcqRel);
+        fence(Ordering::SeqCst);
+        let reserved = self.collect_reserved_eras();
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        // SAFETY: `reserved` contains every published era; a node whose
+        // lifespan misses all of them cannot be reachable from any reader.
+        unsafe { free_era_unreserved(&self.base, list, &reserved) };
+    }
+}
+
+impl Smr for HazardEra {
+    const NAME: &'static str = "HE";
+    const ROBUST: bool = true;
+    const NEEDS_SIGNALS: bool = false;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let cells = cfg.max_threads * cfg.slots;
+        let mut shared = Vec::with_capacity(cells);
+        shared.resize_with(cells, || AtomicU64::new(NONE));
+        let n = cfg.max_threads;
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+            })
+        });
+        Arc::new(HazardEra {
+            base: DomainBase::new(cfg),
+            era: CachePadded::new(AtomicU64::new(1)),
+            shared: shared.into_boxed_slice(),
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+        for s in 0..self.base.cfg.slots {
+            self.shared[self.idx(tid, s)].store(NONE, Ordering::Release);
+        }
+    }
+
+    fn unregister(&self, tid: usize) {
+        self.end_op(tid);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        self.base.release(tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, _tid: usize) {}
+
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        for s in 0..self.base.cfg.slots {
+            self.shared[self.idx(tid, s)].store(NONE, Ordering::Release);
+        }
+    }
+
+    /// Alg. 4 `read()`: fence only when the era advanced since this slot's
+    /// last publication.
+    #[inline]
+    fn protect<T>(&self, tid: usize, slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        let cell = &self.shared[self.idx(tid, slot)];
+        let mut prev_era = cell.load(Ordering::Relaxed);
+        loop {
+            let p = src.load(Ordering::Acquire);
+            let e = self.era.load(Ordering::Acquire);
+            if e == prev_era {
+                return Ok(p);
+            }
+            cell.store(e, Ordering::Release);
+            // The amortized StoreLoad fence (only on era change).
+            fence(Ordering::SeqCst);
+            prev_era = e;
+        }
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() >= self.base.cfg.reclaim_freq {
+            self.reclaim(tid);
+        }
+    }
+
+    fn current_era(&self) -> u64 {
+        self.era.load(Ordering::Acquire)
+    }
+
+    fn flush(&self, tid: usize) {
+        self.reclaim(tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::retire_node;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &HazardEra, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn era_reservation_blocks_intersecting_lifespans() {
+        let smr = HazardEra::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let reg0 = smr.register(0);
+        let reg1 = smr.register(1);
+        // Thread 1 reserves the current era by protecting something.
+        let hot = alloc(&smr, 7);
+        let src = AtomicPtr::new(hot);
+        let _ = smr.protect(1, 0, &src).unwrap();
+        // Thread 0 retires `hot` (its lifespan covers t1's reserved era).
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        // `hot` must survive; the fillers were born after the reserved era
+        // but their lifespans *also* intersect it only if retired while it
+        // was current — at minimum `hot` survives.
+        assert!(s.unreclaimed_nodes() >= 1, "reserved-era node retained");
+        smr.end_op(1);
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg1);
+        drop(reg0);
+    }
+
+    #[test]
+    fn era_advances_on_reclaim() {
+        let smr = HazardEra::new(SmrConfig::for_tests(1).with_reclaim_freq(2));
+        let reg = smr.register(0);
+        let e0 = smr.current_era();
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        assert!(smr.current_era() > e0);
+        drop(reg);
+    }
+
+    #[test]
+    fn stable_era_needs_no_republication() {
+        let smr = HazardEra::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        let node = alloc(&smr, 1);
+        let src = AtomicPtr::new(node);
+        let _ = smr.protect(0, 0, &src).unwrap();
+        let published = smr.shared[0].load(Ordering::Acquire);
+        assert_eq!(published, smr.current_era());
+        // Era unchanged: repeated protects must keep the same reservation.
+        for _ in 0..10 {
+            let _ = smr.protect(0, 0, &src).unwrap();
+        }
+        assert_eq!(smr.shared[0].load(Ordering::Acquire), published);
+        unsafe { drop(Box::from_raw(node)) };
+        drop(reg);
+    }
+
+    #[test]
+    fn quiescent_single_thread_drains_completely() {
+        let smr = HazardEra::new(SmrConfig::for_tests(1).with_reclaim_freq(8));
+        let reg = smr.register(0);
+        for i in 0..64 {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg);
+    }
+}

@@ -1,0 +1,254 @@
+//! **`HazardEraPOP`** — hazard eras with publish-on-ping (paper Appendix
+//! B.2, Alg. 5).
+//!
+//! Like [`crate::schemes::he::HazardEra`], readers reserve eras — but
+//! privately, with relaxed stores and *no fence even on era change*
+//! (Alg. 5 line 16: "no store load fence needed"). Reservations reach
+//! reclaimers through the ping → signal-handler → publish path shared with
+//! HazardPtrPOP. Before pinging, the reclaimer advances the global era so
+//! that reservations made after the ping cannot cover the retiring nodes'
+//! lifespans (the safety argument of Property 6 relies on this advance).
+
+use core::sync::atomic::{compiler_fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use pop_runtime::signal::register_publisher;
+use pop_runtime::PublisherHandle;
+
+use crate::base::{free_era_unreserved, DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::Retired;
+use crate::pop_shared::PopShared;
+use crate::smr::{ReadResult, Smr};
+use crate::stats::DomainStats;
+
+struct ThreadState {
+    retire: RetireSlot,
+}
+
+/// Hazard eras that publish reservations on ping.
+pub struct HazardEraPop {
+    base: DomainBase,
+    era: CachePadded<AtomicU64>,
+    /// Era words (0 = NONE) flowing local → shared on ping.
+    pop: &'static PopShared,
+    publisher: PublisherHandle,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl HazardEraPop {
+    fn pop_reclaim(&self, tid: usize) {
+        self.base.stats.pop_passes.fetch_add(1, Ordering::Relaxed);
+        // Advance the era before pinging (see module docs).
+        self.era.fetch_add(1, Ordering::AcqRel);
+        self.pop.ping_all_and_wait(tid);
+        let reserved = self.pop.collect_reserved();
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        // SAFETY: all threads published (or deregistered); `reserved` holds
+        // every era any thread may rely on.
+        unsafe { free_era_unreserved(&self.base, list, &reserved) };
+    }
+}
+
+impl Smr for HazardEraPop {
+    const NAME: &'static str = "HazardEraPOP";
+    const ROBUST: bool = true;
+    const NEEDS_SIGNALS: bool = true;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let n = cfg.max_threads;
+        let base = DomainBase::new(cfg);
+        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
+        let publisher = register_publisher(pop);
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+            })
+        });
+        Arc::new(HazardEraPop {
+            base,
+            era: CachePadded::new(AtomicU64::new(1)),
+            pop,
+            publisher,
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn bind_gtid(&self, tid: usize, gtid: usize) {
+        self.base.bind_gtid(tid, gtid);
+        self.pop.register(tid, gtid);
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+    }
+
+    fn unregister(&self, tid: usize) {
+        self.pop.clear_local(tid);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        self.pop.unregister(tid);
+        self.base.clear_gtid(tid);
+        self.base.release(tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, _tid: usize) {}
+
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        // Alg. 5 clear(): local era slots back to NONE.
+        self.pop.clear_local(tid);
+    }
+
+    /// Alg. 5 `read()`: reserve the era locally; no fence on era change.
+    #[inline]
+    fn protect<T>(&self, tid: usize, slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        let mut prev_era = self.pop.local_at(tid, slot);
+        loop {
+            let p = src.load(Ordering::Acquire);
+            let e = self.era.load(Ordering::Acquire);
+            if e == prev_era {
+                return Ok(p);
+            }
+            self.pop.set_local(tid, slot, e);
+            compiler_fence(Ordering::SeqCst);
+            prev_era = e;
+        }
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() >= self.base.cfg.reclaim_freq {
+            self.pop_reclaim(tid);
+        }
+    }
+
+    fn current_era(&self) -> u64 {
+        self.era.load(Ordering::Acquire)
+    }
+
+    fn flush(&self, tid: usize) {
+        self.pop_reclaim(tid);
+    }
+}
+
+impl Drop for HazardEraPop {
+    fn drop(&mut self) {
+        self.publisher.deactivate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::retire_node;
+    use std::sync::atomic::AtomicBool;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &HazardEraPop, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn local_era_reservation_is_private() {
+        let smr = HazardEraPop::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        let node = alloc(&smr, 1);
+        let src = AtomicPtr::new(node);
+        let _ = smr.protect(0, 0, &src).unwrap();
+        assert_eq!(smr.pop.local_at(0, 0), smr.current_era());
+        assert!(smr.pop.collect_reserved().is_empty(), "nothing shared yet");
+        unsafe { drop(Box::from_raw(node)) };
+        drop(reg);
+    }
+
+    #[test]
+    fn pinged_reader_era_blocks_freeing() {
+        let smr = HazardEraPop::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let reg0 = smr.register(0);
+        let hot = alloc(&smr, 7);
+        let src = Arc::new(AtomicPtr::new(hot));
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let src = Arc::clone(&src);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                let p = smr.protect(1, 0, &src).unwrap();
+                tx.send(()).unwrap();
+                while hold.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(unsafe { (*p).v }, 7, "node alive under reserved era");
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+        rx.recv().unwrap();
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert!(s.pings_sent >= 1);
+        assert!(
+            s.unreclaimed_nodes() >= 1,
+            "hot node's lifespan intersects the reader's published era"
+        );
+        hold.store(false, Ordering::Release);
+        reader.join().unwrap();
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg0);
+    }
+
+    #[test]
+    fn era_advances_before_ping() {
+        let smr = HazardEraPop::new(SmrConfig::for_tests(1).with_reclaim_freq(2));
+        let reg = smr.register(0);
+        let e0 = smr.current_era();
+        for i in 0..4 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        assert!(smr.current_era() > e0, "reclaim must advance the era");
+        drop(reg);
+    }
+}

@@ -1,0 +1,270 @@
+//! `HP` — classic hazard pointers (Michael 2004; paper §2.1).
+//!
+//! Every protected read stores the pointer to a shared SWMR slot, executes
+//! a **full memory fence**, and re-reads the source to validate
+//! reachability. The per-read fence is the overhead publish-on-ping
+//! removes; this implementation is the faithful baseline.
+
+use core::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::{unmark_word, Retired};
+use crate::smr::{ReadResult, Smr};
+use crate::stats::DomainStats;
+
+struct ThreadState {
+    retire: RetireSlot,
+}
+
+/// Classic eager-publishing hazard pointers.
+pub struct HazardPtr {
+    base: DomainBase,
+    /// `sharedReservations[tid][slot]` — eagerly published on every read.
+    shared: Box<[AtomicU64]>,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl HazardPtr {
+    #[inline(always)]
+    fn idx(&self, tid: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.base.cfg.slots);
+        tid * self.base.cfg.slots + slot
+    }
+
+    fn collect_reserved(&self) -> Vec<u64> {
+        let slots = self.base.cfg.slots;
+        let mut v = Vec::with_capacity(self.base.cfg.max_threads * slots);
+        for t in 0..self.base.cfg.max_threads {
+            if !self.base.is_registered(t) {
+                continue;
+            }
+            for s in 0..slots {
+                let w = self.shared[t * slots + s].load(Ordering::Acquire);
+                if w != 0 {
+                    v.push(w);
+                }
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn reclaim(&self, tid: usize) {
+        // Order the reservation scan after this thread's preceding unlinks
+        // (pairs with readers' per-read fences).
+        fence(Ordering::SeqCst);
+        let reserved = self.collect_reserved();
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        // SAFETY: `reserved` covers every published reservation; HP readers
+        // publish (with a fence) before dereferencing.
+        unsafe { free_unreserved(&self.base, list, &reserved) };
+    }
+
+}
+
+impl Smr for HazardPtr {
+    const NAME: &'static str = "HP";
+    const ROBUST: bool = true;
+    const NEEDS_SIGNALS: bool = false;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let cells = cfg.max_threads * cfg.slots;
+        let mut shared = Vec::with_capacity(cells);
+        shared.resize_with(cells, || AtomicU64::new(0));
+        let n = cfg.max_threads;
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+            })
+        });
+        Arc::new(HazardPtr {
+            base: DomainBase::new(cfg),
+            shared: shared.into_boxed_slice(),
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+        for s in 0..self.base.cfg.slots {
+            self.shared[self.idx(tid, s)].store(0, Ordering::Release);
+        }
+    }
+
+    fn unregister(&self, tid: usize) {
+        self.end_op(tid);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        self.base.release(tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, _tid: usize) {}
+
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        for s in 0..self.base.cfg.slots {
+            self.shared[self.idx(tid, s)].store(0, Ordering::Release);
+        }
+    }
+
+    #[inline]
+    fn protect<T>(&self, tid: usize, slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        let cell = &self.shared[self.idx(tid, slot)];
+        loop {
+            let p = src.load(Ordering::Acquire);
+            cell.store(unmark_word(p as u64), Ordering::Release);
+            // The fence every read pays in classic HP (paper §2.1.1 step 2):
+            // makes the reservation visible before the validation re-read.
+            fence(Ordering::SeqCst);
+            if src.load(Ordering::Acquire) == p {
+                return Ok(p);
+            }
+        }
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() >= self.base.cfg.reclaim_freq {
+            self.reclaim(tid);
+        }
+    }
+
+    fn flush(&self, tid: usize) {
+        self.reclaim(tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::retire_node;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &HazardPtr, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(0, core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn protect_records_and_validates() {
+        let smr = HazardPtr::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        let node = alloc(&smr, 1);
+        let src = AtomicPtr::new(node);
+        let got = smr.protect(0, 0, &src).unwrap();
+        assert_eq!(got, node);
+        assert_eq!(
+            smr.shared[0].load(Ordering::Acquire),
+            node as u64,
+            "reservation published eagerly"
+        );
+        smr.end_op(0);
+        assert_eq!(smr.shared[0].load(Ordering::Acquire), 0);
+        unsafe { drop(Box::from_raw(node)) };
+        drop(reg);
+    }
+
+    #[test]
+    fn reserved_nodes_survive_reclaim() {
+        let smr = HazardPtr::new(SmrConfig::for_tests(2).with_reclaim_freq(8));
+        let reg0 = smr.register(0);
+        let reg1 = smr.register(1);
+        // Thread 1 protects a node...
+        let hot = alloc(&smr, 42);
+        let src = AtomicPtr::new(hot);
+        let got = smr.protect(1, 0, &src).unwrap();
+        assert_eq!(got, hot);
+        // ...thread 0 retires it (simulating an unlink) plus filler.
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..16 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert!(s.freed_nodes >= 16, "unreserved filler freed");
+        assert_eq!(
+            s.unreclaimed_nodes(),
+            1,
+            "exactly the protected node survives"
+        );
+        // Release the protection: next pass frees it.
+        smr.end_op(1);
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg1);
+        drop(reg0);
+    }
+
+    #[test]
+    fn marked_pointers_are_unmarked_in_reservations() {
+        let smr = HazardPtr::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        let node = alloc(&smr, 7);
+        let marked = (node as u64 | 1) as *mut N;
+        let src = AtomicPtr::new(marked);
+        let got = smr.protect(0, 0, &src).unwrap();
+        assert_eq!(got as u64, node as u64 | 1, "mark returned to the caller");
+        assert_eq!(
+            smr.shared[0].load(Ordering::Acquire),
+            node as u64,
+            "reservation recorded unmarked"
+        );
+        unsafe { drop(Box::from_raw(node)) };
+        drop(reg);
+    }
+
+    #[test]
+    fn quarantine_check_live_catches_freed_node() {
+        let smr = HazardPtr::new(SmrConfig::for_tests(1).with_quarantine());
+        let reg = smr.register(0);
+        let node = alloc(&smr, 5);
+        unsafe { retire_node(&*smr, 0, node) };
+        smr.flush(0); // frees into quarantine (not reserved)
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            smr.check_live(node);
+        }));
+        assert!(r.is_err(), "check_live of a freed node must panic");
+        // A live node passes.
+        let live = alloc(&smr, 6);
+        smr.check_live(live);
+        unsafe { drop(Box::from_raw(live)) };
+        drop(reg);
+    }
+}

@@ -1,0 +1,313 @@
+//! `HPAsym` — hazard pointers with an asymmetric process-wide barrier
+//! (the Folly / `sys_membarrier` design the paper benchmarks as `HPAsym`).
+//!
+//! Readers publish reservations to the shared slots with **relaxed** stores
+//! (no fence) and validate with a re-read; the StoreLoad ordering that
+//! classic HP pays per read is executed *once per reclamation pass* by the
+//! reclaimer as a process-wide barrier:
+//!
+//! * `membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)` when the kernel
+//!   supports it, or
+//! * a signal-driven barrier otherwise (every registered thread's handler
+//!   executes a fence and bumps a counter — liburcu's "signal flavor"),
+//!   reusing the publish-on-ping engine with the copy step degenerate
+//!   (reservations are already shared).
+//!
+//! Correctness of the relaxed-store fast path: the reclaimer's barrier sits
+//! between unlink and scan. Any reader whose reservation store was not yet
+//! visible at the barrier must execute its validation load after the
+//! barrier, and therefore observes the unlink and retries (paper §2.1.2
+//! discussion of [Dice et al.] and Folly).
+
+use core::sync::atomic::{compiler_fence, fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use pop_runtime::membarrier;
+use pop_runtime::signal::register_publisher;
+use pop_runtime::PublisherHandle;
+
+use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::{unmark_word, Retired};
+use crate::pop_shared::PopShared;
+use crate::smr::{ReadResult, Smr};
+use crate::stats::DomainStats;
+
+struct ThreadState {
+    retire: RetireSlot,
+}
+
+/// Folly-style hazard pointers with asymmetric fences.
+pub struct HazardPtrAsym {
+    base: DomainBase,
+    /// Eagerly-shared reservations (relaxed stores).
+    shared: Box<[AtomicU64]>,
+    /// Signal fallback barrier (0 copy slots: reservations are already
+    /// shared; the handler contributes its fence + counter increment).
+    barrier: &'static PopShared,
+    publisher: PublisherHandle,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl HazardPtrAsym {
+    #[inline(always)]
+    fn idx(&self, tid: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.base.cfg.slots);
+        tid * self.base.cfg.slots + slot
+    }
+
+    fn collect_reserved(&self) -> Vec<u64> {
+        let slots = self.base.cfg.slots;
+        let mut v = Vec::with_capacity(self.base.cfg.max_threads * slots);
+        for t in 0..self.base.cfg.max_threads {
+            if !self.base.is_registered(t) {
+                continue;
+            }
+            for s in 0..slots {
+                let w = self.shared[t * slots + s].load(Ordering::Acquire);
+                if w != 0 {
+                    v.push(w);
+                }
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The heavy side of the asymmetric barrier.
+    fn heavy_barrier(&self, tid: usize) {
+        if membarrier::heavy() {
+            self.base.stats.membarriers.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Signal fallback: each handler fences and bumps its counter;
+            // waiting for all counters gives the same process-wide ordering.
+            self.barrier.ping_all_and_wait(tid);
+        }
+    }
+
+    fn reclaim(&self, tid: usize) {
+        fence(Ordering::SeqCst);
+        self.heavy_barrier(tid);
+        let reserved = self.collect_reserved();
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        // SAFETY: post-barrier, every reader either has its reservation
+        // visible in `reserved` or will fail validation against the unlink.
+        unsafe { free_unreserved(&self.base, list, &reserved) };
+    }
+
+
+    /// Whether this process reclaims via `membarrier(2)` (vs signals).
+    pub fn uses_membarrier(&self) -> bool {
+        membarrier::is_available()
+    }
+}
+
+impl Smr for HazardPtrAsym {
+    const NAME: &'static str = "HPAsym";
+    const ROBUST: bool = true;
+    // Register with the signal registry for the fallback barrier.
+    const NEEDS_SIGNALS: bool = true;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let cells = cfg.max_threads * cfg.slots;
+        let mut shared = Vec::with_capacity(cells);
+        shared.resize_with(cells, || AtomicU64::new(0));
+        let n = cfg.max_threads;
+        let base = DomainBase::new(cfg);
+        // Zero copy-slots: the barrier publisher only fences and counts.
+        let barrier = PopShared::leak(n, 0, Arc::clone(&base.stats));
+        let publisher = register_publisher(barrier);
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+            })
+        });
+        Arc::new(HazardPtrAsym {
+            base,
+            shared: shared.into_boxed_slice(),
+            barrier,
+            publisher,
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn bind_gtid(&self, tid: usize, gtid: usize) {
+        self.base.bind_gtid(tid, gtid);
+        self.barrier.register(tid, gtid);
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+        for s in 0..self.base.cfg.slots {
+            self.shared[self.idx(tid, s)].store(0, Ordering::Release);
+        }
+    }
+
+    fn unregister(&self, tid: usize) {
+        self.end_op(tid);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        self.barrier.unregister(tid);
+        self.base.clear_gtid(tid);
+        self.base.release(tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, _tid: usize) {}
+
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        for s in 0..self.base.cfg.slots {
+            self.shared[self.idx(tid, s)].store(0, Ordering::Release);
+        }
+    }
+
+    /// Fence-free protected read: relaxed reservation store + validation.
+    #[inline]
+    fn protect<T>(&self, tid: usize, slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        let cell = &self.shared[self.idx(tid, slot)];
+        loop {
+            let p = src.load(Ordering::Acquire);
+            cell.store(unmark_word(p as u64), Ordering::Relaxed);
+            // Keep the store before the validation load in program order;
+            // free at run time — the reclaimer's barrier does the real work.
+            compiler_fence(Ordering::SeqCst);
+            if src.load(Ordering::Acquire) == p {
+                return Ok(p);
+            }
+        }
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() >= self.base.cfg.reclaim_freq {
+            self.reclaim(tid);
+        }
+    }
+
+    fn flush(&self, tid: usize) {
+        self.reclaim(tid);
+    }
+}
+
+impl Drop for HazardPtrAsym {
+    fn drop(&mut self) {
+        self.publisher.deactivate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::retire_node;
+    use std::sync::atomic::AtomicBool;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &HazardPtrAsym, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(0, core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn protect_publishes_eagerly_without_fence() {
+        let smr = HazardPtrAsym::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        let node = alloc(&smr, 1);
+        let src = AtomicPtr::new(node);
+        let _ = smr.protect(0, 0, &src).unwrap();
+        assert_eq!(
+            smr.shared[0].load(Ordering::Acquire),
+            node as u64,
+            "reservation must be in the shared slot immediately"
+        );
+        unsafe { drop(Box::from_raw(node)) };
+        drop(reg);
+    }
+
+    #[test]
+    fn barrier_reclaim_respects_cross_thread_reservation() {
+        let smr = HazardPtrAsym::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let reg0 = smr.register(0);
+        let hot = alloc(&smr, 7);
+        let src = Arc::new(AtomicPtr::new(hot));
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let src = Arc::clone(&src);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                let p = smr.protect(1, 0, &src).unwrap();
+                tx.send(()).unwrap();
+                while hold.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(unsafe { (*p).v }, 7);
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+        rx.recv().unwrap();
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 1);
+        hold.store(false, Ordering::Release);
+        reader.join().unwrap();
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg0);
+    }
+
+    #[test]
+    fn some_heavy_barrier_mechanism_ran() {
+        let smr = HazardPtrAsym::new(SmrConfig::for_tests(1).with_reclaim_freq(2));
+        let reg = smr.register(0);
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        let s = smr.stats().snapshot();
+        assert!(
+            s.membarriers > 0 || s.publishes > 0,
+            "either membarrier or the signal fallback must have executed"
+        );
+        drop(reg);
+    }
+}

@@ -1,0 +1,335 @@
+//! **`HazardPtrPOP`** — hazard pointers with publish-on-ping (paper §4.1,
+//! Algorithms 1–2). The primary contribution.
+//!
+//! Reads record reservations with a relaxed store into thread-private slots
+//! — *no fence* (Alg. 1 line 12: "no store load fence needed"). When a
+//! reclaimer's retire list reaches the threshold it pings every registered
+//! thread with a POSIX signal; each handler copies local → shared
+//! reservations, fences once, and bumps its publish counter. The reclaimer
+//! waits for all counters to advance, scans the shared slots, and frees
+//! everything unreserved.
+//!
+//! Robustness (paper Property 3): at most `N × H` nodes (threads × slots)
+//! can ever be exempted from a reclamation pass, so per-thread garbage is
+//! bounded by `reclaim_freq + N × H`.
+
+use core::sync::atomic::{compiler_fence, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use pop_runtime::signal::register_publisher;
+use pop_runtime::PublisherHandle;
+
+use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::{unmark_word, Retired};
+use crate::pop_shared::PopShared;
+use crate::smr::{ReadResult, Smr};
+use crate::stats::DomainStats;
+
+struct ThreadState {
+    retire: RetireSlot,
+}
+
+/// Hazard pointers that publish reservations on ping.
+pub struct HazardPtrPop {
+    base: DomainBase,
+    /// Leaked shared state reachable from the signal handler.
+    pop: &'static PopShared,
+    publisher: PublisherHandle,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl HazardPtrPop {
+    /// The paper's `retire` threshold path (Alg. 1 lines 18–22):
+    /// `collectPublishedCounters; pingAllToPublish; waitForAllPublished;
+    /// reclaimHPFreeable`.
+    fn pop_reclaim(&self, tid: usize) {
+        self.base.stats.pop_passes.fetch_add(1, Ordering::Relaxed);
+        self.pop.ping_all_and_wait(tid);
+        let reserved = self.pop.collect_reserved();
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        // SAFETY: every thread published (counter advanced) or deregistered
+        // (flushing empty reservations); `reserved` therefore covers every
+        // pointer any thread can still dereference.
+        unsafe { free_unreserved(&self.base, list, &reserved) };
+    }
+
+
+    /// Test observability: currently published (shared) reservations.
+    #[doc(hidden)]
+    pub fn published_reservations(&self) -> Vec<u64> {
+        self.pop.collect_reserved()
+    }
+}
+
+impl Smr for HazardPtrPop {
+    const NAME: &'static str = "HazardPtrPOP";
+    const ROBUST: bool = true;
+    const NEEDS_SIGNALS: bool = true;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let n = cfg.max_threads;
+        let base = DomainBase::new(cfg);
+        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
+        let publisher = register_publisher(pop);
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+            })
+        });
+        Arc::new(HazardPtrPop {
+            base,
+            pop,
+            publisher,
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn bind_gtid(&self, tid: usize, gtid: usize) {
+        self.base.bind_gtid(tid, gtid);
+        self.pop.register(tid, gtid);
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+    }
+
+    fn unregister(&self, tid: usize) {
+        self.pop.clear_local(tid);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        self.pop.unregister(tid);
+        self.base.clear_gtid(tid);
+        self.base.release(tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, _tid: usize) {}
+
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        // Paper's clear(): reset local reservations when going quiescent.
+        self.pop.clear_local(tid);
+    }
+
+    /// Alg. 1 `read()`: load, reserve locally (relaxed), validate. The
+    /// `compiler_fence` pins program order in codegen but emits no
+    /// instruction — signal delivery is the synchronization point.
+    #[inline]
+    fn protect<T>(&self, tid: usize, slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        loop {
+            let p = src.load(Ordering::Acquire);
+            self.pop.set_local(tid, slot, unmark_word(p as u64));
+            compiler_fence(Ordering::SeqCst);
+            if src.load(Ordering::Acquire) == p {
+                return Ok(p);
+            }
+        }
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() >= self.base.cfg.reclaim_freq {
+            self.pop_reclaim(tid);
+        }
+    }
+
+    fn flush(&self, tid: usize) {
+        self.pop_reclaim(tid);
+    }
+}
+
+impl Drop for HazardPtrPop {
+    fn drop(&mut self) {
+        // Stop handler dispatches; the PopShared arrays stay leaked by
+        // design (a dispatch may be in flight on another thread).
+        self.publisher.deactivate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::retire_node;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &HazardPtrPop, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(0, core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn reservations_stay_private_until_ping() {
+        let smr = HazardPtrPop::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        let node = alloc(&smr, 1);
+        let src = AtomicPtr::new(node);
+        let _ = smr.protect(0, 0, &src).unwrap();
+        assert!(
+            smr.published_reservations().is_empty(),
+            "no eager publication — the defining property of POP"
+        );
+        unsafe { drop(Box::from_raw(node)) };
+        drop(reg);
+    }
+
+    #[test]
+    fn single_thread_reclaim_respects_own_reservations() {
+        let smr = HazardPtrPop::new(SmrConfig::for_tests(1).with_reclaim_freq(4));
+        let reg = smr.register(0);
+        let hot = alloc(&smr, 42);
+        let src = AtomicPtr::new(hot);
+        let _ = smr.protect(0, 0, &src).unwrap();
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0); // drain sub-threshold leftovers
+        let s = smr.stats().snapshot();
+        assert!(s.pop_passes >= 1, "threshold reclaim ran");
+        assert_eq!(
+            s.unreclaimed_nodes(),
+            1,
+            "self-published reservation protects the hot node"
+        );
+        smr.end_op(0);
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg);
+    }
+
+    #[test]
+    fn cross_thread_ping_publishes_and_protects() {
+        let smr = HazardPtrPop::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let reg0 = smr.register(0);
+        let hot = alloc(&smr, 7);
+        let src = Arc::new(AtomicPtr::new(hot));
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let src = Arc::clone(&src);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                let p = smr.protect(1, 0, &src).unwrap();
+                tx.send(()).unwrap();
+                // Keep the protection while spinning; the reclaimer's ping
+                // interrupts this loop and publishes our reservation.
+                while hold.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                // Node must still be dereferenceable here.
+                assert_eq!(unsafe { (*p).v }, 7);
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+
+        rx.recv().unwrap();
+        // Unlink and retire the protected node plus filler, forcing a
+        // publish-on-ping reclamation pass.
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert!(s.pings_sent >= 1, "reclaimer pinged the reader");
+        assert!(s.publishes >= 1, "reader's handler published");
+        assert_eq!(
+            s.unreclaimed_nodes(),
+            1,
+            "pinged reader's reservation was honored"
+        );
+        hold.store(false, Ordering::Release);
+        reader.join().unwrap();
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg0);
+    }
+
+    #[test]
+    fn robustness_bound_holds_with_stalled_reader() {
+        // A reader stalls while holding one protection; the writer keeps
+        // retiring. Unlike EBR, garbage must stay bounded.
+        let cfg = SmrConfig::for_tests(2).with_reclaim_freq(32);
+        let smr = HazardPtrPop::new(cfg);
+        let reg0 = smr.register(0);
+        let hot = alloc(&smr, 9);
+        let src = Arc::new(AtomicPtr::new(hot));
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let src = Arc::clone(&src);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                let _ = smr.protect(1, 0, &src).unwrap();
+                tx.send(()).unwrap();
+                while hold.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+        rx.recv().unwrap();
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..2000u64 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        let s = smr.stats().snapshot();
+        let bound = (smr.config().reclaim_freq
+            + smr.config().max_threads * smr.config().slots) as u64;
+        assert!(
+            s.unreclaimed_nodes() <= bound,
+            "garbage {} exceeds robustness bound {}",
+            s.unreclaimed_nodes(),
+            bound
+        );
+        hold.store(false, Ordering::Release);
+        reader.join().unwrap();
+        drop(reg0);
+    }
+}

@@ -1,0 +1,276 @@
+//! `IBR` — interval-based reclamation, 2GE variant (Wen et al. 2018).
+//!
+//! Each thread publishes one reservation *interval* `[lower, upper]` of
+//! epochs instead of per-slot eras. `begin_op` announces the current epoch
+//! as both bounds; each protected read raises `upper` to the current epoch
+//! (with an ordered store only when the epoch changed — the same
+//! amortization as hazard eras, but with a single interval per thread).
+//! A node is freeable when its `[birth_era, retire_era]` lifespan
+//! intersects no thread's interval.
+
+use core::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::base::{DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::Retired;
+use crate::smr::{ReadResult, Smr};
+use crate::stats::DomainStats;
+
+/// Interval bound announced while quiescent.
+const QUIESCENT: u64 = u64::MAX;
+
+struct ThreadState {
+    retire: RetireSlot,
+    op_count: AtomicU64,
+}
+
+/// 2GE interval-based reclamation.
+pub struct Ibr {
+    base: DomainBase,
+    epoch: CachePadded<AtomicU64>,
+    lower: Box<[CachePadded<AtomicU64>]>,
+    upper: Box<[CachePadded<AtomicU64>]>,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl Ibr {
+    fn collect_intervals(&self) -> Vec<(u64, u64)> {
+        let mut v = Vec::with_capacity(self.base.cfg.max_threads);
+        for t in 0..self.base.cfg.max_threads {
+            if !self.base.is_registered(t) {
+                continue;
+            }
+            let lo = self.lower[t].load(Ordering::SeqCst);
+            let hi = self.upper[t].load(Ordering::SeqCst);
+            if lo != QUIESCENT {
+                v.push((lo, hi));
+            }
+        }
+        v
+    }
+
+    fn reclaim(&self, tid: usize) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        fence(Ordering::SeqCst);
+        let intervals = self.collect_intervals();
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        let old = core::mem::take(list);
+        for r in old {
+            let birth = r.header().birth_era;
+            let retire = r.header().retire_era();
+            let blocked = intervals
+                .iter()
+                .any(|&(lo, hi)| birth <= hi && retire >= lo);
+            if blocked {
+                list.push(r);
+            } else {
+                // SAFETY: the node's lifespan intersects no announced
+                // interval, so no thread can have acquired a reference.
+                unsafe { self.base.free_now(r) };
+            }
+        }
+    }
+}
+
+impl Smr for Ibr {
+    const NAME: &'static str = "IBR";
+    const ROBUST: bool = true;
+    const NEEDS_SIGNALS: bool = false;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let n = cfg.max_threads;
+        let mut lower = Vec::with_capacity(n);
+        lower.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
+        let mut upper = Vec::with_capacity(n);
+        upper.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+                op_count: AtomicU64::new(0),
+            })
+        });
+        Arc::new(Ibr {
+            base: DomainBase::new(cfg),
+            epoch: CachePadded::new(AtomicU64::new(1)),
+            lower: lower.into_boxed_slice(),
+            upper: upper.into_boxed_slice(),
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+        self.lower[tid].store(QUIESCENT, Ordering::SeqCst);
+        self.upper[tid].store(QUIESCENT, Ordering::SeqCst);
+    }
+
+    fn unregister(&self, tid: usize) {
+        self.end_op(tid);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        self.base.release(tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, tid: usize) {
+        let ts = &self.threads[tid];
+        let c = ts.op_count.load(Ordering::Relaxed) + 1;
+        ts.op_count.store(c, Ordering::Relaxed);
+        if c % self.base.cfg.epoch_freq as u64 == 0 {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        let e = self.epoch.load(Ordering::Acquire);
+        self.lower[tid].store(e, Ordering::Relaxed);
+        // SeqCst on the second bound orders the whole announcement before
+        // subsequent reads (one fence per operation, as in EBR).
+        self.upper[tid].store(e, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        self.lower[tid].store(QUIESCENT, Ordering::Release);
+        self.upper[tid].store(QUIESCENT, Ordering::Release);
+    }
+
+    /// IBR's tagged read: raise `upper` (with an ordered store) only when
+    /// the global epoch moved since this thread's last announcement.
+    #[inline]
+    fn protect<T>(&self, tid: usize, _slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        let upper = &self.upper[tid];
+        let mut cur = upper.load(Ordering::Relaxed);
+        loop {
+            let p = src.load(Ordering::Acquire);
+            let e = self.epoch.load(Ordering::Acquire);
+            if e == cur {
+                return Ok(p);
+            }
+            // Epoch changed mid-read: extend the interval and re-read so
+            // the returned pointer's read is covered by the reservation.
+            upper.store(e, Ordering::SeqCst);
+            cur = e;
+        }
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() >= self.base.cfg.reclaim_freq {
+            self.reclaim(tid);
+        }
+    }
+
+    fn current_era(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn flush(&self, tid: usize) {
+        self.reclaim(tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::retire_node;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &Ibr, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn quiescent_thread_blocks_nothing() {
+        let smr = Ibr::new(SmrConfig::for_tests(2).with_reclaim_freq(8));
+        let reg0 = smr.register(0);
+        let reg1 = smr.register(1); // registered but quiescent
+        for i in 0..32 {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg1);
+        drop(reg0);
+    }
+
+    #[test]
+    fn old_interval_blocks_intersecting_nodes() {
+        let smr = Ibr::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let reg0 = smr.register(0);
+        let reg1 = smr.register(1);
+        // Thread 1 opens an interval at the current epoch and stays in-op.
+        smr.begin_op(1);
+        let hot = alloc(&smr, 7);
+        let src = AtomicPtr::new(hot);
+        let _ = smr.protect(1, 0, &src).unwrap();
+        // Thread 0 retires `hot`: lifespan [now, now] intersects t1's
+        // interval → must be retained.
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        assert!(smr.stats().snapshot().unreclaimed_nodes() >= 1);
+        // Thread 1 leaves; everything drains.
+        smr.end_op(1);
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg1);
+        drop(reg0);
+    }
+
+    #[test]
+    fn interval_extends_on_epoch_change() {
+        let smr = Ibr::new(SmrConfig::for_tests(1).with_epoch_freq(1));
+        let reg = smr.register(0);
+        smr.begin_op(0);
+        let lo0 = smr.lower[0].load(Ordering::SeqCst);
+        // Advance the epoch underneath the running op.
+        smr.epoch.fetch_add(5, Ordering::AcqRel);
+        let node = alloc(&smr, 1);
+        let src = AtomicPtr::new(node);
+        let _ = smr.protect(0, 0, &src).unwrap();
+        let hi = smr.upper[0].load(Ordering::SeqCst);
+        assert!(hi >= lo0 + 5, "upper bound must chase the epoch");
+        assert_eq!(smr.lower[0].load(Ordering::SeqCst), lo0, "lower pinned");
+        smr.end_op(0);
+        unsafe { drop(Box::from_raw(node)) };
+        drop(reg);
+    }
+}

@@ -1,0 +1,27 @@
+//! The eleven reclamation schemes.
+//!
+//! | Module | Scheme | Paper role |
+//! |--------|--------|------------|
+//! | [`nr`] | `NR` — no reclamation (leak) | baseline floor |
+//! | [`ebr`] | `EBR` — RCU-style epochs (Alg. 6) | fast, not robust |
+//! | [`hp`] | `HP` — classic hazard pointers | robust, fence per read |
+//! | [`hp_asym`] | `HPAsym` — membarrier/Folly-style HP | baseline |
+//! | [`hp_pop`] | **`HazardPtrPOP`** (Alg. 1–2) | contribution |
+//! | [`he`] | `HE` — hazard eras (Alg. 4) | baseline |
+//! | [`he_pop`] | **`HazardEraPOP`** (Alg. 5) | contribution |
+//! | [`epoch_pop`] | **`EpochPOP`** (Alg. 3) | contribution |
+//! | [`ibr`] | `IBR` — 2GE interval-based | baseline |
+//! | [`nbr`] | `NBR+` — neutralization (cooperative) | baseline |
+//! | [`hyaline`] | `Hyaline-1` — Crystalline-family batch refcounting | appendix baseline |
+
+pub mod ebr;
+pub mod epoch_pop;
+pub mod he;
+pub mod he_pop;
+pub mod hp;
+pub mod hp_asym;
+pub mod hp_pop;
+pub mod hyaline;
+pub mod ibr;
+pub mod nbr;
+pub mod nr;

@@ -1,0 +1,548 @@
+//! `NBR+` — neutralization-based reclamation (Singh, Brown & Mashtizadeh
+//! 2021/2024), in the *cooperative* variant described in DESIGN.md (S2).
+//!
+//! NBR readers hold **no reservations at all** during read phases — the
+//! fastest possible read path. Before writing, a thread publishes the few
+//! pointers its write will touch (`begin_write`), with one fence. A
+//! reclaimer *neutralizes* all other threads: in the original, the signal
+//! handler `siglongjmp`s read-phase threads back to their operation entry;
+//! here (longjmp across Rust frames is UB) the handler raises a per-thread
+//! flag that readers consume at the next [`NbrPlus::protect`] /
+//! [`NbrPlus::check_restart`], returning `Restart` so the operation unwinds
+//! to its entry point and acknowledges via a restart counter.
+//!
+//! The reclaimer frees only after every other thread is (a) quiescent,
+//! (b) began a fresh operation, (c) in a write phase (its reservations are
+//! honored), or (d) acknowledged a restart — so no thread can still hold a
+//! read-phase pointer obtained before the retirees were unlinked. This
+//! preserves NBR's observable costs: reservation-free reads, and frequent
+//! restarts of long-running read operations under reclamation pressure
+//! (the paper's Figure 4 effect).
+
+use core::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use pop_runtime::signal::{ping_gtid, register_publisher};
+use pop_runtime::{Publisher, PublisherHandle};
+
+use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::config::SmrConfig;
+use crate::header::{unmark_word, Header, Retired};
+use crate::smr::{ReadResult, Restart, Smr};
+use crate::stats::DomainStats;
+
+struct ThreadState {
+    retire: RetireSlot,
+}
+
+/// Signal-handler-visible shared state (leaked, like `PopShared`).
+struct NbrShared {
+    nthreads: usize,
+    slots: usize,
+    /// Write-phase reservations, published in `begin_write`.
+    wres: Box<[AtomicU64]>,
+    /// Restart requested; consumed by the owner at the next checkpoint.
+    neutralized: Box<[CachePadded<AtomicBool>]>,
+    /// Owner is inside an operation.
+    in_op: Box<[CachePadded<AtomicBool>]>,
+    /// Owner is inside a write phase (reservations published).
+    in_write: Box<[CachePadded<AtomicBool>]>,
+    /// Restart acknowledgements.
+    restart_seq: Box<[CachePadded<AtomicU64>]>,
+    /// Operation sequence numbers (bumped each `begin_op`): a change proves
+    /// the thread went quiescent — equivalent to a restart for safety.
+    op_seq: Box<[CachePadded<AtomicU64>]>,
+    registered: Box<[AtomicBool]>,
+    gtid_of: Box<[AtomicUsize]>,
+    stats: Arc<DomainStats>,
+}
+
+impl NbrShared {
+    fn leak(nthreads: usize, slots: usize, stats: Arc<DomainStats>) -> &'static Self {
+        fn padded_u64(n: usize) -> Box<[CachePadded<AtomicU64>]> {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+            v.into_boxed_slice()
+        }
+        fn padded_bool(n: usize) -> Box<[CachePadded<AtomicBool>]> {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, || CachePadded::new(AtomicBool::new(false)));
+            v.into_boxed_slice()
+        }
+        let mut wres = Vec::with_capacity(nthreads * slots);
+        wres.resize_with(nthreads * slots, || AtomicU64::new(0));
+        let mut registered = Vec::with_capacity(nthreads);
+        registered.resize_with(nthreads, || AtomicBool::new(false));
+        let mut gtid_of = Vec::with_capacity(nthreads);
+        gtid_of.resize_with(nthreads, || AtomicUsize::new(0));
+        Box::leak(Box::new(NbrShared {
+            nthreads,
+            slots,
+            wres: wres.into_boxed_slice(),
+            neutralized: padded_bool(nthreads),
+            in_op: padded_bool(nthreads),
+            in_write: padded_bool(nthreads),
+            restart_seq: padded_u64(nthreads),
+            op_seq: padded_u64(nthreads),
+            registered: registered.into_boxed_slice(),
+            gtid_of: gtid_of.into_boxed_slice(),
+            stats,
+        }))
+    }
+
+    fn clear_wres(&self, tid: usize) {
+        for s in 0..self.slots {
+            self.wres[tid * self.slots + s].store(0, Ordering::Release);
+        }
+    }
+}
+
+impl Publisher for NbrShared {
+    /// Signal-handler side of neutralization: request a restart unless the
+    /// pinged thread is in a write phase. Atomics + fence only.
+    fn publish(&self, gtid: usize) {
+        for t in 0..self.nthreads {
+            if self.registered[t].load(Ordering::Acquire)
+                && self.gtid_of[t].load(Ordering::Acquire) == gtid + 1
+            {
+                if !self.in_write[t].load(Ordering::Acquire) {
+                    self.neutralized[t].store(true, Ordering::Release);
+                }
+                fence(Ordering::SeqCst);
+                self.stats.publishes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Cooperative neutralization-based reclamation.
+pub struct NbrPlus {
+    base: DomainBase,
+    shared: &'static NbrShared,
+    publisher: PublisherHandle,
+    threads: Box<[CachePadded<ThreadState>]>,
+}
+
+impl NbrPlus {
+    /// Consumes a pending neutralization, acknowledging the restart.
+    #[inline]
+    fn consume_neutralization(&self, tid: usize) -> bool {
+        let sh = self.shared;
+        if sh.neutralized[tid].load(Ordering::Relaxed)
+            && sh.neutralized[tid].swap(false, Ordering::AcqRel)
+        {
+            sh.restart_seq[tid].fetch_add(1, Ordering::Release);
+            self.base.stats.restarts.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn reclaim(&self, tid: usize) {
+        let sh = self.shared;
+        self.base.stats.pop_passes.fetch_add(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+
+        // Phase 1: snapshot progress counters, then request neutralization.
+        const SKIP: u64 = u64::MAX;
+        let mut seq0 = vec![SKIP; sh.nthreads];
+        let mut ops0 = vec![0u64; sh.nthreads];
+        for t in 0..sh.nthreads {
+            if t != tid && sh.registered[t].load(Ordering::Acquire) {
+                seq0[t] = sh.restart_seq[t].load(Ordering::Acquire);
+                ops0[t] = sh.op_seq[t].load(Ordering::Acquire);
+            }
+        }
+        let mut pings = 0u64;
+        for t in 0..sh.nthreads {
+            if seq0[t] != SKIP {
+                sh.neutralized[t].store(true, Ordering::SeqCst);
+            }
+        }
+        fence(Ordering::SeqCst);
+        for t in 0..sh.nthreads {
+            if seq0[t] != SKIP {
+                if let Some(g) = match sh.gtid_of[t].load(Ordering::Acquire) {
+                    0 => None,
+                    g => Some(g - 1),
+                } {
+                    if ping_gtid(g) {
+                        pings += 1;
+                    }
+                }
+            }
+        }
+        self.base.stats.pings_sent.fetch_add(pings, Ordering::Relaxed);
+
+        // Phase 2: wait until every peer provably holds no read-phase
+        // pointer predating our unlinks (see module docs for the cases).
+        for t in 0..sh.nthreads {
+            if seq0[t] == SKIP {
+                continue;
+            }
+            loop {
+                if !sh.registered[t].load(Ordering::Acquire) {
+                    break; // deregistered: no pointers at all
+                }
+                if !sh.in_op[t].load(Ordering::Acquire) {
+                    break; // quiescent
+                }
+                if sh.in_write[t].load(Ordering::Acquire) {
+                    break; // write phase: reservations honored below
+                }
+                if sh.restart_seq[t].load(Ordering::Acquire) > seq0[t] {
+                    break; // acknowledged restart
+                }
+                if sh.op_seq[t].load(Ordering::Acquire) != ops0[t] {
+                    break; // went quiescent and began a fresh operation
+                }
+                core::hint::spin_loop();
+            }
+        }
+        fence(Ordering::SeqCst);
+
+        // Phase 3: honor write-phase reservations, free the rest.
+        let mut reserved = Vec::with_capacity(sh.nthreads * sh.slots);
+        for t in 0..sh.nthreads {
+            if !sh.registered[t].load(Ordering::Acquire) {
+                continue;
+            }
+            for s in 0..sh.slots {
+                let w = sh.wres[t * sh.slots + s].load(Ordering::Acquire);
+                if w != 0 {
+                    reserved.push(w);
+                }
+            }
+        }
+        reserved.sort_unstable();
+        reserved.dedup();
+        // SAFETY: tid ownership per the registration contract.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.stats.observe_retire_len(list.len());
+        // SAFETY: phase 2 established no peer holds an unreserved pointer
+        // to our (already unlinked) retirees.
+        unsafe { free_unreserved(&self.base, list, &reserved) };
+    }
+}
+
+impl Smr for NbrPlus {
+    const NAME: &'static str = "NBR+";
+    const ROBUST: bool = true;
+    const NEEDS_SIGNALS: bool = true;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        let n = cfg.max_threads;
+        let base = DomainBase::new(cfg);
+        let shared = NbrShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
+        let publisher = register_publisher(shared);
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || {
+            CachePadded::new(ThreadState {
+                retire: RetireSlot::new(),
+            })
+        });
+        Arc::new(NbrPlus {
+            base,
+            shared,
+            publisher,
+            threads: threads.into_boxed_slice(),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.base.cfg
+    }
+
+    fn stats(&self) -> &DomainStats {
+        &self.base.stats
+    }
+
+    fn bind_gtid(&self, tid: usize, gtid: usize) {
+        self.base.bind_gtid(tid, gtid);
+        let sh = self.shared;
+        sh.clear_wres(tid);
+        sh.neutralized[tid].store(false, Ordering::Relaxed);
+        sh.in_op[tid].store(false, Ordering::Relaxed);
+        sh.in_write[tid].store(false, Ordering::Relaxed);
+        sh.gtid_of[tid].store(gtid + 1, Ordering::Relaxed);
+        sh.registered[tid].store(true, Ordering::Release);
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.base.claim(tid);
+    }
+
+    fn unregister(&self, tid: usize) {
+        let sh = self.shared;
+        sh.in_write[tid].store(false, Ordering::Release);
+        sh.in_op[tid].store(false, Ordering::Release);
+        sh.clear_wres(tid);
+        self.flush(tid);
+        // SAFETY: tid ownership.
+        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
+        self.base.adopt_orphans(leftovers);
+        sh.registered[tid].store(false, Ordering::Release);
+        sh.gtid_of[tid].store(0, Ordering::Relaxed);
+        self.base.clear_gtid(tid);
+        self.base.release(tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, tid: usize) {
+        let sh = self.shared;
+        // A fresh operation implicitly acknowledges any pending restart
+        // request — we hold no pointers yet.
+        sh.neutralized[tid].store(false, Ordering::Relaxed);
+        sh.op_seq[tid].fetch_add(1, Ordering::Release);
+        sh.in_op[tid].store(true, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn end_op(&self, tid: usize) {
+        let sh = self.shared;
+        sh.in_write[tid].store(false, Ordering::Release);
+        sh.in_op[tid].store(false, Ordering::Release);
+    }
+
+    /// NBR's defining property: a read is a plain load plus one relaxed
+    /// flag poll — no reservation, no fence. (The quarantine oracle runs at
+    /// the data structure's deref points via `check_live`, not here.)
+    #[inline]
+    fn protect<T>(&self, tid: usize, _slot: usize, src: &AtomicPtr<T>) -> ReadResult<T> {
+        if self.consume_neutralization(tid) {
+            return Err(Restart);
+        }
+        Ok(src.load(Ordering::Acquire))
+    }
+
+    #[inline]
+    fn check_restart(&self, tid: usize) -> Result<(), Restart> {
+        if self.consume_neutralization(tid) {
+            Err(Restart)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Publish the write set with one fence and verify no neutralization
+    /// raced in (Dekker with the reclaimer's flag-store/fence/scan).
+    fn begin_write(&self, tid: usize, ptrs: &[*mut Header]) -> Result<(), Restart> {
+        let sh = self.shared;
+        assert!(
+            ptrs.len() <= sh.slots,
+            "write set of {} exceeds {} reservation slots",
+            ptrs.len(),
+            sh.slots
+        );
+        let base_idx = tid * sh.slots;
+        for (i, &p) in ptrs.iter().enumerate() {
+            sh.wres[base_idx + i].store(unmark_word(p as u64), Ordering::Release);
+        }
+        for s in ptrs.len()..sh.slots {
+            sh.wres[base_idx + s].store(0, Ordering::Release);
+        }
+        sh.in_write[tid].store(true, Ordering::Release);
+        fence(Ordering::SeqCst);
+        if self.consume_neutralization(tid) {
+            sh.in_write[tid].store(false, Ordering::Release);
+            sh.clear_wres(tid);
+            return Err(Restart);
+        }
+        Ok(())
+    }
+
+    fn end_write(&self, tid: usize) {
+        let sh = self.shared;
+        sh.in_write[tid].store(false, Ordering::Release);
+        sh.clear_wres(tid);
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        self.base
+            .stats
+            .retired_nodes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].retire.get() };
+        list.push(retired);
+        if list.len() >= self.base.cfg.reclaim_freq {
+            debug_assert!(
+                self.shared.in_write[tid].load(Ordering::Relaxed),
+                "NBR retire must be called inside a begin_write bracket"
+            );
+            self.reclaim(tid);
+        }
+    }
+
+    fn flush(&self, tid: usize) {
+        // Flush runs at shutdown/test boundaries, outside operations; mark
+        // the write phase so concurrent reclaimers skip waiting on us.
+        let sh = self.shared;
+        let was = sh.in_write[tid].swap(true, Ordering::SeqCst);
+        self.reclaim(tid);
+        sh.in_write[tid].store(was, Ordering::Release);
+    }
+}
+
+impl Drop for NbrPlus {
+    fn drop(&mut self) {
+        self.publisher.deactivate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{HasHeader, Header};
+    use crate::smr::{as_header, retire_node};
+    use std::sync::atomic::AtomicBool as StdBool;
+
+    #[repr(C)]
+    struct N {
+        hdr: Header,
+        v: u64,
+    }
+    unsafe impl HasHeader for N {}
+
+    fn alloc(smr: &NbrPlus, v: u64) -> *mut N {
+        smr.note_alloc(core::mem::size_of::<N>());
+        Box::into_raw(Box::new(N {
+            hdr: Header::new(0, core::mem::size_of::<N>()),
+            v,
+        }))
+    }
+
+    #[test]
+    fn reads_carry_no_reservations() {
+        let smr = NbrPlus::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        smr.begin_op(0);
+        let node = alloc(&smr, 1);
+        let src = AtomicPtr::new(node);
+        let p = smr.protect(0, 0, &src).unwrap();
+        assert_eq!(p, node);
+        let any_res = (0..smr.shared.slots)
+            .any(|s| smr.shared.wres[s].load(Ordering::Acquire) != 0);
+        assert!(!any_res, "read phase must not reserve");
+        smr.end_op(0);
+        unsafe { drop(Box::from_raw(node)) };
+        drop(reg);
+    }
+
+    #[test]
+    fn neutralization_restarts_reader_and_reclaims() {
+        let smr = NbrPlus::new(SmrConfig::for_tests(2).with_reclaim_freq(8));
+        let reg0 = smr.register(0);
+        let stop = Arc::new(StdBool::new(false));
+        let restarted = Arc::new(StdBool::new(false));
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let stop = Arc::clone(&stop);
+            let restarted = Arc::clone(&restarted);
+            move || {
+                let reg1 = smr.register(1);
+                ready_tx.send(()).unwrap();
+                let dummy = AtomicPtr::new(core::ptr::null_mut::<N>());
+                while !stop.load(Ordering::Acquire) {
+                    smr.begin_op(1);
+                    // Long-running read: poll protect in a loop.
+                    for _ in 0..64 {
+                        if smr.protect(1, 0, &dummy).is_err() {
+                            restarted.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                    smr.end_op(1);
+                }
+                drop(reg1);
+            }
+        });
+        ready_rx.recv().unwrap();
+        // Writer retires enough to trip multiple neutralization rounds.
+        smr.begin_op(0);
+        smr.begin_write(0, &[]).unwrap();
+        for i in 0..256 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.end_write(0);
+        smr.end_op(0);
+        let s = smr.stats().snapshot();
+        assert!(s.pings_sent >= 1, "reclaimer must ping");
+        assert!(s.freed_nodes > 0, "reclaimer must free");
+        stop.store(true, Ordering::Release);
+        reader.join().unwrap();
+        drop(reg0);
+        let s = smr.stats().snapshot();
+        assert!(
+            s.restarts >= 1 || !restarted.load(Ordering::Acquire),
+            "if the reader observed a restart, the counter must agree"
+        );
+    }
+
+    #[test]
+    fn write_reservations_are_honored() {
+        let smr = NbrPlus::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let reg0 = smr.register(0);
+        let reg1 = smr.register(1);
+        // Thread 1 enters a write phase holding a reservation on `hot`.
+        let hot = alloc(&smr, 7);
+        smr.begin_op(1);
+        smr.begin_write(1, &[as_header(hot)]).unwrap();
+        // Thread 0 retires hot + filler; reclamation must keep `hot`.
+        smr.begin_op(0);
+        smr.begin_write(0, &[]).unwrap();
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.end_write(0);
+        smr.end_op(0);
+        smr.flush(0);
+        assert_eq!(
+            smr.stats().snapshot().unreclaimed_nodes(),
+            1,
+            "write-reserved node must survive"
+        );
+        // Thread 1 leaves its write phase; now it frees.
+        smr.end_write(1);
+        smr.end_op(1);
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg1);
+        drop(reg0);
+    }
+
+    #[test]
+    fn begin_write_detects_racing_neutralization() {
+        let smr = NbrPlus::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        smr.begin_op(0);
+        // Simulate a reclaimer's flag arriving before the write phase.
+        smr.shared.neutralized[0].store(true, Ordering::SeqCst);
+        let r = smr.begin_write(0, &[]);
+        assert_eq!(r, Err(Restart), "racing neutralization must abort");
+        assert!(
+            !smr.shared.in_write[0].load(Ordering::Acquire),
+            "aborted write phase must roll back"
+        );
+        smr.end_op(0);
+        drop(reg);
+    }
+
+    #[test]
+    fn check_restart_consumes_flag_once() {
+        let smr = NbrPlus::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        smr.begin_op(0);
+        smr.shared.neutralized[0].store(true, Ordering::SeqCst);
+        assert_eq!(smr.check_restart(0), Err(Restart));
+        assert_eq!(smr.check_restart(0), Ok(()), "flag consumed");
+        smr.end_op(0);
+        drop(reg);
+    }
+}

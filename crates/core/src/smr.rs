@@ -1,0 +1,264 @@
+//! The scheme-generic safe-memory-reclamation interface.
+//!
+//! All eleven schemes implement [`Smr`]; concurrent data structures are
+//! written once against it. The interface mirrors the programmer's view of
+//! hazard pointers from the paper (§4.1.1): `read` (here [`Smr::protect`]),
+//! `clear` (folded into [`Smr::end_op`]) and `retire`, extended with the
+//! epoch-style operation brackets (`begin_op`/`end_op`) and NBR's
+//! write-phase bracket (`begin_write`/`end_write`) so that restart-based
+//! and epoch-based schemes fit the same call sites. For schemes that don't
+//! need a bracket the calls are no-ops and compile away under
+//! monomorphization.
+
+use core::sync::atomic::AtomicPtr;
+use std::sync::Arc;
+
+use crate::config::SmrConfig;
+use crate::header::{Header, Retired};
+use crate::stats::DomainStats;
+
+/// Request to restart the current operation from its entry point.
+///
+/// Only returned by neutralization-based schemes (NBR+); all other schemes'
+/// `protect`/`begin_write` never fail. Data-structure operations propagate
+/// it with `?` and re-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Restart;
+
+/// Result of a protected read.
+pub type ReadResult<T> = Result<*mut T, Restart>;
+
+/// A safe-memory-reclamation scheme (one instance = one *domain*).
+///
+/// # Thread model
+///
+/// A domain serves `config().max_threads` participants addressed by small
+/// *domain thread ids* (`tid`). Each participant calls
+/// [`Smr::register`] **on its own OS thread** and uses the returned guard's
+/// tid for every subsequent call from that thread. Registration enforces
+/// exclusivity (double-claiming a tid panics), which is what makes the
+/// internally `UnsafeCell`-based retire lists sound.
+///
+/// # Operation protocol (matches the paper's pseudocode)
+///
+/// ```text
+/// begin_op(tid);
+/// loop over nodes:  p = protect(tid, slot, &link)?;   // Alg.1 read()
+/// for updates:      begin_write(tid, &[ptrs])?;  CAS;  retire(tid, r);  end_write(tid);
+/// end_op(tid);                                         // Alg.1 clear()
+/// ```
+///
+/// `retire` must be called inside a `begin_write`/`end_write` bracket (the
+/// unlinking CAS and the retirement form NBR's write phase; for all other
+/// schemes the bracket is free).
+pub trait Smr: Send + Sync + Sized + 'static {
+    /// Scheme name as used in the paper's plots (e.g. `"HazardPtrPOP"`).
+    const NAME: &'static str;
+    /// Whether the scheme bounds unreclaimed garbage under thread delays
+    /// (the paper's robustness property).
+    const ROBUST: bool;
+    /// Whether threads must be signalable (registers with the process
+    /// registry so reclaimers can ping them).
+    const NEEDS_SIGNALS: bool;
+
+    /// Creates a domain.
+    fn new(cfg: SmrConfig) -> Arc<Self>;
+
+    /// The domain's configuration.
+    fn config(&self) -> &SmrConfig;
+
+    /// The domain's instrumentation counters.
+    fn stats(&self) -> &DomainStats;
+
+    /// Registers the calling thread under `tid`, returning an RAII guard.
+    ///
+    /// Panics if `tid` is out of range or already claimed.
+    fn register(self: &Arc<Self>, tid: usize) -> Registration<Self> {
+        let signal = if Self::NEEDS_SIGNALS {
+            let s = pop_runtime::register_current_shared();
+            self.bind_gtid(tid, s.gtid());
+            Some(s)
+        } else {
+            None
+        };
+        self.register_raw(tid);
+        Registration {
+            smr: Arc::clone(self),
+            tid,
+            _signal: signal,
+        }
+    }
+
+    /// Associates domain `tid` with a global (signalable) thread id.
+    /// Overridden by signal-based schemes; no-op otherwise.
+    fn bind_gtid(&self, _tid: usize, _gtid: usize) {}
+
+    /// Claims `tid` and initializes per-thread state. Prefer
+    /// [`Smr::register`], which also handles signal registration.
+    fn register_raw(&self, tid: usize);
+
+    /// Releases `tid`: flushes the retire list (reclaiming what it can,
+    /// orphaning the rest to the domain) and clears reservations.
+    fn unregister(&self, tid: usize);
+
+    /// Operation prologue (epoch announcement for EBR-family schemes).
+    fn begin_op(&self, tid: usize);
+
+    /// Operation epilogue — clears reservations (paper's `clear()`).
+    fn end_op(&self, tid: usize);
+
+    /// Protected read of `src` into hazard `slot` — the paper's `read()`.
+    ///
+    /// Returns the pointer read from `src`, possibly carrying data-structure
+    /// mark bits (reservations are recorded unmarked). `Err(Restart)` only
+    /// for neutralization-based schemes.
+    fn protect<T>(&self, tid: usize, slot: usize, src: &AtomicPtr<T>) -> ReadResult<T>;
+
+    /// Quarantine use-after-free oracle: asserts `ptr` (mark bits ignored)
+    /// has not been freed. No-op unless [`SmrConfig::quarantine`] is set.
+    ///
+    /// Data structures must call this at the point where a protected
+    /// pointer is confirmed reachable and about to be dereferenced — i.e.
+    /// *after* their mark/flag re-checks. Calling it directly on every
+    /// `protect` result would mis-fire: a traversal may legally read a
+    /// dangling pointer out of a dead (but still reserved) node's stale
+    /// edge, provided it discards the value after seeing the dead node's
+    /// mark.
+    #[inline]
+    fn check_live<T>(&self, ptr: *mut T) {
+        if self.config().quarantine {
+            let word = crate::header::unmark_word(ptr as u64);
+            if word != 0 {
+                let hdr = word as *const Header;
+                // SAFETY: quarantined allocations are never unmapped.
+                assert!(
+                    !unsafe { &*hdr }.is_poisoned(),
+                    "use-after-free: dereferencing a freed node ({ptr:p})"
+                );
+            }
+        }
+    }
+
+    /// Polls for a pending neutralization request (NBR) — data structures
+    /// must call this inside spin loops that do not otherwise go through
+    /// [`Smr::protect`] (e.g. waiting on a node lock), so a reclaimer is
+    /// never left waiting on a spinning reader. No-op for other schemes.
+    #[inline]
+    fn check_restart(&self, _tid: usize) -> Result<(), Restart> {
+        Ok(())
+    }
+
+    /// Enters the write phase, reserving `ptrs` for schemes that need
+    /// explicit pre-write reservations (NBR). Must precede any structural
+    /// CAS; pass every pointer the write will dereference or unlink.
+    fn begin_write(&self, _tid: usize, _ptrs: &[*mut Header]) -> Result<(), Restart> {
+        Ok(())
+    }
+
+    /// Leaves the write phase.
+    fn end_write(&self, _tid: usize) {}
+
+    /// Retires an unlinked object; may trigger a reclamation pass.
+    ///
+    /// # Safety
+    ///
+    /// The object must be unlinked from every shared structure, retired
+    /// exactly once, and the call must come from the thread owning `tid`,
+    /// inside a `begin_write` bracket.
+    unsafe fn retire(&self, tid: usize, retired: Retired);
+
+    /// Global era for birth-tagging allocations (0 for era-free schemes).
+    fn current_era(&self) -> u64 {
+        0
+    }
+
+    /// Accounts a node allocation of `bytes` bytes.
+    fn note_alloc(&self, bytes: usize) {
+        use core::sync::atomic::Ordering::Relaxed;
+        self.stats().allocated_nodes.fetch_add(1, Relaxed);
+        self.stats().allocated_bytes.fetch_add(bytes as u64, Relaxed);
+    }
+
+    /// Reverses [`Smr::note_alloc`] for a node that was deallocated before
+    /// ever being published (e.g. a failed insert CAS).
+    fn note_dealloc_unpublished(&self, bytes: usize) {
+        use core::sync::atomic::Ordering::Relaxed;
+        self.stats().allocated_nodes.fetch_sub(1, Relaxed);
+        self.stats().allocated_bytes.fetch_sub(bytes as u64, Relaxed);
+    }
+
+    /// Aggressively attempts to reclaim `tid`'s retire list regardless of
+    /// thresholds (shutdown and tests).
+    fn flush(&self, tid: usize);
+}
+
+/// RAII thread registration for a reclamation domain.
+///
+/// Bound to the registering OS thread (not `Send`); dropping it flushes and
+/// releases the tid. The process-registry handle (for signal-based schemes)
+/// is released after the domain-level unregistration, so a thread remains
+/// pingable for exactly as long as it participates.
+pub struct Registration<S: Smr> {
+    smr: Arc<S>,
+    tid: usize,
+    _signal: Option<pop_runtime::SharedRegistration>,
+}
+
+impl<S: Smr> Registration<S> {
+    /// The registered domain thread id.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The domain this registration belongs to.
+    pub fn domain(&self) -> &Arc<S> {
+        &self.smr
+    }
+}
+
+impl<S: Smr> Drop for Registration<S> {
+    fn drop(&mut self) {
+        self.smr.unregister(self.tid);
+    }
+}
+
+/// Convenience: protect repeatedly until a non-restarting scheme succeeds —
+/// used by single-threaded tests and examples where `Restart` is impossible
+/// yet the type system requires handling it.
+pub fn protect_infallible<S: Smr, T>(
+    smr: &S,
+    tid: usize,
+    slot: usize,
+    src: &AtomicPtr<T>,
+) -> *mut T {
+    loop {
+        if let Ok(p) = smr.protect(tid, slot, src) {
+            return p;
+        }
+    }
+}
+
+/// Helper: retire a typed node allocated with `Box` (wraps [`Retired::new`]
+/// and the era tagging common to every call site).
+///
+/// # Safety
+///
+/// Same contract as [`Smr::retire`].
+pub unsafe fn retire_node<S: Smr, T: crate::header::HasHeader>(
+    smr: &S,
+    tid: usize,
+    node: *mut T,
+) {
+    // SAFETY: forwarded contract — node is unlinked and retired once.
+    unsafe {
+        let r = Retired::new(node);
+        r.header().set_retire_era(smr.current_era());
+        smr.retire(tid, r);
+    }
+}
+
+/// Erases a typed node pointer to the header pointer used by
+/// [`Smr::begin_write`] reservation lists.
+pub fn as_header<T: crate::header::HasHeader>(p: *mut T) -> *mut Header {
+    p as *mut Header
+}

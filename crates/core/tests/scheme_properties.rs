@@ -1,0 +1,163 @@
+//! Property-based tests on the reclamation schemes' public API.
+//!
+//! Schemes differ wildly inside, but all must satisfy the same accounting
+//! laws: `freed ≤ retired`, no loss of records, and complete drainage once
+//! a lone thread goes quiescent and flushes (NR excepted — it leaks by
+//! definition, and that too is asserted).
+
+use proptest::prelude::*;
+use std::sync::atomic::AtomicPtr;
+
+use pop_core::testing::era_range_reserved;
+use pop_core::{
+    retire_node, Ebr, EpochPop, HasHeader, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym,
+    HazardPtrPop, Header, Hyaline, Ibr, NbrPlus, NoReclaim, Smr, SmrConfig,
+};
+
+#[repr(C)]
+struct N {
+    hdr: Header,
+    v: u64,
+}
+unsafe impl HasHeader for N {}
+
+fn alloc<S: Smr>(smr: &S, v: u64) -> *mut N {
+    smr.note_alloc(core::mem::size_of::<N>());
+    Box::into_raw(Box::new(N {
+        hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
+        v,
+    }))
+}
+
+/// A single-threaded action against a scheme.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    /// Allocate, (optionally protect), retire.
+    RetireOne { protect_first: bool },
+    /// Force a reclamation pass.
+    Flush,
+    /// Leave and re-enter an operation (quiescence point).
+    Requiesce,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        any::<bool>().prop_map(|p| Action::RetireOne { protect_first: p }),
+        Just(Action::Flush),
+        Just(Action::Requiesce),
+    ]
+}
+
+fn run_actions<S: Smr>(actions: &[Action]) -> (u64, u64, u64) {
+    let smr = S::new(SmrConfig::for_tests(1).with_reclaim_freq(8));
+    let reg = smr.register(0);
+    smr.begin_op(0);
+    for &a in actions {
+        match a {
+            Action::RetireOne { protect_first } => {
+                let p = alloc(&*smr, 1);
+                if protect_first {
+                    let src = AtomicPtr::new(p);
+                    let _ = smr.protect(0, 0, &src);
+                }
+                // The node was never linked anywhere, so retiring it
+                // immediately is legal (no other thread can reach it).
+                smr.begin_write(0, &[]).ok();
+                unsafe { retire_node(&*smr, 0, p) };
+                smr.end_write(0);
+            }
+            Action::Flush => smr.flush(0),
+            Action::Requiesce => {
+                smr.end_op(0);
+                smr.begin_op(0);
+            }
+        }
+    }
+    smr.end_op(0);
+    smr.flush(0);
+    // Some schemes (era-granularity) may need a second pass once fully
+    // quiescent.
+    smr.flush(0);
+    let s = smr.stats().snapshot();
+    drop(reg);
+    (s.retired_nodes, s.freed_nodes, s.unreclaimed_nodes())
+}
+
+macro_rules! accounting_laws {
+    ($($name:ident : $scheme:ty),+ $(,)?) => {
+        $(
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(32))]
+                #[test]
+                fn $name(actions in prop::collection::vec(action_strategy(), 1..60)) {
+                    let (retired, freed, unreclaimed) = run_actions::<$scheme>(&actions);
+                    let n_retires = actions
+                        .iter()
+                        .filter(|a| matches!(a, Action::RetireOne { .. }))
+                        .count() as u64;
+                    prop_assert_eq!(retired, n_retires, "every retire recorded");
+                    prop_assert!(freed <= retired, "freed must not exceed retired");
+                    prop_assert_eq!(
+                        unreclaimed, 0,
+                        "quiescent single thread must drain completely"
+                    );
+                }
+            }
+        )+
+    };
+}
+
+accounting_laws! {
+    ebr_accounting: Ebr,
+    ibr_accounting: Ibr,
+    hp_accounting: HazardPtr,
+    hp_asym_accounting: HazardPtrAsym,
+    he_accounting: HazardEra,
+    nbr_accounting: NbrPlus,
+    hp_pop_accounting: HazardPtrPop,
+    he_pop_accounting: HazardEraPop,
+    epoch_pop_accounting: EpochPop,
+    hyaline_accounting: Hyaline,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// NR's law is the opposite: nothing is ever freed.
+    #[test]
+    fn nr_leaks_everything(n in 1usize..100) {
+        let smr = NoReclaim::new(SmrConfig::for_tests(1));
+        let reg = smr.register(0);
+        for i in 0..n {
+            let p = alloc(&*smr, i as u64);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        prop_assert_eq!(s.retired_nodes, n as u64);
+        prop_assert_eq!(s.freed_nodes, 0);
+        drop(reg);
+    }
+
+    /// The hazard-era `canFree` predicate agrees with a brute-force scan.
+    #[test]
+    fn era_reservation_matches_bruteforce(
+        mut reserved in prop::collection::vec(0u64..64, 0..20),
+        birth in 0u64..64,
+        len in 0u64..16,
+    ) {
+        reserved.sort_unstable();
+        reserved.dedup();
+        let retire = birth + len;
+        let brute = reserved.iter().any(|&e| e >= birth && e <= retire);
+        prop_assert_eq!(era_range_reserved(&reserved, birth, retire), brute);
+    }
+
+    /// Marked pointers never leak mark bits into reservations.
+    #[test]
+    fn unmark_word_clears_tags(addr in any::<u64>()) {
+        let w = pop_core::unmark_word(addr);
+        prop_assert_eq!(w & 0b11, 0);
+        prop_assert_eq!(w, addr & !0b11);
+    }
+}

@@ -1,0 +1,48 @@
+//! Mark-bit tagging of node pointers.
+//!
+//! Lock-free lists flag logical deletion by setting bit 0 of a node's
+//! `next` pointer (Harris 2001). The SMR layer strips these bits when
+//! recording reservations ([`pop_core::unmark_word`]); these helpers give
+//! the data structures a typed view.
+
+/// Whether the deletion mark (bit 0) is set.
+#[inline(always)]
+pub fn is_marked<T>(p: *mut T) -> bool {
+    (p as usize) & 1 == 1
+}
+
+/// The pointer with the deletion mark set.
+#[inline(always)]
+pub fn marked<T>(p: *mut T) -> *mut T {
+    ((p as usize) | 1) as *mut T
+}
+
+/// The pointer with tag bits cleared.
+#[inline(always)]
+pub fn unmarked<T>(p: *mut T) -> *mut T {
+    ((p as usize) & !0b11) as *mut T
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_roundtrip() {
+        let p = 0x7f00_0000_1000usize as *mut u64;
+        assert!(!is_marked(p));
+        let m = marked(p);
+        assert!(is_marked(m));
+        assert_eq!(unmarked(m), p);
+        assert_eq!(unmarked(p), p);
+        assert!(is_marked(marked(m)));
+    }
+
+    #[test]
+    fn null_handling() {
+        let n: *mut u64 = core::ptr::null_mut();
+        assert!(!is_marked(n));
+        assert!(is_marked(marked(n)));
+        assert!(unmarked(marked(n)).is_null());
+    }
+}

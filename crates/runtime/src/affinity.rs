@@ -1,0 +1,57 @@
+//! Best-effort CPU affinity helpers for benchmark threads.
+//!
+//! The paper's testbed pins worker threads across NUMA nodes with
+//! `numactl --interleave=all`. On this reproduction's host we simply pin
+//! thread *t* to CPU *t mod ncpus* so thread-count sweeps behave
+//! monotonically; failures (e.g. sandboxes rejecting `sched_setaffinity`)
+//! are ignored — affinity is a performance hint, never a correctness
+//! requirement.
+
+/// Number of online CPUs, with a floor of 1.
+pub fn num_cpus() -> usize {
+    // SAFETY: sysconf is thread-safe and has no memory-safety preconditions.
+    let n = unsafe { libc::sysconf(libc::_SC_NPROCESSORS_ONLN) };
+    if n < 1 {
+        1
+    } else {
+        n as usize
+    }
+}
+
+/// Pins the calling thread to `cpu % num_cpus()`. Returns whether the
+/// kernel accepted the mask.
+#[cfg(target_os = "linux")]
+pub fn pin_current_to(cpu: usize) -> bool {
+    let cpu = cpu % num_cpus();
+    // SAFETY: CPU_ZERO/CPU_SET initialize the set fully before use; the set
+    // outlives the syscall.
+    unsafe {
+        let mut set: libc::cpu_set_t = core::mem::zeroed();
+        libc::CPU_ZERO(&mut set);
+        libc::CPU_SET(cpu, &mut set);
+        libc::sched_setaffinity(0, core::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    }
+}
+
+/// Non-Linux stub: affinity is a hint only.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_to(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_cpus_is_positive() {
+        assert!(num_cpus() >= 1);
+    }
+
+    #[test]
+    fn pinning_does_not_crash() {
+        // May be rejected by the sandbox; only the call path is under test.
+        let _ = pin_current_to(0);
+        let _ = pin_current_to(num_cpus() + 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Linux `membarrier(2)` asymmetric process-wide memory barrier.
+//!
+//! The Folly-style `HPAsym` baseline lets readers publish hazard pointers
+//! with plain (relaxed) stores and moves the StoreLoad fence to the
+//! reclaimer, which executes a *process-wide* barrier before scanning
+//! reservations. On mainline Linux this is
+//! `membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)`, which IPIs every CPU
+//! running a thread of this process.
+//!
+//! Availability varies (the paper §2.1.2 notes the same): the syscall may be
+//! missing or restricted in sandboxes and old kernels. [`heavy`] reports
+//! failure so callers can fall back to the signal-driven barrier built from
+//! the ping machinery (liburcu's "signal flavor" — precisely what
+//! `HazardPtrPOP` already provides).
+
+use std::sync::OnceLock;
+
+const MEMBARRIER_CMD_QUERY: libc::c_long = 0;
+const MEMBARRIER_CMD_PRIVATE_EXPEDITED: libc::c_long = 1 << 3;
+const MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED: libc::c_long = 1 << 4;
+
+#[cfg(target_os = "linux")]
+fn sys_membarrier(cmd: libc::c_long) -> libc::c_long {
+    // SAFETY: membarrier takes (cmd, flags, cpu_id); flags=0 selects the
+    // process-wide variant and has no memory-safety implications.
+    unsafe { libc::syscall(libc::SYS_membarrier, cmd, 0 as libc::c_long, 0 as libc::c_long) }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn sys_membarrier(_cmd: libc::c_long) -> libc::c_long {
+    -1
+}
+
+/// Returns whether `PRIVATE_EXPEDITED` membarrier is usable, registering
+/// the process on first call. Cached for the process lifetime.
+pub fn is_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        let supported = sys_membarrier(MEMBARRIER_CMD_QUERY);
+        if supported < 0 || supported & MEMBARRIER_CMD_PRIVATE_EXPEDITED == 0 {
+            return false;
+        }
+        // Registration is required before the expedited command may be used.
+        sys_membarrier(MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED) == 0
+    })
+}
+
+/// Executes the heavyweight side of the asymmetric barrier.
+///
+/// On success, every thread of this process has executed a full memory
+/// barrier between the caller's preceding and following memory accesses —
+/// i.e. all of their prior relaxed stores are visible to the caller.
+/// Returns `false` when the syscall is unavailable; callers must then use a
+/// signal-driven barrier instead.
+pub fn heavy() -> bool {
+    if !is_available() {
+        return false;
+    }
+    sys_membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_is_stable() {
+        // Whatever the sandbox supports, the cached answer must not flap.
+        let a = is_available();
+        let b = is_available();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_matches_availability() {
+        if is_available() {
+            assert!(heavy(), "available membarrier must execute successfully");
+        } else {
+            assert!(!heavy(), "unavailable membarrier must report failure");
+        }
+    }
+}

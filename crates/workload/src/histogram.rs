@@ -1,0 +1,224 @@
+//! Log-bucketed latency histogram (HdrHistogram-style, fixed footprint).
+//!
+//! Used by the latency extension experiment: publish-on-ping interrupts
+//! running readers with signals, so the interesting question — one the
+//! paper leaves implicit — is whether reclamation pings show up in reader
+//! *tail* latency. The histogram is allocation-free on the record path and
+//! mergeable across threads.
+//!
+//! Buckets: 64 powers of two of nanoseconds, each split into 16 linear
+//! sub-buckets (≈6% relative error), 1024 counters total.
+
+/// Number of power-of-two magnitude groups.
+const GROUPS: usize = 64;
+/// Linear sub-buckets per group.
+const SUBS: usize = 16;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (nanoseconds).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; GROUPS * SUBS],
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn index(value: u64) -> usize {
+        let v = value.max(1);
+        let group = 63 - v.leading_zeros() as usize; // floor(log2 v)
+        let sub = if group >= 4 {
+            // Top 4 bits below the leading bit select the linear sub-bucket.
+            ((v >> (group - 4)) & (SUBS as u64 - 1)) as usize
+        } else {
+            (v & (SUBS as u64 - 1)) as usize
+        };
+        (group * SUBS + sub).min(GROUPS * SUBS - 1)
+    }
+
+    /// Records one sample. Allocation-free.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Lower bound of a bucket's value range (inverse of `index`).
+    fn bucket_floor(idx: usize) -> u64 {
+        let group = idx / SUBS;
+        let sub = (idx % SUBS) as u64;
+        if group >= 4 {
+            (1u64 << group) | (sub << (group - 4))
+        } else {
+            sub.max(1)
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest recorded sample (exact), 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket lower bound; ≈6% error).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return Self::bucket_floor(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// `(p50, p99, p999, max)` summary in the sample unit.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
+            self.max(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1000);
+        let p50 = h.quantile(0.5);
+        assert!(p50 <= 1000 && p50 >= 937, "p50 {p50} within 6% below");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 0x853C49E6748FEA9Bu64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 1_000_000);
+        }
+        let mut prev = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000] {
+            h.record(v);
+        }
+        // Every recorded value's bucket floor is within 1/16 below it.
+        for v in [100u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000] {
+            let floor = LatencyHistogram::bucket_floor(LatencyHistogram::index(v));
+            assert!(floor <= v, "floor {floor} above sample {v}");
+            assert!(
+                (v - floor) as f64 / v as f64 <= 1.0 / 16.0 + 1e-9,
+                "bucket error too large for {v}: floor {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            a.record(i * 10);
+            b.record(i * 1000);
+        }
+        let amax = a.max();
+        a.merge(&b);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a.max(), 100_000);
+        assert!(a.max() >= amax);
+        assert_eq!(a.min(), 10);
+    }
+
+    #[test]
+    fn uniform_distribution_median() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (46_000..=50_000).contains(&p50),
+            "median of uniform 1..=100k was {p50}"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # `pop-workload` — the benchmark engine
+//!
+//! Reimplements the setbench-style microbenchmark the paper evaluates with
+//! (§5.0.2): threads prefill a structure to half its key range, then run a
+//! timed phase of randomly chosen insert/delete/contains operations over
+//! uniformly random keys, while a sampler tracks the memory metrics the
+//! paper plots (max retire-list length, live-bytes high-water, unreclaimed
+//! nodes).
+//!
+//! * [`mix`] — operation mixes (update-heavy 50i/50d, read-heavy
+//!   90c/5i/5d) and the long-running-reads role split of Figure 4.
+//! * [`runner`] — the timed multi-threaded driver, generic over
+//!   `(scheme, structure)` pairs.
+//! * [`report`] — result records, aligned tables and CSV output.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod histogram;
+pub mod mix;
+pub mod report;
+pub mod runner;
+pub mod zipf;
+
+pub use histogram::LatencyHistogram;
+pub use mix::{OpKind, OpMix, WorkloadKind};
+pub use report::{write_csv, RunRecord};
+pub use runner::{run_latency_probe, run_workload, LatencyReport, RunConfig};

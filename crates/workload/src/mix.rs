@@ -1,0 +1,89 @@
+//! Operation mixes and workload shapes from the paper's evaluation.
+
+/// One benchmark operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// `insert(key, value)`.
+    Insert,
+    /// `remove(key)`.
+    Delete,
+    /// `contains(key)`.
+    Contains,
+}
+
+/// An insert/delete/contains percentage mix (the remainder is contains).
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Percent of operations that insert.
+    pub insert_pct: u32,
+    /// Percent of operations that delete.
+    pub delete_pct: u32,
+}
+
+impl OpMix {
+    /// The paper's update-heavy mix: 50% inserts, 50% deletes.
+    pub const UPDATE_HEAVY: OpMix = OpMix {
+        insert_pct: 50,
+        delete_pct: 50,
+    };
+
+    /// The paper's read-heavy mix: 5% inserts, 5% deletes, 90% contains.
+    pub const READ_HEAVY: OpMix = OpMix {
+        insert_pct: 5,
+        delete_pct: 5,
+    };
+
+    /// Picks an operation from a uniform draw in `0..100`.
+    #[inline]
+    pub fn pick(&self, draw: u32) -> OpKind {
+        debug_assert!(self.insert_pct + self.delete_pct <= 100);
+        if draw < self.insert_pct {
+            OpKind::Insert
+        } else if draw < self.insert_pct + self.delete_pct {
+            OpKind::Delete
+        } else {
+            OpKind::Contains
+        }
+    }
+}
+
+/// The two workload shapes in the paper's evaluation.
+#[derive(Clone, Copy, Debug)]
+pub enum WorkloadKind {
+    /// Every thread runs the same mix over the full key range (§5.0.2).
+    Uniform(OpMix),
+    /// Figure 4: the first half of the threads run 100% contains over the
+    /// full range (long traversals), the second half run 50i/50d confined
+    /// to `update_range` keys near the head.
+    LongRunningReads {
+        /// Width of the updaters' key range at the head of the structure.
+        update_range: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_heavy_has_no_contains() {
+        let m = OpMix::UPDATE_HEAVY;
+        for d in 0..100 {
+            assert_ne!(m.pick(d), OpKind::Contains);
+        }
+        assert_eq!(m.pick(0), OpKind::Insert);
+        assert_eq!(m.pick(49), OpKind::Insert);
+        assert_eq!(m.pick(50), OpKind::Delete);
+        assert_eq!(m.pick(99), OpKind::Delete);
+    }
+
+    #[test]
+    fn read_heavy_is_ninety_percent_contains() {
+        let m = OpMix::READ_HEAVY;
+        let contains = (0..100).filter(|&d| m.pick(d) == OpKind::Contains).count();
+        assert_eq!(contains, 90);
+        assert_eq!(m.pick(0), OpKind::Insert);
+        assert_eq!(m.pick(5), OpKind::Delete);
+        assert_eq!(m.pick(10), OpKind::Contains);
+    }
+}

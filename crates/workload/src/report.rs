@@ -1,0 +1,164 @@
+//! Benchmark result records, table rendering and CSV output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One benchmark trial's results — the columns behind every figure.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Reclamation scheme (paper plot label).
+    pub scheme: &'static str,
+    /// Data structure (paper plot label).
+    pub ds: &'static str,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Key range (structure size = range / 2 after prefill).
+    pub key_range: u64,
+    /// Total operations completed in the measured phase.
+    pub ops: u64,
+    /// Contains operations completed.
+    pub read_ops: u64,
+    /// Insert/delete operations completed.
+    pub update_ops: u64,
+    /// Measured-phase wall time.
+    pub seconds: f64,
+    /// Throughput in millions of operations per second.
+    pub throughput_mops: f64,
+    /// Read throughput in Mops/s (Figure 4's y-axis numerator).
+    pub read_mops: f64,
+    /// Max retire-list length observed (Figs 1–2 right panels).
+    pub max_retire_len: u64,
+    /// Live-bytes high-water (stands in for max resident memory).
+    pub peak_live_bytes: u64,
+    /// Nodes retired but never freed (appendix figures' right panels).
+    pub unreclaimed_nodes: u64,
+    /// Signals sent by reclaimers.
+    pub pings_sent: u64,
+    /// NBR restarts observed.
+    pub restarts: u64,
+}
+
+impl RunRecord {
+    /// CSV header matching [`RunRecord::csv_row`].
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,restarts";
+
+    /// Serializes this record as a CSV row tagged with `figure`.
+    pub fn csv_row(&self, figure: &str) -> String {
+        format!(
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{}",
+            self.ds,
+            self.scheme,
+            self.threads,
+            self.key_range,
+            self.ops,
+            self.read_ops,
+            self.update_ops,
+            self.seconds,
+            self.throughput_mops,
+            self.read_mops,
+            self.max_retire_len,
+            self.peak_live_bytes,
+            self.unreclaimed_nodes,
+            self.pings_sent,
+            self.restarts,
+        )
+    }
+}
+
+/// Renders records as an aligned table (one row per record).
+pub fn render_table(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<6} {:>7} {:>12} {:>10} {:>12} {:>14} {:>12} {:>8}\n",
+        "scheme", "ds", "threads", "Mops/s", "readMops", "maxRetire", "peakLiveBytes", "unreclaimed", "pings"
+    ));
+    for r in records {
+        out.push_str(&format!(
+            "{:<14} {:<6} {:>7} {:>12.3} {:>10.3} {:>12} {:>14} {:>12} {:>8}\n",
+            r.scheme,
+            r.ds,
+            r.threads,
+            r.throughput_mops,
+            r.read_mops,
+            r.max_retire_len,
+            r.peak_live_bytes,
+            r.unreclaimed_nodes,
+            r.pings_sent,
+        ));
+    }
+    out
+}
+
+/// Appends records to a CSV file (creating it with a header if missing).
+pub fn write_csv(path: &Path, figure: &str, records: &[RunRecord]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let exists = path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if !exists {
+        writeln!(f, "{}", RunRecord::CSV_HEADER)?;
+    }
+    for r in records {
+        writeln!(f, "{}", r.csv_row(figure))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> RunRecord {
+        RunRecord {
+            scheme: "HazardPtrPOP",
+            ds: "HML",
+            threads: 4,
+            key_range: 2048,
+            ops: 1_000_000,
+            read_ops: 900_000,
+            update_ops: 100_000,
+            seconds: 1.0,
+            throughput_mops: 1.0,
+            read_mops: 0.9,
+            max_retire_len: 64,
+            peak_live_bytes: 123_456,
+            unreclaimed_nodes: 12,
+            pings_sent: 3,
+            restarts: 0,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_field_count() {
+        let row = rec().csv_row("fig2a");
+        assert_eq!(
+            row.split(',').count(),
+            RunRecord::CSV_HEADER.split(',').count()
+        );
+        assert!(row.starts_with("fig2a,HML,HazardPtrPOP,4,"));
+    }
+
+    #[test]
+    fn table_contains_all_records() {
+        let t = render_table(&[rec(), rec()]);
+        assert_eq!(t.matches("HazardPtrPOP").count(), 2);
+        assert!(t.contains("Mops/s"));
+    }
+
+    #[test]
+    fn csv_file_written_with_header_once() {
+        let dir = std::env::temp_dir().join("pop_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("out.csv");
+        write_csv(&path, "fig1a", &[rec()]).unwrap();
+        write_csv(&path, "fig1a", &[rec()]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.matches("figure,ds").count(), 1, "single header");
+        assert_eq!(content.lines().count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

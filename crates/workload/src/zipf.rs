@@ -1,0 +1,134 @@
+//! Zipf-distributed key sampling via a precomputed inverse-CDF table.
+//!
+//! The paper's evaluation draws keys uniformly; real caches and indexes
+//! are skewed. The `ablation-skew` experiment uses this sampler to check
+//! that publish-on-ping's advantage survives contention (hot keys
+//! concentrate CAS failures and retirements on a few nodes).
+//!
+//! Sampling is O(log n) binary search over a cumulative table built once
+//! per (n, s); the table is shared read-only across threads.
+
+use std::sync::Arc;
+
+/// Zipf(`n`, `s`) distribution over ranks `0..n` (rank 0 most popular).
+pub struct Zipf {
+    cdf: Arc<Vec<f64>>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `s` is the skew exponent (`0` = uniform,
+    /// `~0.99` = web-like skew). `n` must be ≥ 1.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs a non-empty support");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Zipf { cdf: Arc::new(cdf) }
+    }
+
+    /// Maps a uniform draw in `[0, 1)` to a rank in `0..n`.
+    #[inline]
+    pub fn rank(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Support size.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Cheap handle for another thread (shares the table).
+    pub fn clone_handle(&self) -> Zipf {
+        Zipf {
+            cdf: Arc::clone(&self.cdf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(x: &mut u64) -> f64 {
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        (*x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(1000, 0.0);
+        let mut x = 42u64;
+        let mut counts = vec![0u64; 10];
+        for _ in 0..100_000 {
+            let r = z.rank(xorshift(&mut x));
+            counts[(r / 100) as usize] += 1;
+        }
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(
+            *hi < lo * 2,
+            "s=0 must be near-uniform across deciles: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut x = 7u64;
+        let mut head = 0u64;
+        const SAMPLES: u64 = 100_000;
+        for _ in 0..SAMPLES {
+            if z.rank(xorshift(&mut x)) < 100 {
+                head += 1;
+            }
+        }
+        // With s≈1, the top 1% of ranks draw roughly half the mass.
+        assert!(
+            head > SAMPLES / 3,
+            "top-100 ranks got only {head}/{SAMPLES}"
+        );
+    }
+
+    #[test]
+    fn ranks_in_bounds_at_extremes() {
+        let z = Zipf::new(5, 1.2);
+        assert_eq!(z.rank(0.0), 0);
+        assert!(z.rank(0.999_999) < 5);
+        assert_eq!(z.n(), 5);
+    }
+
+    #[test]
+    fn rank_zero_is_most_probable() {
+        let z = Zipf::new(100, 0.8);
+        let mut x = 3u64;
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            counts[z.rank(xorshift(&mut x)) as usize] += 1;
+        }
+        let max_idx = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 0, "rank 0 must dominate: {:?}", &counts[..5]);
+    }
+
+    #[test]
+    fn shared_handle_samples_identically() {
+        let z = Zipf::new(64, 0.5);
+        let h = z.clone_handle();
+        for u in [0.1, 0.37, 0.8, 0.99] {
+            assert_eq!(z.rank(u), h.rank(u));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! A guided tour of the full structure zoo under one reclamation domain
+//! per structure: list, hash table, external BST, (a,b)-tree, stack and
+//! queue, all running the same mixed workload under EpochPOP.
+//!
+//! ```sh
+//! cargo run --release --example hash_table_tour
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pop::ds::ab_tree::AbTree;
+use pop::ds::ext_bst::ExtBst;
+use pop::ds::hash_map::HashMapHm;
+use pop::ds::hml::HmList;
+use pop::ds::lazy_list::LazyList;
+use pop::ds::ms_queue::MsQueue;
+use pop::ds::treiber_stack::TreiberStack;
+use pop::ds::ConcurrentMap;
+use pop::smr::{EpochPop, Smr, SmrConfig};
+
+const THREADS: usize = 4;
+const OPS: u64 = 50_000;
+const KEYS: u64 = 4_096;
+
+fn tour_map<M: ConcurrentMap<EpochPop>>(label: &str) {
+    let smr = EpochPop::new(SmrConfig::for_threads(THREADS).with_reclaim_freq(2_048));
+    let map = Arc::new(M::with_domain(Arc::clone(&smr)));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let map = Arc::clone(&map);
+            std::thread::spawn(move || {
+                let _reg = map.smr().register(tid);
+                let mut x = 0xA5A5_5A5A_u64 + tid as u64;
+                for _ in 0..OPS {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % KEYS;
+                    // Select the operation from high bits so it is not
+                    // correlated with the key's residue.
+                    match (x >> 32) % 4 {
+                        0 => {
+                            map.insert(tid, k, x);
+                        }
+                        1 => {
+                            map.remove(tid, k);
+                        }
+                        _ => {
+                            map.contains(tid, k);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let dt = t0.elapsed();
+    let s = smr.stats().snapshot();
+    println!(
+        "{:<6} {:>8.2} Mops/s   retired {:>8}  freed {:>8}  leftover {:>6}",
+        label,
+        (THREADS as f64 * OPS as f64) / dt.as_secs_f64() / 1e6,
+        s.retired_nodes,
+        s.freed_nodes,
+        s.unreclaimed_nodes(),
+    );
+}
+
+fn tour_stack_queue() {
+    let smr = EpochPop::new(SmrConfig::for_threads(THREADS).with_reclaim_freq(2_048));
+    let stack = Arc::new(TreiberStack::new(Arc::clone(&smr)));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let stack = Arc::clone(&stack);
+            std::thread::spawn(move || {
+                let _reg = stack.smr().register(tid);
+                for i in 0..OPS / 2 {
+                    stack.push(tid, i);
+                    stack.pop(tid);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = smr.stats().snapshot();
+    println!(
+        "{:<6} push/pop pairs done   retired {:>8}  leftover {:>6}",
+        "Stack",
+        s.retired_nodes,
+        s.unreclaimed_nodes()
+    );
+
+    let smr = EpochPop::new(SmrConfig::for_threads(THREADS).with_reclaim_freq(2_048));
+    let queue = Arc::new(MsQueue::new(Arc::clone(&smr)));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let _reg = queue.smr().register(tid);
+                for i in 0..OPS / 2 {
+                    queue.enqueue(tid, i);
+                    queue.dequeue(tid);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = smr.stats().snapshot();
+    println!(
+        "{:<6} enq/deq pairs done    retired {:>8}  leftover {:>6}",
+        "Queue",
+        s.retired_nodes,
+        s.unreclaimed_nodes()
+    );
+}
+
+fn main() {
+    println!(
+        "{} threads x {} mixed ops per structure under EpochPOP\n",
+        THREADS, OPS
+    );
+    tour_map::<HmList<EpochPop>>("HML");
+    tour_map::<LazyList<EpochPop>>("LL");
+    tour_map::<HashMapHm<EpochPop>>("HMHT");
+    tour_map::<ExtBst<EpochPop>>("DGT");
+    tour_map::<AbTree<EpochPop>>("ABT");
+    tour_stack_queue();
+    println!("\nEvery structure shares the same Smr interface — the paper's");
+    println!("drop-in compatibility claim, demonstrated across seven shapes.");
+}

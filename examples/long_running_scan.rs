@@ -1,0 +1,104 @@
+//! Long-running reads vs. neutralization (the paper's Figure 4 story).
+//!
+//! ```sh
+//! cargo run --release --example long_running_scan
+//! ```
+//!
+//! One thread repeatedly scans a large list end to end (think: an OLTP
+//! range query) while a writer churns at the head with an aggressively
+//! small retire threshold, so reclamation fires constantly. Under NBR+,
+//! every reclamation neutralizes the scanner — it restarts from the head
+//! and rarely finishes. HazardPtrPOP's scanner is merely pinged (its
+//! handler publishes reservations) and keeps its place.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pop::ds::hml::HmList;
+use pop::ds::ConcurrentMap;
+use pop::smr::{HazardPtrPop, NbrPlus, Smr, SmrConfig};
+
+fn scan_run<S: Smr>() -> (u64, u64, u64) {
+    const LIST_KEYS: u64 = 4_096;
+    let smr = S::new(SmrConfig::for_threads(2).with_reclaim_freq(256));
+    let set = Arc::new(HmList::new(Arc::clone(&smr)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed_scans = Arc::new(AtomicU64::new(0));
+
+    // The scanner: full-range membership sweep = a long-running read op
+    // for every probe deep in the list.
+    let scanner = {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        let completed = Arc::clone(&completed_scans);
+        std::thread::spawn(move || {
+            let _reg = set.smr().register(0);
+            // Prefill every other key so scans traverse a long chain.
+            for k in (0..LIST_KEYS).step_by(2) {
+                set.insert(0, k, k);
+            }
+            while !stop.load(Ordering::Relaxed) {
+                // Probe the deep end of the list: each lookup traverses
+                // most of the chain.
+                for k in (LIST_KEYS - 64..LIST_KEYS).rev() {
+                    set.contains(0, k);
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The churner: insert/delete near the head, forcing reclamation.
+    let churner = {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let _reg = set.smr().register(1);
+            let mut k = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                set.insert(1, k % 64, k);
+                set.remove(1, k % 64);
+                k = k.wrapping_add(3);
+            }
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(800));
+    stop.store(true, Ordering::Release);
+    scanner.join().unwrap();
+    churner.join().unwrap();
+    let s = smr.stats().snapshot();
+    (
+        completed_scans.load(Ordering::Relaxed),
+        s.restarts,
+        s.pings_sent,
+    )
+}
+
+fn main() {
+    println!("deep-probe scanner vs head-churning writer (retire threshold 256)\n");
+    let (nbr_scans, nbr_restarts, nbr_pings) = scan_run::<NbrPlus>();
+    let (pop_scans, pop_restarts, pop_pings) = scan_run::<HazardPtrPop>();
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "scheme", "sweeps", "restarts", "pings"
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "NBR+", nbr_scans, nbr_restarts, nbr_pings
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "HazardPtrPOP", pop_scans, pop_restarts, pop_pings
+    );
+    println!();
+    println!("NBR+ restarts its reads whenever a reclaimer neutralizes;");
+    println!("POP readers keep their place — the paper's Figure 4 effect.");
+    assert_eq!(pop_restarts, 0, "POP must never restart a reader");
+}

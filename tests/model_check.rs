@@ -1,0 +1,89 @@
+//! Property-based sequential-semantics checks: every structure, driven by
+//! a random operation sequence, must agree with `BTreeMap` exactly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pop::ds::ab_tree::AbTree;
+use pop::ds::ext_bst::ExtBst;
+use pop::ds::hash_map::HashMapHm;
+use pop::ds::hml::HmList;
+use pop::ds::lazy_list::LazyList;
+use pop::ds::ConcurrentMap;
+use pop::smr::{HazardPtrPop, Smr, SmrConfig};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_range, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_range).prop_map(Op::Remove),
+        (0..key_range).prop_map(Op::Get),
+    ]
+}
+
+fn check_against_model<M: ConcurrentMap<HazardPtrPop>>(ops: &[Op]) {
+    let smr = HazardPtrPop::new(SmrConfig::for_tests(1).with_reclaim_freq(16));
+    let map = M::with_domain(Arc::clone(&smr));
+    let reg = smr.register(0);
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let expect = !model.contains_key(&k);
+                if expect {
+                    model.insert(k, v);
+                }
+                assert_eq!(map.insert(0, k, v), expect, "insert({k}) divergence");
+            }
+            Op::Remove(k) => {
+                let expect = model.remove(&k).is_some();
+                assert_eq!(map.remove(0, k), expect, "remove({k}) divergence");
+            }
+            Op::Get(k) => {
+                assert_eq!(map.get(0, k), model.get(&k).copied(), "get({k}) divergence");
+            }
+        }
+    }
+    // Final sweep: every key agrees.
+    for k in 0..64 {
+        assert_eq!(map.contains(0, k), model.contains_key(&k));
+    }
+    drop(reg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hml_matches_btreemap(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+        check_against_model::<HmList<HazardPtrPop>>(&ops);
+    }
+
+    #[test]
+    fn lazy_list_matches_btreemap(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+        check_against_model::<LazyList<HazardPtrPop>>(&ops);
+    }
+
+    #[test]
+    fn hash_map_matches_btreemap(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+        check_against_model::<HashMapHm<HazardPtrPop>>(&ops);
+    }
+
+    #[test]
+    fn ext_bst_matches_btreemap(ops in prop::collection::vec(op_strategy(64), 1..400)) {
+        check_against_model::<ExtBst<HazardPtrPop>>(&ops);
+    }
+
+    #[test]
+    fn ab_tree_matches_btreemap(ops in prop::collection::vec(op_strategy(256), 1..600)) {
+        check_against_model::<AbTree<HazardPtrPop>>(&ops);
+    }
+}

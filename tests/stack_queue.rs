@@ -1,0 +1,152 @@
+//! Stack and queue under every reclamation scheme: value conservation
+//! (nothing lost, nothing duplicated) across concurrent producers and
+//! consumers — the classic ABA/use-after-free trap SMR must prevent.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use pop::ds::ms_queue::MsQueue;
+use pop::ds::treiber_stack::TreiberStack;
+use pop::smr::{
+    Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, Hyaline, Ibr,
+    NbrPlus, Smr, SmrConfig,
+};
+
+const PER_PRODUCER: u64 = 4_000;
+
+fn stack_conservation<S: Smr>() {
+    let smr = S::new(SmrConfig::for_tests(4).with_reclaim_freq(64));
+    let s = Arc::new(TreiberStack::new(Arc::clone(&smr)));
+    let mut handles = Vec::new();
+    for tid in 0..2usize {
+        let s = Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            let _reg = s.smr().register(tid);
+            for i in 0..PER_PRODUCER {
+                s.push(tid, ((tid as u64) << 32) | i);
+            }
+            Vec::new()
+        }));
+    }
+    for tid in 2..4usize {
+        let s = Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            let _reg = s.smr().register(tid);
+            let mut got = Vec::new();
+            let mut idle = 0u64;
+            while got.len() < (PER_PRODUCER / 2) as usize && idle < 100_000_000 {
+                match s.pop(tid) {
+                    Some(v) => got.push(v),
+                    None => idle += 1,
+                }
+            }
+            got
+        }));
+    }
+    let mut all: Vec<u64> = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    {
+        let _reg = smr.register(0);
+        while let Some(v) = s.pop(0) {
+            all.push(v);
+        }
+    }
+    assert_eq!(all.len(), 2 * PER_PRODUCER as usize, "values conserved");
+    let distinct: HashSet<u64> = all.iter().copied().collect();
+    assert_eq!(distinct.len(), all.len(), "no duplicates (ABA would show here)");
+}
+
+fn queue_conservation<S: Smr>() {
+    let smr = S::new(SmrConfig::for_tests(4).with_reclaim_freq(64));
+    let q = Arc::new(MsQueue::new(Arc::clone(&smr)));
+    let mut handles = Vec::new();
+    for tid in 0..2usize {
+        let q = Arc::clone(&q);
+        handles.push(std::thread::spawn(move || {
+            let _reg = q.smr().register(tid);
+            for i in 0..PER_PRODUCER {
+                q.enqueue(tid, ((tid as u64) << 32) | i);
+            }
+            Vec::new()
+        }));
+    }
+    for tid in 2..4usize {
+        let q = Arc::clone(&q);
+        handles.push(std::thread::spawn(move || {
+            let _reg = q.smr().register(tid);
+            let mut got = Vec::new();
+            let mut idle = 0u64;
+            while got.len() < (PER_PRODUCER / 2) as usize && idle < 100_000_000 {
+                match q.dequeue(tid) {
+                    Some(v) => got.push(v),
+                    None => idle += 1,
+                }
+            }
+            got
+        }));
+    }
+    let mut all: Vec<u64> = Vec::new();
+    let mut per_thread: Vec<Vec<u64>> = Vec::new();
+    for h in handles {
+        let v = h.join().unwrap();
+        per_thread.push(v.clone());
+        all.extend(v);
+    }
+    {
+        let _reg = smr.register(0);
+        while let Some(v) = q.dequeue(0) {
+            all.push(v);
+        }
+    }
+    assert_eq!(all.len(), 2 * PER_PRODUCER as usize, "values conserved");
+    let distinct: HashSet<u64> = all.iter().copied().collect();
+    assert_eq!(distinct.len(), all.len(), "no duplicates");
+    // Per-producer FIFO: each consumer's stream must be increasing within
+    // a producer's tag.
+    for stream in &per_thread {
+        for producer in 0..2u64 {
+            let seq: Vec<u64> = stream
+                .iter()
+                .filter(|&&v| v >> 32 == producer)
+                .map(|&v| v & 0xFFFF_FFFF)
+                .collect();
+            assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "per-producer FIFO order violated"
+            );
+        }
+    }
+}
+
+macro_rules! conservation_tests {
+    ($($name:ident : $scheme:ty),+ $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+                #[test]
+                fn stack() {
+                    stack_conservation::<$scheme>();
+                }
+                #[test]
+                fn queue() {
+                    queue_conservation::<$scheme>();
+                }
+            }
+        )+
+    };
+}
+
+conservation_tests! {
+    ebr: Ebr,
+    ibr: Ibr,
+    hp: HazardPtr,
+    hp_asym: HazardPtrAsym,
+    he: HazardEra,
+    nbr_plus: NbrPlus,
+    hazard_ptr_pop: HazardPtrPop,
+    hazard_era_pop: HazardEraPop,
+    epoch_pop: EpochPop,
+    hyaline: Hyaline,
+}

@@ -1,0 +1,144 @@
+//! Cross-crate stress: every reclamation scheme × every data structure,
+//! multi-threaded, with per-key parity accounting.
+//!
+//! Each successful insert increments a per-key ledger, each successful
+//! remove decrements it. Whatever the interleaving, a key's final ledger
+//! value is 1 iff the key is present — a linearizability-derived invariant
+//! that catches lost updates, double frees that corrupt structure, and
+//! reclamation races that drop reachable nodes.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use pop::ds::ab_tree::AbTree;
+use pop::ds::ext_bst::ExtBst;
+use pop::ds::hash_map::HashMapHm;
+use pop::ds::hml::HmList;
+use pop::ds::lazy_list::LazyList;
+use pop::ds::ConcurrentMap;
+use pop::smr::{
+    Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, Hyaline, Ibr,
+    NbrPlus, NoReclaim, Smr, SmrConfig,
+};
+
+const THREADS: usize = 3;
+const OPS_PER_THREAD: u64 = 20_000;
+const KEY_RANGE: u64 = 128;
+
+fn stress<S: Smr, M: ConcurrentMap<S>>() {
+    let smr = S::new(SmrConfig::for_tests(THREADS + 1).with_reclaim_freq(128));
+    let map = Arc::new(M::with_domain(Arc::clone(&smr)));
+    let ledger: Arc<Vec<AtomicI64>> =
+        Arc::new((0..KEY_RANGE).map(|_| AtomicI64::new(0)).collect());
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let map = Arc::clone(&map);
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || {
+                let _reg = map.smr().register(tid);
+                let mut x = 0x243F6A8885A308D3u64 ^ (tid as u64) << 17;
+                for _ in 0..OPS_PER_THREAD {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = x % KEY_RANGE;
+                    // Op selector from high bits: KEY_RANGE is a power of
+                    // two, so `x % 4` would fix the key's residue per op
+                    // class and removes would never hit inserted keys.
+                    match (x >> 32) % 4 {
+                        0 | 1 => {
+                            if map.insert(tid, key, key + 1) {
+                                ledger[key as usize].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        2 => {
+                            if map.remove(tid, key) {
+                                ledger[key as usize].fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            // Lookups must never observe poison or crash.
+                            let _ = map.get(tid, key);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress worker panicked");
+    }
+
+    // Quiescent verification from a fresh registration.
+    let reg = smr.register(THREADS);
+    for key in 0..KEY_RANGE {
+        let count = ledger[key as usize].load(Ordering::Relaxed);
+        assert!(
+            count == 0 || count == 1,
+            "key {key}: ledger {count} is not a set cardinality"
+        );
+        assert_eq!(
+            map.contains(THREADS, key),
+            count == 1,
+            "key {key}: presence disagrees with ledger ({count})"
+        );
+    }
+    drop(reg);
+
+    // Accounting sanity — and proof the reclamation path actually ran.
+    let s = smr.stats().snapshot();
+    assert!(s.freed_nodes <= s.retired_nodes + s.allocated_nodes);
+    assert!(
+        s.retired_nodes >= s.freed_nodes,
+        "freed more than retired: {s:?}"
+    );
+    assert!(
+        s.retired_nodes > 0,
+        "stress must exercise retirement (op/key correlation bug?)"
+    );
+}
+
+macro_rules! stress_tests {
+    ($($name:ident : $scheme:ty),+ $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+                #[test]
+                fn hml() {
+                    stress::<$scheme, HmList<$scheme>>();
+                }
+                #[test]
+                fn lazy_list() {
+                    stress::<$scheme, LazyList<$scheme>>();
+                }
+                #[test]
+                fn hash_map() {
+                    stress::<$scheme, HashMapHm<$scheme>>();
+                }
+                #[test]
+                fn ext_bst() {
+                    stress::<$scheme, ExtBst<$scheme>>();
+                }
+                #[test]
+                fn ab_tree() {
+                    stress::<$scheme, AbTree<$scheme>>();
+                }
+            }
+        )+
+    };
+}
+
+stress_tests! {
+    nr: NoReclaim,
+    ebr: Ebr,
+    ibr: Ibr,
+    hp: HazardPtr,
+    hp_asym: HazardPtrAsym,
+    he: HazardEra,
+    nbr_plus: NbrPlus,
+    hazard_ptr_pop: HazardPtrPop,
+    hazard_era_pop: HazardEraPop,
+    epoch_pop: EpochPop,
+    hyaline: Hyaline,
+}
