@@ -1,15 +1,95 @@
 //! Full retire→reclaim cycle cost per scheme: the amortized price of a
 //! reclamation event (scan/ping/free), measured by driving insert+delete
-//! pairs through a list with a small retire threshold.
+//! pairs through a list with a small retire threshold — plus an isolated
+//! reclamation-**pass** cost measurement at 1, 4 and 8 registered threads
+//! that makes the allocation-free + quiescent-ping-filter work visible in
+//! the bench trajectory (idle peers are exactly the threads the filter
+//! elides; wider domains mean wider reservation scans).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
 
 use pop_core::{
-    Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrPop, Hyaline, Ibr, Smr, SmrConfig,
+    retire_node, Ebr, EpochPop, HasHeader, HazardEra, HazardEraPop, HazardPtr, HazardPtrPop,
+    Header, Hyaline, Ibr, Smr, SmrConfig,
 };
 use pop_ds::hml::HmList;
 use pop_ds::ConcurrentMap;
+
+#[repr(C)]
+struct BenchNode {
+    hdr: Header,
+    v: u64,
+}
+unsafe impl HasHeader for BenchNode {}
+
+fn alloc_node<S: Smr>(smr: &S, tid: usize, v: u64) -> *mut BenchNode {
+    smr.note_alloc(tid, core::mem::size_of::<BenchNode>());
+    Box::into_raw(Box::new(BenchNode {
+        hdr: Header::new(smr.current_era(), core::mem::size_of::<BenchNode>()),
+        v,
+    }))
+}
+
+/// Cost of one reclamation pass (retire a small batch, then `flush`) with
+/// `threads - 1` registered-but-idle peers. Idle peers stress exactly what
+/// this iteration of the codebase optimized: their stat shards stay cold,
+/// ping filtering skips signalling them, and the pass reuses scratch
+/// buffers instead of reallocating.
+fn reclaim_pass_cost<S: Smr>(c: &mut Criterion, threads: usize) {
+    const BATCH: u64 = 64;
+    // Threshold far above BATCH: the pass runs only inside `flush`.
+    let smr = S::new(SmrConfig::for_threads(threads).with_reclaim_freq(1 << 20));
+    let reg = smr.register(0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let ready = Arc::new(Barrier::new(threads));
+    let mut peers = Vec::new();
+    for t in 1..threads {
+        let smr = Arc::clone(&smr);
+        let stop = Arc::clone(&stop);
+        let ready = Arc::clone(&ready);
+        peers.push(std::thread::spawn(move || {
+            let peer_reg = smr.register(t);
+            ready.wait();
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            drop(peer_reg);
+        }));
+    }
+    if threads > 1 {
+        ready.wait();
+    }
+    let mut g = c.benchmark_group(format!("reclaim_pass_{}", S::NAME));
+    g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                let p = alloc_node(&*smr, 0, i);
+                // SAFETY: never shared; retired exactly once.
+                unsafe { retire_node(&*smr, 0, p) };
+            }
+            smr.flush(0);
+        })
+    });
+    g.finish();
+    stop.store(true, Ordering::Release);
+    for p in peers {
+        p.join().unwrap();
+    }
+    drop(reg);
+}
+
+fn pass_cost_sweep(c: &mut Criterion) {
+    for &threads in &[1usize, 4, 8] {
+        reclaim_pass_cost::<Ebr>(c, threads);
+        reclaim_pass_cost::<HazardPtr>(c, threads);
+        reclaim_pass_cost::<HazardEra>(c, threads);
+        reclaim_pass_cost::<HazardPtrPop>(c, threads);
+        reclaim_pass_cost::<HazardEraPop>(c, threads);
+        reclaim_pass_cost::<EpochPop>(c, threads);
+    }
+}
 
 fn reclaim_cycle<S: Smr>(c: &mut Criterion) {
     let smr = S::new(SmrConfig::for_threads(1).with_reclaim_freq(256));
@@ -45,5 +125,5 @@ fn benches(c: &mut Criterion) {
     reclaim_cycle::<Hyaline>(c);
 }
 
-criterion_group!(group, benches);
+criterion_group!(group, benches, pass_cost_sweep);
 criterion_main!(group);

@@ -14,7 +14,7 @@
 //!   --csv PATH           append rows to a CSV file (default results/pop.csv)
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -100,7 +100,7 @@ fn parse_cli() -> Cli {
     Cli { command, opts, csv }
 }
 
-fn emit(csv: &PathBuf, rows: Vec<(String, RunRecord)>) {
+fn emit(csv: &Path, rows: Vec<(String, RunRecord)>) {
     let records: Vec<RunRecord> = rows.iter().map(|(_, r)| r.clone()).collect();
     println!("{}", report::render_table(&records));
     for (fig, rec) in &rows {
@@ -112,7 +112,7 @@ fn emit(csv: &PathBuf, rows: Vec<(String, RunRecord)>) {
 /// The robustness demonstration (paper §1/§4.2, and the premise of
 /// EpochPOP): one reader stalls inside an operation while writers churn;
 /// EBR's garbage grows without bound, the POP schemes stay bounded.
-fn run_robustness(opts: &SweepOptions, csv: &PathBuf) {
+fn run_robustness(opts: &SweepOptions, csv: &Path) {
     fn stalled_trial<S: Smr>(duration: Duration) -> RunRecord {
         let threads = 2usize;
         let smr_cfg = SmrConfig::for_threads(threads + 1).with_reclaim_freq(512);
@@ -178,6 +178,7 @@ fn run_robustness(opts: &SweepOptions, csv: &PathBuf) {
             peak_live_bytes: 0,
             unreclaimed_nodes: stats.unreclaimed_nodes(),
             pings_sent: stats.pings_sent,
+            pings_skipped: stats.pings_skipped,
             restarts: stats.restarts,
         }
     }
@@ -185,7 +186,10 @@ fn run_robustness(opts: &SweepOptions, csv: &PathBuf) {
     println!("robustness: 2 writers churn while 1 reader stalls in-op");
     println!("expect: EBR unreclaimed grows with work; POP schemes bounded\n");
     let rows = vec![
-        ("robustness".to_string(), stalled_trial::<Ebr>(opts.duration)),
+        (
+            "robustness".to_string(),
+            stalled_trial::<Ebr>(opts.duration),
+        ),
         (
             "robustness".to_string(),
             stalled_trial::<HazardPtrPop>(opts.duration),
@@ -199,7 +203,7 @@ fn run_robustness(opts: &SweepOptions, csv: &PathBuf) {
 }
 
 /// Ablation A1: EpochPOP's escalation multiplier `C` (DESIGN.md §4).
-fn run_ablation_c(opts: &SweepOptions, csv: &PathBuf) {
+fn run_ablation_c(opts: &SweepOptions, csv: &Path) {
     let threads = *opts.threads.iter().max().unwrap_or(&2);
     let mut rows = Vec::new();
     for c in [1usize, 2, 4, 8] {
@@ -224,7 +228,7 @@ fn run_ablation_c(opts: &SweepOptions, csv: &PathBuf) {
 
 /// Ablation A2: retire-list threshold sweep (cf. the paper's footnote on
 /// retire-list sizing and Kim et al. 2024).
-fn run_ablation_freq(opts: &SweepOptions, csv: &PathBuf) {
+fn run_ablation_freq(opts: &SweepOptions, csv: &Path) {
     let threads = *opts.threads.iter().max().unwrap_or(&2);
     let schemes = opts.schemes.clone().unwrap_or_else(|| {
         vec![
@@ -258,7 +262,7 @@ fn run_ablation_freq(opts: &SweepOptions, csv: &PathBuf) {
 
 /// Ablation A3 (extension): Zipf key skew — does POP's advantage survive
 /// contention on hot keys? The paper evaluates uniform keys only.
-fn run_ablation_skew(opts: &SweepOptions, csv: &PathBuf) {
+fn run_ablation_skew(opts: &SweepOptions, csv: &Path) {
     let threads = *opts.threads.iter().max().unwrap_or(&2);
     let schemes = opts.schemes.clone().unwrap_or_else(|| {
         vec![
@@ -324,8 +328,8 @@ fn run_latency_tables(opts: &SweepOptions) {
             seed: 0x1A7,
             skew: 0.0,
         };
-        let smr_cfg = SmrConfig::for_threads(threads)
-            .with_reclaim_freq(opts.reclaim_freq.unwrap_or(2_048));
+        let smr_cfg =
+            SmrConfig::for_threads(threads).with_reclaim_freq(opts.reclaim_freq.unwrap_or(2_048));
         let rep = pop_bench::run_latency_one(scheme, DsId::Hml, &cfg, smr_cfg);
         let (rp50, rp99, rp999, rmax) = rep.read_ns;
         let (up50, up99, _, _) = rep.update_ns;

@@ -205,7 +205,10 @@ mod tests {
         for id in SchemeId::ALL {
             assert_eq!(SchemeId::parse(id.name()), Some(id));
         }
-        assert_eq!(SchemeId::parse("hazardptrpop"), Some(SchemeId::HazardPtrPop));
+        assert_eq!(
+            SchemeId::parse("hazardptrpop"),
+            Some(SchemeId::HazardPtrPop)
+        );
         assert_eq!(SchemeId::parse("bogus"), None);
     }
 
@@ -228,7 +231,12 @@ mod tests {
             (SchemeId::NbrPlus, DsId::Ll),
             (SchemeId::Hyaline, DsId::Abt),
         ] {
-            let rec = run_one(s, d, &cfg, pop_core::SmrConfig::for_tests(2).with_reclaim_freq(64));
+            let rec = run_one(
+                s,
+                d,
+                &cfg,
+                pop_core::SmrConfig::for_tests(2).with_reclaim_freq(64),
+            );
             assert!(rec.ops > 0, "{}/{} executed no ops", s.name(), d.name());
         }
     }

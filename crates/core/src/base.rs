@@ -1,8 +1,9 @@
 //! Domain plumbing shared by every scheme: thread-slot occupancy, retire
-//! lists, the quarantine use-after-free detector, and orphan handling.
+//! lists, reusable reclamation scratch, the quarantine use-after-free
+//! detector, and orphan handling.
 
 use core::cell::UnsafeCell;
-use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -37,6 +38,50 @@ impl RetireSlot {
     }
 }
 
+/// Reusable per-thread buffers for reclamation passes.
+///
+/// Every buffer a pass needs lives here and is only ever `clear()`ed, never
+/// dropped, so a steady-state pass performs **zero heap allocations** once
+/// each buffer has grown to its working size (typically after the first
+/// pass). One instance per domain thread, owner-only access via
+/// [`ScratchSlot`].
+#[derive(Default)]
+pub(crate) struct ReclaimScratch {
+    /// Collected publish counters (`collectPublishedCounters`) or restart
+    /// sequence numbers (NBR phase 1).
+    pub counters: Vec<u64>,
+    /// Second counter snapshot (NBR's operation sequence numbers).
+    pub op_counters: Vec<u64>,
+    /// Sorted, deduplicated reservation words (pointers or eras).
+    pub reserved: Vec<u64>,
+    /// Announced `[lower, upper]` epoch intervals (IBR).
+    pub intervals: Vec<(u64, u64)>,
+}
+
+/// Single-owner cell holding a thread's [`ReclaimScratch`] (same ownership
+/// discipline as [`RetireSlot`]).
+pub(crate) struct ScratchSlot(UnsafeCell<ReclaimScratch>);
+
+// SAFETY: access is confined to the owning thread by the registration
+// protocol, exactly as for `RetireSlot`.
+unsafe impl Sync for ScratchSlot {}
+unsafe impl Send for ScratchSlot {}
+
+impl ScratchSlot {
+    pub(crate) fn new() -> Self {
+        ScratchSlot(UnsafeCell::new(ReclaimScratch::default()))
+    }
+
+    /// # Safety
+    ///
+    /// Caller must be the registered owner of the enclosing tid.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get(&self) -> &mut ReclaimScratch {
+        // SAFETY: single-owner contract above.
+        unsafe { &mut *self.0.get() }
+    }
+}
+
 /// State common to all reclamation domains.
 pub(crate) struct DomainBase {
     pub cfg: SmrConfig,
@@ -61,8 +106,8 @@ impl DomainBase {
         let mut gtids = Vec::with_capacity(n);
         gtids.resize_with(n, || AtomicUsize::new(0));
         DomainBase {
+            stats: Arc::new(DomainStats::new(n)),
             cfg,
-            stats: Arc::new(DomainStats::default()),
             occupied: occupied.into_boxed_slice(),
             gtid_of: gtids.into_boxed_slice(),
             quarantine: Mutex::new(Vec::new()),
@@ -104,15 +149,18 @@ impl DomainBase {
         }
     }
 
-    /// Frees (or quarantines) one retired object, updating accounting.
+    /// Frees (or quarantines) one retired object, accounting it on the
+    /// calling reclaimer's stat shard.
     ///
     /// # Safety
     ///
-    /// The scheme must have proven no thread can access the object.
-    pub(crate) unsafe fn free_now(&self, r: Retired) {
+    /// The scheme must have proven no thread can access the object, and
+    /// `tid` must be the caller's registered domain thread id.
+    pub(crate) unsafe fn free_now(&self, tid: usize, r: Retired) {
         let bytes = r.header().size() as u64;
-        self.stats.freed_nodes.fetch_add(1, Ordering::Relaxed);
-        self.stats.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+        let shard = self.stats.shard(tid);
+        shard.freed_nodes.fetch_add(1, Ordering::Relaxed);
+        shard.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
         if self.cfg.quarantine {
             r.header().poison();
             self.quarantine.lock().push(r);
@@ -148,14 +196,16 @@ impl Drop for DomainBase {
             );
         }
         // All participants are gone: quarantined and orphaned nodes can be
-        // deallocated for real.
+        // deallocated for real. No tid exists here — count on the overflow
+        // shard.
         for r in self.quarantine.get_mut().drain(..) {
             // SAFETY: no registered threads remain, so no reader exists.
             unsafe { r.free() };
         }
+        let overflow = self.stats.overflow();
         for r in self.orphans.get_mut().drain(..) {
-            self.stats.freed_nodes.fetch_add(1, Ordering::Relaxed);
-            self.stats
+            overflow.freed_nodes.fetch_add(1, Ordering::Relaxed);
+            overflow
                 .freed_bytes
                 .fetch_add(r.header().size() as u64, Ordering::Relaxed);
             // SAFETY: as above.
@@ -164,31 +214,74 @@ impl Drop for DomainBase {
     }
 }
 
+/// In-place survivor sweep over a retire list: every entry for which `keep`
+/// returns `false` is freed via [`DomainBase::free_now`]; survivors stay in
+/// the list **in their original order**. Returns the number freed.
+///
+/// The sweep is allocation-free: survivors are compacted toward the front
+/// of the existing buffer instead of being re-pushed into a fresh vector.
+///
+/// # Safety
+///
+/// The caller's scheme must have proven that every entry `keep` rejects is
+/// unreachable by all threads, and `tid` must be the caller's registered
+/// domain thread id (it owns `list`).
+pub(crate) unsafe fn sweep_retire_list(
+    base: &DomainBase,
+    tid: usize,
+    list: &mut Vec<Retired>,
+    mut keep: impl FnMut(&Retired) -> bool,
+) -> usize {
+    let len = list.len();
+    let ptr = list.as_mut_ptr();
+    // Defensive: if a free panics mid-sweep (quarantine assertion), the
+    // list must not expose half-moved entries. `Retired` has no Drop impl,
+    // so truncating first leaks survivors on unwind instead of
+    // double-freeing them.
+    // SAFETY: 0 <= len, elements stay initialized; we manage them manually.
+    unsafe { list.set_len(0) };
+    let mut write = 0usize;
+    let mut freed = 0usize;
+    for read in 0..len {
+        // SAFETY: `read < len`, the original initialized length.
+        let r = unsafe { core::ptr::read(ptr.add(read)) };
+        if keep(&r) {
+            // SAFETY: `write <= read < len`; slot was already moved out.
+            unsafe { core::ptr::write(ptr.add(write), r) };
+            write += 1;
+        } else {
+            // SAFETY: forwarded contract — entry proven unreachable.
+            unsafe { base.free_now(tid, r) };
+            freed += 1;
+        }
+    }
+    // SAFETY: the first `write` slots hold initialized survivors.
+    unsafe { list.set_len(write) };
+    freed
+}
+
 /// Frees every entry of `list` whose pointer is **not** in the sorted
-/// `reserved` set; reserved entries are retained. Returns the number freed.
+/// `reserved` set; reserved entries are retained in order. Returns the
+/// number freed.
 ///
 /// # Safety
 ///
 /// `reserved` must contain every (unmarked) pointer any thread may still
-/// access — the scheme's scan guarantees this.
+/// access — the scheme's scan guarantees this. `tid` must be the caller's
+/// registered domain thread id.
 pub(crate) unsafe fn free_unreserved(
     base: &DomainBase,
+    tid: usize,
     list: &mut Vec<Retired>,
     reserved: &[u64],
 ) -> usize {
     debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
-    let old = core::mem::take(list);
-    let mut freed = 0;
-    for r in old {
-        if reserved.binary_search(&(r.ptr() as u64)).is_ok() {
-            list.push(r);
-        } else {
-            // SAFETY: pointer absent from the complete reservation set.
-            unsafe { base.free_now(r) };
-            freed += 1;
-        }
+    // SAFETY: forwarded contract.
+    unsafe {
+        sweep_retire_list(base, tid, list, |r| {
+            reserved.binary_search(&(r.ptr() as u64)).is_ok()
+        })
     }
-    freed
 }
 
 /// Frees every entry whose `[birth_era, retire_era]` lifespan intersects no
@@ -197,27 +290,65 @@ pub(crate) unsafe fn free_unreserved(
 ///
 /// # Safety
 ///
-/// `reserved` must include every era any thread may have reserved.
+/// `reserved` must include every era any thread may have reserved. `tid`
+/// must be the caller's registered domain thread id.
 pub(crate) unsafe fn free_era_unreserved(
     base: &DomainBase,
+    tid: usize,
     list: &mut Vec<Retired>,
     reserved: &[u64],
 ) -> usize {
     debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
-    let old = core::mem::take(list);
-    let mut freed = 0;
-    for r in old {
-        let birth = r.header().birth_era;
-        let retire = r.header().retire_era();
-        if era_range_reserved(reserved, birth, retire) {
-            list.push(r);
-        } else {
-            // SAFETY: no reserved era intersects the lifespan.
-            unsafe { base.free_now(r) };
-            freed += 1;
+    // SAFETY: forwarded contract.
+    unsafe {
+        sweep_retire_list(base, tid, list, |r| {
+            era_range_reserved(reserved, r.header().birth_era, r.header().retire_era())
+        })
+    }
+}
+
+/// Frees every entry retired strictly before epoch `min` (EBR / EpochPOP
+/// fast path). Returns the number freed.
+///
+/// # Safety
+///
+/// `min` must be a lower bound on every registered thread's announced
+/// epoch — nodes retired before it are unreachable. `tid` must be the
+/// caller's registered domain thread id.
+pub(crate) unsafe fn free_before_epoch(
+    base: &DomainBase,
+    tid: usize,
+    list: &mut Vec<Retired>,
+    min: u64,
+) -> usize {
+    // SAFETY: forwarded contract.
+    unsafe { sweep_retire_list(base, tid, list, |r| r.header().retire_era() >= min) }
+}
+
+/// Scans every registered thread's reservation slots (`cells` laid out as
+/// `tid * slots_per_thread + slot`) into `out` as a sorted, deduplicated
+/// set of non-zero words. Shared by the eager-publication schemes (HP,
+/// HPAsym, HE); allocation-free once `out` has grown to working capacity.
+pub(crate) fn collect_slot_words_into(
+    base: &DomainBase,
+    slots_per_thread: usize,
+    cells: &[AtomicU64],
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    for t in 0..base.cfg.max_threads {
+        if !base.is_registered(t) {
+            continue;
+        }
+        for s in 0..slots_per_thread {
+            let w = cells[t * slots_per_thread + s].load(Ordering::Acquire);
+            if w != 0 {
+                out.push(w);
+            }
         }
     }
-    freed
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Whether any era in sorted `reserved` lies within `[birth, retire]`.
@@ -241,6 +372,7 @@ mod tests {
 
     fn mk(base: &DomainBase, birth: u64, retire: u64) -> Retired {
         base.stats
+            .shard(0)
             .allocated_nodes
             .fetch_add(1, Ordering::Relaxed);
         let p = Box::into_raw(Box::new(N {
@@ -294,13 +426,72 @@ mod tests {
         let mut list = vec![mk(&b, 0, 0), mk(&b, 0, 0), mk(&b, 0, 0)];
         let kept = list[1].ptr() as u64;
         let reserved = vec![kept];
-        let freed = unsafe { free_unreserved(&b, &mut list, &reserved) };
+        let freed = unsafe { free_unreserved(&b, 0, &mut list, &reserved) };
         assert_eq!(freed, 2);
         assert_eq!(list.len(), 1);
         assert_eq!(list[0].ptr() as u64, kept);
         // Free the survivor so the allocation is not leaked in the test.
         let survivor = list.pop().unwrap();
-        unsafe { b.free_now(survivor) };
+        unsafe { b.free_now(0, survivor) };
+    }
+
+    #[test]
+    fn sweep_preserves_survivor_order_and_capacity() {
+        // The in-place sweep must keep survivors in retire order (oldest
+        // first — schemes rely on this for retire-era monotonicity) and
+        // must not reallocate the backing buffer.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list: Vec<Retired> = (0..8).map(|i| mk(&b, i, i)).collect();
+        let cap_before = list.capacity();
+        let buf_before = list.as_ptr();
+        // Keep eras 1, 4, 6 — a scattered survivor pattern.
+        let keep: Vec<u64> = vec![1, 4, 6];
+        let kept_ptrs: Vec<u64> = list
+            .iter()
+            .filter(|r| keep.contains(&r.header().birth_era))
+            .map(|r| r.ptr() as u64)
+            .collect();
+        let freed = unsafe {
+            sweep_retire_list(&b, 0, &mut list, |r| keep.contains(&r.header().birth_era))
+        };
+        assert_eq!(freed, 5);
+        assert_eq!(list.len(), 3);
+        assert_eq!(
+            list.iter()
+                .map(|r| r.header().birth_era)
+                .collect::<Vec<_>>(),
+            keep,
+            "survivors must keep their original relative order"
+        );
+        assert_eq!(
+            list.iter().map(|r| r.ptr() as u64).collect::<Vec<_>>(),
+            kept_ptrs,
+            "survivors must be the same objects, not copies"
+        );
+        assert_eq!(list.capacity(), cap_before, "sweep must not reallocate");
+        assert_eq!(list.as_ptr(), buf_before, "sweep must reuse the buffer");
+        // Accounting: freed counted on shard 0.
+        assert_eq!(b.stats.snapshot().freed_nodes, 5);
+        for r in list.drain(..) {
+            unsafe { b.free_now(0, r) };
+        }
+    }
+
+    #[test]
+    fn free_before_epoch_sweeps_by_retire_era() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = vec![mk(&b, 0, 3), mk(&b, 0, 7), mk(&b, 0, 5)];
+        let freed = unsafe { free_before_epoch(&b, 0, &mut list, 5) };
+        assert_eq!(freed, 1, "only retire era 3 < 5 is freeable");
+        assert_eq!(
+            list.iter()
+                .map(|r| r.header().retire_era())
+                .collect::<Vec<_>>(),
+            vec![7, 5]
+        );
+        for r in list.drain(..) {
+            unsafe { b.free_now(0, r) };
+        }
     }
 
     #[test]
@@ -308,11 +499,11 @@ mod tests {
         let b = DomainBase::new(SmrConfig::for_tests(1).with_quarantine());
         let r = mk(&b, 0, 0);
         let ptr = r.ptr();
-        unsafe { b.free_now(r) };
+        unsafe { b.free_now(0, r) };
         assert_eq!(b.quarantine_len(), 1);
         // The allocation is still mapped and poisoned.
         assert!(unsafe { &*ptr }.is_poisoned());
-        assert_eq!(b.stats.freed_nodes.load(Ordering::Relaxed), 1);
+        assert_eq!(b.stats.snapshot().freed_nodes, 1);
     }
 
     #[test]
@@ -333,12 +524,12 @@ mod tests {
         let b = DomainBase::new(SmrConfig::for_tests(1));
         // lifespans: [1,2] freeable, [4,6] blocked by era 5, [7,9] freeable
         let mut list = vec![mk(&b, 1, 2), mk(&b, 4, 6), mk(&b, 7, 9)];
-        let freed = unsafe { free_era_unreserved(&b, &mut list, &[3, 5, 10]) };
+        let freed = unsafe { free_era_unreserved(&b, 0, &mut list, &[3, 5, 10]) };
         assert_eq!(freed, 2);
         assert_eq!(list.len(), 1);
         assert_eq!(list[0].header().birth_era, 4);
         let survivor = list.pop().unwrap();
-        unsafe { b.free_now(survivor) };
+        unsafe { b.free_now(0, survivor) };
     }
 
     #[test]
@@ -349,8 +540,8 @@ mod tests {
             stats = Arc::clone(&b.stats);
             let leftovers = vec![mk(&b, 0, 0), mk(&b, 0, 0)];
             b.adopt_orphans(leftovers);
-            assert_eq!(stats.freed_nodes.load(Ordering::Relaxed), 0);
+            assert_eq!(stats.snapshot().freed_nodes, 0);
         }
-        assert_eq!(stats.freed_nodes.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.snapshot().freed_nodes, 2);
     }
 }

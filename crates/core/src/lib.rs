@@ -43,7 +43,7 @@ pub mod testing {
 pub use config::SmrConfig;
 pub use header::{unmark_word, HasHeader, Header, Retired};
 pub use smr::{as_header, protect_infallible, retire_node, ReadResult, Registration, Restart, Smr};
-pub use stats::{DomainStats, StatsSnapshot};
+pub use stats::{DomainStats, ShardStats, StatsSnapshot};
 
 // Convenience aliases matching the paper's plot labels.
 pub use schemes::ebr::Ebr;

@@ -9,6 +9,28 @@
 //! sequence. Reservation words are opaque `u64`s: pointer bits for
 //! HazardPtrPOP/EpochPOP, era numbers for HazardEraPOP.
 //!
+//! ## Quiescent-thread ping filtering
+//!
+//! Each thread maintains an *activity word* (odd = inside an operation),
+//! bumped in `begin_op`/`end_op` alongside `clear_local`. A reclaimer
+//! skips signalling a thread that is (a) quiescent (activity word even)
+//! with (b) empty published *and* local reservations — mirroring NBR+'s
+//! signal-elision optimization. Safety rests on the same reachability
+//! argument as EBR quiescence and this module's existing deregistration
+//! skip, made rigorous by two `SeqCst` fences: the `begin_op` bump is a
+//! store followed by a `SeqCst` fence, and the reclaimer executes a
+//! `SeqCst` fence after its unlinks, before reading the word. Either
+//! (i) the reclaimer observes the thread active and pings it, or (ii) the
+//! reclaimer's fence precedes the thread's in the fence total order — in
+//! which case (two-SC-fence rule) every load of that operation observes
+//! the unlinks, so no `protect` validation can return a pointer to this
+//! pass's retirees (unlinked nodes are unreachable from structure roots,
+//! and traversals refuse to cross marked links). The local-reservation
+//! check is defense in depth for callers that protect outside an op
+//! bracket after synchronizing through some other channel. Threads whose
+//! *shared* slots hold stale non-zero words are always pinged: skipping
+//! them would let the stale reservations pin garbage forever.
+//!
 //! Instances are leaked (`&'static`) because the process-global signal
 //! handler may dereference them at any time; see `pop-runtime` docs.
 
@@ -20,6 +42,14 @@ use pop_runtime::signal::ping_gtid;
 use pop_runtime::Publisher;
 
 use crate::stats::DomainStats;
+
+/// Spins before the publish wait falls back to `yield_now` so an
+/// oversubscribed machine cannot livelock a reclaimer behind a descheduled
+/// reader (the paper's §4.1.2 worst case).
+const SPIN_LIMIT: u32 = 128;
+
+/// Sentinel in a collected-counters buffer: do not wait for this thread.
+const SKIP: u64 = u64::MAX;
 
 /// Shared reservation state for one publish-on-ping domain.
 pub(crate) struct PopShared {
@@ -33,16 +63,27 @@ pub(crate) struct PopShared {
     shared: Box<[AtomicU64]>,
     /// `publishCounter[tid]`.
     counter: Box<[CachePadded<AtomicU64>]>,
+    /// Per-thread operation activity word: odd while inside an operation.
+    activity: Box<[CachePadded<AtomicU64>]>,
     /// Whether a domain tid currently participates.
     registered: Box<[AtomicBool]>,
     /// Domain tid → global thread id + 1 (0 = unbound).
     gtid_of: Box<[AtomicUsize]>,
     stats: Arc<DomainStats>,
+    /// Quiescent-thread ping elision. Off for users whose reservations live
+    /// outside this struct (the HPAsym signal barrier), where every handler
+    /// execution is load-bearing for memory ordering.
+    filter_quiescent: bool,
 }
 
 impl PopShared {
     /// Allocates and leaks the shared state (see module docs for why).
-    pub(crate) fn leak(nthreads: usize, slots: usize, stats: Arc<DomainStats>) -> &'static Self {
+    pub(crate) fn leak(
+        nthreads: usize,
+        slots: usize,
+        stats: Arc<DomainStats>,
+        filter_quiescent: bool,
+    ) -> &'static Self {
         let cells = nthreads * slots;
         let mut local = Vec::with_capacity(cells);
         local.resize_with(cells, || AtomicU64::new(0));
@@ -50,6 +91,8 @@ impl PopShared {
         shared.resize_with(cells, || AtomicU64::new(0));
         let mut counter = Vec::with_capacity(nthreads);
         counter.resize_with(nthreads, || CachePadded::new(AtomicU64::new(0)));
+        let mut activity = Vec::with_capacity(nthreads);
+        activity.resize_with(nthreads, || CachePadded::new(AtomicU64::new(0)));
         let mut registered = Vec::with_capacity(nthreads);
         registered.resize_with(nthreads, || AtomicBool::new(false));
         let mut gtid_of = Vec::with_capacity(nthreads);
@@ -60,9 +103,11 @@ impl PopShared {
             local: local.into_boxed_slice(),
             shared: shared.into_boxed_slice(),
             counter: counter.into_boxed_slice(),
+            activity: activity.into_boxed_slice(),
             registered: registered.into_boxed_slice(),
             gtid_of: gtid_of.into_boxed_slice(),
             stats,
+            filter_quiescent,
         }))
     }
 
@@ -86,6 +131,36 @@ impl PopShared {
         self.local[self.idx(tid, slot)].load(Ordering::Relaxed)
     }
 
+    /// Marks `tid` as inside an operation (activity word → odd).
+    ///
+    /// The trailing `SeqCst` **fence** is what makes the reclaimer's signal
+    /// elision sound under weak memory (two-SC-fence rule, C++
+    /// [atomics.fences]): pairing with the reclaimer's fence before its
+    /// activity read, either the reclaimer observes this store (and pings),
+    /// or this fence follows the reclaimer's in the total order — in which
+    /// case every load of this operation observes the reclaimer's unlinks
+    /// and cannot validate a pointer to its retirees. A bare `SeqCst`
+    /// store is *not* enough: it is not a StoreLoad barrier against the
+    /// operation's subsequent plain loads on non-TSO targets.
+    ///
+    /// This is the one ordered instruction POP pays per *operation*; reads
+    /// stay fence-free.
+    #[inline]
+    pub(crate) fn note_active(&self, tid: usize) {
+        let a = self.activity[tid].load(Ordering::Relaxed);
+        self.activity[tid].store((a & !1).wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+    }
+
+    /// Marks `tid` as quiescent (activity word → even). Missing visibility
+    /// here is conservative (the thread just gets pinged), so Release
+    /// suffices.
+    #[inline]
+    pub(crate) fn note_quiescent(&self, tid: usize) {
+        let a = self.activity[tid].load(Ordering::Relaxed);
+        self.activity[tid].store((a | 1).wrapping_add(1), Ordering::Release);
+    }
+
     /// Paper's `clear()` (Alg. 1 line 23): reset local reservations when
     /// going quiescent. Shared slots intentionally keep their last published
     /// value — stale entries are conservative and refreshed at the next ping.
@@ -101,6 +176,10 @@ impl PopShared {
             self.local[self.idx(tid, s)].store(0, Ordering::Relaxed);
             self.shared[self.idx(tid, s)].store(0, Ordering::Relaxed);
         }
+        // Fresh occupants start quiescent; any parity left by a previous
+        // occupant is normalized.
+        let a = self.activity[tid].load(Ordering::Relaxed);
+        self.activity[tid].store((a | 1).wrapping_add(1), Ordering::Relaxed);
         self.gtid_of[tid].store(gtid + 1, Ordering::Relaxed);
         // Release publishes the cleared slots before the thread is pingable.
         self.registered[tid].store(true, Ordering::Release);
@@ -112,6 +191,7 @@ impl PopShared {
     pub(crate) fn unregister(&self, tid: usize) {
         self.clear_local(tid);
         self.publish_tid(tid);
+        self.note_quiescent(tid);
         self.registered[tid].store(false, Ordering::Release);
         self.gtid_of[tid].store(0, Ordering::Relaxed);
     }
@@ -127,44 +207,84 @@ impl PopShared {
         // The single fence that replaces one-fence-per-read of classic HP.
         fence(Ordering::SeqCst);
         self.counter[tid].fetch_add(1, Ordering::Release);
-        self.stats.publishes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .shard(tid)
+            .publishes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether thread `t` may be skipped by `pingAllToPublish`: quiescent
+    /// (activity word even) with empty published and local reservations.
+    /// Must run after the caller's `SeqCst` fence (see module docs).
+    fn is_provably_quiescent(&self, t: usize) -> bool {
+        if self.activity[t].load(Ordering::SeqCst) & 1 != 0 {
+            return false;
+        }
+        let base = t * self.slots;
+        for s in 0..self.slots {
+            // Stale non-zero shared words would pin garbage forever without
+            // a refreshing publish — always ping those threads. Non-zero
+            // locals mean a protect outside an op bracket — ping, to stay
+            // conservative for protocol-violating callers.
+            if self.shared[base + s].load(Ordering::Acquire) != 0
+                || self.local[base + s].load(Ordering::Acquire) != 0
+            {
+                return false;
+            }
+        }
+        true
     }
 
     /// Reclaimer-side sequence: self-publish, `collectPublishedCounters`,
     /// `pingAllToPublish`, `waitForAllPublished` (Alg. 1 lines 19–21).
-    pub(crate) fn ping_all_and_wait(&self, me: usize) {
+    ///
+    /// `collected` is the caller's reusable scratch buffer; steady-state
+    /// calls perform no heap allocation.
+    pub(crate) fn ping_all_and_wait(&self, me: usize, collected: &mut Vec<u64>) {
         // The reclaimer publishes its own reservations directly — it may
         // itself hold protected pointers (e.g. a traversal retiring nodes
         // mid-walk) that the scan must honor.
         self.publish_tid(me);
 
-        const SKIP: u64 = u64::MAX;
-        let mut collected = vec![SKIP; self.nthreads];
-        for t in 0..self.nthreads {
+        collected.clear();
+        collected.resize(self.nthreads, SKIP);
+        for (t, c) in collected.iter_mut().enumerate() {
             if t != me && self.registered[t].load(Ordering::Acquire) {
-                collected[t] = self.counter[t].load(Ordering::Acquire);
+                *c = self.counter[t].load(Ordering::Acquire);
             }
         }
         fence(Ordering::SeqCst);
         let mut pings = 0u64;
-        for t in 0..self.nthreads {
-            if collected[t] != SKIP {
-                if let Some(gtid) = self.gtid(t) {
-                    if ping_gtid(gtid) {
-                        pings += 1;
-                    }
+        let mut skipped = 0u64;
+        for (t, c) in collected.iter_mut().enumerate() {
+            if *c == SKIP {
+                continue;
+            }
+            if self.filter_quiescent && self.is_provably_quiescent(t) {
+                // No signal, no wait: the thread holds nothing and cannot
+                // reach this pass's retirees (module docs).
+                *c = SKIP;
+                skipped += 1;
+                continue;
+            }
+            if let Some(gtid) = self.gtid(t) {
+                if ping_gtid(gtid) {
+                    pings += 1;
                 }
             }
         }
-        self.stats.pings_sent.fetch_add(pings, Ordering::Relaxed);
-        for t in 0..self.nthreads {
-            if collected[t] == SKIP {
+        let shard = self.stats.shard(me);
+        shard.pings_sent.fetch_add(pings, Ordering::Relaxed);
+        shard.pings_skipped.fetch_add(skipped, Ordering::Relaxed);
+        for (t, &observed) in collected.iter().enumerate() {
+            if observed == SKIP {
                 continue;
             }
+            let mut spins = 0u32;
             loop {
                 // Acquire pairs with the handler's Release increment,
                 // making the published reservations visible to the scan.
-                if self.counter[t].load(Ordering::Acquire) > collected[t] {
+                if self.counter[t].load(Ordering::Acquire) > observed {
                     break;
                 }
                 // A thread that deregistered flushed empty reservations on
@@ -172,15 +292,24 @@ impl PopShared {
                 if !self.registered[t].load(Ordering::Acquire) {
                     break;
                 }
-                core::hint::spin_loop();
+                // Bounded spin, then yield: the pinged thread may be
+                // descheduled on an oversubscribed host, and its handler
+                // cannot run until it gets a CPU.
+                spins += 1;
+                if spins < SPIN_LIMIT {
+                    core::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
             }
         }
     }
 
     /// Scans `sharedReservations` of every registered thread (Alg. 2 lines
-    /// 28–31), returning the sorted, deduplicated set of non-zero words.
-    pub(crate) fn collect_reserved(&self) -> Vec<u64> {
-        let mut v = Vec::with_capacity(self.nthreads * self.slots);
+    /// 28–31) into `out` as a sorted, deduplicated set of non-zero words.
+    /// Allocation-free once `out` has grown to its working capacity.
+    pub(crate) fn collect_reserved_into(&self, out: &mut Vec<u64>) {
+        out.clear();
         for t in 0..self.nthreads {
             if !self.registered[t].load(Ordering::Acquire) {
                 continue;
@@ -188,12 +317,20 @@ impl PopShared {
             for s in 0..self.slots {
                 let w = self.shared[t * self.slots + s].load(Ordering::Acquire);
                 if w != 0 {
-                    v.push(w);
+                    out.push(w);
                 }
             }
         }
-        v.sort_unstable();
-        v.dedup();
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Allocating convenience wrapper around [`Self::collect_reserved_into`]
+    /// (tests and diagnostics only — reclamation passes use the scratch
+    /// variant).
+    pub(crate) fn collect_reserved(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(self.nthreads * self.slots);
+        self.collect_reserved_into(&mut v);
         v
     }
 
@@ -231,7 +368,7 @@ mod tests {
     use super::*;
 
     fn mk(n: usize, slots: usize) -> &'static PopShared {
-        PopShared::leak(n, slots, Arc::new(DomainStats::default()))
+        PopShared::leak(n, slots, Arc::new(DomainStats::new(n)), true)
     }
 
     #[test]
@@ -278,6 +415,22 @@ mod tests {
     }
 
     #[test]
+    fn collect_into_reuses_buffer_without_realloc() {
+        let p = mk(2, 2);
+        p.register(0, 0);
+        p.register(1, 1);
+        let mut buf = Vec::with_capacity(4);
+        let ptr_before = buf.as_ptr();
+        p.set_local(0, 0, 9);
+        p.set_local(1, 0, 3);
+        p.publish_tid(0);
+        p.publish_tid(1);
+        p.collect_reserved_into(&mut buf);
+        assert_eq!(buf, vec![3, 9]);
+        assert_eq!(buf.as_ptr(), ptr_before, "warm buffer must not realloc");
+    }
+
+    #[test]
     fn unregister_flushes_and_removes() {
         let p = mk(2, 2);
         p.register(0, 0);
@@ -311,7 +464,38 @@ mod tests {
         let p = mk(4, 2);
         p.register(2, 9);
         p.set_local(2, 0, 5);
-        p.ping_all_and_wait(2); // peers unregistered: must not block
+        let mut scratch = Vec::new();
+        p.ping_all_and_wait(2, &mut scratch); // peers unregistered: must not block
         assert_eq!(p.collect_reserved(), vec![5], "self-publish happened");
+    }
+
+    #[test]
+    fn activity_word_tracks_op_parity() {
+        let p = mk(1, 1);
+        p.register(0, 0);
+        assert!(p.is_provably_quiescent(0), "fresh registrant is quiescent");
+        p.note_active(0);
+        assert!(!p.is_provably_quiescent(0));
+        p.note_quiescent(0);
+        assert!(p.is_provably_quiescent(0));
+        // Unpaired end_op (tests do this) must keep the word even.
+        p.note_quiescent(0);
+        assert!(p.is_provably_quiescent(0));
+    }
+
+    #[test]
+    fn nonempty_reservations_defeat_quiescence() {
+        let p = mk(1, 2);
+        p.register(0, 0);
+        // Local reservation without an op bracket: not skippable.
+        p.set_local(0, 1, 0xFEED);
+        assert!(!p.is_provably_quiescent(0));
+        // Published but cleared-local (stale shared): still not skippable.
+        p.publish_tid(0);
+        p.clear_local(0);
+        assert!(!p.is_provably_quiescent(0));
+        // Republished empty: skippable again.
+        p.publish_tid(0);
+        assert!(p.is_provably_quiescent(0));
     }
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::base::{DomainBase, RetireSlot};
+use crate::base::{free_before_epoch, DomainBase, RetireSlot};
 use crate::config::SmrConfig;
 use crate::header::Retired;
 use crate::smr::{ReadResult, Smr};
@@ -37,23 +37,18 @@ pub struct Ebr {
 
 impl Ebr {
     fn reclaim_epoch_freeable(&self, tid: usize) {
-        self.base.stats.epoch_passes.fetch_add(1, Ordering::Relaxed);
+        let shard = self.base.stats.shard(tid);
+        shard.epoch_passes.fetch_add(1, Ordering::Relaxed);
         // Order the announcement scan after this thread's preceding unlinks.
         fence(Ordering::SeqCst);
         let min = self.min_reserved_epoch();
         // SAFETY: tid ownership per the registration contract.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
-        let old = core::mem::take(list);
-        for r in old {
-            if r.header().retire_era() < min {
-                // SAFETY: retired before every announced epoch — no thread
-                // that could hold a reference is still in its operation.
-                unsafe { self.base.free_now(r) };
-            } else {
-                list.push(r);
-            }
-        }
+        shard.observe_retire_len(list.len());
+        // SAFETY: nodes retired before every announced epoch are
+        // unreachable — no thread that could hold a reference is still in
+        // its operation. In-place sweep: no allocation.
+        unsafe { free_before_epoch(&self.base, tid, list, min) };
     }
 
     fn min_reserved_epoch(&self) -> u64 {
@@ -123,7 +118,7 @@ impl Smr for Ebr {
         let ts = &self.threads[tid];
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
-        if c % self.base.cfg.epoch_freq as u64 == 0 {
+        if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
             self.epoch.fetch_add(1, Ordering::AcqRel);
         }
         // SeqCst: the announcement must be globally visible before this
@@ -146,6 +141,7 @@ impl Smr for Ebr {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -179,7 +175,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &Ebr, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
             v,

@@ -21,7 +21,7 @@ use crossbeam_utils::CachePadded;
 use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
-use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::base::{free_before_epoch, free_unreserved, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Retired};
 use crate::pop_shared::PopShared;
@@ -32,6 +32,7 @@ use super::ebr::QUIESCENT;
 
 struct ThreadState {
     retire: RetireSlot,
+    scratch: ScratchSlot,
     op_count: AtomicU64,
 }
 
@@ -48,9 +49,11 @@ pub struct EpochPop {
 }
 
 impl EpochPop {
-    /// Alg. 3 `reclaimEpochFreeable`: the EBR fast path.
+    /// Alg. 3 `reclaimEpochFreeable`: the EBR fast path. In-place sweep —
+    /// no allocation.
     fn reclaim_epoch_freeable(&self, tid: usize) {
-        self.base.stats.epoch_passes.fetch_add(1, Ordering::Relaxed);
+        let shard = self.base.stats.shard(tid);
+        shard.epoch_passes.fetch_add(1, Ordering::Relaxed);
         fence(Ordering::SeqCst);
         let mut min = u64::MAX;
         for t in 0..self.base.cfg.max_threads {
@@ -60,32 +63,32 @@ impl EpochPop {
         }
         // SAFETY: tid ownership per the registration contract.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
-        let old = core::mem::take(list);
-        for r in old {
-            if r.header().retire_era() < min {
-                // SAFETY: retired before every announced epoch.
-                unsafe { self.base.free_now(r) };
-            } else {
-                list.push(r);
-            }
-        }
+        shard.observe_retire_len(list.len());
+        // SAFETY: nodes retired before every announced epoch are
+        // unreachable.
+        unsafe { free_before_epoch(&self.base, tid, list, min) };
     }
 
-    /// Alg. 3 lines 26–30: the robust POP escalation.
+    /// Alg. 3 lines 26–30: the robust POP escalation. Allocation-free via
+    /// the thread's scratch buffers.
     fn reclaim_pop_freeable(&self, tid: usize) {
-        self.base.stats.pop_passes.fetch_add(1, Ordering::Relaxed);
-        self.pop.ping_all_and_wait(tid);
-        let reserved = self.pop.collect_reserved();
+        self.base
+            .stats
+            .shard(tid)
+            .pop_passes
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: tid ownership.
+        let scratch = unsafe { self.threads[tid].scratch.get() };
+        self.pop.ping_all_and_wait(tid, &mut scratch.counters);
+        self.pop.collect_reserved_into(&mut scratch.reserved);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        // SAFETY: every thread published its private reservations (or
-        // deregistered); anything unreserved is unreachable — even for
-        // threads stuck in ancient epochs, because they too record local
-        // reservations on every read.
-        unsafe { free_unreserved(&self.base, list, &reserved) };
+        // SAFETY: every thread published its private reservations,
+        // deregistered, or was provably quiescent holding none; anything
+        // unreserved is unreachable — even for threads stuck in ancient
+        // epochs, because they too record local reservations on every read.
+        unsafe { free_unreserved(&self.base, tid, list, &scratch.reserved) };
     }
-
 }
 
 impl Smr for EpochPop {
@@ -96,7 +99,7 @@ impl Smr for EpochPop {
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
         let base = DomainBase::new(cfg);
-        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
+        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats), true);
         let publisher = register_publisher(pop);
         let mut reserved = Vec::with_capacity(n);
         reserved.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
@@ -104,6 +107,7 @@ impl Smr for EpochPop {
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
                 retire: RetireSlot::new(),
+                scratch: ScratchSlot::new(),
                 op_count: AtomicU64::new(0),
             })
         });
@@ -153,9 +157,10 @@ impl Smr for EpochPop {
         let ts = &self.threads[tid];
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
-        if c % self.base.cfg.epoch_freq as u64 == 0 {
+        if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
             self.epoch.fetch_add(1, Ordering::AcqRel);
         }
+        self.pop.note_active(tid);
         self.reserved_epoch[tid].store(self.epoch.load(Ordering::Acquire), Ordering::SeqCst);
     }
 
@@ -164,6 +169,7 @@ impl Smr for EpochPop {
     fn end_op(&self, tid: usize) {
         self.reserved_epoch[tid].store(QUIESCENT, Ordering::Release);
         self.pop.clear_local(tid);
+        self.pop.note_quiescent(tid);
     }
 
     /// Alg. 3 `read()`: identical to HazardPtrPOP — private reservation,
@@ -186,6 +192,7 @@ impl Smr for EpochPop {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -235,7 +242,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &EpochPop, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
             v,

@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::base::{free_era_unreserved, DomainBase, RetireSlot};
+use crate::base::{
+    collect_slot_words_into, free_era_unreserved, DomainBase, RetireSlot, ScratchSlot,
+};
 use crate::config::SmrConfig;
 use crate::header::Retired;
 use crate::smr::{ReadResult, Smr};
@@ -23,6 +25,7 @@ pub(crate) const NONE: u64 = 0;
 
 struct ThreadState {
     retire: RetireSlot,
+    scratch: ScratchSlot,
 }
 
 /// Hazard eras with eager (fenced) era publication.
@@ -42,37 +45,26 @@ impl HazardEra {
         tid * self.base.cfg.slots + slot
     }
 
-    fn collect_reserved_eras(&self) -> Vec<u64> {
-        let slots = self.base.cfg.slots;
-        let mut v = Vec::with_capacity(self.base.cfg.max_threads * slots);
-        for t in 0..self.base.cfg.max_threads {
-            if !self.base.is_registered(t) {
-                continue;
-            }
-            for s in 0..slots {
-                let e = self.shared[t * slots + s].load(Ordering::Acquire);
-                if e != NONE {
-                    v.push(e);
-                }
-            }
-        }
-        v.sort_unstable();
-        v.dedup();
-        v
-    }
-
     fn reclaim(&self, tid: usize) {
         // Alg. 4 line 21: advance the era so nodes retired from now on have
         // disjoint lifespans from long-held reservations.
         self.era.fetch_add(1, Ordering::AcqRel);
         fence(Ordering::SeqCst);
-        let reserved = self.collect_reserved_eras();
         // SAFETY: tid ownership per the registration contract.
+        let scratch = unsafe { self.threads[tid].scratch.get() };
+        // NONE == 0, so the generic non-zero-word scan applies to eras too.
+        collect_slot_words_into(
+            &self.base,
+            self.base.cfg.slots,
+            &self.shared,
+            &mut scratch.reserved,
+        );
+        // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
+        self.base.stats.shard(tid).observe_retire_len(list.len());
         // SAFETY: `reserved` contains every published era; a node whose
         // lifespan misses all of them cannot be reachable from any reader.
-        unsafe { free_era_unreserved(&self.base, list, &reserved) };
+        unsafe { free_era_unreserved(&self.base, tid, list, &scratch.reserved) };
     }
 }
 
@@ -90,6 +82,7 @@ impl Smr for HazardEra {
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
                 retire: RetireSlot::new(),
+                scratch: ScratchSlot::new(),
             })
         });
         Arc::new(HazardEra {
@@ -156,6 +149,7 @@ impl Smr for HazardEra {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -189,7 +183,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &HazardEra, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
             v,

@@ -16,7 +16,7 @@ use crossbeam_utils::CachePadded;
 use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
-use crate::base::{free_era_unreserved, DomainBase, RetireSlot};
+use crate::base::{free_era_unreserved, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::Retired;
 use crate::pop_shared::PopShared;
@@ -25,6 +25,7 @@ use crate::stats::DomainStats;
 
 struct ThreadState {
     retire: RetireSlot,
+    scratch: ScratchSlot,
 }
 
 /// Hazard eras that publish reservations on ping.
@@ -39,17 +40,21 @@ pub struct HazardEraPop {
 
 impl HazardEraPop {
     fn pop_reclaim(&self, tid: usize) {
-        self.base.stats.pop_passes.fetch_add(1, Ordering::Relaxed);
+        let shard = self.base.stats.shard(tid);
+        shard.pop_passes.fetch_add(1, Ordering::Relaxed);
         // Advance the era before pinging (see module docs).
         self.era.fetch_add(1, Ordering::AcqRel);
-        self.pop.ping_all_and_wait(tid);
-        let reserved = self.pop.collect_reserved();
         // SAFETY: tid ownership per the registration contract.
+        let scratch = unsafe { self.threads[tid].scratch.get() };
+        self.pop.ping_all_and_wait(tid, &mut scratch.counters);
+        self.pop.collect_reserved_into(&mut scratch.reserved);
+        // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
-        // SAFETY: all threads published (or deregistered); `reserved` holds
-        // every era any thread may rely on.
-        unsafe { free_era_unreserved(&self.base, list, &reserved) };
+        shard.observe_retire_len(list.len());
+        // SAFETY: all threads published, deregistered, or were provably
+        // quiescent holding no era reservations; `reserved` holds every era
+        // any thread may rely on.
+        unsafe { free_era_unreserved(&self.base, tid, list, &scratch.reserved) };
     }
 }
 
@@ -61,12 +66,13 @@ impl Smr for HazardEraPop {
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
         let base = DomainBase::new(cfg);
-        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
+        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats), true);
         let publisher = register_publisher(pop);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
                 retire: RetireSlot::new(),
+                scratch: ScratchSlot::new(),
             })
         });
         Arc::new(HazardEraPop {
@@ -107,12 +113,16 @@ impl Smr for HazardEraPop {
     }
 
     #[inline]
-    fn begin_op(&self, _tid: usize) {}
+    fn begin_op(&self, tid: usize) {
+        // Activity word → odd so reclaimers ping us (quiescent filter).
+        self.pop.note_active(tid);
+    }
 
     #[inline]
     fn end_op(&self, tid: usize) {
         // Alg. 5 clear(): local era slots back to NONE.
         self.pop.clear_local(tid);
+        self.pop.note_quiescent(tid);
     }
 
     /// Alg. 5 `read()`: reserve the era locally; no fence on era change.
@@ -134,6 +144,7 @@ impl Smr for HazardEraPop {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -174,7 +185,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &HazardEraPop, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
             v,

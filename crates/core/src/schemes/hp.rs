@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::base::{collect_slot_words_into, free_unreserved, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Retired};
 use crate::smr::{ReadResult, Smr};
@@ -18,6 +18,7 @@ use crate::stats::DomainStats;
 
 struct ThreadState {
     retire: RetireSlot,
+    scratch: ScratchSlot,
 }
 
 /// Classic eager-publishing hazard pointers.
@@ -35,38 +36,25 @@ impl HazardPtr {
         tid * self.base.cfg.slots + slot
     }
 
-    fn collect_reserved(&self) -> Vec<u64> {
-        let slots = self.base.cfg.slots;
-        let mut v = Vec::with_capacity(self.base.cfg.max_threads * slots);
-        for t in 0..self.base.cfg.max_threads {
-            if !self.base.is_registered(t) {
-                continue;
-            }
-            for s in 0..slots {
-                let w = self.shared[t * slots + s].load(Ordering::Acquire);
-                if w != 0 {
-                    v.push(w);
-                }
-            }
-        }
-        v.sort_unstable();
-        v.dedup();
-        v
-    }
-
     fn reclaim(&self, tid: usize) {
         // Order the reservation scan after this thread's preceding unlinks
         // (pairs with readers' per-read fences).
         fence(Ordering::SeqCst);
-        let reserved = self.collect_reserved();
         // SAFETY: tid ownership per the registration contract.
+        let scratch = unsafe { self.threads[tid].scratch.get() };
+        collect_slot_words_into(
+            &self.base,
+            self.base.cfg.slots,
+            &self.shared,
+            &mut scratch.reserved,
+        );
+        // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
+        self.base.stats.shard(tid).observe_retire_len(list.len());
         // SAFETY: `reserved` covers every published reservation; HP readers
         // publish (with a fence) before dereferencing.
-        unsafe { free_unreserved(&self.base, list, &reserved) };
+        unsafe { free_unreserved(&self.base, tid, list, &scratch.reserved) };
     }
-
 }
 
 impl Smr for HazardPtr {
@@ -83,6 +71,7 @@ impl Smr for HazardPtr {
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
                 retire: RetireSlot::new(),
+                scratch: ScratchSlot::new(),
             })
         });
         Arc::new(HazardPtr {
@@ -144,6 +133,7 @@ impl Smr for HazardPtr {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -173,7 +163,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &HazardPtr, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(0, core::mem::size_of::<N>()),
             v,

@@ -27,7 +27,7 @@ use pop_runtime::membarrier;
 use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
-use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::base::{collect_slot_words_into, free_unreserved, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Retired};
 use crate::pop_shared::PopShared;
@@ -36,6 +36,7 @@ use crate::stats::DomainStats;
 
 struct ThreadState {
     retire: RetireSlot,
+    scratch: ScratchSlot,
 }
 
 /// Folly-style hazard pointers with asymmetric fences.
@@ -57,48 +58,40 @@ impl HazardPtrAsym {
         tid * self.base.cfg.slots + slot
     }
 
-    fn collect_reserved(&self) -> Vec<u64> {
-        let slots = self.base.cfg.slots;
-        let mut v = Vec::with_capacity(self.base.cfg.max_threads * slots);
-        for t in 0..self.base.cfg.max_threads {
-            if !self.base.is_registered(t) {
-                continue;
-            }
-            for s in 0..slots {
-                let w = self.shared[t * slots + s].load(Ordering::Acquire);
-                if w != 0 {
-                    v.push(w);
-                }
-            }
-        }
-        v.sort_unstable();
-        v.dedup();
-        v
-    }
-
-    /// The heavy side of the asymmetric barrier.
-    fn heavy_barrier(&self, tid: usize) {
+    /// The heavy side of the asymmetric barrier. `counters` is the caller's
+    /// reusable scratch for the signal fallback.
+    fn heavy_barrier(&self, tid: usize, counters: &mut Vec<u64>) {
         if membarrier::heavy() {
-            self.base.stats.membarriers.fetch_add(1, Ordering::Relaxed);
+            self.base
+                .stats
+                .shard(tid)
+                .membarriers
+                .fetch_add(1, Ordering::Relaxed);
         } else {
             // Signal fallback: each handler fences and bumps its counter;
             // waiting for all counters gives the same process-wide ordering.
-            self.barrier.ping_all_and_wait(tid);
+            self.barrier.ping_all_and_wait(tid, counters);
         }
     }
 
     fn reclaim(&self, tid: usize) {
         fence(Ordering::SeqCst);
-        self.heavy_barrier(tid);
-        let reserved = self.collect_reserved();
         // SAFETY: tid ownership per the registration contract.
+        let scratch = unsafe { self.threads[tid].scratch.get() };
+        self.heavy_barrier(tid, &mut scratch.counters);
+        collect_slot_words_into(
+            &self.base,
+            self.base.cfg.slots,
+            &self.shared,
+            &mut scratch.reserved,
+        );
+        // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
+        self.base.stats.shard(tid).observe_retire_len(list.len());
         // SAFETY: post-barrier, every reader either has its reservation
         // visible in `reserved` or will fail validation against the unlink.
-        unsafe { free_unreserved(&self.base, list, &reserved) };
+        unsafe { free_unreserved(&self.base, tid, list, &scratch.reserved) };
     }
-
 
     /// Whether this process reclaims via `membarrier(2)` (vs signals).
     pub fn uses_membarrier(&self) -> bool {
@@ -119,12 +112,16 @@ impl Smr for HazardPtrAsym {
         let n = cfg.max_threads;
         let base = DomainBase::new(cfg);
         // Zero copy-slots: the barrier publisher only fences and counts.
-        let barrier = PopShared::leak(n, 0, Arc::clone(&base.stats));
+        // Quiescent filtering stays OFF — the reservations this barrier
+        // orders live in `self.shared`, not in the PopShared slots, so
+        // every handler execution is load-bearing.
+        let barrier = PopShared::leak(n, 0, Arc::clone(&base.stats), false);
         let publisher = register_publisher(barrier);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
                 retire: RetireSlot::new(),
+                scratch: ScratchSlot::new(),
             })
         });
         Arc::new(HazardPtrAsym {
@@ -196,6 +193,7 @@ impl Smr for HazardPtrAsym {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -232,7 +230,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &HazardPtrAsym, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(0, core::mem::size_of::<N>()),
             v,

@@ -20,7 +20,7 @@ use crossbeam_utils::CachePadded;
 use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
-use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::base::{free_unreserved, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Retired};
 use crate::pop_shared::PopShared;
@@ -29,6 +29,7 @@ use crate::stats::DomainStats;
 
 struct ThreadState {
     retire: RetireSlot,
+    scratch: ScratchSlot,
 }
 
 /// Hazard pointers that publish reservations on ping.
@@ -43,20 +44,24 @@ pub struct HazardPtrPop {
 impl HazardPtrPop {
     /// The paper's `retire` threshold path (Alg. 1 lines 18–22):
     /// `collectPublishedCounters; pingAllToPublish; waitForAllPublished;
-    /// reclaimHPFreeable`.
+    /// reclaimHPFreeable`. Allocation-free in steady state: all buffers
+    /// come from the thread's [`ScratchSlot`].
     fn pop_reclaim(&self, tid: usize) {
-        self.base.stats.pop_passes.fetch_add(1, Ordering::Relaxed);
-        self.pop.ping_all_and_wait(tid);
-        let reserved = self.pop.collect_reserved();
+        let shard = self.base.stats.shard(tid);
+        shard.pop_passes.fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership per the registration contract.
+        let scratch = unsafe { self.threads[tid].scratch.get() };
+        self.pop.ping_all_and_wait(tid, &mut scratch.counters);
+        self.pop.collect_reserved_into(&mut scratch.reserved);
+        // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
-        // SAFETY: every thread published (counter advanced) or deregistered
-        // (flushing empty reservations); `reserved` therefore covers every
-        // pointer any thread can still dereference.
-        unsafe { free_unreserved(&self.base, list, &reserved) };
+        shard.observe_retire_len(list.len());
+        // SAFETY: every thread published (counter advanced), deregistered
+        // (flushing empty reservations), or was provably quiescent holding
+        // no reservations; `reserved` therefore covers every pointer any
+        // thread can still dereference.
+        unsafe { free_unreserved(&self.base, tid, list, &scratch.reserved) };
     }
-
 
     /// Test observability: currently published (shared) reservations.
     #[doc(hidden)]
@@ -73,12 +78,13 @@ impl Smr for HazardPtrPop {
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
         let base = DomainBase::new(cfg);
-        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
+        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats), true);
         let publisher = register_publisher(pop);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
                 retire: RetireSlot::new(),
+                scratch: ScratchSlot::new(),
             })
         });
         Arc::new(HazardPtrPop {
@@ -118,12 +124,19 @@ impl Smr for HazardPtrPop {
     }
 
     #[inline]
-    fn begin_op(&self, _tid: usize) {}
+    fn begin_op(&self, tid: usize) {
+        // Activity word → odd: reclaimers must ping us from here on. The
+        // fence inside is the one ordered instruction HazardPtrPOP pays
+        // per *operation* (reads stay fence-free); it buys eliding signals
+        // to quiescent threads.
+        self.pop.note_active(tid);
+    }
 
     #[inline]
     fn end_op(&self, tid: usize) {
         // Paper's clear(): reset local reservations when going quiescent.
         self.pop.clear_local(tid);
+        self.pop.note_quiescent(tid);
     }
 
     /// Alg. 1 `read()`: load, reserve locally (relaxed), validate. The
@@ -144,6 +157,7 @@ impl Smr for HazardPtrPop {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -183,7 +197,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &HazardPtrPop, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(0, core::mem::size_of::<N>()),
             v,
@@ -287,6 +301,44 @@ mod tests {
     }
 
     #[test]
+    fn quiescent_idle_thread_is_not_pinged() {
+        // A registered but quiescent peer with empty reservations must be
+        // skipped by pingAllToPublish — the quiescent-thread filter.
+        let smr = HazardPtrPop::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let reg0 = smr.register(0);
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let idler = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                // One full op cycle, then stay registered but idle.
+                smr.begin_op(1);
+                smr.end_op(1);
+                tx.send(()).unwrap();
+                while hold.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                drop(reg1);
+            }
+        });
+        rx.recv().unwrap();
+        for i in 0..16 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert_eq!(s.pings_sent, 0, "idle quiescent peer must not be signalled");
+        assert!(s.pings_skipped >= 1, "the filter must record the elision");
+        assert_eq!(s.unreclaimed_nodes(), 0, "skipping must not block frees");
+        hold.store(false, Ordering::Release);
+        idler.join().unwrap();
+        drop(reg0);
+    }
+
+    #[test]
     fn robustness_bound_holds_with_stalled_reader() {
         // A reader stalls while holding one protection; the writer keeps
         // retiring. Unlike EBR, garbage must stay bounded.
@@ -320,8 +372,8 @@ mod tests {
             unsafe { retire_node(&*smr, 0, p) };
         }
         let s = smr.stats().snapshot();
-        let bound = (smr.config().reclaim_freq
-            + smr.config().max_threads * smr.config().slots) as u64;
+        let bound =
+            (smr.config().reclaim_freq + smr.config().max_threads * smr.config().slots) as u64;
         assert!(
             s.unreclaimed_nodes() <= bound,
             "garbage {} exceeds robustness bound {}",

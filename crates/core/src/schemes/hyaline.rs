@@ -82,24 +82,26 @@ impl Hyaline {
         self.arena[idx as usize].load(Ordering::Acquire)
     }
 
-    /// Frees every node of `batch` and the batch itself.
+    /// Frees every node of `batch` and the batch itself, accounting on
+    /// `tid`'s stat shard.
     ///
     /// # Safety
     ///
-    /// Caller must be the decrementer that brought `refs` to zero.
-    unsafe fn free_batch(&self, batch: *mut Batch) {
+    /// Caller must be the decrementer that brought `refs` to zero, running
+    /// on the thread registered as `tid`.
+    unsafe fn free_batch(&self, tid: usize, batch: *mut Batch) {
         // SAFETY: exclusive access per the zero-decrementer contract.
         let b = unsafe { Box::from_raw(batch) };
         for r in b.nodes {
             // SAFETY: every counted reader has exited (refs == 0) and the
             // nodes were unlinked before the batch was pushed.
-            unsafe { self.base.free_now(r) };
+            unsafe { self.base.free_now(tid, r) };
         }
     }
 
     /// Walks `head_idx → entry_idx` (exclusive), decrementing each batch
     /// pushed during the calling reader's activity.
-    fn traverse_and_decrement(&self, head_idx: u32, entry_idx: u32) {
+    fn traverse_and_decrement(&self, tid: usize, head_idx: u32, entry_idx: u32) {
         let mut cur_idx = head_idx;
         while cur_idx != entry_idx && cur_idx != 0 {
             let batch = self.resolve(cur_idx);
@@ -112,7 +114,7 @@ impl Hyaline {
             let prev = unsafe { (*batch).refs.fetch_sub(1, Ordering::AcqRel) };
             if prev == 1 {
                 // SAFETY: we brought refs to zero.
-                unsafe { self.free_batch(batch) };
+                unsafe { self.free_batch(tid, batch) };
             }
             cur_idx = next;
         }
@@ -122,7 +124,7 @@ impl Hyaline {
     fn seal_and_push(&self, tid: usize) {
         // SAFETY: tid ownership per the registration contract.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
+        self.base.stats.shard(tid).observe_retire_len(list.len());
         if list.is_empty() {
             return;
         }
@@ -156,9 +158,13 @@ impl Hyaline {
                     // Every counted reader already exited (decrementing the
                     // bias) — we are the effective zero-decrementer.
                     // SAFETY: refs reached zero with our adjustment.
-                    unsafe { self.free_batch(batch) };
+                    unsafe { self.free_batch(tid, batch) };
                 }
-                self.base.stats.epoch_passes.fetch_add(1, Ordering::Relaxed);
+                self.base
+                    .stats
+                    .shard(tid)
+                    .epoch_passes
+                    .fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
@@ -228,7 +234,7 @@ impl Smr for Hyaline {
         let head = (w >> 32) as u32;
         let entry = self.threads[tid].entry_idx.load(Ordering::Relaxed) as u32;
         if head != entry {
-            self.traverse_and_decrement(head, entry);
+            self.traverse_and_decrement(tid, head, entry);
         }
     }
 
@@ -242,6 +248,7 @@ impl Smr for Hyaline {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -272,7 +279,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &Hyaline, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(0, core::mem::size_of::<N>()),
             v,

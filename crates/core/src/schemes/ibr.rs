@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::base::{DomainBase, RetireSlot};
+use crate::base::{sweep_retire_list, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::Retired;
 use crate::smr::{ReadResult, Smr};
@@ -24,6 +24,7 @@ const QUIESCENT: u64 = u64::MAX;
 
 struct ThreadState {
     retire: RetireSlot,
+    scratch: ScratchSlot,
     op_count: AtomicU64,
 }
 
@@ -37,8 +38,8 @@ pub struct Ibr {
 }
 
 impl Ibr {
-    fn collect_intervals(&self) -> Vec<(u64, u64)> {
-        let mut v = Vec::with_capacity(self.base.cfg.max_threads);
+    fn collect_intervals_into(&self, out: &mut Vec<(u64, u64)>) {
+        out.clear();
         for t in 0..self.base.cfg.max_threads {
             if !self.base.is_registered(t) {
                 continue;
@@ -46,34 +47,32 @@ impl Ibr {
             let lo = self.lower[t].load(Ordering::SeqCst);
             let hi = self.upper[t].load(Ordering::SeqCst);
             if lo != QUIESCENT {
-                v.push((lo, hi));
+                out.push((lo, hi));
             }
         }
-        v
     }
 
     fn reclaim(&self, tid: usize) {
         self.epoch.fetch_add(1, Ordering::AcqRel);
         fence(Ordering::SeqCst);
-        let intervals = self.collect_intervals();
         // SAFETY: tid ownership per the registration contract.
+        let scratch = unsafe { self.threads[tid].scratch.get() };
+        self.collect_intervals_into(&mut scratch.intervals);
+        let intervals = &scratch.intervals;
+        // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
-        let old = core::mem::take(list);
-        for r in old {
-            let birth = r.header().birth_era;
-            let retire = r.header().retire_era();
-            let blocked = intervals
-                .iter()
-                .any(|&(lo, hi)| birth <= hi && retire >= lo);
-            if blocked {
-                list.push(r);
-            } else {
-                // SAFETY: the node's lifespan intersects no announced
-                // interval, so no thread can have acquired a reference.
-                unsafe { self.base.free_now(r) };
-            }
-        }
+        self.base.stats.shard(tid).observe_retire_len(list.len());
+        // SAFETY: a node whose lifespan intersects no announced interval
+        // cannot have been acquired by any thread.
+        unsafe {
+            sweep_retire_list(&self.base, tid, list, |r| {
+                let birth = r.header().birth_era;
+                let retire = r.header().retire_era();
+                intervals
+                    .iter()
+                    .any(|&(lo, hi)| birth <= hi && retire >= lo)
+            })
+        };
     }
 }
 
@@ -92,6 +91,7 @@ impl Smr for Ibr {
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
                 retire: RetireSlot::new(),
+                scratch: ScratchSlot::new(),
                 op_count: AtomicU64::new(0),
             })
         });
@@ -132,7 +132,7 @@ impl Smr for Ibr {
         let ts = &self.threads[tid];
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
-        if c % self.base.cfg.epoch_freq as u64 == 0 {
+        if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
             self.epoch.fetch_add(1, Ordering::AcqRel);
         }
         let e = self.epoch.load(Ordering::Acquire);
@@ -170,6 +170,7 @@ impl Smr for Ibr {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -203,7 +204,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &Ibr, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
             v,

@@ -26,7 +26,7 @@ use crossbeam_utils::CachePadded;
 use pop_runtime::signal::{ping_gtid, register_publisher};
 use pop_runtime::{Publisher, PublisherHandle};
 
-use crate::base::{free_unreserved, DomainBase, RetireSlot};
+use crate::base::{free_unreserved, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Header, Retired};
 use crate::smr::{ReadResult, Restart, Smr};
@@ -34,6 +34,7 @@ use crate::stats::DomainStats;
 
 struct ThreadState {
     retire: RetireSlot,
+    scratch: ScratchSlot,
 }
 
 /// Signal-handler-visible shared state (leaked, like `PopShared`).
@@ -110,7 +111,10 @@ impl Publisher for NbrShared {
                     self.neutralized[t].store(true, Ordering::Release);
                 }
                 fence(Ordering::SeqCst);
-                self.stats.publishes.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .shard(t)
+                    .publishes
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -133,7 +137,11 @@ impl NbrPlus {
             && sh.neutralized[tid].swap(false, Ordering::AcqRel)
         {
             sh.restart_seq[tid].fetch_add(1, Ordering::Release);
-            self.base.stats.restarts.fetch_add(1, Ordering::Relaxed);
+            self.base
+                .stats
+                .shard(tid)
+                .restarts
+                .fetch_add(1, Ordering::Relaxed);
             true
         } else {
             false
@@ -142,13 +150,22 @@ impl NbrPlus {
 
     fn reclaim(&self, tid: usize) {
         let sh = self.shared;
-        self.base.stats.pop_passes.fetch_add(1, Ordering::Relaxed);
+        let shard = self.base.stats.shard(tid);
+        shard.pop_passes.fetch_add(1, Ordering::Relaxed);
         fence(Ordering::SeqCst);
 
         // Phase 1: snapshot progress counters, then request neutralization.
+        // All buffers come from this thread's reusable scratch — the pass
+        // allocates nothing in steady state.
         const SKIP: u64 = u64::MAX;
-        let mut seq0 = vec![SKIP; sh.nthreads];
-        let mut ops0 = vec![0u64; sh.nthreads];
+        // SAFETY: tid ownership per the registration contract.
+        let scratch = unsafe { self.threads[tid].scratch.get() };
+        let seq0 = &mut scratch.counters;
+        let ops0 = &mut scratch.op_counters;
+        seq0.clear();
+        seq0.resize(sh.nthreads, SKIP);
+        ops0.clear();
+        ops0.resize(sh.nthreads, 0);
         for t in 0..sh.nthreads {
             if t != tid && sh.registered[t].load(Ordering::Acquire) {
                 seq0[t] = sh.restart_seq[t].load(Ordering::Acquire);
@@ -156,25 +173,39 @@ impl NbrPlus {
             }
         }
         let mut pings = 0u64;
-        for t in 0..sh.nthreads {
-            if seq0[t] != SKIP {
+        let mut skipped = 0u64;
+        for (t, &s0) in seq0.iter().enumerate() {
+            if s0 != SKIP {
                 sh.neutralized[t].store(true, Ordering::SeqCst);
             }
         }
         fence(Ordering::SeqCst);
-        for t in 0..sh.nthreads {
-            if seq0[t] != SKIP {
-                if let Some(g) = match sh.gtid_of[t].load(Ordering::Acquire) {
-                    0 => None,
-                    g => Some(g - 1),
-                } {
-                    if ping_gtid(g) {
-                        pings += 1;
-                    }
+        for (t, s0) in seq0.iter_mut().enumerate() {
+            if *s0 == SKIP {
+                continue;
+            }
+            // Signal elision (NBR+'s optimization): a thread outside any
+            // operation holds no read-phase pointers, and any operation it
+            // begins concurrently observes our unlinks (its `begin_op`
+            // ends in a SeqCst fence pairing with ours above) — no need to
+            // interrupt it. Its write-phase reservations, if any appear,
+            // are honored by the phase-3 scan regardless.
+            if !sh.in_op[t].load(Ordering::SeqCst) {
+                *s0 = SKIP;
+                skipped += 1;
+                continue;
+            }
+            if let Some(g) = match sh.gtid_of[t].load(Ordering::Acquire) {
+                0 => None,
+                g => Some(g - 1),
+            } {
+                if ping_gtid(g) {
+                    pings += 1;
                 }
             }
         }
-        self.base.stats.pings_sent.fetch_add(pings, Ordering::Relaxed);
+        shard.pings_sent.fetch_add(pings, Ordering::Relaxed);
+        shard.pings_skipped.fetch_add(skipped, Ordering::Relaxed);
 
         // Phase 2: wait until every peer provably holds no read-phase
         // pointer predating our unlinks (see module docs for the cases).
@@ -182,6 +213,7 @@ impl NbrPlus {
             if seq0[t] == SKIP {
                 continue;
             }
+            let mut spins = 0u32;
             loop {
                 if !sh.registered[t].load(Ordering::Acquire) {
                     break; // deregistered: no pointers at all
@@ -198,13 +230,21 @@ impl NbrPlus {
                 if sh.op_seq[t].load(Ordering::Acquire) != ops0[t] {
                     break; // went quiescent and began a fresh operation
                 }
-                core::hint::spin_loop();
+                // Bounded spin then yield: the peer may be descheduled on
+                // an oversubscribed host.
+                spins += 1;
+                if spins < 128 {
+                    core::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
             }
         }
         fence(Ordering::SeqCst);
 
         // Phase 3: honor write-phase reservations, free the rest.
-        let mut reserved = Vec::with_capacity(sh.nthreads * sh.slots);
+        let reserved = &mut scratch.reserved;
+        reserved.clear();
         for t in 0..sh.nthreads {
             if !sh.registered[t].load(Ordering::Acquire) {
                 continue;
@@ -220,10 +260,10 @@ impl NbrPlus {
         reserved.dedup();
         // SAFETY: tid ownership per the registration contract.
         let list = unsafe { self.threads[tid].retire.get() };
-        self.base.stats.observe_retire_len(list.len());
+        shard.observe_retire_len(list.len());
         // SAFETY: phase 2 established no peer holds an unreserved pointer
         // to our (already unlinked) retirees.
-        unsafe { free_unreserved(&self.base, list, &reserved) };
+        unsafe { free_unreserved(&self.base, tid, list, reserved) };
     }
 }
 
@@ -241,6 +281,7 @@ impl Smr for NbrPlus {
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
                 retire: RetireSlot::new(),
+                scratch: ScratchSlot::new(),
             })
         });
         Arc::new(NbrPlus {
@@ -297,6 +338,12 @@ impl Smr for NbrPlus {
         sh.neutralized[tid].store(false, Ordering::Relaxed);
         sh.op_seq[tid].fetch_add(1, Ordering::Release);
         sh.in_op[tid].store(true, Ordering::SeqCst);
+        // Two-SC-fence pairing with the reclaimer's fence before it reads
+        // `in_op` (signal elision) or breaks its phase-2 wait: either the
+        // reclaimer sees us in-op, or this operation's reads observe its
+        // unlinks. A bare SeqCst store does not order our subsequent plain
+        // loads on non-TSO targets.
+        fence(Ordering::SeqCst);
     }
 
     #[inline]
@@ -362,6 +409,7 @@ impl Smr for NbrPlus {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
@@ -407,7 +455,7 @@ mod tests {
     unsafe impl HasHeader for N {}
 
     fn alloc(smr: &NbrPlus, v: u64) -> *mut N {
-        smr.note_alloc(core::mem::size_of::<N>());
+        smr.note_alloc(0, core::mem::size_of::<N>());
         Box::into_raw(Box::new(N {
             hdr: Header::new(0, core::mem::size_of::<N>()),
             v,
@@ -423,8 +471,8 @@ mod tests {
         let src = AtomicPtr::new(node);
         let p = smr.protect(0, 0, &src).unwrap();
         assert_eq!(p, node);
-        let any_res = (0..smr.shared.slots)
-            .any(|s| smr.shared.wres[s].load(Ordering::Acquire) != 0);
+        let any_res =
+            (0..smr.shared.slots).any(|s| smr.shared.wres[s].load(Ordering::Acquire) != 0);
         assert!(!any_res, "read phase must not reserve");
         smr.end_op(0);
         unsafe { drop(Box::from_raw(node)) };
@@ -471,7 +519,12 @@ mod tests {
         smr.end_write(0);
         smr.end_op(0);
         let s = smr.stats().snapshot();
-        assert!(s.pings_sent >= 1, "reclaimer must ping");
+        // Signal elision may skip a reader caught between operations; every
+        // neutralization round either pings it or proves it quiescent.
+        assert!(
+            s.pings_sent + s.pings_skipped >= 1,
+            "reclaimer must ping or elide: {s:?}"
+        );
         assert!(s.freed_nodes > 0, "reclaimer must free");
         stop.store(true, Ordering::Release);
         reader.join().unwrap();

@@ -56,9 +56,10 @@ impl Smr for NoReclaim {
         Ok(src.load(Ordering::Acquire))
     }
 
-    unsafe fn retire(&self, _tid: usize, retired: Retired) {
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
         self.base
             .stats
+            .shard(tid)
             .retired_nodes
             .fetch_add(1, Ordering::Relaxed);
         // Deliberate leak: NR never frees. `Retired` has no Drop impl, so
@@ -91,7 +92,7 @@ mod tests {
                 hdr: Header::new(0, core::mem::size_of::<N>()),
                 v: i,
             }));
-            smr.note_alloc(core::mem::size_of::<N>());
+            smr.note_alloc(0, core::mem::size_of::<N>());
             unsafe { retire_node(&*smr, 0, p) };
         }
         smr.flush(0);

@@ -172,19 +172,26 @@ pub trait Smr: Send + Sync + Sized + 'static {
         0
     }
 
-    /// Accounts a node allocation of `bytes` bytes.
-    fn note_alloc(&self, bytes: usize) {
+    /// Accounts a node allocation of `bytes` bytes on `tid`'s stat shard.
+    ///
+    /// This is a hot-path call (once per insert); the shard keeps the
+    /// increment on a cache line owned by the calling thread.
+    fn note_alloc(&self, tid: usize, bytes: usize) {
         use core::sync::atomic::Ordering::Relaxed;
-        self.stats().allocated_nodes.fetch_add(1, Relaxed);
-        self.stats().allocated_bytes.fetch_add(bytes as u64, Relaxed);
+        let shard = self.stats().shard(tid);
+        shard.allocated_nodes.fetch_add(1, Relaxed);
+        shard.allocated_bytes.fetch_add(bytes as u64, Relaxed);
     }
 
     /// Reverses [`Smr::note_alloc`] for a node that was deallocated before
-    /// ever being published (e.g. a failed insert CAS).
-    fn note_dealloc_unpublished(&self, bytes: usize) {
+    /// ever being published (e.g. a failed insert CAS). Must run on the
+    /// same `tid` that noted the allocation, keeping each shard's counters
+    /// individually non-negative.
+    fn note_dealloc_unpublished(&self, tid: usize, bytes: usize) {
         use core::sync::atomic::Ordering::Relaxed;
-        self.stats().allocated_nodes.fetch_sub(1, Relaxed);
-        self.stats().allocated_bytes.fetch_sub(bytes as u64, Relaxed);
+        let shard = self.stats().shard(tid);
+        shard.allocated_nodes.fetch_sub(1, Relaxed);
+        shard.allocated_bytes.fetch_sub(bytes as u64, Relaxed);
     }
 
     /// Aggressively attempts to reclaim `tid`'s retire list regardless of
@@ -244,11 +251,7 @@ pub fn protect_infallible<S: Smr, T>(
 /// # Safety
 ///
 /// Same contract as [`Smr::retire`].
-pub unsafe fn retire_node<S: Smr, T: crate::header::HasHeader>(
-    smr: &S,
-    tid: usize,
-    node: *mut T,
-) {
+pub unsafe fn retire_node<S: Smr, T: crate::header::HasHeader>(smr: &S, tid: usize, node: *mut T) {
     // SAFETY: forwarded contract — node is unlinked and retired once.
     unsafe {
         let r = Retired::new(node);

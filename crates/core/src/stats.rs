@@ -1,4 +1,4 @@
-//! Per-domain instrumentation counters.
+//! Per-domain instrumentation counters, **sharded per thread**.
 //!
 //! The paper's evaluation reports, besides throughput: *max retire-list
 //! size* (Figs 1–4), *max resident memory* and *total unreclaimed nodes*
@@ -6,15 +6,41 @@
 //! the workload runner for the resident-memory high-water mark, and
 //! `retired - freed` at the end of a run is the unreclaimed-node count.
 //!
+//! ## Sharding model
+//!
+//! Every reclamation scheme counts events on its *hot* paths — `retire`
+//! and `note_alloc` run once per update operation. A single shared counter
+//! block would make every worker thread in every scheme bounce the same
+//! cache lines on every operation, drowning the very effects (one relaxed
+//! store per read, no fence) the schemes are measured for. Instead,
+//! [`DomainStats`] holds one [`ShardStats`] block per domain thread id,
+//! each padded to its own cache line (pair):
+//!
+//! * **Writers** increment only `shard(tid)` — an uncontended RMW on a
+//!   line owned by that thread. The shard a counter lands on is whichever
+//!   thread *performed the event*: a reclaimer freeing another thread's
+//!   garbage counts the free on its own shard. Totals are what matter.
+//! * **Readers** ([`DomainStats::snapshot`], [`DomainStats::live_bytes`],
+//!   …) aggregate lazily by summing the shards at read time. Aggregation
+//!   is O(threads) and runs only on sampling/reporting paths.
+//! * **One overflow shard** (index `max_threads`) serves contexts with no
+//!   registered tid — domain teardown accounting in `DomainBase::drop` and
+//!   any future signal-handler counting that cannot name a tid.
+//!
 //! All increments are `Relaxed`: the counters are monotonic event tallies
-//! whose exact interleaving is irrelevant, and the hot-path cost must stay
-//! at one uncontended cache line per thread-local event.
+//! whose exact interleaving is irrelevant. Aggregated differences
+//! (`retired - freed`, `allocated - freed`) use saturating subtraction:
+//! a racing reader may observe a free (counted on the reclaimer's shard)
+//! before the matching retire (counted earlier on another shard it has
+//! already read), transiently seeing `freed > retired`.
 
 use core::sync::atomic::{AtomicU64, Ordering};
 
-/// Event counters for one reclamation domain.
+use crossbeam_utils::CachePadded;
+
+/// One thread's private counter block (a single cache line pair).
 #[derive(Default)]
-pub struct DomainStats {
+pub struct ShardStats {
     /// Nodes allocated through [`crate::smr::Smr::note_alloc`].
     pub allocated_nodes: AtomicU64,
     /// Bytes allocated.
@@ -27,6 +53,9 @@ pub struct DomainStats {
     pub retired_nodes: AtomicU64,
     /// Signals sent by reclaimers (`pingAllToPublish`).
     pub pings_sent: AtomicU64,
+    /// Pings elided because the target was provably quiescent with empty
+    /// published reservations (the quiescent-thread filter).
+    pub pings_skipped: AtomicU64,
     /// Publisher executions (signal handler or self-publish).
     pub publishes: AtomicU64,
     /// Epoch-mode reclamation passes (EBR / EpochPOP fast path).
@@ -35,85 +64,157 @@ pub struct DomainStats {
     pub pop_passes: AtomicU64,
     /// Operation restarts forced by neutralization (NBR).
     pub restarts: AtomicU64,
-    /// High-water mark of any thread's retire-list length.
+    /// High-water mark of this thread's retire-list length.
     pub max_retire_len: AtomicU64,
     /// Asymmetric heavy barriers executed via `membarrier(2)`.
     pub membarriers: AtomicU64,
 }
 
-impl DomainStats {
-    /// Nodes currently allocated and not yet freed (live + retired).
-    pub fn live_nodes(&self) -> u64 {
-        self.allocated_nodes
-            .load(Ordering::Relaxed)
-            .saturating_sub(self.freed_nodes.load(Ordering::Relaxed))
-    }
-
-    /// Bytes currently allocated and not yet freed.
-    pub fn live_bytes(&self) -> u64 {
-        self.allocated_bytes
-            .load(Ordering::Relaxed)
-            .saturating_sub(self.freed_bytes.load(Ordering::Relaxed))
-    }
-
-    /// Nodes retired but not yet freed — the paper's "unreclaimed garbage".
-    pub fn unreclaimed_nodes(&self) -> u64 {
-        self.retired_nodes
-            .load(Ordering::Relaxed)
-            .saturating_sub(self.freed_nodes.load(Ordering::Relaxed))
-    }
-
+impl ShardStats {
     /// Records a retire-list length observation (reclamation events only,
     /// so the `fetch_max` stays off the per-operation path).
     pub fn observe_retire_len(&self, len: usize) {
         self.max_retire_len.fetch_max(len as u64, Ordering::Relaxed);
     }
+}
 
-    /// Point-in-time copy of every counter.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            allocated_nodes: self.allocated_nodes.load(Ordering::Relaxed),
-            allocated_bytes: self.allocated_bytes.load(Ordering::Relaxed),
-            freed_nodes: self.freed_nodes.load(Ordering::Relaxed),
-            freed_bytes: self.freed_bytes.load(Ordering::Relaxed),
-            retired_nodes: self.retired_nodes.load(Ordering::Relaxed),
-            pings_sent: self.pings_sent.load(Ordering::Relaxed),
-            publishes: self.publishes.load(Ordering::Relaxed),
-            epoch_passes: self.epoch_passes.load(Ordering::Relaxed),
-            pop_passes: self.pop_passes.load(Ordering::Relaxed),
-            restarts: self.restarts.load(Ordering::Relaxed),
-            max_retire_len: self.max_retire_len.load(Ordering::Relaxed),
-            membarriers: self.membarriers.load(Ordering::Relaxed),
+/// Event counters for one reclamation domain, sharded per thread.
+pub struct DomainStats {
+    /// `max_threads` per-tid shards plus one trailing overflow shard.
+    shards: Box<[CachePadded<ShardStats>]>,
+}
+
+impl DomainStats {
+    /// Creates counters for a domain of `max_threads` participants.
+    pub fn new(max_threads: usize) -> Self {
+        let mut shards = Vec::with_capacity(max_threads + 1);
+        shards.resize_with(max_threads + 1, CachePadded::default);
+        DomainStats {
+            shards: shards.into_boxed_slice(),
         }
+    }
+
+    /// The counter block owned by domain thread `tid`.
+    ///
+    /// Hot paths write here and nowhere else; `tid` must be a valid domain
+    /// thread id (callers already hold one for every counting operation).
+    #[inline(always)]
+    pub fn shard(&self, tid: usize) -> &ShardStats {
+        debug_assert!(
+            tid < self.shards.len() - 1,
+            "tid {tid} out of range for {} stat shards",
+            self.shards.len() - 1
+        );
+        &self.shards[tid]
+    }
+
+    /// The overflow block for contexts without a registered tid (domain
+    /// teardown, diagnostics).
+    #[inline]
+    pub fn overflow(&self) -> &ShardStats {
+        &self.shards[self.shards.len() - 1]
+    }
+
+    fn sum(&self, f: impl Fn(&ShardStats) -> u64) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |acc, s| acc.wrapping_add(f(s)))
+    }
+
+    /// Nodes currently allocated and not yet freed (live + retired).
+    pub fn live_nodes(&self) -> u64 {
+        self.sum(|s| s.allocated_nodes.load(Ordering::Relaxed))
+            .saturating_sub(self.sum(|s| s.freed_nodes.load(Ordering::Relaxed)))
+    }
+
+    /// Bytes currently allocated and not yet freed.
+    pub fn live_bytes(&self) -> u64 {
+        self.sum(|s| s.allocated_bytes.load(Ordering::Relaxed))
+            .saturating_sub(self.sum(|s| s.freed_bytes.load(Ordering::Relaxed)))
+    }
+
+    /// Nodes retired but not yet freed — the paper's "unreclaimed garbage".
+    pub fn unreclaimed_nodes(&self) -> u64 {
+        self.sum(|s| s.retired_nodes.load(Ordering::Relaxed))
+            .saturating_sub(self.sum(|s| s.freed_nodes.load(Ordering::Relaxed)))
+    }
+
+    /// Point-in-time aggregate of every counter across all shards.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        for s in self.shards.iter() {
+            out.allocated_nodes = out
+                .allocated_nodes
+                .wrapping_add(s.allocated_nodes.load(Ordering::Relaxed));
+            out.allocated_bytes = out
+                .allocated_bytes
+                .wrapping_add(s.allocated_bytes.load(Ordering::Relaxed));
+            out.freed_nodes = out
+                .freed_nodes
+                .wrapping_add(s.freed_nodes.load(Ordering::Relaxed));
+            out.freed_bytes = out
+                .freed_bytes
+                .wrapping_add(s.freed_bytes.load(Ordering::Relaxed));
+            out.retired_nodes = out
+                .retired_nodes
+                .wrapping_add(s.retired_nodes.load(Ordering::Relaxed));
+            out.pings_sent = out
+                .pings_sent
+                .wrapping_add(s.pings_sent.load(Ordering::Relaxed));
+            out.pings_skipped = out
+                .pings_skipped
+                .wrapping_add(s.pings_skipped.load(Ordering::Relaxed));
+            out.publishes = out
+                .publishes
+                .wrapping_add(s.publishes.load(Ordering::Relaxed));
+            out.epoch_passes = out
+                .epoch_passes
+                .wrapping_add(s.epoch_passes.load(Ordering::Relaxed));
+            out.pop_passes = out
+                .pop_passes
+                .wrapping_add(s.pop_passes.load(Ordering::Relaxed));
+            out.restarts = out
+                .restarts
+                .wrapping_add(s.restarts.load(Ordering::Relaxed));
+            out.max_retire_len = out
+                .max_retire_len
+                .max(s.max_retire_len.load(Ordering::Relaxed));
+            out.membarriers = out
+                .membarriers
+                .wrapping_add(s.membarriers.load(Ordering::Relaxed));
+        }
+        out
     }
 }
 
-/// Plain-data copy of [`DomainStats`].
+/// Plain-data aggregate of [`DomainStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// See [`DomainStats::allocated_nodes`].
+    /// See [`ShardStats::allocated_nodes`].
     pub allocated_nodes: u64,
-    /// See [`DomainStats::allocated_bytes`].
+    /// See [`ShardStats::allocated_bytes`].
     pub allocated_bytes: u64,
-    /// See [`DomainStats::freed_nodes`].
+    /// See [`ShardStats::freed_nodes`].
     pub freed_nodes: u64,
-    /// See [`DomainStats::freed_bytes`].
+    /// See [`ShardStats::freed_bytes`].
     pub freed_bytes: u64,
-    /// See [`DomainStats::retired_nodes`].
+    /// See [`ShardStats::retired_nodes`].
     pub retired_nodes: u64,
-    /// See [`DomainStats::pings_sent`].
+    /// See [`ShardStats::pings_sent`].
     pub pings_sent: u64,
-    /// See [`DomainStats::publishes`].
+    /// See [`ShardStats::pings_skipped`].
+    pub pings_skipped: u64,
+    /// See [`ShardStats::publishes`].
     pub publishes: u64,
-    /// See [`DomainStats::epoch_passes`].
+    /// See [`ShardStats::epoch_passes`].
     pub epoch_passes: u64,
-    /// See [`DomainStats::pop_passes`].
+    /// See [`ShardStats::pop_passes`].
     pub pop_passes: u64,
-    /// See [`DomainStats::restarts`].
+    /// See [`ShardStats::restarts`].
     pub restarts: u64,
-    /// See [`DomainStats::max_retire_len`].
+    /// Maximum over all shards of [`ShardStats::max_retire_len`].
     pub max_retire_len: u64,
-    /// See [`DomainStats::membarriers`].
+    /// See [`ShardStats::membarriers`].
     pub membarriers: u64,
 }
 
@@ -129,29 +230,47 @@ mod tests {
     use super::*;
 
     #[test]
-    fn live_accounting() {
-        let s = DomainStats::default();
-        s.allocated_nodes.fetch_add(10, Ordering::Relaxed);
-        s.allocated_bytes.fetch_add(640, Ordering::Relaxed);
-        s.freed_nodes.fetch_add(4, Ordering::Relaxed);
-        s.freed_bytes.fetch_add(256, Ordering::Relaxed);
+    fn live_accounting_aggregates_across_shards() {
+        let s = DomainStats::new(2);
+        s.shard(0).allocated_nodes.fetch_add(10, Ordering::Relaxed);
+        s.shard(0).allocated_bytes.fetch_add(640, Ordering::Relaxed);
+        // Frees land on a different shard (reclaimer ≠ allocator).
+        s.shard(1).freed_nodes.fetch_add(4, Ordering::Relaxed);
+        s.shard(1).freed_bytes.fetch_add(256, Ordering::Relaxed);
         assert_eq!(s.live_nodes(), 6);
         assert_eq!(s.live_bytes(), 384);
     }
 
     #[test]
     fn unreclaimed_saturates() {
-        let s = DomainStats::default();
-        s.freed_nodes.fetch_add(3, Ordering::Relaxed);
+        let s = DomainStats::new(1);
+        s.shard(0).freed_nodes.fetch_add(3, Ordering::Relaxed);
         assert_eq!(s.unreclaimed_nodes(), 0, "must not underflow");
     }
 
     #[test]
-    fn retire_len_high_water() {
-        let s = DomainStats::default();
-        s.observe_retire_len(5);
-        s.observe_retire_len(17);
-        s.observe_retire_len(9);
+    fn retire_len_high_water_is_max_over_shards() {
+        let s = DomainStats::new(2);
+        s.shard(0).observe_retire_len(5);
+        s.shard(1).observe_retire_len(17);
+        s.shard(0).observe_retire_len(9);
         assert_eq!(s.snapshot().max_retire_len, 17);
+    }
+
+    #[test]
+    fn overflow_shard_counts_toward_totals() {
+        let s = DomainStats::new(1);
+        s.shard(0).retired_nodes.fetch_add(2, Ordering::Relaxed);
+        s.overflow().freed_nodes.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(s.snapshot().freed_nodes, 1);
+        assert_eq!(s.unreclaimed_nodes(), 1);
+    }
+
+    #[test]
+    fn shards_do_not_share_cache_lines() {
+        let s = DomainStats::new(4);
+        let a = s.shard(0) as *const _ as usize;
+        let b = s.shard(1) as *const _ as usize;
+        assert!(b - a >= 64, "adjacent shards must be on distinct lines");
     }
 }

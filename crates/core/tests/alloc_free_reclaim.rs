@@ -1,0 +1,160 @@
+//! Steady-state reclamation passes must perform **zero heap allocations**.
+//!
+//! A counting global allocator tallies every allocation in this test
+//! binary. Each scheme gets a warmup round (growing its retire list and
+//! reclamation scratch buffers to working size), then a measured round
+//! whose retire + flush sequence must allocate nothing. Every scheme runs
+//! inside one test function so no other harness thread can pollute the
+//! counter mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pop_core::{
+    retire_node, Ebr, EpochPop, HasHeader, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym,
+    HazardPtrPop, Header, Ibr, NbrPlus, Smr, SmrConfig,
+};
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[repr(C)]
+struct N {
+    hdr: Header,
+    v: u64,
+}
+unsafe impl HasHeader for N {}
+
+fn alloc_node<S: Smr>(smr: &S, v: u64) -> *mut N {
+    smr.note_alloc(0, core::mem::size_of::<N>());
+    Box::into_raw(Box::new(N {
+        hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
+        v,
+    }))
+}
+
+const BATCH: usize = 256;
+
+/// Retires `BATCH` pre-allocated nodes and flushes, returning how many heap
+/// allocations the retire + reclamation sequence performed.
+fn allocs_during_pass<S: Smr>(smr: &S, nodes: Vec<*mut N>) -> u64 {
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    smr.begin_op(0);
+    smr.begin_write(0, &[]).ok();
+    for p in &nodes {
+        // SAFETY: nodes are unlinked (never shared) and retired once.
+        unsafe { retire_node(smr, 0, *p) };
+    }
+    smr.end_write(0);
+    smr.end_op(0);
+    smr.flush(0);
+    ALLOC_COUNT.load(Ordering::Relaxed) - before
+}
+
+fn assert_steady_state_alloc_free<S: Smr>() {
+    // Threshold above BATCH so the pass runs exactly once, in flush.
+    let smr = S::new(SmrConfig::for_tests(1).with_reclaim_freq(4 * BATCH));
+    let reg = smr.register(0);
+
+    // Two warmup rounds: grow the retire list, scratch buffers, signal
+    // registry, and any lazily-initialized runtime state.
+    for _ in 0..2 {
+        let nodes: Vec<*mut N> = (0..BATCH as u64).map(|i| alloc_node(&*smr, i)).collect();
+        let _ = allocs_during_pass(&*smr, nodes);
+    }
+
+    // Measured round: node allocation happens before the measurement
+    // starts; the retire + flush sequence itself must not allocate.
+    let nodes: Vec<*mut N> = (0..BATCH as u64).map(|i| alloc_node(&*smr, i)).collect();
+    let allocs = allocs_during_pass(&*smr, nodes);
+    assert_eq!(
+        allocs,
+        0,
+        "{}: steady-state reclamation pass must be allocation-free",
+        S::NAME
+    );
+    assert_eq!(
+        smr.stats().snapshot().unreclaimed_nodes(),
+        0,
+        "{}: the measured pass must actually reclaim",
+        S::NAME
+    );
+    drop(reg);
+}
+
+// All schemes run inside ONE test function: the libtest harness spawns a
+// thread per test, and a spawn landing inside another test's measured
+// region would count as a spurious allocation.
+#[test]
+fn steady_state_passes_are_allocation_free() {
+    assert_steady_state_alloc_free::<HazardPtrPop>();
+    assert_steady_state_alloc_free::<HazardEraPop>();
+    assert_steady_state_alloc_free::<EpochPop>();
+    assert_steady_state_alloc_free::<HazardPtr>();
+    assert_steady_state_alloc_free::<HazardPtrAsym>();
+    assert_steady_state_alloc_free::<HazardEra>();
+    assert_steady_state_alloc_free::<Ebr>();
+    assert_steady_state_alloc_free::<Ibr>();
+    assert_steady_state_alloc_free::<NbrPlus>();
+
+    cross_thread_pop_pass_is_allocation_free();
+}
+
+fn cross_thread_pop_pass_is_allocation_free() {
+    // Same property with a quiescent peer registered: the ping-filter path
+    // (activity/shared/local checks) must not allocate either.
+    let smr = HazardPtrPop::new(SmrConfig::for_tests(2).with_reclaim_freq(4 * BATCH));
+    let reg0 = smr.register(0);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let idler = std::thread::spawn({
+        let smr = std::sync::Arc::clone(&smr);
+        move || {
+            let reg1 = smr.register(1);
+            tx.send(()).unwrap();
+            done_rx.recv().unwrap();
+            drop(reg1);
+        }
+    });
+    rx.recv().unwrap();
+    for _ in 0..2 {
+        let nodes: Vec<*mut N> = (0..BATCH as u64).map(|i| alloc_node(&*smr, i)).collect();
+        let _ = allocs_during_pass(&*smr, nodes);
+    }
+    let nodes: Vec<*mut N> = (0..BATCH as u64).map(|i| alloc_node(&*smr, i)).collect();
+    let allocs = allocs_during_pass(&*smr, nodes);
+    assert_eq!(allocs, 0, "pass with registered peer must not allocate");
+    done_tx.send(()).unwrap();
+    idler.join().unwrap();
+    drop(reg0);
+}

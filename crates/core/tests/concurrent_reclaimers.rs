@@ -9,9 +9,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 
-use pop_core::{
-    retire_node, EpochPop, HasHeader, HazardPtrPop, Header, Smr, SmrConfig,
-};
+use pop_core::{retire_node, EpochPop, HasHeader, HazardPtrPop, Header, Smr, SmrConfig};
 
 #[repr(C)]
 struct N {
@@ -20,8 +18,8 @@ struct N {
 }
 unsafe impl HasHeader for N {}
 
-fn alloc<S: Smr>(smr: &S, v: u64) -> *mut N {
-    smr.note_alloc(core::mem::size_of::<N>());
+fn alloc<S: Smr>(smr: &S, tid: usize, v: u64) -> *mut N {
+    smr.note_alloc(tid, core::mem::size_of::<N>());
     Box::into_raw(Box::new(N {
         hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
         v,
@@ -42,8 +40,13 @@ fn simultaneous_reclaimers_coalesce_pings() {
         let start = Arc::clone(&start);
         std::thread::spawn(move || {
             let reg = smr.register(RECLAIMERS);
-            let node = alloc(&*smr, 7);
+            let node = alloc(&*smr, RECLAIMERS, 7);
             let src = core::sync::atomic::AtomicPtr::new(node);
+            // Hold a reservation *before* releasing the reclaimers, so the
+            // quiescent-thread filter cannot elide every ping: a reader
+            // with a live local reservation must be signalled.
+            smr.begin_op(RECLAIMERS);
+            let _ = smr.protect(RECLAIMERS, 0, &src).unwrap();
             start.wait();
             while !stop.load(Ordering::Relaxed) {
                 let p = smr.protect(RECLAIMERS, 0, &src).unwrap();
@@ -52,7 +55,7 @@ fn simultaneous_reclaimers_coalesce_pings() {
             smr.end_op(RECLAIMERS);
             // Private node: free directly.
             unsafe { drop(Box::from_raw(node)) };
-            smr.note_dealloc_unpublished(core::mem::size_of::<N>());
+            smr.note_dealloc_unpublished(RECLAIMERS, core::mem::size_of::<N>());
             drop(reg);
         })
     };
@@ -66,7 +69,7 @@ fn simultaneous_reclaimers_coalesce_pings() {
             let reg = smr.register(tid);
             start.wait();
             for i in 0..2_000u64 {
-                let p = alloc(&*smr, i);
+                let p = alloc(&*smr, tid, i);
                 unsafe { retire_node(&*smr, tid, p) };
             }
             smr.flush(tid);
@@ -128,7 +131,7 @@ fn epoch_pop_mixed_mode_reclaimers() {
             let reg = smr.register(tid);
             for i in 0..3_000u64 {
                 smr.begin_op(tid);
-                let p = alloc(&*smr, i);
+                let p = alloc(&*smr, tid, i);
                 unsafe { retire_node(&*smr, tid, p) };
                 smr.end_op(tid);
             }

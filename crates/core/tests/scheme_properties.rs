@@ -22,7 +22,7 @@ struct N {
 unsafe impl HasHeader for N {}
 
 fn alloc<S: Smr>(smr: &S, v: u64) -> *mut N {
-    smr.note_alloc(core::mem::size_of::<N>());
+    smr.note_alloc(0, core::mem::size_of::<N>());
     Box::into_raw(Box::new(N {
         hdr: Header::new(smr.current_era(), core::mem::size_of::<N>()),
         v,

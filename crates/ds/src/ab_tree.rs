@@ -55,14 +55,16 @@ pub struct AbNode {
 // SAFETY: repr(C) with Header as the first field.
 unsafe impl HasHeader for AbNode {}
 
-const NULL_CHILDREN: [AtomicPtr<AbNode>; B] =
-    [const { AtomicPtr::new(core::ptr::null_mut()) }; B];
+// Interior mutability is the point: each use stamps out a fresh array of
+// independent atomics (a `static` would alias one shared array).
+#[allow(clippy::declare_interior_mutable_const)]
+const NULL_CHILDREN: [AtomicPtr<AbNode>; B] = [const { AtomicPtr::new(core::ptr::null_mut()) }; B];
 
 impl AbNode {
-    fn leaf<S: Smr>(smr: &S, keys: &[Key], vals: &[Value]) -> *mut AbNode {
+    fn leaf<S: Smr>(smr: &S, tid: usize, keys: &[Key], vals: &[Value]) -> *mut AbNode {
         debug_assert!(keys.len() <= B && keys.len() == vals.len());
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys sorted");
-        smr.note_alloc(core::mem::size_of::<AbNode>());
+        smr.note_alloc(tid, core::mem::size_of::<AbNode>());
         let mut k = [0u64; B];
         let mut v = [0u64; B];
         k[..keys.len()].copy_from_slice(keys);
@@ -79,10 +81,10 @@ impl AbNode {
         }))
     }
 
-    fn internal<S: Smr>(smr: &S, seps: &[Key], kids: &[*mut AbNode]) -> *mut AbNode {
+    fn internal<S: Smr>(smr: &S, tid: usize, seps: &[Key], kids: &[*mut AbNode]) -> *mut AbNode {
         debug_assert!(kids.len() <= B && seps.len() + 1 == kids.len());
         debug_assert!(seps.windows(2).all(|w| w[0] < w[1]), "separators sorted");
-        smr.note_alloc(core::mem::size_of::<AbNode>());
+        smr.note_alloc(tid, core::mem::size_of::<AbNode>());
         let mut k = [0u64; B];
         k[..seps.len()].copy_from_slice(seps);
         let children = NULL_CHILDREN;
@@ -177,7 +179,7 @@ impl<S: Smr> AbTree<S> {
         // The anchor and initial empty leaf live outside domain accounting
         // only in the anchor's case: the leaf is COW-replaced like any
         // other, so it must be a tracked allocation.
-        let leaf = AbNode::leaf(&*smr, &[], &[]);
+        let leaf = AbNode::leaf(&*smr, 0, &[], &[]);
         let children = NULL_CHILDREN;
         children[0].store(leaf, Ordering::Relaxed);
         let root_holder = Box::into_raw(Box::new(AbNode {
@@ -287,8 +289,8 @@ impl<S: Smr> AbTree<S> {
         let (left, right, sep) = if node_ref.is_leaf {
             let n = node_ref.len as usize;
             let m = n / 2;
-            let l = AbNode::leaf(&*self.smr, &node_ref.keys[..m], &node_ref.vals[..m]);
-            let r = AbNode::leaf(&*self.smr, &node_ref.keys[m..n], &node_ref.vals[m..n]);
+            let l = AbNode::leaf(&*self.smr, tid, &node_ref.keys[..m], &node_ref.vals[..m]);
+            let r = AbNode::leaf(&*self.smr, tid, &node_ref.keys[m..n], &node_ref.vals[m..n]);
             (l, r, node_ref.keys[m])
         } else {
             let n = node_ref.len as usize; // children
@@ -296,8 +298,8 @@ impl<S: Smr> AbTree<S> {
             let kids: Vec<*mut AbNode> = (0..n)
                 .map(|i| node_ref.children[i].load(Ordering::Acquire))
                 .collect();
-            let l = AbNode::internal(&*self.smr, &node_ref.seps()[..m - 1], &kids[..m]);
-            let r = AbNode::internal(&*self.smr, &node_ref.seps()[m..], &kids[m..]);
+            let l = AbNode::internal(&*self.smr, tid, &node_ref.seps()[..m - 1], &kids[..m]);
+            let r = AbNode::internal(&*self.smr, tid, &node_ref.seps()[m..], &kids[m..]);
             (l, r, node_ref.seps()[m - 1])
         };
 
@@ -318,13 +320,14 @@ impl<S: Smr> AbTree<S> {
                 drop(Box::from_raw(left));
                 drop(Box::from_raw(right));
             }
-            self.smr.note_dealloc_unpublished(2 * core::mem::size_of::<AbNode>());
+            self.smr
+                .note_dealloc_unpublished(tid, 2 * core::mem::size_of::<AbNode>());
             return Err(r);
         }
 
         if at_root {
             // Wrap in a new root: the anchor keeps exactly one child.
-            let new_root = AbNode::internal(&*self.smr, &[sep], &[left, right]);
+            let new_root = AbNode::internal(&*self.smr, tid, &[sep], &[left, right]);
             node_ref.marked.store(true, Ordering::Release);
             par_ref.children[0].store(new_root, Ordering::Release);
             // SAFETY: unlinked under locks — retired exactly once.
@@ -340,7 +343,7 @@ impl<S: Smr> AbTree<S> {
                 .collect();
             kids[pi] = left;
             kids.insert(pi + 1, right);
-            let new_par = AbNode::internal(&*self.smr, &seps, &kids);
+            let new_par = AbNode::internal(&*self.smr, tid, &seps, &kids);
             // SAFETY: gpar locked (non-anchor path).
             let gpar_ref = unsafe { &*gpar };
             let gi = gpar_ref.route_to_child(par);
@@ -354,7 +357,7 @@ impl<S: Smr> AbTree<S> {
                     drop(Box::from_raw(new_par));
                 }
                 self.smr
-                    .note_dealloc_unpublished(3 * core::mem::size_of::<AbNode>());
+                    .note_dealloc_unpublished(tid, 3 * core::mem::size_of::<AbNode>());
                 self.smr.end_write(tid);
                 return Err(Restart);
             };
@@ -402,7 +405,7 @@ impl<S: Smr> AbTree<S> {
         vals.extend_from_slice(&leaf_ref.vals[..pos]);
         vals.push(value);
         vals.extend_from_slice(&leaf_ref.vals[pos..n]);
-        let new_leaf = AbNode::leaf(&*self.smr, &keys, &vals);
+        let new_leaf = AbNode::leaf(&*self.smr, tid, &keys, &vals);
         leaf_ref.marked.store(true, Ordering::Release);
         par_ref.children[d.pi].store(new_leaf, Ordering::Release);
         // SAFETY: COW-replaced under the parent lock — retired exactly once.
@@ -441,7 +444,7 @@ impl<S: Smr> AbTree<S> {
             let mut vals = Vec::with_capacity(n - 1);
             vals.extend_from_slice(&leaf_ref.vals[..pos]);
             vals.extend_from_slice(&leaf_ref.vals[pos + 1..n]);
-            let new_leaf = AbNode::leaf(&*self.smr, &keys, &vals);
+            let new_leaf = AbNode::leaf(&*self.smr, tid, &keys, &vals);
             leaf_ref.marked.store(true, Ordering::Release);
             par_ref.children[d.pi].store(new_leaf, Ordering::Release);
             // SAFETY: COW-replaced under the parent lock.
@@ -471,7 +474,7 @@ impl<S: Smr> AbTree<S> {
         let plen = par_ref.len as usize;
         let replacement = if plen == 1 {
             // Parent would become childless: replace it with an empty leaf.
-            AbNode::leaf(&*self.smr, &[], &[])
+            AbNode::leaf(&*self.smr, tid, &[], &[])
         } else if plen == 2 {
             // Parent with one remaining child: splice the parent out too.
             par_ref.children[1 - d.pi].load(Ordering::Acquire)
@@ -491,7 +494,7 @@ impl<S: Smr> AbTree<S> {
                     seps.push(s);
                 }
             }
-            AbNode::internal(&*self.smr, &seps, &kids)
+            AbNode::internal(&*self.smr, tid, &seps, &kids)
         };
         par_ref.marked.store(true, Ordering::Release);
         leaf_ref.marked.store(true, Ordering::Release);

@@ -55,12 +55,13 @@ impl BstNode {
 
     fn alloc<S: Smr>(
         smr: &S,
+        tid: usize,
         key: Key,
         value: Value,
         left: *mut BstNode,
         right: *mut BstNode,
     ) -> *mut BstNode {
-        smr.note_alloc(core::mem::size_of::<BstNode>());
+        smr.note_alloc(tid, core::mem::size_of::<BstNode>());
         let mut n = Self::new_raw(key, value, left, right);
         n.hdr = Header::new(smr.current_era(), core::mem::size_of::<BstNode>());
         Box::into_raw(Box::new(n))
@@ -229,12 +230,19 @@ impl<S: Smr> ExtBst<S> {
         }
         self.smr
             .begin_write(tid, &[as_header(sr.par), as_header(sr.leaf)])?;
-        let new_leaf = BstNode::alloc(&*self.smr, key, value, core::ptr::null_mut(), core::ptr::null_mut());
+        let new_leaf = BstNode::alloc(
+            &*self.smr,
+            tid,
+            key,
+            value,
+            core::ptr::null_mut(),
+            core::ptr::null_mut(),
+        );
         // Routing node: larger key routes right.
         let internal = if key < leaf_ref.key {
-            BstNode::alloc(&*self.smr, leaf_ref.key, 0, new_leaf, sr.leaf)
+            BstNode::alloc(&*self.smr, tid, leaf_ref.key, 0, new_leaf, sr.leaf)
         } else {
-            BstNode::alloc(&*self.smr, key, 0, sr.leaf, new_leaf)
+            BstNode::alloc(&*self.smr, tid, key, 0, sr.leaf, new_leaf)
         };
         par_ref.child_for(key).store(internal, Ordering::Release);
         self.smr.end_write(tid);
@@ -320,7 +328,10 @@ impl<S: Smr> ExtBst<S> {
         }
         let mut out = Vec::new();
         // SAFETY: quiescence contract.
-        walk(unsafe { &*self.root_holder }.left.load(Ordering::Acquire), &mut out);
+        walk(
+            unsafe { &*self.root_holder }.left.load(Ordering::Acquire),
+            &mut out,
+        );
         out
     }
 }

@@ -34,7 +34,9 @@ impl<S: Smr> HashMapHm<S> {
     pub fn with_buckets(smr: Arc<S>, buckets: usize) -> Self {
         let n = buckets.next_power_of_two().max(2);
         let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || CachePadded::new(AtomicPtr::new(core::ptr::null_mut())));
+        v.resize_with(n, || {
+            CachePadded::new(AtomicPtr::new(core::ptr::null_mut()))
+        });
         HashMapHm {
             buckets: v.into_boxed_slice(),
             mask: (n - 1) as u64,
@@ -141,8 +143,11 @@ impl<S: Smr> Drop for HashMapHm<S> {
             let mut p = unmarked(b.load(core::sync::atomic::Ordering::Relaxed));
             while !p.is_null() {
                 // SAFETY: exclusive access in Drop.
-                let next =
-                    unmarked(unsafe { &*p }.next.load(core::sync::atomic::Ordering::Relaxed));
+                let next = unmarked(
+                    unsafe { &*p }
+                        .next
+                        .load(core::sync::atomic::Ordering::Relaxed),
+                );
                 unsafe { drop(Box::from_raw(p)) };
                 p = next;
             }

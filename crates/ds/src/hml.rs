@@ -47,8 +47,8 @@ pub struct Node {
 unsafe impl HasHeader for Node {}
 
 impl Node {
-    fn alloc<S: Smr>(smr: &S, key: Key, value: Value, next: *mut Node) -> *mut Node {
-        smr.note_alloc(core::mem::size_of::<Node>());
+    fn alloc<S: Smr>(smr: &S, tid: usize, key: Key, value: Value, next: *mut Node) -> *mut Node {
+        smr.note_alloc(tid, core::mem::size_of::<Node>());
         Box::into_raw(Box::new(Node {
             hdr: Header::new(smr.current_era(), core::mem::size_of::<Node>()),
             key,
@@ -76,7 +76,12 @@ pub const SLOTS_REQUIRED: usize = 2;
 ///
 /// On success, `curr` is protected in one hazard slot and `pred_node` (if
 /// non-null) in the other.
-fn find<S: Smr>(smr: &S, tid: usize, head: &AtomicPtr<Node>, key: Key) -> Result<Position, Restart> {
+fn find<S: Smr>(
+    smr: &S,
+    tid: usize,
+    head: &AtomicPtr<Node>,
+    key: Key,
+) -> Result<Position, Restart> {
     'retry: loop {
         let mut pred_link: *const AtomicPtr<Node> = head;
         let mut pred_node: *mut Node = core::ptr::null_mut();
@@ -171,7 +176,7 @@ pub fn insert_at<S: Smr>(
     if pos.found {
         return Ok(core::ptr::null_mut()); // present: no insert
     }
-    let node = Node::alloc(smr, key, value, pos.curr);
+    let node = Node::alloc(smr, tid, key, value, pos.curr);
     let mut wset = [core::ptr::null_mut::<Header>(); 2];
     let mut n = 0;
     if !pos.pred_node.is_null() {
@@ -185,7 +190,7 @@ pub fn insert_at<S: Smr>(
     if let Err(r) = smr.begin_write(tid, &wset[..n]) {
         // SAFETY: `node` was never published.
         unsafe { drop(Box::from_raw(node)) };
-        smr.note_dealloc_unpublished(core::mem::size_of::<Node>());
+        smr.note_dealloc_unpublished(tid, core::mem::size_of::<Node>());
         return Err(r);
     }
     // SAFETY: pred_link is the head or the protected pred node's next.
@@ -198,7 +203,7 @@ pub fn insert_at<S: Smr>(
     } else {
         // SAFETY: CAS failed; `node` was never published.
         unsafe { drop(Box::from_raw(node)) };
-        smr.note_dealloc_unpublished(core::mem::size_of::<Node>());
+        smr.note_dealloc_unpublished(tid, core::mem::size_of::<Node>());
         Err(Restart)
     }
 }

@@ -39,8 +39,8 @@ pub struct Node {
 unsafe impl HasHeader for Node {}
 
 impl Node {
-    fn alloc<S: Smr>(smr: &S, key: Key, value: Value, next: *mut Node) -> *mut Node {
-        smr.note_alloc(core::mem::size_of::<Node>());
+    fn alloc<S: Smr>(smr: &S, tid: usize, key: Key, value: Value, next: *mut Node) -> *mut Node {
+        smr.note_alloc(tid, core::mem::size_of::<Node>());
         Box::into_raw(Box::new(Node {
             hdr: Header::new(smr.current_era(), core::mem::size_of::<Node>()),
             key,
@@ -175,7 +175,7 @@ impl<S: Smr> LazyList<S> {
             n += 1;
         }
         self.smr.begin_write(tid, &wset[..n])?;
-        let node = Node::alloc(&*self.smr, key, value, pos.curr);
+        let node = Node::alloc(&*self.smr, tid, key, value, pos.curr);
         pred_ref.next.store(node, Ordering::Release);
         self.smr.end_write(tid);
         Ok(true)

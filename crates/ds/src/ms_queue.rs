@@ -25,8 +25,8 @@ pub struct QueueNode {
 unsafe impl HasHeader for QueueNode {}
 
 impl QueueNode {
-    fn alloc<S: Smr>(smr: &S, value: Value) -> *mut QueueNode {
-        smr.note_alloc(core::mem::size_of::<QueueNode>());
+    fn alloc<S: Smr>(smr: &S, tid: usize, value: Value) -> *mut QueueNode {
+        smr.note_alloc(tid, core::mem::size_of::<QueueNode>());
         Box::into_raw(Box::new(QueueNode {
             hdr: Header::new(smr.current_era(), core::mem::size_of::<QueueNode>()),
             value,
@@ -49,7 +49,7 @@ unsafe impl<S: Smr> Sync for MsQueue<S> {}
 impl<S: Smr> MsQueue<S> {
     /// Creates an empty queue (with its dummy node).
     pub fn new(smr: Arc<S>) -> Self {
-        let dummy = QueueNode::alloc(&*smr, 0);
+        let dummy = QueueNode::alloc(&*smr, 0, 0);
         MsQueue {
             head: AtomicPtr::new(dummy),
             tail: AtomicPtr::new(dummy),
@@ -101,7 +101,7 @@ impl<S: Smr> MsQueue<S> {
 
     /// Appends a value at the tail.
     pub fn enqueue(&self, tid: usize, value: Value) {
-        let node = QueueNode::alloc(&*self.smr, value);
+        let node = QueueNode::alloc(&*self.smr, tid, value);
         loop {
             self.smr.begin_op(tid);
             let r = self.try_enqueue(tid, node);

@@ -74,7 +74,7 @@ impl<S: Smr> TreiberStack<S> {
 
     /// Pushes a value.
     pub fn push(&self, tid: usize, value: Value) {
-        self.smr.note_alloc(core::mem::size_of::<StackNode>());
+        self.smr.note_alloc(tid, core::mem::size_of::<StackNode>());
         let node = Box::into_raw(Box::new(StackNode {
             hdr: Header::new(self.smr.current_era(), core::mem::size_of::<StackNode>()),
             value,

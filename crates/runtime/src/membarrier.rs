@@ -23,7 +23,14 @@ const MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED: libc::c_long = 1 << 4;
 fn sys_membarrier(cmd: libc::c_long) -> libc::c_long {
     // SAFETY: membarrier takes (cmd, flags, cpu_id); flags=0 selects the
     // process-wide variant and has no memory-safety implications.
-    unsafe { libc::syscall(libc::SYS_membarrier, cmd, 0 as libc::c_long, 0 as libc::c_long) }
+    unsafe {
+        libc::syscall(
+            libc::SYS_membarrier,
+            cmd,
+            0 as libc::c_long,
+            0 as libc::c_long,
+        )
+    }
 }
 
 #[cfg(not(target_os = "linux"))]

@@ -120,7 +120,10 @@ impl Registry {
             slot.unlock();
             if claimed {
                 self.high_water.fetch_max(i as u64 + 1, Ordering::Relaxed);
-                return ThreadRegistration { registry: self, gtid: i };
+                return ThreadRegistration {
+                    registry: self,
+                    gtid: i,
+                };
             }
         }
         panic!("pop-runtime: thread registry exhausted ({MAX_THREADS} slots)");

@@ -105,8 +105,10 @@ pub fn register_publisher<P: Publisher + 'static>(publisher: &'static P) -> Publ
         "pop-runtime: publisher registry exhausted ({MAX_PUBLISHERS})"
     );
     let slot = &PUBLISHERS[idx];
-    slot.data
-        .store(publisher as *const P as *const () as *mut (), Ordering::Relaxed);
+    slot.data.store(
+        publisher as *const P as *const () as *mut (),
+        Ordering::Relaxed,
+    );
     slot.call
         .store(call_thunk::<P> as *const () as usize, Ordering::Relaxed);
     // Release: the data/call stores above become visible before any handler

@@ -154,7 +154,7 @@ mod tests {
         assert_eq!(h.max(), 1000);
         assert_eq!(h.min(), 1000);
         let p50 = h.quantile(0.5);
-        assert!(p50 <= 1000 && p50 >= 937, "p50 {p50} within 6% below");
+        assert!((937..=1000).contains(&p50), "p50 {p50} within 6% below");
     }
 
     #[test]

@@ -34,18 +34,20 @@ pub struct RunRecord {
     pub unreclaimed_nodes: u64,
     /// Signals sent by reclaimers.
     pub pings_sent: u64,
+    /// Signals elided by the quiescent-thread filter.
+    pub pings_skipped: u64,
     /// NBR restarts observed.
     pub restarts: u64,
 }
 
 impl RunRecord {
     /// CSV header matching [`RunRecord::csv_row`].
-    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,restarts";
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,restarts";
 
     /// Serializes this record as a CSV row tagged with `figure`.
     pub fn csv_row(&self, figure: &str) -> String {
         format!(
-            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{}",
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{}",
             self.ds,
             self.scheme,
             self.threads,
@@ -60,6 +62,7 @@ impl RunRecord {
             self.peak_live_bytes,
             self.unreclaimed_nodes,
             self.pings_sent,
+            self.pings_skipped,
             self.restarts,
         )
     }
@@ -70,7 +73,15 @@ pub fn render_table(records: &[RunRecord]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<14} {:<6} {:>7} {:>12} {:>10} {:>12} {:>14} {:>12} {:>8}\n",
-        "scheme", "ds", "threads", "Mops/s", "readMops", "maxRetire", "peakLiveBytes", "unreclaimed", "pings"
+        "scheme",
+        "ds",
+        "threads",
+        "Mops/s",
+        "readMops",
+        "maxRetire",
+        "peakLiveBytes",
+        "unreclaimed",
+        "pings"
     ));
     for r in records {
         out.push_str(&format!(
@@ -128,6 +139,7 @@ mod tests {
             peak_live_bytes: 123_456,
             unreclaimed_nodes: 12,
             pings_sent: 3,
+            pings_skipped: 1,
             restarts: 0,
         }
     }

@@ -146,7 +146,11 @@ where
                 let half = cfg.key_range / 2;
                 let chunk = half / cfg.threads as u64;
                 let lo = tid as u64 * chunk;
-                let hi = if tid == cfg.threads - 1 { half } else { lo + chunk };
+                let hi = if tid == cfg.threads - 1 {
+                    half
+                } else {
+                    lo + chunk
+                };
                 let mut keys: Vec<u64> = (lo..hi).map(|i| i * 2).collect();
                 keys.shuffle(&mut rng);
                 for k in keys {
@@ -177,7 +181,11 @@ where
                         if reader_role {
                             (OpKind::Contains, rng.gen_range(0..cfg.key_range))
                         } else {
-                            let op = if draw < 50 { OpKind::Insert } else { OpKind::Delete };
+                            let op = if draw < 50 {
+                                OpKind::Insert
+                            } else {
+                                OpKind::Delete
+                            };
                             (op, rng.gen_range(0..update_range.max(1)))
                         }
                     }
@@ -237,6 +245,7 @@ where
         peak_live_bytes: peak_bytes,
         unreclaimed_nodes: stats.unreclaimed_nodes(),
         pings_sent: stats.pings_sent,
+        pings_skipped: stats.pings_skipped,
         restarts: stats.restarts,
     }
 }
@@ -294,7 +303,11 @@ where
                 let half = cfg.key_range / 2;
                 let chunk = half / cfg.threads as u64;
                 let lo = tid as u64 * chunk;
-                let hi = if tid == cfg.threads - 1 { half } else { lo + chunk };
+                let hi = if tid == cfg.threads - 1 {
+                    half
+                } else {
+                    lo + chunk
+                };
                 let mut keys: Vec<u64> = (lo..hi).map(|i| i * 2).collect();
                 keys.shuffle(&mut rng);
                 for k in keys {
@@ -314,12 +327,8 @@ where
                 let draw = rng.gen_range(0u32..100);
                 let key = rng.gen_range(0..cfg.key_range);
                 let op = mix.pick(draw);
-                let sample = i % 16 == 0;
-                let t0 = if sample {
-                    Some(Instant::now())
-                } else {
-                    None
-                };
+                let sample = i.is_multiple_of(16);
+                let t0 = if sample { Some(Instant::now()) } else { None };
                 let is_read = match op {
                     OpKind::Insert => {
                         map.insert(tid, key, key);

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use pop::ds::ext_bst::ExtBst;
 use pop::ds::ConcurrentMap;
-use pop::smr::{Ebr, HazardEra, HazardPtr, HazardPtrAsym, HazardPtrPop, EpochPop, Smr, SmrConfig};
+use pop::smr::{Ebr, EpochPop, HazardEra, HazardPtr, HazardPtrAsym, HazardPtrPop, Smr, SmrConfig};
 
 /// The *identical* benchmark body for every scheme: only the type differs.
 fn bench<S: Smr>() -> (&'static str, f64) {

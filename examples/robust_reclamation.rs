@@ -75,7 +75,10 @@ fn main() {
     let (ebr_ops, ebr_garbage, _) = stalled_run::<Ebr>();
     let (pop_ops, pop_garbage, pop_pings) = stalled_run::<EpochPop>();
 
-    println!("{:<10} {:>12} {:>20} {:>8}", "scheme", "writer ops", "unreclaimed nodes", "pings");
+    println!(
+        "{:<10} {:>12} {:>20} {:>8}",
+        "scheme", "writer ops", "unreclaimed nodes", "pings"
+    );
     println!("{:<10} {:>12} {:>20} {:>8}", "EBR", ebr_ops, ebr_garbage, 0);
     println!(
         "{:<10} {:>12} {:>20} {:>8}",
@@ -84,7 +87,11 @@ fn main() {
     println!();
     println!(
         "EBR garbage scales with writer work ({}% of {} retired ops unreclaimed);",
-        if ebr_ops > 0 { ebr_garbage * 100 / ebr_ops.max(1) } else { 0 },
+        if ebr_ops > 0 {
+            ebr_garbage * 100 / ebr_ops.max(1)
+        } else {
+            0
+        },
         ebr_ops
     );
     println!("EpochPOP pinged the sleeper and stayed bounded.");

@@ -55,7 +55,11 @@ fn stack_conservation<S: Smr>() {
     }
     assert_eq!(all.len(), 2 * PER_PRODUCER as usize, "values conserved");
     let distinct: HashSet<u64> = all.iter().copied().collect();
-    assert_eq!(distinct.len(), all.len(), "no duplicates (ABA would show here)");
+    assert_eq!(
+        distinct.len(),
+        all.len(),
+        "no duplicates (ABA would show here)"
+    );
 }
 
 fn queue_conservation<S: Smr>() {

@@ -28,8 +28,7 @@ const KEY_RANGE: u64 = 128;
 fn stress<S: Smr, M: ConcurrentMap<S>>() {
     let smr = S::new(SmrConfig::for_tests(THREADS + 1).with_reclaim_freq(128));
     let map = Arc::new(M::with_domain(Arc::clone(&smr)));
-    let ledger: Arc<Vec<AtomicI64>> =
-        Arc::new((0..KEY_RANGE).map(|_| AtomicI64::new(0)).collect());
+    let ledger: Arc<Vec<AtomicI64>> = Arc::new((0..KEY_RANGE).map(|_| AtomicI64::new(0)).collect());
 
     let handles: Vec<_> = (0..THREADS)
         .map(|tid| {

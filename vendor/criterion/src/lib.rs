@@ -1,0 +1,219 @@
+//! Minimal vendored `criterion`-compatible harness for offline builds.
+//!
+//! Implements the API subset this workspace's benches use (`Criterion`,
+//! `BenchmarkId`, `benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros) with a
+//! simple warmup + timed-batch protocol. Reported numbers are median-free
+//! mean ns/iter — adequate for the relative before/after comparisons this
+//! repo's bench trajectory tracks, not for statistical rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation (display only).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a run.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: brief warmup, then timed batches until the
+    /// measurement budget elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/branch predictors settle.
+        let warm_until = Instant::now() + self.measure_for / 5;
+        while Instant::now() < warm_until {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure_for {
+            // Batch 16 calls per clock read to keep timer overhead small.
+            for _ in 0..16 {
+                std::hint::black_box(f());
+            }
+            iters += 16;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Handle for a group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmarks `f` with `input`, labelled `group/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let tp = self.throughput;
+        self.criterion.run_one(&label, tp, input, f);
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark runner.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` with `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label.clone();
+        self.run_one(&label, None, input, f);
+    }
+
+    /// Benchmarks a nullary routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, None, &(), |b, _| f(b));
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<I, F>(&mut self, label: &str, throughput: Option<Throughput>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            measure_for: self.measure_for,
+        };
+        f(&mut b, input);
+        if b.iters == 0 {
+            println!("bench {label}: no iterations recorded");
+            return;
+        }
+        let ns = b.total.as_nanos() as f64 / b.iters as f64;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_elem = ns / n as f64;
+                println!("bench {label}: {ns:.1} ns/iter ({per_elem:.2} ns/elem)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / ns; // bytes/ns == GiB-ish/s
+                println!("bench {label}: {ns:.1} ns/iter ({gib:.2} B/ns)");
+            }
+            None => println!("bench {label}: {ns:.1} ns/iter"),
+        }
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function running each listed routine.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(10),
+        };
+        let mut ran = 0u64;
+        c.bench_with_input(BenchmarkId::new("noop", 1), &(), |b, _| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(8));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2))
+        });
+        g.finish();
+    }
+}

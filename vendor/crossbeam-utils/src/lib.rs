@@ -1,0 +1,67 @@
+//! Minimal vendored `crossbeam-utils` for offline builds: only
+//! [`CachePadded`], with the same alignment policy as the real crate
+//! (128 bytes on x86_64/aarch64 to cover adjacent-line prefetchers).
+
+/// Pads and aligns a value to the length of a cache line (pair).
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
+#[cfg_attr(
+    not(any(target_arch = "x86_64", target_arch = "aarch64")),
+    repr(align(64))
+)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads `value` to a cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> core::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> core::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(t: T) -> Self {
+        CachePadded::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_isolates_cache_lines() {
+        assert!(core::mem::align_of::<CachePadded<u64>>() >= 64);
+        let arr = [CachePadded::new(0u64), CachePadded::new(1u64)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert!(b - a >= 64, "adjacent elements must not share a line");
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+}

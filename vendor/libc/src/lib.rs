@@ -1,0 +1,105 @@
+//! Minimal vendored `libc` surface for offline builds.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! declares exactly the glibc symbols, constants and struct layouts this
+//! workspace uses — nothing more. Layouts follow glibc on Linux (x86_64 and
+//! aarch64 share them for everything declared here).
+
+#![allow(non_camel_case_types, non_upper_case_globals, non_snake_case)]
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type pid_t = i32;
+pub type pthread_t = c_ulong;
+
+/// glibc `sigset_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [c_ulong; 16],
+}
+
+/// glibc `struct sigaction` (Linux layout: handler, mask, flags, restorer).
+#[repr(C)]
+pub struct sigaction {
+    pub sa_sigaction: usize,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<unsafe extern "C" fn()>,
+}
+
+/// glibc `cpu_set_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [c_ulong; 16],
+}
+
+pub const SIGUSR1: c_int = 10;
+pub const SA_RESTART: c_int = 0x10000000;
+pub const _SC_NPROCESSORS_ONLN: c_int = 84;
+
+#[cfg(target_arch = "x86_64")]
+pub const SYS_membarrier: c_long = 324;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_membarrier: c_long = 283;
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub const SYS_membarrier: c_long = -1;
+
+/// Clears every CPU from the set (glibc implements this as a macro).
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; 16];
+}
+
+/// Adds `cpu` to the set (glibc implements this as a macro).
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    let word = cpu / (8 * core::mem::size_of::<c_ulong>());
+    let bit = cpu % (8 * core::mem::size_of::<c_ulong>());
+    if word < set.bits.len() {
+        set.bits[word] |= 1 << bit;
+    }
+}
+
+extern "C" {
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn pthread_self() -> pthread_t;
+    pub fn pthread_kill(thread: pthread_t, sig: c_int) -> c_int;
+    pub fn __errno_location() -> *mut c_int;
+    pub fn syscall(num: c_long, ...) -> c_long;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sysconf_reports_cpus() {
+        let n = unsafe { sysconf(_SC_NPROCESSORS_ONLN) };
+        assert!(n >= 1, "at least one online CPU expected, got {n}");
+    }
+
+    #[test]
+    fn cpu_set_roundtrip() {
+        unsafe {
+            let mut set: cpu_set_t = core::mem::zeroed();
+            CPU_ZERO(&mut set);
+            CPU_SET(3, &mut set);
+            assert_eq!(set.bits[0], 1 << 3);
+        }
+    }
+
+    #[test]
+    fn errno_location_is_stable() {
+        let a = unsafe { __errno_location() };
+        let b = unsafe { __errno_location() };
+        assert_eq!(a, b);
+    }
+}

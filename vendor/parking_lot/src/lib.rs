@@ -1,0 +1,108 @@
+//! Minimal vendored `parking_lot` for offline builds.
+//!
+//! Only the `Mutex` API surface this workspace uses, implemented over
+//! `std::sync::Mutex` with parking_lot's non-poisoning semantics (a
+//! panicked holder does not wedge subsequent lockers).
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, TryLockError};
+
+/// A non-poisoning mutual-exclusion lock.
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(StdMutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => MutexGuard(g),
+            Err(p) => MutexGuard(p.into_inner()),
+        }
+    }
+
+    /// Attempts the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> core::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> core::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn survives_panicked_holder() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        *m.lock() += 1; // must not deadlock or panic
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn try_lock_contention() {
+        let m = Mutex::new(5);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+}
