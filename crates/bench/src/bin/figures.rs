@@ -179,6 +179,8 @@ fn run_robustness(opts: &SweepOptions, csv: &Path) {
             unreclaimed_nodes: stats.unreclaimed_nodes(),
             pings_sent: stats.pings_sent,
             pings_skipped: stats.pings_skipped,
+            pings_elided_adaptive: stats.pings_elided_adaptive,
+            batches_sealed: stats.batches_sealed,
             restarts: stats.restarts,
         }
     }

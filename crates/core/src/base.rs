@@ -1,22 +1,220 @@
-//! Domain plumbing shared by every scheme: thread-slot occupancy, retire
-//! lists, reusable reclamation scratch, the quarantine use-after-free
-//! detector, and orphan handling.
+//! Domain plumbing shared by every scheme: thread-slot occupancy, batched
+//! retire lists, per-thread epoch clocks, reusable reclamation scratch, the
+//! quarantine use-after-free detector, and orphan handling.
+//!
+//! ## Batch lifecycle (fill → seal → sweep → free/recycle)
+//!
+//! Retirement is batched through [`RetireList`]:
+//!
+//! 1. **Fill** — `retire` appends to a thread-private
+//!    [`RetireBatch`](crate::header::RetireBatch) block: one slot write and
+//!    a length bump, no stats RMW, no threshold test.
+//! 2. **Seal** — when the block reaches the configured threshold
+//!    ([`crate::config::SmrConfig::retire_batch`], never above
+//!    `reclaim_freq`), it moves into the list's sealed-block vector as one
+//!    pointer. Only here do the amortized costs run: one `retired_nodes`
+//!    bump for the whole block and one reclaim-threshold comparison
+//!    ([`push_retired`]).
+//! 3. **Sweep** — reclamation passes walk sealed blocks in retire order
+//!    ([`sweep_retire_list`]). A block whose members all survive is kept
+//!    untouched (no moves); a block whose members all fail the keep
+//!    predicate is freed whole with one batched stats update; mixed blocks
+//!    compact survivors in place. Survivor order is preserved within and
+//!    across blocks.
+//! 4. **Free/recycle** — emptied block boxes return to the list's free
+//!    pool, so steady-state retire + reclaim performs **zero heap
+//!    allocations** once the pools reach working size. Flush paths seal
+//!    partial blocks first (inside the sweep), and `unregister` seals and
+//!    hands leftovers to the domain orphan list
+//!    ([`DomainBase::orphan_remaining`]) — partial batches are never
+//!    leaked. Joining threads adopt a bounded orphan chunk back
+//!    ([`DomainBase::adopt_orphan_chunk`]).
+//!
+//! ## Epoch max-aggregation invariant
+//!
+//! Epoch-based schemes (EBR, EpochPOP, IBR) used to `fetch_add` one shared
+//! global-epoch word every `epoch_freq` operations per thread — the last
+//! cross-thread RMW on the operation path. [`EpochClocks`] replaces it:
+//! each thread *ticks a private, cache-padded clock* (a relaxed store to
+//! its own line), and **the shared word is written only by reclaimer
+//! passes**, which max-scan the clocks and `fetch_max` the result into the
+//! global ([`EpochClocks::advance_max_scan`]). A reclaimer first jumps its
+//! own clock past the current global, so **every pass advances the
+//! epoch** even when its private clock lagged a formerly-hot, now-idle
+//! peer's. Safety is unaffected: readers
+//! announce, and retirers tag, values of the same monotone global word, so
+//! *when* it advances only affects reclamation latency, never which frees
+//! are legal.
 
 use core::cell::UnsafeCell;
 use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::config::SmrConfig;
-use crate::header::Retired;
+use crate::header::{RetireBatch, Retired, RETIRE_BATCH_CAP};
 use crate::stats::DomainStats;
 
-/// A per-thread retire list with single-owner interior mutability.
+/// Nodes a joining thread adopts from the domain orphan list at
+/// registration (first slice of the ROADMAP "Orphan handoff" item): enough
+/// to drain orphans under thread churn, small enough that registration
+/// stays cheap and the adopter's first pass is not dominated by foreign
+/// garbage.
+const ORPHAN_ADOPT_MAX: usize = 8 * RETIRE_BATCH_CAP;
+
+/// A per-thread batched retire list (see the module-level lifecycle).
+///
+/// Not a public type: schemes own one per thread behind a [`RetireSlot`].
+pub(crate) struct RetireList {
+    /// Seal threshold (`1..=RETIRE_BATCH_CAP`).
+    seal: usize,
+    /// Nodes held in sealed blocks (excludes the fill block).
+    sealed_nodes: usize,
+    /// Nodes sealed since the last reclaim trigger (or pass). Paces
+    /// [`push_retired`]'s trigger to one pass per `reclaim_freq` *new*
+    /// retires: survivors pinning `len` above the threshold (a stalled
+    /// reader) must not turn every subsequent seal into a full-list
+    /// sweep.
+    sealed_since_trigger: usize,
+    /// Sealed blocks, oldest first. Deliberately boxed (not `vec_box`
+    /// noise): a sealed block is handed around *as one pointer* — between
+    /// the fill slot, this vector, the free pool, and Hyaline's global
+    /// batches — so moves are 8 bytes, not 500+.
+    #[allow(clippy::vec_box)]
+    blocks: Vec<Box<RetireBatch>>,
+    /// The block currently being filled.
+    fill: Box<RetireBatch>,
+    /// Recycled empty blocks (the allocation-free steady state).
+    #[allow(clippy::vec_box)]
+    free: Vec<Box<RetireBatch>>,
+}
+
+impl RetireList {
+    pub(crate) fn new(seal: usize) -> Self {
+        RetireList {
+            seal: seal.clamp(1, RETIRE_BATCH_CAP),
+            sealed_nodes: 0,
+            sealed_since_trigger: 0,
+            blocks: Vec::new(),
+            fill: RetireBatch::boxed(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Total nodes held (sealed blocks + fill block).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.sealed_nodes + self.fill.len()
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hot-path append. Returns `Some(block_len)` when this push sealed a
+    /// block — the caller owes the amortized accounting ([`push_retired`]).
+    #[inline]
+    pub(crate) fn push(&mut self, r: Retired) -> Option<usize> {
+        self.fill.push(r);
+        if self.fill.len() >= self.seal {
+            Some(self.seal_fill())
+        } else {
+            None
+        }
+    }
+
+    fn seal_fill(&mut self) -> usize {
+        let n = self.fill.len();
+        let fresh = self.free.pop().unwrap_or_else(RetireBatch::boxed);
+        let full = core::mem::replace(&mut self.fill, fresh);
+        self.blocks.push(full);
+        self.sealed_nodes += n;
+        self.sealed_since_trigger += n;
+        n
+    }
+
+    /// Resets the trigger pacing — a pass just ran (or is about to), so
+    /// the next one waits for a fresh `reclaim_freq` worth of retires.
+    pub(crate) fn note_pass(&mut self) {
+        self.sealed_since_trigger = 0;
+    }
+
+    /// Seals a non-empty partial fill block (flush/unregister paths).
+    /// Returns the sealed count (0 if the fill block was empty).
+    pub(crate) fn seal_partial(&mut self) -> usize {
+        if self.fill.is_empty() {
+            0
+        } else {
+            self.seal_fill()
+        }
+    }
+
+    /// Moves every sealed block out (Hyaline hands them to its global
+    /// batch list). The caller must have sealed the fill block first.
+    #[allow(clippy::vec_box)]
+    pub(crate) fn take_blocks(&mut self) -> Vec<Box<RetireBatch>> {
+        debug_assert!(self.fill.is_empty(), "seal before taking blocks");
+        self.sealed_nodes = 0;
+        core::mem::take(&mut self.blocks)
+    }
+
+    /// Abandons every sealed node (NR's deliberate leak) while recycling
+    /// the block boxes. `Retired` has no `Drop`, so clearing the lengths
+    /// leaks exactly the recorded allocations.
+    pub(crate) fn leak_sealed_blocks(&mut self) {
+        while let Some(mut b) = self.blocks.pop() {
+            // SAFETY: truncation abandons (leaks) the records, which is
+            // this method's contract; nothing is double-read.
+            unsafe { b.set_len(0) };
+            self.free.push(b);
+        }
+        self.sealed_nodes = 0;
+    }
+
+    /// Appends already-accounted nodes (orphan adoption) directly into
+    /// sealed blocks, so a later `seal_partial` cannot recount them.
+    pub(crate) fn absorb(&mut self, nodes: impl IntoIterator<Item = Retired>) {
+        let mut b = self.free.pop().unwrap_or_else(RetireBatch::boxed);
+        for r in nodes {
+            if b.len() == RETIRE_BATCH_CAP {
+                self.sealed_nodes += b.len();
+                self.blocks.push(b);
+                b = self.free.pop().unwrap_or_else(RetireBatch::boxed);
+            }
+            b.push(r);
+        }
+        if b.is_empty() {
+            self.free.push(b);
+        } else {
+            self.sealed_nodes += b.len();
+            self.blocks.push(b);
+        }
+    }
+
+    /// Moves every node (sealed and fill) out through `f`, recycling the
+    /// emptied blocks. Drain order is unspecified.
+    pub(crate) fn drain_all(&mut self, mut f: impl FnMut(Retired)) {
+        while let Some(mut b) = self.blocks.pop() {
+            while let Some(r) = b.pop() {
+                f(r);
+            }
+            self.free.push(b);
+        }
+        self.sealed_nodes = 0;
+        while let Some(r) = self.fill.pop() {
+            f(r);
+        }
+    }
+}
+
+/// Single-owner cell holding a thread's [`RetireList`].
 ///
 /// Soundness: only the thread that claimed the enclosing tid (enforced by
 /// [`DomainBase::claim`]'s panic-on-double-claim) may call [`Self::get`].
-pub(crate) struct RetireSlot(UnsafeCell<Vec<Retired>>);
+pub(crate) struct RetireSlot(UnsafeCell<RetireList>);
 
 // SAFETY: access is confined to the owning thread by the registration
 // protocol; the cell itself is never aliased across threads.
@@ -24,15 +222,15 @@ unsafe impl Sync for RetireSlot {}
 unsafe impl Send for RetireSlot {}
 
 impl RetireSlot {
-    pub(crate) fn new() -> Self {
-        RetireSlot(UnsafeCell::new(Vec::new()))
+    pub(crate) fn new(seal: usize) -> Self {
+        RetireSlot(UnsafeCell::new(RetireList::new(seal)))
     }
 
     /// # Safety
     ///
     /// Caller must be the registered owner of the enclosing tid.
     #[allow(clippy::mut_from_ref)]
-    pub(crate) unsafe fn get(&self) -> &mut Vec<Retired> {
+    pub(crate) unsafe fn get(&self) -> &mut RetireList {
         // SAFETY: single-owner contract above.
         unsafe { &mut *self.0.get() }
     }
@@ -82,6 +280,72 @@ impl ScratchSlot {
     }
 }
 
+/// Per-thread epoch clocks with a reclaimer-aggregated global (see the
+/// module-level invariant).
+pub(crate) struct EpochClocks {
+    /// The globally visible epoch. Written **only** by
+    /// [`Self::advance_max_scan`] (reclaimer passes).
+    global: CachePadded<AtomicU64>,
+    /// One private clock per domain tid, each on its own line; bumped by
+    /// its owner with a relaxed store, read by reclaimers during the
+    /// max-scan.
+    local: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl EpochClocks {
+    pub(crate) fn new(nthreads: usize) -> Self {
+        let mut local = Vec::with_capacity(nthreads);
+        local.resize_with(nthreads, || CachePadded::new(AtomicU64::new(1)));
+        EpochClocks {
+            global: CachePadded::new(AtomicU64::new(1)),
+            local: local.into_boxed_slice(),
+        }
+    }
+
+    /// The current global epoch (readers announce this; retirers tag it).
+    #[inline(always)]
+    pub(crate) fn current(&self) -> u64 {
+        self.global.load(Ordering::Acquire)
+    }
+
+    /// Owner-only clock bump: a relaxed store to the owner's own cache
+    /// line — the op path's replacement for the shared `fetch_add`.
+    #[inline]
+    pub(crate) fn tick(&self, tid: usize) {
+        let c = self.local[tid].load(Ordering::Relaxed);
+        self.local[tid].store(c + 1, Ordering::Relaxed);
+    }
+
+    /// Reclaimer-pass aggregation: jump the caller's clock past the
+    /// current global (so the aggregated max strictly exceeds it — every
+    /// pass advances the epoch, the progress guarantee the old shared
+    /// `fetch_add` gave), max-scan every clock, and `fetch_max` the result
+    /// into the global word — the only place the global is ever written.
+    /// Returns the post-aggregation epoch.
+    ///
+    /// Without the jump, a reclaimer whose private clock lags the maximum
+    /// (a formerly-hot peer ticked far ahead, then went idle) would leave
+    /// `fetch_max` a no-op for `max - own` consecutive passes, pinning
+    /// every epoch-based free at the stale maximum.
+    pub(crate) fn advance_max_scan(&self, tid: usize) -> u64 {
+        let cur = self.global.load(Ordering::Acquire);
+        let mine = self.local[tid].load(Ordering::Relaxed);
+        self.local[tid].store(mine.max(cur) + 1, Ordering::Relaxed);
+        let mut m = 0u64;
+        for c in self.local.iter() {
+            m = m.max(c.load(Ordering::Relaxed));
+        }
+        let prev = self.global.fetch_max(m, Ordering::AcqRel);
+        prev.max(m)
+    }
+
+    /// Test observability: a thread's private clock value.
+    #[cfg(test)]
+    pub(crate) fn local_of(&self, tid: usize) -> u64 {
+        self.local[tid].load(Ordering::Relaxed)
+    }
+}
+
 /// State common to all reclamation domains.
 pub(crate) struct DomainBase {
     pub cfg: SmrConfig,
@@ -93,7 +357,9 @@ pub(crate) struct DomainBase {
     /// Quarantined (poisoned) nodes when `cfg.quarantine` is set.
     quarantine: Mutex<Vec<Retired>>,
     /// Retire-list leftovers from threads that unregistered while some of
-    /// their garbage was still reserved by others. Freed on domain drop.
+    /// their garbage was still reserved by others. Drained (bounded) by
+    /// joining threads via [`Self::adopt_orphan_chunk`]; any remainder is
+    /// freed on domain drop.
     orphans: Mutex<Vec<Retired>>,
 }
 
@@ -149,18 +415,13 @@ impl DomainBase {
         }
     }
 
-    /// Frees (or quarantines) one retired object, accounting it on the
-    /// calling reclaimer's stat shard.
+    /// Frees (or quarantines) one retired object **without** stats — the
+    /// building block under [`Self::free_now`] and the batched sweep.
     ///
     /// # Safety
     ///
-    /// The scheme must have proven no thread can access the object, and
-    /// `tid` must be the caller's registered domain thread id.
-    pub(crate) unsafe fn free_now(&self, tid: usize, r: Retired) {
-        let bytes = r.header().size() as u64;
-        let shard = self.stats.shard(tid);
-        shard.freed_nodes.fetch_add(1, Ordering::Relaxed);
-        shard.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+    /// The scheme must have proven no thread can access the object.
+    pub(crate) unsafe fn free_raw(&self, r: Retired) {
         if self.cfg.quarantine {
             r.header().poison();
             self.quarantine.lock().push(r);
@@ -170,18 +431,88 @@ impl DomainBase {
         }
     }
 
-    /// Parks leftovers from an unregistering thread; they are deallocated
-    /// when the domain drops (at which point no readers remain).
-    pub(crate) fn adopt_orphans(&self, leftovers: Vec<Retired>) {
-        if !leftovers.is_empty() {
-            self.orphans.lock().extend(leftovers);
+    /// Frees (or quarantines) one retired object, accounting it on the
+    /// calling reclaimer's stat shard.
+    ///
+    /// # Safety
+    ///
+    /// The scheme must have proven no thread can access the object, and
+    /// `tid` must be the caller's registered domain thread id.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) unsafe fn free_now(&self, tid: usize, r: Retired) {
+        let bytes = r.header().size() as u64;
+        let shard = self.stats.shard(tid);
+        shard.freed_nodes.fetch_add(1, Ordering::Relaxed);
+        shard.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { self.free_raw(r) };
+    }
+
+    /// Frees every node of one sealed block with a single stats update
+    /// (Hyaline's batch settlement).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Self::free_now`] for every member.
+    pub(crate) unsafe fn free_block(&self, tid: usize, block: &mut RetireBatch) {
+        let mut nodes = 0u64;
+        let mut bytes = 0u64;
+        while let Some(r) = block.pop() {
+            nodes += 1;
+            bytes += r.header().size() as u64;
+            // SAFETY: forwarded contract.
+            unsafe { self.free_raw(r) };
         }
+        if nodes > 0 {
+            let shard = self.stats.shard(tid);
+            shard.freed_nodes.fetch_add(nodes, Ordering::Relaxed);
+            shard.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Unregistration hand-off: seals the partial fill block (with its
+    /// amortized accounting — partial batches are never leaked) and parks
+    /// every remaining node on the domain orphan list.
+    pub(crate) fn orphan_remaining(&self, tid: usize, list: &mut RetireList) {
+        seal_and_account(self, tid, list);
+        if list.is_empty() {
+            return;
+        }
+        let mut orphans = self.orphans.lock();
+        list.drain_all(|r| orphans.push(r));
+    }
+
+    /// Registration-side orphan adoption: moves up to [`ORPHAN_ADOPT_MAX`]
+    /// orphaned nodes into the joining thread's retire list (as sealed,
+    /// already-accounted blocks), bounding orphan memory on long-lived
+    /// domains with thread churn.
+    pub(crate) fn adopt_orphan_chunk(&self, tid: usize, list: &mut RetireList) {
+        let adopted: Vec<Retired> = {
+            let mut orphans = self.orphans.lock();
+            let n = orphans.len().min(ORPHAN_ADOPT_MAX);
+            if n == 0 {
+                return;
+            }
+            let at = orphans.len() - n;
+            orphans.split_off(at)
+        };
+        self.stats
+            .shard(tid)
+            .orphans_adopted
+            .fetch_add(adopted.len() as u64, Ordering::Relaxed);
+        list.absorb(adopted);
     }
 
     /// Number of quarantined nodes (test observability).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn quarantine_len(&self) -> usize {
         self.quarantine.lock().len()
+    }
+
+    /// Number of parked orphans (test observability).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn orphan_len(&self) -> usize {
+        self.orphans.lock().len()
     }
 }
 
@@ -214,12 +545,66 @@ impl Drop for DomainBase {
     }
 }
 
-/// In-place survivor sweep over a retire list: every entry for which `keep`
-/// returns `false` is freed via [`DomainBase::free_now`]; survivors stay in
-/// the list **in their original order**. Returns the number freed.
+/// The amortized accounting every sealed block owes: one `retired_nodes`
+/// bump for its members and one `batches_sealed` event. Shared by
+/// [`push_retired`], [`seal_and_account`] and NR's leak path.
+pub(crate) fn account_seal(base: &DomainBase, tid: usize, sealed: usize) {
+    let shard = base.stats.shard(tid);
+    shard
+        .retired_nodes
+        .fetch_add(sealed as u64, Ordering::Relaxed);
+    shard.batches_sealed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Seals a non-empty partial fill block and performs its amortized
+/// accounting (the same bumps a hot-path seal gets in [`push_retired`]).
+pub(crate) fn seal_and_account(base: &DomainBase, tid: usize, list: &mut RetireList) {
+    let sealed = list.seal_partial();
+    if sealed > 0 {
+        account_seal(base, tid, sealed);
+    }
+}
+
+/// The shared retire fast path: push into the thread's fill block; on a
+/// seal, run the amortized accounting and report whether a reclamation
+/// pass is due (the caller then runs its scheme's pass).
 ///
-/// The sweep is allocation-free: survivors are compacted toward the front
-/// of the existing buffer instead of being re-pushed into a fresh vector.
+/// A pass is due when the list is over `reclaim_freq` **and** a full
+/// `reclaim_freq` of new retires arrived since the last trigger — so a
+/// pinned list (stalled reader) costs one full-list sweep per
+/// `reclaim_freq` retires, not one per seal.
+#[inline]
+pub(crate) fn push_retired(
+    base: &DomainBase,
+    tid: usize,
+    list: &mut RetireList,
+    r: Retired,
+) -> bool {
+    match list.push(r) {
+        None => false,
+        Some(sealed) => {
+            account_seal(base, tid, sealed);
+            let freq = base.cfg.reclaim_freq;
+            if list.len() >= freq && list.sealed_since_trigger >= freq {
+                list.note_pass();
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+/// In-place survivor sweep over a batched retire list: every entry for
+/// which `keep` returns `false` is freed; survivors stay **in their
+/// original retire order**. Returns the number freed.
+///
+/// Block-granular fast paths: an all-survivor block is kept without moving
+/// a single record, an all-freeable block is freed whole with one batched
+/// stats update, and only mixed blocks pay per-node compaction. The fill
+/// block is sealed (and accounted) first, so flush-driven sweeps cover
+/// everything. Allocation-free: emptied blocks recycle into the list's
+/// free pool.
 ///
 /// # Safety
 ///
@@ -229,35 +614,89 @@ impl Drop for DomainBase {
 pub(crate) unsafe fn sweep_retire_list(
     base: &DomainBase,
     tid: usize,
-    list: &mut Vec<Retired>,
+    list: &mut RetireList,
     mut keep: impl FnMut(&Retired) -> bool,
 ) -> usize {
-    let len = list.len();
-    let ptr = list.as_mut_ptr();
-    // Defensive: if a free panics mid-sweep (quarantine assertion), the
-    // list must not expose half-moved entries. `Retired` has no Drop impl,
-    // so truncating first leaks survivors on unwind instead of
-    // double-freeing them.
-    // SAFETY: 0 <= len, elements stay initialized; we manage them manually.
-    unsafe { list.set_len(0) };
-    let mut write = 0usize;
-    let mut freed = 0usize;
-    for read in 0..len {
-        // SAFETY: `read < len`, the original initialized length.
-        let r = unsafe { core::ptr::read(ptr.add(read)) };
-        if keep(&r) {
-            // SAFETY: `write <= read < len`; slot was already moved out.
-            unsafe { core::ptr::write(ptr.add(write), r) };
-            write += 1;
+    seal_and_account(base, tid, list);
+    // This sweep counts as the pass the trigger pacing was waiting for
+    // (flush-driven sweeps reset the budget too).
+    list.note_pass();
+    let shard = base.stats.shard(tid);
+    let nblocks = list.blocks.len();
+    let blocks_ptr = list.blocks.as_mut_ptr();
+    // Defensive: if a free panics mid-sweep, neither vector may expose
+    // half-moved entries. Truncating first leaks not-yet-rewritten blocks
+    // on unwind instead of double-freeing them (`Retired` and
+    // `RetireBatch` have no Drop impls).
+    // SAFETY: elements stay initialized; we manage them manually below.
+    unsafe { list.blocks.set_len(0) };
+    let mut write_block = 0usize;
+    let mut total_freed = 0usize;
+    let mut kept_whole = 0u64;
+    let mut freed_whole = 0u64;
+    for read_block in 0..nblocks {
+        // SAFETY: `read_block < nblocks`, the original initialized length.
+        let mut b = unsafe { core::ptr::read(blocks_ptr.add(read_block)) };
+        let n = b.len();
+        let ptr = b.as_mut_ptr();
+        // SAFETY: same defensive truncation at block granularity.
+        unsafe { b.set_len(0) };
+        let mut write = 0usize;
+        let mut freed_nodes = 0u64;
+        let mut freed_bytes = 0u64;
+        for read in 0..n {
+            // SAFETY: `read < n`, the block's original initialized length.
+            let r = unsafe { core::ptr::read(ptr.add(read)) };
+            if keep(&r) {
+                if write != read {
+                    // SAFETY: `write <= read < n`; slot was moved out.
+                    unsafe { core::ptr::write(ptr.add(write), r) };
+                }
+                // else: the slot already holds exactly these bits, and
+                // `Retired` has no Drop, so letting the copy go is free —
+                // an all-survivor block is swept without a single store.
+                write += 1;
+            } else {
+                freed_bytes += r.header().size() as u64;
+                freed_nodes += 1;
+                // SAFETY: forwarded contract — entry proven unreachable.
+                unsafe { base.free_raw(r) };
+            }
+        }
+        // SAFETY: the first `write` slots hold initialized survivors.
+        unsafe { b.set_len(write) };
+        if freed_nodes > 0 {
+            shard.freed_nodes.fetch_add(freed_nodes, Ordering::Relaxed);
+            shard.freed_bytes.fetch_add(freed_bytes, Ordering::Relaxed);
+            total_freed += freed_nodes as usize;
+        }
+        if write == 0 {
+            freed_whole += 1;
+            list.free.push(b);
         } else {
-            // SAFETY: forwarded contract — entry proven unreachable.
-            unsafe { base.free_now(tid, r) };
-            freed += 1;
+            if freed_nodes == 0 {
+                kept_whole += 1;
+            }
+            // SAFETY: `write_block <= read_block < nblocks`; slot was
+            // already moved out.
+            unsafe { core::ptr::write(blocks_ptr.add(write_block), b) };
+            write_block += 1;
         }
     }
-    // SAFETY: the first `write` slots hold initialized survivors.
-    unsafe { list.set_len(write) };
-    freed
+    // SAFETY: the first `write_block` slots hold initialized blocks.
+    unsafe { list.blocks.set_len(write_block) };
+    list.sealed_nodes -= total_freed;
+    if freed_whole > 0 {
+        shard
+            .blocks_freed_whole
+            .fetch_add(freed_whole, Ordering::Relaxed);
+    }
+    if kept_whole > 0 {
+        shard
+            .blocks_kept_whole
+            .fetch_add(kept_whole, Ordering::Relaxed);
+    }
+    total_freed
 }
 
 /// Frees every entry of `list` whose pointer is **not** in the sorted
@@ -272,7 +711,7 @@ pub(crate) unsafe fn sweep_retire_list(
 pub(crate) unsafe fn free_unreserved(
     base: &DomainBase,
     tid: usize,
-    list: &mut Vec<Retired>,
+    list: &mut RetireList,
     reserved: &[u64],
 ) -> usize {
     debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
@@ -295,7 +734,7 @@ pub(crate) unsafe fn free_unreserved(
 pub(crate) unsafe fn free_era_unreserved(
     base: &DomainBase,
     tid: usize,
-    list: &mut Vec<Retired>,
+    list: &mut RetireList,
     reserved: &[u64],
 ) -> usize {
     debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
@@ -318,7 +757,7 @@ pub(crate) unsafe fn free_era_unreserved(
 pub(crate) unsafe fn free_before_epoch(
     base: &DomainBase,
     tid: usize,
-    list: &mut Vec<Retired>,
+    list: &mut RetireList,
     min: u64,
 ) -> usize {
     // SAFETY: forwarded contract.
@@ -384,6 +823,34 @@ mod tests {
         r
     }
 
+    /// A retire list pre-filled with `eras` as both birth and retire eras,
+    /// everything sealed (seal threshold 1 unless given).
+    fn filled(base: &DomainBase, seal: usize, eras: &[u64]) -> RetireList {
+        let mut list = RetireList::new(seal);
+        for &e in eras {
+            push_retired(base, 0, &mut list, mk(base, e, e));
+        }
+        seal_and_account(base, 0, &mut list);
+        list
+    }
+
+    fn eras_of(list: &RetireList) -> Vec<u64> {
+        let mut out = Vec::new();
+        for b in &list.blocks {
+            out.extend(b.nodes().iter().map(|r| r.header().birth_era));
+        }
+        out.extend(list.fill.nodes().iter().map(|r| r.header().birth_era));
+        out
+    }
+
+    fn drain_free(base: &DomainBase, list: &mut RetireList) {
+        let mut nodes = Vec::new();
+        list.drain_all(|r| nodes.push(r));
+        for r in nodes {
+            unsafe { base.free_now(0, r) };
+        }
+    }
+
     #[test]
     fn claim_release_cycle() {
         let b = DomainBase::new(SmrConfig::for_tests(2));
@@ -421,77 +888,176 @@ mod tests {
     }
 
     #[test]
+    fn push_seals_at_threshold_and_accounts_lazily() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(4);
+        for i in 0..3 {
+            assert!(!push_retired(&b, 0, &mut list, mk(&b, i, i)));
+        }
+        assert_eq!(
+            b.stats.snapshot().retired_nodes,
+            0,
+            "no stats RMW before the seal"
+        );
+        assert_eq!(list.len(), 3);
+        push_retired(&b, 0, &mut list, mk(&b, 3, 3));
+        let s = b.stats.snapshot();
+        assert_eq!(s.retired_nodes, 4, "seal accounts the whole block");
+        assert_eq!(s.batches_sealed, 1);
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn push_retired_paces_triggers_by_new_retires() {
+        let b = DomainBase::new(SmrConfig::for_tests(1).with_reclaim_freq(8));
+        let mut list = RetireList::new(4);
+        let mut crossings = 0;
+        for i in 0..16 {
+            if push_retired(&b, 0, &mut list, mk(&b, i, i)) {
+                crossings += 1;
+            }
+        }
+        // Seals land at len 4, 8, 12, 16. Triggers need BOTH len >= 8 and
+        // 8 new retires since the last trigger: fire at 8 and 16, not 12.
+        assert_eq!(crossings, 2, "one trigger per reclaim_freq new retires");
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn pinned_list_does_not_trigger_every_seal() {
+        // Survivors keep len above the threshold (the stalled-reader
+        // regime); a full-list pass must still only be requested once per
+        // reclaim_freq new retires, not once per sealed block.
+        let b = DomainBase::new(SmrConfig::for_tests(1).with_reclaim_freq(8));
+        let mut list = RetireList::new(4);
+        for i in 0..8 {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
+        }
+        // Simulate a pass that freed nothing (all pinned).
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut list, |_| true) };
+        assert_eq!(freed, 0);
+        assert_eq!(list.len(), 8, "everything pinned");
+        let mut crossings = 0;
+        for i in 0..8 {
+            if push_retired(&b, 0, &mut list, mk(&b, 100 + i, 0)) {
+                crossings += 1;
+            }
+        }
+        // len stays >= 8 throughout, but only the seal completing 8 new
+        // retires (len 16) may trigger.
+        assert_eq!(
+            crossings, 1,
+            "pinned survivors must not cause O(n^2) passes"
+        );
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
     fn free_unreserved_respects_reservations() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut list = vec![mk(&b, 0, 0), mk(&b, 0, 0), mk(&b, 0, 0)];
-        let kept = list[1].ptr() as u64;
+        let mut list = filled(&b, 1, &[0, 0, 0]);
+        let kept = list.blocks[1].nodes()[0].ptr() as u64;
         let reserved = vec![kept];
         let freed = unsafe { free_unreserved(&b, 0, &mut list, &reserved) };
         assert_eq!(freed, 2);
         assert_eq!(list.len(), 1);
-        assert_eq!(list[0].ptr() as u64, kept);
-        // Free the survivor so the allocation is not leaked in the test.
-        let survivor = list.pop().unwrap();
-        unsafe { b.free_now(0, survivor) };
+        assert_eq!(list.blocks[0].nodes()[0].ptr() as u64, kept);
+        drain_free(&b, &mut list);
     }
 
     #[test]
-    fn sweep_preserves_survivor_order_and_capacity() {
-        // The in-place sweep must keep survivors in retire order (oldest
+    fn sweep_preserves_survivor_order_without_reallocating() {
+        // The block sweep must keep survivors in retire order (oldest
         // first — schemes rely on this for retire-era monotonicity) and
-        // must not reallocate the backing buffer.
+        // must not allocate: emptied blocks recycle into the free pool.
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut list: Vec<Retired> = (0..8).map(|i| mk(&b, i, i)).collect();
-        let cap_before = list.capacity();
-        let buf_before = list.as_ptr();
-        // Keep eras 1, 4, 6 — a scattered survivor pattern.
+        // Seal threshold 3: eras spread over three blocks of three.
+        let mut list = filled(&b, 3, &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(list.blocks.len(), 3);
         let keep: Vec<u64> = vec![1, 4, 6];
         let kept_ptrs: Vec<u64> = list
+            .blocks
             .iter()
+            .flat_map(|blk| blk.nodes())
             .filter(|r| keep.contains(&r.header().birth_era))
             .map(|r| r.ptr() as u64)
             .collect();
         let freed = unsafe {
             sweep_retire_list(&b, 0, &mut list, |r| keep.contains(&r.header().birth_era))
         };
-        assert_eq!(freed, 5);
+        assert_eq!(freed, 6);
         assert_eq!(list.len(), 3);
         assert_eq!(
-            list.iter()
-                .map(|r| r.header().birth_era)
-                .collect::<Vec<_>>(),
+            eras_of(&list),
             keep,
             "survivors must keep their original relative order"
         );
+        let survivor_ptrs: Vec<u64> = list
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.nodes())
+            .map(|r| r.ptr() as u64)
+            .collect();
         assert_eq!(
-            list.iter().map(|r| r.ptr() as u64).collect::<Vec<_>>(),
-            kept_ptrs,
+            survivor_ptrs, kept_ptrs,
             "survivors must be the same objects, not copies"
         );
-        assert_eq!(list.capacity(), cap_before, "sweep must not reallocate");
-        assert_eq!(list.as_ptr(), buf_before, "sweep must reuse the buffer");
         // Accounting: freed counted on shard 0.
-        assert_eq!(b.stats.snapshot().freed_nodes, 5);
-        for r in list.drain(..) {
-            unsafe { b.free_now(0, r) };
+        assert_eq!(b.stats.snapshot().freed_nodes, 6);
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn sweep_block_fast_paths_count_whole_blocks() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        // Three full blocks of 2: eras (0,0), (5,5), (0,5).
+        let mut list = filled(&b, 2, &[0, 0, 5, 5, 0, 5]);
+        // Keep era 5: block 0 freed whole, block 1 kept whole, block 2
+        // compacts.
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut list, |r| r.header().birth_era == 5) };
+        assert_eq!(freed, 3);
+        let s = b.stats.snapshot();
+        assert_eq!(s.blocks_freed_whole, 1, "all-freeable block fast path");
+        assert_eq!(s.blocks_kept_whole, 1, "all-survivor block fast path");
+        assert_eq!(eras_of(&list), vec![5, 5, 5]);
+        // Recycled block feeds the next fill: no allocation.
+        assert_eq!(list.free.len(), 1);
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn sweep_seals_and_accounts_the_partial_fill() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(8);
+        for i in 0..5 {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
         }
+        assert_eq!(b.stats.snapshot().retired_nodes, 0, "sub-batch: unsealed");
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut list, |_| false) };
+        assert_eq!(freed, 5);
+        let s = b.stats.snapshot();
+        assert_eq!(s.retired_nodes, 5, "flush-style sweep seals the fill");
+        assert_eq!(s.freed_nodes, 5);
+        assert!(list.is_empty());
     }
 
     #[test]
     fn free_before_epoch_sweeps_by_retire_era() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut list = vec![mk(&b, 0, 3), mk(&b, 0, 7), mk(&b, 0, 5)];
+        let mut list = RetireList::new(RETIRE_BATCH_CAP);
+        for (birth, retire) in [(0, 3), (0, 7), (0, 5)] {
+            push_retired(&b, 0, &mut list, mk(&b, birth, retire));
+        }
         let freed = unsafe { free_before_epoch(&b, 0, &mut list, 5) };
         assert_eq!(freed, 1, "only retire era 3 < 5 is freeable");
-        assert_eq!(
-            list.iter()
-                .map(|r| r.header().retire_era())
-                .collect::<Vec<_>>(),
-            vec![7, 5]
-        );
-        for r in list.drain(..) {
-            unsafe { b.free_now(0, r) };
-        }
+        let survivors: Vec<u64> = list
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.nodes())
+            .map(|r| r.header().retire_era())
+            .collect();
+        assert_eq!(survivors, vec![7, 5]);
+        drain_free(&b, &mut list);
     }
 
     #[test]
@@ -522,26 +1088,106 @@ mod tests {
     #[test]
     fn era_free_pass() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(RETIRE_BATCH_CAP);
         // lifespans: [1,2] freeable, [4,6] blocked by era 5, [7,9] freeable
-        let mut list = vec![mk(&b, 1, 2), mk(&b, 4, 6), mk(&b, 7, 9)];
+        for (birth, retire) in [(1, 2), (4, 6), (7, 9)] {
+            push_retired(&b, 0, &mut list, mk(&b, birth, retire));
+        }
         let freed = unsafe { free_era_unreserved(&b, 0, &mut list, &[3, 5, 10]) };
         assert_eq!(freed, 2);
         assert_eq!(list.len(), 1);
-        assert_eq!(list[0].header().birth_era, 4);
-        let survivor = list.pop().unwrap();
-        unsafe { b.free_now(0, survivor) };
+        assert_eq!(eras_of(&list), vec![4]);
+        drain_free(&b, &mut list);
     }
 
     #[test]
-    fn orphans_freed_on_drop() {
+    fn orphan_remaining_seals_partial_batches() {
         let stats;
         {
             let b = DomainBase::new(SmrConfig::for_tests(1));
             stats = Arc::clone(&b.stats);
-            let leftovers = vec![mk(&b, 0, 0), mk(&b, 0, 0)];
-            b.adopt_orphans(leftovers);
-            assert_eq!(stats.snapshot().freed_nodes, 0);
+            let mut list = RetireList::new(RETIRE_BATCH_CAP);
+            // Two sub-batch nodes: not yet accounted.
+            push_retired(&b, 0, &mut list, mk(&b, 0, 0));
+            push_retired(&b, 0, &mut list, mk(&b, 0, 0));
+            assert_eq!(stats.snapshot().retired_nodes, 0);
+            b.orphan_remaining(0, &mut list);
+            assert!(list.is_empty(), "everything handed to the domain");
+            let s = stats.snapshot();
+            assert_eq!(s.retired_nodes, 2, "partial batch sealed, not leaked");
+            assert_eq!(s.freed_nodes, 0);
+            assert_eq!(b.orphan_len(), 2);
         }
-        assert_eq!(stats.snapshot().freed_nodes, 2);
+        assert_eq!(stats.snapshot().freed_nodes, 2, "orphans freed on drop");
+    }
+
+    #[test]
+    fn orphan_adoption_is_bounded_and_preserves_accounting() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut donor = RetireList::new(RETIRE_BATCH_CAP);
+        let total = ORPHAN_ADOPT_MAX + 10;
+        for i in 0..total as u64 {
+            push_retired(&b, 0, &mut donor, mk(&b, i, i));
+        }
+        b.orphan_remaining(0, &mut donor);
+        assert_eq!(b.orphan_len(), total);
+        let retired_before = b.stats.snapshot().retired_nodes;
+
+        let mut joiner = RetireList::new(RETIRE_BATCH_CAP);
+        b.adopt_orphan_chunk(0, &mut joiner);
+        assert_eq!(joiner.len(), ORPHAN_ADOPT_MAX, "chunk is bounded");
+        assert_eq!(b.orphan_len(), 10, "remainder stays parked");
+        assert_eq!(
+            b.stats.snapshot().retired_nodes,
+            retired_before,
+            "adopted nodes are not re-counted"
+        );
+        assert_eq!(b.stats.snapshot().orphans_adopted, ORPHAN_ADOPT_MAX as u64);
+        // A sweep reclaims the adopted nodes through the normal path.
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut joiner, |_| false) };
+        assert_eq!(freed, ORPHAN_ADOPT_MAX);
+        assert_eq!(
+            b.stats.snapshot().retired_nodes,
+            retired_before,
+            "sweep after adoption must not recount either"
+        );
+    }
+
+    #[test]
+    fn leak_sealed_blocks_recycles_boxes() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = filled(&b, 2, &[0, 1, 2, 3]);
+        assert_eq!(list.blocks.len(), 2);
+        list.leak_sealed_blocks();
+        assert!(list.is_empty());
+        assert_eq!(list.free.len(), 2, "block boxes return to the pool");
+        // Intentional leak of 4 N allocations (NR semantics).
+    }
+
+    #[test]
+    fn epoch_clocks_advance_only_by_max_scan() {
+        let c = EpochClocks::new(3);
+        assert_eq!(c.current(), 1);
+        for _ in 0..10 {
+            c.tick(1);
+        }
+        assert_eq!(c.current(), 1, "op-path ticks never write the global");
+        assert_eq!(c.local_of(1), 11);
+        let e = c.advance_max_scan(0);
+        assert_eq!(e, 11, "aggregation takes the max clock");
+        assert_eq!(c.current(), 11);
+        // The liveness guarantee: a reclaimer whose private clock lags a
+        // formerly-hot, now-idle peer's must still advance the epoch on
+        // EVERY pass (its clock jumps past the global first), not after
+        // `max - own` no-op passes.
+        let e2 = c.advance_max_scan(2);
+        assert!(e2 > e, "a lagging reclaimer's pass still advances: {e2}");
+        let mut last = e2;
+        for _ in 0..20 {
+            let next = c.advance_max_scan(0);
+            assert!(next > last, "every pass must advance the epoch");
+            last = next;
+        }
+        assert_eq!(c.current(), last);
     }
 }

@@ -1,5 +1,7 @@
 //! Reclamation-domain configuration.
 
+use crate::header::RETIRE_BATCH_CAP;
+
 /// Tuning knobs shared by every reclamation scheme.
 ///
 /// Field names follow the paper's pseudocode: `reclaim_freq` is the retire
@@ -24,6 +26,12 @@ pub struct SmrConfig {
     /// a retire list still longer than `pop_c * reclaim_freq` indicates a
     /// delayed thread and engages publish-on-ping.
     pub pop_c: usize,
+    /// Retirement-batch seal threshold: `retire` fills a thread-private
+    /// block and seals it into the retire list every `retire_batch` nodes,
+    /// amortizing the stats update and the reclaim-threshold test. Clamped
+    /// to `1..=RETIRE_BATCH_CAP` and never above `reclaim_freq` (so small
+    /// thresholds still reclaim on time). `1` disables batching.
+    pub retire_batch: usize,
     /// Testing mode: freed nodes are poisoned and quarantined instead of
     /// deallocated, turning any use-after-free into a deterministic panic
     /// inside `protect`.
@@ -39,6 +47,7 @@ impl SmrConfig {
             reclaim_freq: 24_576,
             epoch_freq: 64,
             pop_c: 2,
+            retire_batch: RETIRE_BATCH_CAP,
             quarantine: false,
         }
     }
@@ -53,6 +62,7 @@ impl SmrConfig {
             reclaim_freq: 64,
             epoch_freq: 4,
             pop_c: 2,
+            retire_batch: RETIRE_BATCH_CAP,
             quarantine: false,
         }
     }
@@ -81,6 +91,22 @@ impl SmrConfig {
         self
     }
 
+    /// Builder-style override of the retirement-batch seal threshold
+    /// (clamped to `1..=RETIRE_BATCH_CAP`).
+    pub fn with_retire_batch(mut self, b: usize) -> Self {
+        self.retire_batch = b.clamp(1, RETIRE_BATCH_CAP);
+        self
+    }
+
+    /// The seal threshold actually used by retire lists: the configured
+    /// batch, never above `reclaim_freq` (a threshold the batch could
+    /// otherwise straddle without ever triggering a pass).
+    pub fn effective_batch(&self) -> usize {
+        self.retire_batch
+            .clamp(1, RETIRE_BATCH_CAP)
+            .min(self.reclaim_freq.max(1))
+    }
+
     /// Enables the quarantine use-after-free detector (tests only).
     pub fn with_quarantine(mut self) -> Self {
         self.quarantine = true;
@@ -106,10 +132,22 @@ mod tests {
             .with_reclaim_freq(0)
             .with_epoch_freq(0)
             .with_pop_c(0)
-            .with_slots(0);
+            .with_slots(0)
+            .with_retire_batch(0);
         assert_eq!(c.reclaim_freq, 1);
         assert_eq!(c.epoch_freq, 1);
         assert_eq!(c.pop_c, 1);
         assert_eq!(c.slots, 1);
+        assert_eq!(c.retire_batch, 1);
+    }
+
+    #[test]
+    fn effective_batch_never_straddles_the_threshold() {
+        let c = SmrConfig::for_tests(1).with_reclaim_freq(4);
+        assert_eq!(c.effective_batch(), 4, "batch shrinks to reclaim_freq");
+        let c = SmrConfig::for_tests(1).with_reclaim_freq(1 << 20);
+        assert_eq!(c.effective_batch(), RETIRE_BATCH_CAP);
+        let c = SmrConfig::for_tests(1).with_retire_batch(RETIRE_BATCH_CAP * 8);
+        assert_eq!(c.retire_batch, RETIRE_BATCH_CAP, "clamped to block cap");
     }
 }

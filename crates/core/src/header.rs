@@ -154,6 +154,99 @@ impl core::fmt::Debug for Retired {
     }
 }
 
+/// Capacity of one [`RetireBatch`] block. The configured seal threshold
+/// ([`crate::config::SmrConfig::retire_batch`]) may be smaller — a block is
+/// sealed once it reaches the threshold — but never larger.
+pub const RETIRE_BATCH_CAP: usize = 32;
+
+/// A fixed-size block of [`Retired`] records — the unit of the batched
+/// retirement pipeline.
+///
+/// Threads fill one block privately (`retire` is a slot write plus a length
+/// bump), then *seal* it into their retire list as a single block pointer,
+/// amortizing the stats update and the reclaim-threshold test over the
+/// block. Reclaimers sweep block-at-a-time (see
+/// `pop_core::base::sweep_retire_list`), recycling fully-freed blocks into
+/// a per-thread free pool so steady-state retirement allocates nothing.
+///
+/// Like `Vec<Retired>`, dropping a non-empty block *leaks* the recorded
+/// allocations ([`Retired`] has no `Drop`); only a reclamation pass (or
+/// domain teardown) frees them.
+pub(crate) struct RetireBatch {
+    len: usize,
+    slots: [core::mem::MaybeUninit<Retired>; RETIRE_BATCH_CAP],
+}
+
+impl RetireBatch {
+    /// A fresh, empty, heap-allocated block.
+    pub(crate) fn boxed() -> Box<RetireBatch> {
+        Box::new(RetireBatch {
+            len: 0,
+            slots: [const { core::mem::MaybeUninit::uninit() }; RETIRE_BATCH_CAP],
+        })
+    }
+
+    /// Number of initialized records.
+    #[inline(always)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no records.
+    #[inline(always)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a record. The caller keeps `len() < RETIRE_BATCH_CAP` by
+    /// sealing at its (smaller or equal) threshold.
+    #[inline]
+    pub(crate) fn push(&mut self, r: Retired) {
+        debug_assert!(self.len < RETIRE_BATCH_CAP, "retire block overfilled");
+        self.slots[self.len].write(r);
+        self.len += 1;
+    }
+
+    /// Removes and returns the newest record.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<Retired> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // SAFETY: slot `len` was initialized by `push` and is now out of
+        // the initialized prefix, so it cannot be read again.
+        Some(unsafe { self.slots[self.len].assume_init_read() })
+    }
+
+    /// The initialized records as a slice (oldest first).
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn nodes(&self) -> &[Retired] {
+        // SAFETY: the first `len` slots are initialized.
+        unsafe { core::slice::from_raw_parts(self.slots.as_ptr() as *const Retired, self.len) }
+    }
+
+    /// Raw base pointer for in-place compaction sweeps.
+    #[inline]
+    pub(crate) fn as_mut_ptr(&mut self) -> *mut Retired {
+        self.slots.as_mut_ptr() as *mut Retired
+    }
+
+    /// Overrides the initialized length.
+    ///
+    /// # Safety
+    ///
+    /// The first `len` slots must hold initialized records the caller has
+    /// not moved out, and any truncated-away records must have been read
+    /// out (or be deliberately abandoned).
+    #[inline]
+    pub(crate) unsafe fn set_len(&mut self, len: usize) {
+        debug_assert!(len <= RETIRE_BATCH_CAP);
+        self.len = len;
+    }
+}
+
 /// Strips data-structure mark bits (low 2 bits) from a pointer-sized word.
 ///
 /// Lock-free structures tag pointers (e.g. Harris-Michael deletion marks);
@@ -200,6 +293,33 @@ mod tests {
         r.header().set_retire_era(9);
         assert_eq!(unsafe { &*node }.hdr.retire_era(), 9);
         unsafe { r.free() };
+    }
+
+    #[test]
+    fn retire_batch_push_pop_roundtrip() {
+        let mut b = RetireBatch::boxed();
+        assert!(b.is_empty());
+        let mut ptrs = Vec::new();
+        for i in 0..RETIRE_BATCH_CAP {
+            let node = Box::into_raw(Box::new(TestNode {
+                hdr: Header::new(i as u64, core::mem::size_of::<TestNode>()),
+                payload: [0; 4],
+            }));
+            ptrs.push(node as *mut Header);
+            b.push(unsafe { Retired::new(node) });
+        }
+        assert_eq!(b.len(), RETIRE_BATCH_CAP);
+        assert_eq!(
+            b.nodes().iter().map(|r| r.ptr()).collect::<Vec<_>>(),
+            ptrs,
+            "slice view preserves push order"
+        );
+        for i in (0..RETIRE_BATCH_CAP).rev() {
+            let r = b.pop().unwrap();
+            assert_eq!(r.ptr(), ptrs[i], "pop returns newest first");
+            unsafe { r.free() };
+        }
+        assert!(b.pop().is_none());
     }
 
     #[test]

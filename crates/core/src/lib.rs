@@ -41,7 +41,7 @@ pub mod testing {
 }
 
 pub use config::SmrConfig;
-pub use header::{unmark_word, HasHeader, Header, Retired};
+pub use header::{unmark_word, HasHeader, Header, Retired, RETIRE_BATCH_CAP};
 pub use smr::{as_header, protect_infallible, retire_node, ReadResult, Registration, Restart, Smr};
 pub use stats::{DomainStats, ShardStats, StatsSnapshot};
 

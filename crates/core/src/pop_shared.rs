@@ -31,6 +31,24 @@
 //! *shared* slots hold stale non-zero words are always pinged: skipping
 //! them would let the stale reservations pin garbage forever.
 //!
+//! ## Adaptive ping filtering
+//!
+//! The binary filter above still pays `1 + 2 × slots` loads per skipped
+//! thread per pass. A per-thread *quiescent streak* counter takes the
+//! paper's signal elision further: reclaimers increment a thread's streak
+//! each pass that proves it quiescent, and the thread's own `begin_op`
+//! zeroes it (a store on its own line, before the same `SeqCst` fence that
+//! orders the activity bump). Once the streak reaches
+//! [`ADAPTIVE_SKIP_AFTER`], reclaimers skip the slot scan entirely — one
+//! streak load replaces the whole check — resampling with the full check
+//! every [`ADAPTIVE_RESAMPLE_EVERY`] streak counts as defense in depth for
+//! protocol-violating callers that reserve outside an op bracket.
+//! Soundness is the same two-SC-fence argument: a reclaimer reading
+//! `streak >= N` after its fence either fence-precedes the thread's
+//! `begin_op` (whose reads then observe the unlinks) or would have read
+//! the zeroed streak. Reclaimer increments use a compare-exchange against
+//! the observed value so a racing owner reset is never overwritten.
+//!
 //! Instances are leaked (`&'static`) because the process-global signal
 //! handler may dereference them at any time; see `pop-runtime` docs.
 
@@ -51,6 +69,14 @@ const SPIN_LIMIT: u32 = 128;
 /// Sentinel in a collected-counters buffer: do not wait for this thread.
 const SKIP: u64 = u64::MAX;
 
+/// Consecutive quiescent passes after which a reclaimer stops re-scanning
+/// a thread's reservation slots (module docs, "Adaptive ping filtering").
+const ADAPTIVE_SKIP_AFTER: u64 = 8;
+
+/// While adaptively skipping, run the full quiescence check again every
+/// this-many streak counts (liveness/defense for out-of-bracket callers).
+const ADAPTIVE_RESAMPLE_EVERY: u64 = 64;
+
 /// Shared reservation state for one publish-on-ping domain.
 pub(crate) struct PopShared {
     nthreads: usize,
@@ -65,6 +91,9 @@ pub(crate) struct PopShared {
     counter: Box<[CachePadded<AtomicU64>]>,
     /// Per-thread operation activity word: odd while inside an operation.
     activity: Box<[CachePadded<AtomicU64>]>,
+    /// Consecutive reclaimer passes that proved the thread quiescent;
+    /// zeroed by the owner in `note_active`/`register`.
+    quiescent_streak: Box<[CachePadded<AtomicU64>]>,
     /// Whether a domain tid currently participates.
     registered: Box<[AtomicBool]>,
     /// Domain tid → global thread id + 1 (0 = unbound).
@@ -93,6 +122,8 @@ impl PopShared {
         counter.resize_with(nthreads, || CachePadded::new(AtomicU64::new(0)));
         let mut activity = Vec::with_capacity(nthreads);
         activity.resize_with(nthreads, || CachePadded::new(AtomicU64::new(0)));
+        let mut quiescent_streak = Vec::with_capacity(nthreads);
+        quiescent_streak.resize_with(nthreads, || CachePadded::new(AtomicU64::new(0)));
         let mut registered = Vec::with_capacity(nthreads);
         registered.resize_with(nthreads, || AtomicBool::new(false));
         let mut gtid_of = Vec::with_capacity(nthreads);
@@ -104,6 +135,7 @@ impl PopShared {
             shared: shared.into_boxed_slice(),
             counter: counter.into_boxed_slice(),
             activity: activity.into_boxed_slice(),
+            quiescent_streak: quiescent_streak.into_boxed_slice(),
             registered: registered.into_boxed_slice(),
             gtid_of: gtid_of.into_boxed_slice(),
             stats,
@@ -147,6 +179,9 @@ impl PopShared {
     /// stay fence-free.
     #[inline]
     pub(crate) fn note_active(&self, tid: usize) {
+        // Owner-side adaptive-filter reset, ordered by the same fence as
+        // the activity bump (both are stores to owner-only lines).
+        self.quiescent_streak[tid].store(0, Ordering::Relaxed);
         let a = self.activity[tid].load(Ordering::Relaxed);
         self.activity[tid].store((a & !1).wrapping_add(1), Ordering::Relaxed);
         fence(Ordering::SeqCst);
@@ -177,7 +212,8 @@ impl PopShared {
             self.shared[self.idx(tid, s)].store(0, Ordering::Relaxed);
         }
         // Fresh occupants start quiescent; any parity left by a previous
-        // occupant is normalized.
+        // occupant is normalized, and its streak must not carry over.
+        self.quiescent_streak[tid].store(0, Ordering::Relaxed);
         let a = self.activity[tid].load(Ordering::Relaxed);
         self.activity[tid].store((a | 1).wrapping_add(1), Ordering::Relaxed);
         self.gtid_of[tid].store(gtid + 1, Ordering::Relaxed);
@@ -211,6 +247,19 @@ impl PopShared {
             .shard(tid)
             .publishes
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one more quiescent pass for thread `t`. The CAS (against
+    /// the value the reclaimer observed after its fence) guarantees a
+    /// concurrent owner reset to 0 is never resurrected: once the owner
+    /// stores 0, every in-flight increment's expected value mismatches.
+    fn bump_streak(&self, t: usize, observed: u64) {
+        let _ = self.quiescent_streak[t].compare_exchange(
+            observed,
+            observed.wrapping_add(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
     }
 
     /// Whether thread `t` may be skipped by `pingAllToPublish`: quiescent
@@ -256,16 +305,33 @@ impl PopShared {
         fence(Ordering::SeqCst);
         let mut pings = 0u64;
         let mut skipped = 0u64;
+        let mut adaptive = 0u64;
         for (t, c) in collected.iter_mut().enumerate() {
             if *c == SKIP {
                 continue;
             }
-            if self.filter_quiescent && self.is_provably_quiescent(t) {
-                // No signal, no wait: the thread holds nothing and cannot
-                // reach this pass's retirees (module docs).
-                *c = SKIP;
-                skipped += 1;
-                continue;
+            if self.filter_quiescent {
+                let streak = self.quiescent_streak[t].load(Ordering::SeqCst);
+                if streak >= ADAPTIVE_SKIP_AFTER && !streak.is_multiple_of(ADAPTIVE_RESAMPLE_EVERY)
+                {
+                    // Adaptive fast path: the streak alone (read after our
+                    // fence; zeroed by the owner before its `begin_op`
+                    // fence) proves quiescence — skip even the slot scan.
+                    self.bump_streak(t, streak);
+                    *c = SKIP;
+                    adaptive += 1;
+                    continue;
+                }
+                if self.is_provably_quiescent(t) {
+                    // No signal, no wait: the thread holds nothing and
+                    // cannot reach this pass's retirees (module docs).
+                    self.bump_streak(t, streak);
+                    *c = SKIP;
+                    skipped += 1;
+                    continue;
+                }
+                // Active (or holding reservations): restart its streak.
+                self.quiescent_streak[t].store(0, Ordering::Relaxed);
             }
             if let Some(gtid) = self.gtid(t) {
                 if ping_gtid(gtid) {
@@ -276,6 +342,9 @@ impl PopShared {
         let shard = self.stats.shard(me);
         shard.pings_sent.fetch_add(pings, Ordering::Relaxed);
         shard.pings_skipped.fetch_add(skipped, Ordering::Relaxed);
+        shard
+            .pings_elided_adaptive
+            .fetch_add(adaptive, Ordering::Relaxed);
         for (t, &observed) in collected.iter().enumerate() {
             if observed == SKIP {
                 continue;
@@ -481,6 +550,65 @@ mod tests {
         // Unpaired end_op (tests do this) must keep the word even.
         p.note_quiescent(0);
         assert!(p.is_provably_quiescent(0));
+    }
+
+    #[test]
+    fn adaptive_filter_kicks_in_after_streak_and_resets_on_activity() {
+        let p = mk(2, 2);
+        p.register(0, 100);
+        p.register(1, 101);
+        let mut scratch = Vec::new();
+        // The first ADAPTIVE_SKIP_AFTER passes verify quiescence the slow
+        // way (full slot scan), building the streak.
+        for _ in 0..ADAPTIVE_SKIP_AFTER {
+            p.ping_all_and_wait(0, &mut scratch);
+        }
+        let s = p.stats.snapshot();
+        assert_eq!(s.pings_skipped, ADAPTIVE_SKIP_AFTER);
+        assert_eq!(s.pings_elided_adaptive, 0, "threshold not yet reached");
+        // Streak reached: subsequent passes take the adaptive fast path.
+        for _ in 0..4 {
+            p.ping_all_and_wait(0, &mut scratch);
+        }
+        let s = p.stats.snapshot();
+        assert_eq!(s.pings_elided_adaptive, 4);
+        assert_eq!(s.pings_skipped, ADAPTIVE_SKIP_AFTER, "slot scans elided");
+        // The owner's begin_op resets the streak; after it goes quiescent
+        // again the next pass must re-verify the slow way.
+        p.note_active(1);
+        p.note_quiescent(1);
+        p.ping_all_and_wait(0, &mut scratch);
+        let s = p.stats.snapshot();
+        assert_eq!(
+            s.pings_skipped,
+            ADAPTIVE_SKIP_AFTER + 1,
+            "owner activity forces a full re-check"
+        );
+        assert_eq!(s.pings_elided_adaptive, 4);
+    }
+
+    #[test]
+    fn adaptive_filter_resamples_periodically() {
+        let p = mk(2, 1);
+        p.register(0, 100);
+        p.register(1, 101);
+        let mut scratch = Vec::new();
+        // Build the streak past the threshold, then far enough that the
+        // resample boundary (a multiple of ADAPTIVE_RESAMPLE_EVERY) is
+        // crossed exactly once.
+        let total = ADAPTIVE_RESAMPLE_EVERY + 1;
+        for _ in 0..total {
+            p.ping_all_and_wait(0, &mut scratch);
+        }
+        let s = p.stats.snapshot();
+        // Full checks: the first ADAPTIVE_SKIP_AFTER passes, plus the one
+        // resample at streak == ADAPTIVE_RESAMPLE_EVERY.
+        assert_eq!(s.pings_skipped, ADAPTIVE_SKIP_AFTER + 1);
+        assert_eq!(
+            s.pings_elided_adaptive,
+            total - ADAPTIVE_SKIP_AFTER - 1,
+            "everything else takes the adaptive path"
+        );
     }
 
     #[test]

@@ -5,13 +5,17 @@
 //! Reclaimers free objects retired strictly before the minimum announced
 //! epoch. Fast, but **not robust**: one delayed reader pins every retire
 //! list in the system — the failure mode EpochPOP repairs.
+//!
+//! The global epoch is advanced by reclaimer passes only (per-thread clock
+//! ticks + max-aggregation, [`EpochClocks`]); the op path performs no
+//! shared RMW. Retirement is batched ([`crate::base::push_retired`]).
 
 use core::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::base::{free_before_epoch, DomainBase, RetireSlot};
+use crate::base::{free_before_epoch, push_retired, DomainBase, EpochClocks, RetireSlot};
 use crate::config::SmrConfig;
 use crate::header::Retired;
 use crate::smr::{ReadResult, Smr};
@@ -22,14 +26,14 @@ pub(crate) const QUIESCENT: u64 = u64::MAX;
 
 struct ThreadState {
     retire: RetireSlot,
-    /// Operations since registration; drives the periodic epoch advance.
+    /// Operations since registration; drives the periodic clock tick.
     op_count: AtomicU64,
 }
 
 /// RCU-style epoch-based reclamation.
 pub struct Ebr {
     base: DomainBase,
-    epoch: CachePadded<AtomicU64>,
+    clocks: EpochClocks,
     /// `reservedEpoch[tid]` (Alg. 6 line 4).
     reserved: Box<[CachePadded<AtomicU64>]>,
     threads: Box<[CachePadded<ThreadState>]>,
@@ -39,6 +43,8 @@ impl Ebr {
     fn reclaim_epoch_freeable(&self, tid: usize) {
         let shard = self.base.stats.shard(tid);
         shard.epoch_passes.fetch_add(1, Ordering::Relaxed);
+        // Reclaimer-side epoch advance: the only writer of the global word.
+        self.clocks.advance_max_scan(tid);
         // Order the announcement scan after this thread's preceding unlinks.
         fence(Ordering::SeqCst);
         let min = self.min_reserved_epoch();
@@ -47,7 +53,7 @@ impl Ebr {
         shard.observe_retire_len(list.len());
         // SAFETY: nodes retired before every announced epoch are
         // unreachable — no thread that could hold a reference is still in
-        // its operation. In-place sweep: no allocation.
+        // its operation. Block-granular in-place sweep: no allocation.
         unsafe { free_before_epoch(&self.base, tid, list, min) };
     }
 
@@ -74,18 +80,19 @@ impl Smr for Ebr {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
         let mut reserved = Vec::with_capacity(n);
         reserved.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(),
+                retire: RetireSlot::new(seal),
                 op_count: AtomicU64::new(0),
             })
         });
         Arc::new(Ebr {
             base: DomainBase::new(cfg),
-            epoch: CachePadded::new(AtomicU64::new(1)),
+            clocks: EpochClocks::new(n),
             reserved: reserved.into_boxed_slice(),
             threads: threads.into_boxed_slice(),
         })
@@ -102,14 +109,17 @@ impl Smr for Ebr {
     fn register_raw(&self, tid: usize) {
         self.base.claim(tid);
         self.reserved[tid].store(QUIESCENT, Ordering::SeqCst);
+        // SAFETY: tid was just claimed; this thread owns the slot.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.adopt_orphan_chunk(tid, list);
     }
 
     fn unregister(&self, tid: usize) {
         self.reserved[tid].store(QUIESCENT, Ordering::SeqCst);
         self.flush(tid);
-        // SAFETY: tid ownership.
-        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
-        self.base.adopt_orphans(leftovers);
+        // SAFETY: tid ownership until release.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.orphan_remaining(tid, list);
         self.base.release(tid);
     }
 
@@ -119,12 +129,13 @@ impl Smr for Ebr {
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
         if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
-            self.epoch.fetch_add(1, Ordering::AcqRel);
+            // Private clock tick on this thread's own line — no shared RMW.
+            self.clocks.tick(tid);
         }
         // SeqCst: the announcement must be globally visible before this
         // thread reads any data-structure pointer (the one fence EBR pays
         // per operation).
-        self.reserved[tid].store(self.epoch.load(Ordering::Acquire), Ordering::SeqCst);
+        self.reserved[tid].store(self.clocks.current(), Ordering::SeqCst);
     }
 
     #[inline]
@@ -139,21 +150,15 @@ impl Smr for Ebr {
     }
 
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        list.push(retired);
-        if list.len() % self.base.cfg.reclaim_freq == 0 {
+        if push_retired(&self.base, tid, list, retired) {
             self.reclaim_epoch_freeable(tid);
         }
     }
 
     fn current_era(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.clocks.current()
     }
 
     fn flush(&self, tid: usize) {
@@ -243,15 +248,32 @@ mod tests {
     }
 
     #[test]
-    fn epoch_advances_with_operations() {
-        let smr = Ebr::new(SmrConfig::for_tests(1).with_epoch_freq(2));
+    fn op_path_ticks_private_clock_only() {
+        // The epoch max-aggregation invariant, scheme-level: operations
+        // advance a private clock; the global word moves only when a
+        // reclaimer pass aggregates.
+        let smr = Ebr::new(SmrConfig::for_tests(2).with_epoch_freq(2));
         let reg = smr.register(0);
         let e0 = smr.current_era();
+        let c0 = smr.clocks.local_of(0);
         for _ in 0..10 {
             smr.begin_op(0);
             smr.end_op(0);
         }
-        assert!(smr.current_era() >= e0 + 4, "epoch advances every 2 ops");
+        assert_eq!(
+            smr.current_era(),
+            e0,
+            "no reclaimer pass ran: the shared epoch word must not move"
+        );
+        assert!(
+            smr.clocks.local_of(0) >= c0 + 5,
+            "private clock ticks every 2 ops"
+        );
+        smr.flush(0); // a pass aggregates
+        assert!(
+            smr.current_era() >= c0 + 5,
+            "max-aggregation publishes the ticked clock"
+        );
         drop(reg);
     }
 

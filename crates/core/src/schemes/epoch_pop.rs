@@ -21,7 +21,10 @@ use crossbeam_utils::CachePadded;
 use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
-use crate::base::{free_before_epoch, free_unreserved, DomainBase, RetireSlot, ScratchSlot};
+use crate::base::{
+    free_before_epoch, free_unreserved, push_retired, DomainBase, EpochClocks, RetireSlot,
+    ScratchSlot,
+};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Retired};
 use crate::pop_shared::PopShared;
@@ -39,7 +42,7 @@ struct ThreadState {
 /// Dual-mode epoch + publish-on-ping reclamation.
 pub struct EpochPop {
     base: DomainBase,
-    epoch: CachePadded<AtomicU64>,
+    clocks: EpochClocks,
     /// `reservedEpoch[tid]` (Alg. 3 line 4).
     reserved_epoch: Box<[CachePadded<AtomicU64>]>,
     /// Private pointer reservations published on ping (Alg. 3 lines 6–8).
@@ -54,6 +57,9 @@ impl EpochPop {
     fn reclaim_epoch_freeable(&self, tid: usize) {
         let shard = self.base.stats.shard(tid);
         shard.epoch_passes.fetch_add(1, Ordering::Relaxed);
+        // Reclaimer-side epoch advance by max-aggregation (the op path
+        // only ticks a private clock).
+        self.clocks.advance_max_scan(tid);
         fence(Ordering::SeqCst);
         let mut min = u64::MAX;
         for t in 0..self.base.cfg.max_threads {
@@ -98,6 +104,7 @@ impl Smr for EpochPop {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
         let base = DomainBase::new(cfg);
         let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats), true);
         let publisher = register_publisher(pop);
@@ -106,14 +113,14 @@ impl Smr for EpochPop {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(),
+                retire: RetireSlot::new(seal),
                 scratch: ScratchSlot::new(),
                 op_count: AtomicU64::new(0),
             })
         });
         Arc::new(EpochPop {
             base,
-            epoch: CachePadded::new(AtomicU64::new(1)),
+            clocks: EpochClocks::new(n),
             reserved_epoch: reserved.into_boxed_slice(),
             pop,
             publisher,
@@ -137,31 +144,35 @@ impl Smr for EpochPop {
     fn register_raw(&self, tid: usize) {
         self.base.claim(tid);
         self.reserved_epoch[tid].store(QUIESCENT, Ordering::SeqCst);
+        // SAFETY: tid was just claimed; this thread owns the slot.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.adopt_orphan_chunk(tid, list);
     }
 
     fn unregister(&self, tid: usize) {
         self.reserved_epoch[tid].store(QUIESCENT, Ordering::SeqCst);
         self.pop.clear_local(tid);
         self.flush(tid);
-        // SAFETY: tid ownership.
-        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
-        self.base.adopt_orphans(leftovers);
+        // SAFETY: tid ownership until release.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.orphan_remaining(tid, list);
         self.pop.unregister(tid);
         self.base.clear_gtid(tid);
         self.base.release(tid);
     }
 
-    /// Alg. 3 `startOp`: periodic epoch advance + announcement.
+    /// Alg. 3 `startOp`: periodic private clock tick + announcement (no
+    /// shared RMW on the op path).
     #[inline]
     fn begin_op(&self, tid: usize) {
         let ts = &self.threads[tid];
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
         if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
-            self.epoch.fetch_add(1, Ordering::AcqRel);
+            self.clocks.tick(tid);
         }
         self.pop.note_active(tid);
-        self.reserved_epoch[tid].store(self.epoch.load(Ordering::Acquire), Ordering::SeqCst);
+        self.reserved_epoch[tid].store(self.clocks.current(), Ordering::SeqCst);
     }
 
     /// Alg. 3 `endOp`: announce quiescence and clear local reservations.
@@ -187,18 +198,13 @@ impl Smr for EpochPop {
         }
     }
 
-    /// Alg. 3 `retire`: epoch pass every `reclaim_freq`, POP escalation
-    /// when the list stays above `C × reclaim_freq`.
+    /// Alg. 3 `retire`: batched push; at the reclaim threshold an epoch
+    /// pass, with POP escalation when the list stays above
+    /// `C × reclaim_freq`.
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        list.push(retired);
-        if list.len() % self.base.cfg.reclaim_freq == 0 {
+        if push_retired(&self.base, tid, list, retired) {
             self.reclaim_epoch_freeable(tid);
             // Re-check *after* the epoch pass (Alg. 3 line 26): a long list
             // that epochs could not drain implicates a delayed thread.
@@ -210,7 +216,7 @@ impl Smr for EpochPop {
     }
 
     fn current_era(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.clocks.current()
     }
 
     fn flush(&self, tid: usize) {

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use crossbeam_utils::CachePadded;
 
 use crate::base::{
-    collect_slot_words_into, free_era_unreserved, DomainBase, RetireSlot, ScratchSlot,
+    collect_slot_words_into, free_era_unreserved, push_retired, DomainBase, RetireSlot, ScratchSlot,
 };
 use crate::config::SmrConfig;
 use crate::header::Retired;
@@ -78,10 +78,11 @@ impl Smr for HazardEra {
         let mut shared = Vec::with_capacity(cells);
         shared.resize_with(cells, || AtomicU64::new(NONE));
         let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(),
+                retire: RetireSlot::new(seal),
                 scratch: ScratchSlot::new(),
             })
         });
@@ -106,14 +107,17 @@ impl Smr for HazardEra {
         for s in 0..self.base.cfg.slots {
             self.shared[self.idx(tid, s)].store(NONE, Ordering::Release);
         }
+        // SAFETY: tid was just claimed; this thread owns the slot.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.adopt_orphan_chunk(tid, list);
     }
 
     fn unregister(&self, tid: usize) {
         self.end_op(tid);
         self.flush(tid);
-        // SAFETY: tid ownership.
-        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
-        self.base.adopt_orphans(leftovers);
+        // SAFETY: tid ownership until release.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.orphan_remaining(tid, list);
         self.base.release(tid);
     }
 
@@ -147,15 +151,9 @@ impl Smr for HazardEra {
     }
 
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        list.push(retired);
-        if list.len() >= self.base.cfg.reclaim_freq {
+        if push_retired(&self.base, tid, list, retired) {
             self.reclaim(tid);
         }
     }

@@ -27,7 +27,9 @@ use pop_runtime::membarrier;
 use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
-use crate::base::{collect_slot_words_into, free_unreserved, DomainBase, RetireSlot, ScratchSlot};
+use crate::base::{
+    collect_slot_words_into, free_unreserved, push_retired, DomainBase, RetireSlot, ScratchSlot,
+};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Retired};
 use crate::pop_shared::PopShared;
@@ -110,6 +112,7 @@ impl Smr for HazardPtrAsym {
         let mut shared = Vec::with_capacity(cells);
         shared.resize_with(cells, || AtomicU64::new(0));
         let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
         let base = DomainBase::new(cfg);
         // Zero copy-slots: the barrier publisher only fences and counts.
         // Quiescent filtering stays OFF — the reservations this barrier
@@ -120,7 +123,7 @@ impl Smr for HazardPtrAsym {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(),
+                retire: RetireSlot::new(seal),
                 scratch: ScratchSlot::new(),
             })
         });
@@ -151,14 +154,17 @@ impl Smr for HazardPtrAsym {
         for s in 0..self.base.cfg.slots {
             self.shared[self.idx(tid, s)].store(0, Ordering::Release);
         }
+        // SAFETY: tid was just claimed; this thread owns the slot.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.adopt_orphan_chunk(tid, list);
     }
 
     fn unregister(&self, tid: usize) {
         self.end_op(tid);
         self.flush(tid);
-        // SAFETY: tid ownership.
-        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
-        self.base.adopt_orphans(leftovers);
+        // SAFETY: tid ownership until release.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.orphan_remaining(tid, list);
         self.barrier.unregister(tid);
         self.base.clear_gtid(tid);
         self.base.release(tid);
@@ -191,15 +197,9 @@ impl Smr for HazardPtrAsym {
     }
 
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        list.push(retired);
-        if list.len() >= self.base.cfg.reclaim_freq {
+        if push_retired(&self.base, tid, list, retired) {
             self.reclaim(tid);
         }
     }

@@ -20,7 +20,7 @@ use crossbeam_utils::CachePadded;
 use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
-use crate::base::{free_unreserved, DomainBase, RetireSlot, ScratchSlot};
+use crate::base::{free_unreserved, push_retired, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Retired};
 use crate::pop_shared::PopShared;
@@ -77,13 +77,14 @@ impl Smr for HazardPtrPop {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
         let base = DomainBase::new(cfg);
         let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats), true);
         let publisher = register_publisher(pop);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(),
+                retire: RetireSlot::new(seal),
                 scratch: ScratchSlot::new(),
             })
         });
@@ -110,14 +111,17 @@ impl Smr for HazardPtrPop {
 
     fn register_raw(&self, tid: usize) {
         self.base.claim(tid);
+        // SAFETY: tid was just claimed; this thread owns the slot.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.adopt_orphan_chunk(tid, list);
     }
 
     fn unregister(&self, tid: usize) {
         self.pop.clear_local(tid);
         self.flush(tid);
-        // SAFETY: tid ownership.
-        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
-        self.base.adopt_orphans(leftovers);
+        // SAFETY: tid ownership until release.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.orphan_remaining(tid, list);
         self.pop.unregister(tid);
         self.base.clear_gtid(tid);
         self.base.release(tid);
@@ -155,15 +159,9 @@ impl Smr for HazardPtrPop {
     }
 
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        list.push(retired);
-        if list.len() >= self.base.cfg.reclaim_freq {
+        if push_retired(&self.base, tid, list, retired) {
             self.pop_reclaim(tid);
         }
     }

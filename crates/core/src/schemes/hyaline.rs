@@ -38,9 +38,9 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::base::{DomainBase, RetireSlot};
+use crate::base::{push_retired, seal_and_account, DomainBase, RetireSlot};
 use crate::config::SmrConfig;
-use crate::header::Retired;
+use crate::header::{RetireBatch, Retired};
 use crate::smr::{ReadResult, Smr};
 use crate::stats::DomainStats;
 
@@ -56,7 +56,12 @@ struct Batch {
     refs: AtomicI64,
     /// Arena index of the next-older batch (0 = end of list).
     next_idx: u32,
-    nodes: Vec<Retired>,
+    /// Sealed blocks from the pusher's batched retire list — Hyaline's
+    /// historical node `Vec` replaced by the shared block pipeline, so
+    /// retirement and settlement both work block-at-a-time (boxed on
+    /// purpose: blocks travel as single pointers).
+    #[allow(clippy::vec_box)]
+    blocks: Vec<Box<RetireBatch>>,
 }
 
 struct ThreadState {
@@ -92,10 +97,11 @@ impl Hyaline {
     unsafe fn free_batch(&self, tid: usize, batch: *mut Batch) {
         // SAFETY: exclusive access per the zero-decrementer contract.
         let b = unsafe { Box::from_raw(batch) };
-        for r in b.nodes {
+        for mut blk in b.blocks {
             // SAFETY: every counted reader has exited (refs == 0) and the
-            // nodes were unlinked before the batch was pushed.
-            unsafe { self.base.free_now(tid, r) };
+            // nodes were unlinked before the batch was pushed. One stats
+            // update per block.
+            unsafe { self.base.free_block(tid, &mut blk) };
         }
     }
 
@@ -125,6 +131,9 @@ impl Hyaline {
         // SAFETY: tid ownership per the registration contract.
         let list = unsafe { self.threads[tid].retire.get() };
         self.base.stats.shard(tid).observe_retire_len(list.len());
+        // Seal (and account) the partial fill block so the batch carries
+        // every retired node.
+        seal_and_account(&self.base, tid, list);
         if list.is_empty() {
             return;
         }
@@ -137,7 +146,7 @@ impl Hyaline {
         let batch = Box::into_raw(Box::new(Batch {
             refs: AtomicI64::new(BIAS),
             next_idx: 0,
-            nodes: core::mem::take(list),
+            blocks: list.take_blocks(),
         }));
         self.arena[idx as usize].store(batch, Ordering::Release);
         loop {
@@ -178,12 +187,13 @@ impl Smr for Hyaline {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
         let mut arena = Vec::with_capacity(ARENA_CAP);
         arena.resize_with(ARENA_CAP, || AtomicPtr::new(core::ptr::null_mut()));
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(),
+                retire: RetireSlot::new(seal),
                 entry_idx: AtomicU64::new(0),
             })
         });
@@ -246,15 +256,9 @@ impl Smr for Hyaline {
     }
 
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        list.push(retired);
-        if list.len() >= self.base.cfg.reclaim_freq {
+        if push_retired(&self.base, tid, list, retired) {
             self.seal_and_push(tid);
         }
     }

@@ -13,7 +13,9 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::base::{sweep_retire_list, DomainBase, RetireSlot, ScratchSlot};
+use crate::base::{
+    push_retired, sweep_retire_list, DomainBase, EpochClocks, RetireSlot, ScratchSlot,
+};
 use crate::config::SmrConfig;
 use crate::header::Retired;
 use crate::smr::{ReadResult, Smr};
@@ -31,7 +33,7 @@ struct ThreadState {
 /// 2GE interval-based reclamation.
 pub struct Ibr {
     base: DomainBase,
-    epoch: CachePadded<AtomicU64>,
+    clocks: EpochClocks,
     lower: Box<[CachePadded<AtomicU64>]>,
     upper: Box<[CachePadded<AtomicU64>]>,
     threads: Box<[CachePadded<ThreadState>]>,
@@ -53,7 +55,9 @@ impl Ibr {
     }
 
     fn reclaim(&self, tid: usize) {
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        // Advance the epoch (reclaimer-side max-aggregation; the self-tick
+        // keeps nodes retired from now on separable from old intervals).
+        self.clocks.advance_max_scan(tid);
         fence(Ordering::SeqCst);
         // SAFETY: tid ownership per the registration contract.
         let scratch = unsafe { self.threads[tid].scratch.get() };
@@ -83,6 +87,7 @@ impl Smr for Ibr {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
         let mut lower = Vec::with_capacity(n);
         lower.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
         let mut upper = Vec::with_capacity(n);
@@ -90,14 +95,14 @@ impl Smr for Ibr {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(),
+                retire: RetireSlot::new(seal),
                 scratch: ScratchSlot::new(),
                 op_count: AtomicU64::new(0),
             })
         });
         Arc::new(Ibr {
             base: DomainBase::new(cfg),
-            epoch: CachePadded::new(AtomicU64::new(1)),
+            clocks: EpochClocks::new(n),
             lower: lower.into_boxed_slice(),
             upper: upper.into_boxed_slice(),
             threads: threads.into_boxed_slice(),
@@ -116,14 +121,17 @@ impl Smr for Ibr {
         self.base.claim(tid);
         self.lower[tid].store(QUIESCENT, Ordering::SeqCst);
         self.upper[tid].store(QUIESCENT, Ordering::SeqCst);
+        // SAFETY: tid was just claimed; this thread owns the slot.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.adopt_orphan_chunk(tid, list);
     }
 
     fn unregister(&self, tid: usize) {
         self.end_op(tid);
         self.flush(tid);
-        // SAFETY: tid ownership.
-        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
-        self.base.adopt_orphans(leftovers);
+        // SAFETY: tid ownership until release.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.orphan_remaining(tid, list);
         self.base.release(tid);
     }
 
@@ -133,9 +141,10 @@ impl Smr for Ibr {
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
         if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
-            self.epoch.fetch_add(1, Ordering::AcqRel);
+            // Private clock tick — no shared RMW on the op path.
+            self.clocks.tick(tid);
         }
-        let e = self.epoch.load(Ordering::Acquire);
+        let e = self.clocks.current();
         self.lower[tid].store(e, Ordering::Relaxed);
         // SeqCst on the second bound orders the whole announcement before
         // subsequent reads (one fence per operation, as in EBR).
@@ -156,7 +165,7 @@ impl Smr for Ibr {
         let mut cur = upper.load(Ordering::Relaxed);
         loop {
             let p = src.load(Ordering::Acquire);
-            let e = self.epoch.load(Ordering::Acquire);
+            let e = self.clocks.current();
             if e == cur {
                 return Ok(p);
             }
@@ -168,21 +177,15 @@ impl Smr for Ibr {
     }
 
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        list.push(retired);
-        if list.len() >= self.base.cfg.reclaim_freq {
+        if push_retired(&self.base, tid, list, retired) {
             self.reclaim(tid);
         }
     }
 
     fn current_era(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.clocks.current()
     }
 
     fn flush(&self, tid: usize) {
@@ -262,8 +265,12 @@ mod tests {
         let reg = smr.register(0);
         smr.begin_op(0);
         let lo0 = smr.lower[0].load(Ordering::SeqCst);
-        // Advance the epoch underneath the running op.
-        smr.epoch.fetch_add(5, Ordering::AcqRel);
+        // Advance the epoch underneath the running op, through the
+        // sanctioned path: tick the clock, aggregate as a reclaimer would.
+        for _ in 0..5 {
+            smr.clocks.tick(0);
+        }
+        smr.clocks.advance_max_scan(0);
         let node = alloc(&smr, 1);
         let src = AtomicPtr::new(node);
         let _ = smr.protect(0, 0, &src).unwrap();

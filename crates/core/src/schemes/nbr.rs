@@ -26,7 +26,7 @@ use crossbeam_utils::CachePadded;
 use pop_runtime::signal::{ping_gtid, register_publisher};
 use pop_runtime::{Publisher, PublisherHandle};
 
-use crate::base::{free_unreserved, DomainBase, RetireSlot, ScratchSlot};
+use crate::base::{free_unreserved, push_retired, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Header, Retired};
 use crate::smr::{ReadResult, Restart, Smr};
@@ -274,13 +274,14 @@ impl Smr for NbrPlus {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
         let base = DomainBase::new(cfg);
         let shared = NbrShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
         let publisher = register_publisher(shared);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(),
+                retire: RetireSlot::new(seal),
                 scratch: ScratchSlot::new(),
             })
         });
@@ -313,6 +314,9 @@ impl Smr for NbrPlus {
 
     fn register_raw(&self, tid: usize) {
         self.base.claim(tid);
+        // SAFETY: tid was just claimed; this thread owns the slot.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.adopt_orphan_chunk(tid, list);
     }
 
     fn unregister(&self, tid: usize) {
@@ -321,9 +325,9 @@ impl Smr for NbrPlus {
         sh.in_op[tid].store(false, Ordering::Release);
         sh.clear_wres(tid);
         self.flush(tid);
-        // SAFETY: tid ownership.
-        let leftovers = core::mem::take(unsafe { self.threads[tid].retire.get() });
-        self.base.adopt_orphans(leftovers);
+        // SAFETY: tid ownership until release.
+        let list = unsafe { self.threads[tid].retire.get() };
+        self.base.orphan_remaining(tid, list);
         sh.registered[tid].store(false, Ordering::Release);
         sh.gtid_of[tid].store(0, Ordering::Relaxed);
         self.base.clear_gtid(tid);
@@ -407,15 +411,9 @@ impl Smr for NbrPlus {
     }
 
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
-        list.push(retired);
-        if list.len() >= self.base.cfg.reclaim_freq {
+        if push_retired(&self.base, tid, list, retired) {
             debug_assert!(
                 self.shared.in_write[tid].load(Ordering::Relaxed),
                 "NBR retire must be called inside a begin_write bracket"

@@ -3,11 +3,18 @@
 //! Retired nodes are leaked. This is the paper's `NR` series: an upper
 //! bound on throughput (zero reclamation overhead) and an unbounded lower
 //! bound on memory. Useful as the normalization baseline of Figure 4.
+//!
+//! NR still retires through the shared batch pipeline: nodes fill a block,
+//! the seal runs the amortized accounting, and the sealed block is then
+//! *abandoned* (its records leaked, its box recycled) — so even the leak
+//! baseline pays only one stats RMW per batch.
 
 use core::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use crate::base::DomainBase;
+use crossbeam_utils::CachePadded;
+
+use crate::base::{account_seal, seal_and_account, DomainBase, RetireSlot};
 use crate::config::SmrConfig;
 use crate::header::Retired;
 use crate::smr::{ReadResult, Smr};
@@ -16,6 +23,7 @@ use crate::stats::DomainStats;
 /// Leaky "reclamation": every retire is a leak.
 pub struct NoReclaim {
     base: DomainBase,
+    threads: Box<[CachePadded<RetireSlot>]>,
 }
 
 impl Smr for NoReclaim {
@@ -24,8 +32,13 @@ impl Smr for NoReclaim {
     const NEEDS_SIGNALS: bool = false;
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
+        let n = cfg.max_threads;
+        let seal = cfg.effective_batch();
+        let mut threads = Vec::with_capacity(n);
+        threads.resize_with(n, || CachePadded::new(RetireSlot::new(seal)));
         Arc::new(NoReclaim {
             base: DomainBase::new(cfg),
+            threads: threads.into_boxed_slice(),
         })
     }
 
@@ -42,6 +55,7 @@ impl Smr for NoReclaim {
     }
 
     fn unregister(&self, tid: usize) {
+        self.flush(tid);
         self.base.release(tid);
     }
 
@@ -57,17 +71,23 @@ impl Smr for NoReclaim {
     }
 
     unsafe fn retire(&self, tid: usize, retired: Retired) {
-        self.base
-            .stats
-            .shard(tid)
-            .retired_nodes
-            .fetch_add(1, Ordering::Relaxed);
-        // Deliberate leak: NR never frees. `Retired` has no Drop impl, so
-        // letting the record fall out of scope abandons the allocation.
-        let _leaked = retired;
+        // SAFETY: tid ownership.
+        let list = unsafe { self.threads[tid].get() };
+        if let Some(sealed) = list.push(retired) {
+            account_seal(&self.base, tid, sealed);
+            // Deliberate leak: NR never frees. `Retired` has no Drop impl,
+            // so abandoning the sealed records leaks the allocations while
+            // the block box recycles into the fill pool.
+            list.leak_sealed_blocks();
+        }
     }
 
-    fn flush(&self, _tid: usize) {}
+    fn flush(&self, tid: usize) {
+        // SAFETY: tid ownership (flush runs on the owning thread).
+        let list = unsafe { self.threads[tid].get() };
+        seal_and_account(&self.base, tid, list);
+        list.leak_sealed_blocks();
+    }
 }
 
 #[cfg(test)]

@@ -49,13 +49,30 @@ pub struct ShardStats {
     pub freed_nodes: AtomicU64,
     /// Bytes freed.
     pub freed_bytes: AtomicU64,
-    /// Nodes passed to `retire`.
+    /// Nodes passed to `retire`. Counted once per sealed batch (one RMW
+    /// per `retire_batch` nodes), so a thread's in-progress fill block is
+    /// not yet included; every seal point (threshold, flush, unregister)
+    /// brings the total exact.
     pub retired_nodes: AtomicU64,
+    /// Retirement batches sealed into retire lists.
+    pub batches_sealed: AtomicU64,
+    /// Sealed blocks freed whole by the sweep fast path (every member
+    /// failed the keep predicate).
+    pub blocks_freed_whole: AtomicU64,
+    /// Sealed blocks retained whole by the sweep fast path (every member
+    /// survived; no records moved).
+    pub blocks_kept_whole: AtomicU64,
+    /// Orphaned nodes adopted from the domain list at registration.
+    pub orphans_adopted: AtomicU64,
     /// Signals sent by reclaimers (`pingAllToPublish`).
     pub pings_sent: AtomicU64,
     /// Pings elided because the target was provably quiescent with empty
     /// published reservations (the quiescent-thread filter).
     pub pings_skipped: AtomicU64,
+    /// Pings elided by the *adaptive* filter: the target had been observed
+    /// quiescent for so many consecutive passes that even its slot scan
+    /// was skipped (one streak-word load instead).
+    pub pings_elided_adaptive: AtomicU64,
     /// Publisher executions (signal handler or self-publish).
     pub publishes: AtomicU64,
     /// Epoch-mode reclamation passes (EBR / EpochPOP fast path).
@@ -158,12 +175,27 @@ impl DomainStats {
             out.retired_nodes = out
                 .retired_nodes
                 .wrapping_add(s.retired_nodes.load(Ordering::Relaxed));
+            out.batches_sealed = out
+                .batches_sealed
+                .wrapping_add(s.batches_sealed.load(Ordering::Relaxed));
+            out.blocks_freed_whole = out
+                .blocks_freed_whole
+                .wrapping_add(s.blocks_freed_whole.load(Ordering::Relaxed));
+            out.blocks_kept_whole = out
+                .blocks_kept_whole
+                .wrapping_add(s.blocks_kept_whole.load(Ordering::Relaxed));
+            out.orphans_adopted = out
+                .orphans_adopted
+                .wrapping_add(s.orphans_adopted.load(Ordering::Relaxed));
             out.pings_sent = out
                 .pings_sent
                 .wrapping_add(s.pings_sent.load(Ordering::Relaxed));
             out.pings_skipped = out
                 .pings_skipped
                 .wrapping_add(s.pings_skipped.load(Ordering::Relaxed));
+            out.pings_elided_adaptive = out
+                .pings_elided_adaptive
+                .wrapping_add(s.pings_elided_adaptive.load(Ordering::Relaxed));
             out.publishes = out
                 .publishes
                 .wrapping_add(s.publishes.load(Ordering::Relaxed));
@@ -200,10 +232,20 @@ pub struct StatsSnapshot {
     pub freed_bytes: u64,
     /// See [`ShardStats::retired_nodes`].
     pub retired_nodes: u64,
+    /// See [`ShardStats::batches_sealed`].
+    pub batches_sealed: u64,
+    /// See [`ShardStats::blocks_freed_whole`].
+    pub blocks_freed_whole: u64,
+    /// See [`ShardStats::blocks_kept_whole`].
+    pub blocks_kept_whole: u64,
+    /// See [`ShardStats::orphans_adopted`].
+    pub orphans_adopted: u64,
     /// See [`ShardStats::pings_sent`].
     pub pings_sent: u64,
     /// See [`ShardStats::pings_skipped`].
     pub pings_skipped: u64,
+    /// See [`ShardStats::pings_elided_adaptive`].
+    pub pings_elided_adaptive: u64,
     /// See [`ShardStats::publishes`].
     pub publishes: u64,
     /// See [`ShardStats::epoch_passes`].

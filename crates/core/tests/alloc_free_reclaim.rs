@@ -1,11 +1,15 @@
 //! Steady-state reclamation passes must perform **zero heap allocations**.
 //!
 //! A counting global allocator tallies every allocation in this test
-//! binary. Each scheme gets a warmup round (growing its retire list and
-//! reclamation scratch buffers to working size), then a measured round
-//! whose retire + flush sequence must allocate nothing. Every scheme runs
-//! inside one test function so no other harness thread can pollute the
-//! counter mid-measurement.
+//! binary. Each scheme gets a warmup round (growing its retire list,
+//! sealed-block free pool, and reclamation scratch buffers to working
+//! size), then a measured round whose retire + flush sequence must
+//! allocate nothing. With the batched retirement pipeline this covers the
+//! whole block lifecycle: the measured round's seals draw fresh fill
+//! blocks from the recycled free pool, and the block-granular sweep frees
+//! whole blocks back into it — no `Box` churn. Every scheme runs inside
+//! one test function so no other harness thread can pollute the counter
+//! mid-measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

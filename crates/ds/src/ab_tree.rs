@@ -684,7 +684,13 @@ mod tests {
     fn every_update_retires_a_copy() {
         // The COW design's defining property: even pure leaf updates
         // produce garbage, exercising reclamation on every write.
-        let smr = EpochPop::new(SmrConfig::for_tests(1).with_reclaim_freq(1024));
+        // retire_batch 1 gives per-retire stats visibility (the default
+        // batching only accounts at seal points).
+        let smr = EpochPop::new(
+            SmrConfig::for_tests(1)
+                .with_reclaim_freq(1024)
+                .with_retire_batch(1),
+        );
         let t = AbTree::new(Arc::clone(&smr));
         let reg = smr.register(0);
         for k in 0..10u64 {

@@ -432,9 +432,11 @@ mod tests {
         for k in 0..100u64 {
             assert!(l.remove(0, k));
         }
+        // Retired totals are exact at seal points (flush seals the
+        // partial batch).
+        smr.flush(0);
         let s = smr.stats().snapshot();
         assert_eq!(s.retired_nodes, 100);
-        smr.flush(0);
         assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
         assert!(l.iter_quiescent().is_empty());
         drop(reg);

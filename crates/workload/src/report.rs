@@ -36,18 +36,22 @@ pub struct RunRecord {
     pub pings_sent: u64,
     /// Signals elided by the quiescent-thread filter.
     pub pings_skipped: u64,
+    /// Signals elided by the adaptive streak filter (no slot scan at all).
+    pub pings_elided_adaptive: u64,
+    /// Retirement batches sealed (retires per stats RMW = ops / batches).
+    pub batches_sealed: u64,
     /// NBR restarts observed.
     pub restarts: u64,
 }
 
 impl RunRecord {
     /// CSV header matching [`RunRecord::csv_row`].
-    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,restarts";
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,restarts";
 
     /// Serializes this record as a CSV row tagged with `figure`.
     pub fn csv_row(&self, figure: &str) -> String {
         format!(
-            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{}",
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{}",
             self.ds,
             self.scheme,
             self.threads,
@@ -63,6 +67,8 @@ impl RunRecord {
             self.unreclaimed_nodes,
             self.pings_sent,
             self.pings_skipped,
+            self.pings_elided_adaptive,
+            self.batches_sealed,
             self.restarts,
         )
     }
@@ -140,6 +146,8 @@ mod tests {
             unreclaimed_nodes: 12,
             pings_sent: 3,
             pings_skipped: 1,
+            pings_elided_adaptive: 2,
+            batches_sealed: 4,
             restarts: 0,
         }
     }

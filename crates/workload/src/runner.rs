@@ -246,6 +246,8 @@ where
         unreclaimed_nodes: stats.unreclaimed_nodes(),
         pings_sent: stats.pings_sent,
         pings_skipped: stats.pings_skipped,
+        pings_elided_adaptive: stats.pings_elided_adaptive,
+        batches_sealed: stats.batches_sealed,
         restarts: stats.restarts,
     }
 }
