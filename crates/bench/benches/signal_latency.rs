@@ -4,7 +4,9 @@
 //! (`collectPublishedCounters → pingAllToPublish → waitForAllPublished`)
 //! as a function of the number of registered peer threads, including the
 //! oversubscribed case (peers > cores), which the paper calls out as
-//! POP's worst case.
+//! POP's worst case — plus a futex-park vs yield-loop comparison of the
+//! post-spin wait itself on an oversubscribed host, where parking stops
+//! burning a scheduler quantum per retry.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,5 +56,53 @@ fn ping_roundtrip(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, ping_roundtrip);
+/// Wait-mode comparison: identical oversubscribed handshake (2 × cores
+/// busy peers), with the post-spin wait either parked on the publish-word
+/// futex or yielding. A tiny spin budget forces the wait path to decide
+/// the latency.
+fn wait_mode(c: &mut Criterion) {
+    let ncpu = pop_runtime::affinity::num_cpus();
+    let peers = ncpu * 2;
+    for (label, futex) in [("futex", true), ("yield", false)] {
+        let smr = HazardPtrPop::new(
+            SmrConfig::for_threads(peers + 1)
+                .with_publish_spin(8)
+                .with_futex_wait(futex),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        let (tx, rx) = std::sync::mpsc::channel();
+        for tid in 1..=peers {
+            let smr = Arc::clone(&smr);
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            workers.push(std::thread::spawn(move || {
+                let reg = smr.register(tid);
+                tx.send(()).unwrap();
+                // In-op peers: never filtered, so every pass waits on all
+                // of their handlers.
+                smr.begin_op(tid);
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::spin_loop();
+                }
+                smr.end_op(tid);
+                drop(reg);
+            }));
+        }
+        for _ in 0..peers {
+            rx.recv().unwrap();
+        }
+        let reg = smr.register(0);
+        c.bench_with_input(BenchmarkId::new("wait_mode", label), &peers, |b, _| {
+            b.iter(|| smr.flush(0));
+        });
+        drop(reg);
+        stop.store(true, Ordering::Release);
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+}
+
+criterion_group!(benches, ping_roundtrip, wait_mode);
 criterion_main!(benches);

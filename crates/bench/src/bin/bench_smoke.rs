@@ -1,0 +1,213 @@
+//! CI bench smoke: a reduced-iteration, machine-readable slice of the
+//! perf surface this repo's PRs optimize, so the trajectory is tracked in
+//! one JSON artifact instead of scraped bench logs.
+//!
+//! Measures:
+//!
+//! * **Sweep filter cost** (ns/node) at reserved-set sizes 4 / 64 / 512
+//!   for the merge-join path vs the per-node binary-search baseline, plus
+//!   the speedup ratio.
+//! * **Publish wait wake latency**: a full `ping → handler publish → wake`
+//!   handshake against one busy in-op peer, futex-parked vs yield.
+//!
+//! Usage: `bench_smoke [--out PATH] [--iters N]` (defaults:
+//! `BENCH_pr3.json`, 60 iterations per measurement).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pop_core::testing::SweepBench;
+use pop_core::{retire_node, HasHeader, HazardPtrPop, Header, Smr, SmrConfig};
+
+#[repr(C)]
+struct Node {
+    hdr: Header,
+    v: u64,
+}
+unsafe impl HasHeader for Node {}
+
+const SWEEP_NODES: usize = 1024;
+
+/// Mean ns/node for one filter strategy over fresh, address-random retire
+/// lists ("churn": every block swept exactly once, then drained).
+fn churn_ns_per_node(merge_join: bool, rsize: usize, iters: u32) -> f64 {
+    let mut bench = SweepBench::new();
+    // Warmup grows the list's block pools so timed sweeps don't allocate.
+    let mut total_ns = 0u128;
+    for i in 0..iters + 2 {
+        let ptrs = bench.fill(SWEEP_NODES);
+        let mut reserved: Vec<u64> = ptrs
+            .iter()
+            .copied()
+            .step_by((SWEEP_NODES / rsize).max(1))
+            .take(rsize)
+            .collect();
+        reserved.sort_unstable();
+        let t0 = Instant::now();
+        let freed = if merge_join {
+            bench.sweep_merge_join(&reserved)
+        } else {
+            bench.sweep_binary_search(&reserved)
+        };
+        let dt = t0.elapsed();
+        assert_eq!(freed, SWEEP_NODES - reserved.len());
+        bench.drain();
+        if i >= 2 {
+            total_ns += dt.as_nanos();
+        }
+    }
+    total_ns as f64 / iters as f64 / SWEEP_NODES as f64
+}
+
+/// Mean ns/node re-sweeping a fully pinned list of `rsize` nodes — the
+/// stalled-reader steady state, where reclaimers re-filter the same
+/// garbage every pass. The merge-join path amortizes its per-block sort
+/// across passes (untouched blocks keep their sort cache); the baseline
+/// re-runs every binary search every pass.
+fn pinned_ns_per_node(merge_join: bool, rsize: usize, iters: u32) -> f64 {
+    let mut bench = SweepBench::new();
+    let mut reserved = bench.fill(rsize);
+    reserved.sort_unstable();
+    for _ in 0..2 {
+        let freed = if merge_join {
+            bench.sweep_merge_join(&reserved)
+        } else {
+            bench.sweep_binary_search(&reserved)
+        };
+        assert_eq!(freed, 0, "everything pinned");
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let freed = if merge_join {
+            bench.sweep_merge_join(&reserved)
+        } else {
+            bench.sweep_binary_search(&reserved)
+        };
+        assert_eq!(freed, 0);
+    }
+    let total = t0.elapsed();
+    bench.drain();
+    total.as_nanos() as f64 / iters as f64 / rsize as f64
+}
+
+/// Mean ns per full ping→publish→wake handshake against one busy peer.
+fn wait_wake_ns(futex: bool, iters: u32) -> f64 {
+    let smr = HazardPtrPop::new(
+        SmrConfig::for_tests(2)
+            .with_reclaim_freq(1 << 20)
+            .with_publish_spin(8)
+            .with_futex_wait(futex),
+    );
+    let reg0 = smr.register(0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let peer = std::thread::spawn({
+        let smr = Arc::clone(&smr);
+        let stop = Arc::clone(&stop);
+        move || {
+            let reg1 = smr.register(1);
+            // Busy in-op peer holding a reservation: every pass pings it
+            // and waits for its handler.
+            let dummy = Box::into_raw(Box::new(Node {
+                hdr: Header::new(0, core::mem::size_of::<Node>()),
+                v: 0,
+            }));
+            let src = AtomicPtr::new(dummy);
+            let _ = smr.protect(1, 0, &src).unwrap();
+            tx.send(()).unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+            smr.end_op(1);
+            drop(reg1);
+            // SAFETY: never retired; owned by this closure.
+            unsafe { drop(Box::from_raw(dummy)) };
+        }
+    });
+    rx.recv().unwrap();
+    // One retired node so passes do real (tiny) work; warmup first.
+    for _ in 0..3 {
+        smr.flush(0);
+    }
+    let t0 = Instant::now();
+    for i in 0..iters as u64 {
+        smr.note_alloc(0, core::mem::size_of::<Node>());
+        let p = Box::into_raw(Box::new(Node {
+            hdr: Header::new(0, core::mem::size_of::<Node>()),
+            v: i,
+        }));
+        // SAFETY: never shared; retired exactly once.
+        unsafe { retire_node(&*smr, 0, p) };
+        smr.flush(0);
+    }
+    let total = t0.elapsed();
+    stop.store(true, Ordering::Release);
+    peer.join().unwrap();
+    drop(reg0);
+    total.as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr3.json");
+    let mut iters: u32 = 60;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--iters" => {
+                iters = args
+                    .next()
+                    .expect("--iters needs a count")
+                    .parse()
+                    .expect("--iters must be a number")
+            }
+            other => {
+                eprintln!("usage: bench_smoke [--out PATH] [--iters N] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut sweeps = String::new();
+    for (i, &rsize) in [4usize, 64, 512].iter().enumerate() {
+        let churn_mj = churn_ns_per_node(true, rsize, iters);
+        let churn_bs = churn_ns_per_node(false, rsize, iters);
+        let pin_mj = pinned_ns_per_node(true, rsize, iters * 4);
+        let pin_bs = pinned_ns_per_node(false, rsize, iters * 4);
+        let churn_ratio = churn_bs / churn_mj;
+        let pin_ratio = pin_bs / pin_mj;
+        println!(
+            "sweep rsize={rsize:>3}: churn merge_join {churn_mj:>6.2} vs \
+             binary_search {churn_bs:>6.2} ns/node ({churn_ratio:.2}x) | \
+             pinned {pin_mj:>6.2} vs {pin_bs:>6.2} ns/node ({pin_ratio:.2}x)"
+        );
+        if i > 0 {
+            sweeps.push(',');
+        }
+        write!(
+            sweeps,
+            "\n    {{\"reserved\": {rsize}, \
+             \"churn_merge_join_ns_per_node\": {churn_mj:.2}, \
+             \"churn_binary_search_ns_per_node\": {churn_bs:.2}, \
+             \"churn_speedup\": {churn_ratio:.3}, \
+             \"pinned_merge_join_ns_per_node\": {pin_mj:.2}, \
+             \"pinned_binary_search_ns_per_node\": {pin_bs:.2}, \
+             \"pinned_speedup\": {pin_ratio:.3}}}"
+        )
+        .unwrap();
+    }
+
+    let wake_futex = wait_wake_ns(true, iters);
+    let wake_yield = wait_wake_ns(false, iters);
+    println!("wait_wake: futex {wake_futex:.0} ns, yield {wake_yield:.0} ns");
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr3_reclaimer_pass\",\n  \"iters\": {iters},\n  \
+         \"sweep_filter\": [{sweeps}\n  ],\n  \
+         \"wait_wake_ns\": {{\"futex\": {wake_futex:.0}, \"yield\": {wake_yield:.0}}}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -2,33 +2,46 @@
 //! retire lists, per-thread epoch clocks, reusable reclamation scratch, the
 //! quarantine use-after-free detector, and orphan handling.
 //!
-//! ## Batch lifecycle (fill → seal → sweep → free/recycle)
+//! ## Batch lifecycle (fill → seal/sort → range-test → merge-join → recycle)
 //!
 //! Retirement is batched through [`RetireList`]:
 //!
 //! 1. **Fill** — `retire` appends to a thread-private
 //!    [`RetireBatch`](crate::header::RetireBatch) block: one slot write and
 //!    a length bump, no stats RMW, no threshold test.
-//! 2. **Seal** — when the block reaches the configured threshold
+//! 2. **Seal / sort** — when the block reaches the configured threshold
 //!    ([`crate::config::SmrConfig::retire_batch`], never above
 //!    `reclaim_freq`), it moves into the list's sealed-block vector as one
 //!    pointer. Only here do the amortized costs run: one `retired_nodes`
 //!    bump for the whole block and one reclaim-threshold comparison
-//!    ([`push_retired`]).
-//! 3. **Sweep** — reclamation passes walk sealed blocks in retire order
-//!    ([`sweep_retire_list`]). A block whose members all survive is kept
-//!    untouched (no moves); a block whose members all fail the keep
-//!    predicate is freed whole with one batched stats update; mixed blocks
-//!    compact survivors in place. Survivor order is preserved within and
-//!    across blocks.
-//! 4. **Free/recycle** — emptied block boxes return to the list's free
+//!    ([`push_retired`]). A sealed block also lazily builds its *sort
+//!    cache* — key extrema plus a slot permutation ordered by pointer or
+//!    birth era — on the first sweep that needs it (in place, no
+//!    allocation), and keeps it for as long as the block is untouched.
+//! 3. **Range-test** — reservation-filter sweeps ([`free_unreserved`],
+//!    [`free_era_unreserved`], [`free_before_epoch`]) first test each
+//!    block's cached key extrema against the sorted reserved set: a block
+//!    whose span contains no reserved word is freed whole, and a block
+//!    whose every member is provably pinned is kept whole, *without
+//!    touching a single record* (Hyaline/Crystalline-style batch-granular
+//!    filtering).
+//! 4. **Merge-join** — only blocks the range test cannot decide walk their
+//!    sorted slot permutation against the sorted reserved set with one
+//!    forward cursor (O(block + span) instead of a per-node binary
+//!    search), producing a keep mask; survivors compact in place and stay
+//!    **in their original retire order** within and across blocks.
+//!    Generic-predicate sweeps ([`sweep_retire_list`], used by IBR's
+//!    interval test) ride the same block driver with a per-node mask.
+//! 5. **Free/recycle** — emptied block boxes return to the list's free
 //!    pool, so steady-state retire + reclaim performs **zero heap
 //!    allocations** once the pools reach working size. Flush paths seal
 //!    partial blocks first (inside the sweep), and `unregister` seals and
 //!    hands leftovers to the domain orphan list
 //!    ([`DomainBase::orphan_remaining`]) — partial batches are never
 //!    leaked. Joining threads adopt a bounded orphan chunk back
-//!    ([`DomainBase::adopt_orphan_chunk`]).
+//!    ([`DomainBase::adopt_orphan_chunk`]), and every sweep steals up to
+//!    one more chunk ([`DomainBase::steal_orphan_chunk`]) so orphans drain
+//!    even when no thread ever joins again.
 //!
 //! ## Epoch max-aggregation invariant
 //!
@@ -37,8 +50,12 @@
 //! cross-thread RMW on the operation path. [`EpochClocks`] replaces it:
 //! each thread *ticks a private, cache-padded clock* (a relaxed store to
 //! its own line), and **the shared word is written only by reclaimer
-//! passes**, which max-scan the clocks and `fetch_max` the result into the
-//! global ([`EpochClocks::advance_max_scan`]). A reclaimer first jumps its
+//! passes**, which aggregate the clocks *striped*: stripes of
+//! [`EPOCH_STRIPE`] clocks fold into per-stripe summary words, a pass
+//! refreshes only its own stripe plus one rotating stripe, and the global
+//! is `fetch_max`ed from the summaries
+//! ([`EpochClocks::advance_max_scan`]) — O(threads / 8) per pass instead
+//! of O(threads). A reclaimer first jumps its
 //! own clock past the current global, so **every pass advances the
 //! epoch** even when its private clock lagged a formerly-hot, now-idle
 //! peer's. Safety is unaffected: readers
@@ -54,8 +71,11 @@ use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::config::SmrConfig;
-use crate::header::{RetireBatch, Retired, RETIRE_BATCH_CAP};
+use crate::header::{RetireBatch, Retired, SortKey, RETIRE_BATCH_CAP};
 use crate::stats::DomainStats;
+
+// Keep masks pack one bit per block slot into a u32.
+const _: () = assert!(RETIRE_BATCH_CAP <= 32, "BlockPlan::Mask is a u32");
 
 /// Nodes a joining thread adopts from the domain orphan list at
 /// registration (first slice of the ROADMAP "Orphan handoff" item): enough
@@ -280,25 +300,55 @@ impl ScratchSlot {
     }
 }
 
+/// Clocks per [`EpochClocks`] stripe. A reclaimer pass fully scans only
+/// its own stripe plus one rotating stripe, then takes the max over the
+/// per-stripe summary words — O(threads / 8 + 16) per pass instead of
+/// O(threads).
+pub(crate) const EPOCH_STRIPE: usize = 8;
+
 /// Per-thread epoch clocks with a reclaimer-aggregated global (see the
 /// module-level invariant).
+///
+/// ## Striped aggregation
+///
+/// Clocks are grouped into stripes of [`EPOCH_STRIPE`]; each stripe has a
+/// monotone summary word holding the largest clock a reclaimer has
+/// observed in it. A pass refreshes (a) the caller's own stripe — the
+/// progress guarantee: the caller's just-jumped clock always reaches the
+/// aggregate — and (b) one stripe chosen by a rotating cursor, the
+/// *sampling* that bounds how stale an idle peer's ticks can stay: any
+/// clock value is folded into the global within `nstripes` passes. Wide
+/// domains therefore pay `2 × EPOCH_STRIPE + threads / EPOCH_STRIPE` loads
+/// per pass rather than `threads`. Staleness is safe for the same reason
+/// the whole design is: readers announce, and retirers tag, the same
+/// monotone global word, so a lagging aggregate only delays frees.
 pub(crate) struct EpochClocks {
     /// The globally visible epoch. Written **only** by
     /// [`Self::advance_max_scan`] (reclaimer passes).
     global: CachePadded<AtomicU64>,
     /// One private clock per domain tid, each on its own line; bumped by
-    /// its owner with a relaxed store, read by reclaimers during the
-    /// max-scan.
+    /// its owner with a relaxed store, read by reclaimers during stripe
+    /// refreshes.
     local: Box<[CachePadded<AtomicU64>]>,
+    /// Per-stripe maxima, `fetch_max`-maintained by reclaimer passes
+    /// (monotone, like the clocks themselves).
+    stripe_max: Box<[CachePadded<AtomicU64>]>,
+    /// Rotating refresh cursor (reclaimer-side only).
+    rotor: CachePadded<AtomicU64>,
 }
 
 impl EpochClocks {
     pub(crate) fn new(nthreads: usize) -> Self {
         let mut local = Vec::with_capacity(nthreads);
         local.resize_with(nthreads, || CachePadded::new(AtomicU64::new(1)));
+        let nstripes = nthreads.div_ceil(EPOCH_STRIPE).max(1);
+        let mut stripe_max = Vec::with_capacity(nstripes);
+        stripe_max.resize_with(nstripes, || CachePadded::new(AtomicU64::new(1)));
         EpochClocks {
             global: CachePadded::new(AtomicU64::new(1)),
             local: local.into_boxed_slice(),
+            stripe_max: stripe_max.into_boxed_slice(),
+            rotor: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -316,11 +366,23 @@ impl EpochClocks {
         self.local[tid].store(c + 1, Ordering::Relaxed);
     }
 
+    /// Folds stripe `s`'s clocks into its summary word.
+    fn refresh_stripe(&self, s: usize) {
+        let start = s * EPOCH_STRIPE;
+        let end = (start + EPOCH_STRIPE).min(self.local.len());
+        let mut m = 0u64;
+        for c in &self.local[start..end] {
+            m = m.max(c.load(Ordering::Relaxed));
+        }
+        self.stripe_max[s].fetch_max(m, Ordering::Relaxed);
+    }
+
     /// Reclaimer-pass aggregation: jump the caller's clock past the
     /// current global (so the aggregated max strictly exceeds it — every
     /// pass advances the epoch, the progress guarantee the old shared
-    /// `fetch_add` gave), max-scan every clock, and `fetch_max` the result
-    /// into the global word — the only place the global is ever written.
+    /// `fetch_add` gave), refresh the caller's stripe and one rotating
+    /// stripe, max the stripe summaries, and `fetch_max` the result into
+    /// the global word — the only place the global is ever written.
     /// Returns the post-aggregation epoch.
     ///
     /// Without the jump, a reclaimer whose private clock lags the maximum
@@ -331,9 +393,15 @@ impl EpochClocks {
         let cur = self.global.load(Ordering::Acquire);
         let mine = self.local[tid].load(Ordering::Relaxed);
         self.local[tid].store(mine.max(cur) + 1, Ordering::Relaxed);
+        let nstripes = self.stripe_max.len();
+        self.refresh_stripe(tid / EPOCH_STRIPE);
+        if nstripes > 1 {
+            let r = self.rotor.fetch_add(1, Ordering::Relaxed) as usize % nstripes;
+            self.refresh_stripe(r);
+        }
         let mut m = 0u64;
-        for c in self.local.iter() {
-            m = m.max(c.load(Ordering::Relaxed));
+        for s in self.stripe_max.iter() {
+            m = m.max(s.load(Ordering::Relaxed));
         }
         let prev = self.global.fetch_max(m, Ordering::AcqRel);
         prev.max(m)
@@ -358,9 +426,14 @@ pub(crate) struct DomainBase {
     quarantine: Mutex<Vec<Retired>>,
     /// Retire-list leftovers from threads that unregistered while some of
     /// their garbage was still reserved by others. Drained (bounded) by
-    /// joining threads via [`Self::adopt_orphan_chunk`]; any remainder is
-    /// freed on domain drop.
+    /// joining threads via [`Self::adopt_orphan_chunk`] and by reclaimer
+    /// passes via [`Self::steal_orphan_chunk`]; any remainder is freed on
+    /// domain drop.
     orphans: Mutex<Vec<Retired>>,
+    /// Lock-free length hint for `orphans`, maintained under its lock, so
+    /// every sweep can skip the mutex when no orphans exist (the common
+    /// case on stable memberships).
+    orphan_hint: AtomicUsize,
 }
 
 impl DomainBase {
@@ -378,6 +451,7 @@ impl DomainBase {
             gtid_of: gtids.into_boxed_slice(),
             quarantine: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
+            orphan_hint: AtomicUsize::new(0),
         }
     }
 
@@ -438,7 +512,6 @@ impl DomainBase {
     ///
     /// The scheme must have proven no thread can access the object, and
     /// `tid` must be the caller's registered domain thread id.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) unsafe fn free_now(&self, tid: usize, r: Retired) {
         let bytes = r.header().size() as u64;
         let shard = self.stats.shard(tid);
@@ -480,27 +553,54 @@ impl DomainBase {
         }
         let mut orphans = self.orphans.lock();
         list.drain_all(|r| orphans.push(r));
+        self.orphan_hint.store(orphans.len(), Ordering::Relaxed);
+    }
+
+    /// Moves up to [`ORPHAN_ADOPT_MAX`] orphans into `list` (as sealed,
+    /// already-accounted blocks) and returns how many. The absorb runs
+    /// under the orphan lock so no intermediate buffer is needed.
+    fn drain_orphan_chunk(&self, list: &mut RetireList) -> usize {
+        if self.orphan_hint.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let mut orphans = self.orphans.lock();
+        let n = orphans.len().min(ORPHAN_ADOPT_MAX);
+        if n == 0 {
+            return 0;
+        }
+        let at = orphans.len() - n;
+        list.absorb(orphans.drain(at..));
+        self.orphan_hint.store(orphans.len(), Ordering::Relaxed);
+        n
     }
 
     /// Registration-side orphan adoption: moves up to [`ORPHAN_ADOPT_MAX`]
-    /// orphaned nodes into the joining thread's retire list (as sealed,
-    /// already-accounted blocks), bounding orphan memory on long-lived
-    /// domains with thread churn.
+    /// orphaned nodes into the joining thread's retire list, bounding
+    /// orphan memory on long-lived domains with thread churn.
     pub(crate) fn adopt_orphan_chunk(&self, tid: usize, list: &mut RetireList) {
-        let adopted: Vec<Retired> = {
-            let mut orphans = self.orphans.lock();
-            let n = orphans.len().min(ORPHAN_ADOPT_MAX);
-            if n == 0 {
-                return;
-            }
-            let at = orphans.len() - n;
-            orphans.split_off(at)
-        };
-        self.stats
-            .shard(tid)
-            .orphans_adopted
-            .fetch_add(adopted.len() as u64, Ordering::Relaxed);
-        list.absorb(adopted);
+        let n = self.drain_orphan_chunk(list);
+        if n > 0 {
+            self.stats
+                .shard(tid)
+                .orphans_adopted
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Reclaimer-side orphan stealing: every sweep adopts up to one
+    /// [`ORPHAN_ADOPT_MAX`] chunk, so orphans drain even when the thread
+    /// membership is static (registration-time adoption alone only helps
+    /// under churn). The pass that steals filters the stolen nodes with
+    /// its own keep predicate — exactly as safe as for its own garbage,
+    /// since every predicate covers all threads' reservations.
+    pub(crate) fn steal_orphan_chunk(&self, tid: usize, list: &mut RetireList) {
+        let n = self.drain_orphan_chunk(list);
+        if n > 0 {
+            self.stats
+                .shard(tid)
+                .orphans_stolen
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
     }
 
     /// Number of quarantined nodes (test observability).
@@ -595,32 +695,54 @@ pub(crate) fn push_retired(
     }
 }
 
-/// In-place survivor sweep over a batched retire list: every entry for
-/// which `keep` returns `false` is freed; survivors stay **in their
-/// original retire order**. Returns the number freed.
-///
-/// Block-granular fast paths: an all-survivor block is kept without moving
-/// a single record, an all-freeable block is freed whole with one batched
-/// stats update, and only mixed blocks pay per-node compaction. The fill
-/// block is sealed (and accounted) first, so flush-driven sweeps cover
-/// everything. Allocation-free: emptied blocks recycle into the list's
-/// free pool.
+/// A sweep's verdict for one sealed block, decided **before** any record
+/// is touched (see the module-level lifecycle).
+pub(crate) enum BlockPlan {
+    /// Every member survives: keep the block without moving a record.
+    KeepAll,
+    /// Every member is freeable: free the block whole (one stats update).
+    FreeAll,
+    /// Mixed: bit `i` set means slot `i` survives; compact in place.
+    Mask(u32),
+}
+
+/// All-ones keep mask for a block of `n` records.
+#[inline]
+fn full_mask(n: usize) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// Block-granular sweep driver under every reclamation pass: seals the
+/// fill block, steals one orphan chunk, then walks sealed blocks in retire
+/// order, executing the [`BlockPlan`] `plan` returns for each. Survivors
+/// stay **in their original retire order** within and across blocks, and
+/// per-node masks that turn out to cover (or clear) a whole block are
+/// normalized onto the no-touch whole-block paths. Allocation-free:
+/// emptied blocks recycle into the list's free pool. Returns the number
+/// freed.
 ///
 /// # Safety
 ///
-/// The caller's scheme must have proven that every entry `keep` rejects is
-/// unreachable by all threads, and `tid` must be the caller's registered
-/// domain thread id (it owns `list`).
-pub(crate) unsafe fn sweep_retire_list(
+/// The caller's scheme must have proven that every entry the plan rejects
+/// is unreachable by all threads, and `tid` must be the caller's
+/// registered domain thread id (it owns `list`).
+pub(crate) unsafe fn sweep_blocks(
     base: &DomainBase,
     tid: usize,
     list: &mut RetireList,
-    mut keep: impl FnMut(&Retired) -> bool,
+    mut plan: impl FnMut(&mut RetireBatch) -> BlockPlan,
 ) -> usize {
     seal_and_account(base, tid, list);
     // This sweep counts as the pass the trigger pacing was waiting for
     // (flush-driven sweeps reset the budget too).
     list.note_pass();
+    // Reclaimer-side orphan adoption: stolen nodes join the sealed blocks
+    // and are filtered by this very pass.
+    base.steal_orphan_chunk(tid, list);
     let shard = base.stats.shard(tid);
     let nblocks = list.blocks.len();
     let blocks_ptr = list.blocks.as_mut_ptr();
@@ -638,49 +760,79 @@ pub(crate) unsafe fn sweep_retire_list(
         // SAFETY: `read_block < nblocks`, the original initialized length.
         let mut b = unsafe { core::ptr::read(blocks_ptr.add(read_block)) };
         let n = b.len();
-        let ptr = b.as_mut_ptr();
-        // SAFETY: same defensive truncation at block granularity.
-        unsafe { b.set_len(0) };
-        let mut write = 0usize;
-        let mut freed_nodes = 0u64;
-        let mut freed_bytes = 0u64;
-        for read in 0..n {
-            // SAFETY: `read < n`, the block's original initialized length.
-            let r = unsafe { core::ptr::read(ptr.add(read)) };
-            if keep(&r) {
-                if write != read {
-                    // SAFETY: `write <= read < n`; slot was moved out.
-                    unsafe { core::ptr::write(ptr.add(write), r) };
-                }
-                // else: the slot already holds exactly these bits, and
-                // `Retired` has no Drop, so letting the copy go is free —
-                // an all-survivor block is swept without a single store.
-                write += 1;
-            } else {
-                freed_bytes += r.header().size() as u64;
-                freed_nodes += 1;
-                // SAFETY: forwarded contract — entry proven unreachable.
-                unsafe { base.free_raw(r) };
-            }
-        }
-        // SAFETY: the first `write` slots hold initialized survivors.
-        unsafe { b.set_len(write) };
-        if freed_nodes > 0 {
-            shard.freed_nodes.fetch_add(freed_nodes, Ordering::Relaxed);
-            shard.freed_bytes.fetch_add(freed_bytes, Ordering::Relaxed);
-            total_freed += freed_nodes as usize;
-        }
-        if write == 0 {
-            freed_whole += 1;
-            list.free.push(b);
-        } else {
-            if freed_nodes == 0 {
+        let full = full_mask(n);
+        let decision = match plan(&mut b) {
+            BlockPlan::Mask(m) if m & full == full => BlockPlan::KeepAll,
+            BlockPlan::Mask(m) if m & full == 0 => BlockPlan::FreeAll,
+            d => d,
+        };
+        match decision {
+            BlockPlan::KeepAll => {
+                // Untouched: the block keeps its sort cache for the next
+                // pass — repeatedly pinned blocks are re-range-tested from
+                // the cached summary alone.
                 kept_whole += 1;
+                // SAFETY: `write_block <= read_block < nblocks`; slot was
+                // already moved out.
+                unsafe { core::ptr::write(blocks_ptr.add(write_block), b) };
+                write_block += 1;
             }
-            // SAFETY: `write_block <= read_block < nblocks`; slot was
-            // already moved out.
-            unsafe { core::ptr::write(blocks_ptr.add(write_block), b) };
-            write_block += 1;
+            BlockPlan::FreeAll => {
+                let ptr = b.as_mut_ptr();
+                // SAFETY: defensive truncation; records read out below.
+                unsafe { b.set_len(0) };
+                let mut freed_bytes = 0u64;
+                for read in 0..n {
+                    // SAFETY: `read < n`, the original initialized length.
+                    let r = unsafe { core::ptr::read(ptr.add(read)) };
+                    freed_bytes += r.header().size() as u64;
+                    // SAFETY: forwarded contract — proven unreachable.
+                    unsafe { base.free_raw(r) };
+                }
+                shard.freed_nodes.fetch_add(n as u64, Ordering::Relaxed);
+                shard.freed_bytes.fetch_add(freed_bytes, Ordering::Relaxed);
+                total_freed += n;
+                freed_whole += 1;
+                list.free.push(b);
+            }
+            BlockPlan::Mask(m) => {
+                let ptr = b.as_mut_ptr();
+                // SAFETY: same defensive truncation at block granularity.
+                unsafe { b.set_len(0) };
+                let mut write = 0usize;
+                let mut freed_nodes = 0u64;
+                let mut freed_bytes = 0u64;
+                for read in 0..n {
+                    // SAFETY: `read < n`, the original initialized length.
+                    let r = unsafe { core::ptr::read(ptr.add(read)) };
+                    if m & (1u32 << read) != 0 {
+                        if write != read {
+                            // SAFETY: `write <= read < n`; slot moved out.
+                            unsafe { core::ptr::write(ptr.add(write), r) };
+                        }
+                        // else: the slot already holds exactly these bits,
+                        // and `Retired` has no Drop, so letting the copy
+                        // go is free.
+                        write += 1;
+                    } else {
+                        freed_bytes += r.header().size() as u64;
+                        freed_nodes += 1;
+                        // SAFETY: forwarded contract — proven unreachable.
+                        unsafe { base.free_raw(r) };
+                    }
+                }
+                // SAFETY: the first `write` slots hold initialized
+                // survivors (`set_len` also drops the stale sort cache).
+                unsafe { b.set_len(write) };
+                shard.freed_nodes.fetch_add(freed_nodes, Ordering::Relaxed);
+                shard.freed_bytes.fetch_add(freed_bytes, Ordering::Relaxed);
+                total_freed += freed_nodes as usize;
+                // Mixed by normalization: at least one survivor remains.
+                debug_assert!(write > 0);
+                // SAFETY: as in the KeepAll arm.
+                unsafe { core::ptr::write(blocks_ptr.add(write_block), b) };
+                write_block += 1;
+            }
         }
     }
     // SAFETY: the first `write_block` slots hold initialized blocks.
@@ -699,9 +851,54 @@ pub(crate) unsafe fn sweep_retire_list(
     total_freed
 }
 
+/// Generic-predicate sweep: every entry for which `keep` returns `false`
+/// is freed; survivors stay in their original retire order. Returns the
+/// number freed. Rides [`sweep_blocks`] with a per-node keep mask — the
+/// path for predicates with no sorted-set structure (IBR's interval
+/// intersection, tests).
+///
+/// # Safety
+///
+/// As for [`sweep_blocks`], with `keep` as the plan.
+pub(crate) unsafe fn sweep_retire_list(
+    base: &DomainBase,
+    tid: usize,
+    list: &mut RetireList,
+    mut keep: impl FnMut(&Retired) -> bool,
+) -> usize {
+    // SAFETY: forwarded contract.
+    unsafe {
+        sweep_blocks(base, tid, list, |b| {
+            let mut mask = 0u32;
+            for (i, r) in b.nodes().iter().enumerate() {
+                if keep(r) {
+                    mask |= 1u32 << i;
+                }
+            }
+            BlockPlan::Mask(mask)
+        })
+    }
+}
+
+/// Copies a block's lazily sorted slot permutation into a stack array so
+/// the borrow on the block clears before its nodes are re-read.
+#[inline]
+fn copy_sorted_order(b: &mut RetireBatch, key: SortKey) -> ([u8; RETIRE_BATCH_CAP], usize) {
+    let mut ord = [0u8; RETIRE_BATCH_CAP];
+    let src = b.sorted_order(key);
+    let n = src.len();
+    ord[..n].copy_from_slice(src);
+    (ord, n)
+}
+
 /// Frees every entry of `list` whose pointer is **not** in the sorted
 /// `reserved` set; reserved entries are retained in order. Returns the
 /// number freed.
+///
+/// Per block: a range test of the cached pointer extrema against
+/// `reserved` frees untouched blocks whole; undecided blocks merge-join
+/// their pointer-sorted slots against `reserved` with one forward cursor
+/// (no per-node binary search).
 ///
 /// # Safety
 ///
@@ -717,8 +914,45 @@ pub(crate) unsafe fn free_unreserved(
     debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
     // SAFETY: forwarded contract.
     unsafe {
-        sweep_retire_list(base, tid, list, |r| {
-            reserved.binary_search(&(r.ptr() as u64)).is_ok()
+        sweep_blocks(base, tid, list, |b| {
+            let (min_ptr, max_ptr) = b.ptr_range();
+            // Whole-block range test: the reserved *window* overlapping
+            // the block's pointer span. Empty ⇒ no member can be reserved.
+            let lo = reserved.partition_point(|&w| w < min_ptr);
+            let hi = lo + reserved[lo..].partition_point(|&w| w <= max_ptr);
+            let window = &reserved[lo..hi];
+            if window.is_empty() {
+                return BlockPlan::FreeAll;
+            }
+            let mut mask = 0u32;
+            if b.has_sorted(SortKey::Ptr) || b.note_sweep() >= 1 {
+                // Sorted (or long-lived enough to sort now): merge-join
+                // the pointer-sorted slots against the window with one
+                // forward cursor — O(block + window) sequential compares,
+                // the sort amortized across this block's remaining sweeps.
+                let (ord, n) = copy_sorted_order(b, SortKey::Ptr);
+                let nodes = b.nodes();
+                let mut cur = 0usize;
+                for &i in &ord[..n] {
+                    let key = nodes[i as usize].ptr() as u64;
+                    while cur < window.len() && window[cur] < key {
+                        cur += 1;
+                    }
+                    if cur < window.len() && window[cur] == key {
+                        mask |= 1u32 << i;
+                    }
+                }
+            } else {
+                // First sweep of this block: search the narrowed window
+                // per node instead of paying a sort the block may never
+                // amortize (most blocks die on their first sweep).
+                for (i, r) in b.nodes().iter().enumerate() {
+                    if window.binary_search(&(r.ptr() as u64)).is_ok() {
+                        mask |= 1u32 << i;
+                    }
+                }
+            }
+            BlockPlan::Mask(mask)
         })
     }
 }
@@ -726,6 +960,12 @@ pub(crate) unsafe fn free_unreserved(
 /// Frees every entry whose `[birth_era, retire_era]` lifespan intersects no
 /// reserved era in the sorted `reserved` slice (hazard-eras `canFree`,
 /// paper Alg. 4/5). Returns the number freed.
+///
+/// Per block: the cached `[min_birth, max_retire]` envelope contains every
+/// member's lifespan, so an envelope free of reserved eras frees the block
+/// whole; undecided blocks merge-join their birth-sorted slots against
+/// `reserved` — the first-reserved-era-≥-birth cursor is monotone in birth
+/// order, replacing the per-node `partition_point`.
 ///
 /// # Safety
 ///
@@ -740,14 +980,55 @@ pub(crate) unsafe fn free_era_unreserved(
     debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
     // SAFETY: forwarded contract.
     unsafe {
-        sweep_retire_list(base, tid, list, |r| {
-            era_range_reserved(reserved, r.header().birth_era, r.header().retire_era())
+        sweep_blocks(base, tid, list, |b| {
+            let (min_birth, _, max_retire) = b.era_ranges();
+            // Reserved eras overlapping the block's lifespan envelope;
+            // every member's `[birth, retire]` lies inside the envelope,
+            // so eras outside the window can hit no member.
+            let lo = reserved.partition_point(|&e| e < min_birth);
+            let hi = lo + reserved[lo..].partition_point(|&e| e <= max_retire);
+            let window = &reserved[lo..hi];
+            if window.is_empty() {
+                return BlockPlan::FreeAll;
+            }
+            let mut mask = 0u32;
+            if b.has_sorted(SortKey::Birth) || b.note_sweep() >= 1 {
+                // Merge-join: the first-reserved-era-≥-birth cursor is
+                // monotone in birth order, so one forward walk over the
+                // birth-sorted slots replaces the per-node search.
+                let (ord, n) = copy_sorted_order(b, SortKey::Birth);
+                let nodes = b.nodes();
+                let mut cur = 0usize;
+                for &i in &ord[..n] {
+                    let h = nodes[i as usize].header();
+                    while cur < window.len() && window[cur] < h.birth_era {
+                        cur += 1;
+                    }
+                    if cur < window.len() && window[cur] <= h.retire_era() {
+                        mask |= 1u32 << i;
+                    }
+                }
+            } else {
+                // First sweep: per-node test against the narrowed window
+                // (sort deferred until the block proves long-lived).
+                for (i, r) in b.nodes().iter().enumerate() {
+                    let h = r.header();
+                    if era_range_reserved(window, h.birth_era, h.retire_era()) {
+                        mask |= 1u32 << i;
+                    }
+                }
+            }
+            BlockPlan::Mask(mask)
         })
     }
 }
 
 /// Frees every entry retired strictly before epoch `min` (EBR / EpochPOP
 /// fast path). Returns the number freed.
+///
+/// Per block: the cached retire-era extrema decide most blocks whole
+/// (`min_retire >= min` keeps, `max_retire < min` frees) without touching
+/// a record; only straddling blocks pay the per-node comparison.
 ///
 /// # Safety
 ///
@@ -761,7 +1042,24 @@ pub(crate) unsafe fn free_before_epoch(
     min: u64,
 ) -> usize {
     // SAFETY: forwarded contract.
-    unsafe { sweep_retire_list(base, tid, list, |r| r.header().retire_era() >= min) }
+    unsafe {
+        sweep_blocks(base, tid, list, |b| {
+            let (_, min_retire, max_retire) = b.era_ranges();
+            if min_retire >= min {
+                return BlockPlan::KeepAll;
+            }
+            if max_retire < min {
+                return BlockPlan::FreeAll;
+            }
+            let mut mask = 0u32;
+            for (i, r) in b.nodes().iter().enumerate() {
+                if r.header().retire_era() >= min {
+                    mask |= 1u32 << i;
+                }
+            }
+            BlockPlan::Mask(mask)
+        })
+    }
 }
 
 /// Scans every registered thread's reservation slots (`cells` laid out as
@@ -795,6 +1093,111 @@ pub fn era_range_reserved(reserved: &[u64], birth: u64, retire: u64) -> bool {
     // First reserved era >= birth; blocked if it also <= retire.
     let idx = reserved.partition_point(|&e| e < birth);
     idx < reserved.len() && reserved[idx] <= retire
+}
+
+/// Bench/diagnostic harness comparing the merge-join reservation filter
+/// against the historical per-node binary-search sweep over a synthetic
+/// retire list. **Not a stable API** (re-exported through
+/// `pop_core::testing`).
+#[doc(hidden)]
+pub struct SweepBench {
+    base: DomainBase,
+    list: RetireList,
+}
+
+#[repr(C)]
+struct SweepBenchNode {
+    hdr: crate::header::Header,
+    _payload: [u64; 2],
+}
+// SAFETY: repr(C) with the header first.
+unsafe impl crate::header::HasHeader for SweepBenchNode {}
+
+impl Default for SweepBench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepBench {
+    /// A single-thread domain whose reclaim threshold never triggers on
+    /// its own — sweeps run only when the harness asks.
+    pub fn new() -> Self {
+        SweepBench {
+            base: DomainBase::new(SmrConfig::for_tests(1).with_reclaim_freq(1 << 30)),
+            list: RetireList::new(RETIRE_BATCH_CAP),
+        }
+    }
+
+    /// Allocates and retires `n` nodes, returning their pointer words in
+    /// retire order (callers draw reservation sets from these). Retire
+    /// order is whatever the allocator hands out — address-random after
+    /// the first drain/refill cycle, the filterers' worst case.
+    pub fn fill(&mut self, n: usize) -> Vec<u64> {
+        let mut ptrs = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let p = Box::into_raw(Box::new(SweepBenchNode {
+                hdr: crate::header::Header::new(i, core::mem::size_of::<SweepBenchNode>()),
+                _payload: [0; 2],
+            }));
+            self.base
+                .stats
+                .shard(0)
+                .allocated_nodes
+                .fetch_add(1, Ordering::Relaxed);
+            // SAFETY: freshly boxed, never shared, retired exactly once.
+            let r = unsafe { Retired::new(p) };
+            r.header().set_retire_era(i);
+            ptrs.push(r.ptr() as u64);
+            push_retired(&self.base, 0, &mut self.list, r);
+        }
+        ptrs
+    }
+
+    /// Nodes currently held in the list.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Sweeps with the range-test + merge-join path. `reserved` must be
+    /// sorted and deduplicated. Returns the number freed.
+    pub fn sweep_merge_join(&mut self, reserved: &[u64]) -> usize {
+        // SAFETY: harness nodes are never shared; any entry is freeable.
+        unsafe { free_unreserved(&self.base, 0, &mut self.list, reserved) }
+    }
+
+    /// Sweeps with the pre-merge-join baseline: one binary search into
+    /// `reserved` per node. Returns the number freed.
+    pub fn sweep_binary_search(&mut self, reserved: &[u64]) -> usize {
+        // SAFETY: as above.
+        unsafe {
+            sweep_retire_list(&self.base, 0, &mut self.list, |r| {
+                reserved.binary_search(&(r.ptr() as u64)).is_ok()
+            })
+        }
+    }
+
+    /// Frees every node still held (survivors between iterations).
+    pub fn drain(&mut self) {
+        let mut nodes = Vec::new();
+        self.list.drain_all(|r| nodes.push(r));
+        for r in nodes {
+            // SAFETY: harness nodes are never shared.
+            unsafe { self.base.free_now(0, r) };
+        }
+    }
+
+    /// Whole-block sweep counters `(kept_whole, freed_whole)` so callers
+    /// can verify which path a sweep took.
+    pub fn whole_block_counts(&self) -> (u64, u64) {
+        let s = self.base.stats.snapshot();
+        (s.blocks_kept_whole, s.blocks_freed_whole)
+    }
 }
 
 #[cfg(test)]
@@ -1143,14 +1546,48 @@ mod tests {
             "adopted nodes are not re-counted"
         );
         assert_eq!(b.stats.snapshot().orphans_adopted, ORPHAN_ADOPT_MAX as u64);
-        // A sweep reclaims the adopted nodes through the normal path.
+        // A sweep reclaims the adopted nodes through the normal path, and
+        // additionally STEALS the parked remainder (reclaimer-side orphan
+        // adoption) so static memberships drain orphans too.
         let freed = unsafe { sweep_retire_list(&b, 0, &mut joiner, |_| false) };
-        assert_eq!(freed, ORPHAN_ADOPT_MAX);
+        assert_eq!(freed, ORPHAN_ADOPT_MAX + 10, "sweep steals the remainder");
+        assert_eq!(b.orphan_len(), 0, "orphans fully drained by the pass");
+        assert_eq!(b.stats.snapshot().orphans_stolen, 10);
         assert_eq!(
             b.stats.snapshot().retired_nodes,
             retired_before,
-            "sweep after adoption must not recount either"
+            "neither adoption nor stealing recounts retires"
         );
+    }
+
+    #[test]
+    fn sweep_steals_bounded_orphan_chunks_until_drained() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut donor = RetireList::new(RETIRE_BATCH_CAP);
+        let total = 2 * ORPHAN_ADOPT_MAX + 5;
+        for i in 0..total as u64 {
+            push_retired(&b, 0, &mut donor, mk(&b, i, i));
+        }
+        b.orphan_remaining(0, &mut donor);
+        assert_eq!(b.orphan_len(), total);
+
+        let mut reclaimer = RetireList::new(RETIRE_BATCH_CAP);
+        // Each pass adopts at most one chunk.
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut reclaimer, |_| false) };
+        assert_eq!(freed, ORPHAN_ADOPT_MAX, "one chunk per pass");
+        assert_eq!(b.orphan_len(), total - ORPHAN_ADOPT_MAX);
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut reclaimer, |_| false) };
+        assert_eq!(freed, ORPHAN_ADOPT_MAX);
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut reclaimer, |_| false) };
+        assert_eq!(freed, 5, "third pass drains the tail");
+        assert_eq!(b.orphan_len(), 0);
+        let s = b.stats.snapshot();
+        assert_eq!(s.orphans_stolen, total as u64);
+        assert_eq!(s.freed_nodes, total as u64, "conservation through stealing");
+        // Empty orphan list: further sweeps steal nothing.
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut reclaimer, |_| false) };
+        assert_eq!(freed, 0);
+        assert_eq!(b.stats.snapshot().orphans_stolen, total as u64);
     }
 
     #[test]
@@ -1189,5 +1626,139 @@ mod tests {
             last = next;
         }
         assert_eq!(c.current(), last);
+    }
+
+    #[test]
+    fn striped_max_scan_covers_wide_domains_via_rotation() {
+        // 26 threads → 4 stripes. A hot clock in the LAST stripe must be
+        // folded into the global within nstripes passes by a reclaimer
+        // whose own stripe is the first — the rotating-subset sampling.
+        let c = EpochClocks::new(26);
+        for _ in 0..40 {
+            c.tick(25);
+        }
+        assert_eq!(c.local_of(25), 41);
+        let mut last = c.current();
+        for _ in 0..4 {
+            let next = c.advance_max_scan(0);
+            assert!(next > last, "every striped pass still advances");
+            last = next;
+        }
+        assert!(
+            c.current() >= 41,
+            "rotation must fold the idle stripe's clock in within \
+             nstripes passes (global = {})",
+            c.current()
+        );
+    }
+
+    #[test]
+    fn free_unreserved_range_test_frees_disjoint_blocks_whole() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        // Two full blocks of 2; reservations exist but none falls inside
+        // any block's pointer span.
+        let mut list = filled(&b, 2, &[0, 0, 0, 0]);
+        let max_ptr = list
+            .blocks
+            .iter()
+            .flat_map(|blk| blk.nodes())
+            .map(|r| r.ptr() as u64)
+            .max()
+            .unwrap();
+        // Non-empty reserved set strictly above every block pointer.
+        let reserved = vec![max_ptr + 64, max_ptr + 128];
+        let freed = unsafe { free_unreserved(&b, 0, &mut list, &reserved) };
+        assert_eq!(freed, 4);
+        assert!(list.is_empty());
+        let s = b.stats.snapshot();
+        assert_eq!(
+            s.blocks_freed_whole, 2,
+            "range test must free disjoint blocks without touching records"
+        );
+    }
+
+    #[test]
+    fn free_unreserved_merge_join_matches_binary_search_baseline() {
+        // Equivalence of the two strategies over the same workload: the
+        // same survivors, in the same order.
+        let mut mj = SweepBench::new();
+        let mut bs = SweepBench::new();
+        for (bench, merge_join) in [(&mut mj, true), (&mut bs, false)] {
+            let ptrs = bench.fill(257); // non-multiple of the block cap
+            let reserved: Vec<u64> = {
+                let mut r: Vec<u64> = ptrs.iter().copied().step_by(5).collect();
+                r.sort_unstable();
+                r
+            };
+            let freed = if merge_join {
+                bench.sweep_merge_join(&reserved)
+            } else {
+                bench.sweep_binary_search(&reserved)
+            };
+            assert_eq!(freed, 257 - reserved.len());
+            assert_eq!(bench.len(), reserved.len());
+            bench.drain();
+        }
+    }
+
+    #[test]
+    fn free_era_unreserved_envelope_frees_whole_blocks() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        // Block 0: lifespans within [0, 5]; block 1: within [20, 25].
+        let mut list = filled(&b, 3, &[0, 3, 5, 20, 22, 25]);
+        // Reserved era 10 sits between the two envelopes: both blocks are
+        // freed whole by the range test.
+        let freed = unsafe { free_era_unreserved(&b, 0, &mut list, &[10]) };
+        assert_eq!(freed, 6);
+        assert_eq!(b.stats.snapshot().blocks_freed_whole, 2);
+        // Mixed case: era 3 pins only part of block 0's twin.
+        let mut list = filled(&b, 3, &[0, 3, 5, 20, 22, 25]);
+        let freed = unsafe { free_era_unreserved(&b, 0, &mut list, &[3, 10]) };
+        assert_eq!(freed, 5, "only the [3,3] lifespan survives");
+        assert_eq!(eras_of(&list), vec![3]);
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn free_before_epoch_summary_decides_whole_blocks() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(2);
+        // Blocks of 2 with retire eras (1,2) freeable, (8,9) kept, (4,6)
+        // straddling min = 5.
+        for (birth, retire) in [(0, 1), (0, 2), (0, 8), (0, 9), (0, 4), (0, 6)] {
+            push_retired(&b, 0, &mut list, mk(&b, birth, retire));
+        }
+        let freed = unsafe { free_before_epoch(&b, 0, &mut list, 5) };
+        assert_eq!(freed, 3, "retire eras 1, 2 and 4 are below the bound");
+        let s = b.stats.snapshot();
+        assert_eq!(s.blocks_freed_whole, 1, "the (1,2) block freed whole");
+        assert_eq!(s.blocks_kept_whole, 1, "the (8,9) block kept untouched");
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn kept_blocks_reuse_their_sort_cache_across_passes() {
+        // A block pinned across passes must be decided from its cached
+        // summary without rebuilding anything: survivors and order stay
+        // identical over repeated sweeps.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = filled(&b, 4, &[0, 1, 2, 3]);
+        let reserved: Vec<u64> = {
+            let mut r: Vec<u64> = list
+                .blocks
+                .iter()
+                .flat_map(|blk| blk.nodes())
+                .map(|r| r.ptr() as u64)
+                .collect();
+            r.sort_unstable();
+            r
+        };
+        for pass in 0..3 {
+            let freed = unsafe { free_unreserved(&b, 0, &mut list, &reserved) };
+            assert_eq!(freed, 0, "pass {pass}: everything pinned");
+            assert_eq!(eras_of(&list), vec![0, 1, 2, 3], "order preserved");
+        }
+        assert_eq!(b.stats.snapshot().blocks_kept_whole, 3);
+        drain_free(&b, &mut list);
     }
 }

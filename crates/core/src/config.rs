@@ -2,6 +2,11 @@
 
 use crate::header::RETIRE_BATCH_CAP;
 
+/// Default publish-wait spin budget (the historical hard-coded
+/// `SPIN_LIMIT`): roughly the cost of a few cache-miss round trips, enough
+/// for a running peer's handler to publish before the waiter parks.
+pub const DEFAULT_PUBLISH_SPIN: u32 = 128;
+
 /// Tuning knobs shared by every reclamation scheme.
 ///
 /// Field names follow the paper's pseudocode: `reclaim_freq` is the retire
@@ -32,6 +37,15 @@ pub struct SmrConfig {
     /// to `1..=RETIRE_BATCH_CAP` and never above `reclaim_freq` (so small
     /// thresholds still reclaim on time). `1` disables batching.
     pub retire_batch: usize,
+    /// Spins a publish wait (`ping_all_and_wait`, NBR phase 2) burns before
+    /// falling back to parking (`futex`) or yielding. Small values favor
+    /// oversubscribed hosts; large values favor handlers that run within a
+    /// cache-miss of the ping.
+    pub publish_spin: u32,
+    /// After the spin budget, park publish waits on a `futex(2)` keyed to
+    /// the target's publish word (Linux; elsewhere this knob is ignored and
+    /// waits `yield_now`). `false` forces the portable yield path.
+    pub futex_wait: bool,
     /// Testing mode: freed nodes are poisoned and quarantined instead of
     /// deallocated, turning any use-after-free into a deterministic panic
     /// inside `protect`.
@@ -48,6 +62,8 @@ impl SmrConfig {
             epoch_freq: 64,
             pop_c: 2,
             retire_batch: RETIRE_BATCH_CAP,
+            publish_spin: DEFAULT_PUBLISH_SPIN,
+            futex_wait: true,
             quarantine: false,
         }
     }
@@ -63,6 +79,8 @@ impl SmrConfig {
             epoch_freq: 4,
             pop_c: 2,
             retire_batch: RETIRE_BATCH_CAP,
+            publish_spin: DEFAULT_PUBLISH_SPIN,
+            futex_wait: true,
             quarantine: false,
         }
     }
@@ -88,6 +106,18 @@ impl SmrConfig {
     /// Builder-style override of the per-thread hazard slot count.
     pub fn with_slots(mut self, s: usize) -> Self {
         self.slots = s.max(1);
+        self
+    }
+
+    /// Builder-style override of the publish-wait spin budget.
+    pub fn with_publish_spin(mut self, spins: u32) -> Self {
+        self.publish_spin = spins;
+        self
+    }
+
+    /// Builder-style toggle for futex-parked publish waits.
+    pub fn with_futex_wait(mut self, on: bool) -> Self {
+        self.futex_wait = on;
         self
     }
 
@@ -123,7 +153,18 @@ mod tests {
         let c = SmrConfig::for_threads(4);
         assert_eq!(c.reclaim_freq, 24_576, "paper §5.0.1 retire threshold");
         assert_eq!(c.max_threads, 4);
+        assert_eq!(c.publish_spin, DEFAULT_PUBLISH_SPIN);
+        assert!(c.futex_wait, "futex parking is the default wait mode");
         assert!(!c.quarantine);
+    }
+
+    #[test]
+    fn publish_wait_builders() {
+        let c = SmrConfig::for_tests(1)
+            .with_publish_spin(0)
+            .with_futex_wait(false);
+        assert_eq!(c.publish_spin, 0, "zero-spin (park immediately) is legal");
+        assert!(!c.futex_wait);
     }
 
     #[test]

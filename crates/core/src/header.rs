@@ -159,6 +159,46 @@ impl core::fmt::Debug for Retired {
 /// sealed once it reaches the threshold — but never larger.
 pub const RETIRE_BATCH_CAP: usize = 32;
 
+/// The key a sealed block's lazy sort index is ordered by (see
+/// [`RetireBatch::sorted_order`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum SortKey {
+    /// No valid sort index (freshly filled or compacted block).
+    Unsorted,
+    /// Ordered by record pointer — merge-joined against sorted pointer
+    /// reservation sets (HP-family sweeps).
+    Ptr,
+    /// Ordered by `birth_era` — merge-joined against sorted era
+    /// reservation sets (hazard-era sweeps).
+    Birth,
+}
+
+/// Cached per-block key extrema, computed lazily in two independent
+/// halves and reused by every sweep until the block is mutated:
+///
+/// * the **pointer** extrema read only the inline [`Retired`] records (no
+///   header dereference — HP-family sweeps never touch node memory for
+///   surviving blocks), while
+/// * the **era** extrema pay one pass over the members' headers.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BlockSummary {
+    /// Smallest record pointer in the block.
+    pub min_ptr: u64,
+    /// Largest record pointer in the block.
+    pub max_ptr: u64,
+    /// Smallest `birth_era` in the block.
+    pub min_birth: u64,
+    /// Smallest `retire_era` in the block.
+    pub min_retire: u64,
+    /// Largest `retire_era` in the block.
+    pub max_retire: u64,
+}
+
+/// `summary_valid` bit: pointer extrema are current.
+const SUMMARY_PTR: u8 = 1;
+/// `summary_valid` bit: era extrema (birth + retire) are current.
+const SUMMARY_ERA: u8 = 2;
+
 /// A fixed-size block of [`Retired`] records — the unit of the batched
 /// retirement pipeline.
 ///
@@ -169,11 +209,29 @@ pub const RETIRE_BATCH_CAP: usize = 32;
 /// `pop_core::base::sweep_retire_list`), recycling fully-freed blocks into
 /// a per-thread free pool so steady-state retirement allocates nothing.
 ///
+/// Sealed blocks additionally carry a lazily computed *sort cache*: a
+/// [`BlockSummary`] of key extrema (for whole-block range tests against a
+/// sorted reservation set) and a sort index over the slots (for merge-join
+/// sweeps). Both are computed in place on first use — no allocation — and
+/// invalidated by any mutation, so a block that survives a sweep untouched
+/// amortizes its sort across every subsequent pass.
+///
 /// Like `Vec<Retired>`, dropping a non-empty block *leaks* the recorded
 /// allocations ([`Retired`] has no `Drop`); only a reclamation pass (or
 /// domain teardown) frees them.
 pub(crate) struct RetireBatch {
     len: usize,
+    /// Which key `order` is currently sorted by.
+    sort_key: SortKey,
+    /// [`SUMMARY_PTR`] / [`SUMMARY_ERA`] validity bits for `summary`.
+    summary_valid: u8,
+    /// Sweeps that have looked at this block since it last changed —
+    /// drives the sort-deferral heuristic (see `note_sweep`).
+    sweeps: u8,
+    /// Slot permutation ordered by `sort_key` (first `len` entries).
+    order: [u8; RETIRE_BATCH_CAP],
+    /// Cached key extrema (per-half validity in `summary_valid`).
+    summary: BlockSummary,
     slots: [core::mem::MaybeUninit<Retired>; RETIRE_BATCH_CAP],
 }
 
@@ -182,6 +240,17 @@ impl RetireBatch {
     pub(crate) fn boxed() -> Box<RetireBatch> {
         Box::new(RetireBatch {
             len: 0,
+            sort_key: SortKey::Unsorted,
+            summary_valid: 0,
+            sweeps: 0,
+            order: [0; RETIRE_BATCH_CAP],
+            summary: BlockSummary {
+                min_ptr: 0,
+                max_ptr: 0,
+                min_birth: 0,
+                min_retire: 0,
+                max_retire: 0,
+            },
             slots: [const { core::mem::MaybeUninit::uninit() }; RETIRE_BATCH_CAP],
         })
     }
@@ -200,9 +269,32 @@ impl RetireBatch {
 
     /// Appends a record. The caller keeps `len() < RETIRE_BATCH_CAP` by
     /// sealing at its (smaller or equal) threshold.
+    ///
+    /// The pointer extrema are maintained *incrementally* here (two
+    /// compares on the hot retire path): record pointers never change, so
+    /// the [`SUMMARY_PTR`] half stays valid through the whole fill and
+    /// sweeps never pay a scan for it. Era extrema are not — a caller may
+    /// legally set a retire era after pushing — so [`SUMMARY_ERA`] (and
+    /// the sort cache) are invalidated instead.
     #[inline]
     pub(crate) fn push(&mut self, r: Retired) {
         debug_assert!(self.len < RETIRE_BATCH_CAP, "retire block overfilled");
+        let p = r.ptr() as u64;
+        if self.len == 0 {
+            self.summary.min_ptr = p;
+            self.summary.max_ptr = p;
+            self.summary_valid = SUMMARY_PTR;
+        } else if self.summary_valid & SUMMARY_PTR != 0 {
+            self.summary.min_ptr = self.summary.min_ptr.min(p);
+            self.summary.max_ptr = self.summary.max_ptr.max(p);
+            self.summary_valid = SUMMARY_PTR;
+        } else {
+            // Existing members were never summarized (a pop invalidated
+            // them): stay invalid and let the next sweep rescan.
+            self.summary_valid = 0;
+        }
+        self.sort_key = SortKey::Unsorted;
+        self.sweeps = 0;
         self.slots[self.len].write(r);
         self.len += 1;
     }
@@ -213,6 +305,7 @@ impl RetireBatch {
         if self.len == 0 {
             return None;
         }
+        self.invalidate_cache();
         self.len -= 1;
         // SAFETY: slot `len` was initialized by `push` and is now out of
         // the initialized prefix, so it cannot be read again.
@@ -221,10 +314,135 @@ impl RetireBatch {
 
     /// The initialized records as a slice (oldest first).
     #[inline]
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn nodes(&self) -> &[Retired] {
         // SAFETY: the first `len` slots are initialized.
         unsafe { core::slice::from_raw_parts(self.slots.as_ptr() as *const Retired, self.len) }
+    }
+
+    /// Drops the sort cache; any slot removal or rearrangement must call
+    /// this (`push` keeps the pointer half alive instead — see there).
+    #[inline]
+    fn invalidate_cache(&mut self) {
+        self.sort_key = SortKey::Unsorted;
+        self.summary_valid = 0;
+        self.sweeps = 0;
+    }
+
+    /// Whether the sort cache currently holds a `key`-ordered permutation.
+    #[inline]
+    pub(crate) fn has_sorted(&self, key: SortKey) -> bool {
+        self.sort_key == key
+    }
+
+    /// Counts a sweep's visit and returns how many sweeps had seen this
+    /// block (in its current state) before. Sweeps defer the block sort
+    /// until a block proves long-lived (visited twice): single-visit
+    /// blocks — the churn common case — never pay it.
+    #[inline]
+    pub(crate) fn note_sweep(&mut self) -> u8 {
+        let s = self.sweeps;
+        self.sweeps = s.saturating_add(1);
+        s
+    }
+
+    /// Pointer extrema `(min_ptr, max_ptr)`, computed lazily from the
+    /// inline records alone — **no header dereference** — and cached until
+    /// the next mutation.
+    pub(crate) fn ptr_range(&mut self) -> (u64, u64) {
+        if self.summary_valid & SUMMARY_PTR == 0 {
+            debug_assert!(self.len > 0, "summary of an empty block");
+            let mut min = u64::MAX;
+            let mut max = 0u64;
+            for r in self.nodes() {
+                let p = r.ptr() as u64;
+                min = min.min(p);
+                max = max.max(p);
+            }
+            self.summary.min_ptr = min;
+            self.summary.max_ptr = max;
+            self.summary_valid |= SUMMARY_PTR;
+        }
+        (self.summary.min_ptr, self.summary.max_ptr)
+    }
+
+    /// Era extrema `(min_birth, min_retire, max_retire)`, computed lazily
+    /// (one pass over the members' headers) and cached until the next
+    /// mutation.
+    pub(crate) fn era_ranges(&mut self) -> (u64, u64, u64) {
+        if self.summary_valid & SUMMARY_ERA == 0 {
+            debug_assert!(self.len > 0, "summary of an empty block");
+            let mut min_birth = u64::MAX;
+            let mut min_retire = u64::MAX;
+            let mut max_retire = 0u64;
+            for r in self.nodes() {
+                let h = r.header();
+                let retire = h.retire_era();
+                min_birth = min_birth.min(h.birth_era);
+                min_retire = min_retire.min(retire);
+                max_retire = max_retire.max(retire);
+            }
+            self.summary.min_birth = min_birth;
+            self.summary.min_retire = min_retire;
+            self.summary.max_retire = max_retire;
+            self.summary_valid |= SUMMARY_ERA;
+        }
+        (
+            self.summary.min_birth,
+            self.summary.min_retire,
+            self.summary.max_retire,
+        )
+    }
+
+    /// Slot indices ordered by `key`, computed lazily (stack-local pair
+    /// sort, no allocation) and cached until the next mutation. Merge-join
+    /// sweeps walk this permutation against a sorted reservation set
+    /// instead of binary-searching per record.
+    ///
+    /// Keys are extracted once into a stack array of `(key, slot)` pairs —
+    /// not recomputed per comparison through the slot indirection — and
+    /// monotone blocks are detected in one pass and cost no sort at all:
+    /// ascending (fresh sequential allocations, monotone eras) *and*
+    /// descending (refills drawn LIFO from an allocator free list) runs
+    /// both yield their permutation directly.
+    pub(crate) fn sorted_order(&mut self, key: SortKey) -> &[u8] {
+        debug_assert!(key != SortKey::Unsorted, "must sort by a real key");
+        if self.sort_key != key {
+            let n = self.len;
+            let nodes = self.nodes();
+            let mut pairs = [(0u64, 0u8); RETIRE_BATCH_CAP];
+            let mut ascending = true;
+            let mut descending = true;
+            let mut prev = 0u64;
+            for (i, p) in pairs[..n].iter_mut().enumerate() {
+                let k = match key {
+                    SortKey::Ptr => nodes[i].ptr() as u64,
+                    SortKey::Birth => nodes[i].header().birth_era,
+                    SortKey::Unsorted => unreachable!(),
+                };
+                if i > 0 {
+                    ascending &= k >= prev;
+                    descending &= k <= prev;
+                }
+                prev = k;
+                *p = (k, i as u8);
+            }
+            if ascending {
+                for (i, o) in self.order[..n].iter_mut().enumerate() {
+                    *o = i as u8;
+                }
+            } else if descending {
+                for (i, o) in self.order[..n].iter_mut().enumerate() {
+                    *o = (n - 1 - i) as u8;
+                }
+            } else {
+                pairs[..n].sort_unstable();
+                for (o, p) in self.order[..n].iter_mut().zip(&pairs[..n]) {
+                    *o = p.1;
+                }
+            }
+            self.sort_key = key;
+        }
+        &self.order[..self.len]
     }
 
     /// Raw base pointer for in-place compaction sweeps.
@@ -233,7 +451,8 @@ impl RetireBatch {
         self.slots.as_mut_ptr() as *mut Retired
     }
 
-    /// Overrides the initialized length.
+    /// Overrides the initialized length (and drops the sort cache — the
+    /// caller has rearranged slots).
     ///
     /// # Safety
     ///
@@ -243,6 +462,7 @@ impl RetireBatch {
     #[inline]
     pub(crate) unsafe fn set_len(&mut self, len: usize) {
         debug_assert!(len <= RETIRE_BATCH_CAP);
+        self.invalidate_cache();
         self.len = len;
     }
 }

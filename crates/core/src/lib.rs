@@ -33,11 +33,11 @@ pub mod schemes;
 pub mod smr;
 pub mod stats;
 
-/// Internals re-exported for property tests and diagnostics. Not a stable
-/// API surface.
+/// Internals re-exported for property tests, benches and diagnostics. Not
+/// a stable API surface.
 #[doc(hidden)]
 pub mod testing {
-    pub use crate::base::era_range_reserved;
+    pub use crate::base::{era_range_reserved, SweepBench};
 }
 
 pub use config::SmrConfig;

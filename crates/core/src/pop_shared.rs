@@ -49,22 +49,38 @@
 //! the zeroed streak. Reclaimer increments use a compare-exchange against
 //! the observed value so a racing owner reset is never overwritten.
 //!
+//! ## Publish-wait semantics (futex vs yield)
+//!
+//! `waitForAllPublished` spins for a configurable budget
+//! ([`crate::config::SmrConfig::publish_spin`]), then **parks**: each
+//! thread owns a 32-bit *publish word* (bumped by every
+//! `publishReservations`, including the signal handler's), and the waiter
+//! issues `futex(FUTEX_WAIT)` keyed on it. The handler `FUTEX_WAKE`s the
+//! word only when a waiter has announced itself (a per-thread waiter
+//! count, Dekker-ordered with `SeqCst` against the word bump: either the
+//! waiter observes the new publish and never sleeps, or the publisher
+//! observes the waiter and wakes it). Waits carry a timeout as the
+//! liveness backstop — a peer can satisfy the wait *without* publishing
+//! (deregistration observed via the `registered` flag, or a lost ping) —
+//! and every wakeup re-checks the full exit condition. Off Linux, or with
+//! [`crate::config::SmrConfig::futex_wait`] unset, the post-spin step
+//! degrades to `yield_now` (the historical behavior): same correctness,
+//! but each retry burns a scheduler quantum on oversubscribed hosts.
+//!
 //! Instances are leaked (`&'static`) because the process-global signal
 //! handler may dereference them at any time; see `pop-runtime` docs.
 
-use core::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 use pop_runtime::signal::ping_gtid;
-use pop_runtime::Publisher;
+use pop_runtime::{futex, Publisher};
 
 use crate::stats::DomainStats;
 
-/// Spins before the publish wait falls back to `yield_now` so an
-/// oversubscribed machine cannot livelock a reclaimer behind a descheduled
-/// reader (the paper's §4.1.2 worst case).
-const SPIN_LIMIT: u32 = 128;
+/// Timeout per parked publish wait (liveness backstop; see module docs).
+const PUBLISH_WAIT_TIMEOUT_NS: u64 = 1_000_000;
 
 /// Sentinel in a collected-counters buffer: do not wait for this thread.
 const SKIP: u64 = u64::MAX;
@@ -89,6 +105,12 @@ pub(crate) struct PopShared {
     shared: Box<[AtomicU64]>,
     /// `publishCounter[tid]`.
     counter: Box<[CachePadded<AtomicU64>]>,
+    /// 32-bit futex key per thread, bumped alongside `counter` on every
+    /// publish; waiters park on it (module docs, "Publish-wait semantics").
+    publish_word: Box<[CachePadded<AtomicU32>]>,
+    /// Waiters currently parked (or about to park) on `publish_word[t]`;
+    /// publishers skip the wake syscall when zero.
+    waiters: Box<[CachePadded<AtomicU32>]>,
     /// Per-thread operation activity word: odd while inside an operation.
     activity: Box<[CachePadded<AtomicU64>]>,
     /// Consecutive reclaimer passes that proved the thread quiescent;
@@ -103,6 +125,11 @@ pub(crate) struct PopShared {
     /// outside this struct (the HPAsym signal barrier), where every handler
     /// execution is load-bearing for memory ordering.
     filter_quiescent: bool,
+    /// Spin budget before a publish wait parks or yields
+    /// ([`crate::config::SmrConfig::publish_spin`]).
+    publish_spin: u32,
+    /// Park on a futex after the spin budget (vs `yield_now`).
+    futex_wait: bool,
 }
 
 impl PopShared {
@@ -112,6 +139,8 @@ impl PopShared {
         slots: usize,
         stats: Arc<DomainStats>,
         filter_quiescent: bool,
+        publish_spin: u32,
+        futex_wait: bool,
     ) -> &'static Self {
         let cells = nthreads * slots;
         let mut local = Vec::with_capacity(cells);
@@ -120,6 +149,10 @@ impl PopShared {
         shared.resize_with(cells, || AtomicU64::new(0));
         let mut counter = Vec::with_capacity(nthreads);
         counter.resize_with(nthreads, || CachePadded::new(AtomicU64::new(0)));
+        let mut publish_word = Vec::with_capacity(nthreads);
+        publish_word.resize_with(nthreads, || CachePadded::new(AtomicU32::new(0)));
+        let mut waiters = Vec::with_capacity(nthreads);
+        waiters.resize_with(nthreads, || CachePadded::new(AtomicU32::new(0)));
         let mut activity = Vec::with_capacity(nthreads);
         activity.resize_with(nthreads, || CachePadded::new(AtomicU64::new(0)));
         let mut quiescent_streak = Vec::with_capacity(nthreads);
@@ -134,12 +167,16 @@ impl PopShared {
             local: local.into_boxed_slice(),
             shared: shared.into_boxed_slice(),
             counter: counter.into_boxed_slice(),
+            publish_word: publish_word.into_boxed_slice(),
+            waiters: waiters.into_boxed_slice(),
             activity: activity.into_boxed_slice(),
             quiescent_streak: quiescent_streak.into_boxed_slice(),
             registered: registered.into_boxed_slice(),
             gtid_of: gtid_of.into_boxed_slice(),
             stats,
             filter_quiescent,
+            publish_spin,
+            futex_wait: futex_wait && futex::supported(),
         }))
     }
 
@@ -233,7 +270,8 @@ impl PopShared {
     }
 
     /// The paper's `publishReservations` (Alg. 2 line 40): copy local →
-    /// shared, one fence, bump the publish counter. Async-signal-safe.
+    /// shared, one fence, bump the publish counter, wake parked waiters.
+    /// Async-signal-safe (atomics plus at most one `futex` syscall).
     pub(crate) fn publish_tid(&self, tid: usize) {
         let base = tid * self.slots;
         for s in 0..self.slots {
@@ -243,6 +281,16 @@ impl PopShared {
         // The single fence that replaces one-fence-per-read of classic HP.
         fence(Ordering::SeqCst);
         self.counter[tid].fetch_add(1, Ordering::Release);
+        if self.futex_wait {
+            // Dekker pairing with the waiter (module docs): the SeqCst
+            // word bump precedes the waiter-count load, so a waiter that
+            // missed this publish is observed here and woken. In yield
+            // mode no waiter ever parks, so the word is never touched.
+            self.publish_word[tid].fetch_add(1, Ordering::SeqCst);
+            if self.waiters[tid].load(Ordering::SeqCst) > 0 {
+                futex::wake_all(&self.publish_word[tid]);
+            }
+        }
         self.stats
             .shard(tid)
             .publishes
@@ -361,12 +409,25 @@ impl PopShared {
                 if !self.registered[t].load(Ordering::Acquire) {
                     break;
                 }
-                // Bounded spin, then yield: the pinged thread may be
-                // descheduled on an oversubscribed host, and its handler
+                // Bounded spin, then park (or yield): the pinged thread may
+                // be descheduled on an oversubscribed host, and its handler
                 // cannot run until it gets a CPU.
-                spins += 1;
-                if spins < SPIN_LIMIT {
+                spins = spins.saturating_add(1);
+                if spins <= self.publish_spin {
                     core::hint::spin_loop();
+                } else if self.futex_wait {
+                    // Announce, re-check, park (module docs: the SeqCst
+                    // announce/load pair with the publisher's bump/load, so
+                    // a publish between our re-check and the FUTEX_WAIT
+                    // either changes the word — EAGAIN — or wakes us).
+                    self.waiters[t].fetch_add(1, Ordering::SeqCst);
+                    let w = self.publish_word[t].load(Ordering::SeqCst);
+                    if self.counter[t].load(Ordering::Acquire) <= observed
+                        && self.registered[t].load(Ordering::Acquire)
+                    {
+                        futex::wait_timeout(&self.publish_word[t], w, PUBLISH_WAIT_TIMEOUT_NS);
+                    }
+                    self.waiters[t].fetch_sub(1, Ordering::SeqCst);
                 } else {
                     std::thread::yield_now();
                 }
@@ -435,9 +496,17 @@ impl Publisher for PopShared {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DEFAULT_PUBLISH_SPIN;
 
     fn mk(n: usize, slots: usize) -> &'static PopShared {
-        PopShared::leak(n, slots, Arc::new(DomainStats::new(n)), true)
+        PopShared::leak(
+            n,
+            slots,
+            Arc::new(DomainStats::new(n)),
+            true,
+            DEFAULT_PUBLISH_SPIN,
+            true,
+        )
     }
 
     #[test]
@@ -609,6 +678,146 @@ mod tests {
             total - ADAPTIVE_SKIP_AFTER - 1,
             "everything else takes the adaptive path"
         );
+    }
+
+    #[test]
+    fn resample_catches_out_of_bracket_reservation_and_accounting_balances() {
+        // The 64-count full re-check is the liveness defense for callers
+        // that reserve OUTSIDE an op bracket: the adaptive fast path never
+        // scans slots, so a stale local reservation goes unseen until the
+        // streak hits a multiple of ADAPTIVE_RESAMPLE_EVERY, where the
+        // full check must fail quiescence and reset the streak.
+        let p = mk(2, 1);
+        p.register(0, 100);
+        p.register(1, 101);
+        let mut scratch = Vec::new();
+        // Phase A: build the streak the slow way (full slot scans).
+        for _ in 0..ADAPTIVE_SKIP_AFTER {
+            p.ping_all_and_wait(0, &mut scratch);
+        }
+        // Protocol violation: a local reservation with no begin_op — the
+        // streak is NOT reset, so the adaptive path keeps skipping.
+        p.set_local(1, 0, 0xBAD);
+        // Phase B: every pass until the resample boundary takes the
+        // adaptive path, blind to the new reservation.
+        let blind = ADAPTIVE_RESAMPLE_EVERY - ADAPTIVE_SKIP_AFTER;
+        for _ in 0..blind {
+            p.ping_all_and_wait(0, &mut scratch);
+        }
+        let s = p.stats.snapshot();
+        assert_eq!(s.pings_skipped, ADAPTIVE_SKIP_AFTER);
+        assert_eq!(s.pings_elided_adaptive, blind);
+        // Phase C: streak == ADAPTIVE_RESAMPLE_EVERY forces the full
+        // check, which sees the non-zero local and pings + waits. The
+        // fake gtid makes the ping fail, so a helper publishes for the
+        // peer until the waiter (parked on the futex) is released.
+        let stop = Arc::new(AtomicBool::new(false));
+        let helper = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                while !stop.load(Ordering::Acquire) {
+                    p.publish_tid(1);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+        });
+        p.ping_all_and_wait(0, &mut scratch);
+        stop.store(true, Ordering::Release);
+        helper.join().unwrap();
+        let s = p.stats.snapshot();
+        // The resample pass is accounted as NEITHER a skip NOR an adaptive
+        // elision: every pass's peer decision lands in exactly one bucket.
+        let passes = ADAPTIVE_SKIP_AFTER + blind + 1;
+        assert_eq!(s.pings_skipped, ADAPTIVE_SKIP_AFTER, "no new skip");
+        assert_eq!(s.pings_elided_adaptive, blind, "no new elision");
+        assert_eq!(s.pings_sent, 0, "fake gtid: the ping attempt fails");
+        assert_eq!(
+            s.pings_sent + s.pings_skipped + s.pings_elided_adaptive,
+            passes - 1,
+            "one decision per pass; only the resample pass fell through"
+        );
+        // The failed full check reset the streak: the NEXT pass re-checks
+        // the slow way again (stale shared word from the helper's publish
+        // keeps it un-skippable) instead of resuming the adaptive path.
+        let stop = Arc::new(AtomicBool::new(false));
+        let helper = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                while !stop.load(Ordering::Acquire) {
+                    p.publish_tid(1);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+        });
+        p.ping_all_and_wait(0, &mut scratch);
+        stop.store(true, Ordering::Release);
+        helper.join().unwrap();
+        let s = p.stats.snapshot();
+        assert_eq!(
+            s.pings_elided_adaptive, blind,
+            "streak reset: no adaptive skip right after the failed resample"
+        );
+    }
+
+    #[test]
+    fn parked_waiter_wakes_on_cross_thread_publish() {
+        // Zero spin budget: the waiter parks on the futex immediately; a
+        // publish from another thread must wake it well before the wait
+        // timeout accumulates into seconds.
+        let p = PopShared::leak(2, 1, Arc::new(DomainStats::new(2)), true, 0, true);
+        p.register(0, 100);
+        p.register(1, 101);
+        // Peer 1 looks active with a reservation: not skippable, and the
+        // (failing, fake-gtid) ping leaves the waiter blocked on the
+        // publish counter.
+        p.note_active(1);
+        p.set_local(1, 0, 0xFEED);
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                // First publish delayed past the (zero) spin budget so the
+                // waiter parks; then keep publishing in case the first one
+                // raced ahead of the waiter's counter collection.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                while !stop.load(Ordering::Acquire) {
+                    p.publish_tid(1);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+        });
+        let mut scratch = Vec::new();
+        let t0 = std::time::Instant::now();
+        p.ping_all_and_wait(0, &mut scratch);
+        stop.store(true, Ordering::Release);
+        publisher.join().unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "parked waiter must be woken by the publish"
+        );
+        assert_eq!(p.collect_reserved(), vec![0xFEED]);
+    }
+
+    #[test]
+    fn yield_fallback_wait_completes_without_futex() {
+        let p = PopShared::leak(2, 1, Arc::new(DomainStats::new(2)), true, 4, false);
+        p.register(0, 100);
+        p.register(1, 101);
+        p.note_active(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let publisher = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                while !stop.load(Ordering::Acquire) {
+                    p.publish_tid(1);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+        });
+        let mut scratch = Vec::new();
+        p.ping_all_and_wait(0, &mut scratch);
+        stop.store(true, Ordering::Release);
+        publisher.join().unwrap();
     }
 
     #[test]

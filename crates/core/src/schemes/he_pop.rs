@@ -67,7 +67,14 @@ impl Smr for HazardEraPop {
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
         let base = DomainBase::new(cfg);
-        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats), true);
+        let pop = PopShared::leak(
+            n,
+            base.cfg.slots,
+            Arc::clone(&base.stats),
+            true,
+            base.cfg.publish_spin,
+            base.cfg.futex_wait,
+        );
         let publisher = register_publisher(pop);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {

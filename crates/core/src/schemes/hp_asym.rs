@@ -118,7 +118,14 @@ impl Smr for HazardPtrAsym {
         // Quiescent filtering stays OFF — the reservations this barrier
         // orders live in `self.shared`, not in the PopShared slots, so
         // every handler execution is load-bearing.
-        let barrier = PopShared::leak(n, 0, Arc::clone(&base.stats), false);
+        let barrier = PopShared::leak(
+            n,
+            0,
+            Arc::clone(&base.stats),
+            false,
+            base.cfg.publish_spin,
+            base.cfg.futex_wait,
+        );
         let publisher = register_publisher(barrier);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {

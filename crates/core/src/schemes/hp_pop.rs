@@ -79,7 +79,14 @@ impl Smr for HazardPtrPop {
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
         let base = DomainBase::new(cfg);
-        let pop = PopShared::leak(n, base.cfg.slots, Arc::clone(&base.stats), true);
+        let pop = PopShared::leak(
+            n,
+            base.cfg.slots,
+            Arc::clone(&base.stats),
+            true,
+            base.cfg.publish_spin,
+            base.cfg.futex_wait,
+        );
         let publisher = register_publisher(pop);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
@@ -333,6 +340,61 @@ mod tests {
         assert_eq!(s.unreclaimed_nodes(), 0, "skipping must not block frees");
         hold.store(false, Ordering::Release);
         idler.join().unwrap();
+        drop(reg0);
+    }
+
+    #[test]
+    fn parked_reclaimer_is_woken_by_pinged_readers_handler() {
+        // Zero spin budget: the reclaimer parks on the reader's publish
+        // word immediately after pinging. The reader's signal handler must
+        // publish and FUTEX_WAKE the reclaimer — the pass completes well
+        // before the wait-timeout backstop could accumulate.
+        let smr = HazardPtrPop::new(
+            SmrConfig::for_tests(2)
+                .with_reclaim_freq(4)
+                .with_publish_spin(0),
+        );
+        let reg0 = smr.register(0);
+        let hot = alloc(&smr, 11);
+        let src = Arc::new(AtomicPtr::new(hot));
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let src = Arc::clone(&src);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                let _ = smr.protect(1, 0, &src).unwrap();
+                tx.send(()).unwrap();
+                while hold.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+        rx.recv().unwrap();
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        let t0 = std::time::Instant::now();
+        smr.flush(0);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "handler wake must release the parked reclaimer"
+        );
+        let s = smr.stats().snapshot();
+        assert!(s.pings_sent >= 1, "reader was pinged");
+        assert!(s.publishes >= 1, "handler published");
+        assert_eq!(s.unreclaimed_nodes(), 1, "reservation honored");
+        hold.store(false, Ordering::Release);
+        reader.join().unwrap();
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
         drop(reg0);
     }
 

@@ -19,18 +19,25 @@
 //! restarts of long-running read operations under reclamation pressure
 //! (the paper's Figure 4 effect).
 
-use core::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{
+    fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 use pop_runtime::signal::{ping_gtid, register_publisher};
-use pop_runtime::{Publisher, PublisherHandle};
+use pop_runtime::{futex, Publisher, PublisherHandle};
 
 use crate::base::{free_unreserved, push_retired, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
 use crate::header::{unmark_word, Header, Retired};
 use crate::smr::{ReadResult, Restart, Smr};
 use crate::stats::DomainStats;
+
+/// Phase-2 park timeout: short, because two of the five exit conditions
+/// (peer went quiescent, peer began a write) are reached without any
+/// progress-word wake.
+const NBR_WAIT_TIMEOUT_NS: u64 = 100_000;
 
 struct ThreadState {
     retire: RetireSlot,
@@ -51,6 +58,14 @@ struct NbrShared {
     in_write: Box<[CachePadded<AtomicBool>]>,
     /// Restart acknowledgements.
     restart_seq: Box<[CachePadded<AtomicU64>]>,
+    /// 32-bit futex key bumped on every restart acknowledgement; phase-2
+    /// waiters park on it after their spin budget. The other phase-2 exits
+    /// (peer went quiescent / entered a write phase) never wake the word —
+    /// the wait's timeout is the liveness backstop for those.
+    progress: Box<[CachePadded<AtomicU32>]>,
+    /// Waiters parked (or about to park) on `progress[t]`; the
+    /// acknowledging thread skips the wake syscall when zero.
+    wait_flag: Box<[CachePadded<AtomicU32>]>,
     /// Operation sequence numbers (bumped each `begin_op`): a change proves
     /// the thread went quiescent — equivalent to a restart for safety.
     op_seq: Box<[CachePadded<AtomicU64>]>,
@@ -64,6 +79,11 @@ impl NbrShared {
         fn padded_u64(n: usize) -> Box<[CachePadded<AtomicU64>]> {
             let mut v = Vec::with_capacity(n);
             v.resize_with(n, || CachePadded::new(AtomicU64::new(0)));
+            v.into_boxed_slice()
+        }
+        fn padded_u32(n: usize) -> Box<[CachePadded<AtomicU32>]> {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, || CachePadded::new(AtomicU32::new(0)));
             v.into_boxed_slice()
         }
         fn padded_bool(n: usize) -> Box<[CachePadded<AtomicBool>]> {
@@ -85,6 +105,8 @@ impl NbrShared {
             in_op: padded_bool(nthreads),
             in_write: padded_bool(nthreads),
             restart_seq: padded_u64(nthreads),
+            progress: padded_u32(nthreads),
+            wait_flag: padded_u32(nthreads),
             op_seq: padded_u64(nthreads),
             registered: registered.into_boxed_slice(),
             gtid_of: gtid_of.into_boxed_slice(),
@@ -129,7 +151,8 @@ pub struct NbrPlus {
 }
 
 impl NbrPlus {
-    /// Consumes a pending neutralization, acknowledging the restart.
+    /// Consumes a pending neutralization, acknowledging the restart (and
+    /// waking any reclaimer parked on this thread's progress word).
     #[inline]
     fn consume_neutralization(&self, tid: usize) -> bool {
         let sh = self.shared;
@@ -137,6 +160,15 @@ impl NbrPlus {
             && sh.neutralized[tid].swap(false, Ordering::AcqRel)
         {
             sh.restart_seq[tid].fetch_add(1, Ordering::Release);
+            if self.base.cfg.futex_wait && futex::supported() {
+                // Dekker with the phase-2 waiter: SeqCst bump before the
+                // wait-flag load, so a parked reclaimer is always woken.
+                // In yield mode no waiter parks; skip the bookkeeping.
+                sh.progress[tid].fetch_add(1, Ordering::SeqCst);
+                if sh.wait_flag[tid].load(Ordering::SeqCst) > 0 {
+                    futex::wake_all(&sh.progress[tid]);
+                }
+            }
             self.base
                 .stats
                 .shard(tid)
@@ -209,6 +241,13 @@ impl NbrPlus {
 
         // Phase 2: wait until every peer provably holds no read-phase
         // pointer predating our unlinks (see module docs for the cases).
+        // Bounded spin (SmrConfig::publish_spin) then park on the peer's
+        // progress word: a restart ack wakes us promptly; the other exits
+        // (quiescent / fresh op / write phase / deregistered) never wake
+        // the word, so the wait's timeout — not the wake — is their
+        // detection latency bound.
+        let spin_limit = self.base.cfg.publish_spin;
+        let use_futex = self.base.cfg.futex_wait && futex::supported();
         for t in 0..sh.nthreads {
             if seq0[t] == SKIP {
                 continue;
@@ -230,11 +269,17 @@ impl NbrPlus {
                 if sh.op_seq[t].load(Ordering::Acquire) != ops0[t] {
                     break; // went quiescent and began a fresh operation
                 }
-                // Bounded spin then yield: the peer may be descheduled on
-                // an oversubscribed host.
-                spins += 1;
-                if spins < 128 {
+                spins = spins.saturating_add(1);
+                if spins <= spin_limit {
                     core::hint::spin_loop();
+                } else if use_futex {
+                    // An ack between the word read and the FUTEX_WAIT
+                    // either changes the word (EAGAIN) or sees our flag
+                    // and wakes; non-ack exits ride the timeout.
+                    sh.wait_flag[t].fetch_add(1, Ordering::SeqCst);
+                    let w = sh.progress[t].load(Ordering::SeqCst);
+                    futex::wait_timeout(&sh.progress[t], w, NBR_WAIT_TIMEOUT_NS);
+                    sh.wait_flag[t].fetch_sub(1, Ordering::SeqCst);
                 } else {
                     std::thread::yield_now();
                 }

@@ -64,6 +64,9 @@ pub struct ShardStats {
     pub blocks_kept_whole: AtomicU64,
     /// Orphaned nodes adopted from the domain list at registration.
     pub orphans_adopted: AtomicU64,
+    /// Orphaned nodes stolen by reclaimer passes (sweep-time adoption,
+    /// which drains orphans even on static thread memberships).
+    pub orphans_stolen: AtomicU64,
     /// Signals sent by reclaimers (`pingAllToPublish`).
     pub pings_sent: AtomicU64,
     /// Pings elided because the target was provably quiescent with empty
@@ -187,6 +190,9 @@ impl DomainStats {
             out.orphans_adopted = out
                 .orphans_adopted
                 .wrapping_add(s.orphans_adopted.load(Ordering::Relaxed));
+            out.orphans_stolen = out
+                .orphans_stolen
+                .wrapping_add(s.orphans_stolen.load(Ordering::Relaxed));
             out.pings_sent = out
                 .pings_sent
                 .wrapping_add(s.pings_sent.load(Ordering::Relaxed));
@@ -240,6 +246,8 @@ pub struct StatsSnapshot {
     pub blocks_kept_whole: u64,
     /// See [`ShardStats::orphans_adopted`].
     pub orphans_adopted: u64,
+    /// See [`ShardStats::orphans_stolen`].
+    pub orphans_stolen: u64,
     /// See [`ShardStats::pings_sent`].
     pub pings_sent: u64,
     /// See [`ShardStats::pings_skipped`].

@@ -1,0 +1,130 @@
+//! Thin, async-signal-safe `futex(2)` wrappers for publish-wait parking.
+//!
+//! Publish-on-ping reclaimers wait for pinged peers' signal handlers to
+//! bump a publish counter. A bounded spin followed by `yield_now` burns a
+//! scheduler quantum per retry on oversubscribed hosts; parking on a
+//! `FUTEX_WAIT` keyed to a per-thread 32-bit publish word lets the kernel
+//! wake the reclaimer the moment the handler publishes (`FUTEX_WAKE`),
+//! with no quantum burned in between.
+//!
+//! Both operations are single syscalls on pre-existing atomics — no
+//! allocation, no locks — so [`wake_all`] is safe to call from the ping
+//! signal handler. On non-Linux targets the module degrades to the
+//! portable behavior: [`supported`] is `false`, [`wait_timeout`] yields,
+//! and [`wake_all`] is a no-op, so callers can use one code path.
+//!
+//! All waits take a timeout: the waiter's exit condition may become true
+//! through a path that never wakes the word (e.g. a peer deregistering
+//! after the waiter parked, or signal delivery failing), so the timeout —
+//! not the wake — is the liveness backstop. `EINTR`/`EAGAIN` are simply
+//! returned to the caller's re-check loop.
+
+use core::sync::atomic::AtomicU32;
+
+/// Whether parking on a futex is available on this target.
+#[inline]
+pub fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// Parks the calling thread until `word != expected`, a wake arrives, the
+/// timeout elapses, or a signal interrupts — whichever happens first.
+/// Spurious returns are expected; callers re-check their condition.
+#[cfg(target_os = "linux")]
+pub fn wait_timeout(word: &AtomicU32, expected: u32, timeout_ns: u64) {
+    let ts = libc::timespec {
+        tv_sec: (timeout_ns / 1_000_000_000) as libc::c_long,
+        tv_nsec: (timeout_ns % 1_000_000_000) as libc::c_long,
+    };
+    // SAFETY: `word` outlives the call and is 4-byte aligned (AtomicU32);
+    // the kernel only reads the timespec.
+    unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            word.as_ptr(),
+            libc::FUTEX_WAIT | libc::FUTEX_PRIVATE_FLAG,
+            expected,
+            &ts as *const libc::timespec,
+        );
+    }
+}
+
+/// Portable fallback: donate the quantum instead of parking.
+#[cfg(not(target_os = "linux"))]
+pub fn wait_timeout(_word: &AtomicU32, _expected: u32, _timeout_ns: u64) {
+    std::thread::yield_now();
+}
+
+/// Wakes every thread parked on `word`. Async-signal-safe (one syscall).
+#[cfg(target_os = "linux")]
+pub fn wake_all(word: &AtomicU32) {
+    // SAFETY: `word` outlives the call; FUTEX_WAKE reads no user memory
+    // beyond the address itself.
+    unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            word.as_ptr(),
+            libc::FUTEX_WAKE | libc::FUTEX_PRIVATE_FLAG,
+            i32::MAX,
+        );
+    }
+}
+
+/// Portable fallback: nothing is ever parked, so nothing to wake.
+#[cfg(not(target_os = "linux"))]
+pub fn wake_all(_word: &AtomicU32) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn wait_returns_immediately_on_stale_expected() {
+        // Word already differs from `expected`: FUTEX_WAIT must fail with
+        // EAGAIN instead of sleeping out the full timeout.
+        let word = AtomicU32::new(7);
+        let t0 = Instant::now();
+        wait_timeout(&word, 3, 200_000_000);
+        assert!(
+            t0.elapsed() < Duration::from_millis(150),
+            "stale expected value must not park"
+        );
+    }
+
+    #[test]
+    fn wake_unparks_a_waiter_before_timeout() {
+        let word = Arc::new(AtomicU32::new(0));
+        let t0 = Instant::now();
+        let waiter = std::thread::spawn({
+            let word = Arc::clone(&word);
+            move || {
+                while word.load(Ordering::Acquire) == 0 {
+                    wait_timeout(&word, 0, 2_000_000_000);
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        word.store(1, Ordering::Release);
+        wake_all(&word);
+        waiter.join().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(1500),
+            "wake must beat the 2s timeout"
+        );
+    }
+
+    #[test]
+    fn timeout_is_a_liveness_backstop() {
+        // Nobody ever wakes the word; the wait must still return.
+        let word = AtomicU32::new(0);
+        let t0 = Instant::now();
+        wait_timeout(&word, 0, 30_000_000);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "timed wait must return without a wake"
+        );
+    }
+}

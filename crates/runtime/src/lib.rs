@@ -14,6 +14,10 @@
 //!   memory barrier used by the Folly-style `HPAsym` baseline, with runtime
 //!   feature detection (sandboxed kernels often lack the syscall; callers
 //!   fall back to the signal path).
+//! * [`futex`] — `FUTEX_WAIT`/`FUTEX_WAKE` wrappers keyed on per-thread
+//!   publish words, so reclaimers waiting for a pinged peer's handler park
+//!   in the kernel instead of burning scheduler quanta (`yield_now`
+//!   fallback off Linux).
 //! * [`affinity`] — best-effort CPU pinning for benchmark threads.
 //!
 //! ## Async-signal-safety contract
@@ -27,6 +31,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod affinity;
+pub mod futex;
 pub mod membarrier;
 pub mod registry;
 pub mod signal;

@@ -40,18 +40,20 @@ pub struct RunRecord {
     pub pings_elided_adaptive: u64,
     /// Retirement batches sealed (retires per stats RMW = ops / batches).
     pub batches_sealed: u64,
+    /// Orphans stolen by reclaimer passes (sweep-time adoption).
+    pub orphans_stolen: u64,
     /// NBR restarts observed.
     pub restarts: u64,
 }
 
 impl RunRecord {
     /// CSV header matching [`RunRecord::csv_row`].
-    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,restarts";
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,orphans_stolen,restarts";
 
     /// Serializes this record as a CSV row tagged with `figure`.
     pub fn csv_row(&self, figure: &str) -> String {
         format!(
-            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{}",
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{}",
             self.ds,
             self.scheme,
             self.threads,
@@ -69,6 +71,7 @@ impl RunRecord {
             self.pings_skipped,
             self.pings_elided_adaptive,
             self.batches_sealed,
+            self.orphans_stolen,
             self.restarts,
         )
     }
@@ -148,6 +151,7 @@ mod tests {
             pings_skipped: 1,
             pings_elided_adaptive: 2,
             batches_sealed: 4,
+            orphans_stolen: 0,
             restarts: 0,
         }
     }

@@ -38,6 +38,14 @@ pub struct cpu_set_t {
     bits: [c_ulong; 16],
 }
 
+/// Kernel `struct timespec` (LP64 layout: two signed 64-bit fields).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: c_long,
+    pub tv_nsec: c_long,
+}
+
 pub const SIGUSR1: c_int = 10;
 pub const SA_RESTART: c_int = 0x10000000;
 pub const _SC_NPROCESSORS_ONLN: c_int = 84;
@@ -48,6 +56,17 @@ pub const SYS_membarrier: c_long = 324;
 pub const SYS_membarrier: c_long = 283;
 #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub const SYS_membarrier: c_long = -1;
+
+#[cfg(target_arch = "x86_64")]
+pub const SYS_futex: c_long = 202;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_futex: c_long = 98;
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub const SYS_futex: c_long = -1;
+
+pub const FUTEX_WAIT: c_int = 0;
+pub const FUTEX_WAKE: c_int = 1;
+pub const FUTEX_PRIVATE_FLAG: c_int = 128;
 
 /// Clears every CPU from the set (glibc implements this as a macro).
 #[allow(clippy::missing_safety_doc)]
@@ -101,5 +120,22 @@ mod tests {
         let a = unsafe { __errno_location() };
         let b = unsafe { __errno_location() };
         assert_eq!(a, b);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn futex_wake_on_unwatched_word_is_harmless() {
+        // FUTEX_WAKE with no waiters must return 0 (threads woken), proving
+        // the declared syscall number and operand layout are correct.
+        let word: u32 = 0;
+        let r = unsafe {
+            syscall(
+                SYS_futex,
+                &word as *const u32,
+                FUTEX_WAKE | FUTEX_PRIVATE_FLAG,
+                i32::MAX,
+            )
+        };
+        assert_eq!(r, 0, "wake with no waiters must wake zero threads");
     }
 }
