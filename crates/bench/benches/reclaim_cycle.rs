@@ -285,6 +285,45 @@ fn sweep_filter_sweep(c: &mut Criterion) {
     }
 }
 
+/// Arena-binned fill vs the single fill block over the interleaved-arena
+/// churn workload (PR 4): four address-ascending allocation bursts retired
+/// round-robin. Unbinned fill blocks interleave the four address streams
+/// (non-monotone — every decided block pays a real sort); binned fills
+/// separate them so sealed blocks are born monotone and the merge-join
+/// sweep's sort detection is free. Each burst (`NODES / STREAMS` nodes at
+/// ~48 B) must span more than one `ARENA_SHIFT` (64 KiB) region — smaller
+/// bursts would share one arena and no routing could separate them.
+fn sweep_filter_binned_sweep(c: &mut Criterion) {
+    const NODES: usize = 8192;
+    const STREAMS: usize = 4;
+    for &rsize in &[64usize, 512] {
+        let mut g = c.benchmark_group(format!("sweep_filter_binned_churn_{rsize}"));
+        for bins in [1usize, 8] {
+            let mut bench = SweepBench::with_bins(bins);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("bins_{bins}")),
+                &rsize,
+                |b, _| {
+                    b.iter(|| {
+                        let ptrs = bench.fill_interleaved(NODES, STREAMS);
+                        let mut reserved: Vec<u64> = ptrs
+                            .iter()
+                            .copied()
+                            .step_by((NODES / rsize).max(1))
+                            .take(rsize)
+                            .collect();
+                        reserved.sort_unstable();
+                        let freed = bench.sweep_merge_join(&reserved);
+                        assert_eq!(freed, ptrs.len() - reserved.len());
+                        bench.drain();
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
 fn benches(c: &mut Criterion) {
     reclaim_cycle::<Ebr>(c);
     reclaim_cycle::<Ibr>(c);
@@ -302,6 +341,7 @@ criterion_group!(
     pass_cost_sweep,
     retire_throughput_sweep,
     epoch_advance_sweep,
-    sweep_filter_sweep
+    sweep_filter_sweep,
+    sweep_filter_binned_sweep
 );
 criterion_main!(group);

@@ -7,11 +7,16 @@
 //! * **Sweep filter cost** (ns/node) at reserved-set sizes 4 / 64 / 512
 //!   for the merge-join path vs the per-node binary-search baseline, plus
 //!   the speedup ratio.
+//! * **Arena-binned fill delta** (PR 4): the interleaved-arena churn
+//!   workload (four address-ascending bursts retired round-robin) swept
+//!   once per fill, with one fill block vs eight arena bins — plus the
+//!   monotone sealed-block share each side achieves
+//!   (`blocks_sealed_monotone / batches_sealed`).
 //! * **Publish wait wake latency**: a full `ping → handler publish → wake`
 //!   handshake against one busy in-op peer, futex-parked vs yield.
 //!
 //! Usage: `bench_smoke [--out PATH] [--iters N]` (defaults:
-//! `BENCH_pr3.json`, 60 iterations per measurement).
+//! `BENCH_pr4.json`, 60 iterations per measurement).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
@@ -59,6 +64,42 @@ fn churn_ns_per_node(merge_join: bool, rsize: usize, iters: u32) -> f64 {
         }
     }
     total_ns as f64 / iters as f64 / SWEEP_NODES as f64
+}
+
+/// Mean ns/node for one merge-join churn sweep over the interleaved-arena
+/// workload with `bins` fill bins, plus the monotone sealed-block share.
+/// The bursts are sized so each spans its own `ARENA_SHIFT` region —
+/// small bursts would share one arena and nothing could separate them.
+fn binned_churn_ns_per_node(bins: usize, rsize: usize, iters: u32) -> (f64, f64) {
+    const STREAMS: usize = 4;
+    const NODES: usize = SWEEP_NODES * 8;
+    let mut bench = SweepBench::with_bins(bins);
+    let mut total_ns = 0u128;
+    for i in 0..iters + 2 {
+        let ptrs = bench.fill_interleaved(NODES, STREAMS);
+        let mut reserved: Vec<u64> = ptrs
+            .iter()
+            .copied()
+            .step_by((NODES / rsize).max(1))
+            .take(rsize)
+            .collect();
+        reserved.sort_unstable();
+        let t0 = Instant::now();
+        let freed = bench.sweep_merge_join(&reserved);
+        let dt = t0.elapsed();
+        assert_eq!(freed, ptrs.len() - reserved.len());
+        bench.drain();
+        if i >= 2 {
+            total_ns += dt.as_nanos();
+        }
+    }
+    let (monotone, sealed) = bench.monotone_share();
+    let share = if sealed == 0 {
+        0.0
+    } else {
+        monotone as f64 / sealed as f64
+    };
+    (total_ns as f64 / iters as f64 / NODES as f64, share)
 }
 
 /// Mean ns/node re-sweeping a fully pinned list of `rsize` nodes — the
@@ -150,7 +191,7 @@ fn wait_wake_ns(futex: bool, iters: u32) -> f64 {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr3.json");
+    let mut out_path = String::from("BENCH_pr4.json");
     let mut iters: u32 = 60;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -169,6 +210,23 @@ fn main() {
             }
         }
     }
+
+    // Monotone sealed-block share on the plain sequential-fill workload
+    // (fresh ascending allocations + LIFO drain/refill cycles) with the
+    // default bin count — the ISSUE 4 acceptance number (target ≥ 0.8).
+    // Measured FIRST: the share reflects allocator address order, and the
+    // churn benches below deliberately fragment the heap.
+    let seq_share = {
+        let mut bench = SweepBench::with_bins(4);
+        for _ in 0..8 {
+            bench.fill(SWEEP_NODES);
+            let freed = bench.sweep_merge_join(&[]);
+            assert_eq!(freed, SWEEP_NODES);
+        }
+        let (monotone, sealed) = bench.monotone_share();
+        monotone as f64 / sealed.max(1) as f64
+    };
+    println!("sequential_fill monotone share (bins=4): {seq_share:.2}");
 
     let mut sweeps = String::new();
     for (i, &rsize) in [4usize, 64, 512].iter().enumerate() {
@@ -199,13 +257,40 @@ fn main() {
         .unwrap();
     }
 
+    let mut binned = String::new();
+    for (i, &rsize) in [64usize, 512].iter().enumerate() {
+        let (ns_1, share_1) = binned_churn_ns_per_node(1, rsize, iters);
+        let (ns_8, share_8) = binned_churn_ns_per_node(8, rsize, iters);
+        let ratio = ns_1 / ns_8;
+        println!(
+            "binned_fill rsize={rsize:>3}: bins=1 {ns_1:>6.2} ns/node \
+             (monotone {share_1:.2}) vs bins=8 {ns_8:>6.2} ns/node \
+             (monotone {share_8:.2}) — {ratio:.2}x"
+        );
+        if i > 0 {
+            binned.push(',');
+        }
+        write!(
+            binned,
+            "\n    {{\"reserved\": {rsize}, \
+             \"bins1_ns_per_node\": {ns_1:.2}, \
+             \"bins1_monotone_share\": {share_1:.3}, \
+             \"bins8_ns_per_node\": {ns_8:.2}, \
+             \"bins8_monotone_share\": {share_8:.3}, \
+             \"binned_speedup\": {ratio:.3}}}"
+        )
+        .unwrap();
+    }
+
     let wake_futex = wait_wake_ns(true, iters);
     let wake_yield = wait_wake_ns(false, iters);
     println!("wait_wake: futex {wake_futex:.0} ns, yield {wake_yield:.0} ns");
 
     let json = format!(
-        "{{\n  \"bench\": \"pr3_reclaimer_pass\",\n  \"iters\": {iters},\n  \
+        "{{\n  \"bench\": \"pr4_retire_pipeline\",\n  \"iters\": {iters},\n  \
          \"sweep_filter\": [{sweeps}\n  ],\n  \
+         \"binned_fill\": [{binned}\n  ],\n  \
+         \"sequential_fill_monotone_share\": {seq_share:.3},\n  \
          \"wait_wake_ns\": {{\"futex\": {wake_futex:.0}, \"yield\": {wake_yield:.0}}}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");

@@ -181,6 +181,7 @@ fn run_robustness(opts: &SweepOptions, csv: &Path) {
             pings_skipped: stats.pings_skipped,
             pings_elided_adaptive: stats.pings_elided_adaptive,
             batches_sealed: stats.batches_sealed,
+            blocks_sealed_monotone: stats.blocks_sealed_monotone,
             orphans_stolen: stats.orphans_stolen,
             restarts: stats.restarts,
         }

@@ -4,12 +4,40 @@
 //!
 //! ## Batch lifecycle (fill → seal/sort → range-test → merge-join → recycle)
 //!
-//! Retirement is batched through [`RetireList`]:
+//! Retirement is batched through [`RetireList`]. A node's whole life in
+//! the pipeline, including the orphan detour a thread's death takes:
 //!
-//! 1. **Fill** — `retire` appends to a thread-private
-//!    [`RetireBatch`](crate::header::RetireBatch) block: one slot write and
-//!    a length bump, no stats RMW, no threshold test.
-//! 2. **Seal / sort** — when the block reaches the configured threshold
+//! ```text
+//!            retire(ptr)
+//!                │  bin = (ptr >> ARENA_SHIFT) & (bins-1)
+//!                ▼
+//!   ┌─ fill bins (thread-private) ─┐        per-block sort cache
+//!   │ [bin 0][bin 1][bin 2][bin 3] │     (extrema + permutation)
+//!   └──────────────┬───────────────┘               │
+//!                  │ bin reaches retire_batch      │ born monotone:
+//!                  ▼                               │ sort costs nothing
+//!        sealed blocks (Vec<Box<RetireBatch>>) ◄───┘
+//!           │              ▲      ▲
+//!           │ unregister   │      │ adopt/steal ≤ 8 blocks, caches
+//!           ▼              │      │ and extrema intact (O(1)/block)
+//!        domain orphan list ──────┘
+//!           │
+//!           ▼ sweep: range-test ▸ merge-join ▸ compact
+//!        freed │ kept (block untouched, cache reused) │ box → free pool
+//! ```
+//!
+//! 1. **Fill** — `retire` appends to one of a small array of
+//!    thread-private [`RetireBatch`](crate::header::RetireBatch) *fill
+//!    bins*, routed by the node pointer's high bits
+//!    (`ptr >> ARENA_SHIFT`, [`crate::config::SmrConfig::retire_bins`]
+//!    bins; 1 = the historical single fill block): one slot write and a
+//!    length bump, no stats RMW, no threshold test. Binning means nodes
+//!    from different allocator arenas — a fresh bump region interleaved
+//!    with LIFO free-list refills — fill *different* blocks, so most
+//!    blocks are born address-monotone and the merge-join sweep's sort
+//!    detection gets them for free (`blocks_sealed_monotone` counts the
+//!    share).
+//! 2. **Seal / sort** — when a bin reaches the configured threshold
 //!    ([`crate::config::SmrConfig::retire_batch`], never above
 //!    `reclaim_freq`), it moves into the list's sealed-block vector as one
 //!    pointer. Only here do the amortized costs run: one `retired_nodes`
@@ -35,13 +63,17 @@
 //! 5. **Free/recycle** — emptied block boxes return to the list's free
 //!    pool, so steady-state retire + reclaim performs **zero heap
 //!    allocations** once the pools reach working size. Flush paths seal
-//!    partial blocks first (inside the sweep), and `unregister` seals and
-//!    hands leftovers to the domain orphan list
-//!    ([`DomainBase::orphan_remaining`]) — partial batches are never
-//!    leaked. Joining threads adopt a bounded orphan chunk back
+//!    partial bins first (inside the sweep), and `unregister` seals every
+//!    non-empty bin and parks the **sealed blocks themselves** on the
+//!    domain orphan list ([`DomainBase::orphan_remaining`]) — no node is
+//!    ever parked unsealed (partial batches are never leaked), no record
+//!    is copied, and each block keeps its sort cache and extrema through
+//!    the park. Joining threads adopt a bounded block chunk back
 //!    ([`DomainBase::adopt_orphan_chunk`]), and every sweep steals up to
-//!    one more chunk ([`DomainBase::steal_orphan_chunk`]) so orphans drain
-//!    even when no thread ever joins again.
+//!    one more chunk ([`DomainBase::steal_orphan_chunk`]) — O(1) per
+//!    block — so orphans drain even when no thread ever joins again, and
+//!    a stolen block range-tests from its surviving summary without
+//!    re-sorting.
 //!
 //! ## Epoch max-aggregation invariant
 //!
@@ -77,12 +109,34 @@ use crate::stats::DomainStats;
 // Keep masks pack one bit per block slot into a u32.
 const _: () = assert!(RETIRE_BATCH_CAP <= 32, "BlockPlan::Mask is a u32");
 
-/// Nodes a joining thread adopts from the domain orphan list at
-/// registration (first slice of the ROADMAP "Orphan handoff" item): enough
-/// to drain orphans under thread churn, small enough that registration
-/// stays cheap and the adopter's first pass is not dominated by foreign
-/// garbage.
-const ORPHAN_ADOPT_MAX: usize = 8 * RETIRE_BATCH_CAP;
+/// Blocks a joining thread adopts from the domain orphan list at
+/// registration — and a sweep steals per pass. Bounded so registration
+/// stays cheap and a pass is not dominated by foreign garbage; at most
+/// `8 × RETIRE_BATCH_CAP` nodes per chunk.
+const ORPHAN_CHUNK_BLOCKS: usize = 8;
+
+/// Node-count bound of one orphan chunk (tests and docs).
+#[cfg(test)]
+const ORPHAN_ADOPT_MAX: usize = ORPHAN_CHUNK_BLOCKS * RETIRE_BATCH_CAP;
+
+/// Arena granularity of the fill-bin routing: pointers sharing their
+/// `ptr >> ARENA_SHIFT` prefix — a 64 KiB region, the unit size class
+/// runs of real allocators hand out contiguously — land in the same fill
+/// bin, so one bin sees one arena's (mostly monotone) address stream.
+pub(crate) const ARENA_SHIFT: u32 = 16;
+
+/// What one seal event produced — the input to the amortized accounting
+/// ([`account_seal`]): block and node counts plus how many of the sealed
+/// blocks were address-monotone at seal time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct SealOutcome {
+    /// Nodes sealed.
+    pub nodes: usize,
+    /// Blocks sealed (a flush seals up to one per fill bin).
+    pub blocks: u64,
+    /// Of those, blocks whose slots were address-monotone.
+    pub monotone: u64,
+}
 
 /// A per-thread batched retire list (see the module-level lifecycle).
 ///
@@ -90,8 +144,12 @@ const ORPHAN_ADOPT_MAX: usize = 8 * RETIRE_BATCH_CAP;
 pub(crate) struct RetireList {
     /// Seal threshold (`1..=RETIRE_BATCH_CAP`).
     seal: usize,
-    /// Nodes held in sealed blocks (excludes the fill block).
+    /// Bin-routing mask (`bins − 1`; bins is a power of two).
+    bin_mask: u64,
+    /// Nodes held in sealed blocks (excludes the fill bins).
     sealed_nodes: usize,
+    /// Nodes held across the fill bins (kept so [`Self::len`] is O(1)).
+    fill_nodes: usize,
     /// Nodes sealed since the last reclaim trigger (or pass). Paces
     /// [`push_retired`]'s trigger to one pass per `reclaim_freq` *new*
     /// retires: survivors pinning `len` above the threshold (a stalled
@@ -100,33 +158,41 @@ pub(crate) struct RetireList {
     sealed_since_trigger: usize,
     /// Sealed blocks, oldest first. Deliberately boxed (not `vec_box`
     /// noise): a sealed block is handed around *as one pointer* — between
-    /// the fill slot, this vector, the free pool, and Hyaline's global
-    /// batches — so moves are 8 bytes, not 500+.
+    /// the fill bins, this vector, the free pool, the domain orphan list
+    /// and Hyaline's global batches — so moves are 8 bytes, not 500+.
     #[allow(clippy::vec_box)]
     blocks: Vec<Box<RetireBatch>>,
-    /// The block currently being filled.
-    fill: Box<RetireBatch>,
+    /// The fill bins, indexed by `(ptr >> ARENA_SHIFT) & bin_mask`. One
+    /// entry when binning is off ([`crate::config::SmrConfig::retire_bins`]
+    /// = 1) — byte-identical routing to the historical single fill block.
+    #[allow(clippy::vec_box)]
+    fills: Vec<Box<RetireBatch>>,
     /// Recycled empty blocks (the allocation-free steady state).
     #[allow(clippy::vec_box)]
     free: Vec<Box<RetireBatch>>,
 }
 
 impl RetireList {
-    pub(crate) fn new(seal: usize) -> Self {
+    pub(crate) fn new(seal: usize, bins: usize) -> Self {
+        let bins = crate::config::normalize_bins(bins);
+        let mut fills = Vec::with_capacity(bins);
+        fills.resize_with(bins, RetireBatch::boxed);
         RetireList {
             seal: seal.clamp(1, RETIRE_BATCH_CAP),
+            bin_mask: bins as u64 - 1,
             sealed_nodes: 0,
+            fill_nodes: 0,
             sealed_since_trigger: 0,
             blocks: Vec::new(),
-            fill: RetireBatch::boxed(),
+            fills,
             free: Vec::new(),
         }
     }
 
-    /// Total nodes held (sealed blocks + fill block).
+    /// Total nodes held (sealed blocks + fill bins).
     #[inline]
     pub(crate) fn len(&self) -> usize {
-        self.sealed_nodes + self.fill.len()
+        self.sealed_nodes + self.fill_nodes
     }
 
     #[inline]
@@ -134,26 +200,41 @@ impl RetireList {
         self.len() == 0
     }
 
-    /// Hot-path append. Returns `Some(block_len)` when this push sealed a
-    /// block — the caller owes the amortized accounting ([`push_retired`]).
+    /// Which fill bin `ptr` routes to.
+    #[inline(always)]
+    fn bin_of(&self, ptr: u64) -> usize {
+        ((ptr >> ARENA_SHIFT) & self.bin_mask) as usize
+    }
+
+    /// Hot-path append: routes to the pointer's arena bin. Returns the
+    /// [`SealOutcome`] when this push sealed the bin — the caller owes the
+    /// amortized accounting ([`push_retired`]).
     #[inline]
-    pub(crate) fn push(&mut self, r: Retired) -> Option<usize> {
-        self.fill.push(r);
-        if self.fill.len() >= self.seal {
-            Some(self.seal_fill())
+    pub(crate) fn push(&mut self, r: Retired) -> Option<SealOutcome> {
+        let bin = self.bin_of(r.ptr() as u64);
+        self.fills[bin].push(r);
+        self.fill_nodes += 1;
+        if self.fills[bin].len() >= self.seal {
+            Some(self.seal_bin(bin))
         } else {
             None
         }
     }
 
-    fn seal_fill(&mut self) -> usize {
-        let n = self.fill.len();
+    fn seal_bin(&mut self, bin: usize) -> SealOutcome {
+        let n = self.fills[bin].len();
         let fresh = self.free.pop().unwrap_or_else(RetireBatch::boxed);
-        let full = core::mem::replace(&mut self.fill, fresh);
+        let full = core::mem::replace(&mut self.fills[bin], fresh);
+        let monotone = full.is_ptr_monotone();
         self.blocks.push(full);
         self.sealed_nodes += n;
+        self.fill_nodes -= n;
         self.sealed_since_trigger += n;
-        n
+        SealOutcome {
+            nodes: n,
+            blocks: 1,
+            monotone: monotone as u64,
+        }
     }
 
     /// Resets the trigger pacing — a pass just ran (or is about to), so
@@ -162,21 +243,29 @@ impl RetireList {
         self.sealed_since_trigger = 0;
     }
 
-    /// Seals a non-empty partial fill block (flush/unregister paths).
-    /// Returns the sealed count (0 if the fill block was empty).
-    pub(crate) fn seal_partial(&mut self) -> usize {
-        if self.fill.is_empty() {
-            0
-        } else {
-            self.seal_fill()
+    /// Seals every non-empty fill bin (flush/unregister paths): after
+    /// this, every held node sits in a sealed, summarized block — nothing
+    /// is ever handed onward unsealed. Returns the merged outcome
+    /// (`nodes == 0` if all bins were empty).
+    pub(crate) fn seal_partial(&mut self) -> SealOutcome {
+        let mut out = SealOutcome::default();
+        for bin in 0..self.fills.len() {
+            if !self.fills[bin].is_empty() {
+                let s = self.seal_bin(bin);
+                out.nodes += s.nodes;
+                out.blocks += s.blocks;
+                out.monotone += s.monotone;
+            }
         }
+        out
     }
 
     /// Moves every sealed block out (Hyaline hands them to its global
-    /// batch list). The caller must have sealed the fill block first.
+    /// batch list; `unregister` parks them on the domain orphan list).
+    /// The caller must have sealed the fill bins first.
     #[allow(clippy::vec_box)]
     pub(crate) fn take_blocks(&mut self) -> Vec<Box<RetireBatch>> {
-        debug_assert!(self.fill.is_empty(), "seal before taking blocks");
+        debug_assert!(self.fill_nodes == 0, "seal before taking blocks");
         self.sealed_nodes = 0;
         core::mem::take(&mut self.blocks)
     }
@@ -194,21 +283,13 @@ impl RetireList {
         self.sealed_nodes = 0;
     }
 
-    /// Appends already-accounted nodes (orphan adoption) directly into
-    /// sealed blocks, so a later `seal_partial` cannot recount them.
-    pub(crate) fn absorb(&mut self, nodes: impl IntoIterator<Item = Retired>) {
-        let mut b = self.free.pop().unwrap_or_else(RetireBatch::boxed);
-        for r in nodes {
-            if b.len() == RETIRE_BATCH_CAP {
-                self.sealed_nodes += b.len();
-                self.blocks.push(b);
-                b = self.free.pop().unwrap_or_else(RetireBatch::boxed);
-            }
-            b.push(r);
-        }
-        if b.is_empty() {
-            self.free.push(b);
-        } else {
+    /// Appends already-accounted *sealed blocks* (orphan adoption and
+    /// stealing) — each block is one pointer move; sort caches, extrema
+    /// and retire order inside every block survive intact, and a later
+    /// `seal_partial` cannot recount the members.
+    pub(crate) fn absorb_blocks(&mut self, blocks: impl IntoIterator<Item = Box<RetireBatch>>) {
+        for b in blocks {
+            debug_assert!(!b.is_empty(), "orphan blocks are never empty");
             self.sealed_nodes += b.len();
             self.blocks.push(b);
         }
@@ -224,8 +305,11 @@ impl RetireList {
             self.free.push(b);
         }
         self.sealed_nodes = 0;
-        while let Some(r) = self.fill.pop() {
-            f(r);
+        for fill in &mut self.fills {
+            while let Some(r) = fill.pop() {
+                self.fill_nodes -= 1;
+                f(r);
+            }
         }
     }
 }
@@ -242,8 +326,8 @@ unsafe impl Sync for RetireSlot {}
 unsafe impl Send for RetireSlot {}
 
 impl RetireSlot {
-    pub(crate) fn new(seal: usize) -> Self {
-        RetireSlot(UnsafeCell::new(RetireList::new(seal)))
+    pub(crate) fn new(seal: usize, bins: usize) -> Self {
+        RetireSlot(UnsafeCell::new(RetireList::new(seal, bins)))
     }
 
     /// # Safety
@@ -425,14 +509,17 @@ pub(crate) struct DomainBase {
     /// Quarantined (poisoned) nodes when `cfg.quarantine` is set.
     quarantine: Mutex<Vec<Retired>>,
     /// Retire-list leftovers from threads that unregistered while some of
-    /// their garbage was still reserved by others. Drained (bounded) by
-    /// joining threads via [`Self::adopt_orphan_chunk`] and by reclaimer
-    /// passes via [`Self::steal_orphan_chunk`]; any remainder is freed on
-    /// domain drop.
-    orphans: Mutex<Vec<Retired>>,
-    /// Lock-free length hint for `orphans`, maintained under its lock, so
-    /// every sweep can skip the mutex when no orphans exist (the common
-    /// case on stable memberships).
+    /// their garbage was still reserved by others, parked as the **sealed
+    /// blocks themselves** — sort caches and extrema intact, no record
+    /// copied. Drained (bounded, block-at-a-time) by joining threads via
+    /// [`Self::adopt_orphan_chunk`] and by reclaimer passes via
+    /// [`Self::steal_orphan_chunk`]; any remainder is freed on domain
+    /// drop.
+    #[allow(clippy::vec_box)]
+    orphans: Mutex<Vec<Box<RetireBatch>>>,
+    /// Lock-free *node*-count hint for `orphans`, maintained under its
+    /// lock, so every sweep can skip the mutex when no orphans exist (the
+    /// common case on stable memberships).
     orphan_hint: AtomicUsize,
 }
 
@@ -543,40 +630,56 @@ impl DomainBase {
         }
     }
 
-    /// Unregistration hand-off: seals the partial fill block (with its
-    /// amortized accounting — partial batches are never leaked) and parks
-    /// every remaining node on the domain orphan list.
+    /// Unregistration hand-off: seals every non-empty fill bin (with its
+    /// amortized accounting — no node is parked unsealed, partial batches
+    /// are never leaked) and parks the sealed blocks **whole** on the
+    /// domain orphan list: one pointer move per block, sort caches and
+    /// extrema intact, no per-node copying.
     pub(crate) fn orphan_remaining(&self, tid: usize, list: &mut RetireList) {
         seal_and_account(self, tid, list);
         if list.is_empty() {
             return;
         }
+        let nodes = list.len();
+        let blocks = list.take_blocks();
         let mut orphans = self.orphans.lock();
-        list.drain_all(|r| orphans.push(r));
-        self.orphan_hint.store(orphans.len(), Ordering::Relaxed);
+        // Parked newest-first so chunk steals drain oldest-first from the
+        // Vec TAIL — O(chunk) per steal, no front-shift of the remainder.
+        orphans.extend(blocks.into_iter().rev());
+        let hint = self.orphan_hint.load(Ordering::Relaxed) + nodes;
+        self.orphan_hint.store(hint, Ordering::Relaxed);
     }
 
-    /// Moves up to [`ORPHAN_ADOPT_MAX`] orphans into `list` (as sealed,
-    /// already-accounted blocks) and returns how many. The absorb runs
-    /// under the orphan lock so no intermediate buffer is needed.
+    /// Moves up to [`ORPHAN_CHUNK_BLOCKS`] orphaned blocks into `list`
+    /// (already accounted; oldest-first within a parked batch) and
+    /// returns the node count. Each
+    /// block is absorbed as one pointer — O(1) per block, its sort cache
+    /// untouched — so the adopter's next sweep range-tests stolen blocks
+    /// from their surviving summaries without re-sorting.
     fn drain_orphan_chunk(&self, list: &mut RetireList) -> usize {
         if self.orphan_hint.load(Ordering::Relaxed) == 0 {
             return 0;
         }
         let mut orphans = self.orphans.lock();
-        let n = orphans.len().min(ORPHAN_ADOPT_MAX);
-        if n == 0 {
+        let take = orphans.len().min(ORPHAN_CHUNK_BLOCKS);
+        if take == 0 {
             return 0;
         }
-        let at = orphans.len() - n;
-        list.absorb(orphans.drain(at..));
-        self.orphan_hint.store(orphans.len(), Ordering::Relaxed);
-        n
+        let at = orphans.len() - take;
+        let mut nodes = 0usize;
+        for b in &orphans[at..] {
+            nodes += b.len();
+        }
+        list.absorb_blocks(orphans.drain(at..));
+        let hint = self.orphan_hint.load(Ordering::Relaxed) - nodes;
+        self.orphan_hint.store(hint, Ordering::Relaxed);
+        nodes
     }
 
-    /// Registration-side orphan adoption: moves up to [`ORPHAN_ADOPT_MAX`]
-    /// orphaned nodes into the joining thread's retire list, bounding
-    /// orphan memory on long-lived domains with thread churn.
+    /// Registration-side orphan adoption: moves up to
+    /// [`ORPHAN_CHUNK_BLOCKS`] orphaned blocks into the joining thread's
+    /// retire list, bounding orphan memory on long-lived domains with
+    /// thread churn.
     pub(crate) fn adopt_orphan_chunk(&self, tid: usize, list: &mut RetireList) {
         let n = self.drain_orphan_chunk(list);
         if n > 0 {
@@ -588,7 +691,7 @@ impl DomainBase {
     }
 
     /// Reclaimer-side orphan stealing: every sweep adopts up to one
-    /// [`ORPHAN_ADOPT_MAX`] chunk, so orphans drain even when the thread
+    /// [`ORPHAN_CHUNK_BLOCKS`]-block chunk, so orphans drain even when the thread
     /// membership is static (registration-time adoption alone only helps
     /// under churn). The pass that steals filters the stolen nodes with
     /// its own keep predicate — exactly as safe as for its own garbage,
@@ -609,10 +712,10 @@ impl DomainBase {
         self.quarantine.lock().len()
     }
 
-    /// Number of parked orphans (test observability).
+    /// Number of parked orphan nodes (test observability).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn orphan_len(&self) -> usize {
-        self.orphans.lock().len()
+        self.orphans.lock().iter().map(|b| b.len()).sum()
     }
 }
 
@@ -634,34 +737,45 @@ impl Drop for DomainBase {
             unsafe { r.free() };
         }
         let overflow = self.stats.overflow();
-        for r in self.orphans.get_mut().drain(..) {
-            overflow.freed_nodes.fetch_add(1, Ordering::Relaxed);
-            overflow
-                .freed_bytes
-                .fetch_add(r.header().size() as u64, Ordering::Relaxed);
-            // SAFETY: as above.
-            unsafe { r.free() };
+        for mut b in self.orphans.get_mut().drain(..) {
+            while let Some(r) = b.pop() {
+                overflow.freed_nodes.fetch_add(1, Ordering::Relaxed);
+                overflow
+                    .freed_bytes
+                    .fetch_add(r.header().size() as u64, Ordering::Relaxed);
+                // SAFETY: as above.
+                unsafe { r.free() };
+            }
         }
     }
 }
 
-/// The amortized accounting every sealed block owes: one `retired_nodes`
-/// bump for its members and one `batches_sealed` event. Shared by
-/// [`push_retired`], [`seal_and_account`] and NR's leak path.
-pub(crate) fn account_seal(base: &DomainBase, tid: usize, sealed: usize) {
+/// The amortized accounting every seal event owes: one `retired_nodes`
+/// bump for the sealed members, one `batches_sealed` event per block, and
+/// the monotone-block tally. Shared by [`push_retired`],
+/// [`seal_and_account`] and NR's leak path.
+pub(crate) fn account_seal(base: &DomainBase, tid: usize, outcome: SealOutcome) {
     let shard = base.stats.shard(tid);
     shard
         .retired_nodes
-        .fetch_add(sealed as u64, Ordering::Relaxed);
-    shard.batches_sealed.fetch_add(1, Ordering::Relaxed);
+        .fetch_add(outcome.nodes as u64, Ordering::Relaxed);
+    shard
+        .batches_sealed
+        .fetch_add(outcome.blocks, Ordering::Relaxed);
+    if outcome.monotone > 0 {
+        shard
+            .blocks_sealed_monotone
+            .fetch_add(outcome.monotone, Ordering::Relaxed);
+    }
 }
 
-/// Seals a non-empty partial fill block and performs its amortized
-/// accounting (the same bumps a hot-path seal gets in [`push_retired`]).
+/// Seals every non-empty fill bin and performs the amortized accounting
+/// (the same bumps a hot-path seal gets in [`push_retired`], once per
+/// sealed block).
 pub(crate) fn seal_and_account(base: &DomainBase, tid: usize, list: &mut RetireList) {
-    let sealed = list.seal_partial();
-    if sealed > 0 {
-        account_seal(base, tid, sealed);
+    let outcome = list.seal_partial();
+    if outcome.nodes > 0 {
+        account_seal(base, tid, outcome);
     }
 }
 
@@ -682,8 +796,8 @@ pub(crate) fn push_retired(
 ) -> bool {
     match list.push(r) {
         None => false,
-        Some(sealed) => {
-            account_seal(base, tid, sealed);
+        Some(outcome) => {
+            account_seal(base, tid, outcome);
             let freq = base.cfg.reclaim_freq;
             if list.len() >= freq && list.sealed_since_trigger >= freq {
                 list.note_pass();
@@ -925,11 +1039,15 @@ pub(crate) unsafe fn free_unreserved(
                 return BlockPlan::FreeAll;
             }
             let mut mask = 0u32;
-            if b.has_sorted(SortKey::Ptr) || b.note_sweep() >= 1 {
-                // Sorted (or long-lived enough to sort now): merge-join
-                // the pointer-sorted slots against the window with one
-                // forward cursor — O(block + window) sequential compares,
-                // the sort amortized across this block's remaining sweeps.
+            if b.has_sorted(SortKey::Ptr) || b.ptr_monotone_hint() || b.note_sweep() >= 1 {
+                // Sorted, born monotone (the binned-fill common case:
+                // `sorted_order` detects the run in one pass, no sort —
+                // churn blocks inherit the merge-join fast path on their
+                // FIRST sweep), or long-lived enough to sort now:
+                // merge-join the pointer-sorted slots against the window
+                // with one forward cursor — O(block + window) sequential
+                // compares, any real sort amortized across this block's
+                // remaining sweeps.
                 let (ord, n) = copy_sorted_order(b, SortKey::Ptr);
                 let nodes = b.nodes();
                 let mut cur = 0usize;
@@ -1121,11 +1239,18 @@ impl Default for SweepBench {
 
 impl SweepBench {
     /// A single-thread domain whose reclaim threshold never triggers on
-    /// its own — sweeps run only when the harness asks.
+    /// its own — sweeps run only when the harness asks. Single fill block
+    /// (no arena binning), the pre-PR-4 baseline.
     pub fn new() -> Self {
+        Self::with_bins(1)
+    }
+
+    /// Like [`Self::new`] with `bins` arena fill bins, for measuring the
+    /// binned-fill monotonicity delta.
+    pub fn with_bins(bins: usize) -> Self {
         SweepBench {
             base: DomainBase::new(SmrConfig::for_tests(1).with_reclaim_freq(1 << 30)),
-            list: RetireList::new(RETIRE_BATCH_CAP),
+            list: RetireList::new(RETIRE_BATCH_CAP, bins),
         }
     }
 
@@ -1152,6 +1277,66 @@ impl SweepBench {
             push_retired(&self.base, 0, &mut self.list, r);
         }
         ptrs
+    }
+
+    /// Allocates `streams` bursts of `n / streams` nodes each (every
+    /// burst contiguous, hence address-ascending and usually confined to
+    /// one allocator arena) and retires them **round-robin across the
+    /// bursts** — the churn-regime worst case for block monotonicity: an
+    /// unbinned fill block sees `streams` interleaved address sequences,
+    /// while arena-binned fills separate them back into monotone blocks.
+    /// Returns the pointer words in retire order.
+    pub fn fill_interleaved(&mut self, n: usize, streams: usize) -> Vec<u64> {
+        let streams = streams.max(1);
+        let per = n / streams;
+        let mut bursts: Vec<Vec<Retired>> = Vec::with_capacity(streams);
+        for s in 0..streams {
+            let mut burst = Vec::with_capacity(per);
+            for i in 0..per as u64 {
+                let p = Box::into_raw(Box::new(SweepBenchNode {
+                    hdr: crate::header::Header::new(i, core::mem::size_of::<SweepBenchNode>()),
+                    _payload: [s as u64; 2],
+                }));
+                self.base
+                    .stats
+                    .shard(0)
+                    .allocated_nodes
+                    .fetch_add(1, Ordering::Relaxed);
+                // SAFETY: freshly boxed, never shared, retired exactly once.
+                burst.push(unsafe { Retired::new(p) });
+            }
+            bursts.push(burst);
+        }
+        // Round-robin retire across the bursts, allocation order within
+        // each (reverse + pop keeps the moves cheap).
+        for burst in &mut bursts {
+            burst.reverse();
+        }
+        let mut ptrs = Vec::with_capacity(per * streams);
+        let mut era = 0u64;
+        loop {
+            let mut any = false;
+            for burst in &mut bursts {
+                if let Some(r) = burst.pop() {
+                    any = true;
+                    r.header().set_retire_era(era);
+                    era += 1;
+                    ptrs.push(r.ptr() as u64);
+                    push_retired(&self.base, 0, &mut self.list, r);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        ptrs
+    }
+
+    /// `(monotone, sealed)` block counts so callers can report the
+    /// monotone sealed-block share.
+    pub fn monotone_share(&self) -> (u64, u64) {
+        let s = self.base.stats.snapshot();
+        (s.blocks_sealed_monotone, s.batches_sealed)
     }
 
     /// Nodes currently held in the list.
@@ -1229,7 +1414,7 @@ mod tests {
     /// A retire list pre-filled with `eras` as both birth and retire eras,
     /// everything sealed (seal threshold 1 unless given).
     fn filled(base: &DomainBase, seal: usize, eras: &[u64]) -> RetireList {
-        let mut list = RetireList::new(seal);
+        let mut list = RetireList::new(seal, 1);
         for &e in eras {
             push_retired(base, 0, &mut list, mk(base, e, e));
         }
@@ -1242,7 +1427,9 @@ mod tests {
         for b in &list.blocks {
             out.extend(b.nodes().iter().map(|r| r.header().birth_era));
         }
-        out.extend(list.fill.nodes().iter().map(|r| r.header().birth_era));
+        for fill in &list.fills {
+            out.extend(fill.nodes().iter().map(|r| r.header().birth_era));
+        }
         out
     }
 
@@ -1293,7 +1480,7 @@ mod tests {
     #[test]
     fn push_seals_at_threshold_and_accounts_lazily() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut list = RetireList::new(4);
+        let mut list = RetireList::new(4, 1);
         for i in 0..3 {
             assert!(!push_retired(&b, 0, &mut list, mk(&b, i, i)));
         }
@@ -1313,7 +1500,7 @@ mod tests {
     #[test]
     fn push_retired_paces_triggers_by_new_retires() {
         let b = DomainBase::new(SmrConfig::for_tests(1).with_reclaim_freq(8));
-        let mut list = RetireList::new(4);
+        let mut list = RetireList::new(4, 1);
         let mut crossings = 0;
         for i in 0..16 {
             if push_retired(&b, 0, &mut list, mk(&b, i, i)) {
@@ -1332,7 +1519,7 @@ mod tests {
         // regime); a full-list pass must still only be requested once per
         // reclaim_freq new retires, not once per sealed block.
         let b = DomainBase::new(SmrConfig::for_tests(1).with_reclaim_freq(8));
-        let mut list = RetireList::new(4);
+        let mut list = RetireList::new(4, 1);
         for i in 0..8 {
             push_retired(&b, 0, &mut list, mk(&b, i, i));
         }
@@ -1431,7 +1618,7 @@ mod tests {
     #[test]
     fn sweep_seals_and_accounts_the_partial_fill() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut list = RetireList::new(8);
+        let mut list = RetireList::new(8, 1);
         for i in 0..5 {
             push_retired(&b, 0, &mut list, mk(&b, i, i));
         }
@@ -1447,7 +1634,7 @@ mod tests {
     #[test]
     fn free_before_epoch_sweeps_by_retire_era() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut list = RetireList::new(RETIRE_BATCH_CAP);
+        let mut list = RetireList::new(RETIRE_BATCH_CAP, 1);
         for (birth, retire) in [(0, 3), (0, 7), (0, 5)] {
             push_retired(&b, 0, &mut list, mk(&b, birth, retire));
         }
@@ -1491,7 +1678,7 @@ mod tests {
     #[test]
     fn era_free_pass() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut list = RetireList::new(RETIRE_BATCH_CAP);
+        let mut list = RetireList::new(RETIRE_BATCH_CAP, 1);
         // lifespans: [1,2] freeable, [4,6] blocked by era 5, [7,9] freeable
         for (birth, retire) in [(1, 2), (4, 6), (7, 9)] {
             push_retired(&b, 0, &mut list, mk(&b, birth, retire));
@@ -1509,7 +1696,7 @@ mod tests {
         {
             let b = DomainBase::new(SmrConfig::for_tests(1));
             stats = Arc::clone(&b.stats);
-            let mut list = RetireList::new(RETIRE_BATCH_CAP);
+            let mut list = RetireList::new(RETIRE_BATCH_CAP, 1);
             // Two sub-batch nodes: not yet accounted.
             push_retired(&b, 0, &mut list, mk(&b, 0, 0));
             push_retired(&b, 0, &mut list, mk(&b, 0, 0));
@@ -1527,7 +1714,7 @@ mod tests {
     #[test]
     fn orphan_adoption_is_bounded_and_preserves_accounting() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut donor = RetireList::new(RETIRE_BATCH_CAP);
+        let mut donor = RetireList::new(RETIRE_BATCH_CAP, 1);
         let total = ORPHAN_ADOPT_MAX + 10;
         for i in 0..total as u64 {
             push_retired(&b, 0, &mut donor, mk(&b, i, i));
@@ -1536,7 +1723,7 @@ mod tests {
         assert_eq!(b.orphan_len(), total);
         let retired_before = b.stats.snapshot().retired_nodes;
 
-        let mut joiner = RetireList::new(RETIRE_BATCH_CAP);
+        let mut joiner = RetireList::new(RETIRE_BATCH_CAP, 1);
         b.adopt_orphan_chunk(0, &mut joiner);
         assert_eq!(joiner.len(), ORPHAN_ADOPT_MAX, "chunk is bounded");
         assert_eq!(b.orphan_len(), 10, "remainder stays parked");
@@ -1563,7 +1750,7 @@ mod tests {
     #[test]
     fn sweep_steals_bounded_orphan_chunks_until_drained() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut donor = RetireList::new(RETIRE_BATCH_CAP);
+        let mut donor = RetireList::new(RETIRE_BATCH_CAP, 1);
         let total = 2 * ORPHAN_ADOPT_MAX + 5;
         for i in 0..total as u64 {
             push_retired(&b, 0, &mut donor, mk(&b, i, i));
@@ -1571,7 +1758,7 @@ mod tests {
         b.orphan_remaining(0, &mut donor);
         assert_eq!(b.orphan_len(), total);
 
-        let mut reclaimer = RetireList::new(RETIRE_BATCH_CAP);
+        let mut reclaimer = RetireList::new(RETIRE_BATCH_CAP, 1);
         // Each pass adopts at most one chunk.
         let freed = unsafe { sweep_retire_list(&b, 0, &mut reclaimer, |_| false) };
         assert_eq!(freed, ORPHAN_ADOPT_MAX, "one chunk per pass");
@@ -1722,7 +1909,7 @@ mod tests {
     #[test]
     fn free_before_epoch_summary_decides_whole_blocks() {
         let b = DomainBase::new(SmrConfig::for_tests(1));
-        let mut list = RetireList::new(2);
+        let mut list = RetireList::new(2, 1);
         // Blocks of 2 with retire eras (1,2) freeable, (8,9) kept, (4,6)
         // straddling min = 5.
         for (birth, retire) in [(0, 1), (0, 2), (0, 8), (0, 9), (0, 4), (0, 6)] {
@@ -1734,6 +1921,170 @@ mod tests {
         assert_eq!(s.blocks_freed_whole, 1, "the (1,2) block freed whole");
         assert_eq!(s.blocks_kept_whole, 1, "the (8,9) block kept untouched");
         drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn bins_one_matches_legacy_block_formation() {
+        // retire_bins = 1 must reproduce the historical single-fill-block
+        // pipeline exactly: blocks sealed in retire order, one per `seal`
+        // nodes, survivors in retire order after a sweep.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(4, 1);
+        for i in 0..10 {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
+        }
+        let s = b.stats.snapshot();
+        assert_eq!(s.batches_sealed, 2, "seals at 4 and 8 exactly");
+        assert_eq!(s.retired_nodes, 8, "fill holds 2 unsealed nodes");
+        assert_eq!(eras_of(&list), (0..10).collect::<Vec<u64>>());
+        seal_and_account(&b, 0, &mut list);
+        let s = b.stats.snapshot();
+        assert_eq!(s.batches_sealed, 3, "one partial block from one bin");
+        assert_eq!(s.retired_nodes, 10);
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn binned_blocks_never_mix_arenas() {
+        // The routing invariant behind born-monotone blocks: every sealed
+        // block's members share one `(ptr >> ARENA_SHIFT) & mask` bin.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(8, 4);
+        for i in 0..256 {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
+        }
+        seal_and_account(&b, 0, &mut list);
+        assert_eq!(list.len(), 256, "conservation through binned seals");
+        for blk in &list.blocks {
+            let bins: Vec<usize> = blk
+                .nodes()
+                .iter()
+                .map(|r| ((r.ptr() as u64 >> ARENA_SHIFT) & 3) as usize)
+                .collect();
+            assert!(
+                bins.windows(2).all(|w| w[0] == w[1]),
+                "a sealed block must hold a single arena bin, got {bins:?}"
+            );
+        }
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn monotone_seal_counter_tracks_push_order() {
+        // Deterministic regardless of allocator layout: the PUSH ORDER is
+        // chosen from the allocated addresses, so monotone and zigzag
+        // blocks are constructed exactly.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(RETIRE_BATCH_CAP, 1);
+        let mut nodes: Vec<Retired> = (0..RETIRE_BATCH_CAP as u64).map(|i| mk(&b, i, i)).collect();
+        nodes.sort_by_key(|r| r.ptr() as u64);
+        // Zigzag: alternate low/high ends — provably non-monotone.
+        let mut deque: std::collections::VecDeque<Retired> = nodes.into();
+        let mut front = true;
+        while let Some(r) = if front {
+            deque.pop_front()
+        } else {
+            deque.pop_back()
+        } {
+            front = !front;
+            push_retired(&b, 0, &mut list, r);
+        }
+        let s = b.stats.snapshot();
+        assert_eq!(s.batches_sealed, 1);
+        assert_eq!(s.blocks_sealed_monotone, 0, "zigzag block is not monotone");
+        // Ascending push order: the next sealed block must count.
+        let mut asc: Vec<Retired> = (0..RETIRE_BATCH_CAP as u64).map(|i| mk(&b, i, i)).collect();
+        asc.sort_by_key(|r| r.ptr() as u64);
+        for r in asc {
+            push_retired(&b, 0, &mut list, r);
+        }
+        let s = b.stats.snapshot();
+        assert_eq!(s.batches_sealed, 2);
+        assert_eq!(s.blocks_sealed_monotone, 1, "ascending block counts");
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn partial_bins_seal_at_unregister_and_conserve() {
+        // The ISSUE's unregister gotcha: with many bins, several partial
+        // fill blocks are open at unregister; every one must be sealed
+        // (accounted once per block) and parked — no node unsealed, no
+        // node leaked.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(RETIRE_BATCH_CAP, 8);
+        let n = 21u64;
+        for i in 0..n {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
+        }
+        assert_eq!(b.stats.snapshot().retired_nodes, 0, "all still filling");
+        let open_bins = list.fills.iter().filter(|f| !f.is_empty()).count() as u64;
+        assert!(open_bins >= 1);
+        b.orphan_remaining(0, &mut list);
+        assert!(list.is_empty(), "everything handed to the domain");
+        let s = b.stats.snapshot();
+        assert_eq!(s.retired_nodes, n, "partial bins sealed, not leaked");
+        assert_eq!(s.batches_sealed, open_bins, "one seal event per bin");
+        assert_eq!(b.orphan_len(), n as usize);
+        // A sweep steals the parked blocks and frees them: conservation.
+        let mut reclaimer = RetireList::new(RETIRE_BATCH_CAP, 8);
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut reclaimer, |_| false) };
+        assert_eq!(freed as u64, n);
+        assert_eq!(b.orphan_len(), 0);
+        assert_eq!(b.stats.snapshot().freed_nodes, n, "allocated == freed");
+    }
+
+    #[test]
+    fn stolen_blocks_keep_their_sort_caches() {
+        // Park blocks whose sort caches are built, steal them, and verify
+        // the next sweep decides them from the cache (whole-block paths)
+        // without touching records.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut donor = RetireList::new(4, 1);
+        for i in 0..8 {
+            push_retired(&b, 0, &mut donor, mk(&b, i, i));
+        }
+        // Build the pointer sort caches: a no-free sweep with everything
+        // reserved (sorted set of every member pointer).
+        let reserved: Vec<u64> = {
+            let mut r: Vec<u64> = donor
+                .blocks
+                .iter()
+                .flat_map(|blk| blk.nodes())
+                .map(|r| r.ptr() as u64)
+                .collect();
+            r.sort_unstable();
+            r
+        };
+        // Two passes: the sort-deferral heuristic skips the sort on a
+        // block's first sweep and builds it on the second.
+        for _ in 0..2 {
+            let freed = unsafe { free_unreserved(&b, 0, &mut donor, &reserved) };
+            assert_eq!(freed, 0);
+        }
+        for blk in &donor.blocks {
+            assert!(blk.has_sorted(SortKey::Ptr), "cache built before parking");
+        }
+        b.orphan_remaining(0, &mut donor);
+        // Steal into a fresh list: blocks must arrive with caches intact.
+        let mut thief = RetireList::new(4, 1);
+        b.steal_orphan_chunk(0, &mut thief);
+        assert_eq!(thief.len(), 8, "both blocks stolen");
+        for blk in &thief.blocks {
+            assert!(
+                blk.has_sorted(SortKey::Ptr),
+                "block-granular parking must not drop the sort cache"
+            );
+        }
+        // And the stolen blocks are decided whole from their summaries.
+        let kept_before = b.stats.snapshot().blocks_kept_whole;
+        let freed = unsafe { free_unreserved(&b, 0, &mut thief, &reserved) };
+        assert_eq!(freed, 0);
+        assert_eq!(
+            b.stats.snapshot().blocks_kept_whole,
+            kept_before + 2,
+            "stolen blocks range-test whole from surviving summaries"
+        );
+        drain_free(&b, &mut thief);
     }
 
     #[test]

@@ -7,6 +7,23 @@ use crate::header::RETIRE_BATCH_CAP;
 /// for a running peer's handler to publish before the waiter parks.
 pub const DEFAULT_PUBLISH_SPIN: u32 = 128;
 
+/// Upper bound on [`SmrConfig::retire_bins`]: more bins than this buys no
+/// extra monotonicity (allocators rarely interleave more arenas per
+/// thread) while inflating the per-thread unsealed-node bound
+/// (`bins × (retire_batch − 1)`).
+pub const MAX_RETIRE_BINS: usize = 8;
+
+/// Default arena-bin count: enough to separate the address streams real
+/// allocators interleave (fresh bump region + a few free-list arenas).
+pub const DEFAULT_RETIRE_BINS: usize = 4;
+
+/// The one normalization rule for bin counts: a power of two (so bin
+/// routing is a shift + mask) in `1..=MAX_RETIRE_BINS`, rounding upward
+/// (3 → 4). Shared by the builder, `effective_bins` and `RetireList`.
+pub(crate) fn normalize_bins(b: usize) -> usize {
+    b.clamp(1, MAX_RETIRE_BINS).next_power_of_two()
+}
+
 /// Tuning knobs shared by every reclamation scheme.
 ///
 /// Field names follow the paper's pseudocode: `reclaim_freq` is the retire
@@ -37,6 +54,14 @@ pub struct SmrConfig {
     /// to `1..=RETIRE_BATCH_CAP` and never above `reclaim_freq` (so small
     /// thresholds still reclaim on time). `1` disables batching.
     pub retire_batch: usize,
+    /// Arena-binned fill blocks: `retire` routes each node to one of
+    /// `retire_bins` thread-private fill blocks keyed by its pointer's
+    /// high bits (`ptr >> ARENA_SHIFT`), so nodes from different allocator
+    /// arenas fill *different* blocks and most sealed blocks come out
+    /// address-monotone — the merge-join sweep's fast path. Clamped to a
+    /// power of two in `1..=MAX_RETIRE_BINS`; `1` restores the single
+    /// fill block.
+    pub retire_bins: usize,
     /// Spins a publish wait (`ping_all_and_wait`, NBR phase 2) burns before
     /// falling back to parking (`futex`) or yielding. Small values favor
     /// oversubscribed hosts; large values favor handlers that run within a
@@ -53,8 +78,8 @@ pub struct SmrConfig {
 }
 
 impl SmrConfig {
-    /// Paper-faithful defaults for `n` threads.
-    pub fn for_threads(n: usize) -> Self {
+    /// Paper-faithful defaults for `n` threads, before env overrides.
+    fn paper_defaults(n: usize) -> Self {
         SmrConfig {
             max_threads: n,
             slots: 8,
@@ -62,27 +87,60 @@ impl SmrConfig {
             epoch_freq: 64,
             pop_c: 2,
             retire_batch: RETIRE_BATCH_CAP,
+            retire_bins: DEFAULT_RETIRE_BINS,
             publish_spin: DEFAULT_PUBLISH_SPIN,
             futex_wait: true,
             quarantine: false,
         }
     }
 
-    /// Small thresholds that force frequent reclamation; intended for tests
-    /// so every code path (ping, publish, scan, free) runs within a few
-    /// hundred operations.
-    pub fn for_tests(n: usize) -> Self {
+    /// Paper-faithful defaults for `n` threads.
+    pub fn for_threads(n: usize) -> Self {
+        Self::paper_defaults(n).with_env_overrides()
+    }
+
+    /// Test defaults before env overrides: small thresholds that force
+    /// frequent reclamation, so every code path (ping, publish, scan,
+    /// free) runs within a few hundred operations. Tests that *assert*
+    /// defaults use this directly so they stay env-independent.
+    fn test_defaults(n: usize) -> Self {
         SmrConfig {
-            max_threads: n,
-            slots: 8,
             reclaim_freq: 64,
             epoch_freq: 4,
-            pop_c: 2,
-            retire_batch: RETIRE_BATCH_CAP,
-            publish_spin: DEFAULT_PUBLISH_SPIN,
-            futex_wait: true,
-            quarantine: false,
+            ..Self::paper_defaults(n)
         }
+    }
+
+    /// [`Self::test_defaults`] plus the `POP_*` env overrides, so the CI
+    /// fallback-path matrix drives every test through one switch.
+    pub fn for_tests(n: usize) -> Self {
+        Self::test_defaults(n).with_env_overrides()
+    }
+
+    /// Applies the `POP_*` environment overrides (CI's fallback-path
+    /// matrix legs run the test suite with `POP_RETIRE_BINS=1`,
+    /// `POP_RETIRE_BATCH=1` and `POP_FUTEX_WAIT=0` without touching any
+    /// call site). Unset or unparsable variables change nothing.
+    fn with_env_overrides(self) -> Self {
+        self.with_overrides_from(|k| std::env::var(k).ok())
+    }
+
+    /// Env-override core, parameterized over the lookup for testability.
+    fn with_overrides_from(mut self, get: impl Fn(&str) -> Option<String>) -> Self {
+        if let Some(b) = get("POP_RETIRE_BATCH").and_then(|v| v.parse().ok()) {
+            self = self.with_retire_batch(b);
+        }
+        if let Some(b) = get("POP_RETIRE_BINS").and_then(|v| v.parse().ok()) {
+            self = self.with_retire_bins(b);
+        }
+        if let Some(v) = get("POP_FUTEX_WAIT") {
+            match v.as_str() {
+                "0" | "false" | "off" => self.futex_wait = false,
+                "1" | "true" | "on" => self.futex_wait = true,
+                _ => {}
+            }
+        }
+        self
     }
 
     /// Builder-style override of the retire-list threshold.
@@ -128,6 +186,13 @@ impl SmrConfig {
         self
     }
 
+    /// Builder-style override of the arena-bin count (clamped to a power
+    /// of two in `1..=MAX_RETIRE_BINS`; rounding is upward, so 3 → 4).
+    pub fn with_retire_bins(mut self, b: usize) -> Self {
+        self.retire_bins = normalize_bins(b);
+        self
+    }
+
     /// The seal threshold actually used by retire lists: the configured
     /// batch, never above `reclaim_freq` (a threshold the batch could
     /// otherwise straddle without ever triggering a pass).
@@ -135,6 +200,12 @@ impl SmrConfig {
         self.retire_batch
             .clamp(1, RETIRE_BATCH_CAP)
             .min(self.reclaim_freq.max(1))
+    }
+
+    /// The fill-bin count actually used by retire lists: a power of two
+    /// (so bin routing is a shift + mask) in `1..=MAX_RETIRE_BINS`.
+    pub fn effective_bins(&self) -> usize {
+        normalize_bins(self.retire_bins)
     }
 
     /// Enables the quarantine use-after-free detector (tests only).
@@ -150,7 +221,7 @@ mod tests {
 
     #[test]
     fn defaults_match_paper() {
-        let c = SmrConfig::for_threads(4);
+        let c = SmrConfig::paper_defaults(4);
         assert_eq!(c.reclaim_freq, 24_576, "paper §5.0.1 retire threshold");
         assert_eq!(c.max_threads, 4);
         assert_eq!(c.publish_spin, DEFAULT_PUBLISH_SPIN);
@@ -160,7 +231,7 @@ mod tests {
 
     #[test]
     fn publish_wait_builders() {
-        let c = SmrConfig::for_tests(1)
+        let c = SmrConfig::test_defaults(1)
             .with_publish_spin(0)
             .with_futex_wait(false);
         assert_eq!(c.publish_spin, 0, "zero-spin (park immediately) is legal");
@@ -169,7 +240,7 @@ mod tests {
 
     #[test]
     fn builders_clamp_to_one() {
-        let c = SmrConfig::for_tests(1)
+        let c = SmrConfig::test_defaults(1)
             .with_reclaim_freq(0)
             .with_epoch_freq(0)
             .with_pop_c(0)
@@ -183,12 +254,48 @@ mod tests {
     }
 
     #[test]
+    fn retire_bins_clamp_to_powers_of_two() {
+        assert_eq!(SmrConfig::test_defaults(1).retire_bins, DEFAULT_RETIRE_BINS);
+        let c = SmrConfig::test_defaults(1).with_retire_bins(0);
+        assert_eq!(c.retire_bins, 1, "bins clamp up to one");
+        let c = SmrConfig::test_defaults(1).with_retire_bins(3);
+        assert_eq!(c.retire_bins, 4, "bins round up to a power of two");
+        let c = SmrConfig::test_defaults(1).with_retire_bins(64);
+        assert_eq!(c.retire_bins, MAX_RETIRE_BINS, "bins clamp to the max");
+        assert_eq!(c.effective_bins(), MAX_RETIRE_BINS);
+        // effective_bins also repairs a hand-set field.
+        let mut c = SmrConfig::test_defaults(1);
+        c.retire_bins = 5;
+        assert_eq!(c.effective_bins(), 8);
+    }
+
+    #[test]
+    fn env_overrides_drive_the_fallback_matrix() {
+        let env = |k: &str| match k {
+            "POP_RETIRE_BATCH" => Some("1".to_string()),
+            "POP_RETIRE_BINS" => Some("1".to_string()),
+            "POP_FUTEX_WAIT" => Some("off".to_string()),
+            _ => None,
+        };
+        let c = SmrConfig::test_defaults(2).with_overrides_from(env);
+        assert_eq!(c.retire_batch, 1);
+        assert_eq!(c.retire_bins, 1);
+        assert!(!c.futex_wait);
+        // Unset / garbage values leave the defaults alone.
+        let c = SmrConfig::test_defaults(2)
+            .with_overrides_from(|k| (k == "POP_FUTEX_WAIT").then(|| "maybe".to_string()));
+        assert_eq!(c.retire_batch, RETIRE_BATCH_CAP);
+        assert_eq!(c.retire_bins, DEFAULT_RETIRE_BINS);
+        assert!(c.futex_wait);
+    }
+
+    #[test]
     fn effective_batch_never_straddles_the_threshold() {
-        let c = SmrConfig::for_tests(1).with_reclaim_freq(4);
+        let c = SmrConfig::test_defaults(1).with_reclaim_freq(4);
         assert_eq!(c.effective_batch(), 4, "batch shrinks to reclaim_freq");
-        let c = SmrConfig::for_tests(1).with_reclaim_freq(1 << 20);
+        let c = SmrConfig::test_defaults(1).with_reclaim_freq(1 << 20);
         assert_eq!(c.effective_batch(), RETIRE_BATCH_CAP);
-        let c = SmrConfig::for_tests(1).with_retire_batch(RETIRE_BATCH_CAP * 8);
+        let c = SmrConfig::test_defaults(1).with_retire_batch(RETIRE_BATCH_CAP * 8);
         assert_eq!(c.retire_batch, RETIRE_BATCH_CAP, "clamped to block cap");
     }
 }

@@ -199,6 +199,14 @@ const SUMMARY_PTR: u8 = 1;
 /// `summary_valid` bit: era extrema (birth + retire) are current.
 const SUMMARY_ERA: u8 = 2;
 
+/// `mono` bit: pushes so far form a non-decreasing pointer run.
+const MONO_ASC: u8 = 1;
+/// `mono` bit: pushes so far form a non-increasing pointer run.
+const MONO_DESC: u8 = 2;
+/// `mono` bit: incremental tracking lost (slots were rearranged); fall
+/// back to a scan.
+const MONO_UNKNOWN: u8 = 4;
+
 /// A fixed-size block of [`Retired`] records — the unit of the batched
 /// retirement pipeline.
 ///
@@ -228,6 +236,13 @@ pub(crate) struct RetireBatch {
     /// Sweeps that have looked at this block since it last changed —
     /// drives the sort-deferral heuristic (see `note_sweep`).
     sweeps: u8,
+    /// [`MONO_ASC`] / [`MONO_DESC`] pointer-direction bits, maintained
+    /// incrementally at push time (conservative: cleared bits are never
+    /// re-derived incrementally), or [`MONO_UNKNOWN`] after an in-place
+    /// compaction rearranged the slots.
+    mono: u8,
+    /// Pointer of the most recent push — the comparison anchor for `mono`.
+    last_ptr: u64,
     /// Slot permutation ordered by `sort_key` (first `len` entries).
     order: [u8; RETIRE_BATCH_CAP],
     /// Cached key extrema (per-half validity in `summary_valid`).
@@ -243,6 +258,8 @@ impl RetireBatch {
             sort_key: SortKey::Unsorted,
             summary_valid: 0,
             sweeps: 0,
+            mono: MONO_ASC | MONO_DESC,
+            last_ptr: 0,
             order: [0; RETIRE_BATCH_CAP],
             summary: BlockSummary {
                 min_ptr: 0,
@@ -280,6 +297,21 @@ impl RetireBatch {
     pub(crate) fn push(&mut self, r: Retired) {
         debug_assert!(self.len < RETIRE_BATCH_CAP, "retire block overfilled");
         let p = r.ptr() as u64;
+        if self.len == 0 {
+            self.mono = MONO_ASC | MONO_DESC;
+        } else if self.mono & MONO_UNKNOWN == 0 {
+            // Incremental direction tracking: two compares against the
+            // last push. After a `pop`, `last_ptr` is the popped (extreme)
+            // value, which only makes the test stricter — the bits stay
+            // conservative (set ⇒ truly monotone), never optimistic.
+            if p < self.last_ptr {
+                self.mono &= !MONO_ASC;
+            }
+            if p > self.last_ptr {
+                self.mono &= !MONO_DESC;
+            }
+        }
+        self.last_ptr = p;
         if self.len == 0 {
             self.summary.min_ptr = p;
             self.summary.max_ptr = p;
@@ -332,6 +364,39 @@ impl RetireBatch {
     #[inline]
     pub(crate) fn has_sorted(&self, key: SortKey) -> bool {
         self.sort_key == key
+    }
+
+    /// O(1) monotonicity hint from the incremental push-time bits alone:
+    /// `false` when tracking was lost ([`MONO_UNKNOWN`] after a
+    /// compaction), never a scan. Sweeps use this to skip the
+    /// sort-deferral heuristic — a monotone block's sorted permutation
+    /// costs one detection pass, so even a first-sweep (churn) block
+    /// takes the merge-join path when the binned fill made it monotone.
+    #[inline]
+    pub(crate) fn ptr_monotone_hint(&self) -> bool {
+        self.mono & MONO_UNKNOWN == 0 && self.mono & (MONO_ASC | MONO_DESC) != 0
+    }
+
+    /// Whether the slots form an address-monotone run (ascending *or*
+    /// descending pointers). Answered from the incremental push-time bits
+    /// when they are live; a block that went through an in-place
+    /// compaction ([`Self::set_len`]) pays one scan instead. Used by the
+    /// seal path to count [`monotone sealed
+    /// blocks`](crate::stats::ShardStats::blocks_sealed_monotone) — the
+    /// share the arena-binned fill path is designed to maximize.
+    pub(crate) fn is_ptr_monotone(&self) -> bool {
+        if self.mono & MONO_UNKNOWN == 0 {
+            return self.ptr_monotone_hint();
+        }
+        let nodes = self.nodes();
+        let mut asc = true;
+        let mut desc = true;
+        for w in nodes.windows(2) {
+            let (a, b) = (w[0].ptr() as u64, w[1].ptr() as u64);
+            asc &= b >= a;
+            desc &= b <= a;
+        }
+        asc || desc
     }
 
     /// Counts a sweep's visit and returns how many sweeps had seen this
@@ -463,6 +528,13 @@ impl RetireBatch {
     pub(crate) unsafe fn set_len(&mut self, len: usize) {
         debug_assert!(len <= RETIRE_BATCH_CAP);
         self.invalidate_cache();
+        // The caller rearranged slots: the push-time direction bits no
+        // longer describe them (an emptied block starts fresh instead).
+        self.mono = if len == 0 {
+            MONO_ASC | MONO_DESC
+        } else {
+            MONO_UNKNOWN
+        };
         self.len = len;
     }
 }
@@ -480,6 +552,7 @@ pub fn unmark_word(p: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::Strategy as _;
 
     #[repr(C)]
     struct TestNode {
@@ -548,6 +621,155 @@ mod tests {
         assert_eq!(unmark_word(0x1001), 0x1000);
         assert_eq!(unmark_word(0x1003), 0x1000);
         assert_eq!(unmark_word(3), 0);
+    }
+
+    /// One batch mutation in the sort-cache property test.
+    #[derive(Clone, Copy, Debug)]
+    enum BatchOp {
+        /// Push a fresh node with this birth era.
+        Push(u64),
+        /// Remove the newest record (cache invalidation).
+        Pop,
+        /// Count a sweep visit (sort-deferral bookkeeping).
+        NoteSweep,
+        /// Build/read the pointer-sorted permutation.
+        SortPtr,
+        /// Build/read the birth-sorted permutation.
+        SortBirth,
+        /// In-place compaction to at most this many slots.
+        Truncate(usize),
+    }
+
+    /// Shadow-model check: the sort cache under `ops` must always yield a
+    /// permutation that is a true sort of the live slots, extrema that
+    /// bound every slot, and a monotone flag that never over-claims.
+    fn check_sort_cache_ops(ops: &[BatchOp]) {
+        let mut b = RetireBatch::boxed();
+        // Shadow of the initialized slots: (ptr word, birth era).
+        let mut shadow: Vec<(u64, u64)> = Vec::new();
+        // Every allocation, freed exactly once at the end (records in the
+        // batch are just pointers; `Retired` has no Drop).
+        let mut allocated: Vec<*mut TestNode> = Vec::new();
+        // Whether the batch has only seen pushes since it was last empty —
+        // the state every seal happens in, where the monotone flag must be
+        // exact, not merely conservative.
+        let mut pure_push = true;
+
+        for &op in ops {
+            match op {
+                BatchOp::Push(birth) => {
+                    if b.len() == RETIRE_BATCH_CAP {
+                        continue;
+                    }
+                    if b.is_empty() {
+                        pure_push = true;
+                    }
+                    let node = Box::into_raw(Box::new(TestNode {
+                        hdr: Header::new(birth, core::mem::size_of::<TestNode>()),
+                        payload: [0; 4],
+                    }));
+                    allocated.push(node);
+                    let r = unsafe { Retired::new(node) };
+                    r.header().set_retire_era(birth + 1);
+                    shadow.push((r.ptr() as u64, birth));
+                    b.push(r);
+                }
+                BatchOp::Pop => {
+                    let got = b.pop().map(|r| r.ptr() as u64);
+                    assert_eq!(got, shadow.pop().map(|s| s.0), "pop order");
+                    pure_push = false;
+                }
+                BatchOp::NoteSweep => {
+                    b.note_sweep();
+                }
+                BatchOp::SortPtr | BatchOp::SortBirth => {
+                    if b.is_empty() {
+                        continue;
+                    }
+                    let key = if matches!(op, BatchOp::SortPtr) {
+                        SortKey::Ptr
+                    } else {
+                        SortKey::Birth
+                    };
+                    let ord: Vec<u8> = b.sorted_order(key).to_vec();
+                    assert!(b.has_sorted(key));
+                    let mut seen = vec![false; shadow.len()];
+                    let mut prev = 0u64;
+                    for (i, &slot) in ord.iter().enumerate() {
+                        let s = shadow[slot as usize];
+                        let k = if key == SortKey::Ptr { s.0 } else { s.1 };
+                        assert!(!core::mem::replace(&mut seen[slot as usize], true));
+                        assert!(i == 0 || k >= prev, "permutation must sort {key:?}");
+                        prev = k;
+                    }
+                    assert!(seen.iter().all(|&s| s), "permutation must be total");
+                }
+                BatchOp::Truncate(keep) => {
+                    let keep = keep.min(b.len());
+                    // SAFETY: only shrinks; abandoned records stay owned by
+                    // `allocated` and are freed below.
+                    unsafe { b.set_len(keep) };
+                    shadow.truncate(keep);
+                    pure_push = false;
+                }
+            }
+            // Invariants that must hold after every mutation.
+            assert_eq!(b.len(), shadow.len());
+            if !b.is_empty() {
+                let (min_ptr, max_ptr) = b.ptr_range();
+                let (min_birth, min_retire, max_retire) = b.era_ranges();
+                for &(p, birth) in &shadow {
+                    assert!(
+                        (min_ptr..=max_ptr).contains(&p),
+                        "ptr extrema must bound every slot"
+                    );
+                    assert!(min_birth <= birth, "birth extremum must bound");
+                    assert!(
+                        (min_retire..=max_retire).contains(&(birth + 1)),
+                        "retire extrema must bound"
+                    );
+                }
+                let truly_monotone = shadow.windows(2).all(|w| w[1].0 >= w[0].0)
+                    || shadow.windows(2).all(|w| w[1].0 <= w[0].0);
+                if b.is_ptr_monotone() {
+                    assert!(truly_monotone, "monotone flag must never over-claim");
+                }
+                if pure_push {
+                    assert_eq!(
+                        b.is_ptr_monotone(),
+                        truly_monotone,
+                        "after pure pushes (the seal state) the flag is exact"
+                    );
+                }
+            }
+        }
+        drop(b); // leaks its records; the allocations are freed below
+        for p in allocated {
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+        /// ISSUE 4 satellite: arbitrary interleavings of
+        /// push/pop/truncate/note_sweep/sort keep the sort cache honest.
+        #[test]
+        fn sort_cache_invariants_hold_under_arbitrary_ops(
+            ops in proptest::collection::vec(
+                proptest::prop_oneof![
+                    (0u64..64).prop_map(BatchOp::Push),
+                    proptest::Just(BatchOp::Pop),
+                    proptest::Just(BatchOp::NoteSweep),
+                    proptest::Just(BatchOp::SortPtr),
+                    proptest::Just(BatchOp::SortBirth),
+                    (0usize..RETIRE_BATCH_CAP).prop_map(BatchOp::Truncate),
+                ],
+                1..160,
+            )
+        ) {
+            check_sort_cache_ops(&ops);
+        }
     }
 
     #[test]

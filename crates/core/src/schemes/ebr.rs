@@ -81,12 +81,13 @@ impl Smr for Ebr {
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
+        let bins = cfg.effective_bins();
         let mut reserved = Vec::with_capacity(n);
         reserved.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal),
+                retire: RetireSlot::new(seal, bins),
                 op_count: AtomicU64::new(0),
             })
         });

@@ -105,6 +105,7 @@ impl Smr for EpochPop {
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
+        let bins = cfg.effective_bins();
         let base = DomainBase::new(cfg);
         let pop = PopShared::leak(
             n,
@@ -120,7 +121,7 @@ impl Smr for EpochPop {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal),
+                retire: RetireSlot::new(seal, bins),
                 scratch: ScratchSlot::new(),
                 op_count: AtomicU64::new(0),
             })

@@ -79,10 +79,11 @@ impl Smr for HazardEra {
         shared.resize_with(cells, || AtomicU64::new(NONE));
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
+        let bins = cfg.effective_bins();
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal),
+                retire: RetireSlot::new(seal, bins),
                 scratch: ScratchSlot::new(),
             })
         });

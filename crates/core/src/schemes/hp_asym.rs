@@ -113,6 +113,7 @@ impl Smr for HazardPtrAsym {
         shared.resize_with(cells, || AtomicU64::new(0));
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
+        let bins = cfg.effective_bins();
         let base = DomainBase::new(cfg);
         // Zero copy-slots: the barrier publisher only fences and counts.
         // Quiescent filtering stays OFF — the reservations this barrier
@@ -130,7 +131,7 @@ impl Smr for HazardPtrAsym {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal),
+                retire: RetireSlot::new(seal, bins),
                 scratch: ScratchSlot::new(),
             })
         });

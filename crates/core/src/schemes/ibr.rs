@@ -88,6 +88,7 @@ impl Smr for Ibr {
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
+        let bins = cfg.effective_bins();
         let mut lower = Vec::with_capacity(n);
         lower.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
         let mut upper = Vec::with_capacity(n);
@@ -95,7 +96,7 @@ impl Smr for Ibr {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal),
+                retire: RetireSlot::new(seal, bins),
                 scratch: ScratchSlot::new(),
                 op_count: AtomicU64::new(0),
             })

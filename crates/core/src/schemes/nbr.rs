@@ -34,10 +34,13 @@ use crate::header::{unmark_word, Header, Retired};
 use crate::smr::{ReadResult, Restart, Smr};
 use crate::stats::DomainStats;
 
-/// Phase-2 park timeout: short, because two of the five exit conditions
-/// (peer went quiescent, peer began a write) are reached without any
-/// progress-word wake.
-const NBR_WAIT_TIMEOUT_NS: u64 = 100_000;
+/// Phase-2 park timeout. Every exit condition now wakes the progress word
+/// (restart acks since PR 3; going-quiescent, write-phase entry and
+/// deregistration since PR 4's waiter-flag checks in `end_op` /
+/// `begin_write` / `unregister`), so the timeout is a pure liveness
+/// backstop — long enough not to matter, short enough to bound a lost
+/// wake.
+const NBR_WAIT_TIMEOUT_NS: u64 = 1_000_000;
 
 struct ThreadState {
     retire: RetireSlot,
@@ -58,10 +61,12 @@ struct NbrShared {
     in_write: Box<[CachePadded<AtomicBool>]>,
     /// Restart acknowledgements.
     restart_seq: Box<[CachePadded<AtomicU64>]>,
-    /// 32-bit futex key bumped on every restart acknowledgement; phase-2
-    /// waiters park on it after their spin budget. The other phase-2 exits
-    /// (peer went quiescent / entered a write phase) never wake the word —
-    /// the wait's timeout is the liveness backstop for those.
+    /// 32-bit futex key; phase-2 waiters park on it after their spin
+    /// budget. Bumped on every restart acknowledgement, and — when a
+    /// waiter has announced itself — by the going-quiescent, write-phase
+    /// and deregistration exits ([`NbrShared::wake_phase2_waiters`]), so
+    /// every exit wakes promptly and the wait's timeout is only a
+    /// lost-signal backstop.
     progress: Box<[CachePadded<AtomicU32>]>,
     /// Waiters parked (or about to park) on `progress[t]`; the
     /// acknowledging thread skips the wake syscall when zero.
@@ -118,6 +123,38 @@ impl NbrShared {
         for s in 0..self.slots {
             self.wres[tid * self.slots + s].store(0, Ordering::Release);
         }
+    }
+
+    /// Wakes phase-2 waiters parked on `tid`'s progress word, for the exit
+    /// conditions that do not bump the word on their own: going quiescent
+    /// (`end_op`), entering a write phase (`begin_write`) and
+    /// deregistration (`unregister`). Costs **one shared load** when
+    /// nobody waits (the common case — this is the ROADMAP's "waiter-flag
+    /// check").
+    ///
+    /// Ordering: the caller must order its state change before this
+    /// flag load with a `SeqCst` fence (Dekker). Pairing with the waiter's
+    /// announce-then-recheck-then-park sequence: if this load misses the
+    /// waiter's flag bump, the waiter's fence follows ours, so its
+    /// pre-park re-check observes the state change and it never parks; if
+    /// the load sees the flag, the word bump + wake either precede the
+    /// park (kernel re-checks the word: `EAGAIN`) or hit a parked waiter.
+    fn wake_phase2_waiters(&self, tid: usize) {
+        if self.wait_flag[tid].load(Ordering::SeqCst) > 0 {
+            self.progress[tid].fetch_add(1, Ordering::SeqCst);
+            futex::wake_all(&self.progress[tid]);
+        }
+    }
+
+    /// Phase 2's exit predicate for peer `t`: true once `t` provably holds
+    /// no read-phase pointer predating the reclaimer's unlinks (see the
+    /// five cases in the module docs).
+    fn phase2_satisfied(&self, t: usize, seq0: u64, ops0: u64) -> bool {
+        !self.registered[t].load(Ordering::Acquire) // deregistered
+            || !self.in_op[t].load(Ordering::Acquire) // quiescent
+            || self.in_write[t].load(Ordering::Acquire) // reservations honored
+            || self.restart_seq[t].load(Ordering::Acquire) > seq0 // acked restart
+            || self.op_seq[t].load(Ordering::Acquire) != ops0 // fresh operation
     }
 }
 
@@ -242,10 +279,10 @@ impl NbrPlus {
         // Phase 2: wait until every peer provably holds no read-phase
         // pointer predating our unlinks (see module docs for the cases).
         // Bounded spin (SmrConfig::publish_spin) then park on the peer's
-        // progress word: a restart ack wakes us promptly; the other exits
-        // (quiescent / fresh op / write phase / deregistered) never wake
-        // the word, so the wait's timeout — not the wake — is their
-        // detection latency bound.
+        // progress word: every exit wakes it — restart acks bump it
+        // directly, and `end_op` / `begin_write` / `unregister` run the
+        // waiter-flag check — so the park's timeout is only the backstop
+        // for lost signals, not any exit's detection latency.
         let spin_limit = self.base.cfg.publish_spin;
         let use_futex = self.base.cfg.futex_wait && futex::supported();
         for t in 0..sh.nthreads {
@@ -253,32 +290,21 @@ impl NbrPlus {
                 continue;
             }
             let mut spins = 0u32;
-            loop {
-                if !sh.registered[t].load(Ordering::Acquire) {
-                    break; // deregistered: no pointers at all
-                }
-                if !sh.in_op[t].load(Ordering::Acquire) {
-                    break; // quiescent
-                }
-                if sh.in_write[t].load(Ordering::Acquire) {
-                    break; // write phase: reservations honored below
-                }
-                if sh.restart_seq[t].load(Ordering::Acquire) > seq0[t] {
-                    break; // acknowledged restart
-                }
-                if sh.op_seq[t].load(Ordering::Acquire) != ops0[t] {
-                    break; // went quiescent and began a fresh operation
-                }
+            while !sh.phase2_satisfied(t, seq0[t], ops0[t]) {
                 spins = spins.saturating_add(1);
                 if spins <= spin_limit {
                     core::hint::spin_loop();
                 } else if use_futex {
-                    // An ack between the word read and the FUTEX_WAIT
-                    // either changes the word (EAGAIN) or sees our flag
-                    // and wakes; non-ack exits ride the timeout.
+                    // Announce, read the word, re-check, park. A peer
+                    // exit between the announce and the FUTEX_WAIT either
+                    // lands in the re-check (its SeqCst fence follows our
+                    // announce), changes the word (EAGAIN), or sees our
+                    // flag and wakes us.
                     sh.wait_flag[t].fetch_add(1, Ordering::SeqCst);
                     let w = sh.progress[t].load(Ordering::SeqCst);
-                    futex::wait_timeout(&sh.progress[t], w, NBR_WAIT_TIMEOUT_NS);
+                    if !sh.phase2_satisfied(t, seq0[t], ops0[t]) {
+                        futex::wait_timeout(&sh.progress[t], w, NBR_WAIT_TIMEOUT_NS);
+                    }
                     sh.wait_flag[t].fetch_sub(1, Ordering::SeqCst);
                 } else {
                     std::thread::yield_now();
@@ -320,13 +346,14 @@ impl Smr for NbrPlus {
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
+        let bins = cfg.effective_bins();
         let base = DomainBase::new(cfg);
         let shared = NbrShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
         let publisher = register_publisher(shared);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal),
+                retire: RetireSlot::new(seal, bins),
                 scratch: ScratchSlot::new(),
             })
         });
@@ -374,6 +401,10 @@ impl Smr for NbrPlus {
         let list = unsafe { self.threads[tid].retire.get() };
         self.base.orphan_remaining(tid, list);
         sh.registered[tid].store(false, Ordering::Release);
+        // Wake coverage for the deregistered exit (cold path: fence +
+        // flag check unconditionally).
+        fence(Ordering::SeqCst);
+        sh.wake_phase2_waiters(tid);
         sh.gtid_of[tid].store(0, Ordering::Relaxed);
         self.base.clear_gtid(tid);
         self.base.release(tid);
@@ -400,6 +431,15 @@ impl Smr for NbrPlus {
         let sh = self.shared;
         sh.in_write[tid].store(false, Ordering::Release);
         sh.in_op[tid].store(false, Ordering::Release);
+        if self.base.cfg.futex_wait && futex::supported() {
+            // Wake coverage for the going-quiescent exit (ROADMAP item):
+            // the fence orders the in_op clear before the waiter-flag
+            // load (Dekker, see `wake_phase2_waiters`); a parked
+            // reclaimer stops waiting on us now instead of riding the
+            // timeout. In yield mode no waiter parks — skip both.
+            fence(Ordering::SeqCst);
+            sh.wake_phase2_waiters(tid);
+        }
     }
 
     /// NBR's defining property: a read is a plain load plus one relaxed
@@ -445,6 +485,13 @@ impl Smr for NbrPlus {
             sh.in_write[tid].store(false, Ordering::Release);
             sh.clear_wres(tid);
             return Err(Restart);
+        }
+        if self.base.cfg.futex_wait && futex::supported() {
+            // Wake coverage for the entered-write-phase exit: the fence
+            // above already orders the in_write store before the flag
+            // load; a parked reclaimer proceeds to honor our published
+            // reservations instead of riding the timeout.
+            sh.wake_phase2_waiters(tid);
         }
         Ok(())
     }
@@ -628,6 +675,77 @@ mod tests {
         );
         smr.end_op(0);
         drop(reg);
+    }
+
+    #[test]
+    fn quiescent_exit_wakes_parked_phase2_waiter_promptly() {
+        // The PR-4 wake-coverage fix: a reclaimer parked in phase 2
+        // (publish_spin 0 → immediate park) must be FUTEX_WAKEd by the
+        // peer's going-quiescent `end_op`, not left to ride the 1 ms
+        // timeout backstop. The reader waits until the waiter has
+        // announced itself before ending its op and timestamps that
+        // moment; the median park-to-return latency must sit well under
+        // the timeout (a missing wake pays the full 1 ms every round).
+        if !futex::supported() {
+            return; // nothing ever parks off Linux
+        }
+        // Futex mode forced explicitly: this test measures the futex wake
+        // path, and in yield mode (e.g. the POP_FUTEX_WAIT=off CI leg) no
+        // waiter ever announces itself — the reader would spin forever.
+        let smr = NbrPlus::new(
+            SmrConfig::for_tests(2)
+                .with_publish_spin(0)
+                .with_futex_wait(true),
+        );
+        let reg0 = smr.register(0);
+        const ROUNDS: usize = 9;
+        let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+        let (inop_tx, inop_rx) = std::sync::mpsc::channel::<()>();
+        let (t0_tx, t0_rx) = std::sync::mpsc::channel::<std::time::Instant>();
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            move || {
+                let reg1 = smr.register(1);
+                for _ in 0..ROUNDS {
+                    go_rx.recv().unwrap();
+                    smr.begin_op(1);
+                    inop_tx.send(()).unwrap();
+                    // Hold the read phase until the reclaimer's phase-2
+                    // waiter has announced itself on our progress word
+                    // (it parks right after, or its pre-park re-check
+                    // sees the end_op — prompt either way).
+                    while smr.shared.wait_flag[1].load(Ordering::SeqCst) == 0 {
+                        std::hint::spin_loop();
+                    }
+                    let t0 = std::time::Instant::now();
+                    smr.end_op(1);
+                    t0_tx.send(t0).unwrap();
+                }
+                drop(reg1);
+            }
+        });
+        let mut lat_ns: Vec<u64> = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            go_tx.send(()).unwrap();
+            inop_rx.recv().unwrap();
+            // flush runs a full reclamation pass: phase 1 pings the
+            // in-op reader (which never checkpoints, so never acks) and
+            // phase 2 blocks on it until its end_op.
+            smr.flush(0);
+            let done = std::time::Instant::now();
+            let t0 = t0_rx.recv().unwrap();
+            lat_ns.push(done.duration_since(t0).as_nanos() as u64);
+        }
+        reader.join().unwrap();
+        drop(reg0);
+        lat_ns.sort_unstable();
+        let median = lat_ns[ROUNDS / 2];
+        assert!(
+            median < NBR_WAIT_TIMEOUT_NS / 2,
+            "going-quiescent exit must wake the parked waiter well under \
+             the {NBR_WAIT_TIMEOUT_NS} ns timeout backstop; median {median} ns \
+             (all: {lat_ns:?})"
+        );
     }
 
     #[test]

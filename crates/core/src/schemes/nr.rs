@@ -34,8 +34,9 @@ impl Smr for NoReclaim {
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
         let seal = cfg.effective_batch();
+        let bins = cfg.effective_bins();
         let mut threads = Vec::with_capacity(n);
-        threads.resize_with(n, || CachePadded::new(RetireSlot::new(seal)));
+        threads.resize_with(n, || CachePadded::new(RetireSlot::new(seal, bins)));
         Arc::new(NoReclaim {
             base: DomainBase::new(cfg),
             threads: threads.into_boxed_slice(),
@@ -73,8 +74,8 @@ impl Smr for NoReclaim {
     unsafe fn retire(&self, tid: usize, retired: Retired) {
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].get() };
-        if let Some(sealed) = list.push(retired) {
-            account_seal(&self.base, tid, sealed);
+        if let Some(outcome) = list.push(retired) {
+            account_seal(&self.base, tid, outcome);
             // Deliberate leak: NR never frees. `Retired` has no Drop impl,
             // so abandoning the sealed records leaks the allocations while
             // the block box recycles into the fill pool.

@@ -56,6 +56,11 @@ pub struct ShardStats {
     pub retired_nodes: AtomicU64,
     /// Retirement batches sealed into retire lists.
     pub batches_sealed: AtomicU64,
+    /// Sealed blocks whose slots were address-monotone (ascending or
+    /// descending pointers) at seal time — the blocks the merge-join
+    /// sweep orders for free. The arena-binned fill path exists to push
+    /// this toward `batches_sealed`.
+    pub blocks_sealed_monotone: AtomicU64,
     /// Sealed blocks freed whole by the sweep fast path (every member
     /// failed the keep predicate).
     pub blocks_freed_whole: AtomicU64,
@@ -181,6 +186,9 @@ impl DomainStats {
             out.batches_sealed = out
                 .batches_sealed
                 .wrapping_add(s.batches_sealed.load(Ordering::Relaxed));
+            out.blocks_sealed_monotone = out
+                .blocks_sealed_monotone
+                .wrapping_add(s.blocks_sealed_monotone.load(Ordering::Relaxed));
             out.blocks_freed_whole = out
                 .blocks_freed_whole
                 .wrapping_add(s.blocks_freed_whole.load(Ordering::Relaxed));
@@ -240,6 +248,8 @@ pub struct StatsSnapshot {
     pub retired_nodes: u64,
     /// See [`ShardStats::batches_sealed`].
     pub batches_sealed: u64,
+    /// See [`ShardStats::blocks_sealed_monotone`].
+    pub blocks_sealed_monotone: u64,
     /// See [`ShardStats::blocks_freed_whole`].
     pub blocks_freed_whole: u64,
     /// See [`ShardStats::blocks_kept_whole`].

@@ -42,7 +42,15 @@ fn unregister_seals_partial_batch_and_adoption_reclaims_it() {
     // the partial batch must be sealed (accounted) and the pinned node
     // orphaned — never leaked. A later registrant adopts the orphan and
     // frees it once the reservation clears.
-    let smr = HazardPtr::new(SmrConfig::for_tests(2).with_reclaim_freq(1 << 16));
+    // Batch and bins pinned: this test asserts exact seal points, which
+    // the POP_* fallback env legs (and arena-boundary straddles under
+    // multi-bin fills) would legitimately shift.
+    let smr = HazardPtr::new(
+        SmrConfig::for_tests(2)
+            .with_reclaim_freq(1 << 16)
+            .with_retire_batch(RETIRE_BATCH_CAP)
+            .with_retire_bins(1),
+    );
     let reg1 = smr.register(1);
     let reg0 = smr.register(0);
 
@@ -128,9 +136,16 @@ fn block_sweep_matches_per_node_sweep() {
 
 #[test]
 fn batched_retires_count_fewer_stat_rmws() {
-    // Observability of the amortization itself: 128 retires at the default
-    // batch seal exactly 128 / RETIRE_BATCH_CAP times.
-    let smr = Ebr::new(SmrConfig::for_tests(1).with_reclaim_freq(1 << 16));
+    // Observability of the amortization itself: 128 retires at the full
+    // batch seal exactly 128 / RETIRE_BATCH_CAP times. Batch and bins
+    // pinned — exact seal counts are what is being tested, and the POP_*
+    // env legs / arena-boundary straddles would shift them.
+    let smr = Ebr::new(
+        SmrConfig::for_tests(1)
+            .with_reclaim_freq(1 << 16)
+            .with_retire_batch(RETIRE_BATCH_CAP)
+            .with_retire_bins(1),
+    );
     let reg = smr.register(0);
     for i in 0..(4 * RETIRE_BATCH_CAP as u64) {
         let p = alloc(&*smr, 0, i);

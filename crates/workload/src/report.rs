@@ -40,6 +40,10 @@ pub struct RunRecord {
     pub pings_elided_adaptive: u64,
     /// Retirement batches sealed (retires per stats RMW = ops / batches).
     pub batches_sealed: u64,
+    /// Of those, blocks that were address-monotone at seal time (the
+    /// arena-binned fill path's figure of merit: monotone share =
+    /// `blocks_sealed_monotone / batches_sealed`).
+    pub blocks_sealed_monotone: u64,
     /// Orphans stolen by reclaimer passes (sweep-time adoption).
     pub orphans_stolen: u64,
     /// NBR restarts observed.
@@ -48,12 +52,12 @@ pub struct RunRecord {
 
 impl RunRecord {
     /// CSV header matching [`RunRecord::csv_row`].
-    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,orphans_stolen,restarts";
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,blocks_sealed_monotone,orphans_stolen,restarts";
 
     /// Serializes this record as a CSV row tagged with `figure`.
     pub fn csv_row(&self, figure: &str) -> String {
         format!(
-            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{}",
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{}",
             self.ds,
             self.scheme,
             self.threads,
@@ -71,6 +75,7 @@ impl RunRecord {
             self.pings_skipped,
             self.pings_elided_adaptive,
             self.batches_sealed,
+            self.blocks_sealed_monotone,
             self.orphans_stolen,
             self.restarts,
         )
@@ -151,6 +156,7 @@ mod tests {
             pings_skipped: 1,
             pings_elided_adaptive: 2,
             batches_sealed: 4,
+            blocks_sealed_monotone: 3,
             orphans_stolen: 0,
             restarts: 0,
         }
