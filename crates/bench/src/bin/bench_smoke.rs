@@ -14,17 +14,24 @@
 //!   (`blocks_sealed_monotone / batches_sealed`).
 //! * **Publish wait wake latency**: a full `ping → handler publish → wake`
 //!   handshake against one busy in-op peer, futex-parked vs yield.
+//! * **Idle-domain pass cost** (PR 5): the amortized cost of a
+//!   retire-triggered pass on a domain whose sweeps free nothing (one
+//!   stalled reader pins everything), with the adaptive controller's
+//!   epoch-cadence decay on vs off.
+//! * **Adaptive bin convergence** (PR 5): sweep ns/node with auto-sized
+//!   bins against the best and worst static settings, on both the
+//!   single-stream and the interleaved-arena workloads.
 //!
 //! Usage: `bench_smoke [--out PATH] [--iters N]` (defaults:
-//! `BENCH_pr4.json`, 60 iterations per measurement).
+//! `BENCH_pr5.json`, 60 iterations per measurement).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pop_core::testing::SweepBench;
-use pop_core::{retire_node, HasHeader, HazardPtrPop, Header, Smr, SmrConfig};
+use pop_core::{retire_node, Ebr, HasHeader, HazardPtrPop, Header, Smr, SmrConfig};
 
 #[repr(C)]
 struct Node {
@@ -133,6 +140,129 @@ fn pinned_ns_per_node(merge_join: bool, rsize: usize, iters: u32) -> f64 {
     total.as_nanos() as f64 / iters as f64 / rsize as f64
 }
 
+/// Amortized cost (ns) of one retire-*triggered* reclamation pass on an
+/// idle (fully pinned) EBR domain, `(pass_ns, decay_steps)`. A peer
+/// parks in-op so every sweep is barren; with `retire_bins = 1` and
+/// `retire_batch = 32` the trigger points are deterministic (every
+/// `reclaim_freq`-th retire), so exactly those retire calls are timed —
+/// each carries one push + seal (identical in both configurations) plus
+/// the triggered pass, which the decayed controller thins away.
+fn idle_pass_ns(adaptive: bool, triggers: u32) -> (f64, u64) {
+    const RECLAIM_FREQ: usize = 256;
+    // A wide domain: the per-pass reservation scan walks 64 thread slots,
+    // the cost pool the decay exists to shrink.
+    let smr = Ebr::new(
+        SmrConfig::for_tests(64)
+            .with_reclaim_freq(RECLAIM_FREQ)
+            .with_retire_bins(1)
+            .with_adaptive(adaptive),
+    );
+    let reg0 = smr.register(0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let pinner = std::thread::spawn({
+        let smr = Arc::clone(&smr);
+        let stop = Arc::clone(&stop);
+        move || {
+            let reg1 = smr.register(1);
+            smr.begin_op(1); // pins the epoch: every sweep is barren
+            tx.send(()).unwrap();
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            smr.end_op(1);
+            drop(reg1);
+        }
+    });
+    rx.recv().unwrap();
+    let mut timed_ns = 0u128;
+    let mut timed = 0u32;
+    for i in 1..=(RECLAIM_FREQ as u64) * triggers as u64 {
+        smr.note_alloc(0, core::mem::size_of::<Node>());
+        let p = Box::into_raw(Box::new(Node {
+            hdr: Header::new(0, core::mem::size_of::<Node>()),
+            v: i,
+        }));
+        if i.is_multiple_of(RECLAIM_FREQ as u64) {
+            let t0 = Instant::now();
+            // SAFETY: never shared; retired exactly once.
+            unsafe { retire_node(&*smr, 0, p) };
+            timed_ns += t0.elapsed().as_nanos();
+            timed += 1;
+        } else {
+            // SAFETY: as above.
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+    }
+    let decay_steps = smr.stats().snapshot().epoch_decay_steps;
+    stop.store(true, Ordering::Release);
+    pinner.join().unwrap();
+    smr.flush(0);
+    assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+    drop(reg0);
+    (timed_ns as f64 / timed as f64, decay_steps)
+}
+
+/// Merge-join sweep ns/node for three bin configurations — static 1,
+/// static 8, adaptive (initial 4) — over the workload `fill`, with the
+/// rounds *interleaved* across the three instances so every configuration
+/// sees the same allocator state (running them back to back would hand
+/// the later ones a progressively fragmented heap). Adaptive gets
+/// `warmup` extra unmeasured rounds first to converge. Returns
+/// `(static1_ns, static8_ns, adaptive_ns, adaptive_final_bins)`.
+fn adaptive_bins_ns(
+    mut fill: impl FnMut(&mut SweepBench) -> Vec<u64>,
+    rsize: usize,
+    warmup: u32,
+    rounds: u32,
+) -> (f64, f64, f64, usize) {
+    let mut benches = [
+        SweepBench::with_bins(1),
+        SweepBench::with_bins(8),
+        SweepBench::adaptive(4),
+    ];
+    let one_round = |bench: &mut SweepBench,
+                     fill: &mut dyn FnMut(&mut SweepBench) -> Vec<u64>|
+     -> (u128, usize) {
+        let ptrs = fill(bench);
+        let mut reserved: Vec<u64> = ptrs
+            .iter()
+            .copied()
+            .step_by((ptrs.len() / rsize).max(1))
+            .take(rsize)
+            .collect();
+        reserved.sort_unstable();
+        let t0 = Instant::now();
+        let freed = bench.sweep_merge_join(&reserved);
+        let dt = t0.elapsed();
+        assert_eq!(freed, ptrs.len() - reserved.len());
+        bench.drain();
+        (dt.as_nanos(), ptrs.len())
+    };
+    // Adaptive convergence + pool/heap warmup for everyone (1 round each
+    // per adaptive warmup round keeps the interleaving symmetric).
+    for _ in 0..warmup {
+        for b in &mut benches {
+            one_round(b, &mut fill);
+        }
+    }
+    let mut ns = [0u128; 3];
+    let mut nodes = [0usize; 3];
+    for _ in 0..rounds {
+        for (i, b) in benches.iter_mut().enumerate() {
+            let (dt, n) = one_round(b, &mut fill);
+            ns[i] += dt;
+            nodes[i] += n;
+        }
+    }
+    (
+        ns[0] as f64 / nodes[0] as f64,
+        ns[1] as f64 / nodes[1] as f64,
+        ns[2] as f64 / nodes[2] as f64,
+        benches[2].bins(),
+    )
+}
+
 /// Mean ns per full ping→publish→wake handshake against one busy peer.
 fn wait_wake_ns(futex: bool, iters: u32) -> f64 {
     let smr = HazardPtrPop::new(
@@ -191,7 +321,7 @@ fn wait_wake_ns(futex: bool, iters: u32) -> f64 {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr4.json");
+    let mut out_path = String::from("BENCH_pr5.json");
     let mut iters: u32 = 60;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -286,12 +416,86 @@ fn main() {
     let wake_yield = wait_wake_ns(false, iters);
     println!("wait_wake: futex {wake_futex:.0} ns, yield {wake_yield:.0} ns");
 
+    // PR 5: idle-domain pass cost with the epoch-cadence decay on vs off.
+    // The acceptance bar is a ≥ 2× reduction; the thinned passes usually
+    // land far past it.
+    let triggers = iters.max(48);
+    let (idle_static, _) = idle_pass_ns(false, triggers);
+    let (idle_adaptive, decay_steps) = idle_pass_ns(true, triggers);
+    let idle_speedup = idle_static / idle_adaptive;
+    println!(
+        "idle_pass: static {idle_static:.0} ns/trigger vs adaptive \
+         {idle_adaptive:.0} ns/trigger ({idle_speedup:.2}x, \
+         {decay_steps} decay steps)"
+    );
+
+    // PR 5: adaptive bin convergence. Single stream — adaptive must match
+    // the 1-bin static setting; interleaved-arena churn — adaptive must
+    // match the 8-bin static setting. Warmup rounds let the auto-sizer
+    // converge before the measured rounds.
+    const SINGLE_NODES: usize = 4096;
+    const INTER_NODES: usize = SWEEP_NODES * 8;
+    let rounds = (iters / 4).max(8);
+    let single = |b: &mut SweepBench| b.fill_sorted(SINGLE_NODES);
+    let inter = |b: &mut SweepBench| b.fill_interleaved(INTER_NODES, 4);
+    let (single_s1, single_s8, single_ad, single_bins) = adaptive_bins_ns(single, 64, 8, rounds);
+    let (inter_s1, inter_s8, inter_ad, inter_bins) = adaptive_bins_ns(inter, 64, 8, rounds);
+    println!(
+        "adaptive_bins single-stream: static1 {single_s1:.2} | static8 \
+         {single_s8:.2} | adaptive {single_ad:.2} ns/node (→ {single_bins} bins)"
+    );
+    println!(
+        "adaptive_bins interleaved:   static1 {inter_s1:.2} | static8 \
+         {inter_s8:.2} | adaptive {inter_ad:.2} ns/node (→ {inter_bins} bins)"
+    );
+
+    // PR 5: era-monotone seal share and the first-sweep era filter. The
+    // interleaved workload's birth eras zigzag in an unbinned fill block
+    // but stay monotone per arena bin, so the binned side merge-joins on
+    // the first sweep (no sort deferral) and the share says why.
+    let era_share = |bins: usize| {
+        let mut bench = SweepBench::with_bins(bins);
+        let mut era_ns = 0u128;
+        let mut nodes = 0usize;
+        for _ in 0..rounds {
+            let n = bench.fill_interleaved(INTER_NODES, 4).len();
+            let reserved: Vec<u64> = (0..64u64).map(|i| i * (n as u64 / 64)).collect();
+            let t0 = Instant::now();
+            bench.sweep_era(&reserved);
+            era_ns += t0.elapsed().as_nanos();
+            nodes += n;
+            bench.drain();
+        }
+        let (mono, sealed) = bench.era_monotone_share();
+        (
+            era_ns as f64 / nodes as f64,
+            mono as f64 / sealed.max(1) as f64,
+        )
+    };
+    let (era_ns_1, era_share_1) = era_share(1);
+    let (era_ns_8, era_share_8) = era_share(8);
+    println!(
+        "era_monotone: bins=1 {era_ns_1:.2} ns/node (share {era_share_1:.2}) \
+         vs bins=8 {era_ns_8:.2} ns/node (share {era_share_8:.2})"
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"pr4_retire_pipeline\",\n  \"iters\": {iters},\n  \
+        "{{\n  \"bench\": \"pr5_adaptive_controller\",\n  \"iters\": {iters},\n  \
          \"sweep_filter\": [{sweeps}\n  ],\n  \
          \"binned_fill\": [{binned}\n  ],\n  \
          \"sequential_fill_monotone_share\": {seq_share:.3},\n  \
-         \"wait_wake_ns\": {{\"futex\": {wake_futex:.0}, \"yield\": {wake_yield:.0}}}\n}}\n"
+         \"wait_wake_ns\": {{\"futex\": {wake_futex:.0}, \"yield\": {wake_yield:.0}}},\n  \
+         \"idle_pass\": {{\"static_ns_per_trigger\": {idle_static:.0}, \
+         \"adaptive_ns_per_trigger\": {idle_adaptive:.0}, \
+         \"decay_speedup\": {idle_speedup:.3}, \
+         \"decay_steps\": {decay_steps}}},\n  \
+         \"adaptive_bins\": {{\
+         \"single_stream\": {{\"static1_ns\": {single_s1:.2}, \"static8_ns\": {single_s8:.2}, \
+         \"adaptive_ns\": {single_ad:.2}, \"adaptive_bins\": {single_bins}}}, \
+         \"interleaved\": {{\"static1_ns\": {inter_s1:.2}, \"static8_ns\": {inter_s8:.2}, \
+         \"adaptive_ns\": {inter_ad:.2}, \"adaptive_bins\": {inter_bins}}}}},\n  \
+         \"era_monotone\": {{\"bins1_ns\": {era_ns_1:.2}, \"bins1_share\": {era_share_1:.3}, \
+         \"bins8_ns\": {era_ns_8:.2}, \"bins8_share\": {era_share_8:.3}}}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");

@@ -182,6 +182,9 @@ fn run_robustness(opts: &SweepOptions, csv: &Path) {
             pings_elided_adaptive: stats.pings_elided_adaptive,
             batches_sealed: stats.batches_sealed,
             blocks_sealed_monotone: stats.blocks_sealed_monotone,
+            blocks_sealed_era_monotone: stats.blocks_sealed_era_monotone,
+            epoch_decay_steps: stats.epoch_decay_steps,
+            bin_resizes: stats.bin_resizes,
             orphans_stolen: stats.orphans_stolen,
             restarts: stats.restarts,
         }

@@ -136,6 +136,9 @@ pub(crate) struct SealOutcome {
     pub blocks: u64,
     /// Of those, blocks whose slots were address-monotone.
     pub monotone: u64,
+    /// Of those, blocks whose slots were birth-era-monotone (the
+    /// era-sweep merge-join fast path's figure of merit).
+    pub era_monotone: u64,
 }
 
 /// A per-thread batched retire list (see the module-level lifecycle).
@@ -170,10 +173,22 @@ pub(crate) struct RetireList {
     /// Recycled empty blocks (the allocation-free steady state).
     #[allow(clippy::vec_box)]
     free: Vec<Box<RetireBatch>>,
+    /// Fill-bin auto-sizer (`None` = static bins, the legacy behavior).
+    adapt: Option<crate::controller::BinAdapt>,
+    /// Set by `seal_bin` when the auto-sizer's window completed; consumed
+    /// (and possibly acted on) by [`Self::maybe_adapt_bins`].
+    adapt_window_due: bool,
 }
 
 impl RetireList {
     pub(crate) fn new(seal: usize, bins: usize) -> Self {
+        Self::with_adaptive(seal, bins, false)
+    }
+
+    /// Like [`Self::new`], with per-thread bin auto-sizing: `bins` is the
+    /// initial count and the auto-sizer roams
+    /// `1..=`[`crate::config::MAX_RETIRE_BINS`].
+    pub(crate) fn with_adaptive(seal: usize, bins: usize, adaptive: bool) -> Self {
         let bins = crate::config::normalize_bins(bins);
         let mut fills = Vec::with_capacity(bins);
         fills.resize_with(bins, RetireBatch::boxed);
@@ -186,6 +201,56 @@ impl RetireList {
             blocks: Vec::new(),
             fills,
             free: Vec::new(),
+            adapt: adaptive
+                .then(|| crate::controller::BinAdapt::new(crate::config::MAX_RETIRE_BINS)),
+            adapt_window_due: false,
+        }
+    }
+
+    /// Current fill-bin count (auto-sizing observability).
+    #[inline]
+    pub(crate) fn bins(&self) -> usize {
+        self.fills.len()
+    }
+
+    /// Resizes the fill bins to `bins` (a power of two). The caller must
+    /// have sealed every fill bin first; shed bin boxes go to the free
+    /// pool and grown bins draw from it, so resizing allocates nothing in
+    /// the steady state.
+    fn set_bins(&mut self, bins: usize) {
+        debug_assert!(self.fill_nodes == 0, "seal before resizing bins");
+        let bins = crate::config::normalize_bins(bins);
+        while self.fills.len() > bins {
+            let b = self.fills.pop().expect("len checked");
+            debug_assert!(b.is_empty());
+            self.free.push(b);
+        }
+        while self.fills.len() < bins {
+            let b = self.free.pop().unwrap_or_else(RetireBatch::boxed);
+            debug_assert!(b.is_empty());
+            self.fills.push(b);
+        }
+        self.bin_mask = bins as u64 - 1;
+    }
+
+    /// Hot-path adaptation step, called once per sealed block from
+    /// [`push_retired`]: when the auto-sizer's window just completed and
+    /// it decided to resize, seals the partial bins (returning their
+    /// outcome — the caller owes `account_seal` plus one `bin_resizes`
+    /// bump) and applies the new bin count.
+    pub(crate) fn maybe_adapt_bins(&mut self) -> Option<SealOutcome> {
+        if !self.adapt_window_due {
+            return None;
+        }
+        self.adapt_window_due = false;
+        let bins = self.fills.len();
+        match self.adapt.as_mut()?.evaluate(bins) {
+            crate::controller::BinDecision::Hold => None,
+            crate::controller::BinDecision::Resize(nb) => {
+                let outcome = self.seal_partial();
+                self.set_bins(nb);
+                Some(outcome)
+            }
         }
     }
 
@@ -226,14 +291,28 @@ impl RetireList {
         let fresh = self.free.pop().unwrap_or_else(RetireBatch::boxed);
         let full = core::mem::replace(&mut self.fills[bin], fresh);
         let monotone = full.is_ptr_monotone();
+        let era_monotone = full.is_era_monotone();
         self.blocks.push(full);
         self.sealed_nodes += n;
         self.fill_nodes -= n;
         self.sealed_since_trigger += n;
+        // Feed the bin auto-sizer — full-threshold (hot-path) seals only.
+        // Flush/resize-time partials are short runs that read as
+        // trivially monotone and would bias the share upward, probing
+        // collapses the full-block regime would reject. The
+        // completed-window flag is consumed by `push_retired`'s
+        // `maybe_adapt_bins` call, in the same call as the seal that
+        // completed the window.
+        if n >= self.seal {
+            if let Some(a) = self.adapt.as_mut() {
+                self.adapt_window_due |= a.note_seal(1, monotone as u64);
+            }
+        }
         SealOutcome {
             nodes: n,
             blocks: 1,
             monotone: monotone as u64,
+            era_monotone: era_monotone as u64,
         }
     }
 
@@ -255,6 +334,7 @@ impl RetireList {
                 out.nodes += s.nodes;
                 out.blocks += s.blocks;
                 out.monotone += s.monotone;
+                out.era_monotone += s.era_monotone;
             }
         }
         out
@@ -326,8 +406,14 @@ unsafe impl Sync for RetireSlot {}
 unsafe impl Send for RetireSlot {}
 
 impl RetireSlot {
-    pub(crate) fn new(seal: usize, bins: usize) -> Self {
-        RetireSlot(UnsafeCell::new(RetireList::new(seal, bins)))
+    /// The constructor every scheme uses: seal threshold, initial bin
+    /// count and bin auto-sizing all derived from one config.
+    pub(crate) fn for_cfg(cfg: &SmrConfig) -> Self {
+        RetireSlot(UnsafeCell::new(RetireList::with_adaptive(
+            cfg.effective_batch(),
+            cfg.effective_bins(),
+            cfg.adaptive_bins(),
+        )))
     }
 
     /// # Safety
@@ -473,6 +559,12 @@ impl EpochClocks {
     /// (a formerly-hot peer ticked far ahead, then went idle) would leave
     /// `fetch_max` a no-op for `max - own` consecutive passes, pinning
     /// every epoch-based free at the stale maximum.
+    /// Epoch-cadence decay note: this runs only from *full* passes, so on
+    /// a decayed domain (where only 1 in `2^decay` triggered passes is
+    /// full) the whole aggregation — own stripe, rotating stripe, global
+    /// `fetch_max` — already runs at the decayed rate. A lagging peer's
+    /// clock is folded in within `2^decay × nstripes` full-pass
+    /// opportunities, and every *executed* pass still strictly advances.
     pub(crate) fn advance_max_scan(&self, tid: usize) -> u64 {
         let cur = self.global.load(Ordering::Acquire);
         let mine = self.local[tid].load(Ordering::Relaxed);
@@ -767,6 +859,11 @@ pub(crate) fn account_seal(base: &DomainBase, tid: usize, outcome: SealOutcome) 
             .blocks_sealed_monotone
             .fetch_add(outcome.monotone, Ordering::Relaxed);
     }
+    if outcome.era_monotone > 0 {
+        shard
+            .blocks_sealed_era_monotone
+            .fetch_add(outcome.era_monotone, Ordering::Relaxed);
+    }
 }
 
 /// Seals every non-empty fill bin and performs the amortized accounting
@@ -779,9 +876,10 @@ pub(crate) fn seal_and_account(base: &DomainBase, tid: usize, list: &mut RetireL
     }
 }
 
-/// The shared retire fast path: push into the thread's fill block; on a
-/// seal, run the amortized accounting and report whether a reclamation
-/// pass is due (the caller then runs its scheme's pass).
+/// The shared retire fast path: push into the pointer's arena fill bin;
+/// on a seal, run the amortized accounting (plus the bin auto-sizer's
+/// window step) and report whether a reclamation pass is due (the caller
+/// then runs its scheme's pass).
 ///
 /// A pass is due when the list is over `reclaim_freq` **and** a full
 /// `reclaim_freq` of new retires arrived since the last trigger — so a
@@ -798,6 +896,18 @@ pub(crate) fn push_retired(
         None => false,
         Some(outcome) => {
             account_seal(base, tid, outcome);
+            // Bin auto-sizing rides the seal (already off the per-retire
+            // path): at most once per adaptation window this seals the
+            // partial bins and applies a new bin count.
+            if let Some(extra) = list.maybe_adapt_bins() {
+                if extra.nodes > 0 {
+                    account_seal(base, tid, extra);
+                }
+                base.stats
+                    .shard(tid)
+                    .bin_resizes
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             let freq = base.cfg.reclaim_freq;
             if list.len() >= freq && list.sealed_since_trigger >= freq {
                 list.note_pass();
@@ -830,8 +940,8 @@ fn full_mask(n: usize) -> u32 {
     }
 }
 
-/// Block-granular sweep driver under every reclamation pass: seals the
-/// fill block, steals one orphan chunk, then walks sealed blocks in retire
+/// Block-granular sweep driver under every reclamation pass: seals every
+/// non-empty fill bin, steals one orphan chunk, then walks sealed blocks in retire
 /// order, executing the [`BlockPlan`] `plan` returns for each. Survivors
 /// stay **in their original retire order** within and across blocks, and
 /// per-node masks that turn out to cover (or clear) a whole block are
@@ -1110,10 +1220,14 @@ pub(crate) unsafe fn free_era_unreserved(
                 return BlockPlan::FreeAll;
             }
             let mut mask = 0u32;
-            if b.has_sorted(SortKey::Birth) || b.note_sweep() >= 1 {
+            if b.has_sorted(SortKey::Birth) || b.era_monotone_hint() || b.note_sweep() >= 1 {
                 // Merge-join: the first-reserved-era-≥-birth cursor is
                 // monotone in birth order, so one forward walk over the
-                // birth-sorted slots replaces the per-node search.
+                // birth-sorted slots replaces the per-node search. Blocks
+                // born era-monotone (retire order tracks birth order in
+                // most workloads — the push-time direction bits prove it)
+                // take this path on their FIRST sweep: their birth-sorted
+                // permutation costs one detection pass, no sort.
                 let (ord, n) = copy_sorted_order(b, SortKey::Birth);
                 let nodes = b.nodes();
                 let mut cur = 0usize;
@@ -1254,6 +1368,40 @@ impl SweepBench {
         }
     }
 
+    /// Like [`Self::with_bins`] with the per-thread bin auto-sizer live
+    /// (`bins` is the initial count), for measuring adaptive convergence
+    /// against the static settings.
+    pub fn adaptive(bins: usize) -> Self {
+        SweepBench {
+            base: DomainBase::new(SmrConfig::for_tests(1).with_reclaim_freq(1 << 30)),
+            list: RetireList::with_adaptive(RETIRE_BATCH_CAP, bins, true),
+        }
+    }
+
+    /// Current fill-bin count (auto-sizing observability).
+    pub fn bins(&self) -> usize {
+        self.list.bins()
+    }
+
+    /// Bin resize events performed by the auto-sizer so far.
+    pub fn bin_resizes(&self) -> u64 {
+        self.base.stats.snapshot().bin_resizes
+    }
+
+    /// `(era_monotone, sealed)` block counts so callers can report the
+    /// era-monotone sealed-block share.
+    pub fn era_monotone_share(&self) -> (u64, u64) {
+        let s = self.base.stats.snapshot();
+        (s.blocks_sealed_era_monotone, s.batches_sealed)
+    }
+
+    /// Sweeps with the era filter (`free_era_unreserved`) against a
+    /// sorted, deduplicated reserved-era set. Returns the number freed.
+    pub fn sweep_era(&mut self, reserved: &[u64]) -> usize {
+        // SAFETY: harness nodes are never shared; any entry is freeable.
+        unsafe { free_era_unreserved(&self.base, 0, &mut self.list, reserved) }
+    }
+
     /// Allocates and retires `n` nodes, returning their pointer words in
     /// retire order (callers draw reservation sets from these). Retire
     /// order is whatever the allocator hands out — address-random after
@@ -1279,6 +1427,37 @@ impl SweepBench {
         ptrs
     }
 
+    /// Allocates and retires `n` nodes in **address order** — the ideal
+    /// single-address-stream workload (a bump allocator, or a structure
+    /// retiring a contiguous region in traversal order), independent of
+    /// what order the process allocator hands addresses out. Every block
+    /// seals monotone at any bin count. Returns the pointer words in
+    /// retire order.
+    pub fn fill_sorted(&mut self, n: usize) -> Vec<u64> {
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let p = Box::into_raw(Box::new(SweepBenchNode {
+                hdr: crate::header::Header::new(i, core::mem::size_of::<SweepBenchNode>()),
+                _payload: [0; 2],
+            }));
+            self.base
+                .stats
+                .shard(0)
+                .allocated_nodes
+                .fetch_add(1, Ordering::Relaxed);
+            // SAFETY: freshly boxed, never shared, retired exactly once.
+            nodes.push(unsafe { Retired::new(p) });
+        }
+        nodes.sort_by_key(|r| r.ptr() as u64);
+        let mut ptrs = Vec::with_capacity(n);
+        for (era, r) in nodes.into_iter().enumerate() {
+            r.header().set_retire_era(era as u64);
+            ptrs.push(r.ptr() as u64);
+            push_retired(&self.base, 0, &mut self.list, r);
+        }
+        ptrs
+    }
+
     /// Allocates `streams` bursts of `n / streams` nodes each (every
     /// burst contiguous, hence address-ascending and usually confined to
     /// one allocator arena) and retires them **round-robin across the
@@ -1293,8 +1472,13 @@ impl SweepBench {
         for s in 0..streams {
             let mut burst = Vec::with_capacity(per);
             for i in 0..per as u64 {
+                // Burst-disjoint birth eras: round-robin retirement then
+                // interleaves distinct era runs (the era analogue of the
+                // interleaved address streams), so an unbinned fill block
+                // is era-zigzag while an arena-binned one stays monotone.
+                let birth = s as u64 * per as u64 + i;
                 let p = Box::into_raw(Box::new(SweepBenchNode {
-                    hdr: crate::header::Header::new(i, core::mem::size_of::<SweepBenchNode>()),
+                    hdr: crate::header::Header::new(birth, core::mem::size_of::<SweepBenchNode>()),
                     _payload: [s as u64; 2],
                 }));
                 self.base
@@ -2085,6 +2269,160 @@ mod tests {
             "stolen blocks range-test whole from surviving summaries"
         );
         drain_free(&b, &mut thief);
+    }
+
+    #[test]
+    fn adaptive_bins_collapse_to_one_on_a_single_stream() {
+        // A monotone push order keeps the sealed-block monotone share at
+        // 1.0 regardless of bin count, so the auto-sizer's collapse
+        // probes all succeed: 4 → 2 → 1 within a few windows, shedding
+        // the multi-bin unsealed-node bound.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::with_adaptive(8, 4, true);
+        assert_eq!(list.bins(), 4);
+        // One window = BIN_ADAPT_WINDOW blocks of 8 nodes; give it six
+        // windows' worth of ascending-address pushes.
+        let per_window = crate::controller::BIN_ADAPT_WINDOW as usize * 8;
+        for _ in 0..6 {
+            let mut nodes: Vec<Retired> = (0..per_window as u64).map(|i| mk(&b, i, i)).collect();
+            nodes.sort_by_key(|r| r.ptr() as u64);
+            for r in nodes {
+                push_retired(&b, 0, &mut list, r);
+            }
+            // Keep the list bounded (and the free pool warm).
+            let freed = unsafe { sweep_retire_list(&b, 0, &mut list, |_| false) };
+            assert!(freed > 0);
+        }
+        assert_eq!(list.bins(), 1, "single stream must converge to 1 bin");
+        let s = b.stats.snapshot();
+        assert!(
+            s.bin_resizes >= 2,
+            "at least 4 → 2 → 1, saw {}",
+            s.bin_resizes
+        );
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn adaptive_bins_grow_back_under_address_random_churn() {
+        // A deterministically shuffled push order defeats every bin
+        // count's separation, so the share stays low and the auto-sizer
+        // grows to the maximum — and stays there (low share at the
+        // ceiling holds, it does not oscillate).
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::with_adaptive(8, 1, true);
+        assert_eq!(list.bins(), 1);
+        let per_round = crate::controller::BIN_ADAPT_WINDOW as usize * 8;
+        for _ in 0..8 {
+            let mut nodes: Vec<Retired> = (0..per_round as u64).map(|i| mk(&b, i, i)).collect();
+            nodes.sort_by_key(|r| r.ptr() as u64);
+            // Deterministic shuffle: visit indices by a coprime stride.
+            let n = nodes.len();
+            let mut order: Vec<usize> = (0..n).map(|i| (i * 97) % n).collect();
+            order.dedup();
+            let mut slots: Vec<Option<Retired>> = nodes.into_iter().map(Some).collect();
+            for i in order {
+                if let Some(r) = slots[i].take() {
+                    push_retired(&b, 0, &mut list, r);
+                }
+            }
+            for s in slots.into_iter().flatten() {
+                push_retired(&b, 0, &mut list, s);
+            }
+            let freed = unsafe { sweep_retire_list(&b, 0, &mut list, |_| false) };
+            assert!(freed > 0);
+        }
+        assert_eq!(
+            list.bins(),
+            crate::config::MAX_RETIRE_BINS,
+            "random churn must grow to the ceiling"
+        );
+        assert!(b.stats.snapshot().bin_resizes >= 3, "1 → 2 → 4 → 8");
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn static_bins_never_resize() {
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::with_adaptive(8, 4, false);
+        let per_window = crate::controller::BIN_ADAPT_WINDOW as usize * 8;
+        for _ in 0..4 {
+            let mut nodes: Vec<Retired> = (0..per_window as u64).map(|i| mk(&b, i, i)).collect();
+            nodes.sort_by_key(|r| r.ptr() as u64);
+            for r in nodes {
+                push_retired(&b, 0, &mut list, r);
+            }
+            unsafe { sweep_retire_list(&b, 0, &mut list, |_| false) };
+        }
+        assert_eq!(list.bins(), 4, "adaptive off: bins stay configured");
+        assert_eq!(b.stats.snapshot().bin_resizes, 0);
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn resize_seals_partials_and_conserves_nodes() {
+        // A forced resize in the middle of a fill must seal every open
+        // bin (accounted exactly once) and lose nothing.
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::with_adaptive(RETIRE_BATCH_CAP, 4, true);
+        for i in 0..13 {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
+        }
+        let outcome = list.seal_partial();
+        account_seal(&b, 0, outcome);
+        list.set_bins(8);
+        assert_eq!(list.bins(), 8);
+        assert_eq!(list.len(), 13, "conservation through the resize");
+        assert_eq!(b.stats.snapshot().retired_nodes, 13);
+        for i in 0..5 {
+            push_retired(&b, 0, &mut list, mk(&b, 100 + i, 0));
+        }
+        list.seal_partial();
+        list.set_bins(1);
+        assert_eq!(list.bins(), 1);
+        assert_eq!(list.len(), 18);
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn era_monotone_seals_are_counted_and_fast_path_sweeps() {
+        // Ascending birth eras in push order: every sealed block is
+        // era-monotone, the counter says so, and the era sweep decides
+        // blocks via merge-join on their FIRST sweep (whole-block frees
+        // here, since nothing is reserved).
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(4, 1);
+        for i in 0..8 {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
+        }
+        let s = b.stats.snapshot();
+        assert_eq!(s.batches_sealed, 2);
+        assert_eq!(s.blocks_sealed_era_monotone, 2, "ascending births count");
+        // A zigzag-birth block must not count.
+        for i in [5u64, 1, 7, 2] {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
+        }
+        let s = b.stats.snapshot();
+        assert_eq!(s.batches_sealed, 3);
+        assert_eq!(s.blocks_sealed_era_monotone, 2, "zigzag births don't");
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn era_monotone_block_merge_joins_on_first_sweep() {
+        // Era-reserved sweep over freshly sealed era-monotone blocks: the
+        // merge-join path must produce the same survivors as the windowed
+        // search would, on the very first sweep (no sort deferral).
+        let b = DomainBase::new(SmrConfig::for_tests(1));
+        let mut list = RetireList::new(4, 1);
+        // Lifespans [i, i]: reserved era 5 pins exactly birth 5.
+        for i in 0..8 {
+            push_retired(&b, 0, &mut list, mk(&b, i, i));
+        }
+        let freed = unsafe { free_era_unreserved(&b, 0, &mut list, &[5]) };
+        assert_eq!(freed, 7);
+        assert_eq!(eras_of(&list), vec![5]);
+        drain_free(&b, &mut list);
     }
 
     #[test]

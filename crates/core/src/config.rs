@@ -32,6 +32,63 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
 /// schemes (Alg. 3 line 1), and `pop_c` the multiplier `C` after which
 /// EpochPOP escalates from epoch reclamation to publish-on-ping
 /// (Alg. 3 line 26).
+///
+/// # Builders
+///
+/// Every knob has a `with_*` builder; out-of-range values are clamped,
+/// never rejected:
+///
+/// ```
+/// use pop_core::SmrConfig;
+///
+/// let cfg = SmrConfig::for_threads(8)
+///     .with_reclaim_freq(1024)
+///     .with_epoch_freq(32)
+///     .with_retire_batch(16)
+///     .with_retire_bins(3) // rounds up to the next power of two
+///     .with_publish_spin(64)
+///     .with_futex_wait(true)
+///     .with_adaptive(false);
+/// assert_eq!(cfg.retire_bins, 4);
+/// assert_eq!(cfg.effective_batch(), 16);
+/// assert!(!cfg.adaptive);
+/// ```
+///
+/// # `POP_*` environment overrides
+///
+/// [`SmrConfig::for_threads`] and [`SmrConfig::for_tests`] apply four
+/// environment overrides after the defaults, which is how the CI
+/// fallback-path matrix drives the whole test suite through each fast
+/// path's off switch without touching a call site:
+///
+/// | variable           | effect                                          |
+/// |--------------------|-------------------------------------------------|
+/// | `POP_RETIRE_BATCH` | seal threshold (`1` = unbatched retirement)     |
+/// | `POP_RETIRE_BINS`  | arena fill bins (`1` = single fill block)       |
+/// | `POP_FUTEX_WAIT`   | `0`/`off` = yield-loop publish waits            |
+/// | `POP_ADAPTIVE`     | `0`/`off` = static knobs (no controller)        |
+///
+/// ```
+/// use pop_core::SmrConfig;
+///
+/// std::env::set_var("POP_RETIRE_BATCH", "1");
+/// std::env::set_var("POP_RETIRE_BINS", "1");
+/// std::env::set_var("POP_FUTEX_WAIT", "off");
+/// std::env::set_var("POP_ADAPTIVE", "0");
+/// let cfg = SmrConfig::for_tests(2);
+/// assert_eq!(cfg.retire_batch, 1);
+/// assert_eq!(cfg.retire_bins, 1);
+/// assert!(!cfg.futex_wait);
+/// assert!(!cfg.adaptive);
+///
+/// // Unset (or unparsable) variables leave the defaults alone.
+/// for k in ["POP_RETIRE_BATCH", "POP_RETIRE_BINS", "POP_FUTEX_WAIT", "POP_ADAPTIVE"] {
+///     std::env::remove_var(k);
+/// }
+/// let cfg = SmrConfig::for_tests(2);
+/// assert!(cfg.retire_batch > 1 && cfg.retire_bins > 1);
+/// assert!(cfg.futex_wait && cfg.adaptive);
+/// ```
 #[derive(Clone, Debug)]
 pub struct SmrConfig {
     /// Number of domain-local thread ids (`tid` in `0..max_threads`).
@@ -48,8 +105,9 @@ pub struct SmrConfig {
     /// a retire list still longer than `pop_c * reclaim_freq` indicates a
     /// delayed thread and engages publish-on-ping.
     pub pop_c: usize,
-    /// Retirement-batch seal threshold: `retire` fills a thread-private
-    /// block and seals it into the retire list every `retire_batch` nodes,
+    /// Retirement-batch seal threshold: `retire` fills thread-private
+    /// blocks (one per arena bin — see [`Self::retire_bins`]) and seals a
+    /// block into the retire list once it holds `retire_batch` nodes,
     /// amortizing the stats update and the reclaim-threshold test. Clamped
     /// to `1..=RETIRE_BATCH_CAP` and never above `reclaim_freq` (so small
     /// thresholds still reclaim on time). `1` disables batching.
@@ -71,6 +129,14 @@ pub struct SmrConfig {
     /// the target's publish word (Linux; elsewhere this knob is ignored and
     /// waits `yield_now`). `false` forces the portable yield path.
     pub futex_wait: bool,
+    /// The per-domain adaptive controller (`pop_core::controller`): epoch
+    /// cadence decays on barren passes (instantly reset by the first
+    /// freeing sweep), and each thread auto-sizes its fill-bin count from
+    /// the observed monotone seal share — `retire_bins` then acts as the
+    /// *initial* count, roaming `1..=MAX_RETIRE_BINS` (inert when
+    /// `retire_bins` is 1, so the legacy single-block configuration stays
+    /// byte-identical). `false` pins every knob at its configured value.
+    pub adaptive: bool,
     /// Testing mode: freed nodes are poisoned and quarantined instead of
     /// deallocated, turning any use-after-free into a deterministic panic
     /// inside `protect`.
@@ -90,6 +156,7 @@ impl SmrConfig {
             retire_bins: DEFAULT_RETIRE_BINS,
             publish_spin: DEFAULT_PUBLISH_SPIN,
             futex_wait: true,
+            adaptive: true,
             quarantine: false,
         }
     }
@@ -111,7 +178,7 @@ impl SmrConfig {
         }
     }
 
-    /// [`Self::test_defaults`] plus the `POP_*` env overrides, so the CI
+    /// Test defaults (small thresholds) plus the `POP_*` env overrides, so the CI
     /// fallback-path matrix drives every test through one switch.
     pub fn for_tests(n: usize) -> Self {
         Self::test_defaults(n).with_env_overrides()
@@ -137,6 +204,13 @@ impl SmrConfig {
             match v.as_str() {
                 "0" | "false" | "off" => self.futex_wait = false,
                 "1" | "true" | "on" => self.futex_wait = true,
+                _ => {}
+            }
+        }
+        if let Some(v) = get("POP_ADAPTIVE") {
+            match v.as_str() {
+                "0" | "false" | "off" => self.adaptive = false,
+                "1" | "true" | "on" => self.adaptive = true,
                 _ => {}
             }
         }
@@ -179,6 +253,14 @@ impl SmrConfig {
         self
     }
 
+    /// Builder-style toggle for the adaptive domain controller (epoch
+    /// decay + bin auto-sizing). `false` pins every knob at its
+    /// configured value — the static PR-4 behavior.
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
     /// Builder-style override of the retirement-batch seal threshold
     /// (clamped to `1..=RETIRE_BATCH_CAP`).
     pub fn with_retire_batch(mut self, b: usize) -> Self {
@@ -202,10 +284,19 @@ impl SmrConfig {
             .min(self.reclaim_freq.max(1))
     }
 
-    /// The fill-bin count actually used by retire lists: a power of two
-    /// (so bin routing is a shift + mask) in `1..=MAX_RETIRE_BINS`.
+    /// The fill-bin count retire lists *start* with: a power of two (so
+    /// bin routing is a shift + mask) in `1..=MAX_RETIRE_BINS`. With
+    /// [`Self::adaptive_bins`] this is the initial value of a per-thread
+    /// auto-sized count; otherwise it is fixed.
     pub fn effective_bins(&self) -> usize {
         normalize_bins(self.retire_bins)
+    }
+
+    /// Whether per-thread bin auto-sizing is live: the controller is on
+    /// *and* binning itself is on (a configured single fill block is the
+    /// legacy pipeline and stays exactly that).
+    pub fn adaptive_bins(&self) -> bool {
+        self.adaptive && self.effective_bins() > 1
     }
 
     /// Enables the quarantine use-after-free detector (tests only).
@@ -275,18 +366,32 @@ mod tests {
             "POP_RETIRE_BATCH" => Some("1".to_string()),
             "POP_RETIRE_BINS" => Some("1".to_string()),
             "POP_FUTEX_WAIT" => Some("off".to_string()),
+            "POP_ADAPTIVE" => Some("0".to_string()),
             _ => None,
         };
         let c = SmrConfig::test_defaults(2).with_overrides_from(env);
         assert_eq!(c.retire_batch, 1);
         assert_eq!(c.retire_bins, 1);
         assert!(!c.futex_wait);
+        assert!(!c.adaptive);
         // Unset / garbage values leave the defaults alone.
         let c = SmrConfig::test_defaults(2)
             .with_overrides_from(|k| (k == "POP_FUTEX_WAIT").then(|| "maybe".to_string()));
         assert_eq!(c.retire_batch, RETIRE_BATCH_CAP);
         assert_eq!(c.retire_bins, DEFAULT_RETIRE_BINS);
         assert!(c.futex_wait);
+        assert!(c.adaptive, "controller is on by default");
+    }
+
+    #[test]
+    fn adaptive_bins_requires_both_switches() {
+        let c = SmrConfig::test_defaults(1);
+        assert!(c.adaptive_bins(), "default: adaptive on, bins > 1");
+        assert!(!c.clone().with_adaptive(false).adaptive_bins());
+        assert!(
+            !c.with_retire_bins(1).adaptive_bins(),
+            "a configured single fill block stays the legacy pipeline"
+        );
     }
 
     #[test]

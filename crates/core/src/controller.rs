@@ -1,0 +1,407 @@
+//! The per-domain **adaptive controller**: the feedback loop from sweep
+//! outcomes back to the pacing knobs that PRs 1–4 left static.
+//!
+//! The paper's thesis is that reservations should cost nothing until a
+//! reclaimer actually needs them. This module applies the same philosophy
+//! to the *reclaimer's own* recurring costs:
+//!
+//! * **Epoch-freq decay** ([`PassController`]): a pass whose sweep frees
+//!   nothing is evidence the domain is idle (everything pinned, or a
+//!   trickle workload whose garbage drains elsewhere). Consecutive barren
+//!   passes exponentially decay the epoch-advance cadence — the op-path
+//!   clock tick stretches from `epoch_freq` to `epoch_freq << decay`, and
+//!   only every `2^decay`-th trigger executes the full pass body (epoch
+//!   aggregation with its stripe refreshes, reservation scan, sweep);
+//!   skipped triggers cost one counter bump. The decay is bounded
+//!   ([`MAX_EPOCH_DECAY`]) and resets to zero the moment any pass frees a
+//!   block, so a domain that wakes up pays at most `2^MAX_EPOCH_DECAY`
+//!   thinned triggers of extra reclamation latency — never a cliff.
+//!   Skipping a sweep is always *safe*: epochs and reservations only ever
+//!   delay frees, never legalize them.
+//! * **Bin auto-sizing** ([`BinAdapt`], driven from the retire hot path in
+//!   `base::push_retired`): each thread watches the monotone share of its
+//!   own recently sealed blocks and hill-climbs its private fill-bin
+//!   count. A low share means the address streams are interleaved faster
+//!   than the current bins separate them — double the bins. A
+//!   near-perfect share means binning may be unnecessary — probe half the
+//!   bins and keep the collapse only if the share survives. Single-stream
+//!   workloads converge to 1 bin (shedding the multi-bin unsealed-node
+//!   bound); interleaved-arena churn grows to the maximum.
+//!
+//! Era-monotone seal detection, the third adaptivity item, lives in the
+//! block itself (`header::RetireBatch` tracks birth-era direction bits
+//! exactly as it tracks pointer direction; `base::free_era_unreserved`
+//! admits era-monotone blocks to the merge-join path on their first
+//! sweep) — no controller state needed.
+//!
+//! Everything here is advisory pacing: disabling the controller
+//! (`SmrConfig::adaptive = false`, env `POP_ADAPTIVE=0`) restores the
+//! exact static PR-4 behavior, which the CI fallback matrix pins.
+
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Decay ceiling: at most `2^MAX_EPOCH_DECAY` (= 16×) stretch of the
+/// epoch cadence and pass thinning. Bounds the reclamation-latency cost
+/// of waking an idle domain to 16 thinned triggers.
+pub const MAX_EPOCH_DECAY: u32 = 4;
+
+/// Sealed blocks per bin-adaptation window: the monotone share is
+/// re-evaluated (and the bin count possibly resized) once per this many
+/// seals, so decisions average over ≥ `32 × RETIRE_BATCH_CAP` retires.
+pub const BIN_ADAPT_WINDOW: u32 = 32;
+
+/// Windows a thread holds off after a failed collapse probe before it
+/// probes again (hysteresis against share oscillation at a boundary).
+const BIN_PROBE_HOLDOFF: u8 = 4;
+
+/// Monotone-share threshold (out of [`BIN_ADAPT_WINDOW`]) *below* which
+/// the bins are failing to separate the address streams: grow.
+const SHARE_LOW_NUM: u32 = BIN_ADAPT_WINDOW / 2;
+
+/// Monotone-share threshold (out of [`BIN_ADAPT_WINDOW`]) at or *above*
+/// which fewer bins may do: probe a collapse. 7/8 of the window.
+const SHARE_HIGH_NUM: u32 = BIN_ADAPT_WINDOW - BIN_ADAPT_WINDOW / 8;
+
+/// What a triggered reclamation pass should execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassAction {
+    /// Run the whole pass: epoch advance, reservation scan, sweep.
+    Full,
+    /// Decayed domain, off-cycle trigger: skip the scan and sweep (the
+    /// trigger pacing has already been reset by the caller, so the next
+    /// trigger still waits a full `reclaim_freq` of retires).
+    Thinned,
+}
+
+/// Per-domain epoch-cadence decay, shared by every reclaimer of the
+/// domain (one cache line of state, touched only on pass paths).
+///
+/// The state machine is deliberately tiny: a bounded decay level that
+/// consecutive barren passes deepen and the first freeing pass resets.
+/// All loads/stores are relaxed — the level is pacing advice, and a
+/// racing reclaimer acting on a stale level only runs (or skips) one
+/// pass body it otherwise wouldn't, which is always safe.
+pub struct PassController {
+    /// Current decay level, `0..=MAX_EPOCH_DECAY`. Zero = full cadence.
+    decay: AtomicU32,
+    /// Triggered-pass counter driving the `2^decay` thinning cycle.
+    passes: AtomicU64,
+    /// `false` pins the controller at decay 0 (static PR-4 behavior).
+    enabled: bool,
+}
+
+impl PassController {
+    /// A controller honoring `SmrConfig::adaptive`.
+    pub fn new(enabled: bool) -> Self {
+        PassController {
+            decay: AtomicU32::new(0),
+            passes: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Current decay level (0 when disabled).
+    #[inline]
+    pub fn decay_level(&self) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        self.decay.load(Ordering::Relaxed)
+    }
+
+    /// Whether the op path's periodic clock tick is due. `count` is the
+    /// thread's private operation counter, `freq` the configured
+    /// `epoch_freq`. The fast exit is the undecayed modulo — the shared
+    /// decay word is loaded only on the 1-in-`freq` candidates, so the
+    /// controller adds nothing to the op path's common case.
+    #[inline]
+    pub fn tick_due(&self, count: u64, freq: u64) -> bool {
+        if !count.is_multiple_of(freq) {
+            return false;
+        }
+        let d = self.decay_level();
+        d == 0 || (count / freq).is_multiple_of(1u64 << d)
+    }
+
+    /// Gate for a *retire-triggered* reclamation pass: at decay `d`, one
+    /// trigger in `2^d` executes the full pass body; the rest are
+    /// thinned. Flush/unregister paths must use
+    /// [`Self::begin_forced_pass`] instead — draining is never thinned.
+    ///
+    /// Undecayed (and disabled) controllers return without touching the
+    /// shared pass counter: the common case adds **no** cross-thread RMW
+    /// to the pass path — the counter only turns while a decay cycle
+    /// actually needs the phase.
+    #[inline]
+    pub fn begin_pass(&self) -> PassAction {
+        let d = self.decay_level();
+        if d == 0 {
+            return PassAction::Full;
+        }
+        let n = self.passes.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(1u64 << d) {
+            PassAction::Full
+        } else {
+            PassAction::Thinned
+        }
+    }
+
+    /// Forced-full variant for flush/unregister/escalation paths; while a
+    /// decay cycle is live it still advances the thinning phase, so a
+    /// forced pass counts as the periodic full one.
+    #[inline]
+    pub fn begin_forced_pass(&self) -> PassAction {
+        if self.decay_level() > 0 {
+            self.passes.fetch_add(1, Ordering::Relaxed);
+        }
+        PassAction::Full
+    }
+
+    /// Feedback from an executed (full) pass: `freed > 0` snaps the decay
+    /// back to zero — the no-cliff guarantee — while a barren pass
+    /// deepens it one bounded step. Returns `true` when this call
+    /// deepened the decay (the caller owes one `epoch_decay_steps`
+    /// counter bump).
+    pub fn note_pass_outcome(&self, freed: usize) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        if freed > 0 {
+            self.decay.store(0, Ordering::Relaxed);
+            return false;
+        }
+        self.decay
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                (d < MAX_EPOCH_DECAY).then_some(d + 1)
+            })
+            .is_ok()
+    }
+}
+
+/// What one bin-adaptation evaluation decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinDecision {
+    /// Keep the current bin count.
+    Hold,
+    /// Resize the fill bins to this count (a power of two).
+    Resize(usize),
+}
+
+/// Per-thread fill-bin auto-sizer (plain fields — owner-thread only, no
+/// atomics; lives inside the thread's `RetireList`).
+///
+/// Feed every seal outcome in with [`Self::note_seal`]; once a window of
+/// [`BIN_ADAPT_WINDOW`] blocks completes, [`Self::evaluate`] returns the
+/// resize decision for the observed monotone share.
+#[derive(Debug)]
+pub struct BinAdapt {
+    /// Adaptation ceiling (a power of two; 0 or 1 disables growth).
+    max_bins: usize,
+    /// Blocks sealed in the current window.
+    window_blocks: u32,
+    /// Of those, address-monotone at seal time.
+    window_monotone: u32,
+    /// Bin count before an in-flight collapse probe (0 = no probe).
+    probe_from: usize,
+    /// Windows to skip after a failed probe.
+    holdoff: u8,
+}
+
+impl BinAdapt {
+    /// An auto-sizer allowed to roam `1..=max_bins`.
+    pub fn new(max_bins: usize) -> Self {
+        BinAdapt {
+            max_bins,
+            window_blocks: 0,
+            window_monotone: 0,
+            probe_from: 0,
+            holdoff: 0,
+        }
+    }
+
+    /// Records one seal event. Returns `true` once per completed window —
+    /// the caller should then ask [`Self::evaluate`].
+    #[inline]
+    pub fn note_seal(&mut self, blocks: u64, monotone: u64) -> bool {
+        self.window_blocks += blocks as u32;
+        self.window_monotone += monotone as u32;
+        self.window_blocks >= BIN_ADAPT_WINDOW
+    }
+
+    /// Evaluates the completed window against the current bin count and
+    /// resets it. The rules, in priority order:
+    ///
+    /// 1. A pending collapse probe is judged: if the share stayed high the
+    ///    collapse sticks, otherwise grow back and hold off.
+    /// 2. Low share (< 1/2): the streams are interleaving — double.
+    /// 3. High share (≥ 7/8) with more than one bin: probe a collapse to
+    ///    half; the next window judges it.
+    pub fn evaluate(&mut self, current_bins: usize) -> BinDecision {
+        // Normalize the share to the window size before resetting, so
+        // over-full windows (multi-block seal events) compare fairly.
+        let share_num = self
+            .window_monotone
+            .saturating_mul(BIN_ADAPT_WINDOW)
+            .checked_div(self.window_blocks)
+            .unwrap_or(0);
+        self.window_blocks = 0;
+        self.window_monotone = 0;
+
+        if self.holdoff > 0 {
+            self.holdoff -= 1;
+            return BinDecision::Hold;
+        }
+        if self.probe_from != 0 {
+            let probed_from = core::mem::replace(&mut self.probe_from, 0);
+            if share_num >= SHARE_HIGH_NUM {
+                // The collapse held: fewer bins still yield monotone
+                // blocks. Keep it (and possibly probe further next time).
+                return BinDecision::Hold;
+            }
+            // The collapse broke the share: restore and back off.
+            self.holdoff = BIN_PROBE_HOLDOFF;
+            return BinDecision::Resize(probed_from);
+        }
+        if share_num < SHARE_LOW_NUM && current_bins < self.max_bins {
+            return BinDecision::Resize(current_bins * 2);
+        }
+        if share_num >= SHARE_HIGH_NUM && current_bins > 1 {
+            self.probe_from = current_bins;
+            return BinDecision::Resize(current_bins / 2);
+        }
+        BinDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_deepens_on_barren_and_resets_on_free() {
+        let c = PassController::new(true);
+        assert_eq!(c.decay_level(), 0);
+        for step in 1..=MAX_EPOCH_DECAY {
+            assert!(c.note_pass_outcome(0), "barren pass deepens");
+            assert_eq!(c.decay_level(), step);
+        }
+        assert!(!c.note_pass_outcome(0), "bounded at MAX_EPOCH_DECAY");
+        assert_eq!(c.decay_level(), MAX_EPOCH_DECAY);
+        assert!(!c.note_pass_outcome(3), "freeing pass never deepens");
+        assert_eq!(c.decay_level(), 0, "instant reset on the first free");
+    }
+
+    #[test]
+    fn disabled_controller_is_inert() {
+        let c = PassController::new(false);
+        for _ in 0..10 {
+            assert!(!c.note_pass_outcome(0));
+        }
+        assert_eq!(c.decay_level(), 0);
+        for _ in 0..10 {
+            assert_eq!(c.begin_pass(), PassAction::Full, "never thinned");
+        }
+        assert!(c.tick_due(64, 64), "plain modulo when disabled");
+    }
+
+    #[test]
+    fn thinning_executes_one_in_two_pow_decay() {
+        let c = PassController::new(true);
+        for _ in 0..2 {
+            c.note_pass_outcome(0);
+        }
+        assert_eq!(c.decay_level(), 2);
+        let full = (0..16)
+            .filter(|_| c.begin_pass() == PassAction::Full)
+            .count();
+        assert_eq!(full, 4, "1 in 2^2 triggers runs full");
+    }
+
+    #[test]
+    fn forced_pass_is_always_full() {
+        let c = PassController::new(true);
+        for _ in 0..MAX_EPOCH_DECAY {
+            c.note_pass_outcome(0);
+        }
+        for _ in 0..8 {
+            assert_eq!(c.begin_forced_pass(), PassAction::Full);
+        }
+    }
+
+    #[test]
+    fn tick_due_stretches_with_decay() {
+        let c = PassController::new(true);
+        assert!(c.tick_due(64, 64));
+        assert!(!c.tick_due(65, 64));
+        c.note_pass_outcome(0); // decay 1: period doubles
+        assert!(!c.tick_due(64, 64), "odd multiple skipped at decay 1");
+        assert!(c.tick_due(128, 64), "even multiple still ticks");
+    }
+
+    #[test]
+    fn bin_adapt_grows_on_low_share() {
+        let mut a = BinAdapt::new(8);
+        // A window of non-monotone blocks at 1 bin: double.
+        for _ in 0..BIN_ADAPT_WINDOW - 1 {
+            assert!(!a.note_seal(1, 0));
+        }
+        assert!(a.note_seal(1, 0), "window completes");
+        assert_eq!(a.evaluate(1), BinDecision::Resize(2));
+        // And again, up to the ceiling.
+        for _ in 0..BIN_ADAPT_WINDOW {
+            a.note_seal(1, 0);
+        }
+        assert_eq!(a.evaluate(4), BinDecision::Resize(8));
+        for _ in 0..BIN_ADAPT_WINDOW {
+            a.note_seal(1, 0);
+        }
+        assert_eq!(a.evaluate(8), BinDecision::Hold, "ceiling respected");
+    }
+
+    #[test]
+    fn bin_adapt_collapse_probe_accepts_and_reverts() {
+        let mut a = BinAdapt::new(8);
+        // High share at 4 bins: probe a collapse to 2.
+        for _ in 0..BIN_ADAPT_WINDOW {
+            a.note_seal(1, 1);
+        }
+        assert_eq!(a.evaluate(4), BinDecision::Resize(2));
+        // Share stays high: the collapse sticks (Hold at 2).
+        for _ in 0..BIN_ADAPT_WINDOW {
+            a.note_seal(1, 1);
+        }
+        assert_eq!(a.evaluate(2), BinDecision::Hold);
+        // Next window probes 2 → 1.
+        for _ in 0..BIN_ADAPT_WINDOW {
+            a.note_seal(1, 1);
+        }
+        assert_eq!(a.evaluate(2), BinDecision::Resize(1));
+        // This time the share collapses: revert to 2 and hold off.
+        for _ in 0..BIN_ADAPT_WINDOW {
+            a.note_seal(1, 0);
+        }
+        assert_eq!(a.evaluate(1), BinDecision::Resize(2));
+        // Holdoff windows: no probing even at a high share.
+        for _ in 0..BIN_PROBE_HOLDOFF {
+            for _ in 0..BIN_ADAPT_WINDOW {
+                a.note_seal(1, 1);
+            }
+            assert_eq!(a.evaluate(2), BinDecision::Hold, "holdoff window");
+        }
+        // Holdoff expired: probing resumes.
+        for _ in 0..BIN_ADAPT_WINDOW {
+            a.note_seal(1, 1);
+        }
+        assert_eq!(a.evaluate(2), BinDecision::Resize(1));
+    }
+
+    #[test]
+    fn bin_adapt_mid_share_holds() {
+        let mut a = BinAdapt::new(8);
+        // ~70% monotone (the well-adapted interleaved regime): stable.
+        for i in 0..BIN_ADAPT_WINDOW {
+            a.note_seal(1, u64::from(i % 10 < 7));
+        }
+        assert_eq!(a.evaluate(8), BinDecision::Hold);
+    }
+}

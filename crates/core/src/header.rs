@@ -154,7 +154,7 @@ impl core::fmt::Debug for Retired {
     }
 }
 
-/// Capacity of one [`RetireBatch`] block. The configured seal threshold
+/// Capacity of one retire-batch block (the internal `RetireBatch`). The configured seal threshold
 /// ([`crate::config::SmrConfig::retire_batch`]) may be smaller — a block is
 /// sealed once it reaches the threshold — but never larger.
 pub const RETIRE_BATCH_CAP: usize = 32;
@@ -199,9 +199,9 @@ const SUMMARY_PTR: u8 = 1;
 /// `summary_valid` bit: era extrema (birth + retire) are current.
 const SUMMARY_ERA: u8 = 2;
 
-/// `mono` bit: pushes so far form a non-decreasing pointer run.
+/// `mono` bit: pushes so far form a non-decreasing run of the tracked key.
 const MONO_ASC: u8 = 1;
-/// `mono` bit: pushes so far form a non-increasing pointer run.
+/// `mono` bit: pushes so far form a non-increasing run of the tracked key.
 const MONO_DESC: u8 = 2;
 /// `mono` bit: incremental tracking lost (slots were rearranged); fall
 /// back to a scan.
@@ -210,10 +210,11 @@ const MONO_UNKNOWN: u8 = 4;
 /// A fixed-size block of [`Retired`] records — the unit of the batched
 /// retirement pipeline.
 ///
-/// Threads fill one block privately (`retire` is a slot write plus a length
-/// bump), then *seal* it into their retire list as a single block pointer,
-/// amortizing the stats update and the reclaim-threshold test over the
-/// block. Reclaimers sweep block-at-a-time (see
+/// Threads fill an array of these privately — one per arena bin, routed by
+/// the node pointer's high bits (`retire` is a slot write plus a length
+/// bump) — then *seal* each full block into their retire list as a single
+/// block pointer, amortizing the stats update and the reclaim-threshold
+/// test over the block. Reclaimers sweep block-at-a-time (see
 /// `pop_core::base::sweep_retire_list`), recycling fully-freed blocks into
 /// a per-thread free pool so steady-state retirement allocates nothing.
 ///
@@ -241,8 +242,14 @@ pub(crate) struct RetireBatch {
     /// re-derived incrementally), or [`MONO_UNKNOWN`] after an in-place
     /// compaction rearranged the slots.
     mono: u8,
+    /// The same direction bits for the members' `birth_era` keys — the
+    /// era-scheme analogue of `mono`: retire order is near-birth-order in
+    /// most workloads, so era-sorted permutations are often free too.
+    mono_era: u8,
     /// Pointer of the most recent push — the comparison anchor for `mono`.
     last_ptr: u64,
+    /// Birth era of the most recent push — the anchor for `mono_era`.
+    last_birth: u64,
     /// Slot permutation ordered by `sort_key` (first `len` entries).
     order: [u8; RETIRE_BATCH_CAP],
     /// Cached key extrema (per-half validity in `summary_valid`).
@@ -259,7 +266,9 @@ impl RetireBatch {
             summary_valid: 0,
             sweeps: 0,
             mono: MONO_ASC | MONO_DESC,
+            mono_era: MONO_ASC | MONO_DESC,
             last_ptr: 0,
+            last_birth: 0,
             order: [0; RETIRE_BATCH_CAP],
             summary: BlockSummary {
                 min_ptr: 0,
@@ -292,26 +301,43 @@ impl RetireBatch {
     /// the [`SUMMARY_PTR`] half stays valid through the whole fill and
     /// sweeps never pay a scan for it. Era extrema are not — a caller may
     /// legally set a retire era after pushing — so [`SUMMARY_ERA`] (and
-    /// the sort cache) are invalidated instead.
+    /// the sort cache) are invalidated instead. Birth-era *direction* is
+    /// tracked incrementally like the pointer direction (`birth_era` is
+    /// immutable after allocation, and the header line is already hot —
+    /// `retire_node` just stamped the retire era into it).
     #[inline]
     pub(crate) fn push(&mut self, r: Retired) {
         debug_assert!(self.len < RETIRE_BATCH_CAP, "retire block overfilled");
         let p = r.ptr() as u64;
+        let birth = r.header().birth_era;
         if self.len == 0 {
             self.mono = MONO_ASC | MONO_DESC;
-        } else if self.mono & MONO_UNKNOWN == 0 {
-            // Incremental direction tracking: two compares against the
-            // last push. After a `pop`, `last_ptr` is the popped (extreme)
-            // value, which only makes the test stricter — the bits stay
-            // conservative (set ⇒ truly monotone), never optimistic.
-            if p < self.last_ptr {
-                self.mono &= !MONO_ASC;
+            self.mono_era = MONO_ASC | MONO_DESC;
+        } else {
+            if self.mono & MONO_UNKNOWN == 0 {
+                // Incremental direction tracking: two compares against the
+                // last push. After a `pop`, `last_ptr` is the popped
+                // (extreme) value, which only makes the test stricter —
+                // the bits stay conservative (set ⇒ truly monotone),
+                // never optimistic.
+                if p < self.last_ptr {
+                    self.mono &= !MONO_ASC;
+                }
+                if p > self.last_ptr {
+                    self.mono &= !MONO_DESC;
+                }
             }
-            if p > self.last_ptr {
-                self.mono &= !MONO_DESC;
+            if self.mono_era & MONO_UNKNOWN == 0 {
+                if birth < self.last_birth {
+                    self.mono_era &= !MONO_ASC;
+                }
+                if birth > self.last_birth {
+                    self.mono_era &= !MONO_DESC;
+                }
             }
         }
         self.last_ptr = p;
+        self.last_birth = birth;
         if self.len == 0 {
             self.summary.min_ptr = p;
             self.summary.max_ptr = p;
@@ -393,6 +419,35 @@ impl RetireBatch {
         let mut desc = true;
         for w in nodes.windows(2) {
             let (a, b) = (w[0].ptr() as u64, w[1].ptr() as u64);
+            asc &= b >= a;
+            desc &= b <= a;
+        }
+        asc || desc
+    }
+
+    /// O(1) birth-era monotonicity hint from the incremental push-time
+    /// bits alone — the [`Self::ptr_monotone_hint`] analogue for the era
+    /// sweeps: an era-monotone block's birth-sorted permutation costs one
+    /// detection pass, so `free_era_unreserved` admits it to the
+    /// merge-join path on its first sweep instead of deferring the sort.
+    #[inline]
+    pub(crate) fn era_monotone_hint(&self) -> bool {
+        self.mono_era & MONO_UNKNOWN == 0 && self.mono_era & (MONO_ASC | MONO_DESC) != 0
+    }
+
+    /// Whether the slots form a birth-era-monotone run (ascending *or*
+    /// descending), answered like [`Self::is_ptr_monotone`]: from the
+    /// incremental bits when live, one header scan after a compaction.
+    /// Feeds the `blocks_sealed_era_monotone` seal counter.
+    pub(crate) fn is_era_monotone(&self) -> bool {
+        if self.mono_era & MONO_UNKNOWN == 0 {
+            return self.era_monotone_hint();
+        }
+        let nodes = self.nodes();
+        let mut asc = true;
+        let mut desc = true;
+        for w in nodes.windows(2) {
+            let (a, b) = (w[0].header().birth_era, w[1].header().birth_era);
             asc &= b >= a;
             desc &= b <= a;
         }
@@ -530,11 +585,13 @@ impl RetireBatch {
         self.invalidate_cache();
         // The caller rearranged slots: the push-time direction bits no
         // longer describe them (an emptied block starts fresh instead).
-        self.mono = if len == 0 {
+        let bits = if len == 0 {
             MONO_ASC | MONO_DESC
         } else {
             MONO_UNKNOWN
         };
+        self.mono = bits;
+        self.mono_era = bits;
         self.len = len;
     }
 }
@@ -734,11 +791,24 @@ mod tests {
                 if b.is_ptr_monotone() {
                     assert!(truly_monotone, "monotone flag must never over-claim");
                 }
+                let truly_era_monotone = shadow.windows(2).all(|w| w[1].1 >= w[0].1)
+                    || shadow.windows(2).all(|w| w[1].1 <= w[0].1);
+                if b.is_era_monotone() {
+                    assert!(
+                        truly_era_monotone,
+                        "era-monotone flag must never over-claim"
+                    );
+                }
                 if pure_push {
                     assert_eq!(
                         b.is_ptr_monotone(),
                         truly_monotone,
                         "after pure pushes (the seal state) the flag is exact"
+                    );
+                    assert_eq!(
+                        b.is_era_monotone(),
+                        truly_era_monotone,
+                        "after pure pushes the era flag is exact too"
                     );
                 }
             }

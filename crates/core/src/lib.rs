@@ -21,12 +21,59 @@
 //! See [`schemes`] for the full table. The paper's contributions are
 //! [`schemes::hp_pop::HazardPtrPop`], [`schemes::he_pop::HazardEraPop`] and
 //! [`schemes::epoch_pop::EpochPop`].
+//!
+//! ## Memory-ordering rationale
+//!
+//! Two orderings carry the whole crate; everything else is standard
+//! acquire/release or relaxed counting.
+//!
+//! **The two-SeqCst-fence elision pairing.** Publish-on-ping readers
+//! record reservations with *relaxed* stores — the paper's headline
+//! saving — which is only sound because the reclaimer interrupts the
+//! reader (POSIX signal) before trusting its published set, and signal
+//! delivery orders the handler after every store the reader issued. The
+//! quiescent-thread ping *filter* (skipping the signal for idle peers)
+//! punches a hole in that argument, so it is re-sealed with a classic
+//! Dekker pairing of SeqCst fences: `begin_op` bumps the thread's
+//! activity word and issues a **SeqCst fence** before its first
+//! data-structure read; the reclaimer unlinks, issues its own **SeqCst
+//! fence**, then reads the activity word. In every interleaving the
+//! reclaimer either observes the reader active (and pings it — the
+//! signal path takes over) or the reader's subsequent protected reads
+//! observe the unlink (and retry) — never both misses on a non-TSO
+//! machine. `end_op` is a plain release bump: quiescence may be observed
+//! late, which only costs an extra ping, never a wrong elision.
+//!
+//! **The futex Dekker.** Parked publish waits
+//! (`SmrConfig::publish_spin` exhausted, `futex_wait` on) park on a
+//! per-thread 32-bit publish word. The waiter *announces itself*
+//! (waiter-count increment), re-checks the publish word, then
+//! `futex(FUTEX_WAIT)`s; the publisher (signal handler / restart ack)
+//! bumps the publish word, executes the matching **SeqCst** edge, and
+//! calls `FUTEX_WAKE` only when the waiter count is non-zero. The
+//! SeqCst pairing makes "waiter announced, publisher saw zero waiters"
+//! and "publisher bumped, waiter saw the old word" mutually exclusive,
+//! so the wake is never lost; the wait's timeout is a pure liveness
+//! backstop for peers that exit without publishing. The same shape
+//! covers NBR's phase-2 park (`end_op`/`begin_write`/`unregister` run
+//! the waiter-flag check — one shared load when nobody waits).
+//!
+//! ## Adaptivity
+//!
+//! The [`controller`] module closes the feedback loop from sweep
+//! outcomes to the pacing knobs: barren passes decay the epoch cadence
+//! (instantly reset by the first freeing sweep), each thread auto-sizes
+//! its arena fill bins from the monotone seal share, and blocks born
+//! era-monotone take the era sweeps' merge-join path on their first
+//! sweep. `SmrConfig::adaptive` (env `POP_ADAPTIVE`) turns the whole
+//! loop off, restoring the static behavior the CI fallback matrix pins.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod base;
 pub mod config;
+pub mod controller;
 pub mod header;
 mod pop_shared;
 pub mod schemes;

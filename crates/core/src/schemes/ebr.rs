@@ -7,8 +7,8 @@
 //! list in the system — the failure mode EpochPOP repairs.
 //!
 //! The global epoch is advanced by reclaimer passes only (per-thread clock
-//! ticks + max-aggregation, [`EpochClocks`]); the op path performs no
-//! shared RMW. Retirement is batched ([`crate::base::push_retired`]).
+//! ticks + max-aggregation, `EpochClocks`); the op path performs no
+//! shared RMW. Retirement is batched (`base::push_retired`).
 
 use core::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -17,6 +17,7 @@ use crossbeam_utils::CachePadded;
 
 use crate::base::{free_before_epoch, push_retired, DomainBase, EpochClocks, RetireSlot};
 use crate::config::SmrConfig;
+use crate::controller::{PassAction, PassController};
 use crate::header::Retired;
 use crate::smr::{ReadResult, Smr};
 use crate::stats::DomainStats;
@@ -34,13 +35,28 @@ struct ThreadState {
 pub struct Ebr {
     base: DomainBase,
     clocks: EpochClocks,
+    /// Epoch-cadence decay (adaptive controller).
+    ctl: PassController,
     /// `reservedEpoch[tid]` (Alg. 6 line 4).
     reserved: Box<[CachePadded<AtomicU64>]>,
     threads: Box<[CachePadded<ThreadState>]>,
 }
 
 impl Ebr {
-    fn reclaim_epoch_freeable(&self, tid: usize) {
+    /// One epoch pass. Retire-triggered passes (`forced = false`) are
+    /// subject to the controller's decay thinning: on a decayed (long
+    /// barren) domain only every `2^decay`-th trigger pays the scan and
+    /// sweep. Flush/unregister passes are always full — draining is never
+    /// thinned, so the first freeable sweep resets the decay instantly.
+    fn reclaim_epoch_freeable(&self, tid: usize, forced: bool) {
+        let action = if forced {
+            self.ctl.begin_forced_pass()
+        } else {
+            self.ctl.begin_pass()
+        };
+        if action == PassAction::Thinned {
+            return;
+        }
         let shard = self.base.stats.shard(tid);
         shard.epoch_passes.fetch_add(1, Ordering::Relaxed);
         // Reclaimer-side epoch advance: the only writer of the global word.
@@ -54,7 +70,10 @@ impl Ebr {
         // SAFETY: nodes retired before every announced epoch are
         // unreachable — no thread that could hold a reference is still in
         // its operation. Block-granular in-place sweep: no allocation.
-        unsafe { free_before_epoch(&self.base, tid, list, min) };
+        let freed = unsafe { free_before_epoch(&self.base, tid, list, min) };
+        if self.ctl.note_pass_outcome(freed) {
+            shard.epoch_decay_steps.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn min_reserved_epoch(&self) -> u64 {
@@ -80,22 +99,21 @@ impl Smr for Ebr {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let mut reserved = Vec::with_capacity(n);
         reserved.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal, bins),
+                retire: RetireSlot::for_cfg(&cfg),
                 op_count: AtomicU64::new(0),
             })
         });
         Arc::new(Ebr {
-            base: DomainBase::new(cfg),
             clocks: EpochClocks::new(n),
+            ctl: PassController::new(cfg.adaptive),
             reserved: reserved.into_boxed_slice(),
             threads: threads.into_boxed_slice(),
+            base: DomainBase::new(cfg),
         })
     }
 
@@ -129,8 +147,11 @@ impl Smr for Ebr {
         let ts = &self.threads[tid];
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
-        if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
-            // Private clock tick on this thread's own line — no shared RMW.
+        if self.ctl.tick_due(c, self.base.cfg.epoch_freq as u64) {
+            // Private clock tick on this thread's own line — no shared RMW
+            // (the controller stretches the period to `epoch_freq << decay`
+            // on idle domains; the decay word is only consulted on the
+            // 1-in-epoch_freq candidates).
             self.clocks.tick(tid);
         }
         // SeqCst: the announcement must be globally visible before this
@@ -154,7 +175,7 @@ impl Smr for Ebr {
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
         if push_retired(&self.base, tid, list, retired) {
-            self.reclaim_epoch_freeable(tid);
+            self.reclaim_epoch_freeable(tid, false);
         }
     }
 
@@ -163,7 +184,7 @@ impl Smr for Ebr {
     }
 
     fn flush(&self, tid: usize) {
-        self.reclaim_epoch_freeable(tid);
+        self.reclaim_epoch_freeable(tid, true);
     }
 }
 
@@ -276,6 +297,93 @@ mod tests {
             "max-aggregation publishes the ticked clock"
         );
         drop(reg);
+    }
+
+    #[test]
+    fn barren_passes_decay_and_thin_triggered_passes() {
+        // A stalled reader makes every pass barren: the controller must
+        // deepen the decay (counted) and thin retire-triggered passes, so
+        // the pinned regime stops paying a full scan per trigger.
+        let smr = Ebr::new(
+            SmrConfig::for_tests(2)
+                .with_reclaim_freq(32)
+                .with_retire_bins(1) // one fill bin: deterministic seal/trigger points
+                .with_adaptive(true), // pin against the POP_ADAPTIVE=0 CI leg
+        );
+        let reg0 = smr.register(0);
+        let reg1 = smr.register(1);
+        smr.begin_op(1); // reader parks in the current epoch
+        let triggers = 64u64;
+        for i in 0..32 * triggers {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        let s = smr.stats().snapshot();
+        assert_eq!(s.freed_nodes, 0, "everything pinned by the reader");
+        assert!(
+            s.epoch_decay_steps >= crate::controller::MAX_EPOCH_DECAY as u64,
+            "barren passes must deepen the decay, saw {}",
+            s.epoch_decay_steps
+        );
+        assert!(
+            s.epoch_passes < triggers,
+            "decay must thin triggered passes: {} full of {} triggers",
+            s.epoch_passes,
+            triggers
+        );
+        // No reclamation-latency cliff: the reader leaves, and the very
+        // next (forced) pass frees everything and resets the decay.
+        smr.end_op(1);
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert_eq!(s.unreclaimed_nodes(), 0, "first freeable sweep drains");
+        assert_eq!(smr.ctl.decay_level(), 0, "decay resets on the free");
+        // And with the decay reset, triggered passes run full again.
+        let full_before = smr.stats().snapshot().epoch_passes;
+        for i in 0..64 {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        assert!(
+            smr.stats().snapshot().epoch_passes > full_before,
+            "post-reset triggers execute full passes"
+        );
+        drop(reg1);
+        drop(reg0);
+    }
+
+    #[test]
+    fn adaptive_off_never_decays_or_thins() {
+        let smr = Ebr::new(
+            SmrConfig::for_tests(2)
+                .with_reclaim_freq(32)
+                .with_retire_bins(1)
+                .with_adaptive(false),
+        );
+        let reg0 = smr.register(0);
+        let reg1 = smr.register(1);
+        smr.begin_op(1); // stalled reader: every pass is barren
+        let triggers = 16u64;
+        for i in 0..32 * triggers {
+            smr.begin_op(0);
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+            smr.end_op(0);
+        }
+        let s = smr.stats().snapshot();
+        assert_eq!(s.epoch_decay_steps, 0, "static config never decays");
+        assert_eq!(
+            s.epoch_passes, triggers,
+            "every trigger runs a full pass when adaptive is off"
+        );
+        smr.end_op(1);
+        smr.flush(0);
+        drop(reg1);
+        drop(reg0);
     }
 
     #[test]

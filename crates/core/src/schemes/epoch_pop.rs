@@ -26,6 +26,7 @@ use crate::base::{
     ScratchSlot,
 };
 use crate::config::SmrConfig;
+use crate::controller::{PassAction, PassController};
 use crate::header::{unmark_word, Retired};
 use crate::pop_shared::PopShared;
 use crate::smr::{ReadResult, Smr};
@@ -43,6 +44,9 @@ struct ThreadState {
 pub struct EpochPop {
     base: DomainBase,
     clocks: EpochClocks,
+    /// Epoch-cadence decay (adaptive controller). Thinning never applies
+    /// to the POP escalation — robustness is exempt from pacing.
+    ctl: PassController,
     /// `reservedEpoch[tid]` (Alg. 3 line 4).
     reserved_epoch: Box<[CachePadded<AtomicU64>]>,
     /// Private pointer reservations published on ping (Alg. 3 lines 6–8).
@@ -53,8 +57,17 @@ pub struct EpochPop {
 
 impl EpochPop {
     /// Alg. 3 `reclaimEpochFreeable`: the EBR fast path. In-place sweep —
-    /// no allocation.
-    fn reclaim_epoch_freeable(&self, tid: usize) {
+    /// no allocation. Retire-triggered passes (`forced = false`) honor the
+    /// controller's decay thinning; flush passes are always full.
+    fn reclaim_epoch_freeable(&self, tid: usize, forced: bool) {
+        let action = if forced {
+            self.ctl.begin_forced_pass()
+        } else {
+            self.ctl.begin_pass()
+        };
+        if action == PassAction::Thinned {
+            return;
+        }
         let shard = self.base.stats.shard(tid);
         shard.epoch_passes.fetch_add(1, Ordering::Relaxed);
         // Reclaimer-side epoch advance by max-aggregation (the op path
@@ -72,11 +85,16 @@ impl EpochPop {
         shard.observe_retire_len(list.len());
         // SAFETY: nodes retired before every announced epoch are
         // unreachable.
-        unsafe { free_before_epoch(&self.base, tid, list, min) };
+        let freed = unsafe { free_before_epoch(&self.base, tid, list, min) };
+        if self.ctl.note_pass_outcome(freed) {
+            shard.epoch_decay_steps.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Alg. 3 lines 26–30: the robust POP escalation. Allocation-free via
-    /// the thread's scratch buffers.
+    /// the thread's scratch buffers. Never thinned — the escalation check
+    /// in `retire` runs after every trigger regardless of decay, so the
+    /// garbage bound `C × reclaim_freq + N × H` survives an idle spell.
     fn reclaim_pop_freeable(&self, tid: usize) {
         self.base
             .stats
@@ -93,7 +111,16 @@ impl EpochPop {
         // deregistered, or was provably quiescent holding none; anything
         // unreserved is unreachable — even for threads stuck in ancient
         // epochs, because they too record local reservations on every read.
-        unsafe { free_unreserved(&self.base, tid, list, &scratch.reserved) };
+        let freed = unsafe { free_unreserved(&self.base, tid, list, &scratch.reserved) };
+        // A freeing POP pass un-decays the domain (garbage is moving
+        // again); a barren one deepens like any other barren pass.
+        if self.ctl.note_pass_outcome(freed) {
+            self.base
+                .stats
+                .shard(tid)
+                .epoch_decay_steps
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -104,8 +131,6 @@ impl Smr for EpochPop {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let base = DomainBase::new(cfg);
         let pop = PopShared::leak(
             n,
@@ -121,18 +146,19 @@ impl Smr for EpochPop {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal, bins),
+                retire: RetireSlot::for_cfg(&base.cfg),
                 scratch: ScratchSlot::new(),
                 op_count: AtomicU64::new(0),
             })
         });
         Arc::new(EpochPop {
-            base,
             clocks: EpochClocks::new(n),
+            ctl: PassController::new(base.cfg.adaptive),
             reserved_epoch: reserved.into_boxed_slice(),
             pop,
             publisher,
             threads: threads.into_boxed_slice(),
+            base,
         })
     }
 
@@ -176,7 +202,7 @@ impl Smr for EpochPop {
         let ts = &self.threads[tid];
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
-        if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
+        if self.ctl.tick_due(c, self.base.cfg.epoch_freq as u64) {
             self.clocks.tick(tid);
         }
         self.pop.note_active(tid);
@@ -213,9 +239,11 @@ impl Smr for EpochPop {
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
         if push_retired(&self.base, tid, list, retired) {
-            self.reclaim_epoch_freeable(tid);
+            self.reclaim_epoch_freeable(tid, false);
             // Re-check *after* the epoch pass (Alg. 3 line 26): a long list
-            // that epochs could not drain implicates a delayed thread.
+            // that epochs could not drain implicates a delayed thread. The
+            // check runs even when decay thinned the epoch pass, so the
+            // robust escalation is never delayed by the controller.
             let still = unsafe { self.threads[tid].retire.get() }.len();
             if still >= self.base.cfg.pop_c * self.base.cfg.reclaim_freq {
                 self.reclaim_pop_freeable(tid);
@@ -228,7 +256,7 @@ impl Smr for EpochPop {
     }
 
     fn flush(&self, tid: usize) {
-        self.reclaim_epoch_freeable(tid);
+        self.reclaim_epoch_freeable(tid, true);
         if !unsafe { self.threads[tid].retire.get() }.is_empty() {
             self.reclaim_pop_freeable(tid);
         }

@@ -78,12 +78,10 @@ impl Smr for HazardEra {
         let mut shared = Vec::with_capacity(cells);
         shared.resize_with(cells, || AtomicU64::new(NONE));
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal, bins),
+                retire: RetireSlot::for_cfg(&cfg),
                 scratch: ScratchSlot::new(),
             })
         });

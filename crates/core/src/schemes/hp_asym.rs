@@ -112,8 +112,6 @@ impl Smr for HazardPtrAsym {
         let mut shared = Vec::with_capacity(cells);
         shared.resize_with(cells, || AtomicU64::new(0));
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let base = DomainBase::new(cfg);
         // Zero copy-slots: the barrier publisher only fences and counts.
         // Quiescent filtering stays OFF — the reservations this barrier
@@ -131,7 +129,7 @@ impl Smr for HazardPtrAsym {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal, bins),
+                retire: RetireSlot::for_cfg(&base.cfg),
                 scratch: ScratchSlot::new(),
             })
         });

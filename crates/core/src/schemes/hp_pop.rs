@@ -77,8 +77,6 @@ impl Smr for HazardPtrPop {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let base = DomainBase::new(cfg);
         let pop = PopShared::leak(
             n,
@@ -92,7 +90,7 @@ impl Smr for HazardPtrPop {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal, bins),
+                retire: RetireSlot::for_cfg(&base.cfg),
                 scratch: ScratchSlot::new(),
             })
         });

@@ -187,14 +187,12 @@ impl Smr for Hyaline {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let mut arena = Vec::with_capacity(ARENA_CAP);
         arena.resize_with(ARENA_CAP, || AtomicPtr::new(core::ptr::null_mut()));
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal, bins),
+                retire: RetireSlot::for_cfg(&cfg),
                 entry_idx: AtomicU64::new(0),
             })
         });

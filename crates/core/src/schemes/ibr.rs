@@ -17,6 +17,7 @@ use crate::base::{
     push_retired, sweep_retire_list, DomainBase, EpochClocks, RetireSlot, ScratchSlot,
 };
 use crate::config::SmrConfig;
+use crate::controller::{PassAction, PassController};
 use crate::header::Retired;
 use crate::smr::{ReadResult, Smr};
 use crate::stats::DomainStats;
@@ -34,6 +35,8 @@ struct ThreadState {
 pub struct Ibr {
     base: DomainBase,
     clocks: EpochClocks,
+    /// Epoch-cadence decay (adaptive controller).
+    ctl: PassController,
     lower: Box<[CachePadded<AtomicU64>]>,
     upper: Box<[CachePadded<AtomicU64>]>,
     threads: Box<[CachePadded<ThreadState>]>,
@@ -54,7 +57,17 @@ impl Ibr {
         }
     }
 
-    fn reclaim(&self, tid: usize) {
+    /// One interval pass. Retire-triggered passes honor decay thinning;
+    /// flush/unregister passes are always full.
+    fn reclaim(&self, tid: usize, forced: bool) {
+        let action = if forced {
+            self.ctl.begin_forced_pass()
+        } else {
+            self.ctl.begin_pass()
+        };
+        if action == PassAction::Thinned {
+            return;
+        }
         // Advance the epoch (reclaimer-side max-aggregation; the self-tick
         // keeps nodes retired from now on separable from old intervals).
         self.clocks.advance_max_scan(tid);
@@ -68,7 +81,7 @@ impl Ibr {
         self.base.stats.shard(tid).observe_retire_len(list.len());
         // SAFETY: a node whose lifespan intersects no announced interval
         // cannot have been acquired by any thread.
-        unsafe {
+        let freed = unsafe {
             sweep_retire_list(&self.base, tid, list, |r| {
                 let birth = r.header().birth_era;
                 let retire = r.header().retire_era();
@@ -77,6 +90,13 @@ impl Ibr {
                     .any(|&(lo, hi)| birth <= hi && retire >= lo)
             })
         };
+        if self.ctl.note_pass_outcome(freed) {
+            self.base
+                .stats
+                .shard(tid)
+                .epoch_decay_steps
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -87,8 +107,6 @@ impl Smr for Ibr {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let mut lower = Vec::with_capacity(n);
         lower.resize_with(n, || CachePadded::new(AtomicU64::new(QUIESCENT)));
         let mut upper = Vec::with_capacity(n);
@@ -96,17 +114,18 @@ impl Smr for Ibr {
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal, bins),
+                retire: RetireSlot::for_cfg(&cfg),
                 scratch: ScratchSlot::new(),
                 op_count: AtomicU64::new(0),
             })
         });
         Arc::new(Ibr {
-            base: DomainBase::new(cfg),
             clocks: EpochClocks::new(n),
+            ctl: PassController::new(cfg.adaptive),
             lower: lower.into_boxed_slice(),
             upper: upper.into_boxed_slice(),
             threads: threads.into_boxed_slice(),
+            base: DomainBase::new(cfg),
         })
     }
 
@@ -141,7 +160,7 @@ impl Smr for Ibr {
         let ts = &self.threads[tid];
         let c = ts.op_count.load(Ordering::Relaxed) + 1;
         ts.op_count.store(c, Ordering::Relaxed);
-        if c.is_multiple_of(self.base.cfg.epoch_freq as u64) {
+        if self.ctl.tick_due(c, self.base.cfg.epoch_freq as u64) {
             // Private clock tick — no shared RMW on the op path.
             self.clocks.tick(tid);
         }
@@ -181,7 +200,7 @@ impl Smr for Ibr {
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
         if push_retired(&self.base, tid, list, retired) {
-            self.reclaim(tid);
+            self.reclaim(tid, false);
         }
     }
 
@@ -190,7 +209,7 @@ impl Smr for Ibr {
     }
 
     fn flush(&self, tid: usize) {
-        self.reclaim(tid);
+        self.reclaim(tid, true);
     }
 }
 

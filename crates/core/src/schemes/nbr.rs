@@ -345,15 +345,13 @@ impl Smr for NbrPlus {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let base = DomainBase::new(cfg);
         let shared = NbrShared::leak(n, base.cfg.slots, Arc::clone(&base.stats));
         let publisher = register_publisher(shared);
         let mut threads = Vec::with_capacity(n);
         threads.resize_with(n, || {
             CachePadded::new(ThreadState {
-                retire: RetireSlot::new(seal, bins),
+                retire: RetireSlot::for_cfg(&base.cfg),
                 scratch: ScratchSlot::new(),
             })
         });

@@ -33,10 +33,8 @@ impl Smr for NoReclaim {
 
     fn new(cfg: SmrConfig) -> Arc<Self> {
         let n = cfg.max_threads;
-        let seal = cfg.effective_batch();
-        let bins = cfg.effective_bins();
         let mut threads = Vec::with_capacity(n);
-        threads.resize_with(n, || CachePadded::new(RetireSlot::new(seal, bins)));
+        threads.resize_with(n, || CachePadded::new(RetireSlot::for_cfg(&cfg)));
         Arc::new(NoReclaim {
             base: DomainBase::new(cfg),
             threads: threads.into_boxed_slice(),

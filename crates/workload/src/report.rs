@@ -44,6 +44,13 @@ pub struct RunRecord {
     /// arena-binned fill path's figure of merit: monotone share =
     /// `blocks_sealed_monotone / batches_sealed`).
     pub blocks_sealed_monotone: u64,
+    /// Blocks that were *birth-era*-monotone at seal time (the era
+    /// sweeps' first-sweep merge-join share).
+    pub blocks_sealed_era_monotone: u64,
+    /// Adaptive controller: epoch-cadence decay deepenings observed.
+    pub epoch_decay_steps: u64,
+    /// Adaptive controller: per-thread fill-bin resizes observed.
+    pub bin_resizes: u64,
     /// Orphans stolen by reclaimer passes (sweep-time adoption).
     pub orphans_stolen: u64,
     /// NBR restarts observed.
@@ -52,12 +59,12 @@ pub struct RunRecord {
 
 impl RunRecord {
     /// CSV header matching [`RunRecord::csv_row`].
-    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,blocks_sealed_monotone,orphans_stolen,restarts";
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,blocks_sealed_monotone,blocks_sealed_era_monotone,epoch_decay_steps,bin_resizes,orphans_stolen,restarts";
 
     /// Serializes this record as a CSV row tagged with `figure`.
     pub fn csv_row(&self, figure: &str) -> String {
         format!(
-            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{}",
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.ds,
             self.scheme,
             self.threads,
@@ -76,6 +83,9 @@ impl RunRecord {
             self.pings_elided_adaptive,
             self.batches_sealed,
             self.blocks_sealed_monotone,
+            self.blocks_sealed_era_monotone,
+            self.epoch_decay_steps,
+            self.bin_resizes,
             self.orphans_stolen,
             self.restarts,
         )
@@ -157,6 +167,9 @@ mod tests {
             pings_elided_adaptive: 2,
             batches_sealed: 4,
             blocks_sealed_monotone: 3,
+            blocks_sealed_era_monotone: 2,
+            epoch_decay_steps: 1,
+            bin_resizes: 1,
             orphans_stolen: 0,
             restarts: 0,
         }
