@@ -187,6 +187,10 @@ fn run_robustness(opts: &SweepOptions, csv: &Path) {
             bin_resizes: stats.bin_resizes,
             orphans_stolen: stats.orphans_stolen,
             restarts: stats.restarts,
+            publish_wait_timeouts: stats.publish_wait_timeouts,
+            pings_failed: stats.pings_failed,
+            participants_reaped: stats.participants_reaped,
+            faults_injected: stats.faults_injected,
         }
     }
 

@@ -613,6 +613,10 @@ pub(crate) struct DomainBase {
     /// lock, so every sweep can skip the mutex when no orphans exist (the
     /// common case on stable memberships).
     orphan_hint: AtomicUsize,
+    /// Per-tid reap-in-progress flags: the CAS in [`Self::try_begin_reap`]
+    /// elects a single reaper for a dead participant's single-owner state
+    /// ([`RetireSlot`]), so concurrent reclaimers never alias it.
+    reaping: Box<[AtomicBool]>,
 }
 
 impl DomainBase {
@@ -623,6 +627,8 @@ impl DomainBase {
         occupied.resize_with(n, || AtomicBool::new(false));
         let mut gtids = Vec::with_capacity(n);
         gtids.resize_with(n, || AtomicUsize::new(0));
+        let mut reaping = Vec::with_capacity(n);
+        reaping.resize_with(n, || AtomicBool::new(false));
         DomainBase {
             stats: Arc::new(DomainStats::new(n)),
             cfg,
@@ -631,6 +637,7 @@ impl DomainBase {
             quarantine: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
             orphan_hint: AtomicUsize::new(0),
+            reaping: reaping.into_boxed_slice(),
         }
     }
 
@@ -666,6 +673,47 @@ impl DomainBase {
             0 => None,
             g => Some(g - 1),
         }
+    }
+
+    /// Elects the caller as the unique reaper of `tid`'s state. Must be
+    /// balanced by [`Self::end_reap`]; a `false` return means another
+    /// reclaimer holds (or already completed) the reap.
+    pub(crate) fn try_begin_reap(&self, tid: usize) -> bool {
+        self.reaping[tid]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases the reap election taken by [`Self::try_begin_reap`].
+    pub(crate) fn end_reap(&self, tid: usize) {
+        self.reaping[tid].store(false, Ordering::Release);
+    }
+
+    /// Recovers the domain-side state of a participant that died without
+    /// deregistering: seals and parks its pending retirements as orphans
+    /// (nothing is leaked — adopters filter them against reservations like
+    /// any other garbage), unbinds its gtid, and frees the domain tid for
+    /// reuse. The slot release is last: the tid must not be reclaimable
+    /// while its retire list is still being moved.
+    ///
+    /// Caller contract: the caller won [`Self::try_begin_reap`] for
+    /// `dead_tid` *and* the process-global registry confirmed the thread
+    /// dead (one-shot `Registry::reap`), making the caller the unique
+    /// accessor of the dead thread's single-owner state; `list` is that
+    /// thread's retire list.
+    pub(crate) fn reap_participant(
+        &self,
+        reaper_tid: usize,
+        dead_tid: usize,
+        list: &mut RetireList,
+    ) {
+        self.orphan_remaining(dead_tid, list);
+        self.clear_gtid(dead_tid);
+        self.release(dead_tid);
+        self.stats
+            .shard(reaper_tid)
+            .participants_reaped
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Frees (or quarantines) one retired object **without** stats — the
@@ -1318,6 +1366,55 @@ pub(crate) fn collect_slot_words_into(
     }
     out.sort_unstable();
     out.dedup();
+}
+
+/// Whether `gtid` is the process registry's slot for the **calling**
+/// thread — i.e. a registration obtained through
+/// [`crate::smr::Smr::register`], not a gtid fabricated by a unit test.
+///
+/// Captured once at bind time. A backed registration can only disappear
+/// through the thread's own teardown (`Registration` drops the domain
+/// binding *before* the registry handle, and the thread-exit TLS
+/// destructor is the only other releaser), so a later `Vacated` probe of a
+/// still-bound domain tid is proof the thread is gone. An unbacked gtid
+/// proves nothing — its probes may be watching an unrelated thread's slot.
+pub(crate) fn registration_backed(gtid: usize) -> bool {
+    gtid < pop_runtime::MAX_THREADS && pop_runtime::Registry::global().find_current() == Some(gtid)
+}
+
+/// Whether the registration `(gtid, generation)` is confirmed dead: the
+/// kernel-tid probe reports the thread gone, or the registration vanished
+/// from the registry while its domain binding survived (`backed` — the
+/// thread exited and TLS teardown released the slot for it). `Alive` and
+/// every ambiguous outcome read as "not dead": reaping is an optimization,
+/// keeping is the correctness story.
+pub(crate) fn registration_confirmed_dead(gtid: usize, generation: u64, backed: bool) -> bool {
+    use pop_runtime::{Liveness, Registry};
+    if gtid >= pop_runtime::MAX_THREADS {
+        return false;
+    }
+    match Registry::global().probe(gtid, generation) {
+        Liveness::Dead => true,
+        Liveness::Vacated => backed,
+        Liveness::Alive => false,
+    }
+}
+
+/// Re-confirms death immediately before a reap and releases the registry
+/// slot if it is still held. Returns whether the reaper may proceed.
+///
+/// Two confirmable shapes: the slot is still active with a dead kernel tid
+/// ([`pop_runtime::Registry::reap`] releases it here), or a `backed`
+/// registration already vacated by the dead thread's TLS teardown (nothing
+/// left to release). A live or recycled-by-another-claim registration
+/// refuses the reap.
+pub(crate) fn reap_registration(gtid: usize, generation: u64, backed: bool) -> bool {
+    use pop_runtime::{Liveness, Registry};
+    if gtid >= pop_runtime::MAX_THREADS {
+        return false;
+    }
+    Registry::global().reap(gtid, generation)
+        || (backed && Registry::global().probe(gtid, generation) == Liveness::Vacated)
 }
 
 /// Whether any era in sorted `reserved` lies within `[birth, retire]`.

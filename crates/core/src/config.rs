@@ -17,6 +17,13 @@ pub const MAX_RETIRE_BINS: usize = 8;
 /// allocators interleave (fresh bump region + a few free-list arenas).
 pub const DEFAULT_RETIRE_BINS: usize = 4;
 
+/// Default publish-wait deadline (1 s wall clock, total per reclamation
+/// pass). Generous enough that a merely descheduled peer on an
+/// oversubscribed host publishes long before it; the deadline exists for
+/// peers that will *never* publish (died without deregistering, signal
+/// lost), where the watchdog falls back to conservative snapshots.
+pub const DEFAULT_PUBLISH_DEADLINE_NS: u64 = 1_000_000_000;
+
 /// The one normalization rule for bin counts: a power of two (so bin
 /// routing is a shift + mask) in `1..=MAX_RETIRE_BINS`, rounding upward
 /// (3 → 4). Shared by the builder, `effective_bins` and `RetireList`.
@@ -56,17 +63,19 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
 ///
 /// # `POP_*` environment overrides
 ///
-/// [`SmrConfig::for_threads`] and [`SmrConfig::for_tests`] apply four
+/// [`SmrConfig::for_threads`] and [`SmrConfig::for_tests`] apply the
 /// environment overrides after the defaults, which is how the CI
-/// fallback-path matrix drives the whole test suite through each fast
-/// path's off switch without touching a call site:
+/// fallback-path and fault matrices drive the whole test suite through
+/// each switch without touching a call site:
 ///
-/// | variable           | effect                                          |
-/// |--------------------|-------------------------------------------------|
-/// | `POP_RETIRE_BATCH` | seal threshold (`1` = unbatched retirement)     |
-/// | `POP_RETIRE_BINS`  | arena fill bins (`1` = single fill block)       |
-/// | `POP_FUTEX_WAIT`   | `0`/`off` = yield-loop publish waits            |
-/// | `POP_ADAPTIVE`     | `0`/`off` = static knobs (no controller)        |
+/// | variable                  | effect                                       |
+/// |---------------------------|----------------------------------------------|
+/// | `POP_RETIRE_BATCH`        | seal threshold (`1` = unbatched retirement)  |
+/// | `POP_RETIRE_BINS`         | arena fill bins (`1` = single fill block)    |
+/// | `POP_FUTEX_WAIT`          | `0`/`off` = yield-loop publish waits         |
+/// | `POP_ADAPTIVE`            | `0`/`off` = static knobs (no controller)     |
+/// | `POP_PUBLISH_DEADLINE_MS` | publish-wait watchdog deadline (`0` = off)   |
+/// | `POP_FAULTS`              | fault plan (needs the `fault-injection` feature; parsed by `pop_runtime::faults`) |
 ///
 /// ```
 /// use pop_core::SmrConfig;
@@ -129,6 +138,14 @@ pub struct SmrConfig {
     /// the target's publish word (Linux; elsewhere this knob is ignored and
     /// waits `yield_now`). `false` forces the portable yield path.
     pub futex_wait: bool,
+    /// Publish-wait watchdog deadline in nanoseconds, *total wall clock per
+    /// reclamation pass* (`ping_all_and_wait`, NBR phase 2). A peer that
+    /// has not published when it expires is handled conservatively — its
+    /// shared reservations are re-snapshotted as-is (correct-by-keep), the
+    /// pass completes, and the peer is probed for death and reaped if gone.
+    /// `0` disables the watchdog (waits are unbounded, the pre-PR-6
+    /// behavior).
+    pub publish_deadline_ns: u64,
     /// The per-domain adaptive controller (`pop_core::controller`): epoch
     /// cadence decays on barren passes (instantly reset by the first
     /// freeing sweep), and each thread auto-sizes its fill-bin count from
@@ -156,6 +173,7 @@ impl SmrConfig {
             retire_bins: DEFAULT_RETIRE_BINS,
             publish_spin: DEFAULT_PUBLISH_SPIN,
             futex_wait: true,
+            publish_deadline_ns: DEFAULT_PUBLISH_DEADLINE_NS,
             adaptive: true,
             quarantine: false,
         }
@@ -188,7 +206,12 @@ impl SmrConfig {
     /// matrix legs run the test suite with `POP_RETIRE_BINS=1`,
     /// `POP_RETIRE_BATCH=1` and `POP_FUTEX_WAIT=0` without touching any
     /// call site). Unset or unparsable variables change nothing.
+    ///
+    /// Also arms the fault-injection layer from `POP_FAULTS` (a no-op
+    /// unless the `fault-injection` feature is compiled in): domain
+    /// construction is the one chokepoint every harness passes through.
     fn with_env_overrides(self) -> Self {
+        pop_runtime::faults::init_from_env();
         self.with_overrides_from(|k| std::env::var(k).ok())
     }
 
@@ -213,6 +236,9 @@ impl SmrConfig {
                 "1" | "true" | "on" => self.adaptive = true,
                 _ => {}
             }
+        }
+        if let Some(ms) = get("POP_PUBLISH_DEADLINE_MS").and_then(|v| v.parse::<u64>().ok()) {
+            self.publish_deadline_ns = ms.saturating_mul(1_000_000);
         }
         self
     }
@@ -250,6 +276,14 @@ impl SmrConfig {
     /// Builder-style toggle for futex-parked publish waits.
     pub fn with_futex_wait(mut self, on: bool) -> Self {
         self.futex_wait = on;
+        self
+    }
+
+    /// Builder-style override of the publish-wait watchdog deadline
+    /// (nanoseconds of wall clock per reclamation pass; `0` disables the
+    /// watchdog and restores unbounded waits).
+    pub fn with_publish_deadline_ns(mut self, ns: u64) -> Self {
+        self.publish_deadline_ns = ns;
         self
     }
 
@@ -381,6 +415,23 @@ mod tests {
         assert_eq!(c.retire_bins, DEFAULT_RETIRE_BINS);
         assert!(c.futex_wait);
         assert!(c.adaptive, "controller is on by default");
+    }
+
+    #[test]
+    fn publish_deadline_default_builder_and_env() {
+        let c = SmrConfig::test_defaults(1);
+        assert_eq!(c.publish_deadline_ns, DEFAULT_PUBLISH_DEADLINE_NS);
+        let c = c.with_publish_deadline_ns(0);
+        assert_eq!(c.publish_deadline_ns, 0, "zero (watchdog off) is legal");
+        let c = SmrConfig::test_defaults(1)
+            .with_overrides_from(|k| (k == "POP_PUBLISH_DEADLINE_MS").then(|| "50".to_string()));
+        assert_eq!(c.publish_deadline_ns, 50_000_000, "env override is in ms");
+        let c = SmrConfig::test_defaults(1)
+            .with_overrides_from(|k| (k == "POP_PUBLISH_DEADLINE_MS").then(|| "fast".to_string()));
+        assert_eq!(
+            c.publish_deadline_ns, DEFAULT_PUBLISH_DEADLINE_NS,
+            "garbage leaves the default alone"
+        );
     }
 
     #[test]

@@ -89,7 +89,9 @@ pub mod testing {
 
 pub use config::SmrConfig;
 pub use header::{unmark_word, HasHeader, Header, Retired, RETIRE_BATCH_CAP};
-pub use smr::{as_header, protect_infallible, retire_node, ReadResult, Registration, Restart, Smr};
+pub use smr::{
+    as_header, protect_infallible, retire_node, OpGuard, ReadResult, Registration, Restart, Smr,
+};
 pub use stats::{DomainStats, ShardStats, StatsSnapshot};
 
 // Convenience aliases matching the paper's plot labels.

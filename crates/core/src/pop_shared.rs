@@ -72,11 +72,14 @@
 
 use core::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam_utils::CachePadded;
+use pop_runtime::faults::{self, FaultSite};
 use pop_runtime::signal::ping_gtid;
-use pop_runtime::{futex, Publisher};
+use pop_runtime::{futex, PingOutcome, Publisher, Registry};
 
+use crate::base::{DomainBase, RetireList};
 use crate::stats::DomainStats;
 
 /// Timeout per parked publish wait (liveness backstop; see module docs).
@@ -120,6 +123,23 @@ pub(crate) struct PopShared {
     registered: Box<[AtomicBool]>,
     /// Domain tid → global thread id + 1 (0 = unbound).
     gtid_of: Box<[AtomicUsize]>,
+    /// Registry claim generation captured at [`Self::register`]: together
+    /// with the gtid it names that registration for liveness probes even
+    /// after the registry slot is recycled.
+    gtid_gen: Box<[AtomicU64]>,
+    /// Whether the bound gtid was the calling thread's real registry slot
+    /// at [`Self::register`] time ([`crate::base::registration_backed`]) —
+    /// the license to read a later `Vacated` probe as death.
+    gtid_backed: Box<[AtomicBool]>,
+    /// Set by the watchdog (deadline expired) or a failed ping: the thread
+    /// may hold reservations it never published, so reclaimers treat its
+    /// *local* words as reserved too ([`Self::collect_reserved_into`] —
+    /// correct-by-keep). Cleared by the thread's own next publish.
+    suspect: Box<[AtomicBool]>,
+    /// Set when a liveness probe confirms the registration's thread died
+    /// without deregistering; consumed (CAS) by [`Self::take_dead`] on
+    /// scheme reclaim paths, which feed the domain reaper.
+    peer_dead: Box<[AtomicBool]>,
     stats: Arc<DomainStats>,
     /// Quiescent-thread ping elision. Off for users whose reservations live
     /// outside this struct (the HPAsym signal barrier), where every handler
@@ -130,6 +150,11 @@ pub(crate) struct PopShared {
     publish_spin: u32,
     /// Park on a futex after the spin budget (vs `yield_now`).
     futex_wait: bool,
+    /// Publish-wait watchdog: total wall-clock budget per
+    /// `ping_all_and_wait` pass before unpublished peers are handled
+    /// conservatively ([`crate::config::SmrConfig::publish_deadline_ns`];
+    /// `0` = unbounded waits).
+    publish_deadline_ns: u64,
 }
 
 impl PopShared {
@@ -141,6 +166,7 @@ impl PopShared {
         filter_quiescent: bool,
         publish_spin: u32,
         futex_wait: bool,
+        publish_deadline_ns: u64,
     ) -> &'static Self {
         let cells = nthreads * slots;
         let mut local = Vec::with_capacity(cells);
@@ -161,6 +187,14 @@ impl PopShared {
         registered.resize_with(nthreads, || AtomicBool::new(false));
         let mut gtid_of = Vec::with_capacity(nthreads);
         gtid_of.resize_with(nthreads, || AtomicUsize::new(0));
+        let mut gtid_gen = Vec::with_capacity(nthreads);
+        gtid_gen.resize_with(nthreads, || AtomicU64::new(0));
+        let mut gtid_backed = Vec::with_capacity(nthreads);
+        gtid_backed.resize_with(nthreads, || AtomicBool::new(false));
+        let mut suspect = Vec::with_capacity(nthreads);
+        suspect.resize_with(nthreads, || AtomicBool::new(false));
+        let mut peer_dead = Vec::with_capacity(nthreads);
+        peer_dead.resize_with(nthreads, || AtomicBool::new(false));
         Box::leak(Box::new(PopShared {
             nthreads,
             slots,
@@ -173,10 +207,15 @@ impl PopShared {
             quiescent_streak: quiescent_streak.into_boxed_slice(),
             registered: registered.into_boxed_slice(),
             gtid_of: gtid_of.into_boxed_slice(),
+            gtid_gen: gtid_gen.into_boxed_slice(),
+            gtid_backed: gtid_backed.into_boxed_slice(),
+            suspect: suspect.into_boxed_slice(),
+            peer_dead: peer_dead.into_boxed_slice(),
             stats,
             filter_quiescent,
             publish_spin,
             futex_wait: futex_wait && futex::supported(),
+            publish_deadline_ns,
         }))
     }
 
@@ -253,7 +292,20 @@ impl PopShared {
         self.quiescent_streak[tid].store(0, Ordering::Relaxed);
         let a = self.activity[tid].load(Ordering::Relaxed);
         self.activity[tid].store((a | 1).wrapping_add(1), Ordering::Relaxed);
+        self.suspect[tid].store(false, Ordering::Relaxed);
+        self.peer_dead[tid].store(false, Ordering::Relaxed);
         self.gtid_of[tid].store(gtid + 1, Ordering::Relaxed);
+        // Generation of the registry slot backing this gtid, plus whether
+        // it really is the calling thread's slot. For gtids not backed by
+        // the registry (unit-test fabrications) `backed` stays false and
+        // probes never read as death, so the reaper never engages on them.
+        let generation = if gtid < pop_runtime::MAX_THREADS {
+            Registry::global().generation_of(gtid)
+        } else {
+            0
+        };
+        self.gtid_gen[tid].store(generation, Ordering::Relaxed);
+        self.gtid_backed[tid].store(crate::base::registration_backed(gtid), Ordering::Relaxed);
         // Release publishes the cleared slots before the thread is pingable.
         self.registered[tid].store(true, Ordering::Release);
     }
@@ -273,6 +325,16 @@ impl PopShared {
     /// shared, one fence, bump the publish counter, wake parked waiters.
     /// Async-signal-safe (atomics plus at most one `futex` syscall).
     pub(crate) fn publish_tid(&self, tid: usize) {
+        // Fault site: a publish that straggles — the local→shared copy and
+        // counter bump land late, stretching every waiting reclaimer.
+        // `nanosleep` is async-signal-safe, so this is handler-legal.
+        if faults::fire(FaultSite::PublishDelay) {
+            self.stats
+                .shard(tid)
+                .faults_injected
+                .fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(100));
+        }
         let base = tid * self.slots;
         for s in 0..self.slots {
             let w = self.local[base + s].load(Ordering::Relaxed);
@@ -280,6 +342,9 @@ impl PopShared {
         }
         // The single fence that replaces one-fence-per-read of classic HP.
         fence(Ordering::SeqCst);
+        // A completed publish is proof of life: the thread's shared words
+        // are current again, so conservative suspect handling can end.
+        self.suspect[tid].store(false, Ordering::Relaxed);
         self.counter[tid].fetch_add(1, Ordering::Release);
         if self.futex_wait {
             // Dekker pairing with the waiter (module docs): the SeqCst
@@ -352,6 +417,7 @@ impl PopShared {
         }
         fence(Ordering::SeqCst);
         let mut pings = 0u64;
+        let mut failed = 0u64;
         let mut skipped = 0u64;
         let mut adaptive = 0u64;
         for (t, c) in collected.iter_mut().enumerate() {
@@ -382,17 +448,45 @@ impl PopShared {
                 self.quiescent_streak[t].store(0, Ordering::Relaxed);
             }
             if let Some(gtid) = self.gtid(t) {
-                if ping_gtid(gtid) {
-                    pings += 1;
+                match ping_gtid(gtid) {
+                    PingOutcome::Sent => pings += 1,
+                    // Deregistered between collection and the ping: the
+                    // departing flush (or a proxy publish) satisfies the
+                    // wait below, so keep waiting on the counter.
+                    PingOutcome::Inactive => {}
+                    PingOutcome::Dead => {
+                        // The OS says the thread is gone: never wait for
+                        // it. Its last words stay honored conservatively
+                        // (suspect ⇒ local ∪ shared), and it is queued
+                        // for the schemes' reaper.
+                        failed += 1;
+                        self.suspect[t].store(true, Ordering::Release);
+                        self.note_dead_if_confirmed(t);
+                        *c = SKIP;
+                    }
+                    PingOutcome::Failed(_) => {
+                        // Send failed outright (never expected): skip the
+                        // wait — the signal will not arrive — but keep
+                        // the thread's reservations conservatively.
+                        failed += 1;
+                        self.suspect[t].store(true, Ordering::Release);
+                        *c = SKIP;
+                    }
                 }
             }
         }
         let shard = self.stats.shard(me);
         shard.pings_sent.fetch_add(pings, Ordering::Relaxed);
+        shard.pings_failed.fetch_add(failed, Ordering::Relaxed);
         shard.pings_skipped.fetch_add(skipped, Ordering::Relaxed);
         shard
             .pings_elided_adaptive
             .fetch_add(adaptive, Ordering::Relaxed);
+        // Publish-wait watchdog: one wall-clock budget for the *whole
+        // pass*, armed lazily the first time any wait outlives its spin
+        // budget — the common pass never reads the clock.
+        let mut pass_deadline: Option<Instant> = None;
+        let mut timeouts = 0u64;
         for (t, &observed) in collected.iter().enumerate() {
             if observed == SKIP {
                 continue;
@@ -415,7 +509,26 @@ impl PopShared {
                 spins = spins.saturating_add(1);
                 if spins <= self.publish_spin {
                     core::hint::spin_loop();
-                } else if self.futex_wait {
+                    continue;
+                }
+                if self.publish_deadline_ns > 0 {
+                    let deadline = *pass_deadline.get_or_insert_with(|| {
+                        Instant::now() + Duration::from_nanos(self.publish_deadline_ns)
+                    });
+                    if Instant::now() >= deadline {
+                        // Deadline expired with this peer unpublished:
+                        // abandon the wait. Correctness is preserved by
+                        // keeping, not by waiting — the suspect flag makes
+                        // the scan honor the peer's unpublished local
+                        // words too — and a confirmed-dead peer is queued
+                        // for reaping.
+                        self.suspect[t].store(true, Ordering::Release);
+                        timeouts += 1;
+                        self.note_dead_if_confirmed(t);
+                        break;
+                    }
+                }
+                if self.futex_wait {
                     // Announce, re-check, park (module docs: the SeqCst
                     // announce/load pair with the publisher's bump/load, so
                     // a publish between our re-check and the FUTEX_WAIT
@@ -425,12 +538,37 @@ impl PopShared {
                     if self.counter[t].load(Ordering::Acquire) <= observed
                         && self.registered[t].load(Ordering::Acquire)
                     {
-                        futex::wait_timeout(&self.publish_word[t], w, PUBLISH_WAIT_TIMEOUT_NS);
+                        // Watchdog expiry is decided by wall clock above,
+                        // never by counting wait returns: a spurious wake
+                        // (`Woken` without progress) re-checks and parks
+                        // again without charging a timeout slice, and a
+                        // lost wake costs at most one `TimedOut` interval
+                        // before the predicate re-check.
+                        let _ =
+                            futex::wait_timeout(&self.publish_word[t], w, PUBLISH_WAIT_TIMEOUT_NS);
                     }
                     self.waiters[t].fetch_sub(1, Ordering::SeqCst);
                 } else {
                     std::thread::yield_now();
                 }
+            }
+        }
+        if timeouts > 0 {
+            shard
+                .publish_wait_timeouts
+                .fetch_add(timeouts, Ordering::Relaxed);
+        }
+    }
+
+    /// Probes the registry registration behind domain tid `t`; a confirmed
+    /// death flags the tid for [`Self::take_dead`] consumers. Ambiguity
+    /// (alive, vacated, fabricated gtid) flags nothing — reaping is an
+    /// optimization, keeping is the correctness story.
+    fn note_dead_if_confirmed(&self, t: usize) {
+        if let Some((gtid, generation)) = self.registration_of(t) {
+            let backed = self.gtid_backed[t].load(Ordering::Relaxed);
+            if crate::base::registration_confirmed_dead(gtid, generation, backed) {
+                self.peer_dead[t].store(true, Ordering::Release);
             }
         }
     }
@@ -444,10 +582,22 @@ impl PopShared {
             if !self.registered[t].load(Ordering::Acquire) {
                 continue;
             }
+            // A suspect thread (watchdog expiry / failed ping) may hold
+            // reservations it never published: honor its *local* words too.
+            // Correct-by-keep — the worst case is garbage surviving one
+            // extra pass; racing torn reads are impossible (words are
+            // single atomics) and stale reads only widen the keep set.
+            let suspect = self.suspect[t].load(Ordering::Acquire);
             for s in 0..self.slots {
                 let w = self.shared[t * self.slots + s].load(Ordering::Acquire);
                 if w != 0 {
                     out.push(w);
+                }
+                if suspect {
+                    let l = self.local[t * self.slots + s].load(Ordering::Acquire);
+                    if l != 0 {
+                        out.push(l);
+                    }
                 }
             }
         }
@@ -471,23 +621,130 @@ impl PopShared {
         }
     }
 
+    /// Takes one domain tid flagged as confirmed-dead (CAS-consumed, so
+    /// each flag feeds exactly one reaper), or `None`.
+    pub(crate) fn take_dead(&self) -> Option<usize> {
+        (0..self.nthreads).find(|&t| {
+            self.peer_dead[t].load(Ordering::Relaxed)
+                && self.peer_dead[t]
+                    .compare_exchange(true, false, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+        })
+    }
+
+    /// The `(gtid, registry generation)` pair naming domain tid `t`'s
+    /// registration, for registry confirmation before a reap.
+    pub(crate) fn registration_of(&self, t: usize) -> Option<(usize, u64)> {
+        self.gtid(t)
+            .map(|g| (g, self.gtid_gen[t].load(Ordering::Relaxed)))
+    }
+
+    /// Removes a **confirmed-dead** participant from the ping set on its
+    /// behalf: zeroes its reservations, bumps its publish counter, wakes
+    /// any parked waiter, and unbinds it.
+    ///
+    /// Caller contract: the thread behind `tid` is dead (its registry
+    /// registration was reaped), so nothing races the owner-side stores
+    /// below; a dead thread's reservations protect nothing because it can
+    /// no longer dereference.
+    pub(crate) fn force_unregister(&self, tid: usize) {
+        for s in 0..self.slots {
+            self.local[self.idx(tid, s)].store(0, Ordering::Relaxed);
+            self.shared[self.idx(tid, s)].store(0, Ordering::Relaxed);
+        }
+        fence(Ordering::SeqCst);
+        self.suspect[tid].store(false, Ordering::Relaxed);
+        self.counter[tid].fetch_add(1, Ordering::Release);
+        if self.futex_wait {
+            // Same Dekker pairing as `publish_tid`: waiters parked on the
+            // dead thread's publish word must observe this and re-check.
+            self.publish_word[tid].fetch_add(1, Ordering::SeqCst);
+            if self.waiters[tid].load(Ordering::SeqCst) > 0 {
+                futex::wake_all(&self.publish_word[tid]);
+            }
+        }
+        self.registered[tid].store(false, Ordering::Release);
+        self.gtid_of[tid].store(0, Ordering::Relaxed);
+        self.gtid_backed[tid].store(false, Ordering::Relaxed);
+    }
+
     /// Published counter value (test observability).
     #[cfg(test)]
     pub(crate) fn counter_of(&self, tid: usize) -> u64 {
         self.counter[tid].load(Ordering::Acquire)
+    }
+
+    /// Reaps at most one participant whose kernel thread was confirmed
+    /// dead (flagged by [`Self::note_dead_if_confirmed`] from the watchdog
+    /// or a failed ping): erases it from the ping set, parks its pending
+    /// retires as orphans, and frees its domain tid — recovering the slot,
+    /// the memory, and (for epoch-hybrid schemes) the epoch min-scan,
+    /// which gates on `DomainBase::is_registered`.
+    ///
+    /// `retire_of` hands over the dead slot's retire list. The caller
+    /// guarantees only that `reaper_tid` is its own registered tid;
+    /// exclusivity over the *dead* slot's single-owner state comes from
+    /// winning the per-slot reap CAS and re-confirming the death
+    /// ([`crate::base::reap_registration`]) for that `(gtid, generation)`
+    /// — a loser simply abandons (correct-by-keep). `force_unregister`
+    /// runs *before* `reap_participant`: the latter ends by releasing the
+    /// tid for reuse, and a new claimant's registration must not race our
+    /// teardown.
+    pub(crate) fn reap_one_dead<'a>(
+        &self,
+        base: &DomainBase,
+        reaper_tid: usize,
+        retire_of: impl FnOnce(usize) -> &'a mut RetireList,
+    ) -> Option<usize> {
+        let t = self.take_dead()?;
+        if t == reaper_tid || !base.try_begin_reap(t) {
+            return None;
+        }
+        let confirmed = match self.registration_of(t) {
+            Some((gtid, generation)) => {
+                let backed = self.gtid_backed[t].load(Ordering::Relaxed);
+                crate::base::reap_registration(gtid, generation, backed)
+            }
+            None => false,
+        };
+        let reaped = if confirmed {
+            self.force_unregister(t);
+            base.reap_participant(reaper_tid, t, retire_of(t));
+            Some(t)
+        } else {
+            None
+        };
+        base.end_reap(t);
+        reaped
     }
 }
 
 impl Publisher for PopShared {
     /// Signal-handler entry: publish for whichever domain tid the pinged
     /// thread holds. Bounded loop over domain tids; atomics and one fence
-    /// only — async-signal-safe.
+    /// only — async-signal-safe (the registry is initialized long before
+    /// any thread is pingable, so `Registry::global()` is a plain load).
+    ///
+    /// Registry slots recycle, so this handler — running on the slot's
+    /// *current* owner — may find a dead thread's domain tid still bound
+    /// to the same gtid. Publishing for the corpse would bump its counter:
+    /// forged proof of life that satisfies every publish wait and keeps
+    /// the watchdog (and thus the reaper) from ever engaging. The claim
+    /// generation captured at bind time disambiguates — a registry-backed
+    /// binding is published only for the current claim of its slot.
+    /// (Unbacked bindings — unit-test fabrications — are exempt: their
+    /// captured generation tracks an unrelated slot and may drift.)
     fn publish(&self, gtid: usize) {
+        let current = Registry::global().generation_of(gtid);
         for t in 0..self.nthreads {
             if self.registered[t].load(Ordering::Acquire)
                 && self.gtid_of[t].load(Ordering::Acquire) == gtid + 1
             {
-                self.publish_tid(t);
+                let stale = self.gtid_backed[t].load(Ordering::Relaxed)
+                    && self.gtid_gen[t].load(Ordering::Relaxed) != current;
+                if !stale {
+                    self.publish_tid(t);
+                }
             }
         }
     }
@@ -496,7 +753,7 @@ impl Publisher for PopShared {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::DEFAULT_PUBLISH_SPIN;
+    use crate::config::{DEFAULT_PUBLISH_DEADLINE_NS, DEFAULT_PUBLISH_SPIN};
 
     fn mk(n: usize, slots: usize) -> &'static PopShared {
         PopShared::leak(
@@ -506,6 +763,7 @@ mod tests {
             true,
             DEFAULT_PUBLISH_SPIN,
             true,
+            DEFAULT_PUBLISH_DEADLINE_NS,
         )
     }
 
@@ -764,7 +1022,15 @@ mod tests {
         // Zero spin budget: the waiter parks on the futex immediately; a
         // publish from another thread must wake it well before the wait
         // timeout accumulates into seconds.
-        let p = PopShared::leak(2, 1, Arc::new(DomainStats::new(2)), true, 0, true);
+        let p = PopShared::leak(
+            2,
+            1,
+            Arc::new(DomainStats::new(2)),
+            true,
+            0,
+            true,
+            DEFAULT_PUBLISH_DEADLINE_NS,
+        );
         p.register(0, 100);
         p.register(1, 101);
         // Peer 1 looks active with a reservation: not skippable, and the
@@ -800,7 +1066,15 @@ mod tests {
 
     #[test]
     fn yield_fallback_wait_completes_without_futex() {
-        let p = PopShared::leak(2, 1, Arc::new(DomainStats::new(2)), true, 4, false);
+        let p = PopShared::leak(
+            2,
+            1,
+            Arc::new(DomainStats::new(2)),
+            true,
+            4,
+            false,
+            DEFAULT_PUBLISH_DEADLINE_NS,
+        );
         p.register(0, 100);
         p.register(1, 101);
         p.note_active(1);
@@ -818,6 +1092,129 @@ mod tests {
         p.ping_all_and_wait(0, &mut scratch);
         stop.store(true, Ordering::Release);
         publisher.join().unwrap();
+    }
+
+    #[test]
+    fn watchdog_unwedges_wait_on_never_publishing_peer() {
+        // Peer 1 looks active with a reservation but will NEVER publish
+        // (fake gtid: the ping goes nowhere, and no helper publishes for
+        // it). Pre-watchdog this wait was unbounded; now the pass must
+        // complete within the deadline, keep the peer's unpublished local
+        // word conservatively, and count the timeout.
+        let p = PopShared::leak(
+            2,
+            1,
+            Arc::new(DomainStats::new(2)),
+            true,
+            4,
+            true,
+            50_000_000, // 50 ms
+        );
+        p.register(0, 100);
+        p.register(1, 101);
+        p.note_active(1);
+        p.set_local(1, 0, 0xDEAD_BEEF);
+        let mut scratch = Vec::new();
+        let t0 = std::time::Instant::now();
+        p.ping_all_and_wait(0, &mut scratch);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "watchdog must bound the wait (took {elapsed:?})"
+        );
+        assert_eq!(
+            p.stats.snapshot().publish_wait_timeouts,
+            1,
+            "the abandoned wait is counted"
+        );
+        assert_eq!(
+            p.collect_reserved(),
+            vec![0xDEAD_BEEF],
+            "the laggard's unpublished local reservation is honored"
+        );
+        // The fabricated gtid must never be mistaken for a dead thread.
+        assert_eq!(p.take_dead(), None);
+        // Once the peer finally publishes, suspicion lifts and its local
+        // words stop being unioned in.
+        p.clear_local(1);
+        p.publish_tid(1);
+        assert!(p.collect_reserved().is_empty());
+    }
+
+    #[test]
+    fn watchdog_disabled_by_zero_deadline_waits_for_publish() {
+        // Deadline 0 restores unbounded waits: the pass returns only
+        // because the helper publishes, and no timeout is counted.
+        let p = PopShared::leak(2, 1, Arc::new(DomainStats::new(2)), true, 4, true, 0);
+        p.register(0, 100);
+        p.register(1, 101);
+        p.note_active(1);
+        p.set_local(1, 0, 0xF00D);
+        let stop = Arc::new(AtomicBool::new(false));
+        let helper = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            move || {
+                while !stop.load(Ordering::Acquire) {
+                    p.publish_tid(1);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            }
+        });
+        let mut scratch = Vec::new();
+        p.ping_all_and_wait(0, &mut scratch);
+        stop.store(true, Ordering::Release);
+        helper.join().unwrap();
+        assert_eq!(p.stats.snapshot().publish_wait_timeouts, 0);
+    }
+
+    #[test]
+    fn dead_peer_is_flagged_reaped_and_forcibly_unregistered() {
+        // A real registered thread dies without deregistering (forgotten
+        // guard). The watchdog pass must abandon the wait, confirm death
+        // through the registry, and take_dead must hand the tid to a
+        // reaper exactly once; force_unregister then drops it from the
+        // ping set and empties its reservations.
+        let p = PopShared::leak(
+            2,
+            1,
+            Arc::new(DomainStats::new(2)),
+            true,
+            4,
+            true,
+            50_000_000, // 50 ms
+        );
+        let (tx, rx) = std::sync::mpsc::channel();
+        let victim = std::thread::spawn(move || {
+            let reg = Registry::global().register_current();
+            tx.send(reg.gtid()).unwrap();
+            // Die without deregistering.
+            std::mem::forget(reg);
+        });
+        let gtid = rx.recv().unwrap();
+        // Capture the generation while provably claimed, then wait for the
+        // OS to report the thread gone before the watchdog pass.
+        let generation = Registry::global().generation_of(gtid);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while Registry::global().probe(gtid, generation) != pop_runtime::Liveness::Dead {
+            assert!(std::time::Instant::now() < deadline, "victim never died");
+            std::thread::yield_now();
+        }
+        p.register(0, 100);
+        p.register(1, gtid);
+        p.note_active(1);
+        p.set_local(1, 0, 0xD1ED);
+        let mut scratch = Vec::new();
+        p.ping_all_and_wait(0, &mut scratch);
+        let t = p.take_dead().expect("dead peer must be flagged");
+        assert_eq!(t, 1);
+        assert_eq!(p.take_dead(), None, "flag is consumed exactly once");
+        let (g, gen2) = p.registration_of(1).unwrap();
+        assert_eq!(g, gtid);
+        assert_eq!(gen2, generation);
+        assert!(Registry::global().reap(gtid, generation));
+        p.force_unregister(1);
+        assert!(p.collect_reserved().is_empty(), "dead words dropped");
+        victim.join().unwrap();
     }
 
     #[test]

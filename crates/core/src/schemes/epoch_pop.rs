@@ -104,6 +104,16 @@ impl EpochPop {
         // SAFETY: tid ownership.
         let scratch = unsafe { self.threads[tid].scratch.get() };
         self.pop.ping_all_and_wait(tid, &mut scratch.counters);
+        // Reap a confirmed-dead participant before scanning. Releasing
+        // its domain tid also unpins the epoch min-scan (which gates on
+        // `is_registered`) — a thread that died mid-op stops stalling the
+        // epoch fast path the moment it is reaped; `register_raw` resets
+        // `reserved_epoch` for the next claimant.
+        self.pop.reap_one_dead(&self.base, tid, |t| {
+            // SAFETY: `reap_one_dead` established exclusivity (won reap
+            // CAS + registry-confirmed death of the owner).
+            unsafe { self.threads[t].retire.get() }
+        });
         self.pop.collect_reserved_into(&mut scratch.reserved);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
@@ -139,6 +149,7 @@ impl Smr for EpochPop {
             true,
             base.cfg.publish_spin,
             base.cfg.futex_wait,
+            base.cfg.publish_deadline_ns,
         );
         let publisher = register_publisher(pop);
         let mut reserved = Vec::with_capacity(n);

@@ -81,6 +81,20 @@ impl HazardPtrAsym {
         // SAFETY: tid ownership per the registration contract.
         let scratch = unsafe { self.threads[tid].scratch.get() };
         self.heavy_barrier(tid, &mut scratch.counters);
+        // Reap a confirmed-dead participant (signal-fallback barriers flag
+        // one via the publish-wait watchdog; the membarrier path never
+        // pings, so detection rides the fallback or another domain). The
+        // eager reservation words are zeroed inside the closure — i.e.
+        // before `reap_one_dead` releases the tid for reuse — so the store
+        // can never clobber a new claimant's live reservation.
+        self.barrier.reap_one_dead(&self.base, tid, |t| {
+            for s in 0..self.base.cfg.slots {
+                self.shared[t * self.base.cfg.slots + s].store(0, Ordering::Release);
+            }
+            // SAFETY: `reap_one_dead` established exclusivity (won reap
+            // CAS + registry-confirmed death of the owner).
+            unsafe { self.threads[t].retire.get() }
+        });
         collect_slot_words_into(
             &self.base,
             self.base.cfg.slots,
@@ -124,6 +138,7 @@ impl Smr for HazardPtrAsym {
             false,
             base.cfg.publish_spin,
             base.cfg.futex_wait,
+            base.cfg.publish_deadline_ns,
         );
         let publisher = register_publisher(barrier);
         let mut threads = Vec::with_capacity(n);

@@ -52,6 +52,15 @@ impl HazardPtrPop {
         // SAFETY: tid ownership per the registration contract.
         let scratch = unsafe { self.threads[tid].scratch.get() };
         self.pop.ping_all_and_wait(tid, &mut scratch.counters);
+        // Reap a confirmed-dead participant (flagged by the wait's
+        // watchdog) before scanning: a dead thread's reservations protect
+        // nothing, and removing it now recovers its slot and parks its
+        // retires this pass instead of next.
+        self.pop.reap_one_dead(&self.base, tid, |t| {
+            // SAFETY: `reap_one_dead` established exclusivity (won reap
+            // CAS + registry-confirmed death of the owner).
+            unsafe { self.threads[t].retire.get() }
+        });
         self.pop.collect_reserved_into(&mut scratch.reserved);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
@@ -85,6 +94,7 @@ impl Smr for HazardPtrPop {
             true,
             base.cfg.publish_spin,
             base.cfg.futex_wait,
+            base.cfg.publish_deadline_ns,
         );
         let publisher = register_publisher(pop);
         let mut threads = Vec::with_capacity(n);

@@ -23,10 +23,11 @@ use core::sync::atomic::{
     fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering,
 };
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam_utils::CachePadded;
 use pop_runtime::signal::{ping_gtid, register_publisher};
-use pop_runtime::{futex, Publisher, PublisherHandle};
+use pop_runtime::{futex, PingOutcome, Publisher, PublisherHandle, Registry};
 
 use crate::base::{free_unreserved, push_retired, DomainBase, RetireSlot, ScratchSlot};
 use crate::config::SmrConfig;
@@ -76,6 +77,17 @@ struct NbrShared {
     op_seq: Box<[CachePadded<AtomicU64>]>,
     registered: Box<[AtomicBool]>,
     gtid_of: Box<[AtomicUsize]>,
+    /// Registry generation captured at `bind_gtid`; `(gtid, generation)`
+    /// names that registration forever, so liveness probes after the slot
+    /// is recycled resolve to `Vacated`, never a false `Dead`.
+    gtid_gen: Box<[AtomicU64]>,
+    /// Set when a liveness probe confirms the owner's kernel thread is
+    /// gone; consumed (CAS) by the reclaim path's reaper.
+    peer_dead: Box<[AtomicBool]>,
+    /// Whether the bound gtid was the calling thread's real registry slot
+    /// at `bind_gtid` time ([`crate::base::registration_backed`]) — the
+    /// license to read a later `Vacated` probe as death.
+    gtid_backed: Box<[AtomicBool]>,
     stats: Arc<DomainStats>,
 }
 
@@ -102,6 +114,12 @@ impl NbrShared {
         registered.resize_with(nthreads, || AtomicBool::new(false));
         let mut gtid_of = Vec::with_capacity(nthreads);
         gtid_of.resize_with(nthreads, || AtomicUsize::new(0));
+        let mut gtid_gen = Vec::with_capacity(nthreads);
+        gtid_gen.resize_with(nthreads, || AtomicU64::new(0));
+        let mut peer_dead = Vec::with_capacity(nthreads);
+        peer_dead.resize_with(nthreads, || AtomicBool::new(false));
+        let mut gtid_backed = Vec::with_capacity(nthreads);
+        gtid_backed.resize_with(nthreads, || AtomicBool::new(false));
         Box::leak(Box::new(NbrShared {
             nthreads,
             slots,
@@ -115,6 +133,9 @@ impl NbrShared {
             op_seq: padded_u64(nthreads),
             registered: registered.into_boxed_slice(),
             gtid_of: gtid_of.into_boxed_slice(),
+            gtid_gen: gtid_gen.into_boxed_slice(),
+            peer_dead: peer_dead.into_boxed_slice(),
+            gtid_backed: gtid_backed.into_boxed_slice(),
             stats,
         }))
     }
@@ -156,16 +177,86 @@ impl NbrShared {
             || self.restart_seq[t].load(Ordering::Acquire) > seq0 // acked restart
             || self.op_seq[t].load(Ordering::Acquire) != ops0 // fresh operation
     }
+
+    /// The `(gtid, generation)` pair naming slot `t`'s registration, if
+    /// the slot is registered and bound.
+    fn registration_of(&self, t: usize) -> Option<(usize, u64)> {
+        if !self.registered[t].load(Ordering::Acquire) {
+            return None;
+        }
+        match self.gtid_of[t].load(Ordering::Acquire) {
+            0 => None,
+            g => Some((g - 1, self.gtid_gen[t].load(Ordering::Acquire))),
+        }
+    }
+
+    /// Probes slot `t`'s owner in the global registry; flags the slot for
+    /// reaping only on a confirmed death of the *same* registration
+    /// generation — a dead kernel tid, or a backed registration vacated by
+    /// the dead thread's TLS teardown
+    /// ([`crate::base::registration_confirmed_dead`]). Ambiguity leaves
+    /// the flag alone — no reap is always correct (correct-by-keep).
+    fn note_dead_if_confirmed(&self, t: usize) {
+        if let Some((gtid, generation)) = self.registration_of(t) {
+            let backed = self.gtid_backed[t].load(Ordering::Relaxed);
+            if crate::base::registration_confirmed_dead(gtid, generation, backed) {
+                self.peer_dead[t].store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Consumes one dead-peer flag (CAS), handing its slot index to the
+    /// caller's reap attempt.
+    fn take_dead(&self) -> Option<usize> {
+        (0..self.nthreads).find(|&t| {
+            self.peer_dead[t]
+                .compare_exchange(true, false, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        })
+    }
+
+    /// Reaper-side `unregister` for a participant whose thread died inside
+    /// an operation: clears every signal-handler-visible trace of the slot
+    /// and wakes phase-2 waiters parked on it. Caller must hold the reap
+    /// exclusivity (`DomainBase::try_begin_reap` + a won `Registry::reap`).
+    fn force_unregister(&self, tid: usize) {
+        self.in_write[tid].store(false, Ordering::Release);
+        self.in_op[tid].store(false, Ordering::Release);
+        self.neutralized[tid].store(false, Ordering::Release);
+        self.clear_wres(tid);
+        self.registered[tid].store(false, Ordering::Release);
+        fence(Ordering::SeqCst);
+        // Cold path: wake unconditionally so any reclaimer parked on the
+        // dead slot's progress word re-checks `registered` now.
+        self.progress[tid].fetch_add(1, Ordering::SeqCst);
+        futex::wake_all(&self.progress[tid]);
+        self.gtid_of[tid].store(0, Ordering::Release);
+        self.gtid_backed[tid].store(false, Ordering::Relaxed);
+    }
 }
 
 impl Publisher for NbrShared {
     /// Signal-handler side of neutralization: request a restart unless the
     /// pinged thread is in a write phase. Atomics + fence only.
+    ///
+    /// Registry slots recycle, so the gtid may still be bound by a dead
+    /// thread's domain tid alongside the live claimant's; the claim
+    /// generation captured at `bind_gtid` keeps this handler from acting
+    /// on the corpse's binding (same guard as the POP publisher, where it
+    /// is load-bearing — here it only keeps stats and neutralization
+    /// flags honest, since the ack a reclaimer waits for must come from
+    /// the bound thread itself).
     fn publish(&self, gtid: usize) {
+        let current = Registry::global().generation_of(gtid);
         for t in 0..self.nthreads {
             if self.registered[t].load(Ordering::Acquire)
                 && self.gtid_of[t].load(Ordering::Acquire) == gtid + 1
             {
+                let stale = self.gtid_backed[t].load(Ordering::Relaxed)
+                    && self.gtid_gen[t].load(Ordering::Relaxed) != current;
+                if stale {
+                    continue;
+                }
                 if !self.in_write[t].load(Ordering::Acquire) {
                     self.neutralized[t].store(true, Ordering::Release);
                 }
@@ -243,6 +334,7 @@ impl NbrPlus {
         }
         let mut pings = 0u64;
         let mut skipped = 0u64;
+        let mut failed = 0u64;
         for (t, &s0) in seq0.iter().enumerate() {
             if s0 != SKIP {
                 sh.neutralized[t].store(true, Ordering::SeqCst);
@@ -268,13 +360,25 @@ impl NbrPlus {
                 0 => None,
                 g => Some(g - 1),
             } {
-                if ping_gtid(g) {
-                    pings += 1;
+                match ping_gtid(g) {
+                    PingOutcome::Sent => pings += 1,
+                    PingOutcome::Inactive => {}
+                    PingOutcome::Dead | PingOutcome::Failed(_) => {
+                        // The peer never saw the neutralization request.
+                        // Phase 2 still waits on it (bounded by the pass
+                        // deadline below), and a confirmed kernel-level
+                        // death arms the reaper.
+                        failed += 1;
+                        sh.note_dead_if_confirmed(t);
+                    }
                 }
             }
         }
         shard.pings_sent.fetch_add(pings, Ordering::Relaxed);
         shard.pings_skipped.fetch_add(skipped, Ordering::Relaxed);
+        if failed > 0 {
+            shard.pings_failed.fetch_add(failed, Ordering::Relaxed);
+        }
 
         // Phase 2: wait until every peer provably holds no read-phase
         // pointer predating our unlinks (see module docs for the cases).
@@ -285,6 +389,18 @@ impl NbrPlus {
         // for lost signals, not any exit's detection latency.
         let spin_limit = self.base.cfg.publish_spin;
         let use_futex = self.base.cfg.futex_wait && futex::supported();
+        // Watchdog: bounded total wall clock for the whole phase-2 wait
+        // (SmrConfig::publish_deadline_ns; 0 disables). Armed lazily on
+        // the first spin-budget exhaustion so uncontended passes never
+        // read the clock. On expiry the laggard could not be neutralized;
+        // the pass degrades conservatively — phase 3 frees nothing and
+        // every retiree is kept for a later pass (correct-by-keep) — and
+        // a registry probe arms the reaper if the laggard's thread is
+        // actually dead.
+        let deadline_ns = self.base.cfg.publish_deadline_ns;
+        let mut pass_deadline: Option<Instant> = None;
+        let mut timeouts = 0u64;
+        let mut timed_out = false;
         for t in 0..sh.nthreads {
             if seq0[t] == SKIP {
                 continue;
@@ -294,16 +410,31 @@ impl NbrPlus {
                 spins = spins.saturating_add(1);
                 if spins <= spin_limit {
                     core::hint::spin_loop();
-                } else if use_futex {
+                    continue;
+                }
+                if deadline_ns > 0 {
+                    let deadline = *pass_deadline
+                        .get_or_insert_with(|| Instant::now() + Duration::from_nanos(deadline_ns));
+                    if Instant::now() >= deadline {
+                        timeouts += 1;
+                        timed_out = true;
+                        sh.note_dead_if_confirmed(t);
+                        break;
+                    }
+                }
+                if use_futex {
                     // Announce, read the word, re-check, park. A peer
                     // exit between the announce and the FUTEX_WAIT either
                     // lands in the re-check (its SeqCst fence follows our
                     // announce), changes the word (EAGAIN), or sees our
-                    // flag and wakes us.
+                    // flag and wakes us. The wait result is deliberately
+                    // ignored: wall clock above decides expiry, so a
+                    // spurious wake or a timed-out park are
+                    // indistinguishable here — both just re-check.
                     sh.wait_flag[t].fetch_add(1, Ordering::SeqCst);
                     let w = sh.progress[t].load(Ordering::SeqCst);
                     if !sh.phase2_satisfied(t, seq0[t], ops0[t]) {
-                        futex::wait_timeout(&sh.progress[t], w, NBR_WAIT_TIMEOUT_NS);
+                        let _ = futex::wait_timeout(&sh.progress[t], w, NBR_WAIT_TIMEOUT_NS);
                     }
                     sh.wait_flag[t].fetch_sub(1, Ordering::SeqCst);
                 } else {
@@ -311,9 +442,33 @@ impl NbrPlus {
                 }
             }
         }
+        if timeouts > 0 {
+            shard
+                .publish_wait_timeouts
+                .fetch_add(timeouts, Ordering::Relaxed);
+        }
         fence(Ordering::SeqCst);
 
-        // Phase 3: honor write-phase reservations, free the rest.
+        // Reap at most one confirmed-dead participant per pass (cold
+        // path; the CAS pair makes the reaper the slot's unique accessor).
+        self.maybe_reap(tid);
+
+        // Phase 3: honor write-phase reservations, free the rest. A
+        // timed-out phase 2 proves nothing about the laggard's read-phase
+        // pointers, so the pass frees NOTHING — the retire list simply
+        // rides to the next pass (by which point the reaper has removed a
+        // dead laggard, or a live one has caught up).
+        if timed_out {
+            // SAFETY: tid ownership per the registration contract.
+            let list = unsafe { self.threads[tid].retire.get() };
+            // Keep the retired-node accounting truthful: a normal pass
+            // seals partial batches inside its sweep; a timed-out pass
+            // must seal explicitly or everything kept this round would be
+            // invisible to `unreclaimed_nodes`.
+            crate::base::seal_and_account(&self.base, tid, list);
+            shard.observe_retire_len(list.len());
+            return;
+        }
         let reserved = &mut scratch.reserved;
         reserved.clear();
         for t in 0..sh.nthreads {
@@ -335,6 +490,39 @@ impl NbrPlus {
         // SAFETY: phase 2 established no peer holds an unreserved pointer
         // to our (already unlinked) retirees.
         unsafe { free_unreserved(&self.base, tid, list, reserved) };
+    }
+
+    /// Reaps one participant whose kernel thread was confirmed dead: parks
+    /// its remaining retires as orphans, releases its slot, and erases it
+    /// from the signal-handler-visible state so phase 2 stops waiting on
+    /// it. Exclusivity comes from the per-slot reap CAS plus re-confirming
+    /// the death ([`crate::base::reap_registration`]) for that
+    /// `(gtid, generation)`.
+    fn maybe_reap(&self, tid: usize) {
+        let sh = self.shared;
+        let Some(t) = sh.take_dead() else { return };
+        if t == tid || !self.base.try_begin_reap(t) {
+            return;
+        }
+        let confirmed = match sh.registration_of(t) {
+            Some((gtid, generation)) => {
+                let backed = sh.gtid_backed[t].load(Ordering::Relaxed);
+                crate::base::reap_registration(gtid, generation, backed)
+            }
+            None => false,
+        };
+        if confirmed {
+            // Erase the handler-visible state first: `reap_participant`
+            // ends by releasing the domain tid for reuse, and a new
+            // claimant's registration must not race our teardown.
+            sh.force_unregister(t);
+            // SAFETY: the reap CAS plus the won registry reap make this
+            // thread the unique accessor of the dead slot's single-owner
+            // state; the owner's kernel task no longer exists.
+            let list = unsafe { self.threads[t].retire.get() };
+            self.base.reap_participant(tid, t, list);
+        }
+        self.base.end_reap(t);
     }
 }
 
@@ -378,6 +566,14 @@ impl Smr for NbrPlus {
         sh.neutralized[tid].store(false, Ordering::Relaxed);
         sh.in_op[tid].store(false, Ordering::Relaxed);
         sh.in_write[tid].store(false, Ordering::Relaxed);
+        sh.peer_dead[tid].store(false, Ordering::Relaxed);
+        let generation = if gtid < pop_runtime::MAX_THREADS {
+            Registry::global().generation_of(gtid)
+        } else {
+            0
+        };
+        sh.gtid_gen[tid].store(generation, Ordering::Relaxed);
+        sh.gtid_backed[tid].store(crate::base::registration_backed(gtid), Ordering::Relaxed);
         sh.gtid_of[tid].store(gtid + 1, Ordering::Relaxed);
         sh.registered[tid].store(true, Ordering::Release);
     }
@@ -744,6 +940,55 @@ mod tests {
              the {NBR_WAIT_TIMEOUT_NS} ns timeout backstop; median {median} ns \
              (all: {lat_ns:?})"
         );
+    }
+
+    #[test]
+    fn phase2_deadline_unwedges_stuck_peer_and_keeps_everything() {
+        // A peer wedged in a read phase (never checkpointing, never
+        // acking) must not hang the reclaimer forever: the pass deadline
+        // expires, the pass frees NOTHING (correct-by-keep), and — the
+        // peer's thread being alive — nothing is reaped. Once the peer
+        // goes quiescent, the next pass frees normally.
+        let smr = NbrPlus::new(
+            SmrConfig::for_tests(2)
+                .with_publish_spin(8)
+                .with_publish_deadline_ns(30_000_000),
+        );
+        let reg0 = smr.register(0);
+        let reg1 = smr.register(1);
+        // Wedge slot 1: in-op, never consuming its neutralization flag.
+        // (Both slots are owned by this test thread, which is alive, so
+        // the timeout's registry probe must NOT arm the reaper.)
+        smr.shared.op_seq[1].fetch_add(1, Ordering::Release);
+        smr.shared.in_op[1].store(true, Ordering::SeqCst);
+        smr.begin_op(0);
+        smr.begin_write(0, &[]).unwrap();
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.end_write(0);
+        smr.end_op(0);
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert!(
+            s.publish_wait_timeouts >= 1,
+            "wedged peer must trip the pass deadline: {s:?}"
+        );
+        assert_eq!(
+            s.unreclaimed_nodes(),
+            8,
+            "a timed-out pass must free nothing"
+        );
+        assert_eq!(s.participants_reaped, 0, "live peer must not be reaped");
+        // Neutralization raised a restart request on the wedged slot;
+        // consume it the cooperative way, then go quiescent.
+        smr.shared.neutralized[1].store(false, Ordering::SeqCst);
+        smr.shared.in_op[1].store(false, Ordering::SeqCst);
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg1);
+        drop(reg0);
     }
 
     #[test]

@@ -229,6 +229,44 @@ impl<S: Smr> Drop for Registration<S> {
     }
 }
 
+/// RAII operation bracket: `begin_op` on construction, `end_op` on drop.
+///
+/// The panic-safety primitive for code that can unwind mid-operation
+/// (assertion failures in tests, oracle panics under quarantine): an
+/// operation abandoned by an unwinding thread still runs its epilogue, so
+/// its epoch announcement / reservations / activity word are cleared and
+/// reclaimers never wait on (or keep garbage for) an operation that no
+/// longer exists. Schemes whose `end_op` is a no-op compile it away.
+///
+/// Not `Send` (holds the registering thread's `tid` by contract), and
+/// borrows the domain, so it cannot outlive it.
+pub struct OpGuard<'a, S: Smr> {
+    smr: &'a S,
+    tid: usize,
+}
+
+impl<'a, S: Smr> OpGuard<'a, S> {
+    /// Enters an operation bracket on `tid`.
+    ///
+    /// Caller contract: same as [`Smr::begin_op`] — `tid` is registered to
+    /// the calling thread, and brackets do not nest.
+    pub fn enter(smr: &'a S, tid: usize) -> Self {
+        smr.begin_op(tid);
+        OpGuard { smr, tid }
+    }
+
+    /// The bracketed domain thread id.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+impl<S: Smr> Drop for OpGuard<'_, S> {
+    fn drop(&mut self) {
+        self.smr.end_op(self.tid);
+    }
+}
+
 /// Convenience: protect repeatedly until a non-restarting scheme succeeds —
 /// used by single-threaded tests and examples where `Restart` is impossible
 /// yet the type system requires handling it.

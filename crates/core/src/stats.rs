@@ -103,6 +103,19 @@ pub struct ShardStats {
     pub max_retire_len: AtomicU64,
     /// Asymmetric heavy barriers executed via `membarrier(2)`.
     pub membarriers: AtomicU64,
+    /// Publish waits abandoned by the watchdog: the deadline expired with
+    /// at least one pinged peer unpublished, and the pass completed on
+    /// conservative re-snapshots instead.
+    pub publish_wait_timeouts: AtomicU64,
+    /// Pings whose send failed outright (target dead or `pthread_kill`
+    /// errored) — the peer was skipped, never waited on.
+    pub pings_failed: AtomicU64,
+    /// Dead participants reaped: registration slot recovered and their
+    /// pending retirements orphaned for adoption.
+    pub participants_reaped: AtomicU64,
+    /// Faults injected on this domain's publish paths (the `PublishDelay`
+    /// site; always 0 without the `fault-injection` feature).
+    pub faults_injected: AtomicU64,
 }
 
 impl ShardStats {
@@ -247,6 +260,18 @@ impl DomainStats {
             out.membarriers = out
                 .membarriers
                 .wrapping_add(s.membarriers.load(Ordering::Relaxed));
+            out.publish_wait_timeouts = out
+                .publish_wait_timeouts
+                .wrapping_add(s.publish_wait_timeouts.load(Ordering::Relaxed));
+            out.pings_failed = out
+                .pings_failed
+                .wrapping_add(s.pings_failed.load(Ordering::Relaxed));
+            out.participants_reaped = out
+                .participants_reaped
+                .wrapping_add(s.participants_reaped.load(Ordering::Relaxed));
+            out.faults_injected = out
+                .faults_injected
+                .wrapping_add(s.faults_injected.load(Ordering::Relaxed));
         }
         out
     }
@@ -301,6 +326,14 @@ pub struct StatsSnapshot {
     pub max_retire_len: u64,
     /// See [`ShardStats::membarriers`].
     pub membarriers: u64,
+    /// See [`ShardStats::publish_wait_timeouts`].
+    pub publish_wait_timeouts: u64,
+    /// See [`ShardStats::pings_failed`].
+    pub pings_failed: u64,
+    /// See [`ShardStats::participants_reaped`].
+    pub participants_reaped: u64,
+    /// See [`ShardStats::faults_injected`].
+    pub faults_injected: u64,
 }
 
 impl StatsSnapshot {
@@ -349,6 +382,24 @@ mod tests {
         s.overflow().freed_nodes.fetch_add(1, Ordering::Relaxed);
         assert_eq!(s.snapshot().freed_nodes, 1);
         assert_eq!(s.unreclaimed_nodes(), 1);
+    }
+
+    #[test]
+    fn robustness_counters_aggregate_across_shards() {
+        let s = DomainStats::new(2);
+        s.shard(0)
+            .publish_wait_timeouts
+            .fetch_add(2, Ordering::Relaxed);
+        s.shard(1).pings_failed.fetch_add(3, Ordering::Relaxed);
+        s.overflow()
+            .participants_reaped
+            .fetch_add(1, Ordering::Relaxed);
+        s.shard(0).faults_injected.fetch_add(5, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.publish_wait_timeouts, 2);
+        assert_eq!(snap.pings_failed, 3);
+        assert_eq!(snap.participants_reaped, 1);
+        assert_eq!(snap.faults_injected, 5);
     }
 
     #[test]

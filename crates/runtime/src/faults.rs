@@ -1,0 +1,416 @@
+//! Deterministic fault injection for the signal/futex/publish paths.
+//!
+//! A [`FaultPlan`] names a PRNG seed plus, per [`FaultSite`], either a
+//! `1-in-N` firing rate or a one-shot trigger ("fire on exactly the K-th
+//! check"). The instrumented sites — signal delivery, futex wake/wait and
+//! the publish path — each call [`fire`] at their decision point; the rest
+//! of the crate never knows whether a plan is installed.
+//!
+//! Everything here compiles to a constant-`false` no-op unless the
+//! `fault-injection` cargo feature is enabled, so the production build pays
+//! nothing (acceptance-checked against the bench smoke baseline). With the
+//! feature on, state is process-global (the sites it instruments are
+//! process-global too) and every helper is async-signal-safe: plain atomics
+//! only, no locks, no allocation — [`fire`] is reachable from the `SIGUSR1`
+//! handler.
+//!
+//! Plans come from [`install`] (tests) or the `POP_FAULTS` environment
+//! variable (CI chaos legs), parsed once by [`init_from_env`]:
+//!
+//! ```text
+//! POP_FAULTS="seed=7,signal_drop=1/8,futex_lost_wake=1/4,thread_death=@40"
+//! ```
+//!
+//! `site=1/N` fires pseudo-randomly once every N checks on average,
+//! `site=always` on every check, and `site=@K` exactly once, on the K-th
+//! check of that site (1-based).
+
+#[cfg(feature = "fault-injection")]
+use core::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+/// An instrumented failure point. The table below is the contract between
+/// the plan vocabulary and the code paths that honor it:
+///
+/// | site | checked in | effect when fired |
+/// |------|-----------|-------------------|
+/// | `SignalDrop` | `signal::on_ping` | ping delivered, publish suppressed (models a blocked mask / lost delivery) |
+/// | `SignalDelay` | `signal::ping_gtid` | sender stalls ~50 µs before `pthread_kill` |
+/// | `FutexLostWake` | `futex::wake_all` | wake syscall skipped — waiters ride out their timeout |
+/// | `FutexSpuriousWake` | `futex::wait_timeout` | returns [`crate::futex::WaitOutcome::Woken`] without parking |
+/// | `PublishDelay` | `PopShared::publish_tid` (pop-core) | bounded spin before the local→shared copy |
+/// | `ThreadDeath` | cooperative: harness workers poll [`should_die`] | worker abandons its registration and exits |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FaultSite {
+    /// Suppress the publish a delivered ping would have performed.
+    SignalDrop = 0,
+    /// Delay the sender before `pthread_kill`.
+    SignalDelay = 1,
+    /// Swallow a `FUTEX_WAKE`.
+    FutexLostWake = 2,
+    /// Turn a `FUTEX_WAIT` into an immediate spurious return.
+    FutexSpuriousWake = 3,
+    /// Stall the signal handler's local→shared reservation copy.
+    PublishDelay = 4,
+    /// Tell a cooperating worker thread to die without unregistering.
+    ThreadDeath = 5,
+}
+
+/// Number of distinct [`FaultSite`]s.
+pub const SITE_COUNT: usize = 6;
+
+impl FaultSite {
+    /// Every site, in `repr` order.
+    pub const ALL: [FaultSite; SITE_COUNT] = [
+        FaultSite::SignalDrop,
+        FaultSite::SignalDelay,
+        FaultSite::FutexLostWake,
+        FaultSite::FutexSpuriousWake,
+        FaultSite::PublishDelay,
+        FaultSite::ThreadDeath,
+    ];
+
+    /// The `POP_FAULTS` key naming this site.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultSite::SignalDrop => "signal_drop",
+            FaultSite::SignalDelay => "signal_delay",
+            FaultSite::FutexLostWake => "futex_lost_wake",
+            FaultSite::FutexSpuriousWake => "futex_spurious_wake",
+            FaultSite::PublishDelay => "publish_delay",
+            FaultSite::ThreadDeath => "thread_death",
+        }
+    }
+
+    fn from_key(k: &str) -> Option<FaultSite> {
+        FaultSite::ALL.iter().copied().find(|s| s.key() == k)
+    }
+}
+
+/// Per-site trigger: a pseudo-random rate, or one shot on the K-th check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SiteTrigger {
+    /// Fire with probability `1/rate` per check (0 = never).
+    pub rate: u32,
+    /// Fire exactly once, on this (1-based) check of the site (0 = off).
+    pub one_shot_at: u64,
+}
+
+/// A parsed fault plan: seed plus one [`SiteTrigger`] per site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// PRNG seed for the rate-based triggers.
+    pub seed: u64,
+    /// Triggers indexed by `FaultSite as usize`.
+    pub sites: [SiteTrigger; SITE_COUNT],
+}
+
+impl FaultPlan {
+    /// Sets a pseudo-random `1-in-rate` trigger for `site`.
+    pub fn with_rate(mut self, site: FaultSite, rate: u32) -> Self {
+        self.sites[site as usize].rate = rate;
+        self
+    }
+
+    /// Sets a one-shot trigger on the `nth` (1-based) check of `site`.
+    pub fn with_one_shot(mut self, site: FaultSite, nth: u64) -> Self {
+        self.sites[site as usize].one_shot_at = nth;
+        self
+    }
+
+    /// Parses the `POP_FAULTS` syntax (see the module docs).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{part}` is not key=value"))?;
+            if key == "seed" {
+                plan.seed = val
+                    .parse()
+                    .map_err(|_| format!("bad seed `{val}` in fault spec"))?;
+                continue;
+            }
+            let site =
+                FaultSite::from_key(key).ok_or_else(|| format!("unknown fault site `{key}`"))?;
+            let trig = &mut plan.sites[site as usize];
+            if val == "always" {
+                trig.rate = 1;
+            } else if let Some(nth) = val.strip_prefix('@') {
+                trig.one_shot_at = nth
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("bad one-shot `{val}` for `{key}`"))?;
+            } else if let Some((one, n)) = val.split_once('/') {
+                if one != "1" {
+                    return Err(format!("rate `{val}` for `{key}` must be 1/N"));
+                }
+                trig.rate = n
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("bad rate `{val}` for `{key}`"))?;
+            } else {
+                return Err(format!("bad trigger `{val}` for `{key}`"));
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+struct SiteState {
+    rate: AtomicU32,
+    one_shot_at: AtomicU64,
+    checks: AtomicU64,
+    injected: AtomicU64,
+}
+
+#[cfg(feature = "fault-injection")]
+#[allow(clippy::declare_interior_mutable_const)]
+const SITE_STATE_INIT: SiteState = SiteState {
+    rate: AtomicU32::new(0),
+    one_shot_at: AtomicU64::new(0),
+    checks: AtomicU64::new(0),
+    injected: AtomicU64::new(0),
+};
+
+#[cfg(feature = "fault-injection")]
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+#[cfg(feature = "fault-injection")]
+static RNG: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "fault-injection")]
+static SITES: [SiteState; SITE_COUNT] = [SITE_STATE_INIT; SITE_COUNT];
+
+/// Installs `plan` process-wide, resetting all per-site counters. Passing
+/// an all-default plan disarms every site (same as [`clear`]).
+#[cfg(feature = "fault-injection")]
+pub fn install(plan: FaultPlan) {
+    // Disarm first so concurrent `fire` calls see either the old plan or
+    // the new one, never a half-written mix armed.
+    ACTIVE.store(false, Ordering::SeqCst);
+    RNG.store(plan.seed, Ordering::SeqCst);
+    let mut any = false;
+    for (i, s) in SITES.iter().enumerate() {
+        let t = plan.sites[i];
+        s.rate.store(t.rate, Ordering::SeqCst);
+        s.one_shot_at.store(t.one_shot_at, Ordering::SeqCst);
+        s.checks.store(0, Ordering::SeqCst);
+        s.injected.store(0, Ordering::SeqCst);
+        any |= t.rate != 0 || t.one_shot_at != 0;
+    }
+    ACTIVE.store(any, Ordering::SeqCst);
+}
+
+/// Disarms every site and zeroes the counters.
+pub fn clear() {
+    install(FaultPlan::default());
+}
+
+/// Parses and installs `POP_FAULTS` once per process (no-op when unset or
+/// already initialized; a malformed spec panics — a chaos run with a typo'd
+/// plan must not silently test nothing).
+#[cfg(feature = "fault-injection")]
+pub fn init_from_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if let Ok(spec) = std::env::var("POP_FAULTS") {
+            match FaultPlan::parse(&spec) {
+                Ok(plan) => install(plan),
+                Err(e) => panic!("POP_FAULTS: {e}"),
+            }
+        }
+    });
+}
+
+/// splitmix64 step over a shared atomic state: deterministic per seed up to
+/// thread interleaving, and async-signal-safe.
+#[cfg(feature = "fault-injection")]
+#[inline]
+fn next_rand() -> u64 {
+    let mut x = RNG
+        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Should `site` fail right now? One call per decision point; counts the
+/// check and, on a hit, the injection.
+#[cfg(feature = "fault-injection")]
+#[inline]
+pub fn fire(site: FaultSite) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    let s = &SITES[site as usize];
+    let nth = s.checks.fetch_add(1, Ordering::Relaxed) + 1;
+    let shot = s.one_shot_at.load(Ordering::Relaxed);
+    let hit = if shot != 0 {
+        nth == shot
+    } else {
+        match s.rate.load(Ordering::Relaxed) {
+            0 => false,
+            1 => true,
+            n => next_rand().is_multiple_of(n as u64),
+        }
+    };
+    if hit {
+        s.injected.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
+/// Convenience for cooperative thread-death: workers poll this between
+/// operations and, on `true`, abandon their registration and exit.
+#[inline]
+pub fn should_die() -> bool {
+    fire(FaultSite::ThreadDeath)
+}
+
+/// Faults injected at `site` since the last [`install`].
+#[cfg(feature = "fault-injection")]
+pub fn injected(site: FaultSite) -> u64 {
+    SITES[site as usize].injected.load(Ordering::Relaxed)
+}
+
+/// Total faults injected across all sites since the last [`install`].
+#[cfg(feature = "fault-injection")]
+pub fn injected_total() -> u64 {
+    FaultSite::ALL.iter().map(|&s| injected(s)).sum()
+}
+
+/// Whether any site is currently armed.
+#[cfg(feature = "fault-injection")]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Serializes tests that install process-global plans against tests whose
+/// assertions an armed plan would distort (same-binary parallelism).
+#[cfg(feature = "fault-injection")]
+#[doc(hidden)]
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// Feature-off stubs: identical signatures, constant results, zero state.
+// Call sites stay unconditional; the optimizer erases them entirely.
+// ---------------------------------------------------------------------
+
+/// No-op without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn install(_plan: FaultPlan) {}
+
+/// No-op without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn init_from_env() {}
+
+/// Always `false` without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn fire(_site: FaultSite) -> bool {
+    false
+}
+
+/// Always 0 without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn injected(_site: FaultSite) -> u64 {
+    0
+}
+
+/// Always 0 without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn injected_total() -> u64 {
+    0
+}
+
+/// Always `false` without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn active() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse("seed=7,signal_drop=1/8,futex_lost_wake=always,thread_death=@40")
+            .unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.sites[FaultSite::SignalDrop as usize].rate, 8);
+        assert_eq!(p.sites[FaultSite::FutexLostWake as usize].rate, 1);
+        assert_eq!(p.sites[FaultSite::ThreadDeath as usize].one_shot_at, 40);
+        assert_eq!(
+            p.sites[FaultSite::PublishDelay as usize],
+            SiteTrigger::default()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("no_such_site=1/2").is_err());
+        assert!(FaultPlan::parse("signal_drop=2/3").is_err());
+        assert!(FaultPlan::parse("signal_drop=@0").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn one_shot_fires_exactly_once_at_nth_check() {
+        let _g = super::test_lock();
+        install(FaultPlan::default().with_one_shot(FaultSite::ThreadDeath, 3));
+        let hits: Vec<bool> = (0..6).map(|_| should_die()).collect();
+        assert_eq!(hits, [false, false, true, false, false, false]);
+        assert_eq!(injected(FaultSite::ThreadDeath), 1);
+        clear();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn rate_one_fires_every_time_and_counts() {
+        let _g = super::test_lock();
+        install(FaultPlan::default().with_rate(FaultSite::SignalDrop, 1));
+        for _ in 0..10 {
+            assert!(fire(FaultSite::SignalDrop));
+        }
+        assert!(!fire(FaultSite::SignalDelay), "unarmed site stays quiet");
+        assert_eq!(injected(FaultSite::SignalDrop), 10);
+        assert_eq!(injected_total(), 10);
+        clear();
+        assert!(!active());
+        assert!(!fire(FaultSite::SignalDrop));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn rate_n_fires_at_roughly_one_in_n() {
+        let _g = super::test_lock();
+        install(
+            FaultPlan {
+                seed: 42,
+                ..Default::default()
+            }
+            .with_rate(FaultSite::PublishDelay, 4),
+        );
+        let hits = (0..4000).filter(|_| fire(FaultSite::PublishDelay)).count();
+        assert!((500..=1500).contains(&hits), "1-in-4 over 4000: got {hits}");
+        clear();
+    }
+}

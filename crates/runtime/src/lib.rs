@@ -31,13 +31,15 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod affinity;
+pub mod faults;
 pub mod futex;
 pub mod membarrier;
 pub mod registry;
 pub mod signal;
 
 pub use registry::{
-    register_current_shared, Registry, SharedRegistration, ThreadRegistration, MAX_THREADS,
+    register_current_shared, Liveness, PingOutcome, Registry, SharedRegistration,
+    ThreadRegistration, MAX_THREADS,
 };
 pub use signal::{ping_gtid, publisher_count, register_publisher, Publisher, PublisherHandle};
 

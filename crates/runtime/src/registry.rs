@@ -25,24 +25,77 @@ use std::sync::OnceLock;
 /// threads on a 144-core machine) with room for test harness threads.
 pub const MAX_THREADS: usize = 512;
 
+/// What became of a [`Registry::ping`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PingOutcome {
+    /// Signal queued — the target may be expected to publish.
+    Sent,
+    /// Slot holds no live registration; nothing to wait for.
+    Inactive,
+    /// `pthread_kill` reported `ESRCH`: the registered thread is gone.
+    /// Callers must stop waiting for it and feed it to their reaper.
+    /// On glibc ≥ 2.35 a dead-but-unjoined thread instead reports
+    /// [`PingOutcome::Sent`] (the kill silently no-ops), so waiters must
+    /// not rely on this outcome alone — the publish-wait watchdog's
+    /// [`Registry::probe`] path is the authoritative death detector.
+    Dead,
+    /// `pthread_kill` failed with an unexpected errno (carried here).
+    /// Never expected in practice; counted by [`ping_error_count`].
+    Failed(i32),
+}
+
+/// Result of a [`Registry::probe`] liveness check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Liveness {
+    /// The registration is still held by a live, signalable thread.
+    Alive,
+    /// The slot is still claimed by that registration, but the OS reports
+    /// the thread no longer exists (died without deregistering).
+    Dead,
+    /// That registration no longer holds the slot (deregistered cleanly,
+    /// or the slot was reclaimed by a newer generation).
+    Vacated,
+}
+
+/// `pthread_kill` failures other than `ESRCH`, process-wide (satellite
+/// observability for the "never expected" branch of [`Registry::ping`]).
+static PING_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of pings that failed with an errno other than `ESRCH`.
+pub fn ping_error_count() -> u64 {
+    PING_ERRORS.load(Ordering::Relaxed)
+}
+
 /// One registry slot. Field ordering of writes during registration matters:
 /// `pthread` is stored *before* `active` is released, so a scanning signal
 /// handler can never attribute a slot to a stale `pthread_t`.
 struct Slot {
     /// The owner's `pthread_t`. Valid only while `active` is true.
     pthread: AtomicU64,
+    /// The owner's kernel task id (`gettid`), for liveness probes: the
+    /// kernel releases a tid the moment its thread exits (threads self-reap
+    /// without a join), so `tgkill(pid, tid, 0)` reports `ESRCH` for a dead
+    /// thread where `pthread_kill(pt, 0)` on glibc ≥ 2.35 silently
+    /// succeeds. Stored as `i64` widened into a `u64` cell.
+    kernel_tid: AtomicU64,
     /// Slot is claimed and the owner thread is alive and signalable.
     active: AtomicBool,
     /// Serializes `pthread_kill` against deregistration (see module docs).
     kill_lock: AtomicBool,
+    /// Bumped on every claim. A `(gtid, generation)` pair names one
+    /// registration forever: liveness probes compare it so a reused slot
+    /// can never be mistaken for the registration that died there.
+    generation: AtomicU64,
 }
 
 impl Slot {
     const fn new() -> Self {
         Slot {
             pthread: AtomicU64::new(0),
+            kernel_tid: AtomicU64::new(0),
             active: AtomicBool::new(false),
             kill_lock: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -58,6 +111,39 @@ impl Slot {
 
     fn unlock(&self) {
         self.kill_lock.store(false, Ordering::Release);
+    }
+}
+
+/// The calling thread's kernel task id (0 where unavailable).
+fn current_tid() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        (unsafe { libc::syscall(libc::SYS_gettid) } as libc::pid_t) as u64
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Whether the kernel says task `tid` of this process no longer exists.
+///
+/// `false` on any ambiguity (tid 0, non-Linux, unexpected errno): liveness
+/// probing must only ever fail toward "alive" — a reused tid makes a dead
+/// thread look alive (reap deferred, still correct), never the reverse.
+fn tid_gone(tid: u64) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        if tid == 0 {
+            return false;
+        }
+        let rc = unsafe { libc::syscall(libc::SYS_tgkill, libc::getpid(), tid as libc::pid_t, 0) };
+        rc != 0 && unsafe { *libc::__errno_location() } == libc::ESRCH
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = tid;
+        false
     }
 }
 
@@ -116,6 +202,8 @@ impl Registry {
                 .is_ok();
             if claimed {
                 slot.pthread.store(me, Ordering::Release);
+                slot.kernel_tid.store(current_tid(), Ordering::Release);
+                slot.generation.fetch_add(1, Ordering::Release);
             }
             slot.unlock();
             if claimed {
@@ -140,29 +228,102 @@ impl Registry {
 
     /// Sends `signo` to the thread registered at `gtid`.
     ///
-    /// Returns `false` if the slot is inactive (thread deregistered — the
-    /// caller must not wait for it to publish).
-    pub fn ping(&self, gtid: usize, signo: i32) -> bool {
+    /// The outcome distinguishes the three ways a ping can fail:
+    /// [`PingOutcome::Inactive`] (deregistered — don't wait),
+    /// [`PingOutcome::Dead`] (`ESRCH`: the thread died *without*
+    /// deregistering — don't wait, and reap it), and
+    /// [`PingOutcome::Failed`] (any other errno; glibc returns the error
+    /// number directly). The last should be impossible for a valid
+    /// `pthread_t` and live signal handler, so it debug-asserts and is
+    /// counted by [`ping_error_count`].
+    pub fn ping(&self, gtid: usize, signo: i32) -> PingOutcome {
         let slot = &self.slots[gtid];
         if !slot.active.load(Ordering::Acquire) {
-            return false;
+            return PingOutcome::Inactive;
         }
         slot.lock();
-        let ok = if slot.active.load(Ordering::Relaxed) {
+        let out = if slot.active.load(Ordering::Relaxed) {
             let pt = slot.pthread.load(Ordering::Relaxed) as libc::pthread_t;
-            // ESRCH (no such thread) is tolerated per the paper §4.1.2: the
-            // OS tells us the thread is gone and we skip it.
-            unsafe { libc::pthread_kill(pt, signo) == 0 }
+            match unsafe { libc::pthread_kill(pt, signo) } {
+                0 => PingOutcome::Sent,
+                // ESRCH (no such thread): the OS tells us the registered
+                // thread is gone (paper §4.1.2 tolerates this; the reaper
+                // recovers its state).
+                libc::ESRCH => PingOutcome::Dead,
+                e => {
+                    PING_ERRORS.fetch_add(1, Ordering::Relaxed);
+                    debug_assert!(false, "pthread_kill(gtid {gtid}) failed with errno {e}");
+                    PingOutcome::Failed(e)
+                }
+            }
         } else {
-            false
+            PingOutcome::Inactive
         };
         slot.unlock();
-        ok
+        out
     }
 
     /// Whether `gtid` currently holds a live registration.
     pub fn is_active(&self, gtid: usize) -> bool {
         self.slots[gtid].active.load(Ordering::Acquire)
+    }
+
+    /// The current claim generation of `gtid`'s slot. Capture this at
+    /// registration time; `(gtid, generation)` then names that
+    /// registration for [`Self::probe`]/[`Self::reap`] even after the slot
+    /// is recycled.
+    pub fn generation_of(&self, gtid: usize) -> u64 {
+        self.slots[gtid].generation.load(Ordering::Acquire)
+    }
+
+    /// Probes whether the registration `(gtid, generation)` still belongs
+    /// to a live thread, without delivering a signal.
+    ///
+    /// Uses a sig-0 `tgkill` on the kernel tid recorded at registration —
+    /// not `pthread_kill`, which on glibc ≥ 2.35 silently succeeds for an
+    /// exited-but-unjoined thread and so can never report death.
+    ///
+    /// Conservative on every race: an ambiguous probe (tid reused by a new
+    /// thread, unexpected errno, non-Linux) reads as [`Liveness::Alive`]
+    /// (never reap on ambiguity), and a slot reclaimed by a newer
+    /// generation reads as [`Liveness::Vacated`] — the probed registration
+    /// is gone either way, but the new occupant is not misjudged by the old
+    /// one's fate.
+    pub fn probe(&self, gtid: usize, generation: u64) -> Liveness {
+        let slot = &self.slots[gtid];
+        if !slot.active.load(Ordering::Acquire) {
+            return Liveness::Vacated;
+        }
+        slot.lock();
+        let out = if !slot.active.load(Ordering::Relaxed)
+            || slot.generation.load(Ordering::Relaxed) != generation
+        {
+            Liveness::Vacated
+        } else if tid_gone(slot.kernel_tid.load(Ordering::Relaxed)) {
+            Liveness::Dead
+        } else {
+            Liveness::Alive
+        };
+        slot.unlock();
+        out
+    }
+
+    /// Releases the slot of a registration whose thread died without
+    /// deregistering. Succeeds only when `(gtid, generation)` still holds
+    /// the slot *and* the kernel-tid probe confirms the thread is gone,
+    /// re-checked under the kill lock — a live or vacated registration is
+    /// never disturbed.
+    pub fn reap(&self, gtid: usize, generation: u64) -> bool {
+        let slot = &self.slots[gtid];
+        slot.lock();
+        let reaped = slot.active.load(Ordering::Relaxed)
+            && slot.generation.load(Ordering::Relaxed) == generation
+            && tid_gone(slot.kernel_tid.load(Ordering::Relaxed));
+        if reaped {
+            slot.active.store(false, Ordering::Release);
+        }
+        slot.unlock();
+        reaped
     }
 
     /// Locates the calling thread's gtid by scanning for `pthread_self()`.
@@ -365,7 +526,84 @@ mod tests {
     fn ping_inactive_slot_is_noop() {
         let reg = Registry::global();
         // Find a definitely-inactive slot near the top of the table.
-        assert!(!reg.ping(MAX_THREADS - 1, libc::SIGUSR1));
+        assert_eq!(
+            reg.ping(MAX_THREADS - 1, libc::SIGUSR1),
+            PingOutcome::Inactive
+        );
+    }
+
+    #[test]
+    fn stale_generation_probes_vacated() {
+        let reg = Registry::global();
+        let g1 = reg.register_current();
+        let gtid = g1.gtid();
+        let gen = reg.generation_of(gtid);
+        assert_eq!(reg.probe(gtid, gen), Liveness::Alive);
+        drop(g1);
+        assert_eq!(
+            reg.probe(gtid, gen),
+            Liveness::Vacated,
+            "a cleanly deregistered registration is vacated, not dead"
+        );
+        assert!(!reg.reap(gtid, gen), "nothing to reap after deregistration");
+        let g2 = reg.register_current();
+        if g2.gtid() == gtid {
+            assert!(
+                reg.generation_of(gtid) > gen,
+                "reclaiming a slot must advance its generation"
+            );
+            assert_eq!(
+                reg.probe(gtid, gen),
+                Liveness::Vacated,
+                "the old generation must not see the new occupant as itself"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_registration_is_probed_and_reaped() {
+        let reg = Registry::global();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let h = std::thread::spawn(move || {
+            let g = Registry::global().register_current();
+            tx.send((g.gtid(), Registry::global().generation_of(g.gtid())))
+                .unwrap();
+            // Die without deregistering — the failure mode the reaper exists
+            // for. The slot stays active with a soon-dead pthread_t.
+            std::mem::forget(g);
+        });
+        let (gtid, gen) = rx.recv().unwrap();
+        // Probe while the thread is exited but unjoined (pthread_t still
+        // valid); spin until the OS reports it gone.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match reg.probe(gtid, gen) {
+                Liveness::Dead => break,
+                Liveness::Alive => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "dead registration never probed as Dead"
+                    );
+                    std::thread::yield_now();
+                }
+                Liveness::Vacated => panic!("forgotten registration must stay claimed"),
+            }
+        }
+        assert!(reg.is_active(gtid), "slot leaked by the dead thread");
+        // glibc < 2.35 reports ESRCH (Dead); ≥ 2.35 silently no-ops (Sent).
+        // Either way the ping must not be swallowed as an error.
+        assert!(
+            matches!(
+                reg.ping(gtid, libc::SIGUSR1),
+                PingOutcome::Dead | PingOutcome::Sent
+            ),
+            "pinging a dead-but-unjoined thread must not error"
+        );
+        assert!(reg.reap(gtid, gen), "reap must recover the leaked slot");
+        assert!(!reg.is_active(gtid));
+        assert!(!reg.reap(gtid, gen), "reap is one-shot");
+        assert_eq!(reg.probe(gtid, gen), Liveness::Vacated);
+        h.join().unwrap();
     }
 
     #[test]
@@ -381,7 +619,10 @@ mod tests {
         let guard = reg.register_current();
         let handle = crate::signal::register_publisher(Box::leak(Box::new(CountPublisher)));
         let before = HITS.load(Ordering::SeqCst);
-        assert!(reg.ping(guard.gtid(), crate::signal::PING_SIGNAL));
+        assert_eq!(
+            reg.ping(guard.gtid(), crate::signal::PING_SIGNAL),
+            PingOutcome::Sent
+        );
         // Signal to self is delivered synchronously before pthread_kill
         // returns on Linux, but be defensive and spin briefly.
         let mut spins = 0u32;

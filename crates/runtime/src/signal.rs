@@ -24,7 +24,8 @@ use core::mem;
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Once;
 
-use crate::registry::{try_global, Registry};
+use crate::faults::{self, FaultSite};
+use crate::registry::{try_global, PingOutcome, Registry};
 
 /// The signal used for pings. `SIGUSR1` mirrors the NBR/POP artifact.
 pub const PING_SIGNAL: i32 = libc::SIGUSR1;
@@ -147,9 +148,14 @@ extern "C" fn on_ping(_sig: libc::c_int) {
     // Preserve errno across the handler: publishers only touch atomics, but
     // `pthread_self`/future extensions must not clobber interrupted syscalls.
     let saved_errno = unsafe { *libc::__errno_location() };
-    if let Some(registry) = try_global() {
-        if let Some(gtid) = registry.find_current() {
-            publish_all(gtid);
+    // Fault site: a ping that is delivered but never publishes — models a
+    // blocked mask / seccomp-suppressed handler. The waiting reclaimer's
+    // publish-wait watchdog must absorb this (atomics only; signal-safe).
+    if !faults::fire(FaultSite::SignalDrop) {
+        if let Some(registry) = try_global() {
+            if let Some(gtid) = registry.find_current() {
+                publish_all(gtid);
+            }
         }
     }
     unsafe { *libc::__errno_location() = saved_errno };
@@ -173,10 +179,17 @@ pub(crate) fn install_handler() {
 
 /// Pings the thread registered at `gtid` with [`PING_SIGNAL`].
 ///
-/// Returns `false` when the slot is no longer active — the caller must not
-/// wait for that thread to publish (it deregistered, flushing on the way
-/// out).
-pub fn ping_gtid(gtid: usize) -> bool {
+/// Anything but [`PingOutcome::Sent`] means the caller must not wait for
+/// that thread to publish: it deregistered ([`PingOutcome::Inactive`],
+/// flushing on the way out), died without deregistering
+/// ([`PingOutcome::Dead`] — reap it), or the send failed outright
+/// ([`PingOutcome::Failed`]).
+pub fn ping_gtid(gtid: usize) -> PingOutcome {
+    if faults::fire(FaultSite::SignalDelay) {
+        // Stall the sender long enough for the target to move (die, publish,
+        // deregister) under the reclaimer's feet.
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
     Registry::global().ping(gtid, PING_SIGNAL)
 }
 
@@ -224,8 +237,19 @@ mod tests {
         );
     }
 
+    /// Fault plans are process-global; when the feature is compiled in, an
+    /// armed `SignalDrop` site from a parallel test would suppress the
+    /// publishes these tests wait on. Serialize against plan installers.
+    fn shield() -> Option<std::sync::MutexGuard<'static, ()>> {
+        #[cfg(feature = "fault-injection")]
+        return Some(crate::faults::test_lock());
+        #[cfg(not(feature = "fault-injection"))]
+        None
+    }
+
     #[test]
     fn cross_thread_ping_publishes() {
+        let _shield = shield();
         let p: &'static CounterPublisher = Box::leak(Box::new(CounterPublisher::new()));
         let handle = register_publisher(p);
         let stop = Arc::new(StdAtomicBool::new(false));
@@ -240,7 +264,7 @@ mod tests {
         });
         let gtid = rx.recv().unwrap();
         let before = p.hits[gtid].load(Ordering::Acquire);
-        assert!(ping_gtid(gtid));
+        assert_eq!(ping_gtid(gtid), PingOutcome::Sent);
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while p.hits[gtid].load(Ordering::Acquire) == before {
             assert!(
@@ -256,6 +280,7 @@ mod tests {
 
     #[test]
     fn repeated_pings_coalesce_monotonically() {
+        let _shield = shield();
         let p: &'static CounterPublisher = Box::leak(Box::new(CounterPublisher::new()));
         let handle = register_publisher(p);
         let stop = Arc::new(StdAtomicBool::new(false));
@@ -272,7 +297,7 @@ mod tests {
         let mut last = p.hits[gtid].load(Ordering::Acquire);
         for _ in 0..16 {
             let before = last;
-            assert!(ping_gtid(gtid));
+            assert_eq!(ping_gtid(gtid), PingOutcome::Sent);
             let deadline = std::time::Instant::now() + Duration::from_secs(5);
             loop {
                 let now = p.hits[gtid].load(Ordering::Acquire);

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pop_runtime::signal::{ping_gtid, register_publisher, Publisher};
-use pop_runtime::{register_current_shared, Registry, MAX_THREADS};
+use pop_runtime::{register_current_shared, PingOutcome, Registry, MAX_THREADS};
 
 struct CountingPublisher {
     hits: AtomicU64,
@@ -56,7 +56,7 @@ fn churn_registrations_under_constant_pings() {
             let mut sent = 0u64;
             while !stop.load(Ordering::Acquire) {
                 for gtid in 0..Registry::global().scan_bound().min(MAX_THREADS) {
-                    if ping_gtid(gtid) {
+                    if ping_gtid(gtid) == PingOutcome::Sent {
                         sent += 1;
                     }
                 }
@@ -88,7 +88,7 @@ fn churn_registrations_under_constant_pings() {
 #[test]
 fn deregistered_threads_are_skipped_not_killed() {
     // A gtid observed while active may be deregistered before the ping;
-    // ping_gtid must return false rather than signalling a dead thread.
+    // ping_gtid must report it inactive rather than signal a dead thread.
     let (tx, rx) = std::sync::mpsc::channel();
     let t = std::thread::spawn(move || {
         let reg = register_current_shared();

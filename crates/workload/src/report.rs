@@ -55,16 +55,25 @@ pub struct RunRecord {
     pub orphans_stolen: u64,
     /// NBR restarts observed.
     pub restarts: u64,
+    /// Publish-wait watchdog expiries (passes that gave up waiting on a
+    /// laggard and completed conservatively).
+    pub publish_wait_timeouts: u64,
+    /// Pings whose delivery failed (dead or errored targets).
+    pub pings_failed: u64,
+    /// Dead participants reaped by reclaimer passes.
+    pub participants_reaped: u64,
+    /// Faults fired by the injection layer (0 unless compiled in and armed).
+    pub faults_injected: u64,
 }
 
 impl RunRecord {
     /// CSV header matching [`RunRecord::csv_row`].
-    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,blocks_sealed_monotone,blocks_sealed_era_monotone,epoch_decay_steps,bin_resizes,orphans_stolen,restarts";
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,blocks_sealed_monotone,blocks_sealed_era_monotone,epoch_decay_steps,bin_resizes,orphans_stolen,restarts,publish_wait_timeouts,pings_failed,participants_reaped,faults_injected";
 
     /// Serializes this record as a CSV row tagged with `figure`.
     pub fn csv_row(&self, figure: &str) -> String {
         format!(
-            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.ds,
             self.scheme,
             self.threads,
@@ -88,6 +97,10 @@ impl RunRecord {
             self.bin_resizes,
             self.orphans_stolen,
             self.restarts,
+            self.publish_wait_timeouts,
+            self.pings_failed,
+            self.participants_reaped,
+            self.faults_injected,
         )
     }
 }
@@ -172,6 +185,10 @@ mod tests {
             bin_resizes: 1,
             orphans_stolen: 0,
             restarts: 0,
+            publish_wait_timeouts: 1,
+            pings_failed: 1,
+            participants_reaped: 1,
+            faults_injected: 0,
         }
     }
 

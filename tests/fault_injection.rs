@@ -1,0 +1,448 @@
+//! Chaos harness: the cross-scheme lifecycle under seeded fault plans, plus
+//! the panic-during-op matrix.
+//!
+//! Three failure families drive the resilience machinery end to end:
+//!
+//! * **lost/spurious futex wakes** — publish waiters must ride their
+//!   timeout backstops and the pass watchdog, never wedge;
+//! * **dropped/delayed pings** — a publish that never happens must expire
+//!   the `publish_deadline` watchdog, mark the laggard suspect (its local
+//!   reservations honored conservatively), and complete the pass;
+//! * **a killed writer** — a thread that dies mid-operation without
+//!   unregistering must be probed dead, reaped, and its retire blocks
+//!   freed by the survivors.
+//!
+//! Every trial runs under a hard wall-clock deadline (a wedged
+//! `ping_all_and_wait` fails the test instead of hanging CI), with the
+//! quarantine use-after-free oracle armed — "conservative" must never
+//! mean "freed something a reader could still reach".
+//!
+//! The fault-plan tests need `--features fault-injection`; the
+//! panic-during-op matrix runs in every configuration (unwinding is not a
+//! fault we inject, it is one Rust hands us for free).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicPtr;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use pop::ds::hml::HmList;
+use pop::ds::ConcurrentMap;
+use pop::runtime::faults;
+#[cfg(feature = "fault-injection")]
+use pop::runtime::faults::{FaultPlan, FaultSite};
+use pop::smr::{
+    Ebr, EpochPop, HazardEraPop, HazardPtrAsym, HazardPtrPop, NbrPlus, OpGuard, Smr, SmrConfig,
+};
+
+const WORKERS: usize = 3;
+const KEYS: u64 = 64;
+
+/// Serializes tests in this binary around the process-global fault plan
+/// (feature-on); a no-op guard otherwise.
+fn plan_lock() -> Option<std::sync::MutexGuard<'static, ()>> {
+    #[cfg(feature = "fault-injection")]
+    return Some(faults::test_lock());
+    #[cfg(not(feature = "fault-injection"))]
+    None
+}
+
+/// Runs `f` on its own thread and panics if it exceeds `deadline` — the
+/// harness-level "no deadlock" assertion for every chaos trial.
+fn with_deadline<T: Send + 'static>(
+    name: &'static str,
+    deadline: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(v) => {
+            h.join().expect("trial thread panicked after reporting");
+            v
+        }
+        Err(_) => panic!("{name}: trial exceeded {deadline:?} — a wait path is wedged"),
+    }
+}
+
+/// Churn config shared by every trial: small thresholds so reclamation
+/// passes are frequent, a short pass watchdog so injected stalls cost
+/// milliseconds not seconds, and the quarantine oracle armed throughout.
+fn chaos_cfg() -> SmrConfig {
+    SmrConfig::for_tests(WORKERS + 1)
+        .with_reclaim_freq(64)
+        // Exhaust the publish spin budget almost immediately so waits
+        // actually park — the futex fault sites are dead code otherwise.
+        .with_publish_spin(2)
+        .with_publish_deadline_ns(20_000_000)
+        .with_quarantine()
+}
+
+/// The lifecycle body: `WORKERS` writers churn a Harris-Michael list (with
+/// `die_mid_op`, each polls the cooperative thread-death trigger and on a
+/// hit abandons its registration inside an operation), then the main
+/// thread registers the spare tid and drains. Returns the domain so the
+/// caller can assert on counters.
+#[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+fn churn_lifecycle<S: Smr>(ops_per_worker: u64, die_mid_op: bool) -> Arc<S> {
+    let smr = S::new(chaos_cfg());
+    let map = Arc::new(HmList::with_domain(Arc::clone(&smr)));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|tid| {
+            let map = Arc::clone(&map);
+            let smr = Arc::clone(&smr);
+            std::thread::spawn(move || {
+                let reg = smr.register(tid);
+                let mut k = tid as u64;
+                for _ in 0..ops_per_worker {
+                    if die_mid_op && faults::should_die() {
+                        // Die the worst way possible: inside an operation,
+                        // holding a (null) protection, without
+                        // unregistering — the registry keeps a registered
+                        // slot pointing at a kernel thread that is gone.
+                        let dummy = AtomicPtr::new(core::ptr::null_mut::<u8>());
+                        smr.begin_op(tid);
+                        let _ = smr.protect(tid, 0, &dummy);
+                        std::mem::forget(reg);
+                        return;
+                    }
+                    map.insert(tid, k % KEYS, k);
+                    map.remove(tid, k % KEYS);
+                    k = k.wrapping_add(7);
+                }
+                drop(reg);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Survivor-side drain on the spare tid. With a killed writer, keep
+    // flushing until the corpse is actually reaped, not just until the
+    // accounted garbage hits zero — the dead slot's unsealed retires are
+    // invisible to `unreclaimed_nodes` until a pass seals them, and under
+    // load the whole churn can finish before a single watchdog expiry had
+    // the chance to flag the death. The loop bound keeps a genuine leak
+    // (or a never-engaging reaper) a clean failure.
+    let reg = smr.register(WORKERS);
+    for _ in 0..200 {
+        smr.flush(WORKERS);
+        let s = smr.stats().snapshot();
+        if s.unreclaimed_nodes() == 0 && (!die_mid_op || s.participants_reaped >= 1) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(reg);
+    smr
+}
+
+/// Counter sanity shared by every trial: frees never exceed retires, and
+/// retires never exceed allocations (conservation — a fault plan must not
+/// make nodes double-free or materialize from nowhere).
+fn assert_conservation<S: Smr>(smr: &S) {
+    let s = smr.stats().snapshot();
+    assert!(
+        s.freed_nodes <= s.retired_nodes,
+        "freed {} > retired {}",
+        s.freed_nodes,
+        s.retired_nodes
+    );
+    assert!(
+        s.retired_nodes <= s.allocated_nodes,
+        "retired {} > allocated {}",
+        s.retired_nodes,
+        s.allocated_nodes
+    );
+}
+
+// ---------------------------------------------------------------------
+// Seeded fault plans (feature-gated: the sites are no-ops otherwise).
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "fault-injection")]
+fn run_plan_trial<S: Smr>(name: &'static str, plan: FaultPlan) {
+    let _g = plan_lock();
+    faults::install(plan);
+    let smr = with_deadline(name, Duration::from_secs(60), || {
+        // Every armed site is only reachable from a reclamation pass that
+        // actually pings / waits, and a lucky run can sail through with
+        // all peers quiescent at every pass. Rerun the lifecycle (fresh
+        // domain, cumulative injection counters) until the plan has
+        // provably bitten at least once.
+        let mut smr = churn_lifecycle::<S>(2_000, false);
+        for _ in 0..9 {
+            if faults::injected_total() > 0 {
+                break;
+            }
+            smr = churn_lifecycle::<S>(2_000, false);
+        }
+        smr
+    });
+    assert!(
+        faults::injected_total() > 0,
+        "{name}: the plan never fired — the trial tested nothing"
+    );
+    faults::clear();
+    // With the plan disarmed the domain must drain completely: everything
+    // a conservative pass kept was garbage deferred, not garbage lost.
+    let reg = smr.register(0);
+    smr.flush(0);
+    drop(reg);
+    assert_eq!(
+        smr.stats().snapshot().unreclaimed_nodes(),
+        0,
+        "{name}: domain must drain once faults stop"
+    );
+    assert_conservation(&*smr);
+}
+
+#[cfg(feature = "fault-injection")]
+fn lost_wake_plan() -> FaultPlan {
+    // The futex sites are only checked when a publish wait actually parks;
+    // a scheme whose publishes land within the spin budget would never
+    // reach them. The delayed publish is the stall-maker: it outlasts the
+    // spin budget, forcing waiters onto the futex where the lost/spurious
+    // wakes bite.
+    FaultPlan {
+        seed: 11,
+        ..Default::default()
+    }
+    .with_rate(FaultSite::PublishDelay, 3)
+    .with_rate(FaultSite::FutexLostWake, 2)
+    .with_rate(FaultSite::FutexSpuriousWake, 4)
+}
+
+#[cfg(feature = "fault-injection")]
+fn dropped_ping_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 23,
+        ..Default::default()
+    }
+    .with_rate(FaultSite::SignalDrop, 4)
+    .with_rate(FaultSite::SignalDelay, 8)
+    .with_rate(FaultSite::PublishDelay, 8)
+}
+
+#[cfg(feature = "fault-injection")]
+macro_rules! plan_trials {
+    ($($scheme:ident),+ $(,)?) => {
+        mod lost_wake {
+            use super::*;
+            $(
+                #[test]
+                #[allow(non_snake_case)]
+                fn $scheme() {
+                    run_plan_trial::<$scheme>(
+                        concat!("lost_wake/", stringify!($scheme)),
+                        lost_wake_plan(),
+                    );
+                }
+            )+
+        }
+        mod dropped_ping {
+            use super::*;
+            $(
+                #[test]
+                #[allow(non_snake_case)]
+                fn $scheme() {
+                    run_plan_trial::<$scheme>(
+                        concat!("dropped_ping/", stringify!($scheme)),
+                        dropped_ping_plan(),
+                    );
+                }
+            )+
+        }
+    };
+}
+
+#[cfg(feature = "fault-injection")]
+plan_trials!(HazardPtrPop, HazardEraPop, EpochPop, NbrPlus);
+
+#[cfg(feature = "fault-injection")]
+fn run_killed_writer_trial<S: Smr>(name: &'static str) {
+    let _g = plan_lock();
+    // One worker dies on its 25th between-ops poll — early enough that
+    // plenty of churn (and many reclamation passes) follow the death.
+    faults::install(FaultPlan::default().with_one_shot(FaultSite::ThreadDeath, 25));
+    let smr = with_deadline(name, Duration::from_secs(60), || {
+        churn_lifecycle::<S>(4_000, true)
+    });
+    assert_eq!(
+        faults::injected(FaultSite::ThreadDeath),
+        1,
+        "{name}: exactly one worker must have been killed"
+    );
+    faults::clear();
+    let s = smr.stats().snapshot();
+    assert!(
+        s.participants_reaped >= 1,
+        "{name}: the dead participant must be reaped: {s:?}"
+    );
+    assert!(
+        s.publish_wait_timeouts >= 1,
+        "{name}: death detection rides the pass watchdog: {s:?}"
+    );
+    assert_eq!(
+        s.unreclaimed_nodes(),
+        0,
+        "{name}: survivors must free the reaped thread's retire blocks"
+    );
+    assert_conservation(&*smr);
+}
+
+#[cfg(feature = "fault-injection")]
+mod killed_writer {
+    use super::*;
+
+    #[test]
+    fn hazard_ptr_pop() {
+        run_killed_writer_trial::<HazardPtrPop>("killed_writer/HazardPtrPop");
+    }
+
+    #[test]
+    fn hazard_era_pop() {
+        run_killed_writer_trial::<HazardEraPop>("killed_writer/HazardEraPop");
+    }
+
+    #[test]
+    fn epoch_pop() {
+        run_killed_writer_trial::<EpochPop>("killed_writer/EpochPop");
+    }
+
+    #[test]
+    fn nbr_plus() {
+        run_killed_writer_trial::<NbrPlus>("killed_writer/NbrPlus");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Panic-during-op matrix (runs with or without fault injection).
+// ---------------------------------------------------------------------
+
+/// A writer panics while inside an [`OpGuard`] bracket; the unwind must run
+/// the operation epilogue (guard drop) and the registration teardown, so
+/// surviving threads' reclamation never waits on the abandoned operation
+/// and the panicker's partial fill bins are orphaned, not leaked.
+fn run_panic_mid_op_trial<S: Smr>(name: &'static str) {
+    let _g = plan_lock();
+    faults::install(Default::default()); // disarm any leftover plan
+    let smr = S::new(chaos_cfg());
+    let map = Arc::new(HmList::with_domain(Arc::clone(&smr)));
+
+    // Phase 1: the writer panics mid-op with the registration still held —
+    // both unwind through their Drop impls (guard first, registration
+    // last, mirroring construction order).
+    let panicker = std::thread::spawn({
+        let map = Arc::clone(&map);
+        let smr = Arc::clone(&smr);
+        move || {
+            let _reg = smr.register(1);
+            let mut k = 1u64;
+            for _ in 0..500 {
+                map.insert(1, k % KEYS, k);
+                map.remove(1, k % KEYS);
+                k = k.wrapping_add(7);
+            }
+            let _op = OpGuard::enter(&*smr, 1);
+            panic!("injected: writer dies mid-operation");
+        }
+    });
+    assert!(
+        panicker.join().is_err(),
+        "{name}: the writer must have panicked"
+    );
+
+    // Phase 2: a survivor churns and drains under a deadline — if the
+    // abandoned op had leaked its bracket, signal-based schemes would
+    // wait on tid 1 forever.
+    let trial = with_deadline(name, Duration::from_secs(30), move || {
+        let reg = smr.register(0);
+        let mut k = 0u64;
+        for _ in 0..2_000 {
+            map.insert(0, k % KEYS, k);
+            map.remove(0, k % KEYS);
+            k = k.wrapping_add(7);
+        }
+        smr.flush(0);
+        drop(reg);
+        smr
+    });
+    assert_eq!(
+        trial.stats().snapshot().unreclaimed_nodes(),
+        0,
+        "{name}: panicker's retires must be reclaimed, not leaked"
+    );
+    assert_conservation(&*trial);
+}
+
+/// Same shape, but the panic is caught in-thread (a worker that recovers):
+/// after `catch_unwind` the thread must be able to keep using its
+/// registration — the guard restored the scheme to a quiescent state.
+fn run_panic_recover_trial<S: Smr>(name: &'static str) {
+    let _g = plan_lock();
+    faults::install(Default::default());
+    let smr = S::new(chaos_cfg());
+    let map = Arc::new(HmList::with_domain(Arc::clone(&smr)));
+    let reg = smr.register(0);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let _op = OpGuard::enter(&*smr, 0);
+        panic!("injected: recoverable mid-op panic");
+    }));
+    assert!(caught.is_err());
+    // The same tid keeps working after recovery.
+    let mut k = 0u64;
+    for _ in 0..1_000 {
+        map.insert(0, k % KEYS, k);
+        map.remove(0, k % KEYS);
+        k = k.wrapping_add(7);
+    }
+    smr.flush(0);
+    drop(reg);
+    assert_eq!(
+        smr.stats().snapshot().unreclaimed_nodes(),
+        0,
+        "{name}: recovered thread must drain its own garbage"
+    );
+    assert_conservation(&*smr);
+}
+
+macro_rules! panic_matrix {
+    ($($scheme:ident),+ $(,)?) => {
+        mod panic_mid_op {
+            use super::*;
+            $(
+                #[test]
+                #[allow(non_snake_case)]
+                fn $scheme() {
+                    run_panic_mid_op_trial::<$scheme>(
+                        concat!("panic_mid_op/", stringify!($scheme)),
+                    );
+                }
+            )+
+        }
+        mod panic_recover {
+            use super::*;
+            $(
+                #[test]
+                #[allow(non_snake_case)]
+                fn $scheme() {
+                    run_panic_recover_trial::<$scheme>(
+                        concat!("panic_recover/", stringify!($scheme)),
+                    );
+                }
+            )+
+        }
+    };
+}
+
+panic_matrix!(
+    HazardPtrPop,
+    HazardEraPop,
+    EpochPop,
+    HazardPtrAsym,
+    NbrPlus,
+    Ebr,
+);

@@ -50,6 +50,11 @@ pub const SIGUSR1: c_int = 10;
 pub const SA_RESTART: c_int = 0x10000000;
 pub const _SC_NPROCESSORS_ONLN: c_int = 84;
 
+pub const ESRCH: c_int = 3;
+pub const EINTR: c_int = 4;
+pub const EAGAIN: c_int = 11;
+pub const ETIMEDOUT: c_int = 110;
+
 #[cfg(target_arch = "x86_64")]
 pub const SYS_membarrier: c_long = 324;
 #[cfg(target_arch = "aarch64")]
@@ -63,6 +68,20 @@ pub const SYS_futex: c_long = 202;
 pub const SYS_futex: c_long = 98;
 #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub const SYS_futex: c_long = -1;
+
+#[cfg(target_arch = "x86_64")]
+pub const SYS_tgkill: c_long = 234;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_tgkill: c_long = 131;
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub const SYS_tgkill: c_long = -1;
+
+#[cfg(target_arch = "x86_64")]
+pub const SYS_gettid: c_long = 186;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_gettid: c_long = 178;
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub const SYS_gettid: c_long = -1;
 
 pub const FUTEX_WAIT: c_int = 0;
 pub const FUTEX_WAKE: c_int = 1;
@@ -89,6 +108,7 @@ extern "C" {
     pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
     pub fn sigemptyset(set: *mut sigset_t) -> c_int;
     pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn getpid() -> pid_t;
     pub fn pthread_self() -> pthread_t;
     pub fn pthread_kill(thread: pthread_t, sig: c_int) -> c_int;
     pub fn __errno_location() -> *mut c_int;
@@ -113,6 +133,41 @@ mod tests {
             CPU_SET(3, &mut set);
             assert_eq!(set.bits[0], 1 << 3);
         }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn tgkill_sig0_probe_reports_esrch_for_dead_tid() {
+        // Liveness probing cannot use pthread_kill: since glibc 2.35 it
+        // returns 0 (silent no-op) for an exited-but-unjoined thread. The
+        // kernel task id, however, is released the moment the thread exits
+        // (threads self-reap without a join), so tgkill(pid, tid, 0) yields
+        // ESRCH as soon as the thread is gone.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let h = std::thread::spawn(move || {
+            let tid = unsafe { syscall(SYS_gettid) } as pid_t;
+            tx.send(tid).unwrap();
+        });
+        let tid = rx.recv().unwrap();
+        let pid = unsafe { getpid() };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let rc = unsafe { syscall(SYS_tgkill, pid, tid, 0) };
+            if rc != 0 {
+                let errno = unsafe { *__errno_location() };
+                assert_eq!(errno, ESRCH, "only ESRCH expected from a dead tid");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "finished thread never probed as ESRCH"
+            );
+            std::thread::yield_now();
+        }
+        h.join().unwrap();
+        let self_tid = unsafe { syscall(SYS_gettid) } as pid_t;
+        let live = unsafe { syscall(SYS_tgkill, pid, self_tid, 0) };
+        assert_eq!(live, 0, "sig-0 probe of the calling thread");
     }
 
     #[test]
