@@ -21,6 +21,11 @@
 //! * **Adaptive bin convergence** (PR 5): sweep ns/node with auto-sized
 //!   bins against the best and worst static settings, on both the
 //!   single-stream and the interleaved-arena workloads.
+//! * **Pressure ladder** (bounded-garbage PR): escalation trips, blocks
+//!   quarantined and pool blocks trimmed under a stalled reader with
+//!   tight watermarks, plus the one-flush recovery latency once the
+//!   stall clears — and a parity check that the default watermarks stay
+//!   silent (gauge enabled, zero trips) under quiescent churn.
 //!
 //! Usage: `bench_smoke [--out PATH] [--iters N]` (defaults:
 //! `BENCH_pr5.json`, 60 iterations per measurement).
@@ -263,6 +268,69 @@ fn adaptive_bins_ns(
     )
 }
 
+/// Pressure-ladder smoke (bounded-garbage PR): a stalled reader pins a
+/// backlog under tight watermarks on an EBR domain. Returns the trip
+/// counts `(soft, hard, emergency)`, the blocks quarantined and pool
+/// blocks trimmed, and the recovery latency — wall ns for the single
+/// flush that drains everything once the stall clears.
+fn pressure_ladder_smoke() -> (u64, u64, u64, u64, u64, f64) {
+    let smr = Ebr::new(
+        SmrConfig::for_tests(2)
+            .with_reclaim_freq(16)
+            .with_retire_bins(1)
+            .with_pressure_watermarks(64, 96, 128)
+            .with_free_pool_cap(4),
+    );
+    let reg0 = smr.register(0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let pinner = std::thread::spawn({
+        let smr = Arc::clone(&smr);
+        let stop = Arc::clone(&stop);
+        move || {
+            let reg1 = smr.register(1);
+            smr.begin_op(1); // pins the epoch and stalls
+            tx.send(()).unwrap();
+            while !stop.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            smr.end_op(1);
+            drop(reg1);
+        }
+    });
+    rx.recv().unwrap();
+    for i in 0..1_000u64 {
+        smr.note_alloc(0, core::mem::size_of::<Node>());
+        let p = Box::into_raw(Box::new(Node {
+            hdr: Header::new(0, core::mem::size_of::<Node>()),
+            v: i,
+        }));
+        // SAFETY: never shared; retired exactly once.
+        unsafe { retire_node(&*smr, 0, p) };
+    }
+    smr.flush(0);
+    let s = smr.stats().snapshot();
+    stop.store(true, Ordering::Release);
+    pinner.join().unwrap();
+    let t0 = Instant::now();
+    smr.flush(0);
+    let recovery_ns = t0.elapsed().as_nanos() as f64;
+    assert_eq!(
+        smr.stats().snapshot().unreclaimed_nodes(),
+        0,
+        "pressure ladder must drain within one pass of the stall clearing"
+    );
+    drop(reg0);
+    (
+        s.pressure_soft_trips,
+        s.pressure_hard_trips,
+        s.pressure_emergency_trips,
+        s.blocks_quarantined,
+        s.pool_blocks_trimmed,
+        recovery_ns,
+    )
+}
+
 /// Mean ns per full ping→publish→wake handshake against one busy peer.
 fn wait_wake_ns(futex: bool, iters: u32) -> f64 {
     let smr = HazardPtrPop::new(
@@ -479,6 +547,43 @@ fn main() {
          vs bins=8 {era_ns_8:.2} ns/node (share {era_share_8:.2})"
     );
 
+    // Bounded-garbage PR: the escalation ladder engaged by a stalled
+    // reader under tight watermarks, and the one-flush recovery cost.
+    let (p_soft, p_hard, p_emerg, p_quar, p_trim, p_recovery_ns) = pressure_ladder_smoke();
+    println!(
+        "pressure_ladder: trips soft {p_soft} / hard {p_hard} / emergency \
+         {p_emerg}, {p_quar} blocks quarantined, {p_trim} pool blocks \
+         trimmed, recovery {p_recovery_ns:.0} ns"
+    );
+    // Enabled-untripped parity: under the paper-default watermarks the
+    // gauge must stay silent through quiescent churn, so its presence
+    // costs the measurements above nothing.
+    let untripped = {
+        let smr = Ebr::new(SmrConfig::for_tests(2));
+        let reg0 = smr.register(0);
+        for i in 0..2_048u64 {
+            smr.note_alloc(0, core::mem::size_of::<Node>());
+            let p = Box::into_raw(Box::new(Node {
+                hdr: Header::new(0, core::mem::size_of::<Node>()),
+                v: i,
+            }));
+            // SAFETY: never shared; retired exactly once.
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        drop(reg0);
+        s.pressure_soft_trips == 0
+            && s.pressure_hard_trips == 0
+            && s.pressure_emergency_trips == 0
+            && s.blocks_quarantined == 0
+    };
+    assert!(
+        untripped,
+        "default watermarks must not trip under quiescent churn"
+    );
+    println!("pressure_untripped_default: {untripped}");
+
     let json = format!(
         "{{\n  \"bench\": \"pr5_adaptive_controller\",\n  \"iters\": {iters},\n  \
          \"sweep_filter\": [{sweeps}\n  ],\n  \
@@ -495,7 +600,11 @@ fn main() {
          \"interleaved\": {{\"static1_ns\": {inter_s1:.2}, \"static8_ns\": {inter_s8:.2}, \
          \"adaptive_ns\": {inter_ad:.2}, \"adaptive_bins\": {inter_bins}}}}},\n  \
          \"era_monotone\": {{\"bins1_ns\": {era_ns_1:.2}, \"bins1_share\": {era_share_1:.3}, \
-         \"bins8_ns\": {era_ns_8:.2}, \"bins8_share\": {era_share_8:.3}}}\n}}\n"
+         \"bins8_ns\": {era_ns_8:.2}, \"bins8_share\": {era_share_8:.3}}},\n  \
+         \"pressure\": {{\"soft_trips\": {p_soft}, \"hard_trips\": {p_hard}, \
+         \"emergency_trips\": {p_emerg}, \"blocks_quarantined\": {p_quar}, \
+         \"pool_blocks_trimmed\": {p_trim}, \"recovery_ns\": {p_recovery_ns:.0}, \
+         \"untripped_default\": {untripped}}}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");

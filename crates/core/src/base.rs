@@ -104,6 +104,7 @@ use parking_lot::Mutex;
 
 use crate::config::SmrConfig;
 use crate::header::{RetireBatch, Retired, SortKey, RETIRE_BATCH_CAP};
+use crate::pressure::{Escalation, PressureRung, StallTracker};
 use crate::stats::DomainStats;
 
 // Keep masks pack one bit per block slot into a u32.
@@ -118,6 +119,14 @@ const ORPHAN_CHUNK_BLOCKS: usize = 8;
 /// Node-count bound of one orphan chunk (tests and docs).
 #[cfg(test)]
 const ORPHAN_ADOPT_MAX: usize = ORPHAN_CHUNK_BLOCKS * RETIRE_BATCH_CAP;
+
+/// Orphan-list stripes for a domain of `n` thread slots: a small power of
+/// two so park/adopt/steal from different tids take different mutexes
+/// during reap storms and quarantine drains, without a per-tid mutex
+/// forest on wide domains.
+fn orphan_stripes(n: usize) -> usize {
+    n.min(8).next_power_of_two()
+}
 
 /// Arena granularity of the fill-bin routing: pointers sharing their
 /// `ptr >> ARENA_SHIFT` prefix — a 64 KiB region, the unit size class
@@ -444,6 +453,10 @@ pub(crate) struct ReclaimScratch {
     pub reserved: Vec<u64>,
     /// Announced `[lower, upper]` epoch intervals (IBR).
     pub intervals: Vec<(u64, u64)>,
+    /// Non-stalled subset of `reserved` (emergency-rung era sweeps).
+    pub active: Vec<u64>,
+    /// Non-stalled subset of `intervals` (emergency-rung IBR sweeps).
+    pub active_intervals: Vec<(u64, u64)>,
 }
 
 /// Single-owner cell holding a thread's [`ReclaimScratch`] (same ownership
@@ -590,27 +603,63 @@ impl EpochClocks {
     }
 }
 
+/// A sealed block parked in the stalled-reader quarantine: every member
+/// is provably pinned **only** by `blocker_tid`'s reservation word, so
+/// sweeps stop re-scanning it until the blocker moves or dies.
+pub(crate) struct QuarantinedBlock {
+    /// The stalled participant whose reservation pins the whole block.
+    pub blocker_tid: usize,
+    /// The reservation word (epoch / era / interval lower bound) observed
+    /// stalled; the block is released the moment the blocker's word
+    /// changes, clears, or the blocker deregisters/is reaped.
+    pub pinned_word: u64,
+    /// The parked block, sort caches and extrema intact.
+    pub block: Box<RetireBatch>,
+}
+
+/// One orphan-list stripe: parked sealed blocks from threads whose tid
+/// hashes here, padded so neighboring stripes never false-share.
+#[allow(clippy::vec_box)]
+type OrphanStripe = CachePadded<Mutex<Vec<Box<RetireBatch>>>>;
+
 /// State common to all reclamation domains.
 pub(crate) struct DomainBase {
     pub cfg: SmrConfig,
     pub stats: Arc<DomainStats>,
+    /// Per-participant pinned-reservation age, fed by scheme min-scans;
+    /// drives the emergency-rung stalled-reader detection.
+    pub stall: StallTracker,
     occupied: Box<[AtomicBool]>,
     /// Domain tid → global thread id + 1 (0 = unbound). Used by
     /// signal-based schemes to ping participants.
     gtid_of: Box<[AtomicUsize]>,
-    /// Quarantined (poisoned) nodes when `cfg.quarantine` is set.
+    /// Quarantined (poisoned) nodes when `cfg.quarantine` is set — the
+    /// use-after-free detector, unrelated to the pressure quarantine.
     quarantine: Mutex<Vec<Retired>>,
+    /// Stalled-reader quarantine (pressure emergency rung): whole sealed
+    /// blocks keyed by the blocking reservation, re-absorbed into a
+    /// reclaimer's list by [`Self::reclaim_released_quarantine`] the
+    /// moment the blocker advances or is reaped. Quarantined nodes leave
+    /// the gauge's actionable count but are still owed to the allocator
+    /// (freed on release-and-sweep, or at domain drop).
+    pressure_quarantine: Mutex<Vec<QuarantinedBlock>>,
+    /// Lock-free node-count hint for `pressure_quarantine` (skip the
+    /// mutex while nothing is parked — the permanent common case).
+    pq_hint: AtomicUsize,
     /// Retire-list leftovers from threads that unregistered while some of
     /// their garbage was still reserved by others, parked as the **sealed
     /// blocks themselves** — sort caches and extrema intact, no record
-    /// copied. Drained (bounded, block-at-a-time) by joining threads via
-    /// [`Self::adopt_orphan_chunk`] and by reclaimer passes via
-    /// [`Self::steal_orphan_chunk`]; any remainder is freed on domain
+    /// copied. Striped by parking tid so park/adopt/steal from different
+    /// threads never contend on one mutex during reap storms or
+    /// quarantine drains. Drained (bounded, block-at-a-time) by joining
+    /// threads via [`Self::adopt_orphan_chunk`] and by reclaimer passes
+    /// via [`Self::steal_orphan_chunk`]; any remainder is freed on domain
     /// drop.
-    #[allow(clippy::vec_box)]
-    orphans: Mutex<Vec<Box<RetireBatch>>>,
-    /// Lock-free *node*-count hint for `orphans`, maintained under its
-    /// lock, so every sweep can skip the mutex when no orphans exist (the
+    orphans: Box<[OrphanStripe]>,
+    /// `orphans.len() - 1` (stripe count is a power of two).
+    orphan_mask: usize,
+    /// Lock-free *node*-count hint summed over every orphan stripe, so
+    /// every sweep can skip the mutexes when no orphans exist (the
     /// common case on stable memberships).
     orphan_hint: AtomicUsize,
     /// Per-tid reap-in-progress flags: the CAS in [`Self::try_begin_reap`]
@@ -629,13 +678,20 @@ impl DomainBase {
         gtids.resize_with(n, || AtomicUsize::new(0));
         let mut reaping = Vec::with_capacity(n);
         reaping.resize_with(n, || AtomicBool::new(false));
+        let stripes = orphan_stripes(n);
+        let mut orphans = Vec::with_capacity(stripes);
+        orphans.resize_with(stripes, || CachePadded::new(Mutex::new(Vec::new())));
         DomainBase {
-            stats: Arc::new(DomainStats::new(n)),
+            stats: Arc::new(DomainStats::with_pressure(n, cfg.pressure_gauge())),
+            stall: StallTracker::new(n),
             cfg,
             occupied: occupied.into_boxed_slice(),
             gtid_of: gtids.into_boxed_slice(),
             quarantine: Mutex::new(Vec::new()),
-            orphans: Mutex::new(Vec::new()),
+            pressure_quarantine: Mutex::new(Vec::new()),
+            pq_hint: AtomicUsize::new(0),
+            orphans: orphans.into_boxed_slice(),
+            orphan_mask: stripes - 1,
             orphan_hint: AtomicUsize::new(0),
             reaping: reaping.into_boxed_slice(),
         }
@@ -652,6 +708,9 @@ impl DomainBase {
     }
 
     pub(crate) fn release(&self, tid: usize) {
+        // A departing participant can no longer stall anyone; its slot's
+        // pinned-age history must not taint the next claimant.
+        self.stall.clear(tid);
         self.occupied[tid].store(false, Ordering::Release);
     }
 
@@ -744,6 +803,7 @@ impl DomainBase {
         let shard = self.stats.shard(tid);
         shard.freed_nodes.fetch_add(1, Ordering::Relaxed);
         shard.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.pressure().on_freed(1);
         // SAFETY: forwarded contract.
         unsafe { self.free_raw(r) };
     }
@@ -767,6 +827,7 @@ impl DomainBase {
             let shard = self.stats.shard(tid);
             shard.freed_nodes.fetch_add(nodes, Ordering::Relaxed);
             shard.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.stats.pressure().on_freed(nodes as usize);
         }
     }
 
@@ -782,12 +843,12 @@ impl DomainBase {
         }
         let nodes = list.len();
         let blocks = list.take_blocks();
-        let mut orphans = self.orphans.lock();
+        let mut orphans = self.orphans[tid & self.orphan_mask].lock();
         // Parked newest-first so chunk steals drain oldest-first from the
         // Vec TAIL — O(chunk) per steal, no front-shift of the remainder.
         orphans.extend(blocks.into_iter().rev());
-        let hint = self.orphan_hint.load(Ordering::Relaxed) + nodes;
-        self.orphan_hint.store(hint, Ordering::Relaxed);
+        drop(orphans);
+        self.orphan_hint.fetch_add(nodes, Ordering::Relaxed);
     }
 
     /// Moves up to [`ORPHAN_CHUNK_BLOCKS`] orphaned blocks into `list`
@@ -796,23 +857,34 @@ impl DomainBase {
     /// block is absorbed as one pointer — O(1) per block, its sort cache
     /// untouched — so the adopter's next sweep range-tests stolen blocks
     /// from their surviving summaries without re-sorting.
-    fn drain_orphan_chunk(&self, list: &mut RetireList) -> usize {
+    fn drain_orphan_chunk(&self, tid: usize, list: &mut RetireList) -> usize {
         if self.orphan_hint.load(Ordering::Relaxed) == 0 {
             return 0;
         }
-        let mut orphans = self.orphans.lock();
-        let take = orphans.len().min(ORPHAN_CHUNK_BLOCKS);
-        if take == 0 {
-            return 0;
-        }
-        let at = orphans.len() - take;
+        // Start at the caller's own stripe (lowest contention — its own
+        // parks land there) and scan the rest until the chunk is full, so
+        // a single drainer still empties every stripe eventually.
+        let mut taken = 0usize;
         let mut nodes = 0usize;
-        for b in &orphans[at..] {
-            nodes += b.len();
+        for i in 0..=self.orphan_mask {
+            if taken >= ORPHAN_CHUNK_BLOCKS {
+                break;
+            }
+            let mut orphans = self.orphans[(tid + i) & self.orphan_mask].lock();
+            let take = orphans.len().min(ORPHAN_CHUNK_BLOCKS - taken);
+            if take == 0 {
+                continue;
+            }
+            let at = orphans.len() - take;
+            for b in &orphans[at..] {
+                nodes += b.len();
+            }
+            list.absorb_blocks(orphans.drain(at..));
+            taken += take;
         }
-        list.absorb_blocks(orphans.drain(at..));
-        let hint = self.orphan_hint.load(Ordering::Relaxed) - nodes;
-        self.orphan_hint.store(hint, Ordering::Relaxed);
+        if nodes > 0 {
+            self.orphan_hint.fetch_sub(nodes, Ordering::Relaxed);
+        }
         nodes
     }
 
@@ -821,7 +893,7 @@ impl DomainBase {
     /// retire list, bounding orphan memory on long-lived domains with
     /// thread churn.
     pub(crate) fn adopt_orphan_chunk(&self, tid: usize, list: &mut RetireList) {
-        let n = self.drain_orphan_chunk(list);
+        let n = self.drain_orphan_chunk(tid, list);
         if n > 0 {
             self.stats
                 .shard(tid)
@@ -837,12 +909,56 @@ impl DomainBase {
     /// its own keep predicate — exactly as safe as for its own garbage,
     /// since every predicate covers all threads' reservations.
     pub(crate) fn steal_orphan_chunk(&self, tid: usize, list: &mut RetireList) {
-        let n = self.drain_orphan_chunk(list);
+        let n = self.drain_orphan_chunk(tid, list);
         if n > 0 {
             self.stats
                 .shard(tid)
                 .orphans_stolen
                 .fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Releases every pressure-quarantined block whose blocker has moved
+    /// on — deregistered, reaped, or no longer holding its pinned
+    /// reservation word (`blocked(tid, word)` is the scheme's "still
+    /// pinned by exactly this reservation" test). Released blocks are
+    /// absorbed **directly into the calling reclaimer's list**, so the
+    /// very pass that observes the release also filters and frees them:
+    /// a cleared stall drains within one pass. Runs at the start of every
+    /// full pass; the lock-free hint makes it a no-op while nothing is
+    /// parked.
+    pub(crate) fn reclaim_released_quarantine(
+        &self,
+        tid: usize,
+        list: &mut RetireList,
+        mut blocked: impl FnMut(usize, u64) -> bool,
+    ) {
+        if self.pq_hint.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut q = self.pressure_quarantine.lock();
+        let mut nodes = 0usize;
+        let mut blocks = 0u64;
+        let mut i = 0usize;
+        while i < q.len() {
+            let qb = &q[i];
+            if self.is_registered(qb.blocker_tid) && blocked(qb.blocker_tid, qb.pinned_word) {
+                i += 1;
+                continue;
+            }
+            let qb = q.swap_remove(i);
+            nodes += qb.block.len();
+            blocks += 1;
+            list.absorb_blocks([qb.block]);
+        }
+        drop(q);
+        if nodes > 0 {
+            self.pq_hint.fetch_sub(blocks as usize, Ordering::Relaxed);
+            self.stats
+                .shard(tid)
+                .blocks_unquarantined
+                .fetch_add(blocks, Ordering::Relaxed);
+            note_escalation(self, tid, self.stats.pressure().on_unquarantined(nodes));
         }
     }
 
@@ -852,10 +968,19 @@ impl DomainBase {
         self.quarantine.lock().len()
     }
 
+    /// Blocks currently parked in the stalled-reader quarantine.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn pressure_quarantine_len(&self) -> usize {
+        self.pq_hint.load(Ordering::Relaxed)
+    }
+
     /// Number of parked orphan nodes (test observability).
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn orphan_len(&self) -> usize {
-        self.orphans.lock().iter().map(|b| b.len()).sum()
+        self.orphans
+            .iter()
+            .map(|s| s.lock().iter().map(|b| b.len()).sum::<usize>())
+            .sum()
     }
 }
 
@@ -877,7 +1002,23 @@ impl Drop for DomainBase {
             unsafe { r.free() };
         }
         let overflow = self.stats.overflow();
-        for mut b in self.orphans.get_mut().drain(..) {
+        for stripe in self.orphans.iter_mut() {
+            for mut b in stripe.get_mut().drain(..) {
+                while let Some(r) = b.pop() {
+                    overflow.freed_nodes.fetch_add(1, Ordering::Relaxed);
+                    overflow
+                        .freed_bytes
+                        .fetch_add(r.header().size() as u64, Ordering::Relaxed);
+                    // SAFETY: as above.
+                    unsafe { r.free() };
+                }
+            }
+        }
+        // Stalled-reader quarantine: the blockers are gone with everyone
+        // else, so the parked blocks are freeable — conservation holds
+        // (allocated == freed) across a drop with a live quarantine.
+        for qb in self.pressure_quarantine.get_mut().drain(..) {
+            let mut b = qb.block;
             while let Some(r) = b.pop() {
                 overflow.freed_nodes.fetch_add(1, Ordering::Relaxed);
                 overflow
@@ -890,15 +1031,37 @@ impl Drop for DomainBase {
     }
 }
 
+/// Books an upward pressure transition on the acting thread's stat shard:
+/// one trip counter per rung crossed. The gauge reports each transition to
+/// exactly one caller ([`crate::pressure::PressureGauge`]'s CAS settle),
+/// so the trip counters count state-machine transitions, not update calls.
+pub(crate) fn note_escalation(base: &DomainBase, tid: usize, esc: Option<Escalation>) {
+    let Some(esc) = esc else { return };
+    let shard = base.stats.shard(tid);
+    if esc.crossed(PressureRung::Soft) {
+        shard.pressure_soft_trips.fetch_add(1, Ordering::Relaxed);
+    }
+    if esc.crossed(PressureRung::Hard) {
+        shard.pressure_hard_trips.fetch_add(1, Ordering::Relaxed);
+    }
+    if esc.crossed(PressureRung::Emergency) {
+        shard
+            .pressure_emergency_trips
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// The amortized accounting every seal event owes: one `retired_nodes`
 /// bump for the sealed members, one `batches_sealed` event per block, and
-/// the monotone-block tally. Shared by [`push_retired`],
-/// [`seal_and_account`] and NR's leak path.
+/// the monotone-block tally — plus the pressure gauge's retire-side feed
+/// (sealed nodes are exactly the gauge's unit of actionable backlog).
+/// Shared by [`push_retired`], [`seal_and_account`] and NR's leak path.
 pub(crate) fn account_seal(base: &DomainBase, tid: usize, outcome: SealOutcome) {
     let shard = base.stats.shard(tid);
     shard
         .retired_nodes
         .fetch_add(outcome.nodes as u64, Ordering::Relaxed);
+    note_escalation(base, tid, base.stats.pressure().on_retired(outcome.nodes));
     shard
         .batches_sealed
         .fetch_add(outcome.blocks, Ordering::Relaxed);
@@ -976,11 +1139,22 @@ pub(crate) enum BlockPlan {
     FreeAll,
     /// Mixed: bit `i` set means slot `i` survives; compact in place.
     Mask(u32),
+    /// Every member is pinned **only** by `blocker_tid`'s stalled
+    /// reservation `word` (emergency rung): park the block whole in the
+    /// domain's stalled-reader quarantine so later sweeps stop re-scanning
+    /// it, until [`DomainBase::reclaim_released_quarantine`] hands it
+    /// back. Not counted freed; leaves the gauge's actionable count.
+    Quarantine {
+        /// The stalled participant pinning the block.
+        blocker_tid: usize,
+        /// Its observed reservation word (release key).
+        word: u64,
+    },
 }
 
 /// All-ones keep mask for a block of `n` records.
 #[inline]
-fn full_mask(n: usize) -> u32 {
+pub(crate) fn full_mask(n: usize) -> u32 {
     if n >= 32 {
         u32::MAX
     } else {
@@ -1028,6 +1202,10 @@ pub(crate) unsafe fn sweep_blocks(
     let mut total_freed = 0usize;
     let mut kept_whole = 0u64;
     let mut freed_whole = 0u64;
+    // Emergency-rung parking collects locally and publishes once after the
+    // loop: one quarantine lock per sweep, none at all on the common path.
+    let mut quarantined: Vec<QuarantinedBlock> = Vec::new();
+    let mut quarantined_nodes = 0usize;
     for read_block in 0..nblocks {
         // SAFETY: `read_block < nblocks`, the original initialized length.
         let mut b = unsafe { core::ptr::read(blocks_ptr.add(read_block)) };
@@ -1105,11 +1283,22 @@ pub(crate) unsafe fn sweep_blocks(
                 unsafe { core::ptr::write(blocks_ptr.add(write_block), b) };
                 write_block += 1;
             }
+            BlockPlan::Quarantine { blocker_tid, word } => {
+                // Parked whole: no record is touched, the block leaves the
+                // caller's list (and its re-scan loop) until the blocker's
+                // reservation moves.
+                quarantined_nodes += n;
+                quarantined.push(QuarantinedBlock {
+                    blocker_tid,
+                    pinned_word: word,
+                    block: b,
+                });
+            }
         }
     }
     // SAFETY: the first `write_block` slots hold initialized blocks.
     unsafe { list.blocks.set_len(write_block) };
-    list.sealed_nodes -= total_freed;
+    list.sealed_nodes -= total_freed + quarantined_nodes;
     if freed_whole > 0 {
         shard
             .blocks_freed_whole
@@ -1119,6 +1308,35 @@ pub(crate) unsafe fn sweep_blocks(
         shard
             .blocks_kept_whole
             .fetch_add(kept_whole, Ordering::Relaxed);
+    }
+    if !quarantined.is_empty() {
+        let qblocks = quarantined.len();
+        shard
+            .blocks_quarantined
+            .fetch_add(qblocks as u64, Ordering::Relaxed);
+        base.pressure_quarantine.lock().extend(quarantined);
+        base.pq_hint.fetch_add(qblocks, Ordering::Relaxed);
+        base.stats.pressure().on_quarantined(quarantined_nodes);
+    }
+    if total_freed > 0 {
+        base.stats.pressure().on_freed(total_freed);
+    }
+    // Degradation rung 4: under hard pressure the recycled-block pool is
+    // ballast — drop it entirely; otherwise honor the configured cap
+    // (`0` = unbounded).
+    let cap = if base.stats.pressure().rung() >= PressureRung::Hard {
+        0
+    } else if base.cfg.free_pool_cap == 0 {
+        usize::MAX
+    } else {
+        base.cfg.free_pool_cap
+    };
+    if list.free.len() > cap {
+        let trimmed = (list.free.len() - cap) as u64;
+        list.free.truncate(cap);
+        shard
+            .pool_blocks_trimmed
+            .fetch_add(trimmed, Ordering::Relaxed);
     }
     total_freed
 }
@@ -1253,7 +1471,35 @@ pub(crate) unsafe fn free_era_unreserved(
     list: &mut RetireList,
     reserved: &[u64],
 ) -> usize {
+    // SAFETY: forwarded contract.
+    unsafe { free_era_unreserved_with_stalled(base, tid, list, reserved, None) }
+}
+
+/// [`free_era_unreserved`] with a stalled-reader escape hatch. `reserved`
+/// is the union of **all** reserved eras (the safety set); `active`
+/// optionally carries the reserved eras of **non-stalled** threads only,
+/// plus the known-stalled blocker's identity. A block whose lifespan
+/// envelope misses every union era frees whole as before; one that misses
+/// every *active* era — pinned only by the stalled blocker's slots — is
+/// parked in the domain quarantine under the blocker's key instead of
+/// being re-scanned each pass. Per-node masking always tests the full
+/// union, so nothing a live thread may hold is ever freed or parked
+/// node-wise.
+///
+/// # Safety
+///
+/// As for [`free_era_unreserved`]; additionally `active` (when given)
+/// must include every era any **non-stalled** registered thread may have
+/// reserved.
+pub(crate) unsafe fn free_era_unreserved_with_stalled(
+    base: &DomainBase,
+    tid: usize,
+    list: &mut RetireList,
+    reserved: &[u64],
+    active: Option<(&[u64], usize, u64)>,
+) -> usize {
     debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(active.is_none_or(|(a, _, _)| a.windows(2).all(|w| w[0] <= w[1])));
     // SAFETY: forwarded contract.
     unsafe {
         sweep_blocks(base, tid, list, |b| {
@@ -1266,6 +1512,19 @@ pub(crate) unsafe fn free_era_unreserved(
             let window = &reserved[lo..hi];
             if window.is_empty() {
                 return BlockPlan::FreeAll;
+            }
+            if let Some((act, blocker_tid, blocker_word)) = active {
+                // Some union era pins the block, but if no *active* era
+                // does, every pinning era belongs to the stalled blocker:
+                // park the block whole under its release key.
+                let alo = act.partition_point(|&e| e < min_birth);
+                let ahi = alo + act[alo..].partition_point(|&e| e <= max_retire);
+                if alo == ahi {
+                    return BlockPlan::Quarantine {
+                        blocker_tid,
+                        word: blocker_word,
+                    };
+                }
             }
             let mut mask = 0u32;
             if b.has_sorted(SortKey::Birth) || b.era_monotone_hint() || b.note_sweep() >= 1 {
@@ -1303,6 +1562,73 @@ pub(crate) unsafe fn free_era_unreserved(
     }
 }
 
+/// The epoch floor a stalled-reader emergency sweep would reach if the one
+/// known-stalled blocker were ignored: `min` over every **non-stalled**
+/// registered reservation, plus the identity of the blocker whose pinned
+/// word holds the real floor down. Built by the epoch schemes' min-scan
+/// when the emergency rung is active.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RelaxedMin {
+    /// Minimum announced epoch over non-stalled registered threads.
+    pub min: u64,
+    /// The stalled participant pinning the floor below `min`.
+    pub blocker_tid: usize,
+    /// The blocker's observed reservation word (quarantine release key).
+    pub blocker_word: u64,
+}
+
+/// Stall-aware epoch min-scan shared by the epoch schemes: feeds every
+/// registered announcement into the domain stall tracker (ages must accrue
+/// *before* the emergency rung engages), returning the true floor plus —
+/// on the emergency rung only — the relaxed floor over non-stalled readers
+/// and the single worst stalled blocker holding the true floor down.
+/// `quiescent` is the scheme's parked announcement value; `word_of(t)`
+/// must perform the scheme's ordered reservation load.
+pub(crate) fn scan_epoch_reservations(
+    base: &DomainBase,
+    quiescent: u64,
+    word_of: impl Fn(usize) -> u64,
+) -> (u64, Option<RelaxedMin>) {
+    let emergency = base.stats.pressure().rung() >= PressureRung::Emergency;
+    let mut min = u64::MAX;
+    let mut relaxed = u64::MAX;
+    let mut blocker: Option<(usize, u64)> = None;
+    for t in 0..base.cfg.max_threads {
+        if !base.is_registered(t) {
+            continue;
+        }
+        let w = word_of(t);
+        min = min.min(w);
+        // Quiescent readers park outside every epoch: idle, never stalled.
+        // Live words shift by one so a reader pinned at epoch 0 stays
+        // distinguishable from idle in the tracker.
+        let sig = if w == quiescent { 0 } else { w.wrapping_add(1) };
+        let stalled =
+            base.stall.observe(t, sig) >= crate::pressure::STALLED_AFTER_PASSES && w != quiescent;
+        if !emergency {
+            continue;
+        }
+        if stalled {
+            if blocker.is_none_or(|(_, bw)| w < bw) {
+                blocker = Some((t, w));
+            }
+        } else {
+            relaxed = relaxed.min(w);
+        }
+    }
+    // Only a blocker strictly below the relaxed floor buys anything: the
+    // quarantine window `[max_retire < relaxed.min]` would be empty
+    // otherwise.
+    let relaxed_min = blocker.and_then(|(t, w)| {
+        (w < relaxed).then_some(RelaxedMin {
+            min: relaxed,
+            blocker_tid: t,
+            blocker_word: w,
+        })
+    });
+    (min, relaxed_min)
+}
+
 /// Frees every entry retired strictly before epoch `min` (EBR / EpochPOP
 /// fast path). Returns the number freed.
 ///
@@ -1315,6 +1641,7 @@ pub(crate) unsafe fn free_era_unreserved(
 /// `min` must be a lower bound on every registered thread's announced
 /// epoch — nodes retired before it are unreachable. `tid` must be the
 /// caller's registered domain thread id.
+#[cfg_attr(not(test), allow(dead_code))] // stall-free entry point, exercised by the unit suite
 pub(crate) unsafe fn free_before_epoch(
     base: &DomainBase,
     tid: usize,
@@ -1322,14 +1649,49 @@ pub(crate) unsafe fn free_before_epoch(
     min: u64,
 ) -> usize {
     // SAFETY: forwarded contract.
+    unsafe { free_before_epoch_with_stalled(base, tid, list, min, None) }
+}
+
+/// [`free_before_epoch`] with a stalled-reader escape hatch: blocks whose
+/// entire retire range lies below `relaxed.min` — provably pinned **only**
+/// by the known-stalled blocker — are parked in the domain quarantine
+/// instead of being re-scanned every pass. Parking is conservative: the
+/// blocks are not freed, and [`DomainBase::reclaim_released_quarantine`]
+/// re-filters them against *all* live reservations once the blocker's
+/// epoch moves, so a mis-ranked blocker costs a deferred sweep, never a
+/// premature free.
+///
+/// # Safety
+///
+/// As for [`free_before_epoch`]; additionally `relaxed.min` must be a
+/// lower bound on every registered **non-stalled** thread's announced
+/// epoch.
+pub(crate) unsafe fn free_before_epoch_with_stalled(
+    base: &DomainBase,
+    tid: usize,
+    list: &mut RetireList,
+    min: u64,
+    relaxed: Option<&RelaxedMin>,
+) -> usize {
+    // SAFETY: forwarded contract.
     unsafe {
         sweep_blocks(base, tid, list, |b| {
             let (_, min_retire, max_retire) = b.era_ranges();
-            if min_retire >= min {
-                return BlockPlan::KeepAll;
-            }
             if max_retire < min {
                 return BlockPlan::FreeAll;
+            }
+            if let Some(rm) = relaxed {
+                // Below the non-stalled floor but not the true floor:
+                // every member is pinned solely by the blocker.
+                if max_retire < rm.min {
+                    return BlockPlan::Quarantine {
+                        blocker_tid: rm.blocker_tid,
+                        word: rm.blocker_word,
+                    };
+                }
+            }
+            if min_retire >= min {
+                return BlockPlan::KeepAll;
             }
             let mut mask = 0u32;
             for (i, r) in b.nodes().iter().enumerate() {
@@ -2546,5 +2908,197 @@ mod tests {
         }
         assert_eq!(b.stats.snapshot().blocks_kept_whole, 3);
         drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn quarantine_parks_releases_and_conserves() {
+        let b = DomainBase::new(SmrConfig::for_tests(2).with_pressure_watermarks(4, 8, 12));
+        b.claim(0);
+        b.claim(1);
+        // Two sealed blocks, all retire eras below the relaxed floor:
+        // everything is provably pinned only by blocker tid 1's word 7.
+        let mut list = filled(&b, 2, &[0, 0, 1, 1]);
+        let rm = RelaxedMin {
+            min: 10,
+            blocker_tid: 1,
+            blocker_word: 7,
+        };
+        let freed = unsafe { free_before_epoch_with_stalled(&b, 0, &mut list, 0, Some(&rm)) };
+        assert_eq!(freed, 0, "quarantine never frees");
+        assert_eq!(list.len(), 0, "both blocks left the list");
+        assert_eq!(b.pressure_quarantine_len(), 2);
+        let s = b.stats.snapshot();
+        assert_eq!(s.blocks_quarantined, 2);
+        assert_eq!(b.stats.pressure().quarantined(), 4);
+        assert_eq!(
+            b.stats.pressure().count(),
+            0,
+            "parked nodes leave the actionable backlog"
+        );
+        // Blocker still pinned: nothing to release.
+        b.reclaim_released_quarantine(0, &mut list, |t, w| {
+            assert_eq!((t, w), (1, 7));
+            true
+        });
+        assert_eq!(list.len(), 0);
+        assert_eq!(b.pressure_quarantine_len(), 2);
+        // Blocker's reservation moved: everything returns to the list.
+        b.reclaim_released_quarantine(0, &mut list, |_, _| false);
+        assert_eq!(list.len(), 4, "released blocks rejoin the caller's list");
+        assert_eq!(b.pressure_quarantine_len(), 0);
+        let s = b.stats.snapshot();
+        assert_eq!(s.blocks_unquarantined, 2);
+        assert_eq!(b.stats.pressure().quarantined(), 0);
+        drain_free(&b, &mut list);
+        let s = b.stats.snapshot();
+        assert_eq!(s.freed_nodes, s.retired_nodes, "conservation");
+        assert_eq!(b.stats.pressure().count(), 0);
+        b.release(1);
+        b.release(0);
+    }
+
+    #[test]
+    fn quarantine_releases_when_blocker_unregisters() {
+        let b = DomainBase::new(SmrConfig::for_tests(2).with_pressure_watermarks(4, 8, 12));
+        b.claim(0);
+        b.claim(1);
+        let mut list = filled(&b, 2, &[0, 0]);
+        let rm = RelaxedMin {
+            min: 10,
+            blocker_tid: 1,
+            blocker_word: 7,
+        };
+        unsafe { free_before_epoch_with_stalled(&b, 0, &mut list, 0, Some(&rm)) };
+        assert_eq!(b.pressure_quarantine_len(), 1);
+        // The blocker dies / deregisters: its pinned word no longer means
+        // anything, even if the release predicate still claims it does.
+        b.release(1);
+        b.reclaim_released_quarantine(0, &mut list, |_, _| true);
+        assert_eq!(list.len(), 2, "a reaped blocker releases its blocks");
+        assert_eq!(b.pressure_quarantine_len(), 0);
+        drain_free(&b, &mut list);
+        b.release(0);
+    }
+
+    #[test]
+    fn quarantined_blocks_freed_at_drop_conserve() {
+        let b = DomainBase::new(SmrConfig::for_tests(2).with_pressure_watermarks(4, 8, 12));
+        b.claim(0);
+        b.claim(1);
+        let mut list = filled(&b, 2, &[0, 0, 1, 1]);
+        let rm = RelaxedMin {
+            min: 10,
+            blocker_tid: 1,
+            blocker_word: 7,
+        };
+        unsafe { free_before_epoch_with_stalled(&b, 0, &mut list, 0, Some(&rm)) };
+        assert_eq!(b.pressure_quarantine_len(), 2);
+        let stats = Arc::clone(&b.stats);
+        b.release(1);
+        b.release(0);
+        drop(b);
+        let s = stats.snapshot();
+        assert_eq!(s.freed_nodes, s.retired_nodes, "drop drains the quarantine");
+    }
+
+    #[test]
+    fn striped_orphans_drain_from_any_stripe() {
+        // Four tids park orphans on four stripes; a single adopter must
+        // drain them all (its chunk scan covers every stripe), conserving
+        // nodes exactly.
+        let b = DomainBase::new(SmrConfig::for_tests(4));
+        let total = 4 * 6;
+        for t in 0..4 {
+            b.claim(t);
+            let mut list = filled(&b, 2, &[0, 0, 1, 1, 2, 2]);
+            b.orphan_remaining(t, &mut list);
+            b.release(t);
+        }
+        assert_eq!(b.orphan_len(), total);
+        b.claim(0);
+        let mut list = RetireList::new(2, 1);
+        let mut adopted = 0usize;
+        // Each steal takes at most ORPHAN_CHUNK_BLOCKS blocks; loop until
+        // the stripes are dry.
+        for _ in 0..64 {
+            let before = list.len();
+            b.steal_orphan_chunk(0, &mut list);
+            adopted += list.len() - before;
+            if b.orphan_len() == 0 {
+                break;
+            }
+        }
+        assert_eq!(adopted, total, "every stripe drains");
+        assert_eq!(b.orphan_len(), 0);
+        drain_free(&b, &mut list);
+        let s = b.stats.snapshot();
+        assert_eq!(s.freed_nodes, s.retired_nodes, "conservation");
+        b.release(0);
+    }
+
+    #[test]
+    fn free_pool_cap_trims_recycled_blocks() {
+        let b = DomainBase::new(SmrConfig::for_tests(1).with_free_pool_cap(1));
+        // Three sealed blocks, all freeable: the sweep recycles three
+        // emptied boxes but the cap keeps only one.
+        let mut list = filled(&b, 2, &[0, 0, 1, 1, 2, 2]);
+        let freed = unsafe { sweep_retire_list(&b, 0, &mut list, |_| false) };
+        assert_eq!(freed, 6);
+        assert_eq!(list.free.len(), 1, "pool capped at the configured size");
+        assert_eq!(b.stats.snapshot().pool_blocks_trimmed, 2);
+    }
+
+    #[test]
+    fn hard_pressure_drops_the_free_pool_entirely() {
+        // Watermarks of 1 put the gauge at Emergency from the first seal;
+        // the sweep's epilogue must then trim the pool to zero even though
+        // the configured cap would keep blocks around.
+        let b = DomainBase::new(SmrConfig::for_tests(1).with_pressure_watermarks(1, 1, 1));
+        let mut list = filled(&b, 2, &[0, 0, 5, 5]);
+        assert!(b.stats.pressure().rung() >= PressureRung::Hard);
+        let freed =
+            unsafe { sweep_retire_list(&b, 0, &mut list, |r| r.header().retire_era() >= 5) };
+        assert_eq!(freed, 2);
+        assert!(
+            list.free.is_empty(),
+            "under hard pressure the recycled pool is ballast"
+        );
+        assert!(b.stats.snapshot().pool_blocks_trimmed >= 1);
+        drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn scan_elects_lowest_stalled_blocker_under_emergency() {
+        let b = DomainBase::new(SmrConfig::for_tests(3).with_pressure_watermarks(1, 1, 1));
+        for t in 0..3 {
+            b.claim(t);
+        }
+        // Trip the gauge to Emergency so the scan performs its election.
+        note_escalation(&b, 0, b.stats.pressure().on_retired(1));
+        assert_eq!(b.stats.pressure().rung(), PressureRung::Emergency);
+        // t0 idle, t1 pinned at 5, t2 pinned at 9: after enough unchanged
+        // passes both pinned readers count as stalled, and the election
+        // picks t1 (the floor-holder). With every live reader stalled the
+        // relaxed floor is the non-stalled minimum — here none, u64::MAX.
+        let words = [u64::MAX, 5u64, 9u64];
+        let mut result = (0u64, None);
+        for _ in 0..=crate::pressure::STALLED_AFTER_PASSES {
+            result = scan_epoch_reservations(&b, u64::MAX, |t| words[t]);
+        }
+        let (min, rm) = result;
+        assert_eq!(min, 5);
+        let rm = rm.expect("emergency rung with a stalled floor-holder");
+        assert_eq!(rm.blocker_tid, 1);
+        assert_eq!(rm.blocker_word, 5);
+        assert_eq!(rm.min, u64::MAX);
+        // The stall streak resets the moment the word moves.
+        let (_, rm) = scan_epoch_reservations(&b, u64::MAX, |t| if t == 1 { 6 } else { words[t] });
+        assert!(
+            rm.is_none_or(|rm| rm.blocker_tid != 1),
+            "a moved word un-stalls its owner"
+        );
+        for t in 0..3 {
+            b.release(t);
+        }
     }
 }

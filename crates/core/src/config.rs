@@ -1,6 +1,7 @@
 //! Reclamation-domain configuration.
 
 use crate::header::RETIRE_BATCH_CAP;
+use crate::pressure::PressureGauge;
 
 /// Default publish-wait spin budget (the historical hard-coded
 /// `SPIN_LIMIT`): roughly the cost of a few cache-miss round trips, enough
@@ -23,6 +24,25 @@ pub const DEFAULT_RETIRE_BINS: usize = 4;
 /// peers that will *never* publish (died without deregistering, signal
 /// lost), where the watchdog falls back to conservative snapshots.
 pub const DEFAULT_PUBLISH_DEADLINE_NS: u64 = 1_000_000_000;
+
+/// Default soft pressure watermark, as a multiple of `reclaim_freq`: a
+/// backlog of 8 full reclaim triggers' worth of garbage means passes are
+/// consistently failing to free — stop decaying the cadence.
+pub const PRESSURE_SOFT_FACTOR: usize = 8;
+
+/// Default hard pressure watermark factor (see [`PRESSURE_SOFT_FACTOR`]).
+pub const PRESSURE_HARD_FACTOR: usize = 16;
+
+/// Default emergency pressure watermark factor (see
+/// [`PRESSURE_SOFT_FACTOR`]).
+pub const PRESSURE_EMERGENCY_FACTOR: usize = 32;
+
+/// Default cap on each thread's recycled retire-block free pool, in
+/// blocks. A pool this size absorbs every steady-state sweep's recycling
+/// without allocator traffic; bursty retire storms that grow past it are
+/// trimmed back at the next sweep instead of holding the high-water mark
+/// forever.
+pub const DEFAULT_FREE_POOL_CAP: usize = 32;
 
 /// The one normalization rule for bin counts: a power of two (so bin
 /// routing is a shift + mask) in `1..=MAX_RETIRE_BINS`, rounding upward
@@ -75,6 +95,10 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
 /// | `POP_FUTEX_WAIT`          | `0`/`off` = yield-loop publish waits         |
 /// | `POP_ADAPTIVE`            | `0`/`off` = static knobs (no controller)     |
 /// | `POP_PUBLISH_DEADLINE_MS` | publish-wait watchdog deadline (`0` = off)   |
+/// | `POP_PRESSURE_SOFT`       | soft pressure watermark in nodes (`0` = gauge off) |
+/// | `POP_PRESSURE_HARD`       | hard pressure watermark in nodes             |
+/// | `POP_PRESSURE_EMERGENCY`  | emergency pressure watermark in nodes        |
+/// | `POP_FREE_POOL_CAP`       | recycled-block pool cap in blocks (`0` = unbounded) |
 /// | `POP_FAULTS`              | fault plan (needs the `fault-injection` feature; parsed by `pop_runtime::faults`) |
 ///
 /// ```
@@ -84,19 +108,33 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
 /// std::env::set_var("POP_RETIRE_BINS", "1");
 /// std::env::set_var("POP_FUTEX_WAIT", "off");
 /// std::env::set_var("POP_ADAPTIVE", "0");
+/// std::env::set_var("POP_PRESSURE_SOFT", "128");
+/// std::env::set_var("POP_PRESSURE_HARD", "256");
+/// std::env::set_var("POP_PRESSURE_EMERGENCY", "512");
+/// std::env::set_var("POP_FREE_POOL_CAP", "4");
 /// let cfg = SmrConfig::for_tests(2);
 /// assert_eq!(cfg.retire_batch, 1);
 /// assert_eq!(cfg.retire_bins, 1);
 /// assert!(!cfg.futex_wait);
 /// assert!(!cfg.adaptive);
+/// assert_eq!(
+///     (cfg.pressure_soft, cfg.pressure_hard, cfg.pressure_emergency),
+///     (128, 256, 512)
+/// );
+/// assert_eq!(cfg.free_pool_cap, 4);
 ///
 /// // Unset (or unparsable) variables leave the defaults alone.
-/// for k in ["POP_RETIRE_BATCH", "POP_RETIRE_BINS", "POP_FUTEX_WAIT", "POP_ADAPTIVE"] {
+/// for k in [
+///     "POP_RETIRE_BATCH", "POP_RETIRE_BINS", "POP_FUTEX_WAIT", "POP_ADAPTIVE",
+///     "POP_PRESSURE_SOFT", "POP_PRESSURE_HARD", "POP_PRESSURE_EMERGENCY",
+///     "POP_FREE_POOL_CAP",
+/// ] {
 ///     std::env::remove_var(k);
 /// }
 /// let cfg = SmrConfig::for_tests(2);
 /// assert!(cfg.retire_batch > 1 && cfg.retire_bins > 1);
 /// assert!(cfg.futex_wait && cfg.adaptive);
+/// assert!(cfg.pressure_soft > 0, "the gauge is on by default");
 /// ```
 #[derive(Clone, Debug)]
 pub struct SmrConfig {
@@ -158,15 +196,38 @@ pub struct SmrConfig {
     /// deallocated, turning any use-after-free into a deterministic panic
     /// inside `protect`.
     pub quarantine: bool,
+    /// Soft pressure watermark in nodes: an actionable unreclaimed backlog
+    /// (retired − freed − quarantined) at or above this cancels epoch-decay
+    /// pacing and forces full passes. `0` disables the entire pressure
+    /// gauge. Env `POP_PRESSURE_SOFT`.
+    pub pressure_soft: usize,
+    /// Hard pressure watermark in nodes: at or above this, `retire` calls
+    /// reclaim synchronously (bounded retries) and re-ping suspect
+    /// laggards. Normalized to at least `pressure_soft`. Env
+    /// `POP_PRESSURE_HARD`.
+    pub pressure_hard: usize,
+    /// Emergency pressure watermark in nodes: at or above this, passes run
+    /// per-participant stalled-reader detection and quarantine blocks
+    /// provably pinned only by a stalled blocker. Normalized to at least
+    /// `pressure_hard`. Env `POP_PRESSURE_EMERGENCY`.
+    pub pressure_emergency: usize,
+    /// Cap on each thread's recycled retire-block free pool, in blocks
+    /// (`0` = unbounded, the historical behavior). Sweeps trim the pool
+    /// back to this cap — and all the way to empty while the domain is at
+    /// [`crate::pressure::PressureRung::Hard`] or above, so emergency
+    /// pressure actually returns memory to the allocator. Env
+    /// `POP_FREE_POOL_CAP`.
+    pub free_pool_cap: usize,
 }
 
 impl SmrConfig {
     /// Paper-faithful defaults for `n` threads, before env overrides.
     fn paper_defaults(n: usize) -> Self {
+        let reclaim_freq = 24_576;
         SmrConfig {
             max_threads: n,
             slots: 8,
-            reclaim_freq: 24_576,
+            reclaim_freq,
             epoch_freq: 64,
             pop_c: 2,
             retire_batch: RETIRE_BATCH_CAP,
@@ -176,6 +237,15 @@ impl SmrConfig {
             publish_deadline_ns: DEFAULT_PUBLISH_DEADLINE_NS,
             adaptive: true,
             quarantine: false,
+            // The gauge defaults to enabled with generous watermarks: a
+            // healthy workload never trips them (bench parity), a stalled
+            // reader does. Scaled from the paper's retire threshold, not
+            // re-derived by `with_reclaim_freq` — tests pin tiny
+            // thresholds without entering pressure mode.
+            pressure_soft: reclaim_freq * PRESSURE_SOFT_FACTOR,
+            pressure_hard: reclaim_freq * PRESSURE_HARD_FACTOR,
+            pressure_emergency: reclaim_freq * PRESSURE_EMERGENCY_FACTOR,
+            free_pool_cap: DEFAULT_FREE_POOL_CAP,
         }
     }
 
@@ -239,6 +309,18 @@ impl SmrConfig {
         }
         if let Some(ms) = get("POP_PUBLISH_DEADLINE_MS").and_then(|v| v.parse::<u64>().ok()) {
             self.publish_deadline_ns = ms.saturating_mul(1_000_000);
+        }
+        if let Some(n) = get("POP_PRESSURE_SOFT").and_then(|v| v.parse().ok()) {
+            self.pressure_soft = n;
+        }
+        if let Some(n) = get("POP_PRESSURE_HARD").and_then(|v| v.parse().ok()) {
+            self.pressure_hard = n;
+        }
+        if let Some(n) = get("POP_PRESSURE_EMERGENCY").and_then(|v| v.parse().ok()) {
+            self.pressure_emergency = n;
+        }
+        if let Some(n) = get("POP_FREE_POOL_CAP").and_then(|v| v.parse().ok()) {
+            self.free_pool_cap = n;
         }
         self
     }
@@ -337,6 +419,33 @@ impl SmrConfig {
     pub fn with_quarantine(mut self) -> Self {
         self.quarantine = true;
         self
+    }
+
+    /// Builder-style override of the three pressure watermarks (in nodes
+    /// of actionable unreclaimed backlog). `soft == 0` disables the gauge;
+    /// the gauge normalizes `soft ≤ hard ≤ emergency` at construction.
+    pub fn with_pressure_watermarks(mut self, soft: usize, hard: usize, emergency: usize) -> Self {
+        self.pressure_soft = soft;
+        self.pressure_hard = hard;
+        self.pressure_emergency = emergency;
+        self
+    }
+
+    /// Builder-style override of the recycled-block free-pool cap (in
+    /// blocks; `0` = unbounded).
+    pub fn with_free_pool_cap(mut self, cap: usize) -> Self {
+        self.free_pool_cap = cap;
+        self
+    }
+
+    /// The [`PressureGauge`] this configuration describes (how `DomainBase`
+    /// seeds its stats).
+    pub fn pressure_gauge(&self) -> PressureGauge {
+        PressureGauge::new(
+            self.pressure_soft,
+            self.pressure_hard,
+            self.pressure_emergency,
+        )
     }
 }
 
@@ -442,6 +551,41 @@ mod tests {
         assert!(
             !c.with_retire_bins(1).adaptive_bins(),
             "a configured single fill block stays the legacy pipeline"
+        );
+    }
+
+    #[test]
+    fn pressure_defaults_builders_and_env() {
+        let c = SmrConfig::test_defaults(1);
+        assert_eq!(c.pressure_soft, 24_576 * PRESSURE_SOFT_FACTOR);
+        assert_eq!(c.pressure_emergency, 24_576 * PRESSURE_EMERGENCY_FACTOR);
+        assert_eq!(c.free_pool_cap, DEFAULT_FREE_POOL_CAP);
+        assert!(c.pressure_gauge().enabled(), "gauge on by default");
+        let c = c.with_pressure_watermarks(0, 0, 0);
+        assert!(!c.pressure_gauge().enabled(), "soft 0 turns it off");
+        let c = SmrConfig::test_defaults(1)
+            .with_pressure_watermarks(10, 20, 40)
+            .with_free_pool_cap(0);
+        assert_eq!((c.pressure_soft, c.pressure_hard), (10, 20));
+        assert_eq!(c.free_pool_cap, 0, "zero (unbounded pool) is legal");
+        let c = SmrConfig::test_defaults(1).with_overrides_from(|k| match k {
+            "POP_PRESSURE_SOFT" => Some("5".to_string()),
+            "POP_PRESSURE_HARD" => Some("6".to_string()),
+            "POP_PRESSURE_EMERGENCY" => Some("7".to_string()),
+            "POP_FREE_POOL_CAP" => Some("2".to_string()),
+            _ => None,
+        });
+        assert_eq!(
+            (c.pressure_soft, c.pressure_hard, c.pressure_emergency),
+            (5, 6, 7)
+        );
+        assert_eq!(c.free_pool_cap, 2);
+        let c = SmrConfig::test_defaults(1)
+            .with_overrides_from(|k| (k == "POP_PRESSURE_SOFT").then(|| "lots".to_string()));
+        assert_eq!(
+            c.pressure_soft,
+            24_576 * PRESSURE_SOFT_FACTOR,
+            "garbage leaves the default alone"
         );
     }
 

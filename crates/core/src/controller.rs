@@ -157,6 +157,18 @@ impl PassController {
         PassAction::Full
     }
 
+    /// Pressure-ladder hook (soft rung): snap the decay to zero *without*
+    /// waiting for a freeing pass, so a domain that trips the soft
+    /// watermark immediately returns to full epoch cadence and un-thinned
+    /// passes. Idempotent and racy-safe — the decay word is pacing
+    /// advice, and the worst a lost race costs is one thinned trigger.
+    #[inline]
+    pub fn cancel_decay(&self) {
+        if self.enabled && self.decay.load(Ordering::Relaxed) != 0 {
+            self.decay.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Feedback from an executed (full) pass: `freed > 0` snaps the decay
     /// back to zero — the no-cliff guarantee — while a barren pass
     /// deepens it one bounded step. Returns `true` when this call
@@ -326,6 +338,20 @@ mod tests {
         for _ in 0..8 {
             assert_eq!(c.begin_forced_pass(), PassAction::Full);
         }
+    }
+
+    #[test]
+    fn cancel_decay_restores_full_cadence() {
+        let c = PassController::new(true);
+        for _ in 0..MAX_EPOCH_DECAY {
+            c.note_pass_outcome(0);
+        }
+        assert_eq!(c.decay_level(), MAX_EPOCH_DECAY);
+        c.cancel_decay();
+        assert_eq!(c.decay_level(), 0, "soft rung snaps decay to zero");
+        assert_eq!(c.begin_pass(), PassAction::Full);
+        c.cancel_decay(); // idempotent at zero
+        assert_eq!(c.decay_level(), 0);
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod config;
 pub mod controller;
 pub mod header;
 mod pop_shared;
+pub mod pressure;
 pub mod schemes;
 pub mod smr;
 pub mod stats;
@@ -89,6 +90,7 @@ pub mod testing {
 
 pub use config::SmrConfig;
 pub use header::{unmark_word, HasHeader, Header, Retired, RETIRE_BATCH_CAP};
+pub use pressure::{PressureGauge, PressureRung};
 pub use smr::{
     as_header, protect_infallible, retire_node, OpGuard, ReadResult, Registration, Restart, Smr,
 };

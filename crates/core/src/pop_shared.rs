@@ -614,6 +614,98 @@ impl PopShared {
         v
     }
 
+    /// [`Self::collect_reserved_into`] restricted to threads `include`
+    /// accepts — the emergency-rung "active set" scan that leaves a
+    /// known-stalled blocker's reservations out. Excluded threads keep the
+    /// same suspect-widening semantics when included elsewhere; callers
+    /// must pair this with the full union scan for the actual free
+    /// decision.
+    pub(crate) fn collect_reserved_into_filtered(
+        &self,
+        out: &mut Vec<u64>,
+        mut include: impl FnMut(usize) -> bool,
+    ) {
+        out.clear();
+        for t in 0..self.nthreads {
+            if !self.registered[t].load(Ordering::Acquire) || !include(t) {
+                continue;
+            }
+            let suspect = self.suspect[t].load(Ordering::Acquire);
+            for s in 0..self.slots {
+                let w = self.shared[t * self.slots + s].load(Ordering::Acquire);
+                if w != 0 {
+                    out.push(w);
+                }
+                if suspect {
+                    let l = self.local[t * self.slots + s].load(Ordering::Acquire);
+                    if l != 0 {
+                        out.push(l);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// One-word summary of thread `t`'s published reservations for the
+    /// stall tracker: the minimum non-zero shared word (`0` if every slot
+    /// is empty). A stalled reader re-publishing the *same* pinned era or
+    /// pointer keeps the signature constant; any progress moves it.
+    pub(crate) fn shared_word_signature(&self, t: usize) -> u64 {
+        let mut sig = 0u64;
+        for s in 0..self.slots {
+            let w = self.shared[t * self.slots + s].load(Ordering::Acquire);
+            if w != 0 && (sig == 0 || w < sig) {
+                sig = w;
+            }
+        }
+        sig
+    }
+
+    /// Whether thread `t` still publishes reservation word `w` in any
+    /// shared slot — the quarantine release predicate for POP schemes (a
+    /// parked block stays parked only while its blocker's pinning word is
+    /// still visible).
+    pub(crate) fn holds_shared_word(&self, t: usize, w: u64) -> bool {
+        (0..self.slots).any(|s| self.shared[t * self.slots + s].load(Ordering::Acquire) == w)
+    }
+
+    /// Hard-rung targeted re-ping: signals every *suspect* registered peer
+    /// (skipping `me`) once more, without waiting for publication. The
+    /// suspects are exactly the threads whose reservations the scan is
+    /// already honoring conservatively — a successful re-ping lets the
+    /// next pass shrink that keep set. Returns the number of pings sent.
+    pub(crate) fn reping_suspects(&self, me: usize) -> u64 {
+        let mut pings = 0u64;
+        let mut failed = 0u64;
+        for t in 0..self.nthreads {
+            if t == me
+                || !self.registered[t].load(Ordering::Acquire)
+                || !self.suspect[t].load(Ordering::Acquire)
+            {
+                continue;
+            }
+            if let Some(gtid) = self.gtid(t) {
+                match ping_gtid(gtid) {
+                    PingOutcome::Sent => pings += 1,
+                    PingOutcome::Inactive => {}
+                    PingOutcome::Dead => {
+                        failed += 1;
+                        self.note_dead_if_confirmed(t);
+                    }
+                    PingOutcome::Failed(_) => failed += 1,
+                }
+            }
+        }
+        if pings > 0 || failed > 0 {
+            let shard = self.stats.shard(me);
+            shard.pings_sent.fetch_add(pings, Ordering::Relaxed);
+            shard.pings_failed.fetch_add(failed, Ordering::Relaxed);
+        }
+        pings
+    }
+
     fn gtid(&self, tid: usize) -> Option<usize> {
         match self.gtid_of[tid].load(Ordering::Acquire) {
             0 => None,

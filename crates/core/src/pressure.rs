@@ -1,0 +1,574 @@
+//! Memory-pressure gauge, watermark escalation ladder, and stalled-reader
+//! tracking — the domain's bounded-garbage enforcement machinery.
+//!
+//! The epoch/era schemes (EBR, EpochPOP, IBR, HE, HE-POP) inherit the
+//! classic non-robustness failure: one stalled reader pins an unbounded
+//! retire backlog. This module gives every domain a [`PressureGauge`] that
+//! tracks *actionable* unreclaimed garbage — nodes retired, not yet freed,
+//! and **not** parked in the stalled-reader quarantine — against three
+//! watermarks, and drives a four-rung escalation ladder:
+//!
+//! | rung | trigger | response |
+//! |------|---------|----------|
+//! | [`PressureRung::Normal`] | below soft | nothing |
+//! | [`PressureRung::Soft`] | `count ≥ soft` | cancel epoch decay, force full passes |
+//! | [`PressureRung::Hard`] | `count ≥ hard` | inline reclamation retries on the retire path, re-ping suspect laggards |
+//! | [`PressureRung::Emergency`] | `count ≥ emergency` | quarantine blocks provably pinned only by a stalled reader; trim free pools |
+//!
+//! Quarantined nodes leave the gauge (they are unfreeable until the
+//! blocker advances, so re-counting them would keep the domain pinned at
+//! emergency with nothing actionable left), but stay in the raw
+//! `retired − freed` conservation ledger: every quarantined block is
+//! eventually freed — when the blocker advances, is reaped, or the domain
+//! drops.
+//!
+//! ## Hysteresis
+//!
+//! Escalation happens the moment `count` reaches a watermark;
+//! de-escalation requires falling below ⅞ of it. A workload hovering at a
+//! boundary therefore trips the rung **once** instead of toggling (and
+//! re-counting trips) on every retire/free pair, while a freeing sweep
+//! that collapses the backlog de-escalates — possibly several rungs —
+//! immediately.
+//!
+//! ## Concurrency model
+//!
+//! All counters are relaxed atomics updated by whichever thread performs
+//! the seal/free/quarantine event; the rung is settled with a CAS loop
+//! against the freshly read count. Racing settles may observe each
+//! other's counts — the rung is a pacing heuristic, never a safety
+//! predicate, so transient disagreement is harmless. Trip reporting is
+//! exact per *transition* (the CAS loser retries against the new rung).
+
+use core::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Consecutive observation passes with an unchanged, non-idle reservation
+/// word after which a participant is considered stalled (the emergency
+/// rung's per-participant detector). Small: each pass already implies the
+/// reclaimer failed to free behind this reader.
+pub const STALLED_AFTER_PASSES: u32 = 3;
+
+/// Bounded inline-retry budget for the hard rung: how many extra
+/// synchronous reclamation attempts a `retire` call may make (with a
+/// spin-loop backoff between them) before giving up until the next retire.
+pub const HARD_RETRY_LIMIT: u32 = 2;
+
+/// One rung of the escalation ladder. Ordered: comparisons like
+/// `rung >= PressureRung::Hard` express "hard measures (or worse) are
+/// engaged".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum PressureRung {
+    /// Below every watermark; no intervention.
+    Normal = 0,
+    /// Soft watermark reached: pacing concessions are cancelled.
+    Soft = 1,
+    /// Hard watermark reached: retire paths reclaim synchronously.
+    Hard = 2,
+    /// Emergency watermark reached: stalled-reader quarantine engages.
+    Emergency = 3,
+}
+
+impl PressureRung {
+    fn from_u8(v: u8) -> PressureRung {
+        match v {
+            0 => PressureRung::Normal,
+            1 => PressureRung::Soft,
+            2 => PressureRung::Hard,
+            _ => PressureRung::Emergency,
+        }
+    }
+
+    /// The next rung down (saturating at [`PressureRung::Normal`]).
+    fn step_down(self) -> PressureRung {
+        PressureRung::from_u8((self as u8).saturating_sub(1))
+    }
+}
+
+/// An upward rung transition reported by a gauge update: the gauge moved
+/// from `from` (exclusive) to `to` (inclusive). Callers bump one trip
+/// counter per rung crossed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Escalation {
+    /// Rung before the update.
+    pub from: PressureRung,
+    /// Rung after the update (strictly above `from`).
+    pub to: PressureRung,
+}
+
+impl Escalation {
+    /// Whether this transition crossed (entered or passed through) `rung`.
+    pub fn crossed(&self, rung: PressureRung) -> bool {
+        self.from < rung && rung <= self.to
+    }
+}
+
+/// Per-domain memory-pressure gauge (module docs).
+///
+/// `count` is the actionable backlog: nodes sealed into retire lists,
+/// minus nodes freed, minus nodes currently quarantined behind a stalled
+/// reader. Both subtractions saturate — a racing reader may observe a
+/// free before the matching seal, exactly like the stats shards — so the
+/// gauge can never underflow.
+pub struct PressureGauge {
+    /// Soft watermark (`0` disables the whole gauge).
+    soft: u64,
+    /// Hard watermark (normalized `≥ soft`).
+    hard: u64,
+    /// Emergency watermark (normalized `≥ hard`).
+    emergency: u64,
+    /// Actionable unreclaimed nodes (see struct docs).
+    count: AtomicU64,
+    /// Nodes currently parked in the stalled-reader quarantine.
+    quarantined: AtomicU64,
+    /// Current [`PressureRung`] as its `u8` discriminant.
+    rung: AtomicU8,
+}
+
+impl PressureGauge {
+    /// A gauge with the given watermarks. `soft == 0` disables it (the
+    /// rung stays [`PressureRung::Normal`] forever); otherwise the
+    /// watermarks are normalized to `soft ≤ hard ≤ emergency`.
+    pub fn new(soft: usize, hard: usize, emergency: usize) -> Self {
+        let soft = soft as u64;
+        let hard = (hard as u64).max(soft);
+        let emergency = (emergency as u64).max(hard);
+        PressureGauge {
+            soft,
+            hard,
+            emergency,
+            count: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            rung: AtomicU8::new(PressureRung::Normal as u8),
+        }
+    }
+
+    /// A permanently-disabled gauge (every update is a no-op).
+    pub fn disabled() -> Self {
+        Self::new(0, 0, 0)
+    }
+
+    /// Whether the gauge is live (a non-zero soft watermark).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.soft > 0
+    }
+
+    /// Actionable unreclaimed nodes (retired − freed − quarantined).
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Nodes currently parked in the stalled-reader quarantine.
+    #[inline]
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// The currently settled escalation rung.
+    #[inline]
+    pub fn rung(&self) -> PressureRung {
+        PressureRung::from_u8(self.rung.load(Ordering::Relaxed))
+    }
+
+    /// The emergency watermark after normalization (test observability,
+    /// chaos-harness bounds).
+    #[inline]
+    pub fn emergency_watermark(&self) -> u64 {
+        self.emergency
+    }
+
+    /// Nodes sealed into a retire list. Returns the upward transition, if
+    /// this update caused one.
+    #[inline]
+    pub fn on_retired(&self, n: usize) -> Option<Escalation> {
+        if !self.enabled() || n == 0 {
+            return None;
+        }
+        self.count.fetch_add(n as u64, Ordering::Relaxed);
+        self.settle()
+    }
+
+    /// Nodes freed (deallocation function ran, or poisoned into the UAF
+    /// quarantine). De-escalates silently.
+    #[inline]
+    pub fn on_freed(&self, n: usize) {
+        if !self.enabled() || n == 0 {
+            return;
+        }
+        saturating_sub(&self.count, n as u64);
+        let _ = self.settle();
+    }
+
+    /// Nodes moved from a retire list into the stalled-reader quarantine:
+    /// they leave the actionable count but stay accounted (struct docs).
+    #[inline]
+    pub fn on_quarantined(&self, n: usize) {
+        if !self.enabled() || n == 0 {
+            return;
+        }
+        self.quarantined.fetch_add(n as u64, Ordering::Relaxed);
+        saturating_sub(&self.count, n as u64);
+        let _ = self.settle();
+    }
+
+    /// Nodes released from the quarantine back into a retire list (their
+    /// blocker advanced or was reaped). They become actionable again;
+    /// a re-escalation here is reported like any other.
+    #[inline]
+    pub fn on_unquarantined(&self, n: usize) -> Option<Escalation> {
+        if !self.enabled() || n == 0 {
+            return None;
+        }
+        saturating_sub(&self.quarantined, n as u64);
+        self.count.fetch_add(n as u64, Ordering::Relaxed);
+        self.settle()
+    }
+
+    /// Watermark that admits `r` (callers guarantee `r > Normal`).
+    fn watermark(&self, r: PressureRung) -> u64 {
+        match r {
+            PressureRung::Normal => 0,
+            PressureRung::Soft => self.soft,
+            PressureRung::Hard => self.hard,
+            PressureRung::Emergency => self.emergency,
+        }
+    }
+
+    /// The rung a count of `c` settles to from `cur`: escalation is
+    /// immediate at each watermark; de-escalation from `r` requires
+    /// falling below ⅞ of `r`'s watermark (hysteresis, module docs).
+    fn target_for(&self, c: u64, cur: PressureRung) -> PressureRung {
+        let up = if c >= self.emergency {
+            PressureRung::Emergency
+        } else if c >= self.hard {
+            PressureRung::Hard
+        } else if c >= self.soft {
+            PressureRung::Soft
+        } else {
+            PressureRung::Normal
+        };
+        if up >= cur {
+            return up;
+        }
+        let mut r = cur;
+        while r > up {
+            let wm = self.watermark(r);
+            if c >= wm - wm / 8 {
+                break;
+            }
+            r = r.step_down();
+        }
+        r
+    }
+
+    /// Settles the rung against the current count; reports an upward
+    /// transition to exactly one caller (the CAS winner).
+    fn settle(&self) -> Option<Escalation> {
+        loop {
+            let cur = self.rung();
+            let target = self.target_for(self.count.load(Ordering::Relaxed), cur);
+            if target == cur {
+                return None;
+            }
+            if self
+                .rung
+                .compare_exchange(
+                    cur as u8,
+                    target as u8,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return (target > cur).then_some(Escalation {
+                    from: cur,
+                    to: target,
+                });
+            }
+        }
+    }
+}
+
+/// `a -= b`, saturating at zero (mirrors the stats shards' tolerance for
+/// frees observed before their matching seal).
+fn saturating_sub(a: &AtomicU64, b: u64) {
+    let _ = a.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(b))
+    });
+}
+
+/// Per-participant stalled-reader detector: a reclaimer feeds each pass's
+/// observed reservation word per tid; a word that stays unchanged (and
+/// non-idle) across [`STALLED_AFTER_PASSES`] passes marks its owner
+/// stalled. Word `0` means "idle/quiescent" and resets the streak —
+/// callers normalize their scheme's idle sentinel (EBR's `u64::MAX`
+/// quiescent epoch, HE's empty slots) to `0`.
+///
+/// Racing observers only make ages fuzzy (a streak may be double-counted
+/// or reset late); stall detection is a pacing heuristic and never a
+/// safety predicate, so that is harmless.
+pub struct StallTracker {
+    slots: Box<[StallSlot]>,
+}
+
+struct StallSlot {
+    word: AtomicU64,
+    age: AtomicU32,
+}
+
+impl StallTracker {
+    /// A tracker for `n` participants, all idle.
+    pub fn new(n: usize) -> Self {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || StallSlot {
+            word: AtomicU64::new(0),
+            age: AtomicU32::new(0),
+        });
+        StallTracker {
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Records one pass's observation of `tid`'s reservation word and
+    /// returns its updated age (consecutive passes unchanged). `0` = idle.
+    pub fn observe(&self, tid: usize, word: u64) -> u32 {
+        let s = &self.slots[tid];
+        if word == 0 {
+            s.word.store(0, Ordering::Relaxed);
+            s.age.store(0, Ordering::Relaxed);
+            return 0;
+        }
+        if s.word.load(Ordering::Relaxed) == word {
+            s.age.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            s.word.store(word, Ordering::Relaxed);
+            s.age.store(0, Ordering::Relaxed);
+            0
+        }
+    }
+
+    /// Whether `tid`'s last observation chain qualifies as stalled.
+    pub fn is_stalled(&self, tid: usize) -> bool {
+        self.slots[tid].age.load(Ordering::Relaxed) >= STALLED_AFTER_PASSES
+    }
+
+    /// Forgets `tid`'s history (unregister / reap).
+    pub fn clear(&self, tid: usize) {
+        self.slots[tid].word.store(0, Ordering::Relaxed);
+        self.slots[tid].age.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::Strategy as _;
+
+    fn gauge() -> PressureGauge {
+        PressureGauge::new(100, 200, 400)
+    }
+
+    #[test]
+    fn disabled_gauge_is_inert() {
+        let g = PressureGauge::disabled();
+        assert!(!g.enabled());
+        assert_eq!(g.on_retired(1_000_000), None);
+        assert_eq!(g.count(), 0, "disabled gauge counts nothing");
+        assert_eq!(g.rung(), PressureRung::Normal);
+    }
+
+    #[test]
+    fn watermarks_normalize_monotone() {
+        let g = PressureGauge::new(500, 100, 50);
+        assert_eq!(g.on_retired(499), None);
+        let e = g.on_retired(1).expect("trip at the lifted watermark");
+        // Hard/emergency below soft are lifted *to* soft, so all three
+        // rungs share one watermark and trip together.
+        assert_eq!(e.from, PressureRung::Normal);
+        assert_eq!(e.to, PressureRung::Emergency);
+        assert!(e.crossed(PressureRung::Soft));
+        assert!(e.crossed(PressureRung::Hard));
+        assert_eq!(g.emergency_watermark(), 500);
+    }
+
+    #[test]
+    fn rungs_escalate_at_watermarks_and_report_each_crossing() {
+        let g = gauge();
+        assert_eq!(g.on_retired(99), None);
+        let e = g.on_retired(1).expect("soft trip at exactly the watermark");
+        assert_eq!(e.to, PressureRung::Soft);
+        assert!(e.crossed(PressureRung::Soft));
+        assert!(!e.crossed(PressureRung::Hard));
+        let e = g.on_retired(300).expect("jump straight to emergency");
+        assert_eq!(e.from, PressureRung::Soft);
+        assert_eq!(e.to, PressureRung::Emergency);
+        assert!(e.crossed(PressureRung::Hard), "pass-through rung counted");
+        assert!(e.crossed(PressureRung::Emergency));
+        assert!(!e.crossed(PressureRung::Soft), "already-held rung is not");
+    }
+
+    #[test]
+    fn boundary_hover_does_not_retrip() {
+        let g = gauge();
+        assert!(g.on_retired(100).is_some(), "first trip");
+        // Oscillate one node around the watermark: hysteresis holds the
+        // rung, so no de-escalation and no second trip.
+        for _ in 0..10 {
+            g.on_freed(1);
+            assert_eq!(g.rung(), PressureRung::Soft, "⅞ band holds the rung");
+            assert_eq!(g.on_retired(1), None, "no re-trip while held");
+        }
+        // Dropping below ⅞ of the watermark releases it...
+        g.on_freed(20);
+        assert_eq!(g.rung(), PressureRung::Normal);
+        // ...and the next crossing is a genuine new trip.
+        assert!(g.on_retired(20).is_some());
+    }
+
+    #[test]
+    fn freeing_sweep_deescalates_instantly_and_monotonically() {
+        let g = gauge();
+        g.on_retired(400);
+        assert_eq!(g.rung(), PressureRung::Emergency);
+        // A big freeing sweep drops straight past every rung.
+        g.on_freed(400);
+        assert_eq!(g.rung(), PressureRung::Normal);
+        assert_eq!(g.count(), 0);
+        // Partial relief de-escalates only as far as the count justifies.
+        g.on_retired(399);
+        assert_eq!(g.rung(), PressureRung::Hard);
+        g.on_freed(250); // count 149: below ⅞·200, above ⅞·100
+        assert_eq!(g.rung(), PressureRung::Soft, "one rung at a time");
+    }
+
+    #[test]
+    fn quarantine_moves_nodes_out_of_the_actionable_count() {
+        let g = gauge();
+        g.on_retired(400);
+        assert_eq!(g.rung(), PressureRung::Emergency);
+        g.on_quarantined(350);
+        assert_eq!(g.count(), 50);
+        assert_eq!(g.quarantined(), 350);
+        assert_eq!(g.rung(), PressureRung::Normal, "quarantine drains gauge");
+        // Release makes them actionable again — and may re-escalate.
+        let e = g.on_unquarantined(350).expect("release re-escalates");
+        assert_eq!(e.to, PressureRung::Emergency);
+        assert_eq!(g.quarantined(), 0);
+        assert_eq!(g.count(), 400);
+    }
+
+    #[test]
+    fn frees_observed_before_seals_saturate() {
+        let g = gauge();
+        g.on_freed(10);
+        assert_eq!(g.count(), 0, "gauge never goes negative");
+        g.on_unquarantined(5);
+        assert_eq!(g.quarantined(), 0);
+        assert_eq!(g.count(), 5);
+    }
+
+    #[test]
+    fn stall_tracker_ages_only_unchanged_nonidle_words() {
+        let t = StallTracker::new(2);
+        assert_eq!(t.observe(0, 7), 0, "first sighting starts the streak");
+        assert_eq!(t.observe(0, 7), 1);
+        assert_eq!(t.observe(0, 7), 2);
+        assert!(!t.is_stalled(0));
+        assert_eq!(t.observe(0, 7), 3);
+        assert!(t.is_stalled(0), "stalled after STALLED_AFTER_PASSES");
+        // An advancing word resets the streak.
+        assert_eq!(t.observe(0, 8), 0);
+        assert!(!t.is_stalled(0));
+        // Idle (word 0) resets too, and never ages.
+        for _ in 0..10 {
+            assert_eq!(t.observe(1, 0), 0);
+        }
+        assert!(!t.is_stalled(1));
+        // clear() forgets history.
+        t.observe(0, 9);
+        t.observe(0, 9);
+        t.clear(0);
+        assert_eq!(t.observe(0, 9), 0, "cleared slot restarts from scratch");
+    }
+
+    /// One gauge mutation in the conservation property test.
+    #[derive(Clone, Copy, Debug)]
+    enum GaugeOp {
+        Retire(u16),
+        Free(u16),
+        Quarantine(u16),
+        Unquarantine(u16),
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+        /// Arbitrary retire/free/quarantine interleavings: the gauge never
+        /// goes negative, never leaks (count + quarantined tracks the
+        /// shadow ledger exactly when ops are well-formed), and the rung
+        /// always matches what the settled count justifies.
+        #[test]
+        fn gauge_conserves_under_arbitrary_interleavings(
+            ops in proptest::collection::vec(
+                proptest::prop_oneof![
+                    (0u16..500).prop_map(GaugeOp::Retire),
+                    (0u16..500).prop_map(GaugeOp::Free),
+                    (0u16..500).prop_map(GaugeOp::Quarantine),
+                    (0u16..500).prop_map(GaugeOp::Unquarantine),
+                ],
+                1..200,
+            )
+        ) {
+            let g = PressureGauge::new(64, 256, 1024);
+            // Shadow ledger of well-formed traffic: ops are clamped to
+            // what is actually outstanding, the way real sweeps only free
+            // or quarantine nodes that exist.
+            let (mut count, mut quarantined) = (0u64, 0u64);
+            for op in ops {
+                match op {
+                    GaugeOp::Retire(n) => {
+                        g.on_retired(n as usize);
+                        count += n as u64;
+                    }
+                    GaugeOp::Free(n) => {
+                        let n = (n as u64).min(count);
+                        g.on_freed(n as usize);
+                        count -= n;
+                    }
+                    GaugeOp::Quarantine(n) => {
+                        let n = (n as u64).min(count);
+                        g.on_quarantined(n as usize);
+                        count -= n;
+                        quarantined += n;
+                    }
+                    GaugeOp::Unquarantine(n) => {
+                        let n = (n as u64).min(quarantined);
+                        g.on_unquarantined(n as usize);
+                        quarantined -= n;
+                        count += n;
+                    }
+                }
+                assert!(g.count() == count, "gauge neither leaks nor underflows");
+                assert!(g.quarantined() == quarantined);
+                // The settled rung is always one the count admits under
+                // hysteresis: at or above its ⅞ release bound, and below
+                // the next watermark up.
+                let r = g.rung();
+                let wm = |r: PressureRung| match r {
+                    PressureRung::Normal => 0u64,
+                    PressureRung::Soft => 64,
+                    PressureRung::Hard => 256,
+                    PressureRung::Emergency => 1024,
+                };
+                let lower = wm(r) - wm(r) / 8;
+                assert!(count >= lower, "rung {r:?} held below its release bound");
+                if r < PressureRung::Emergency {
+                    let next = PressureRung::from_u8(r as u8 + 1);
+                    assert!(count < wm(next), "count {count} demands a higher rung than {r:?}");
+                }
+            }
+        }
+    }
+}

@@ -15,10 +15,14 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
-use crate::base::{free_before_epoch, push_retired, DomainBase, EpochClocks, RetireSlot};
+use crate::base::{
+    free_before_epoch_with_stalled, push_retired, scan_epoch_reservations, DomainBase, EpochClocks,
+    RelaxedMin, RetireSlot,
+};
 use crate::config::SmrConfig;
 use crate::controller::{PassAction, PassController};
 use crate::header::Retired;
+use crate::pressure::{PressureRung, HARD_RETRY_LIMIT};
 use crate::smr::{ReadResult, Smr};
 use crate::stats::DomainStats;
 
@@ -49,7 +53,14 @@ impl Ebr {
     /// sweep. Flush/unregister passes are always full — draining is never
     /// thinned, so the first freeable sweep resets the decay instantly.
     fn reclaim_epoch_freeable(&self, tid: usize, forced: bool) {
-        let action = if forced {
+        let rung = self.base.stats.pressure().rung();
+        if rung >= PressureRung::Soft {
+            // Ladder rung 1: accumulating garbage overrides the barren-pass
+            // economy — every trigger pays a full scan until the gauge
+            // de-escalates.
+            self.ctl.cancel_decay();
+        }
+        let action = if forced || rung >= PressureRung::Soft {
             self.ctl.begin_forced_pass()
         } else {
             self.ctl.begin_pass()
@@ -63,14 +74,23 @@ impl Ebr {
         self.clocks.advance_max_scan(tid);
         // Order the announcement scan after this thread's preceding unlinks.
         fence(Ordering::SeqCst);
-        let min = self.min_reserved_epoch();
+        let (min, relaxed) = self.scan_reserved_epochs();
         // SAFETY: tid ownership per the registration contract.
         let list = unsafe { self.threads[tid].retire.get() };
+        // Ladder rung 3 unwind: parked blocks whose blocker's announcement
+        // moved (or whose blocker is gone) rejoin this list and are
+        // re-filtered against *current* reservations by the sweep below.
+        self.base.reclaim_released_quarantine(tid, list, |t, w| {
+            self.reserved[t].load(Ordering::SeqCst) == w
+        });
         shard.observe_retire_len(list.len());
         // SAFETY: nodes retired before every announced epoch are
         // unreachable — no thread that could hold a reference is still in
-        // its operation. Block-granular in-place sweep: no allocation.
-        let freed = unsafe { free_before_epoch(&self.base, tid, list, min) };
+        // its operation. Block-granular in-place sweep: no allocation. The
+        // relaxed floor (emergency rung only) never frees: it parks blocks
+        // pinned solely by the known-stalled blocker.
+        let freed =
+            unsafe { free_before_epoch_with_stalled(&self.base, tid, list, min, relaxed.as_ref()) };
         if self.ctl.note_pass_outcome(freed) {
             shard.epoch_decay_steps.fetch_add(1, Ordering::Relaxed);
         }
@@ -84,6 +104,13 @@ impl Ebr {
             }
         }
         min
+    }
+
+    /// Stall-aware announcement scan (see [`scan_epoch_reservations`]).
+    fn scan_reserved_epochs(&self) -> (u64, Option<RelaxedMin>) {
+        scan_epoch_reservations(&self.base, QUIESCENT, |t| {
+            self.reserved[t].load(Ordering::SeqCst)
+        })
     }
 
     /// Current minimum announced epoch (test/diagnostic use).
@@ -176,6 +203,19 @@ impl Smr for Ebr {
         let list = unsafe { self.threads[tid].retire.get() };
         if push_retired(&self.base, tid, list, retired) {
             self.reclaim_epoch_freeable(tid, false);
+            // Ladder rung 2: the hard watermark converts retirement into
+            // synchronous reclamation — bounded forced retries with a
+            // growing spin backoff, giving laggards a window to advance.
+            let mut tries = 0u32;
+            while tries < HARD_RETRY_LIMIT
+                && self.base.stats.pressure().rung() >= PressureRung::Hard
+            {
+                for _ in 0..(64u32 << tries) {
+                    core::hint::spin_loop();
+                }
+                self.reclaim_epoch_freeable(tid, true);
+                tries += 1;
+            }
         }
     }
 

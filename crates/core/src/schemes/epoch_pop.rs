@@ -22,13 +22,14 @@ use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
 use crate::base::{
-    free_before_epoch, free_unreserved, push_retired, DomainBase, EpochClocks, RetireSlot,
-    ScratchSlot,
+    free_before_epoch_with_stalled, free_unreserved, push_retired, scan_epoch_reservations,
+    DomainBase, EpochClocks, RetireSlot, ScratchSlot,
 };
 use crate::config::SmrConfig;
 use crate::controller::{PassAction, PassController};
 use crate::header::{unmark_word, Retired};
 use crate::pop_shared::PopShared;
+use crate::pressure::{PressureRung, HARD_RETRY_LIMIT};
 use crate::smr::{ReadResult, Smr};
 use crate::stats::DomainStats;
 
@@ -60,7 +61,12 @@ impl EpochPop {
     /// no allocation. Retire-triggered passes (`forced = false`) honor the
     /// controller's decay thinning; flush passes are always full.
     fn reclaim_epoch_freeable(&self, tid: usize, forced: bool) {
-        let action = if forced {
+        let rung = self.base.stats.pressure().rung();
+        if rung >= PressureRung::Soft {
+            // Ladder rung 1: pressure overrides the barren-pass economy.
+            self.ctl.cancel_decay();
+        }
+        let action = if forced || rung >= PressureRung::Soft {
             self.ctl.begin_forced_pass()
         } else {
             self.ctl.begin_pass()
@@ -74,18 +80,22 @@ impl EpochPop {
         // only ticks a private clock).
         self.clocks.advance_max_scan(tid);
         fence(Ordering::SeqCst);
-        let mut min = u64::MAX;
-        for t in 0..self.base.cfg.max_threads {
-            if self.base.is_registered(t) {
-                min = min.min(self.reserved_epoch[t].load(Ordering::SeqCst));
-            }
-        }
+        let (min, relaxed) = scan_epoch_reservations(&self.base, QUIESCENT, |t| {
+            self.reserved_epoch[t].load(Ordering::SeqCst)
+        });
         // SAFETY: tid ownership per the registration contract.
         let list = unsafe { self.threads[tid].retire.get() };
+        // Ladder rung 3 unwind: blocks parked on a blocker that moved (or
+        // was reaped) rejoin the list for re-filtering below.
+        self.base.reclaim_released_quarantine(tid, list, |t, w| {
+            self.reserved_epoch[t].load(Ordering::SeqCst) == w
+        });
         shard.observe_retire_len(list.len());
         // SAFETY: nodes retired before every announced epoch are
-        // unreachable.
-        let freed = unsafe { free_before_epoch(&self.base, tid, list, min) };
+        // unreachable. The relaxed floor never frees: it parks blocks
+        // pinned solely by the known-stalled blocker.
+        let freed =
+            unsafe { free_before_epoch_with_stalled(&self.base, tid, list, min, relaxed.as_ref()) };
         if self.ctl.note_pass_outcome(freed) {
             shard.epoch_decay_steps.fetch_add(1, Ordering::Relaxed);
         }
@@ -258,6 +268,21 @@ impl Smr for EpochPop {
             let still = unsafe { self.threads[tid].retire.get() }.len();
             if still >= self.base.cfg.pop_c * self.base.cfg.reclaim_freq {
                 self.reclaim_pop_freeable(tid);
+            }
+            // Ladder rung 2: the hard watermark converts retirement into
+            // synchronous reclamation — nudge the suspects whose
+            // conservatively-kept reservations inflate the keep set, then
+            // bounded forced retries with a growing spin backoff.
+            let mut tries = 0u32;
+            while tries < HARD_RETRY_LIMIT
+                && self.base.stats.pressure().rung() >= PressureRung::Hard
+            {
+                self.pop.reping_suspects(tid);
+                for _ in 0..(64u32 << tries) {
+                    core::hint::spin_loop();
+                }
+                self.reclaim_epoch_freeable(tid, true);
+                tries += 1;
             }
         }
     }

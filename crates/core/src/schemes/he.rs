@@ -13,10 +13,11 @@ use std::sync::Arc;
 use crossbeam_utils::CachePadded;
 
 use crate::base::{
-    collect_slot_words_into, free_era_unreserved, push_retired, DomainBase, RetireSlot, ScratchSlot,
+    free_era_unreserved_with_stalled, push_retired, DomainBase, RetireSlot, ScratchSlot,
 };
 use crate::config::SmrConfig;
 use crate::header::Retired;
+use crate::pressure::{PressureRung, HARD_RETRY_LIMIT, STALLED_AFTER_PASSES};
 use crate::smr::{ReadResult, Smr};
 use crate::stats::DomainStats;
 
@@ -45,6 +46,59 @@ impl HazardEra {
         tid * self.base.cfg.slots + slot
     }
 
+    /// Stall-aware era collection: gathers the union of published eras
+    /// into `reserved` (sorted, deduplicated) while feeding each thread's
+    /// minimum published era into the domain stall tracker. Under the
+    /// emergency rung the non-stalled threads' eras are additionally split
+    /// into `active`, and the stalled reader with the lowest pinned era is
+    /// elected blocker.
+    fn collect_eras_stalled(
+        &self,
+        reserved: &mut Vec<u64>,
+        active: &mut Vec<u64>,
+    ) -> Option<(usize, u64)> {
+        let emergency = self.base.stats.pressure().rung() >= PressureRung::Emergency;
+        reserved.clear();
+        active.clear();
+        let mut blocker: Option<(usize, u64)> = None;
+        for t in 0..self.base.cfg.max_threads {
+            if !self.base.is_registered(t) {
+                continue;
+            }
+            // Signature = minimum published era (NONE == 0 means idle): a
+            // stalled reader re-publishing the same pinned era keeps it
+            // constant; any progress moves it.
+            let mut sig = 0u64;
+            let start = reserved.len();
+            for s in 0..self.base.cfg.slots {
+                let w = self.shared[self.idx(t, s)].load(Ordering::Acquire);
+                if w != 0 {
+                    reserved.push(w);
+                    if sig == 0 || w < sig {
+                        sig = w;
+                    }
+                }
+            }
+            let stalled = self.base.stall.observe(t, sig) >= STALLED_AFTER_PASSES && sig != 0;
+            if !emergency {
+                continue;
+            }
+            if stalled {
+                if blocker.is_none_or(|(_, bw)| sig < bw) {
+                    blocker = Some((t, sig));
+                }
+            } else {
+                let end = reserved.len();
+                active.extend_from_within(start..end);
+            }
+        }
+        reserved.sort_unstable();
+        reserved.dedup();
+        active.sort_unstable();
+        active.dedup();
+        blocker
+    }
+
     fn reclaim(&self, tid: usize) {
         // Alg. 4 line 21: advance the era so nodes retired from now on have
         // disjoint lifespans from long-held reservations.
@@ -52,19 +106,25 @@ impl HazardEra {
         fence(Ordering::SeqCst);
         // SAFETY: tid ownership per the registration contract.
         let scratch = unsafe { self.threads[tid].scratch.get() };
-        // NONE == 0, so the generic non-zero-word scan applies to eras too.
-        collect_slot_words_into(
-            &self.base,
-            self.base.cfg.slots,
-            &self.shared,
-            &mut scratch.reserved,
-        );
+        let blocker = self.collect_eras_stalled(&mut scratch.reserved, &mut scratch.active);
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
+        // Ladder rung 3 unwind: blocks parked on an era the blocker no
+        // longer publishes (or a reaped blocker) rejoin the list and are
+        // re-filtered against the full union below.
+        self.base.reclaim_released_quarantine(tid, list, |t, w| {
+            (0..self.base.cfg.slots)
+                .any(|s| self.shared[self.idx(t, s)].load(Ordering::Acquire) == w)
+        });
         self.base.stats.shard(tid).observe_retire_len(list.len());
+        let active = blocker.map(|(t, w)| (scratch.active.as_slice(), t, w));
         // SAFETY: `reserved` contains every published era; a node whose
         // lifespan misses all of them cannot be reachable from any reader.
-        unsafe { free_era_unreserved(&self.base, tid, list, &scratch.reserved) };
+        // The active split never frees: blocks pinned only by the stalled
+        // blocker's eras are parked, not freed.
+        unsafe {
+            free_era_unreserved_with_stalled(&self.base, tid, list, &scratch.reserved, active)
+        };
     }
 }
 
@@ -154,6 +214,19 @@ impl Smr for HazardEra {
         let list = unsafe { self.threads[tid].retire.get() };
         if push_retired(&self.base, tid, list, retired) {
             self.reclaim(tid);
+            // Ladder rung 2: bounded synchronous retries while the hard
+            // watermark stays breached (HE has no pass controller, so the
+            // soft rung is inert here; the hard rung is the first to act).
+            let mut tries = 0u32;
+            while tries < HARD_RETRY_LIMIT
+                && self.base.stats.pressure().rung() >= PressureRung::Hard
+            {
+                for _ in 0..(64u32 << tries) {
+                    core::hint::spin_loop();
+                }
+                self.reclaim(tid);
+                tries += 1;
+            }
         }
     }
 

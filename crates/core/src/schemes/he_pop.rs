@@ -16,10 +16,13 @@ use crossbeam_utils::CachePadded;
 use pop_runtime::signal::register_publisher;
 use pop_runtime::PublisherHandle;
 
-use crate::base::{free_era_unreserved, push_retired, DomainBase, RetireSlot, ScratchSlot};
+use crate::base::{
+    free_era_unreserved_with_stalled, push_retired, DomainBase, RetireSlot, ScratchSlot,
+};
 use crate::config::SmrConfig;
 use crate::header::Retired;
 use crate::pop_shared::PopShared;
+use crate::pressure::{PressureRung, HARD_RETRY_LIMIT, STALLED_AFTER_PASSES};
 use crate::smr::{ReadResult, Smr};
 use crate::stats::DomainStats;
 
@@ -55,13 +58,44 @@ impl HazardEraPop {
             unsafe { self.threads[t].retire.get() }
         });
         self.pop.collect_reserved_into(&mut scratch.reserved);
+        // Stall tracking over *published* words: a pinged reader stuck on
+        // one era keeps republishing the same signature. Under the
+        // emergency rung, split out the non-stalled threads' reservations
+        // and elect the stalled reader with the lowest pinned era.
+        let emergency = self.base.stats.pressure().rung() >= PressureRung::Emergency;
+        let mut blocker: Option<(usize, u64)> = None;
+        for t in 0..self.base.cfg.max_threads {
+            if !self.base.is_registered(t) {
+                continue;
+            }
+            let sig = self.pop.shared_word_signature(t);
+            let stalled = self.base.stall.observe(t, sig) >= STALLED_AFTER_PASSES && sig != 0;
+            if emergency && stalled && blocker.is_none_or(|(_, bw)| sig < bw) {
+                blocker = Some((t, sig));
+            }
+        }
+        let active = blocker.map(|(bt, bw)| {
+            self.pop
+                .collect_reserved_into_filtered(&mut scratch.active, |t| {
+                    !self.base.stall.is_stalled(t)
+                });
+            (scratch.active.as_slice(), bt, bw)
+        });
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
+        // Ladder rung 3 unwind: blocks parked on an era the blocker no
+        // longer publishes (or a reaped blocker) rejoin the list and are
+        // re-filtered against the full union below.
+        self.base
+            .reclaim_released_quarantine(tid, list, |t, w| self.pop.holds_shared_word(t, w));
         shard.observe_retire_len(list.len());
         // SAFETY: all threads published, deregistered, or were provably
         // quiescent holding no era reservations; `reserved` holds every era
-        // any thread may rely on.
-        unsafe { free_era_unreserved(&self.base, tid, list, &scratch.reserved) };
+        // any thread may rely on. The active split never frees: blocks
+        // pinned only by the stalled blocker's eras are parked, not freed.
+        unsafe {
+            free_era_unreserved_with_stalled(&self.base, tid, list, &scratch.reserved, active)
+        };
     }
 }
 
@@ -164,6 +198,20 @@ impl Smr for HazardEraPop {
         let list = unsafe { self.threads[tid].retire.get() };
         if push_retired(&self.base, tid, list, retired) {
             self.pop_reclaim(tid);
+            // Ladder rung 2: nudge suspects (whose conservatively-kept
+            // reservations inflate the keep set), then bounded synchronous
+            // retries while the hard watermark stays breached.
+            let mut tries = 0u32;
+            while tries < HARD_RETRY_LIMIT
+                && self.base.stats.pressure().rung() >= PressureRung::Hard
+            {
+                self.pop.reping_suspects(tid);
+                for _ in 0..(64u32 << tries) {
+                    core::hint::spin_loop();
+                }
+                self.pop_reclaim(tid);
+                tries += 1;
+            }
         }
     }
 

@@ -14,11 +14,13 @@ use std::sync::Arc;
 use crossbeam_utils::CachePadded;
 
 use crate::base::{
-    push_retired, sweep_retire_list, DomainBase, EpochClocks, RetireSlot, ScratchSlot,
+    full_mask, push_retired, sweep_blocks, BlockPlan, DomainBase, EpochClocks, RetireSlot,
+    ScratchSlot,
 };
 use crate::config::SmrConfig;
 use crate::controller::{PassAction, PassController};
 use crate::header::Retired;
+use crate::pressure::{PressureRung, HARD_RETRY_LIMIT, STALLED_AFTER_PASSES};
 use crate::smr::{ReadResult, Smr};
 use crate::stats::DomainStats;
 
@@ -43,24 +45,63 @@ pub struct Ibr {
 }
 
 impl Ibr {
-    fn collect_intervals_into(&self, out: &mut Vec<(u64, u64)>) {
+    /// Stall-aware interval collection: every registered lower bound feeds
+    /// the domain stall tracker (ages accrue before the emergency rung
+    /// engages). Under the emergency rung the non-stalled intervals are
+    /// split into `active` and the stalled reader with the lowest pinned
+    /// bound is elected blocker; otherwise `active` is left empty and no
+    /// blocker is returned.
+    fn collect_intervals_into(
+        &self,
+        out: &mut Vec<(u64, u64)>,
+        active: &mut Vec<(u64, u64)>,
+    ) -> Option<(usize, u64)> {
+        let emergency = self.base.stats.pressure().rung() >= PressureRung::Emergency;
         out.clear();
+        active.clear();
+        let mut blocker: Option<(usize, u64)> = None;
         for t in 0..self.base.cfg.max_threads {
             if !self.base.is_registered(t) {
                 continue;
             }
             let lo = self.lower[t].load(Ordering::SeqCst);
             let hi = self.upper[t].load(Ordering::SeqCst);
-            if lo != QUIESCENT {
-                out.push((lo, hi));
+            // Quiescent is idle, never stalled; live lower bounds shift by
+            // one so a reader pinned at epoch 0 stays distinguishable.
+            let sig = if lo == QUIESCENT {
+                0
+            } else {
+                lo.wrapping_add(1)
+            };
+            let stalled =
+                self.base.stall.observe(t, sig) >= STALLED_AFTER_PASSES && lo != QUIESCENT;
+            if lo == QUIESCENT {
+                continue;
+            }
+            out.push((lo, hi));
+            if !emergency {
+                continue;
+            }
+            if stalled {
+                if blocker.is_none_or(|(_, bw)| lo < bw) {
+                    blocker = Some((t, lo));
+                }
+            } else {
+                active.push((lo, hi));
             }
         }
+        blocker
     }
 
     /// One interval pass. Retire-triggered passes honor decay thinning;
     /// flush/unregister passes are always full.
     fn reclaim(&self, tid: usize, forced: bool) {
-        let action = if forced {
+        let rung = self.base.stats.pressure().rung();
+        if rung >= PressureRung::Soft {
+            // Ladder rung 1: pressure overrides the barren-pass economy.
+            self.ctl.cancel_decay();
+        }
+        let action = if forced || rung >= PressureRung::Soft {
             self.ctl.begin_forced_pass()
         } else {
             self.ctl.begin_pass()
@@ -74,20 +115,51 @@ impl Ibr {
         fence(Ordering::SeqCst);
         // SAFETY: tid ownership per the registration contract.
         let scratch = unsafe { self.threads[tid].scratch.get() };
-        self.collect_intervals_into(&mut scratch.intervals);
+        let blocker =
+            self.collect_intervals_into(&mut scratch.intervals, &mut scratch.active_intervals);
         let intervals = &scratch.intervals;
+        let active = &scratch.active_intervals;
         // SAFETY: tid ownership.
         let list = unsafe { self.threads[tid].retire.get() };
+        // Ladder rung 3 unwind: blocks parked on a lower bound that moved
+        // (or a reaped blocker) rejoin the list for re-filtering below.
+        self.base.reclaim_released_quarantine(tid, list, |t, w| {
+            self.lower[t].load(Ordering::SeqCst) == w
+        });
         self.base.stats.shard(tid).observe_retire_len(list.len());
         // SAFETY: a node whose lifespan intersects no announced interval
-        // cannot have been acquired by any thread.
+        // cannot have been acquired by any thread. Quarantine (emergency
+        // rung) parks blocks that some interval pins but no *non-stalled*
+        // interval touches — the envelope test is sound because every
+        // member lifespan lies inside the block envelope.
         let freed = unsafe {
-            sweep_retire_list(&self.base, tid, list, |r| {
-                let birth = r.header().birth_era;
-                let retire = r.header().retire_era();
-                intervals
-                    .iter()
-                    .any(|&(lo, hi)| birth <= hi && retire >= lo)
+            sweep_blocks(&self.base, tid, list, |b| {
+                let n = b.len();
+                let mut mask = 0u32;
+                for (i, r) in b.nodes().iter().enumerate() {
+                    let birth = r.header().birth_era;
+                    let retire = r.header().retire_era();
+                    if intervals
+                        .iter()
+                        .any(|&(lo, hi)| birth <= hi && retire >= lo)
+                    {
+                        mask |= 1u32 << i;
+                    }
+                }
+                if mask & full_mask(n) == 0 {
+                    // Fully freeable: never quarantine what can be freed.
+                    return BlockPlan::Mask(0);
+                }
+                if let Some((blocker_tid, word)) = blocker {
+                    let (min_birth, _, max_retire) = b.era_ranges();
+                    if active
+                        .iter()
+                        .all(|&(lo, hi)| !(min_birth <= hi && max_retire >= lo))
+                    {
+                        return BlockPlan::Quarantine { blocker_tid, word };
+                    }
+                }
+                BlockPlan::Mask(mask)
             })
         };
         if self.ctl.note_pass_outcome(freed) {
@@ -201,6 +273,18 @@ impl Smr for Ibr {
         let list = unsafe { self.threads[tid].retire.get() };
         if push_retired(&self.base, tid, list, retired) {
             self.reclaim(tid, false);
+            // Ladder rung 2: bounded synchronous retries while the hard
+            // watermark stays breached, with a growing spin backoff.
+            let mut tries = 0u32;
+            while tries < HARD_RETRY_LIMIT
+                && self.base.stats.pressure().rung() >= PressureRung::Hard
+            {
+                for _ in 0..(64u32 << tries) {
+                    core::hint::spin_loop();
+                }
+                self.reclaim(tid, true);
+                tries += 1;
+            }
         }
     }
 

@@ -38,6 +38,8 @@ use core::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
+use crate::pressure::PressureGauge;
+
 /// One thread's private counter block (a single cache line pair).
 #[derive(Default)]
 pub struct ShardStats {
@@ -116,6 +118,23 @@ pub struct ShardStats {
     /// Faults injected on this domain's publish paths (the `PublishDelay`
     /// site; always 0 without the `fault-injection` feature).
     pub faults_injected: AtomicU64,
+    /// Upward crossings of the soft pressure watermark
+    /// ([`crate::pressure::PressureRung::Soft`]).
+    pub pressure_soft_trips: AtomicU64,
+    /// Upward crossings of the hard pressure watermark.
+    pub pressure_hard_trips: AtomicU64,
+    /// Upward crossings of the emergency pressure watermark.
+    pub pressure_emergency_trips: AtomicU64,
+    /// Sealed blocks moved into the stalled-reader quarantine (provably
+    /// pinned only by a known-stalled participant).
+    pub blocks_quarantined: AtomicU64,
+    /// Quarantined blocks released back into a retire list (their blocker
+    /// advanced, went quiescent, or was reaped).
+    pub blocks_unquarantined: AtomicU64,
+    /// Recycled retire-batch boxes returned to the allocator by free-pool
+    /// trimming (the [`crate::config::SmrConfig::free_pool_cap`] cap, or
+    /// pressure-driven trims to zero).
+    pub pool_blocks_trimmed: AtomicU64,
 }
 
 impl ShardStats {
@@ -126,20 +145,40 @@ impl ShardStats {
     }
 }
 
-/// Event counters for one reclamation domain, sharded per thread.
+/// Event counters for one reclamation domain, sharded per thread, plus
+/// the domain's [`PressureGauge`] (a point-in-time level, not an event
+/// tally, so it lives beside the shards rather than inside them).
 pub struct DomainStats {
     /// `max_threads` per-tid shards plus one trailing overflow shard.
     shards: Box<[CachePadded<ShardStats>]>,
+    /// The domain's memory-pressure gauge (disabled unless constructed
+    /// with [`DomainStats::with_pressure`]).
+    pressure: PressureGauge,
 }
 
 impl DomainStats {
-    /// Creates counters for a domain of `max_threads` participants.
+    /// Creates counters for a domain of `max_threads` participants, with
+    /// a disabled pressure gauge (standalone/diagnostic use).
     pub fn new(max_threads: usize) -> Self {
+        Self::with_pressure(max_threads, PressureGauge::disabled())
+    }
+
+    /// Creates counters for a domain of `max_threads` participants with
+    /// the given pressure gauge (how `DomainBase` builds its stats from
+    /// the [`crate::config::SmrConfig`] watermarks).
+    pub fn with_pressure(max_threads: usize, pressure: PressureGauge) -> Self {
         let mut shards = Vec::with_capacity(max_threads + 1);
         shards.resize_with(max_threads + 1, CachePadded::default);
         DomainStats {
             shards: shards.into_boxed_slice(),
+            pressure,
         }
+    }
+
+    /// The domain's memory-pressure gauge.
+    #[inline]
+    pub fn pressure(&self) -> &PressureGauge {
+        &self.pressure
     }
 
     /// The counter block owned by domain thread `tid`.
@@ -272,6 +311,24 @@ impl DomainStats {
             out.faults_injected = out
                 .faults_injected
                 .wrapping_add(s.faults_injected.load(Ordering::Relaxed));
+            out.pressure_soft_trips = out
+                .pressure_soft_trips
+                .wrapping_add(s.pressure_soft_trips.load(Ordering::Relaxed));
+            out.pressure_hard_trips = out
+                .pressure_hard_trips
+                .wrapping_add(s.pressure_hard_trips.load(Ordering::Relaxed));
+            out.pressure_emergency_trips = out
+                .pressure_emergency_trips
+                .wrapping_add(s.pressure_emergency_trips.load(Ordering::Relaxed));
+            out.blocks_quarantined = out
+                .blocks_quarantined
+                .wrapping_add(s.blocks_quarantined.load(Ordering::Relaxed));
+            out.blocks_unquarantined = out
+                .blocks_unquarantined
+                .wrapping_add(s.blocks_unquarantined.load(Ordering::Relaxed));
+            out.pool_blocks_trimmed = out
+                .pool_blocks_trimmed
+                .wrapping_add(s.pool_blocks_trimmed.load(Ordering::Relaxed));
         }
         out
     }
@@ -334,6 +391,18 @@ pub struct StatsSnapshot {
     pub participants_reaped: u64,
     /// See [`ShardStats::faults_injected`].
     pub faults_injected: u64,
+    /// See [`ShardStats::pressure_soft_trips`].
+    pub pressure_soft_trips: u64,
+    /// See [`ShardStats::pressure_hard_trips`].
+    pub pressure_hard_trips: u64,
+    /// See [`ShardStats::pressure_emergency_trips`].
+    pub pressure_emergency_trips: u64,
+    /// See [`ShardStats::blocks_quarantined`].
+    pub blocks_quarantined: u64,
+    /// See [`ShardStats::blocks_unquarantined`].
+    pub blocks_unquarantined: u64,
+    /// See [`ShardStats::pool_blocks_trimmed`].
+    pub pool_blocks_trimmed: u64,
 }
 
 impl StatsSnapshot {
@@ -400,6 +469,48 @@ mod tests {
         assert_eq!(snap.pings_failed, 3);
         assert_eq!(snap.participants_reaped, 1);
         assert_eq!(snap.faults_injected, 5);
+    }
+
+    #[test]
+    fn pressure_counters_aggregate_across_shards() {
+        let s = DomainStats::new(2);
+        s.shard(0)
+            .pressure_soft_trips
+            .fetch_add(1, Ordering::Relaxed);
+        s.shard(1)
+            .pressure_hard_trips
+            .fetch_add(2, Ordering::Relaxed);
+        s.overflow()
+            .pressure_emergency_trips
+            .fetch_add(3, Ordering::Relaxed);
+        s.shard(0)
+            .blocks_quarantined
+            .fetch_add(4, Ordering::Relaxed);
+        s.shard(1)
+            .blocks_unquarantined
+            .fetch_add(5, Ordering::Relaxed);
+        s.overflow()
+            .pool_blocks_trimmed
+            .fetch_add(6, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.pressure_soft_trips, 1);
+        assert_eq!(snap.pressure_hard_trips, 2);
+        assert_eq!(snap.pressure_emergency_trips, 3);
+        assert_eq!(snap.blocks_quarantined, 4);
+        assert_eq!(snap.blocks_unquarantined, 5);
+        assert_eq!(snap.pool_blocks_trimmed, 6);
+    }
+
+    #[test]
+    fn default_stats_carry_a_disabled_gauge() {
+        let s = DomainStats::new(1);
+        assert!(!s.pressure().enabled());
+        s.pressure().on_retired(1 << 20);
+        assert_eq!(
+            s.pressure().rung(),
+            crate::pressure::PressureRung::Normal,
+            "disabled gauge never escalates"
+        );
     }
 
     #[test]

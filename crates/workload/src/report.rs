@@ -64,16 +64,28 @@ pub struct RunRecord {
     pub participants_reaped: u64,
     /// Faults fired by the injection layer (0 unless compiled in and armed).
     pub faults_injected: u64,
+    /// Pressure-gauge soft-watermark trips (escalation ladder rung 1).
+    pub pressure_soft_trips: u64,
+    /// Pressure-gauge hard-watermark trips (rung 2: inline reclamation).
+    pub pressure_hard_trips: u64,
+    /// Pressure-gauge emergency-watermark trips (rung 3: quarantine).
+    pub pressure_emergency_trips: u64,
+    /// Retire blocks parked in the stalled-reader quarantine.
+    pub blocks_quarantined: u64,
+    /// Quarantined blocks released back for re-filtering.
+    pub blocks_unquarantined: u64,
+    /// Recycled fill blocks dropped by the free-pool trim.
+    pub pool_blocks_trimmed: u64,
 }
 
 impl RunRecord {
     /// CSV header matching [`RunRecord::csv_row`].
-    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,blocks_sealed_monotone,blocks_sealed_era_monotone,epoch_decay_steps,bin_resizes,orphans_stolen,restarts,publish_wait_timeouts,pings_failed,participants_reaped,faults_injected";
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,batches_sealed,blocks_sealed_monotone,blocks_sealed_era_monotone,epoch_decay_steps,bin_resizes,orphans_stolen,restarts,publish_wait_timeouts,pings_failed,participants_reaped,faults_injected,pressure_soft_trips,pressure_hard_trips,pressure_emergency_trips,blocks_quarantined,blocks_unquarantined,pool_blocks_trimmed";
 
     /// Serializes this record as a CSV row tagged with `figure`.
     pub fn csv_row(&self, figure: &str) -> String {
         format!(
-            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.ds,
             self.scheme,
             self.threads,
@@ -101,6 +113,12 @@ impl RunRecord {
             self.pings_failed,
             self.participants_reaped,
             self.faults_injected,
+            self.pressure_soft_trips,
+            self.pressure_hard_trips,
+            self.pressure_emergency_trips,
+            self.blocks_quarantined,
+            self.blocks_unquarantined,
+            self.pool_blocks_trimmed,
         )
     }
 }
@@ -189,6 +207,12 @@ mod tests {
             pings_failed: 1,
             participants_reaped: 1,
             faults_injected: 0,
+            pressure_soft_trips: 3,
+            pressure_hard_trips: 2,
+            pressure_emergency_trips: 1,
+            blocks_quarantined: 5,
+            blocks_unquarantined: 5,
+            pool_blocks_trimmed: 2,
         }
     }
 
@@ -200,6 +224,26 @@ mod tests {
             RunRecord::CSV_HEADER.split(',').count()
         );
         assert!(row.starts_with("fig2a,HML,HazardPtrPOP,4,"));
+    }
+
+    #[test]
+    fn pressure_columns_land_under_their_headers() {
+        let row = rec().csv_row("fig2a");
+        let headers: Vec<&str> = RunRecord::CSV_HEADER.split(',').collect();
+        let values: Vec<&str> = row.split(',').collect();
+        let col = |name: &str| {
+            let i = headers
+                .iter()
+                .position(|h| *h == name)
+                .unwrap_or_else(|| panic!("missing column {name}"));
+            values[i]
+        };
+        assert_eq!(col("pressure_soft_trips"), "3");
+        assert_eq!(col("pressure_hard_trips"), "2");
+        assert_eq!(col("pressure_emergency_trips"), "1");
+        assert_eq!(col("blocks_quarantined"), "5");
+        assert_eq!(col("blocks_unquarantined"), "5");
+        assert_eq!(col("pool_blocks_trimmed"), "2");
     }
 
     #[test]

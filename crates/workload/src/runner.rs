@@ -258,6 +258,12 @@ where
         pings_failed: stats.pings_failed,
         participants_reaped: stats.participants_reaped,
         faults_injected: stats.faults_injected,
+        pressure_soft_trips: stats.pressure_soft_trips,
+        pressure_hard_trips: stats.pressure_hard_trips,
+        pressure_emergency_trips: stats.pressure_emergency_trips,
+        blocks_quarantined: stats.blocks_quarantined,
+        blocks_unquarantined: stats.blocks_unquarantined,
+        pool_blocks_trimmed: stats.pool_blocks_trimmed,
     }
 }
 

@@ -22,7 +22,7 @@
 //! fault we inject, it is one Rust hands us for free).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::AtomicPtr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -32,7 +32,8 @@ use pop::runtime::faults;
 #[cfg(feature = "fault-injection")]
 use pop::runtime::faults::{FaultPlan, FaultSite};
 use pop::smr::{
-    Ebr, EpochPop, HazardEraPop, HazardPtrAsym, HazardPtrPop, NbrPlus, OpGuard, Smr, SmrConfig,
+    retire_node, Ebr, EpochPop, HasHeader, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym,
+    HazardPtrPop, Header, Hyaline, Ibr, NbrPlus, NoReclaim, OpGuard, PressureRung, Smr, SmrConfig,
 };
 
 const WORKERS: usize = 3;
@@ -370,11 +371,17 @@ fn run_panic_mid_op_trial<S: Smr>(name: &'static str) {
         drop(reg);
         smr
     });
-    assert_eq!(
-        trial.stats().snapshot().unreclaimed_nodes(),
-        0,
-        "{name}: panicker's retires must be reclaimed, not leaked"
-    );
+    let s = trial.stats().snapshot();
+    if S::NAME == NoReclaim::NAME {
+        // NR's whole point is the leak: unwinding must not make it free.
+        assert_eq!(s.freed_nodes, 0, "{name}: NR must never free");
+    } else {
+        assert_eq!(
+            s.unreclaimed_nodes(),
+            0,
+            "{name}: panicker's retires must be reclaimed, not leaked"
+        );
+    }
     assert_conservation(&*trial);
 }
 
@@ -401,11 +408,16 @@ fn run_panic_recover_trial<S: Smr>(name: &'static str) {
     }
     smr.flush(0);
     drop(reg);
-    assert_eq!(
-        smr.stats().snapshot().unreclaimed_nodes(),
-        0,
-        "{name}: recovered thread must drain its own garbage"
-    );
+    let s = smr.stats().snapshot();
+    if S::NAME == NoReclaim::NAME {
+        assert_eq!(s.freed_nodes, 0, "{name}: NR must never free");
+    } else {
+        assert_eq!(
+            s.unreclaimed_nodes(),
+            0,
+            "{name}: recovered thread must drain its own garbage"
+        );
+    }
     assert_conservation(&*smr);
 }
 
@@ -445,4 +457,176 @@ panic_matrix!(
     HazardPtrAsym,
     NbrPlus,
     Ebr,
+    HazardPtr,
+    HazardEra,
+    Ibr,
+    Hyaline,
+    NoReclaim,
 );
+
+// ---------------------------------------------------------------------
+// Stalled-reader pressure ladder (epoch/era schemes). Runs in every
+// configuration: the stall is a real reader parked inside an operation,
+// not an injected fault.
+// ---------------------------------------------------------------------
+
+/// Raw node for the direct-retire pressure trial — the map-based churn
+/// cannot control birth eras precisely enough to build a backlog that is
+/// *provably* pinned by one reader.
+#[repr(C)]
+struct PNode {
+    hdr: Header,
+    _v: u64,
+}
+unsafe impl HasHeader for PNode {}
+
+fn alloc_node<S: Smr>(smr: &S, tid: usize, v: u64) -> *mut PNode {
+    smr.note_alloc(tid, core::mem::size_of::<PNode>());
+    Box::into_raw(Box::new(PNode {
+        hdr: Header::new(smr.current_era(), core::mem::size_of::<PNode>()),
+        _v: v,
+    }))
+}
+
+/// The bounded-garbage acceptance trial. One reader pins the current
+/// epoch/era and stalls; the writer retires a backlog born before the pin
+/// (so its lifespans intersect the pinned era no matter how far the clock
+/// advances) and keeps churning. The gauge must climb the whole ladder
+/// (soft → hard → emergency trips), the emergency rung must park the
+/// pinned blocks in quarantine — keeping the *actionable* count below the
+/// emergency watermark while the stall persists — and the entire backlog
+/// must drain within one pass of the stall clearing.
+fn run_stalled_reader_pressure_trial<S: Smr>(name: &'static str) {
+    let _g = plan_lock();
+    faults::install(Default::default());
+    let (mid, mid_count, mid_quar, wm, fin, fin_count, fin_quar, fin_rung) =
+        with_deadline(name, Duration::from_secs(60), move || {
+            let smr = S::new(
+                SmrConfig::for_tests(2)
+                    .with_reclaim_freq(16)
+                    .with_retire_bins(1)
+                    .with_pressure_watermarks(64, 96, 128)
+                    // Park EpochPOP's native pointer-mode escalation above
+                    // the emergency watermark: this trial measures the
+                    // ladder, and the quarantine keeps the list below the
+                    // 16 × 16 POP threshold once it engages.
+                    .with_pop_c(16)
+                    .with_quarantine(),
+            );
+            let reg0 = smr.register(0);
+            // Born before the reader pins: pinned for the whole stall.
+            let victims: Vec<*mut PNode> = (0..600).map(|i| alloc_node(&*smr, 0, i)).collect();
+            let hot = alloc_node(&*smr, 0, u64::MAX);
+            let src = Arc::new(AtomicPtr::new(hot));
+            let hold = Arc::new(AtomicBool::new(true));
+            let (tx, rx) = mpsc::channel();
+            let reader = std::thread::spawn({
+                let smr = Arc::clone(&smr);
+                let src = Arc::clone(&src);
+                let hold = Arc::clone(&hold);
+                move || {
+                    let reg1 = smr.register(1);
+                    smr.begin_op(1);
+                    let _ = smr.protect(1, 0, &src);
+                    tx.send(()).unwrap();
+                    while hold.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    smr.end_op(1);
+                    drop(reg1);
+                }
+            });
+            rx.recv().unwrap();
+            // Retire the pinned backlog, then churn fresh nodes so passes
+            // keep coming and the stall tracker keeps observing.
+            for p in victims {
+                unsafe { retire_node(&*smr, 0, p) };
+            }
+            for i in 0..400u64 {
+                let p = alloc_node(&*smr, 0, i);
+                unsafe { retire_node(&*smr, 0, p) };
+            }
+            smr.flush(0);
+            let g = smr.stats().pressure();
+            let mid = smr.stats().snapshot();
+            let (mid_count, mid_quar, wm) = (g.count(), g.quarantined(), g.emergency_watermark());
+            // Clear the stall: the reader leaves its op and unregisters.
+            hold.store(false, Ordering::Release);
+            reader.join().unwrap();
+            src.store(core::ptr::null_mut(), Ordering::SeqCst);
+            unsafe { retire_node(&*smr, 0, hot) };
+            // One pass: released quarantine blocks rejoin the caller's
+            // list and the same sweep re-filters (now against no
+            // reservations at all) and frees.
+            smr.flush(0);
+            let fin = smr.stats().snapshot();
+            let (fin_count, fin_quar, fin_rung) = (g.count(), g.quarantined(), g.rung());
+            drop(reg0);
+            (
+                mid, mid_count, mid_quar, wm, fin, fin_count, fin_quar, fin_rung,
+            )
+        });
+    assert!(
+        mid.pressure_soft_trips >= 1 && mid.pressure_hard_trips >= 1,
+        "{name}: the backlog must climb through soft and hard: {mid:?}"
+    );
+    assert!(
+        mid.pressure_emergency_trips >= 1,
+        "{name}: the emergency watermark must trip: {mid:?}"
+    );
+    assert!(
+        mid.blocks_quarantined >= 1 && mid_quar > 0,
+        "{name}: the emergency rung must park pinned blocks: {mid:?}"
+    );
+    assert!(
+        mid.unreclaimed_nodes() > 0,
+        "{name}: the pinned backlog must be parked, never freed under a live stall"
+    );
+    assert!(
+        mid_count < wm,
+        "{name}: actionable garbage ({mid_count}) must stay below the emergency \
+         watermark ({wm}) while quarantine absorbs the pinned backlog"
+    );
+    assert_eq!(
+        fin.unreclaimed_nodes(),
+        0,
+        "{name}: everything drains within one pass of the stall clearing"
+    );
+    assert_eq!(
+        fin.blocks_unquarantined, fin.blocks_quarantined,
+        "{name}: every parked block must be released"
+    );
+    assert_eq!(
+        (fin_count, fin_quar),
+        (0, 0),
+        "{name}: the gauge drains to zero"
+    );
+    assert_eq!(
+        fin_rung,
+        PressureRung::Normal,
+        "{name}: the rung settles back to Normal"
+    );
+    assert!(
+        fin.freed_nodes <= fin.retired_nodes && fin.retired_nodes <= fin.allocated_nodes,
+        "{name}: conservation violated: {fin:?}"
+    );
+}
+
+macro_rules! pressure_trials {
+    ($($scheme:ident),+ $(,)?) => {
+        mod stalled_reader_pressure {
+            use super::*;
+            $(
+                #[test]
+                #[allow(non_snake_case)]
+                fn $scheme() {
+                    run_stalled_reader_pressure_trial::<$scheme>(
+                        concat!("stalled_reader_pressure/", stringify!($scheme)),
+                    );
+                }
+            )+
+        }
+    };
+}
+
+pressure_trials!(Ebr, EpochPop, Ibr, HazardEra, HazardEraPop);
