@@ -14,6 +14,10 @@
 //!   (`blocks_sealed_monotone / batches_sealed`).
 //! * **Publish wait wake latency**: a full `ping → handler publish → wake`
 //!   handshake against one busy in-op peer, futex-parked vs yield.
+//! * **Publish-mode pass cost** (PR 8): a full reclamation pass against
+//!   4 / 16 / 64 busy in-op peers under the signal fan-out (yield and
+//!   futex waits) vs the single-syscall membarrier publish path, plus the
+//!   membarrier-vs-signal speedup per peer count.
 //! * **Idle-domain pass cost** (PR 5): the amortized cost of a
 //!   retire-triggered pass on a domain whose sweeps free nothing (one
 //!   stalled reader pins everything), with the adaptive controller's
@@ -28,13 +32,14 @@
 //!   silent (gauge enabled, zero trips) under quiescent churn.
 //!
 //! Usage: `bench_smoke [--out PATH] [--iters N]` (defaults:
-//! `BENCH_pr5.json`, 60 iterations per measurement).
+//! `BENCH_pr8.json`, 60 iterations per measurement).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pop_core::config::PublishMode;
 use pop_core::testing::SweepBench;
 use pop_core::{retire_node, Ebr, HasHeader, HazardPtrPop, Header, Smr, SmrConfig};
 
@@ -388,8 +393,77 @@ fn wait_wake_ns(futex: bool, iters: u32) -> f64 {
     total.as_nanos() as f64 / iters as f64
 }
 
+/// Mean ns per full reclamation pass against `peers` busy in-op readers,
+/// under one publish mode (PR 8). The signal flavors pay one `tgkill` +
+/// handler publish + wait per peer; membarrier replaces the whole fan-out
+/// with a single `membarrier(2)` heavy barrier — the gap is the tentpole
+/// measurement, and it widens with the peer count (64 peers oversubscribes
+/// typical CI hosts, the paper's §4.1.2 worst case).
+fn publish_pass_ns(mode: PublishMode, peers: usize, iters: u32) -> f64 {
+    let smr = HazardPtrPop::new(
+        SmrConfig::for_tests(peers + 1)
+            .with_reclaim_freq(1 << 20)
+            .with_publish_spin(8)
+            .with_publish_mode(mode),
+    );
+    let reg0 = smr.register(0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handles: Vec<_> = (1..=peers)
+        .map(|tid| {
+            let smr = Arc::clone(&smr);
+            let stop = Arc::clone(&stop);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let reg = smr.register(tid);
+                let dummy = Box::into_raw(Box::new(Node {
+                    hdr: Header::new(0, core::mem::size_of::<Node>()),
+                    v: 0,
+                }));
+                let src = AtomicPtr::new(dummy);
+                let _ = smr.protect(tid, 0, &src).unwrap();
+                tx.send(()).unwrap();
+                // Busy in-op reader; the yield keeps oversubscribed runs
+                // progressing (everyone must get scheduled for handlers —
+                // or, under membarrier, for the IPI — to land).
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+                smr.end_op(tid);
+                drop(reg);
+                // SAFETY: never retired; owned by this closure.
+                unsafe { drop(Box::from_raw(dummy)) };
+            })
+        })
+        .collect();
+    for _ in 0..peers {
+        rx.recv().unwrap();
+    }
+    for _ in 0..3 {
+        smr.flush(0);
+    }
+    let t0 = Instant::now();
+    for i in 0..iters as u64 {
+        smr.note_alloc(0, core::mem::size_of::<Node>());
+        let p = Box::into_raw(Box::new(Node {
+            hdr: Header::new(0, core::mem::size_of::<Node>()),
+            v: i,
+        }));
+        // SAFETY: never shared; retired exactly once.
+        unsafe { retire_node(&*smr, 0, p) };
+        smr.flush(0);
+    }
+    let total = t0.elapsed();
+    stop.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+    drop(reg0);
+    total.as_nanos() as f64 / iters as f64
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_pr5.json");
+    let mut out_path = String::from("BENCH_pr8.json");
     let mut iters: u32 = 60;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -483,6 +557,44 @@ fn main() {
     let wake_futex = wait_wake_ns(true, iters);
     let wake_yield = wait_wake_ns(false, iters);
     println!("wait_wake: futex {wake_futex:.0} ns, yield {wake_yield:.0} ns");
+
+    // PR 8: full-pass publish cost per mode at growing peer counts. The
+    // acceptance bar is membarrier ≥ 2× cheaper than the signal fan-out at
+    // 16+ registered threads; the gap widens with peers because the signal
+    // path pays one tgkill + handler publish + wait per peer while
+    // membarrier pays one syscall regardless.
+    let membarrier_available = pop_runtime::membarrier::is_available();
+    let mut publish_rows = String::new();
+    let pass_iters = (iters / 4).max(8);
+    for (i, &peers) in [4usize, 16, 64].iter().enumerate() {
+        let signal_ns = publish_pass_ns(PublishMode::Signal, peers, pass_iters);
+        let futex_ns = publish_pass_ns(PublishMode::Futex, peers, pass_iters);
+        let mb_ns = if membarrier_available {
+            publish_pass_ns(PublishMode::Membarrier, peers, pass_iters)
+        } else {
+            // Fallback host: the membarrier config resolves to fan-out, so
+            // report that cost and a 1.0x ratio rather than fake a win.
+            futex_ns
+        };
+        let speedup = signal_ns / mb_ns;
+        println!(
+            "publish_mode peers={peers:>2}: signal {signal_ns:>9.0} ns/pass | \
+             futex {futex_ns:>9.0} ns/pass | membarrier {mb_ns:>9.0} ns/pass \
+             ({speedup:.2}x vs signal)"
+        );
+        if i > 0 {
+            publish_rows.push(',');
+        }
+        write!(
+            publish_rows,
+            "\n    {{\"peers\": {peers}, \
+             \"signal_ns_per_pass\": {signal_ns:.0}, \
+             \"futex_ns_per_pass\": {futex_ns:.0}, \
+             \"membarrier_ns_per_pass\": {mb_ns:.0}, \
+             \"membarrier_speedup_vs_signal\": {speedup:.3}}}"
+        )
+        .unwrap();
+    }
 
     // PR 5: idle-domain pass cost with the epoch-cadence decay on vs off.
     // The acceptance bar is a ≥ 2× reduction; the thinned passes usually
@@ -585,11 +697,13 @@ fn main() {
     println!("pressure_untripped_default: {untripped}");
 
     let json = format!(
-        "{{\n  \"bench\": \"pr5_adaptive_controller\",\n  \"iters\": {iters},\n  \
+        "{{\n  \"bench\": \"pr8_membarrier_publish\",\n  \"iters\": {iters},\n  \
          \"sweep_filter\": [{sweeps}\n  ],\n  \
          \"binned_fill\": [{binned}\n  ],\n  \
          \"sequential_fill_monotone_share\": {seq_share:.3},\n  \
          \"wait_wake_ns\": {{\"futex\": {wake_futex:.0}, \"yield\": {wake_yield:.0}}},\n  \
+         \"membarrier_available\": {membarrier_available},\n  \
+         \"publish_mode\": [{publish_rows}\n  ],\n  \
          \"idle_pass\": {{\"static_ns_per_trigger\": {idle_static:.0}, \
          \"adaptive_ns_per_trigger\": {idle_adaptive:.0}, \
          \"decay_speedup\": {idle_speedup:.3}, \

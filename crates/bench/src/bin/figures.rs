@@ -180,6 +180,8 @@ fn run_robustness(opts: &SweepOptions, csv: &Path) {
             pings_sent: stats.pings_sent,
             pings_skipped: stats.pings_skipped,
             pings_elided_adaptive: stats.pings_elided_adaptive,
+            membarrier_passes: stats.membarrier_passes,
+            signals_avoided: stats.signals_avoided,
             batches_sealed: stats.batches_sealed,
             blocks_sealed_monotone: stats.blocks_sealed_monotone,
             blocks_sealed_era_monotone: stats.blocks_sealed_era_monotone,

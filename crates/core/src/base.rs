@@ -242,6 +242,20 @@ impl RetireList {
         self.bin_mask = bins as u64 - 1;
     }
 
+    /// Registration-time seeding from the domain's converged bin count
+    /// ([`DomainBase::adopt_orphan_chunk`]): adopt `bins` as this list's
+    /// starting point, leaving the auto-sizer's window state untouched —
+    /// it keeps adapting from there. No-ops when there is nothing to seed
+    /// (`bins == 0`), on static lists (adaptive off keeps the configured
+    /// count), and on lists already holding fill nodes (a re-registering
+    /// thread with leftovers — resizing requires sealed fills).
+    pub(crate) fn seed_bins(&mut self, bins: usize) {
+        if bins == 0 || self.adapt.is_none() || self.fill_nodes != 0 {
+            return;
+        }
+        self.set_bins(bins);
+    }
+
     /// Hot-path adaptation step, called once per sealed block from
     /// [`push_retired`]: when the auto-sizer's window just completed and
     /// it decided to resize, seals the partial bins (returning their
@@ -666,6 +680,12 @@ pub(crate) struct DomainBase {
     /// elects a single reaper for a dead participant's single-owner state
     /// ([`RetireSlot`]), so concurrent reclaimers never alias it.
     reaping: Box<[AtomicBool]>,
+    /// Controller-v2 membership seeding: the bin count the most recent
+    /// auto-sizer resize converged to, domain-wide (0 = no resize yet).
+    /// Newly registering threads inherit it via
+    /// [`Self::adopt_orphan_chunk`] → [`RetireList::seed_bins`] instead of
+    /// re-walking the whole probe ladder from the configured default.
+    bin_hint: AtomicUsize,
 }
 
 impl DomainBase {
@@ -694,6 +714,7 @@ impl DomainBase {
             orphan_mask: stripes - 1,
             orphan_hint: AtomicUsize::new(0),
             reaping: reaping.into_boxed_slice(),
+            bin_hint: AtomicUsize::new(0),
         }
     }
 
@@ -893,6 +914,10 @@ impl DomainBase {
     /// retire list, bounding orphan memory on long-lived domains with
     /// thread churn.
     pub(crate) fn adopt_orphan_chunk(&self, tid: usize, list: &mut RetireList) {
+        // Controller v2: a joiner starts from the domain's converged bin
+        // count instead of re-running the probe ladder from the default
+        // (a no-op until some participant's auto-sizer has resized).
+        list.seed_bins(self.bin_hint.load(Ordering::Relaxed));
         let n = self.drain_orphan_chunk(tid, list);
         if n > 0 {
             self.stats
@@ -1118,6 +1143,9 @@ pub(crate) fn push_retired(
                     .shard(tid)
                     .bin_resizes
                     .fetch_add(1, Ordering::Relaxed);
+                // Publish the new count so joiners inherit it
+                // (controller v2 — see DomainBase::bin_hint).
+                base.bin_hint.store(list.bins(), Ordering::Relaxed);
             }
             let freq = base.cfg.reclaim_freq;
             if list.len() >= freq && list.sealed_since_trigger >= freq {
@@ -2798,6 +2826,43 @@ mod tests {
         );
         assert!(b.stats.snapshot().bin_resizes >= 3, "1 → 2 → 4 → 8");
         drain_free(&b, &mut list);
+    }
+
+    #[test]
+    fn joining_thread_inherits_converged_bin_count() {
+        // Controller v2: once any participant's auto-sizer has converged,
+        // a joining thread's list is seeded with that count at adoption
+        // time instead of re-walking the probe ladder from the default.
+        let b = DomainBase::new(SmrConfig::for_tests(2));
+        let mut list = RetireList::with_adaptive(8, 4, true);
+        let per_window = crate::controller::BIN_ADAPT_WINDOW as usize * 8;
+        for _ in 0..6 {
+            let mut nodes: Vec<Retired> = (0..per_window as u64).map(|i| mk(&b, i, i)).collect();
+            nodes.sort_by_key(|r| r.ptr() as u64);
+            for r in nodes {
+                push_retired(&b, 0, &mut list, r);
+            }
+            let freed = unsafe { sweep_retire_list(&b, 0, &mut list, |_| false) };
+            assert!(freed > 0);
+        }
+        assert_eq!(list.bins(), 1, "tid 0 must converge to 1 bin first");
+        // A joiner's fresh adaptive list inherits the converged count.
+        let mut joiner = RetireList::with_adaptive(8, 4, true);
+        b.adopt_orphan_chunk(1, &mut joiner);
+        assert_eq!(joiner.bins(), 1, "joiner inherits the converged count");
+        // A static list keeps its configured bins — seeding is
+        // adaptive-only.
+        let mut fixed = RetireList::with_adaptive(8, 4, false);
+        b.adopt_orphan_chunk(1, &mut fixed);
+        assert_eq!(fixed.bins(), 4, "static lists never reseed");
+        // A list mid-fill is left alone (resizing requires sealed fills).
+        let mut dirty = RetireList::with_adaptive(8, 4, true);
+        push_retired(&b, 1, &mut dirty, mk(&b, 0, 0));
+        b.adopt_orphan_chunk(1, &mut dirty);
+        assert_eq!(dirty.bins(), 4, "non-empty fills defer to the sizer");
+        unsafe { sweep_retire_list(&b, 1, &mut dirty, |_| false) };
+        drain_free(&b, &mut list);
+        drain_free(&b, &mut dirty);
     }
 
     #[test]

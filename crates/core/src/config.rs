@@ -51,6 +51,45 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
     b.clamp(1, MAX_RETIRE_BINS).next_power_of_two()
 }
 
+/// How a POP reclaimer gets peers' reservations published before it scans
+/// them (the publish half of `ping_all_and_wait`). The signal fan-out
+/// variants differ only in how the reclaimer *waits* for the pinged
+/// handlers; `Membarrier` replaces the whole fan-out with one
+/// `membarrier(2)` heavy barrier and has nothing to wait for. See
+/// `ARCHITECTURE.md` ("Publish modes") for the per-scheme decision table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PublishMode {
+    /// Probe the host once: [`PublishMode::Membarrier`] when
+    /// `membarrier(2)` `PRIVATE_EXPEDITED` is usable, else the signal
+    /// fan-out (flavored by [`SmrConfig::futex_wait`]).
+    Auto,
+    /// Signal fan-out, yield-loop publish waits (the portable path).
+    Signal,
+    /// Signal fan-out, futex-parked publish waits — the historical
+    /// default.
+    #[default]
+    Futex,
+    /// One process-wide `membarrier(2)` barrier per pass: readers write
+    /// reservations straight to their shared slots with plain stores, the
+    /// reclaimer's barrier makes them visible, and there is no per-peer
+    /// signaling or waiting at all. Falls back to the signal fan-out when
+    /// the probe fails (seccomp/containers) or a barrier fails mid-pass.
+    Membarrier,
+}
+
+impl PublishMode {
+    /// Parses the `POP_PUBLISH_MODE` vocabulary.
+    pub fn parse(s: &str) -> Option<PublishMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(PublishMode::Auto),
+            "signal" | "yield" => Some(PublishMode::Signal),
+            "futex" => Some(PublishMode::Futex),
+            "membarrier" => Some(PublishMode::Membarrier),
+            _ => None,
+        }
+    }
+}
+
 /// Tuning knobs shared by every reclamation scheme.
 ///
 /// Field names follow the paper's pseudocode: `reclaim_freq` is the retire
@@ -99,10 +138,11 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
 /// | `POP_PRESSURE_HARD`       | hard pressure watermark in nodes             |
 /// | `POP_PRESSURE_EMERGENCY`  | emergency pressure watermark in nodes        |
 /// | `POP_FREE_POOL_CAP`       | recycled-block pool cap in blocks (`0` = unbounded) |
+/// | `POP_PUBLISH_MODE`        | POP publish mode: `auto` / `signal` / `futex` / `membarrier` |
 /// | `POP_FAULTS`              | fault plan (needs the `fault-injection` feature; parsed by `pop_runtime::faults`) |
 ///
 /// ```
-/// use pop_core::SmrConfig;
+/// use pop_core::{PublishMode, SmrConfig};
 ///
 /// std::env::set_var("POP_RETIRE_BATCH", "1");
 /// std::env::set_var("POP_RETIRE_BINS", "1");
@@ -112,6 +152,7 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
 /// std::env::set_var("POP_PRESSURE_HARD", "256");
 /// std::env::set_var("POP_PRESSURE_EMERGENCY", "512");
 /// std::env::set_var("POP_FREE_POOL_CAP", "4");
+/// std::env::set_var("POP_PUBLISH_MODE", "membarrier");
 /// let cfg = SmrConfig::for_tests(2);
 /// assert_eq!(cfg.retire_batch, 1);
 /// assert_eq!(cfg.retire_bins, 1);
@@ -122,12 +163,13 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
 ///     (128, 256, 512)
 /// );
 /// assert_eq!(cfg.free_pool_cap, 4);
+/// assert_eq!(cfg.publish_mode, PublishMode::Membarrier);
 ///
 /// // Unset (or unparsable) variables leave the defaults alone.
 /// for k in [
 ///     "POP_RETIRE_BATCH", "POP_RETIRE_BINS", "POP_FUTEX_WAIT", "POP_ADAPTIVE",
 ///     "POP_PRESSURE_SOFT", "POP_PRESSURE_HARD", "POP_PRESSURE_EMERGENCY",
-///     "POP_FREE_POOL_CAP",
+///     "POP_FREE_POOL_CAP", "POP_PUBLISH_MODE",
 /// ] {
 ///     std::env::remove_var(k);
 /// }
@@ -135,6 +177,7 @@ pub(crate) fn normalize_bins(b: usize) -> usize {
 /// assert!(cfg.retire_batch > 1 && cfg.retire_bins > 1);
 /// assert!(cfg.futex_wait && cfg.adaptive);
 /// assert!(cfg.pressure_soft > 0, "the gauge is on by default");
+/// assert_eq!(cfg.publish_mode, PublishMode::Futex, "historical default");
 /// ```
 #[derive(Clone, Debug)]
 pub struct SmrConfig {
@@ -218,6 +261,16 @@ pub struct SmrConfig {
     /// pressure actually returns memory to the allocator. Env
     /// `POP_FREE_POOL_CAP`.
     pub free_pool_cap: usize,
+    /// How POP reclaimers publish peers' reservations: the signal fan-out
+    /// ([`PublishMode::Signal`]/[`PublishMode::Futex`], differing only in
+    /// wait flavor) or one process-wide [`PublishMode::Membarrier`]
+    /// barrier per pass. Only the POP schemes consult this
+    /// (HP-POP/HE-POP/Epoch-POP); NBR always keeps signals — its pings
+    /// *neutralize* readers, which no memory barrier can do. Domains
+    /// resolve it once at construction via
+    /// [`Self::resolved_publish_mode`]. Env `POP_PUBLISH_MODE`
+    /// (`auto`/`signal`/`futex`/`membarrier`).
+    pub publish_mode: PublishMode,
 }
 
 impl SmrConfig {
@@ -246,6 +299,7 @@ impl SmrConfig {
             pressure_hard: reclaim_freq * PRESSURE_HARD_FACTOR,
             pressure_emergency: reclaim_freq * PRESSURE_EMERGENCY_FACTOR,
             free_pool_cap: DEFAULT_FREE_POOL_CAP,
+            publish_mode: PublishMode::default(),
         }
     }
 
@@ -321,6 +375,11 @@ impl SmrConfig {
         }
         if let Some(n) = get("POP_FREE_POOL_CAP").and_then(|v| v.parse().ok()) {
             self.free_pool_cap = n;
+        }
+        // Applied last: an explicit signal/futex mode also pins the wait
+        // flavor, overriding a conflicting POP_FUTEX_WAIT.
+        if let Some(m) = get("POP_PUBLISH_MODE").and_then(|v| PublishMode::parse(&v)) {
+            self = self.with_publish_mode(m);
         }
         self
     }
@@ -436,6 +495,47 @@ impl SmrConfig {
     pub fn with_free_pool_cap(mut self, cap: usize) -> Self {
         self.free_pool_cap = cap;
         self
+    }
+
+    /// Builder-style override of the POP publish mode. An explicit
+    /// [`PublishMode::Signal`] or [`PublishMode::Futex`] also aligns
+    /// [`Self::futex_wait`] (they *are* the two wait flavors of the signal
+    /// fan-out); `Auto`/`Membarrier` leave it alone — it flavors the
+    /// fallback path when the membarrier probe fails.
+    pub fn with_publish_mode(mut self, m: PublishMode) -> Self {
+        self.publish_mode = m;
+        match m {
+            PublishMode::Signal => self.futex_wait = false,
+            PublishMode::Futex => self.futex_wait = true,
+            PublishMode::Auto | PublishMode::Membarrier => {}
+        }
+        self
+    }
+
+    /// Resolves [`Self::publish_mode`] against the host, never returning
+    /// `Auto`: `Auto` and `Membarrier` become [`PublishMode::Membarrier`]
+    /// exactly when the per-process `membarrier(2)` probe succeeds
+    /// (`pop_runtime::membarrier::is_available`, which registers on first
+    /// call), and otherwise downgrade to the signal fan-out in the flavor
+    /// [`Self::futex_wait`] selects — the seccomp/container fallback.
+    /// Domains call this once at construction; a barrier failing *mid-pass*
+    /// later is handled by `PopShared`'s sticky per-domain downgrade.
+    pub fn resolved_publish_mode(&self) -> PublishMode {
+        let fan_out = if self.futex_wait {
+            PublishMode::Futex
+        } else {
+            PublishMode::Signal
+        };
+        match self.publish_mode {
+            PublishMode::Auto | PublishMode::Membarrier => {
+                if pop_runtime::membarrier::is_available() {
+                    PublishMode::Membarrier
+                } else {
+                    fan_out
+                }
+            }
+            PublishMode::Signal | PublishMode::Futex => fan_out,
+        }
     }
 
     /// The [`PressureGauge`] this configuration describes (how `DomainBase`
@@ -586,6 +686,79 @@ mod tests {
             c.pressure_soft,
             24_576 * PRESSURE_SOFT_FACTOR,
             "garbage leaves the default alone"
+        );
+    }
+
+    #[test]
+    fn publish_mode_parse_vocabulary() {
+        assert_eq!(PublishMode::parse("auto"), Some(PublishMode::Auto));
+        assert_eq!(PublishMode::parse("signal"), Some(PublishMode::Signal));
+        assert_eq!(PublishMode::parse("yield"), Some(PublishMode::Signal));
+        assert_eq!(PublishMode::parse("FUTEX"), Some(PublishMode::Futex));
+        assert_eq!(
+            PublishMode::parse("Membarrier"),
+            Some(PublishMode::Membarrier)
+        );
+        assert_eq!(PublishMode::parse("signals"), None);
+    }
+
+    #[test]
+    fn publish_mode_builder_aligns_wait_flavor() {
+        let c = SmrConfig::test_defaults(1);
+        assert_eq!(c.publish_mode, PublishMode::Futex, "historical default");
+        let c = c.with_publish_mode(PublishMode::Signal);
+        assert!(!c.futex_wait, "explicit signal mode forces yield waits");
+        let c = c.with_publish_mode(PublishMode::Futex);
+        assert!(c.futex_wait, "explicit futex mode forces parked waits");
+        let c = c
+            .with_futex_wait(false)
+            .with_publish_mode(PublishMode::Membarrier);
+        assert!(!c.futex_wait, "membarrier mode leaves the fallback flavor");
+    }
+
+    #[test]
+    fn publish_mode_env_override_wins_over_futex_wait() {
+        let c = SmrConfig::test_defaults(2).with_overrides_from(|k| match k {
+            "POP_FUTEX_WAIT" => Some("on".to_string()),
+            "POP_PUBLISH_MODE" => Some("signal".to_string()),
+            _ => None,
+        });
+        assert_eq!(c.publish_mode, PublishMode::Signal);
+        assert!(!c.futex_wait, "mode is applied after the wait knob");
+        let c = SmrConfig::test_defaults(2)
+            .with_overrides_from(|k| (k == "POP_PUBLISH_MODE").then(|| "sideways".to_string()));
+        assert_eq!(
+            c.publish_mode,
+            PublishMode::Futex,
+            "garbage leaves the default alone"
+        );
+    }
+
+    #[test]
+    fn resolved_mode_never_says_auto_and_respects_the_host() {
+        let avail = pop_runtime::membarrier::is_available();
+        let auto = SmrConfig::test_defaults(1)
+            .with_publish_mode(PublishMode::Auto)
+            .resolved_publish_mode();
+        let explicit = SmrConfig::test_defaults(1)
+            .with_publish_mode(PublishMode::Membarrier)
+            .resolved_publish_mode();
+        if avail {
+            assert_eq!(auto, PublishMode::Membarrier);
+            assert_eq!(explicit, PublishMode::Membarrier);
+        } else {
+            assert_eq!(auto, PublishMode::Futex, "auto falls back to futex");
+            assert_eq!(explicit, PublishMode::Futex);
+        }
+        assert_eq!(
+            SmrConfig::test_defaults(1)
+                .with_publish_mode(PublishMode::Signal)
+                .resolved_publish_mode(),
+            PublishMode::Signal
+        );
+        assert_eq!(
+            SmrConfig::test_defaults(1).resolved_publish_mode(),
+            PublishMode::Futex
         );
     }
 

@@ -88,7 +88,7 @@ pub mod testing {
     pub use crate::base::{era_range_reserved, SweepBench};
 }
 
-pub use config::SmrConfig;
+pub use config::{PublishMode, SmrConfig};
 pub use header::{unmark_word, HasHeader, Header, Retired, RETIRE_BATCH_CAP};
 pub use pressure::{PressureGauge, PressureRung};
 pub use smr::{

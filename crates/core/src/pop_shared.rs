@@ -67,6 +67,51 @@
 //! degrades to `yield_now` (the historical behavior): same correctness,
 //! but each retry burns a scheduler quantum on oversubscribed hosts.
 //!
+//! ## Membarrier publish mode
+//!
+//! Under [`crate::config::PublishMode::Membarrier`] the signal fan-out
+//! disappears entirely: readers write reservations **directly to their
+//! shared slots** with plain relaxed stores (`set_local` routes there; the
+//! private `local` array goes unused), `note_active` drops its `SeqCst`
+//! fence, and `ping_all_and_wait` becomes one process-wide
+//! `membarrier(2)` heavy barrier — after which every peer's prior stores
+//! are visible and the existing `collect_reserved_into` scan reads them
+//! with nothing to wait for. This is the Folly-style asymmetric fencing
+//! the `HPAsym` baseline uses, grafted onto the POP slot machinery.
+//!
+//! Three consequences are load-bearing:
+//!
+//! * **Publish is degenerate.** The process-global signal handler still
+//!   runs on these threads (another domain sharing the process may ping
+//!   them, and the PR 7 hard rung re-pings suspects per-participant).
+//!   [`PopShared::publish_tid`] therefore *skips the local→shared copy*
+//!   on membarrier-configured domains — the copy would overwrite live
+//!   shared reservations with the unused (all-zero) local words — while
+//!   keeping its fence, suspect-clear, counter bump and futex wake, so
+//!   the signal path's handshake semantics survive a downgrade.
+//! * **Ping filtering is off.** The quiescent/adaptive elision rests on
+//!   `note_active`'s fence pairing with the reclaimer's; with the fence
+//!   gone the argument is void, so a membarrier-configured domain never
+//!   elides a ping on its signal fallback path (it pings everyone). On
+//!   the fast path there is nothing to elide — the whole fan-out is
+//!   replaced, accounted as one `membarrier_passes` tick plus
+//!   `signals_avoided += `(registered peers).
+//! * **Death needs a probe.** The fast path has no waits, so the PR 6
+//!   publish-wait watchdog never runs and a peer that died without
+//!   deregistering would pin its stale shared words forever. Every
+//!   [`MEMBARRIER_DEAD_PROBE_EVERY`] membarrier passes the reclaimer
+//!   probes each registered peer's registry registration
+//!   ([`PopShared::note_dead_if_confirmed`]) — the schemes' existing
+//!   `reap_one_dead` then recovers confirmed corpses. Garbage a dead
+//!   peer pins is thus bounded by the probe period, not unbounded.
+//!
+//! A heavy barrier that *fails mid-pass* (seccomp installed after init,
+//! or an injected [`FaultSite::MembarrierFail`]) downgrades the domain
+//! **stickily** to the signal fan-out: reservations keep living in the
+//! shared slots (readers never change behavior), pings publish via the
+//! degenerate handler, and the pass that observed the failure falls
+//! through to the signal path it would otherwise have replaced.
+//!
 //! Instances are leaked (`&'static`) because the process-global signal
 //! handler may dereference them at any time; see `pop-runtime` docs.
 
@@ -95,6 +140,14 @@ const ADAPTIVE_SKIP_AFTER: u64 = 8;
 /// While adaptively skipping, run the full quiescence check again every
 /// this-many streak counts (liveness/defense for out-of-bracket callers).
 const ADAPTIVE_RESAMPLE_EVERY: u64 = 64;
+
+/// Membarrier-mode dead-peer probe period, in membarrier passes: the fast
+/// path has no publish waits, so the watchdog never sees a dead peer —
+/// instead every this-many passes (and on the very first) the reclaimer
+/// probes each registered peer's registry registration. Bounds both the
+/// garbage a corpse can pin (one probe period) and the probe syscalls
+/// (`O(threads / period)` amortized per pass).
+const MEMBARRIER_DEAD_PROBE_EVERY: u64 = 64;
 
 /// Shared reservation state for one publish-on-ping domain.
 pub(crate) struct PopShared {
@@ -155,10 +208,28 @@ pub(crate) struct PopShared {
     /// conservatively ([`crate::config::SmrConfig::publish_deadline_ns`];
     /// `0` = unbounded waits).
     publish_deadline_ns: u64,
+    /// Membarrier publish mode (module docs): reservations live in the
+    /// shared slots, `note_active` is fence-free, `publish_tid` skips the
+    /// copy, and passes run one heavy barrier instead of the fan-out.
+    /// Static for the domain's lifetime — the reader-side contract must
+    /// not flap.
+    membarrier: bool,
+    /// Sticky mid-pass downgrade: a heavy barrier failed after init, so
+    /// every subsequent pass runs the signal fan-out instead (readers are
+    /// unaffected — see the module docs). Never set on non-membarrier
+    /// domains.
+    downgraded: AtomicBool,
+    /// Membarrier passes completed, for pacing the dead-peer probe.
+    mb_passes: CachePadded<AtomicU64>,
 }
 
 impl PopShared {
     /// Allocates and leaks the shared state (see module docs for why).
+    ///
+    /// The tail of the argument list mirrors the `SmrConfig` knobs it is
+    /// always called with, in order — a tuning struct would just restate
+    /// the config.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn leak(
         nthreads: usize,
         slots: usize,
@@ -167,6 +238,7 @@ impl PopShared {
         publish_spin: u32,
         futex_wait: bool,
         publish_deadline_ns: u64,
+        membarrier: bool,
     ) -> &'static Self {
         let cells = nthreads * slots;
         let mut local = Vec::with_capacity(cells);
@@ -216,7 +288,24 @@ impl PopShared {
             publish_spin,
             futex_wait: futex_wait && futex::supported(),
             publish_deadline_ns,
+            membarrier,
+            downgraded: AtomicBool::new(false),
+            mb_passes: CachePadded::new(AtomicU64::new(0)),
         }))
+    }
+
+    /// The slots the *owner* writes reservations to: the private `local`
+    /// array under the signal modes (published by the handler's copy), the
+    /// `shared` array directly under membarrier mode (made visible by the
+    /// reclaimer's heavy barrier). One routing point for
+    /// `set_local`/`local_at`/`clear_local`.
+    #[inline(always)]
+    fn owner_slots(&self) -> &[AtomicU64] {
+        if self.membarrier {
+            &self.shared
+        } else {
+            &self.local
+        }
     }
 
     #[inline(always)]
@@ -226,17 +315,19 @@ impl PopShared {
     }
 
     /// Hot-path local reservation (paper Alg. 1 line 11): a relaxed store,
-    /// **no fence** — this is the entire point of publish-on-ping.
+    /// **no fence** — this is the entire point of publish-on-ping. Under
+    /// membarrier mode the store targets the shared slot directly (the
+    /// reclaimer's heavy barrier publishes it; no handler copy needed).
     #[inline(always)]
     pub(crate) fn set_local(&self, tid: usize, slot: usize, word: u64) {
-        self.local[self.idx(tid, slot)].store(word, Ordering::Relaxed);
+        self.owner_slots()[self.idx(tid, slot)].store(word, Ordering::Relaxed);
     }
 
     /// Owner-side read of a local reservation (HazardEraPOP caches the last
     /// reserved era this way).
     #[inline(always)]
     pub(crate) fn local_at(&self, tid: usize, slot: usize) -> u64 {
-        self.local[self.idx(tid, slot)].load(Ordering::Relaxed)
+        self.owner_slots()[self.idx(tid, slot)].load(Ordering::Relaxed)
     }
 
     /// Marks `tid` as inside an operation (activity word → odd).
@@ -260,7 +351,13 @@ impl PopShared {
         self.quiescent_streak[tid].store(0, Ordering::Relaxed);
         let a = self.activity[tid].load(Ordering::Relaxed);
         self.activity[tid].store((a & !1).wrapping_add(1), Ordering::Relaxed);
-        fence(Ordering::SeqCst);
+        // Membarrier mode skips the fence — that is its whole win — which
+        // voids the elision argument; correspondingly, membarrier domains
+        // never use the quiescent filter (module docs), not even on the
+        // downgraded signal path.
+        if !self.membarrier {
+            fence(Ordering::SeqCst);
+        }
     }
 
     /// Marks `tid` as quiescent (activity word → even). Missing visibility
@@ -276,8 +373,9 @@ impl PopShared {
     /// going quiescent. Shared slots intentionally keep their last published
     /// value — stale entries are conservative and refreshed at the next ping.
     pub(crate) fn clear_local(&self, tid: usize) {
+        let slots = self.owner_slots();
         for s in 0..self.slots {
-            self.local[self.idx(tid, s)].store(0, Ordering::Relaxed);
+            slots[self.idx(tid, s)].store(0, Ordering::Relaxed);
         }
     }
 
@@ -335,10 +433,18 @@ impl PopShared {
                 .fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(Duration::from_micros(100));
         }
-        let base = tid * self.slots;
-        for s in 0..self.slots {
-            let w = self.local[base + s].load(Ordering::Relaxed);
-            self.shared[base + s].store(w, Ordering::Relaxed);
+        // Membarrier mode: the owner already writes the shared slots, and
+        // the unused local words are all zero — copying them over would
+        // ERASE live reservations (the handler may fire on these threads
+        // via another domain's ping or a hard-rung re-ping). The publish
+        // degenerates to fence + suspect-clear + counter bump + wake, which
+        // is exactly what the signal fallback path needs from it.
+        if !self.membarrier {
+            let base = tid * self.slots;
+            for s in 0..self.slots {
+                let w = self.local[base + s].load(Ordering::Relaxed);
+                self.shared[base + s].store(w, Ordering::Relaxed);
+            }
         }
         // The single fence that replaces one-fence-per-read of classic HP.
         fence(Ordering::SeqCst);
@@ -397,12 +503,80 @@ impl PopShared {
         true
     }
 
+    /// Executes one process-wide heavy barrier, accounting it on `me`'s
+    /// shard — the **single** place `membarriers` is counted (the `HPAsym`
+    /// baseline and the POP membarrier mode both come through here).
+    /// Returns `false` when the barrier could not run (probe failed, call
+    /// failed, or an injected fault); callers must then use the signal
+    /// fan-out for this pass.
+    pub(crate) fn heavy_membarrier(&self, me: usize) -> bool {
+        if pop_runtime::membarrier::heavy() {
+            self.stats
+                .shard(me)
+                .membarriers
+                .fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The membarrier-mode replacement for the whole ping/wait sequence:
+    /// one heavy barrier, no signals, no waits. Returns `false` on barrier
+    /// failure **after stickily downgrading the domain** — the caller
+    /// falls through to the signal fan-out.
+    fn membarrier_pass(&self, me: usize) -> bool {
+        // Order our own prior unlinks before the barrier (the barrier
+        // syscall is itself a full barrier on this CPU, but the fence
+        // keeps the argument local and costs nothing next to the IPI).
+        fence(Ordering::SeqCst);
+        if !self.heavy_membarrier(me) {
+            // Mid-pass failure (seccomp landed after init, or an injected
+            // MembarrierFail): never try again — a mode that flaps would
+            // make every pass pay a failing syscall — and run this pass
+            // through the fan-out below.
+            self.downgraded.store(true, Ordering::Release);
+            return false;
+        }
+        let peers = (0..self.nthreads)
+            .filter(|&t| t != me && self.registered[t].load(Ordering::Acquire))
+            .count() as u64;
+        let shard = self.stats.shard(me);
+        shard.membarrier_passes.fetch_add(1, Ordering::Relaxed);
+        shard.signals_avoided.fetch_add(peers, Ordering::Relaxed);
+        // Dead-peer probe (module docs): no waits ⇒ no watchdog ⇒ probe
+        // registrations on a period instead. Runs on the first pass, then
+        // every MEMBARRIER_DEAD_PROBE_EVERY-th.
+        let n = self.mb_passes.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(MEMBARRIER_DEAD_PROBE_EVERY) {
+            for t in 0..self.nthreads {
+                if t != me && self.registered[t].load(Ordering::Acquire) {
+                    self.note_dead_if_confirmed(t);
+                }
+            }
+        }
+        true
+    }
+
     /// Reclaimer-side sequence: self-publish, `collectPublishedCounters`,
     /// `pingAllToPublish`, `waitForAllPublished` (Alg. 1 lines 19–21).
     ///
     /// `collected` is the caller's reusable scratch buffer; steady-state
     /// calls perform no heap allocation.
+    ///
+    /// Under membarrier mode the whole sequence collapses to one heavy
+    /// barrier ([`Self::membarrier_pass`]); `collected` is left empty. A
+    /// barrier failure downgrades stickily and falls through to the signal
+    /// fan-out below, whose handshake works unchanged on a
+    /// membarrier-configured domain (degenerate publishes — see
+    /// [`Self::publish_tid`]).
     pub(crate) fn ping_all_and_wait(&self, me: usize, collected: &mut Vec<u64>) {
+        if self.membarrier && !self.downgraded.load(Ordering::Acquire) {
+            collected.clear();
+            if self.membarrier_pass(me) {
+                return;
+            }
+        }
         // The reclaimer publishes its own reservations directly — it may
         // itself hold protected pointers (e.g. a traversal retiring nodes
         // mid-walk) that the scan must honor.
@@ -416,6 +590,11 @@ impl PopShared {
             }
         }
         fence(Ordering::SeqCst);
+        // Membarrier-configured domains never elide pings: their
+        // `note_active` is fence-free, which voids the two-SC-fence
+        // elision proof, so the (downgrade-only) signal path here must
+        // ping every registered peer.
+        let filter = self.filter_quiescent && !self.membarrier;
         let mut pings = 0u64;
         let mut failed = 0u64;
         let mut skipped = 0u64;
@@ -424,7 +603,7 @@ impl PopShared {
             if *c == SKIP {
                 continue;
             }
-            if self.filter_quiescent {
+            if filter {
                 let streak = self.quiescent_streak[t].load(Ordering::SeqCst);
                 if streak >= ADAPTIVE_SKIP_AFTER && !streak.is_multiple_of(ADAPTIVE_RESAMPLE_EVERY)
                 {
@@ -856,6 +1035,22 @@ mod tests {
             DEFAULT_PUBLISH_SPIN,
             true,
             DEFAULT_PUBLISH_DEADLINE_NS,
+            false,
+        )
+    }
+
+    /// A membarrier-mode instance (reservations in shared slots, fan-out
+    /// replaced by one heavy barrier).
+    fn mk_mb(n: usize, slots: usize) -> &'static PopShared {
+        PopShared::leak(
+            n,
+            slots,
+            Arc::new(DomainStats::new(n)),
+            true,
+            DEFAULT_PUBLISH_SPIN,
+            true,
+            DEFAULT_PUBLISH_DEADLINE_NS,
+            true,
         )
     }
 
@@ -1122,6 +1317,7 @@ mod tests {
             0,
             true,
             DEFAULT_PUBLISH_DEADLINE_NS,
+            false,
         );
         p.register(0, 100);
         p.register(1, 101);
@@ -1166,6 +1362,7 @@ mod tests {
             4,
             false,
             DEFAULT_PUBLISH_DEADLINE_NS,
+            false,
         );
         p.register(0, 100);
         p.register(1, 101);
@@ -1201,6 +1398,7 @@ mod tests {
             4,
             true,
             50_000_000, // 50 ms
+            false,
         );
         p.register(0, 100);
         p.register(1, 101);
@@ -1237,7 +1435,7 @@ mod tests {
     fn watchdog_disabled_by_zero_deadline_waits_for_publish() {
         // Deadline 0 restores unbounded waits: the pass returns only
         // because the helper publishes, and no timeout is counted.
-        let p = PopShared::leak(2, 1, Arc::new(DomainStats::new(2)), true, 4, true, 0);
+        let p = PopShared::leak(2, 1, Arc::new(DomainStats::new(2)), true, 4, true, 0, false);
         p.register(0, 100);
         p.register(1, 101);
         p.note_active(1);
@@ -1274,6 +1472,7 @@ mod tests {
             4,
             true,
             50_000_000, // 50 ms
+            false,
         );
         let (tx, rx) = std::sync::mpsc::channel();
         let victim = std::thread::spawn(move || {
@@ -1323,5 +1522,195 @@ mod tests {
         // Republished empty: skippable again.
         p.publish_tid(0);
         assert!(p.is_provably_quiescent(0));
+    }
+
+    // -----------------------------------------------------------------
+    // Membarrier publish mode (module docs, "Membarrier publish mode").
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn membarrier_mode_owner_stores_land_in_shared_slots() {
+        let p = mk_mb(1, 2);
+        p.register(0, 0);
+        p.set_local(0, 1, 0xAB);
+        assert_eq!(
+            p.collect_reserved(),
+            vec![0xAB],
+            "no publish needed — owner stores are already shared"
+        );
+        assert_eq!(
+            p.local_at(0, 1),
+            0xAB,
+            "owner readback routes to the same slots"
+        );
+        p.clear_local(0);
+        assert!(p.collect_reserved().is_empty());
+    }
+
+    #[test]
+    fn membarrier_pass_elides_fan_out_and_accounts_whole_pass() {
+        if !pop_runtime::membarrier::is_available() {
+            return; // fallback path covered by the downgrade test below
+        }
+        let p = mk_mb(3, 1);
+        for t in 0..3 {
+            p.register(t, 100 + t);
+        }
+        p.set_local(1, 0, 0x111);
+        p.set_local(2, 0, 0x222);
+        let mut scratch = vec![1, 2, 3];
+        p.ping_all_and_wait(0, &mut scratch);
+        assert!(
+            scratch.is_empty(),
+            "no counters collected — nothing was waited on"
+        );
+        let s = p.stats.snapshot();
+        assert_eq!(s.membarrier_passes, 1);
+        assert_eq!(
+            s.membarriers, 1,
+            "one heavy barrier, counted at the single site"
+        );
+        assert_eq!(
+            s.signals_avoided, 2,
+            "one avoided signal per registered peer"
+        );
+        assert_eq!(s.pings_sent, 0);
+        assert_eq!(
+            (s.pings_skipped, s.pings_elided_adaptive),
+            (0, 0),
+            "whole-fan-out elision is not accounted as per-peer skips"
+        );
+        assert_eq!(
+            p.collect_reserved(),
+            vec![0x111, 0x222],
+            "peer reservations visible with zero publishes"
+        );
+    }
+
+    #[test]
+    fn stray_handler_publish_does_not_clobber_membarrier_reservations() {
+        let p = mk_mb(2, 1);
+        p.register(0, 55);
+        p.register(1, 66);
+        p.set_local(1, 0, 0xBEEF); // lands directly in the shared slot
+        assert_eq!(p.collect_reserved(), vec![0xBEEF]);
+        // A stray ping (another domain's fan-out through the process-global
+        // handler, or a hard-rung re-ping after a downgrade) runs this
+        // domain's publish: the degenerate publish must NOT copy the
+        // all-zero local words over the live shared reservation.
+        Publisher::publish(p, 66);
+        assert_eq!(
+            p.collect_reserved(),
+            vec![0xBEEF],
+            "publish must not erase a live membarrier-mode reservation"
+        );
+        assert!(
+            p.counter_of(1) >= 1,
+            "the publish still bumps the counter (fallback handshake intact)"
+        );
+    }
+
+    #[test]
+    fn membarrier_mode_never_sets_suspects_so_reping_is_noop() {
+        if !pop_runtime::membarrier::is_available() {
+            return;
+        }
+        let p = mk_mb(2, 1);
+        p.register(0, 100);
+        p.register(1, 101);
+        let mut scratch = Vec::new();
+        p.ping_all_and_wait(0, &mut scratch);
+        assert_eq!(
+            p.reping_suspects(0),
+            0,
+            "pure membarrier mode never suspects anyone — the hard rung's re-ping is a no-op"
+        );
+    }
+
+    #[test]
+    fn membarrier_pass_probes_dead_peer_without_waits() {
+        if !pop_runtime::membarrier::is_available() {
+            return;
+        }
+        // Same corpse setup as the watchdog test above, but detection must
+        // ride the periodic registry probe (first pass runs it): the fast
+        // path never pings and never waits, so the watchdog cannot fire.
+        let p = mk_mb(2, 1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let victim = std::thread::spawn(move || {
+            let reg = Registry::global().register_current();
+            tx.send(reg.gtid()).unwrap();
+            std::mem::forget(reg);
+        });
+        let gtid = rx.recv().unwrap();
+        let generation = Registry::global().generation_of(gtid);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while Registry::global().probe(gtid, generation) != pop_runtime::Liveness::Dead {
+            assert!(std::time::Instant::now() < deadline, "victim never died");
+            std::thread::yield_now();
+        }
+        p.register(0, 100);
+        p.register(1, gtid);
+        p.set_local(1, 0, 0xD1ED);
+        let mut scratch = Vec::new();
+        p.ping_all_and_wait(0, &mut scratch);
+        let s = p.stats.snapshot();
+        assert_eq!(
+            s.membarrier_passes, 1,
+            "the pass must have taken the fast path"
+        );
+        assert_eq!(
+            s.publish_wait_timeouts, 0,
+            "no waits, so no watchdog expiries"
+        );
+        let t = p
+            .take_dead()
+            .expect("the registry probe must flag the corpse");
+        assert_eq!(t, 1);
+        assert_eq!(
+            p.collect_reserved(),
+            vec![0xD1ED],
+            "dead words stay honored until the reaper runs"
+        );
+        assert!(Registry::global().reap(gtid, generation));
+        p.force_unregister(1);
+        assert!(p.collect_reserved().is_empty());
+        victim.join().unwrap();
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn membarrier_failure_downgrades_stickily_to_fan_out() {
+        let _g = faults::test_lock();
+        faults::install(faults::FaultPlan::default().with_rate(FaultSite::MembarrierFail, 1));
+        let p = mk_mb(1, 1);
+        p.register(0, 7);
+        p.set_local(0, 0, 0xF00D);
+        let mut scratch = Vec::new();
+        p.ping_all_and_wait(0, &mut scratch);
+        assert!(
+            p.downgraded.load(Ordering::Acquire),
+            "a failed heavy barrier must downgrade the domain"
+        );
+        let s1 = p.stats.snapshot();
+        assert_eq!(s1.membarrier_passes, 0);
+        assert_eq!(s1.signals_avoided, 0);
+        assert!(
+            s1.publishes >= 1,
+            "the failing pass must fall through to the fan-out (self-publish ran)"
+        );
+        assert_eq!(
+            p.collect_reserved(),
+            vec![0xF00D],
+            "reservations survive the downgrade — readers never change behavior"
+        );
+        faults::clear();
+        // The barrier works again, but the downgrade is sticky.
+        p.ping_all_and_wait(0, &mut scratch);
+        assert_eq!(
+            p.stats.snapshot().membarrier_passes,
+            0,
+            "downgrade must be sticky — no flapping back to membarrier"
+        );
     }
 }

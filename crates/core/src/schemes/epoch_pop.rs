@@ -160,6 +160,7 @@ impl Smr for EpochPop {
             base.cfg.publish_spin,
             base.cfg.futex_wait,
             base.cfg.publish_deadline_ns,
+            base.cfg.resolved_publish_mode() == crate::config::PublishMode::Membarrier,
         );
         let publisher = register_publisher(pop);
         let mut reserved = Vec::with_capacity(n);
@@ -350,7 +351,11 @@ mod tests {
 
     #[test]
     fn stalled_thread_triggers_pop_escalation_and_bounded_garbage() {
-        let cfg = SmrConfig::for_tests(2).with_reclaim_freq(16).with_pop_c(2);
+        // Signal path pinned — the escalation assertion counts pings.
+        let cfg = SmrConfig::for_tests(2)
+            .with_reclaim_freq(16)
+            .with_pop_c(2)
+            .with_publish_mode(crate::config::PublishMode::Futex);
         let smr = EpochPop::new(cfg);
         let reg0 = smr.register(0);
         let hot = alloc(&smr, 9);

@@ -115,6 +115,7 @@ impl Smr for HazardEraPop {
             base.cfg.publish_spin,
             base.cfg.futex_wait,
             base.cfg.publish_deadline_ns,
+            base.cfg.resolved_publish_mode() == crate::config::PublishMode::Membarrier,
         );
         let publisher = register_publisher(pop);
         let mut threads = Vec::with_capacity(n);
@@ -267,7 +268,12 @@ mod tests {
 
     #[test]
     fn pinged_reader_era_blocks_freeing() {
-        let smr = HazardEraPop::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        // Signal path pinned — this test asserts an actual ping landed.
+        let smr = HazardEraPop::new(
+            SmrConfig::for_tests(2)
+                .with_reclaim_freq(4)
+                .with_publish_mode(crate::config::PublishMode::Futex),
+        );
         let reg0 = smr.register(0);
         let hot = alloc(&smr, 7);
         let src = Arc::new(AtomicPtr::new(hot));

@@ -63,13 +63,9 @@ impl HazardPtrAsym {
     /// The heavy side of the asymmetric barrier. `counters` is the caller's
     /// reusable scratch for the signal fallback.
     fn heavy_barrier(&self, tid: usize, counters: &mut Vec<u64>) {
-        if membarrier::heavy() {
-            self.base
-                .stats
-                .shard(tid)
-                .membarriers
-                .fetch_add(1, Ordering::Relaxed);
-        } else {
+        // `heavy_membarrier` is the runtime service's single probe +
+        // counting site, shared with the POP membarrier publish mode.
+        if !self.barrier.heavy_membarrier(tid) {
             // Signal fallback: each handler fences and bumps its counter;
             // waiting for all counters gives the same process-wide ordering.
             self.barrier.ping_all_and_wait(tid, counters);
@@ -139,6 +135,10 @@ impl Smr for HazardPtrAsym {
             base.cfg.publish_spin,
             base.cfg.futex_wait,
             base.cfg.publish_deadline_ns,
+            // Not membarrier-*configured*: the PopShared here is only the
+            // signal fallback engine. The membarrier fast path is taken
+            // explicitly in `heavy_barrier` via `heavy_membarrier`.
+            false,
         );
         let publisher = register_publisher(barrier);
         let mut threads = Vec::with_capacity(n);

@@ -95,6 +95,7 @@ impl Smr for HazardPtrPop {
             base.cfg.publish_spin,
             base.cfg.futex_wait,
             base.cfg.publish_deadline_ns,
+            base.cfg.resolved_publish_mode() == crate::config::PublishMode::Membarrier,
         );
         let publisher = register_publisher(pop);
         let mut threads = Vec::with_capacity(n);
@@ -262,7 +263,14 @@ mod tests {
 
     #[test]
     fn cross_thread_ping_publishes_and_protects() {
-        let smr = HazardPtrPop::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        // Pin the signal path: the assertions below are about pings and
+        // handler publishes, which a POP_PUBLISH_MODE=membarrier CI leg
+        // would (correctly) elide.
+        let smr = HazardPtrPop::new(
+            SmrConfig::for_tests(2)
+                .with_reclaim_freq(4)
+                .with_publish_mode(crate::config::PublishMode::Futex),
+        );
         let reg0 = smr.register(0);
         let hot = alloc(&smr, 7);
         let src = Arc::new(AtomicPtr::new(hot));
@@ -315,10 +323,75 @@ mod tests {
     }
 
     #[test]
+    fn membarrier_mode_protects_without_any_signals() {
+        // Same cross-thread shape as above, but under the membarrier
+        // publish mode: the reader's reservation reaches the reclaimer
+        // through the shared slots + one heavy barrier — no ping, no
+        // handler publish — and is honored identically.
+        if !pop_runtime::membarrier::is_available() {
+            return;
+        }
+        let smr = HazardPtrPop::new(
+            SmrConfig::for_tests(2)
+                .with_reclaim_freq(4)
+                .with_publish_mode(crate::config::PublishMode::Membarrier),
+        );
+        let reg0 = smr.register(0);
+        let hot = alloc(&smr, 7);
+        let src = Arc::new(AtomicPtr::new(hot));
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let src = Arc::clone(&src);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                let p = smr.protect(1, 0, &src).unwrap();
+                tx.send(()).unwrap();
+                while hold.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(unsafe { (*p).v }, 7);
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+        rx.recv().unwrap();
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        for i in 0..8 {
+            let p = alloc(&smr, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let s = smr.stats().snapshot();
+        assert_eq!(s.pings_sent, 0, "membarrier mode must not signal");
+        assert_eq!(s.publishes, 0, "no handler publishes either");
+        assert!(s.membarrier_passes >= 1, "the pass took the fast path");
+        assert!(s.signals_avoided >= 1, "the elided fan-out is accounted");
+        assert_eq!(
+            s.unreclaimed_nodes(),
+            1,
+            "shared-slot reservation honored without any publication step"
+        );
+        hold.store(false, Ordering::Release);
+        reader.join().unwrap();
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg0);
+    }
+
+    #[test]
     fn quiescent_idle_thread_is_not_pinged() {
         // A registered but quiescent peer with empty reservations must be
         // skipped by pingAllToPublish — the quiescent-thread filter.
-        let smr = HazardPtrPop::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let smr = HazardPtrPop::new(
+            SmrConfig::for_tests(2)
+                .with_reclaim_freq(4)
+                // Signal path pinned: the filter counters only move there.
+                .with_publish_mode(crate::config::PublishMode::Futex),
+        );
         let reg0 = smr.register(0);
         let hold = Arc::new(AtomicBool::new(true));
         let (tx, rx) = std::sync::mpsc::channel();
@@ -361,7 +434,9 @@ mod tests {
         let smr = HazardPtrPop::new(
             SmrConfig::for_tests(2)
                 .with_reclaim_freq(4)
-                .with_publish_spin(0),
+                .with_publish_spin(0)
+                // Futex mode pinned: this test is about the park/wake pair.
+                .with_publish_mode(crate::config::PublishMode::Futex),
         );
         let reg0 = smr.register(0);
         let hot = alloc(&smr, 11);

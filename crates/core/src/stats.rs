@@ -103,8 +103,19 @@ pub struct ShardStats {
     pub restarts: AtomicU64,
     /// High-water mark of this thread's retire-list length.
     pub max_retire_len: AtomicU64,
-    /// Asymmetric heavy barriers executed via `membarrier(2)`.
+    /// Asymmetric heavy barriers executed via `membarrier(2)` (both the
+    /// `HPAsym` baseline and the POP membarrier publish mode land here —
+    /// the one counting site is `PopShared::heavy_membarrier`).
     pub membarriers: AtomicU64,
+    /// POP reclamation passes whose entire signal fan-out was replaced by
+    /// one membarrier heavy barrier (`PublishMode::Membarrier` fast path).
+    pub membarrier_passes: AtomicU64,
+    /// Per-peer signals a membarrier pass would otherwise have had to
+    /// send: the registered-peer count of each membarrier pass, summed.
+    /// The membarrier-mode analogue of `pings_skipped` — under this mode
+    /// the fan-out is elided *whole*, so the per-peer skip/elide counters
+    /// stay untouched and this one carries the savings.
+    pub signals_avoided: AtomicU64,
     /// Publish waits abandoned by the watchdog: the deadline expired with
     /// at least one pinged peer unpublished, and the pass completed on
     /// conservative re-snapshots instead.
@@ -299,6 +310,12 @@ impl DomainStats {
             out.membarriers = out
                 .membarriers
                 .wrapping_add(s.membarriers.load(Ordering::Relaxed));
+            out.membarrier_passes = out
+                .membarrier_passes
+                .wrapping_add(s.membarrier_passes.load(Ordering::Relaxed));
+            out.signals_avoided = out
+                .signals_avoided
+                .wrapping_add(s.signals_avoided.load(Ordering::Relaxed));
             out.publish_wait_timeouts = out
                 .publish_wait_timeouts
                 .wrapping_add(s.publish_wait_timeouts.load(Ordering::Relaxed));
@@ -383,6 +400,10 @@ pub struct StatsSnapshot {
     pub max_retire_len: u64,
     /// See [`ShardStats::membarriers`].
     pub membarriers: u64,
+    /// See [`ShardStats::membarrier_passes`].
+    pub membarrier_passes: u64,
+    /// See [`ShardStats::signals_avoided`].
+    pub signals_avoided: u64,
     /// See [`ShardStats::publish_wait_timeouts`].
     pub publish_wait_timeouts: u64,
     /// See [`ShardStats::pings_failed`].

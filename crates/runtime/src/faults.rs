@@ -39,6 +39,8 @@ use core::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 /// | `FutexSpuriousWake` | `futex::wait_timeout` | returns [`crate::futex::WaitOutcome::Woken`] without parking |
 /// | `PublishDelay` | `PopShared::publish_tid` (pop-core) | bounded spin before the local→shared copy |
 /// | `ThreadDeath` | cooperative: harness workers poll [`should_die`] | worker abandons its registration and exits |
+/// | `MembarrierUnavailable` | `membarrier::is_available` | availability probe reports the syscall missing (models seccomp/container denial) |
+/// | `MembarrierFail` | `membarrier::heavy` | a heavy barrier fails mid-pass — callers must downgrade to the signal path |
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(usize)]
 pub enum FaultSite {
@@ -54,10 +56,14 @@ pub enum FaultSite {
     PublishDelay = 4,
     /// Tell a cooperating worker thread to die without unregistering.
     ThreadDeath = 5,
+    /// Make the membarrier availability probe report "unsupported".
+    MembarrierUnavailable = 6,
+    /// Fail a heavy membarrier mid-pass (forces a downgrade to signals).
+    MembarrierFail = 7,
 }
 
 /// Number of distinct [`FaultSite`]s.
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 8;
 
 impl FaultSite {
     /// Every site, in `repr` order.
@@ -68,6 +74,8 @@ impl FaultSite {
         FaultSite::FutexSpuriousWake,
         FaultSite::PublishDelay,
         FaultSite::ThreadDeath,
+        FaultSite::MembarrierUnavailable,
+        FaultSite::MembarrierFail,
     ];
 
     /// The `POP_FAULTS` key naming this site.
@@ -79,6 +87,8 @@ impl FaultSite {
             FaultSite::FutexSpuriousWake => "futex_spurious_wake",
             FaultSite::PublishDelay => "publish_delay",
             FaultSite::ThreadDeath => "thread_death",
+            FaultSite::MembarrierUnavailable => "membarrier_unavailable",
+            FaultSite::MembarrierFail => "membarrier_fail",
         }
     }
 
@@ -360,6 +370,20 @@ mod tests {
             p.sites[FaultSite::PublishDelay as usize],
             SiteTrigger::default()
         );
+    }
+
+    #[test]
+    fn parse_membarrier_sites() {
+        let p = FaultPlan::parse("membarrier_unavailable=always,membarrier_fail=@3").unwrap();
+        assert_eq!(p.sites[FaultSite::MembarrierUnavailable as usize].rate, 1);
+        assert_eq!(p.sites[FaultSite::MembarrierFail as usize].one_shot_at, 3);
+    }
+
+    #[test]
+    fn site_keys_round_trip() {
+        for s in FaultSite::ALL {
+            assert_eq!(FaultSite::from_key(s.key()), Some(s));
+        }
     }
 
     #[test]

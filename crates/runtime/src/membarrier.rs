@@ -1,17 +1,28 @@
-//! Linux `membarrier(2)` asymmetric process-wide memory barrier.
+//! Linux `membarrier(2)` asymmetric process-wide memory barrier — the
+//! runtime's expedited-barrier service.
 //!
-//! The Folly-style `HPAsym` baseline lets readers publish hazard pointers
-//! with plain (relaxed) stores and moves the StoreLoad fence to the
-//! reclaimer, which executes a *process-wide* barrier before scanning
-//! reservations. On mainline Linux this is
+//! Readers publish reservations with plain (relaxed) stores and the
+//! StoreLoad fence moves to the reclaimer, which executes a *process-wide*
+//! barrier before scanning. On mainline Linux this is
 //! `membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)`, which IPIs every CPU
-//! running a thread of this process.
+//! running a thread of this process. Both the `HPAsym` baseline and the
+//! POP schemes' `PublishMode::Membarrier` fast path go through this one
+//! module, so there is exactly one availability probe and one registration
+//! per process.
 //!
-//! Availability varies (the paper §2.1.2 notes the same): the syscall may be
-//! missing or restricted in sandboxes and old kernels. [`heavy`] reports
-//! failure so callers can fall back to the signal-driven barrier built from
-//! the ping machinery (liburcu's "signal flavor" — precisely what
-//! `HazardPtrPOP` already provides).
+//! Availability varies (the paper §2.1.2 notes the same): the syscall may
+//! be missing or restricted in sandboxes, seccomp-filtered containers and
+//! old kernels. [`is_available`] answers the per-process probe (cached
+//! after the first call, registration included) and [`heavy`] reports
+//! per-call failure so callers can fall back to the signal-driven barrier
+//! built from the ping machinery (liburcu's "signal flavor" — precisely
+//! what `HazardPtrPOP`'s signal path already provides).
+//!
+//! Fault injection: [`crate::faults::FaultSite::MembarrierUnavailable`]
+//! makes the probe answer "unsupported" (checked *outside* the cache so a
+//! plan installed mid-process still bites), and
+//! [`crate::faults::FaultSite::MembarrierFail`] fails a single heavy
+//! barrier, exercising callers' mid-pass downgrade.
 
 use std::sync::OnceLock;
 
@@ -38,9 +49,9 @@ fn sys_membarrier(_cmd: libc::c_long) -> libc::c_long {
     -1
 }
 
-/// Returns whether `PRIVATE_EXPEDITED` membarrier is usable, registering
-/// the process on first call. Cached for the process lifetime.
-pub fn is_available() -> bool {
+/// The kernel-truth half of the probe, cached for the process lifetime
+/// (registration is a per-process one-shot and must not repeat).
+fn probe() -> bool {
     static AVAILABLE: OnceLock<bool> = OnceLock::new();
     *AVAILABLE.get_or_init(|| {
         let supported = sys_membarrier(MEMBARRIER_CMD_QUERY);
@@ -52,15 +63,31 @@ pub fn is_available() -> bool {
     })
 }
 
+/// Returns whether `PRIVATE_EXPEDITED` membarrier is usable, registering
+/// the process on first call. The kernel answer is cached for the process
+/// lifetime; the [`MembarrierUnavailable`](crate::faults::FaultSite)
+/// fault-injection site is consulted on every call, so chaos plans can
+/// model a seccomp denial without poisoning the cache for other tests.
+pub fn is_available() -> bool {
+    if crate::faults::fire(crate::faults::FaultSite::MembarrierUnavailable) {
+        return false;
+    }
+    probe()
+}
+
 /// Executes the heavyweight side of the asymmetric barrier.
 ///
 /// On success, every thread of this process has executed a full memory
 /// barrier between the caller's preceding and following memory accesses —
 /// i.e. all of their prior relaxed stores are visible to the caller.
-/// Returns `false` when the syscall is unavailable; callers must then use a
-/// signal-driven barrier instead.
+/// Returns `false` when the syscall is unavailable or fails (including an
+/// injected [`MembarrierFail`](crate::faults::FaultSite)); callers must
+/// then run a signal-driven barrier for this pass instead.
 pub fn heavy() -> bool {
     if !is_available() {
+        return false;
+    }
+    if crate::faults::fire(crate::faults::FaultSite::MembarrierFail) {
         return false;
     }
     sys_membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED) == 0
@@ -85,5 +112,32 @@ mod tests {
         } else {
             assert!(!heavy(), "unavailable membarrier must report failure");
         }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_unavailability_is_transient() {
+        use crate::faults::{self, FaultPlan, FaultSite};
+        let _g = faults::test_lock();
+        let baseline = probe();
+        faults::install(FaultPlan::default().with_rate(FaultSite::MembarrierUnavailable, 1));
+        assert!(!is_available(), "armed probe fault must report unsupported");
+        assert!(!heavy(), "heavy follows the (faulted) probe");
+        faults::clear();
+        assert_eq!(is_available(), baseline, "cache survives the fault");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_heavy_failure_is_one_shot() {
+        use crate::faults::{self, FaultPlan, FaultSite};
+        let _g = faults::test_lock();
+        if !probe() {
+            return; // nothing to fail on hosts without membarrier
+        }
+        faults::install(FaultPlan::default().with_one_shot(FaultSite::MembarrierFail, 1));
+        assert!(!heavy(), "first heavy barrier fails by injection");
+        assert!(heavy(), "subsequent barriers succeed again");
+        faults::clear();
     }
 }
