@@ -31,14 +31,21 @@
 //!   stall clears — and a parity check that the default watermarks stay
 //!   silent (gauge enabled, zero trips) under quiescent churn.
 //!
+//! * **Matrix smoke** (PR 9): four cells of the evaluation matrix — the
+//!   two new structures (skip list, NM tree) under HazardPtrPOP and EBR —
+//!   run through the same [`pop_bench::matrix`] path the `matrix` binary
+//!   uses, reporting throughput and max retire length per cell.
+//!
 //! Usage: `bench_smoke [--out PATH] [--iters N]` (defaults:
-//! `BENCH_pr8.json`, 60 iterations per measurement).
+//! `BENCH_pr9.json`, 60 iterations per measurement).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pop_bench::matrix::{MatrixCell, MatrixMix};
+use pop_bench::{DsId, SchemeId};
 use pop_core::config::PublishMode;
 use pop_core::testing::SweepBench;
 use pop_core::{retire_node, Ebr, HasHeader, HazardPtrPop, Header, Smr, SmrConfig};
@@ -462,8 +469,39 @@ fn publish_pass_ns(mode: PublishMode, peers: usize, iters: u32) -> f64 {
     total.as_nanos() as f64 / iters as f64
 }
 
+/// PR 9 matrix smoke: the two new structures under one POP scheme and one
+/// epoch baseline, driven through the same `MatrixCell::run` path as the
+/// `matrix` binary. Returns `(cell_id, throughput_mops, max_retire_len)`
+/// rows.
+fn matrix_smoke() -> Vec<(String, f64, u64)> {
+    let cells = [
+        (SchemeId::HazardPtrPop, DsId::Skl),
+        (SchemeId::HazardPtrPop, DsId::Nmt),
+        (SchemeId::Ebr, DsId::Skl),
+        (SchemeId::Ebr, DsId::Nmt),
+    ];
+    cells
+        .into_iter()
+        .map(|(scheme, ds)| {
+            let cell = MatrixCell {
+                scheme,
+                ds,
+                threads: 2,
+                mix: MatrixMix::UpdateHeavy,
+                skew: 0.0,
+                key_range: 1024,
+                duration_ms: 40,
+                reclaim_freq: 512,
+            };
+            let rec = cell.run();
+            assert!(rec.ops > 0, "{} executed no ops", cell.id());
+            (cell.id(), rec.throughput_mops, rec.max_retire_len)
+        })
+        .collect()
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_pr8.json");
+    let mut out_path = String::from("BENCH_pr9.json");
     let mut iters: u32 = 60;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -696,8 +734,25 @@ fn main() {
     );
     println!("pressure_untripped_default: {untripped}");
 
+    // PR 9: the new matrix cells (skip list + NM tree) through the
+    // evaluation-grid driver path.
+    let matrix_rows = matrix_smoke();
+    let mut matrix_json = String::new();
+    for (i, (id, mops, retire)) in matrix_rows.iter().enumerate() {
+        println!("matrix_smoke {id}: {mops:.3} Mops/s, max_retire {retire}");
+        if i > 0 {
+            matrix_json.push(',');
+        }
+        write!(
+            matrix_json,
+            "\n    {{\"cell\": \"{id}\", \"throughput_mops\": {mops:.4}, \
+             \"max_retire_len\": {retire}}}"
+        )
+        .unwrap();
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"pr8_membarrier_publish\",\n  \"iters\": {iters},\n  \
+        "{{\n  \"bench\": \"pr9_matrix\",\n  \"iters\": {iters},\n  \
          \"sweep_filter\": [{sweeps}\n  ],\n  \
          \"binned_fill\": [{binned}\n  ],\n  \
          \"sequential_fill_monotone_share\": {seq_share:.3},\n  \
@@ -718,7 +773,8 @@ fn main() {
          \"pressure\": {{\"soft_trips\": {p_soft}, \"hard_trips\": {p_hard}, \
          \"emergency_trips\": {p_emerg}, \"blocks_quarantined\": {p_quar}, \
          \"pool_blocks_trimmed\": {p_trim}, \"recovery_ns\": {p_recovery_ns:.0}, \
-         \"untripped_default\": {untripped}}}\n}}\n"
+         \"untripped_default\": {untripped}}},\n  \
+         \"matrix_smoke\": [{matrix_json}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");

@@ -1,0 +1,146 @@
+//! `matrix` — drives the full `scheme × structure × threads × mix`
+//! evaluation grid, streams every trial into `matrix.csv`, renders
+//! gnuplot figure data, then re-reads and validates its own output.
+//!
+//! ```text
+//! matrix [--preset smoke|paper|full] [--filter SUBSTR] [--out DIR] [--list]
+//! ```
+//!
+//! `--filter` keeps cells whose id (`scheme/ds/t<threads>/<mix>`)
+//! contains the substring, case-insensitively. `--list` prints the cell
+//! ids the current preset+filter would run, without running them.
+//! Exits nonzero if any argument is malformed or the written CSV fails
+//! validation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pop_bench::figure_data::render_figure_data;
+use pop_bench::matrix::{validate_csv, MatrixCell, Preset};
+use pop_workload::write_csv;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: matrix [--preset smoke|paper|full] [--filter SUBSTR] [--out DIR] [--list]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut preset = Preset::Smoke;
+    let mut filter = String::new();
+    let mut out_dir = PathBuf::from("target/bench");
+    let mut list_only = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let Some(p) = argv.next().as_deref().and_then(Preset::parse) else {
+                    eprintln!("--preset expects smoke|paper|full");
+                    return usage();
+                };
+                preset = p;
+            }
+            "--filter" => {
+                let Some(f) = argv.next() else {
+                    eprintln!("--filter expects a substring");
+                    return usage();
+                };
+                filter = f;
+            }
+            "--out" => {
+                let Some(d) = argv.next() else {
+                    eprintln!("--out expects a directory");
+                    return usage();
+                };
+                out_dir = PathBuf::from(d);
+            }
+            "--list" => list_only = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let cells: Vec<MatrixCell> = preset
+        .cells()
+        .into_iter()
+        .filter(|c| c.matches(&filter))
+        .collect();
+    if cells.is_empty() {
+        eprintln!("filter {filter:?} matched no cells");
+        return ExitCode::FAILURE;
+    }
+
+    if list_only {
+        for c in &cells {
+            println!("{}", c.id());
+        }
+        println!("{} cells", cells.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let csv_path = out_dir.join("matrix.csv");
+    if csv_path.exists() {
+        if let Err(e) = std::fs::remove_file(&csv_path) {
+            eprintln!("cannot clear {}: {e}", csv_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let total = cells.len();
+    let mut records = Vec::with_capacity(total);
+    for (i, cell) in cells.iter().enumerate() {
+        eprintln!("[{}/{total}] {}", i + 1, cell.id());
+        let rec = cell.run();
+        let tag = cell.figure_tag();
+        // Stream each trial to disk as it completes, so a crash mid-grid
+        // still leaves every finished row on disk.
+        if let Err(e) = write_csv(&csv_path, &tag, std::slice::from_ref(&rec)) {
+            eprintln!("cannot write {}: {e}", csv_path.display());
+            return ExitCode::FAILURE;
+        }
+        records.push((tag, rec));
+    }
+
+    let fig_dir = out_dir.join("figures");
+    match render_figure_data(&records, &fig_dir) {
+        Ok(paths) => eprintln!(
+            "wrote {} figure files to {}",
+            paths.len(),
+            fig_dir.display()
+        ),
+        Err(e) => {
+            eprintln!("figure rendering failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Self-check: re-read what we wrote and validate the schema, so CI
+    // fails loudly on a malformed CSV rather than archiving garbage.
+    let text = match std::fs::read_to_string(&csv_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot re-read {}: {e}", csv_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_csv(&text) {
+        Ok(rows) if rows == total => {
+            println!("{total} cells -> {} (validated)", csv_path.display());
+            ExitCode::SUCCESS
+        }
+        Ok(rows) => {
+            eprintln!("row count mismatch: ran {total} cells, CSV has {rows} rows");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("CSV validation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

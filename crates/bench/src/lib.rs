@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod figure_data;
 pub mod figures;
+pub mod matrix;
 
 use std::sync::Arc;
 
@@ -22,6 +24,8 @@ use pop_ds::ext_bst::ExtBst;
 use pop_ds::hash_map::HashMapHm;
 use pop_ds::hml::HmList;
 use pop_ds::lazy_list::LazyList;
+use pop_ds::nm_tree::NmTree;
+use pop_ds::skip_list::SkipList;
 use pop_workload::{run_latency_probe, run_workload, LatencyReport, RunConfig, RunRecord};
 
 /// The paper's hash-table load factor (§5.0.1).
@@ -109,9 +113,22 @@ pub enum DsId {
     Hmht,
     Dgt,
     Abt,
+    Skl,
+    Nmt,
 }
 
 impl DsId {
+    /// Every structure in the evaluation matrix.
+    pub const ALL: [DsId; 7] = [
+        DsId::Hml,
+        DsId::Ll,
+        DsId::Hmht,
+        DsId::Dgt,
+        DsId::Abt,
+        DsId::Skl,
+        DsId::Nmt,
+    ];
+
     /// Plot label.
     pub fn name(self) -> &'static str {
         match self {
@@ -120,7 +137,16 @@ impl DsId {
             DsId::Hmht => "HMHT",
             DsId::Dgt => "DGT",
             DsId::Abt => "ABT",
+            DsId::Skl => "SKL",
+            DsId::Nmt => "NMT",
         }
+    }
+
+    /// Parses a structure label (case-insensitive).
+    pub fn parse(s: &str) -> Option<DsId> {
+        Self::ALL
+            .into_iter()
+            .find(|id| id.name().eq_ignore_ascii_case(s))
     }
 }
 
@@ -136,6 +162,8 @@ fn run_ds<S: Smr>(ds: DsId, cfg: &RunConfig, smr_cfg: SmrConfig) -> RunRecord {
         }
         DsId::Dgt => run_workload::<S, ExtBst<S>, _>(cfg, smr_cfg, ExtBst::new),
         DsId::Abt => run_workload::<S, AbTree<S>, _>(cfg, smr_cfg, AbTree::new),
+        DsId::Skl => run_workload::<S, SkipList<S>, _>(cfg, smr_cfg, SkipList::new),
+        DsId::Nmt => run_workload::<S, NmTree<S>, _>(cfg, smr_cfg, NmTree::new),
     }
 }
 
@@ -168,6 +196,8 @@ fn latency_ds<S: Smr>(ds: DsId, cfg: &RunConfig, smr_cfg: SmrConfig) -> LatencyR
         }
         DsId::Dgt => run_latency_probe::<S, ExtBst<S>, _>(cfg, smr_cfg, ExtBst::new),
         DsId::Abt => run_latency_probe::<S, AbTree<S>, _>(cfg, smr_cfg, AbTree::new),
+        DsId::Skl => run_latency_probe::<S, SkipList<S>, _>(cfg, smr_cfg, SkipList::new),
+        DsId::Nmt => run_latency_probe::<S, NmTree<S>, _>(cfg, smr_cfg, NmTree::new),
     }
 }
 

@@ -1,0 +1,420 @@
+//! The full evaluation matrix: `scheme × structure × threads × mix ×
+//! skew` cells, presets sized for CI (`smoke`), the paper's scaled-down
+//! grid (`paper`) and an overnight sweep (`full`), plus CSV validation
+//! for the `matrix` driver binary.
+//!
+//! Every cell runs through [`crate::run_one`] and lands in the same
+//! [`RunRecord`] CSV schema the figure harness uses; the `figure` column
+//! carries [`MatrixCell::figure_tag`], which reuses the paper's figure
+//! numbers (`fig1a` … `fig4`) where the cell reproduces one and
+//! `ext-<ds>-<mix>` tags for the matrix extensions (skip list, NM tree,
+//! extra mixes). [`crate::figure_data`] pivots the CSV into
+//! gnuplot-ready `.dat` files keyed by those tags.
+
+use std::time::Duration;
+
+use pop_core::SmrConfig;
+use pop_workload::{OpMix, RunConfig, RunRecord, WorkloadKind};
+
+use crate::{run_one, DsId, SchemeId};
+
+/// Workload shape axis of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatrixMix {
+    /// 50% inserts / 50% deletes.
+    UpdateHeavy,
+    /// 90% contains / 5% inserts / 5% deletes.
+    ReadHeavy,
+    /// Reader/updater role split (the paper's Figure 4 shape).
+    LongRunningReads,
+}
+
+impl MatrixMix {
+    /// Short label used in figure tags and `--filter` matching.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatrixMix::UpdateHeavy => "upd",
+            MatrixMix::ReadHeavy => "rd",
+            MatrixMix::LongRunningReads => "lrr",
+        }
+    }
+}
+
+/// One trial of the evaluation grid.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixCell {
+    /// Reclamation scheme.
+    pub scheme: SchemeId,
+    /// Data structure.
+    pub ds: DsId,
+    /// Worker threads.
+    pub threads: usize,
+    /// Workload shape.
+    pub mix: MatrixMix,
+    /// Zipf skew exponent (0 = uniform; never combined with
+    /// [`MatrixMix::LongRunningReads`]).
+    pub skew: f64,
+    /// Key range for this structure at this preset.
+    pub key_range: u64,
+    /// Measured-phase length.
+    pub duration_ms: u64,
+    /// Retire-list threshold.
+    pub reclaim_freq: usize,
+}
+
+impl MatrixCell {
+    /// The `figure` CSV tag: the paper's figure number when this cell
+    /// reproduces one, an `ext-` tag otherwise, with a `-zS` suffix for
+    /// skewed variants.
+    pub fn figure_tag(&self) -> String {
+        let base = match (self.ds, self.mix) {
+            (DsId::Dgt, MatrixMix::UpdateHeavy) => "fig1a".to_string(),
+            (DsId::Hmht, MatrixMix::UpdateHeavy) => "fig1b".to_string(),
+            (DsId::Abt, MatrixMix::UpdateHeavy) => "fig1c".to_string(),
+            (DsId::Hml, MatrixMix::UpdateHeavy) => "fig2a".to_string(),
+            (DsId::Ll, MatrixMix::UpdateHeavy) => "fig2b".to_string(),
+            (DsId::Abt, MatrixMix::ReadHeavy) => "fig3a".to_string(),
+            (DsId::Dgt, MatrixMix::ReadHeavy) => "fig3b".to_string(),
+            (DsId::Hml, MatrixMix::LongRunningReads) => "fig4".to_string(),
+            (ds, mix) => format!("ext-{}-{}", ds.name().to_ascii_lowercase(), mix.label()),
+        };
+        if self.skew > 0.0 {
+            format!("{base}-z{}", self.skew)
+        } else {
+            base
+        }
+    }
+
+    /// Human-readable cell id, also the `--filter` match target:
+    /// `scheme/ds/t<threads>/<mix>[/z<skew>]`.
+    pub fn id(&self) -> String {
+        let mut s = format!(
+            "{}/{}/t{}/{}",
+            self.scheme.name(),
+            self.ds.name(),
+            self.threads,
+            self.mix.label()
+        );
+        if self.skew > 0.0 {
+            s.push_str(&format!("/z{}", self.skew));
+        }
+        s
+    }
+
+    /// Case-insensitive substring match against [`MatrixCell::id`].
+    pub fn matches(&self, filter: &str) -> bool {
+        filter.is_empty()
+            || self
+                .id()
+                .to_ascii_lowercase()
+                .contains(&filter.to_ascii_lowercase())
+    }
+
+    /// Runs the trial.
+    pub fn run(&self) -> RunRecord {
+        let kind = match self.mix {
+            MatrixMix::UpdateHeavy => WorkloadKind::Uniform(OpMix::UPDATE_HEAVY),
+            MatrixMix::ReadHeavy => WorkloadKind::Uniform(OpMix::READ_HEAVY),
+            MatrixMix::LongRunningReads => WorkloadKind::LongRunningReads {
+                update_range: (self.key_range / 16).max(16),
+            },
+        };
+        let cfg = RunConfig {
+            threads: self.threads,
+            duration: Duration::from_millis(self.duration_ms),
+            key_range: self.key_range,
+            kind,
+            prefill: true,
+            pin_threads: false,
+            seed: 0x5EED_CAFE,
+            skew: self.skew,
+        };
+        let smr_cfg = SmrConfig::for_threads(self.threads).with_reclaim_freq(self.reclaim_freq);
+        run_one(self.scheme, self.ds, &cfg, smr_cfg)
+    }
+}
+
+/// Grid size / trial length presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// CI-sized: every scheme × {HML, HMHT, SKL, NMT} × {2, 4} threads ×
+    /// {update, read} mixes, plus an HML long-running-reads column;
+    /// ~60 ms trials.
+    Smoke,
+    /// The paper's grid at host-scaled key ranges: every scheme × every
+    /// structure × {1, 2, 4, 8} threads, both mixes, the Figure 4 shape
+    /// and a z=0.99 skew ablation on the list/hash cells; 300 ms trials.
+    Paper,
+    /// The paper grid at full key ranges, {1..16} threads, 1 s trials.
+    Full,
+}
+
+impl Preset {
+    /// Parses a preset name.
+    pub fn parse(s: &str) -> Option<Preset> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Preset::Smoke),
+            "paper" => Some(Preset::Paper),
+            "full" => Some(Preset::Full),
+            _ => None,
+        }
+    }
+
+    fn key_range(self, ds: DsId) -> u64 {
+        match self {
+            Preset::Smoke => match ds {
+                DsId::Hml | DsId::Ll => 256,
+                _ => 2_048,
+            },
+            // Matches the `key_range_scaled` column of the figure specs.
+            Preset::Paper => match ds {
+                DsId::Hml | DsId::Ll => 2_000,
+                DsId::Hmht => 60_000,
+                DsId::Abt => 200_000,
+                DsId::Dgt | DsId::Skl | DsId::Nmt => 20_000,
+            },
+            Preset::Full => match ds {
+                DsId::Hml | DsId::Ll => 2_000,
+                DsId::Hmht => 600_000,
+                DsId::Abt => 2_000_000,
+                DsId::Dgt | DsId::Skl | DsId::Nmt => 200_000,
+            },
+        }
+    }
+
+    fn duration_ms(self) -> u64 {
+        match self {
+            Preset::Smoke => 60,
+            Preset::Paper => 300,
+            Preset::Full => 1_000,
+        }
+    }
+
+    fn reclaim_freq(self) -> usize {
+        match self {
+            Preset::Smoke => 512,
+            // The paper's retire-list threshold (§5.0.1).
+            Preset::Paper | Preset::Full => 24_576,
+        }
+    }
+
+    fn thread_counts(self) -> &'static [usize] {
+        match self {
+            Preset::Smoke => &[2, 4],
+            Preset::Paper => &[1, 2, 4, 8],
+            Preset::Full => &[1, 2, 4, 8, 16],
+        }
+    }
+
+    fn structures(self) -> &'static [DsId] {
+        match self {
+            Preset::Smoke => &[DsId::Hml, DsId::Hmht, DsId::Skl, DsId::Nmt],
+            Preset::Paper | Preset::Full => &DsId::ALL,
+        }
+    }
+
+    /// Expands the preset into its cell list (row-major: scheme outermost,
+    /// so CSV output groups by scheme).
+    pub fn cells(self) -> Vec<MatrixCell> {
+        let mut out = Vec::new();
+        let duration_ms = self.duration_ms();
+        let reclaim_freq = self.reclaim_freq();
+        let mut push = |scheme, ds, threads, mix, skew| {
+            out.push(MatrixCell {
+                scheme,
+                ds,
+                threads,
+                mix,
+                skew,
+                key_range: self.key_range(ds),
+                duration_ms,
+                reclaim_freq,
+            });
+        };
+        for scheme in SchemeId::ALL {
+            for &ds in self.structures() {
+                for &threads in self.thread_counts() {
+                    push(scheme, ds, threads, MatrixMix::UpdateHeavy, 0.0);
+                    push(scheme, ds, threads, MatrixMix::ReadHeavy, 0.0);
+                }
+            }
+            // The Figure 4 shape (long-running readers) on the list — the
+            // structure whose scans are long enough to stall reclamation.
+            for &threads in self.thread_counts() {
+                if threads >= 2 {
+                    push(scheme, DsId::Hml, threads, MatrixMix::LongRunningReads, 0.0);
+                }
+            }
+            // Skew ablation on the contention-sensitive cells.
+            if self != Preset::Smoke {
+                for &threads in self.thread_counts() {
+                    push(scheme, DsId::Hml, threads, MatrixMix::UpdateHeavy, 0.99);
+                    push(scheme, DsId::Hmht, threads, MatrixMix::UpdateHeavy, 0.99);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Validates matrix CSV output: exact header, uniform field counts, and
+/// parseable numeric columns. Returns the data-row count.
+pub fn validate_csv(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty CSV")?;
+    if header != RunRecord::CSV_HEADER {
+        return Err(format!(
+            "header mismatch:\n  got      {header}\n  expected {}",
+            RunRecord::CSV_HEADER
+        ));
+    }
+    let headers: Vec<&str> = header.split(',').collect();
+    let col = |name: &str| {
+        headers
+            .iter()
+            .position(|h| *h == name)
+            .unwrap_or_else(|| panic!("CSV_HEADER lost column {name}"))
+    };
+    let (c_fig, c_ds, c_scheme) = (col("figure"), col("ds"), col("scheme"));
+    let int_cols = [col("threads"), col("key_range"), col("ops")];
+    let float_cols = [col("seconds"), col("throughput_mops"), col("read_mops")];
+    let mut rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != headers.len() {
+            return Err(format!(
+                "row {} has {} fields, header has {}: {line}",
+                i + 2,
+                fields.len(),
+                headers.len()
+            ));
+        }
+        for c in [c_fig, c_ds, c_scheme] {
+            if fields[c].is_empty() {
+                return Err(format!("row {} has empty {} column", i + 2, headers[c]));
+            }
+        }
+        for c in int_cols {
+            fields[c]
+                .parse::<u64>()
+                .map_err(|e| format!("row {} column {}: {e}", i + 2, headers[c]))?;
+        }
+        for c in float_cols {
+            let v = fields[c]
+                .parse::<f64>()
+                .map_err(|e| format!("row {} column {}: {e}", i + 2, headers[c]))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "row {} column {}: non-finite or negative value {v}",
+                    i + 2,
+                    headers[c]
+                ));
+            }
+        }
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn smoke_preset_covers_the_required_grid() {
+        let cells = Preset::Smoke.cells();
+        let schemes: BTreeSet<&str> = cells.iter().map(|c| c.scheme.name()).collect();
+        let structures: BTreeSet<&str> = cells.iter().map(|c| c.ds.name()).collect();
+        let threads: BTreeSet<usize> = cells.iter().map(|c| c.threads).collect();
+        assert_eq!(schemes.len(), SchemeId::ALL.len(), "all 11 schemes");
+        assert!(
+            structures.len() >= 4,
+            "at least 4 structures: {structures:?}"
+        );
+        assert!(structures.contains("SKL") && structures.contains("NMT"));
+        assert!(threads.len() >= 2, "at least 2 thread counts");
+        // Long-running-reads rows are present so the read-Mops figure
+        // renders from every preset.
+        assert!(cells.iter().any(|c| c.mix == MatrixMix::LongRunningReads));
+        // Skew never rides on the long-running-reads shape (the runner
+        // rejects that combination).
+        assert!(cells
+            .iter()
+            .all(|c| c.mix != MatrixMix::LongRunningReads || c.skew == 0.0));
+    }
+
+    #[test]
+    fn paper_preset_covers_every_structure() {
+        let cells = Preset::Paper.cells();
+        let structures: BTreeSet<&str> = cells.iter().map(|c| c.ds.name()).collect();
+        assert_eq!(structures.len(), DsId::ALL.len());
+        assert!(cells.iter().any(|c| c.skew > 0.0), "skew ablation present");
+    }
+
+    #[test]
+    fn figure_tags_match_the_paper_numbering() {
+        let tag = |ds, mix| {
+            MatrixCell {
+                scheme: SchemeId::Ebr,
+                ds,
+                threads: 2,
+                mix,
+                skew: 0.0,
+                key_range: 64,
+                duration_ms: 1,
+                reclaim_freq: 64,
+            }
+            .figure_tag()
+        };
+        assert_eq!(tag(DsId::Dgt, MatrixMix::UpdateHeavy), "fig1a");
+        assert_eq!(tag(DsId::Hmht, MatrixMix::UpdateHeavy), "fig1b");
+        assert_eq!(tag(DsId::Abt, MatrixMix::UpdateHeavy), "fig1c");
+        assert_eq!(tag(DsId::Hml, MatrixMix::UpdateHeavy), "fig2a");
+        assert_eq!(tag(DsId::Ll, MatrixMix::UpdateHeavy), "fig2b");
+        assert_eq!(tag(DsId::Abt, MatrixMix::ReadHeavy), "fig3a");
+        assert_eq!(tag(DsId::Dgt, MatrixMix::ReadHeavy), "fig3b");
+        assert_eq!(tag(DsId::Hml, MatrixMix::LongRunningReads), "fig4");
+        assert_eq!(tag(DsId::Skl, MatrixMix::UpdateHeavy), "ext-skl-upd");
+        assert_eq!(tag(DsId::Nmt, MatrixMix::ReadHeavy), "ext-nmt-rd");
+    }
+
+    #[test]
+    fn filter_matches_on_cell_id() {
+        let cell = MatrixCell {
+            scheme: SchemeId::HazardPtrPop,
+            ds: DsId::Skl,
+            threads: 4,
+            mix: MatrixMix::UpdateHeavy,
+            skew: 0.0,
+            key_range: 64,
+            duration_ms: 1,
+            reclaim_freq: 64,
+        };
+        assert!(cell.matches(""));
+        assert!(cell.matches("skl"));
+        assert!(cell.matches("HazardPtrPOP/SKL"));
+        assert!(cell.matches("t4"));
+        assert!(!cell.matches("NMT"));
+        assert!(!cell.matches("t8"));
+    }
+
+    #[test]
+    fn csv_validation_accepts_real_rows_and_rejects_damage() {
+        let hdr = RunRecord::CSV_HEADER;
+        let n = hdr.split(',').count();
+        let mut row: Vec<String> = (0..n).map(|_| "1".to_string()).collect();
+        row[0] = "fig2a".into();
+        row[1] = "HML".into();
+        row[2] = "EBR".into();
+        let good = format!("{hdr}\n{}\n", row.join(","));
+        assert_eq!(validate_csv(&good), Ok(1));
+        assert!(validate_csv("bogus,header\n1,2\n").is_err());
+        let short = format!("{hdr}\nfig2a,HML,EBR\n");
+        assert!(validate_csv(&short).is_err());
+        let mut bad_num = row.clone();
+        bad_num[3] = "two".into(); // threads column
+        let bad = format!("{hdr}\n{}\n", bad_num.join(","));
+        assert!(validate_csv(&bad).is_err());
+    }
+}

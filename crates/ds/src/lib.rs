@@ -1,6 +1,6 @@
 //! # `pop-ds` — concurrent set/map data structures over generic SMR
 //!
-//! The five data structures the paper benchmarks (§5), each written once
+//! The data structures the paper benchmarks (§5), each written once
 //! against [`pop_core::Smr`] so every reclamation scheme plugs in
 //! unchanged — the "drop-in replacement" property of publish-on-ping:
 //!
@@ -10,6 +10,10 @@
 //! * [`ext_bst`] — external (leaf-oriented) BST with per-node locks, after
 //!   David, Guerraoui & Trigonakis (`DGT`).
 //! * [`ab_tree`] — copy-on-write (a,b)-tree, after Brown (`ABT`).
+//! * [`skip_list`] — lock-free skip list, Fraser / Herlihy-Shavit style
+//!   (`SKL`).
+//! * [`nm_tree`] — lock-free external BST, after Natarajan & Mittal
+//!   (`NMT`).
 //!
 //! All structures store `u64` keys and values (as the paper's benchmark
 //! does) and implement the common [`ConcurrentMap`] interface used by the
@@ -36,6 +40,8 @@ pub mod hml;
 pub mod lazy_list;
 pub mod marked;
 pub mod ms_queue;
+pub mod nm_tree;
+pub mod skip_list;
 pub mod treiber_stack;
 
 use pop_core::Smr;

@@ -1,0 +1,662 @@
+//! `NMT` — lock-free external binary search tree, after Natarajan &
+//! Mittal ("Fast Concurrent Lock-free Binary Search Trees", PPoPP 2014).
+//!
+//! Like [`crate::ext_bst`] the tree is leaf-oriented — all elements live
+//! in leaves, internal nodes are pure routing — but deletion is lock-free:
+//! instead of locking the parent and grandparent, a deleter *flags* the
+//! parent→leaf edge (bit 1, the logical delete), *tags* the sibling edge
+//! (bit 0, freezing it in place) and swings the ancestor→successor edge to
+//! the sibling with a single CAS. Edge bits are sticky: a flagged or
+//! tagged edge can never be written again (every mutating CAS expects a
+//! clean pointer), so the detached region is frozen the moment the swing
+//! succeeds and the swing winner can walk it deterministically.
+//!
+//! ## Retire discipline
+//!
+//! The swing winner owns the detached region — the subtree under
+//! `successor` minus the subtree under the spliced-in sibling; it is the
+//! chain of frozen internal nodes plus their flagged leaves. The winner
+//! makes **two passes** over it: pass 1 sets every node's `unlinked` flag,
+//! pass 2 retires. Traversals re-check `parent.unlinked` *after*
+//! protecting a child: seeing it clear proves pass 1 (and therefore every
+//! retire of a region containing the parent) had not completed when the
+//! child's reservation was already published, so no sweep can have missed
+//! it — the same reachable-after-reservation argument as
+//! [`crate::ext_bst`]'s `marked` re-check, generalized to multi-node
+//! detaches.
+//!
+//! Because edges carry tag/flag bits that traversals must pass *through*
+//! (frozen edges never change, so restarting on them would livelock),
+//! hazards are published for the *clean* pointer via a local relay and
+//! validated by re-reading the raw edge. Seek holds four roles
+//! (ancestor, successor, parent, leaf) in fixed slots plus one in-flight
+//! slot; remove pins its victim leaf in a sixth slot across the cleanup
+//! loop so the pointer-equality "has someone finished my detach?" check
+//! cannot be confused by address reuse — hence [`SLOTS_REQUIRED`] = 6.
+
+use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use pop_core::{as_header, retire_node, HasHeader, Header, Restart, Smr};
+
+use crate::marked::unmarked;
+use crate::{ConcurrentMap, Key, Value};
+
+/// Hazard slots the tree uses (4 seek roles + in-flight + pinned victim).
+pub const SLOTS_REQUIRED: usize = 6;
+
+const SLOT_ANCESTOR: usize = 0;
+const SLOT_SUCCESSOR: usize = 1;
+const SLOT_PARENT: usize = 2;
+const SLOT_LEAF: usize = 3;
+const SLOT_INFLIGHT: usize = 4;
+const SLOT_VICTIM: usize = 5;
+
+/// Edge bit 0: the edge is frozen in place (sibling of a pending delete).
+const TAG: usize = 1;
+/// Edge bit 1: the pointed-to leaf is logically deleted.
+const FLAG: usize = 2;
+
+/// Smallest sentinel key; user keys must stay below it.
+pub const INF0: Key = u64::MAX - 2;
+const INF1: Key = u64::MAX - 1;
+const INF2: Key = u64::MAX;
+
+#[inline(always)]
+fn is_tagged(p: *mut NmNode) -> bool {
+    p as usize & TAG != 0
+}
+
+#[inline(always)]
+fn is_flagged(p: *mut NmNode) -> bool {
+    p as usize & FLAG != 0
+}
+
+#[inline(always)]
+fn with_tag(p: *mut NmNode) -> *mut NmNode {
+    (p as usize | TAG) as *mut NmNode
+}
+
+#[inline(always)]
+fn with_flag(p: *mut NmNode) -> *mut NmNode {
+    (p as usize | FLAG) as *mut NmNode
+}
+
+/// Tree node; a leaf iff `left` is null. `#[repr(C)]`, header first.
+#[repr(C)]
+pub struct NmNode {
+    hdr: Header,
+    /// Routing key (internal) or element key (leaf).
+    pub key: Key,
+    /// Element value (leaves only; immutable after publication).
+    pub value: Value,
+    /// Left child (`key < self.key`); low bits carry TAG/FLAG.
+    pub left: AtomicPtr<NmNode>,
+    /// Right child (`key >= self.key`); low bits carry TAG/FLAG.
+    pub right: AtomicPtr<NmNode>,
+    /// Set by the swing winner's pass 1, strictly before any retire of the
+    /// detached region (see module docs).
+    unlinked: AtomicBool,
+}
+
+// SAFETY: repr(C) with Header as the first field.
+unsafe impl HasHeader for NmNode {}
+
+impl NmNode {
+    fn new_raw(key: Key, value: Value, left: *mut NmNode, right: *mut NmNode) -> NmNode {
+        NmNode {
+            hdr: Header::new(0, core::mem::size_of::<NmNode>()),
+            key,
+            value,
+            left: AtomicPtr::new(left),
+            right: AtomicPtr::new(right),
+            unlinked: AtomicBool::new(false),
+        }
+    }
+
+    fn alloc<S: Smr>(
+        smr: &S,
+        tid: usize,
+        key: Key,
+        value: Value,
+        left: *mut NmNode,
+        right: *mut NmNode,
+    ) -> *mut NmNode {
+        smr.note_alloc(tid, core::mem::size_of::<NmNode>());
+        let mut n = Self::new_raw(key, value, left, right);
+        n.hdr = Header::new(smr.current_era(), core::mem::size_of::<NmNode>());
+        Box::into_raw(Box::new(n))
+    }
+
+    #[inline(always)]
+    fn is_leaf(&self) -> bool {
+        unmarked(self.left.load(Ordering::Acquire)).is_null()
+    }
+
+    /// The child edge `key` routes through.
+    #[inline(always)]
+    fn child_for(&self, key: Key) -> &AtomicPtr<NmNode> {
+        if key < self.key {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}
+
+/// Snapshot of a descent (all four nodes protected or immortal).
+struct SeekRecord {
+    /// Deepest node whose outgoing path edge was clean; owns the edge the
+    /// swing CAS targets.
+    ancestor: *mut NmNode,
+    /// Child of `ancestor` on the path; root of the detachable region.
+    successor: *mut NmNode,
+    /// Parent of `leaf`.
+    parent: *mut NmNode,
+    /// The external node covering the sought key.
+    leaf: *mut NmNode,
+}
+
+/// The lock-free external BST.
+pub struct NmTree<S: Smr> {
+    /// Immortal root: `r(INF2) → { s(INF1) → { leaf(INF0), leaf(INF1) },
+    /// leaf(INF2) }`. The sentinel internals are never deletable (their
+    /// leaves' keys can't match a user key), so every real node has a real
+    /// ancestor chain.
+    root: *mut NmNode,
+    s_child: *mut NmNode,
+    smr: Arc<S>,
+}
+
+// SAFETY: all shared state is atomics; nodes are managed by the SMR domain.
+unsafe impl<S: Smr> Send for NmTree<S> {}
+unsafe impl<S: Smr> Sync for NmTree<S> {}
+
+impl<S: Smr> NmTree<S> {
+    /// Creates an empty tree. Keys must be `< INF0`.
+    pub fn new(smr: Arc<S>) -> Self {
+        let nil = core::ptr::null_mut();
+        let leaf0 = Box::into_raw(Box::new(NmNode::new_raw(INF0, 0, nil, nil)));
+        let leaf1 = Box::into_raw(Box::new(NmNode::new_raw(INF1, 0, nil, nil)));
+        let leaf2 = Box::into_raw(Box::new(NmNode::new_raw(INF2, 0, nil, nil)));
+        let s_child = Box::into_raw(Box::new(NmNode::new_raw(INF1, 0, leaf0, leaf1)));
+        let root = Box::into_raw(Box::new(NmNode::new_raw(INF2, 0, s_child, leaf2)));
+        NmTree { root, s_child, smr }
+    }
+
+    /// Publishes a hazard for the *clean* pointer read out of `edge`,
+    /// validating against the raw (possibly tagged/flagged) edge value.
+    /// Returns `(raw, clean)`.
+    fn protect_edge(
+        &self,
+        tid: usize,
+        slot: usize,
+        edge: &AtomicPtr<NmNode>,
+    ) -> Result<(*mut NmNode, *mut NmNode), Restart> {
+        loop {
+            let raw = edge.load(Ordering::Acquire);
+            let clean = unmarked(raw);
+            let relay = AtomicPtr::new(clean);
+            self.smr.protect(tid, slot, &relay)?;
+            if edge.load(Ordering::Acquire) == raw {
+                return Ok((raw, clean));
+            }
+        }
+    }
+
+    /// Re-publishes a hazard for `p` (already protected in another slot or
+    /// immortal, so no validation is needed — there is no protection gap).
+    fn protect_held(&self, tid: usize, slot: usize, p: *mut NmNode) -> Result<(), Restart> {
+        let relay = AtomicPtr::new(p);
+        self.smr.protect(tid, slot, &relay).map(|_| ())
+    }
+
+    /// Descends to the external node covering `key`. The ancestor /
+    /// successor pair freezes at the first tagged edge on the path (tagged
+    /// edges belong to pending deletes whose regions end below them).
+    fn seek(&self, tid: usize, key: Key) -> Result<SeekRecord, Restart> {
+        'retry: loop {
+            let mut rec = SeekRecord {
+                ancestor: self.root,
+                successor: self.s_child,
+                parent: self.s_child,
+                leaf: core::ptr::null_mut(),
+            };
+            self.protect_held(tid, SLOT_ANCESTOR, rec.ancestor)?;
+            self.protect_held(tid, SLOT_SUCCESSOR, rec.successor)?;
+            self.protect_held(tid, SLOT_PARENT, rec.parent)?;
+            // SAFETY: s_child is immortal.
+            let (mut parent_field, leaf) =
+                self.protect_edge(tid, SLOT_LEAF, unsafe { &(*self.s_child).left })?;
+            rec.leaf = leaf;
+            loop {
+                // SAFETY: rec.leaf is protected in SLOT_LEAF (or in-flight
+                // slot just re-published); reachable per the unlinked
+                // re-check below on its parent at protection time.
+                let leaf_ref = unsafe { &*rec.leaf };
+                if leaf_ref.is_leaf() {
+                    return Ok(rec);
+                }
+                let (current_raw, current) =
+                    self.protect_edge(tid, SLOT_INFLIGHT, leaf_ref.child_for(key))?;
+                // Reachability re-check (see module docs): pass 1 of a
+                // detach flags the edge's owner before pass 2 retires the
+                // child, so a clear flag here proves the child's hazard
+                // (already published) precedes any retire.
+                if leaf_ref.unlinked.load(Ordering::Acquire) {
+                    continue 'retry;
+                }
+                if current.is_null() {
+                    // leaf_ref was internal a moment ago; its children are
+                    // immutable once set, so null means a torn read.
+                    continue 'retry;
+                }
+                self.smr.check_live(current);
+                // Shift roles: ancestor/successor advance only across
+                // clean path edges.
+                if !is_tagged(parent_field) {
+                    rec.ancestor = rec.parent;
+                    self.protect_held(tid, SLOT_ANCESTOR, rec.ancestor)?;
+                    rec.successor = rec.leaf;
+                    self.protect_held(tid, SLOT_SUCCESSOR, rec.successor)?;
+                }
+                rec.parent = rec.leaf;
+                self.protect_held(tid, SLOT_PARENT, rec.parent)?;
+                rec.leaf = current;
+                self.protect_held(tid, SLOT_LEAF, rec.leaf)?;
+                parent_field = current_raw;
+            }
+        }
+    }
+
+    /// Completes the physical detach of the delete whose flag sits on one
+    /// of `rec.parent`'s edges. Returns whether *this* call won the swing
+    /// (the winner retired the region).
+    fn cleanup(&self, tid: usize, key: Key, rec: &SeekRecord) -> Result<bool, Restart> {
+        let smr = &*self.smr;
+        // SAFETY: all four record nodes are protected (or immortal).
+        let ancestor_ref = unsafe { &*rec.ancestor };
+        let parent_ref = unsafe { &*rec.parent };
+        let (child_edge, sibling_edge) = if key < parent_ref.key {
+            (&parent_ref.left, &parent_ref.right)
+        } else {
+            (&parent_ref.right, &parent_ref.left)
+        };
+        let (_, sibling_edge) = if is_flagged(child_edge.load(Ordering::Acquire)) {
+            (child_edge, sibling_edge)
+        } else {
+            // The flag is on the other side: we are helping a delete whose
+            // victim is the sibling of the leaf we sought.
+            (sibling_edge, child_edge)
+        };
+        smr.begin_write(
+            tid,
+            &[
+                as_header(rec.ancestor),
+                as_header(rec.successor),
+                as_header(rec.parent),
+                as_header(rec.leaf),
+            ],
+        )?;
+        // Freeze the sibling edge so the spliced-in subtree can't change
+        // between here and the swing. Sticky: never cleared in place.
+        let sib_raw = loop {
+            let v = sibling_edge.load(Ordering::Acquire);
+            if is_tagged(v) {
+                break v;
+            }
+            if sibling_edge
+                .compare_exchange(v, with_tag(v), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break with_tag(v);
+            }
+        };
+        let sibling = unmarked(sib_raw);
+        // Swing: ancestor's path edge goes from the (clean) successor to
+        // the sibling, dropping TAG but preserving FLAG so a pending
+        // delete of the sibling leaf can continue at its new address.
+        let new_edge = if is_flagged(sib_raw) {
+            with_flag(sibling)
+        } else {
+            sibling
+        };
+        let won = ancestor_ref
+            .child_for(key)
+            .compare_exchange(rec.successor, new_edge, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if won {
+            // The region (subtree of successor minus subtree of sibling)
+            // is now unreachable and every edge in it is frozen, so the
+            // walk below sees a static graph. Pass 1: flag everything.
+            // Pass 2: retire. Nodes beyond the write set can't be freed
+            // under us — they are not yet retired and we are the sole
+            // retirer.
+            let mut region = Vec::new();
+            let mut stack = vec![rec.successor];
+            while let Some(n) = stack.pop() {
+                if n == sibling {
+                    continue;
+                }
+                // SAFETY: frozen, unreachable, not yet retired.
+                let n_ref = unsafe { &*n };
+                n_ref.unlinked.store(true, Ordering::Release);
+                region.push(n);
+                for e in [&n_ref.left, &n_ref.right] {
+                    let c = unmarked(e.load(Ordering::Acquire));
+                    if !c.is_null() {
+                        stack.push(c);
+                    }
+                }
+            }
+            for n in region {
+                // SAFETY: detached exactly once by the swing winner.
+                unsafe { retire_node(smr, tid, n) };
+            }
+        }
+        smr.end_write(tid);
+        Ok(won)
+    }
+
+    fn try_insert(&self, tid: usize, key: Key, value: Value) -> Result<bool, Restart> {
+        debug_assert!(key < INF0, "keys must stay below the sentinel range");
+        let smr = &*self.smr;
+        let rec = self.seek(tid, key)?;
+        // SAFETY: leaf/parent protected by seek.
+        let leaf_ref = unsafe { &*rec.leaf };
+        if leaf_ref.key == key {
+            return Ok(false);
+        }
+        let parent_ref = unsafe { &*rec.parent };
+        let edge = parent_ref.child_for(key);
+        let nil = core::ptr::null_mut();
+        let new_leaf = NmNode::alloc(smr, tid, key, value, nil, nil);
+        // Routing node: larger key routes right (external-tree shape).
+        let internal = if key < leaf_ref.key {
+            NmNode::alloc(smr, tid, leaf_ref.key, 0, new_leaf, rec.leaf)
+        } else {
+            NmNode::alloc(smr, tid, key, 0, rec.leaf, new_leaf)
+        };
+        let free_pair = |s: &S| {
+            // SAFETY: never published.
+            unsafe {
+                drop(Box::from_raw(internal));
+                drop(Box::from_raw(new_leaf));
+            }
+            s.note_dealloc_unpublished(tid, 2 * core::mem::size_of::<NmNode>());
+        };
+        if let Err(r) = smr.begin_write(tid, &[as_header(rec.parent), as_header(rec.leaf)]) {
+            free_pair(smr);
+            return Err(r);
+        }
+        let ok = edge
+            .compare_exchange(rec.leaf, internal, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        smr.end_write(tid);
+        if ok {
+            return Ok(true);
+        }
+        free_pair(smr);
+        // If the CAS lost to a delete of this very leaf (edge now carries
+        // bits on the same pointer), help detach before retrying.
+        if unmarked(edge.load(Ordering::Acquire)) == rec.leaf {
+            let _ = self.cleanup(tid, key, &rec);
+        }
+        Err(Restart)
+    }
+
+    fn try_remove(&self, tid: usize, key: Key) -> Result<bool, Restart> {
+        let smr = &*self.smr;
+        let rec = self.seek(tid, key)?;
+        // SAFETY: leaf/parent protected by seek.
+        if unsafe { &*rec.leaf }.key != key {
+            return Ok(false);
+        }
+        let target = rec.leaf;
+        // Pin the victim across the cleanup loop: later seeks reassign the
+        // role slots, and the pointer-equality check below is only
+        // meaningful while `target` cannot be freed and reallocated.
+        self.protect_held(tid, SLOT_VICTIM, target)?;
+        let edge = unsafe { &*rec.parent }.child_for(key);
+        // Injection: flag the parent→leaf edge. This is the logical
+        // delete (linearization point) — the flag is sticky, so the leaf
+        // can never be revived.
+        smr.begin_write(tid, &[as_header(rec.parent), as_header(rec.leaf)])?;
+        let injected = edge
+            .compare_exchange(
+                target,
+                with_flag(target),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        smr.end_write(tid);
+        if !injected {
+            // Lost to a concurrent delete or insert at this leaf; help if
+            // it was a delete of the same leaf, then retry from scratch.
+            if unmarked(edge.load(Ordering::Acquire)) == target {
+                let _ = self.cleanup(tid, key, &rec);
+            }
+            return Err(Restart);
+        }
+        // Physical cleanup. Never propagate Restart past this point: the
+        // delete already linearized, so the caller's retry would re-seek
+        // and wrongly report the key absent.
+        let mut rec = rec;
+        loop {
+            if let Ok(true) = self.cleanup(tid, key, &rec) {
+                return Ok(true);
+            }
+            rec = match self.seek(tid, key) {
+                Ok(r) => r,
+                Err(Restart) => continue,
+            };
+            if rec.leaf != target {
+                // A helper completed our detach (target is pinned, so
+                // this cannot be address reuse).
+                return Ok(true);
+            }
+        }
+    }
+
+    fn try_get(&self, tid: usize, key: Key) -> Result<Option<Value>, Restart> {
+        let rec = self.seek(tid, key)?;
+        // SAFETY: leaf protected by seek.
+        let leaf_ref = unsafe { &*rec.leaf };
+        if leaf_ref.key == key {
+            Ok(Some(leaf_ref.value))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// In-order key census for test validation (requires quiescence).
+    pub fn keys_quiescent(&self) -> Vec<Key> {
+        fn walk(p: *mut NmNode, out: &mut Vec<Key>) {
+            let p = unmarked(p);
+            if p.is_null() {
+                return;
+            }
+            // SAFETY: caller guarantees no concurrent mutation.
+            let n = unsafe { &*p };
+            if n.is_leaf() {
+                if n.key < INF0 {
+                    out.push(n.key);
+                }
+                return;
+            }
+            walk(n.left.load(Ordering::Acquire), out);
+            walk(n.right.load(Ordering::Acquire), out);
+        }
+        let mut out = Vec::new();
+        // SAFETY: quiescence contract.
+        walk(
+            unsafe { &*self.root }.left.load(Ordering::Acquire),
+            &mut out,
+        );
+        out
+    }
+}
+
+impl<S: Smr> ConcurrentMap<S> for NmTree<S> {
+    const DS_NAME: &'static str = "NMT";
+
+    fn with_domain(smr: Arc<S>) -> Self {
+        Self::new(smr)
+    }
+
+    fn smr(&self) -> &Arc<S> {
+        &self.smr
+    }
+
+    fn insert(&self, tid: usize, key: Key, value: Value) -> bool {
+        loop {
+            self.smr.begin_op(tid);
+            let r = self.try_insert(tid, key, value);
+            self.smr.end_op(tid);
+            match r {
+                Ok(b) => return b,
+                Err(Restart) => continue,
+            }
+        }
+    }
+
+    fn remove(&self, tid: usize, key: Key) -> bool {
+        loop {
+            self.smr.begin_op(tid);
+            let r = self.try_remove(tid, key);
+            self.smr.end_op(tid);
+            match r {
+                Ok(b) => return b,
+                Err(Restart) => continue,
+            }
+        }
+    }
+
+    fn contains(&self, tid: usize, key: Key) -> bool {
+        self.get(tid, key).is_some()
+    }
+
+    fn get(&self, tid: usize, key: Key) -> Option<Value> {
+        loop {
+            self.smr.begin_op(tid);
+            let r = self.try_get(tid, key);
+            self.smr.end_op(tid);
+            match r {
+                Ok(v) => return v,
+                Err(Restart) => continue,
+            }
+        }
+    }
+}
+
+impl<S: Smr> Drop for NmTree<S> {
+    fn drop(&mut self) {
+        fn free(p: *mut NmNode) {
+            let p = unmarked(p);
+            if p.is_null() {
+                return;
+            }
+            // SAFETY: exclusive access in Drop.
+            let n = unsafe { Box::from_raw(p) };
+            free(n.left.load(Ordering::Relaxed));
+            free(n.right.load(Ordering::Relaxed));
+        }
+        free(self.root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pop_core::{Ebr, HazardPtr, HazardPtrPop, SmrConfig};
+
+    #[test]
+    fn roundtrip_with_classic_hp() {
+        let smr = HazardPtr::new(SmrConfig::for_tests(2).with_reclaim_freq(8));
+        let t = NmTree::new(Arc::clone(&smr));
+        let reg = smr.register(0);
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            assert!(t.insert(0, k, k + 1));
+        }
+        assert!(!t.insert(0, 50, 0), "duplicate rejected");
+        for k in [50u64, 25, 75, 10, 30, 60, 90] {
+            assert_eq!(t.get(0, k), Some(k + 1));
+        }
+        assert!(!t.contains(0, 55));
+        assert_eq!(t.keys_quiescent(), vec![10, 25, 30, 50, 60, 75, 90]);
+        drop(reg);
+    }
+
+    #[test]
+    fn delete_detaches_and_retires() {
+        let smr = HazardPtrPop::new(SmrConfig::for_tests(2).with_reclaim_freq(4));
+        let t = NmTree::new(Arc::clone(&smr));
+        let reg = smr.register(0);
+        for k in 1..=20u64 {
+            assert!(t.insert(0, k, k));
+        }
+        for k in 1..=20u64 {
+            assert!(t.remove(0, k), "remove {k}");
+            assert!(!t.remove(0, k), "double remove rejected");
+            assert!(!t.contains(0, k));
+        }
+        assert!(t.keys_quiescent().is_empty());
+        // Uncontended deletes detach one routing node + one leaf each.
+        smr.flush(0);
+        assert_eq!(smr.stats().snapshot().retired_nodes, 40);
+        assert_eq!(smr.stats().snapshot().unreclaimed_nodes(), 0);
+        drop(reg);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let smr = HazardPtr::new(SmrConfig::for_tests(1));
+        let t = NmTree::new(Arc::clone(&smr));
+        let reg = smr.register(0);
+        assert!(!t.contains(0, 5));
+        assert!(!t.remove(0, 5));
+        assert!(t.insert(0, 5, 50));
+        assert!(t.remove(0, 5));
+        assert!(!t.contains(0, 5));
+        drop(reg);
+    }
+
+    #[test]
+    fn keys_near_the_sentinel_boundary() {
+        // The largest legal user key routes through every sentinel
+        // comparison; regression for routing-key collisions at the top.
+        let smr = HazardPtr::new(SmrConfig::for_tests(1));
+        let t = NmTree::new(Arc::clone(&smr));
+        let reg = smr.register(0);
+        let big = INF0 - 1;
+        assert!(t.insert(0, big, 1));
+        assert!(t.insert(0, 0, 2));
+        assert!(t.contains(0, big));
+        assert!(t.remove(0, big));
+        assert!(!t.contains(0, big));
+        assert!(t.remove(0, 0));
+        assert!(t.keys_quiescent().is_empty());
+        drop(reg);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_keeps_order() {
+        let smr = Ebr::new(SmrConfig::for_tests(1).with_reclaim_freq(16));
+        let t = NmTree::new(Arc::clone(&smr));
+        let reg = smr.register(0);
+        for k in 0..200u64 {
+            t.insert(0, k * 7 % 199, k);
+        }
+        for k in 0..100u64 {
+            t.remove(0, k);
+        }
+        let keys = t.keys_quiescent();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "in-order walk must be sorted + unique");
+        assert!(keys.iter().all(|&k| k >= 100), "deleted range is gone");
+        drop(reg);
+    }
+}

@@ -98,16 +98,29 @@ impl LatencyHistogram {
     }
 
     /// Value at quantile `q` in `[0, 1]` (bucket lower bound; ≈6% error).
+    ///
+    /// The endpoints are exact: `q = 0` returns [`LatencyHistogram::min`]
+    /// and `q = 1` returns [`LatencyHistogram::max`] (both tracked outside
+    /// the buckets), rather than a bucket floor that could under-report.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil() as u64;
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank.max(1) {
-                return Self::bucket_floor(i).min(self.max);
+                // Clamp into the observed [min, max] so interior quantiles
+                // stay monotone with the exact endpoints.
+                return Self::bucket_floor(i).clamp(self.min(), self.max);
             }
         }
         self.max
@@ -207,6 +220,33 @@ mod tests {
         assert_eq!(a.max(), 100_000);
         assert!(a.max() >= amax);
         assert_eq!(a.min(), 10);
+    }
+
+    #[test]
+    fn quantile_endpoints_are_exact() {
+        // Satellite regression: q=0 and q=1 must return the *exact*
+        // tracked min/max, not a log-bucket floor (which under-reports by
+        // up to 6%) — and stay monotone against interior quantiles.
+        let mut h = LatencyHistogram::new();
+        for v in [1_023u64, 4_097, 65_537, 999_999] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1_023, "q=0 is the exact min");
+        assert_eq!(h.quantile(1.0), 999_999, "q=1 is the exact max");
+        let mut prev = h.quantile(0.0);
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+        // Out-of-range q clamps to the endpoints.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        // Single-sample histogram: every quantile is that sample.
+        let mut one = LatencyHistogram::new();
+        one.record(1000);
+        assert_eq!(one.quantile(0.0), 1000);
+        assert_eq!(one.quantile(1.0), 1000);
     }
 
     #[test]

@@ -12,31 +12,62 @@ pub enum OpKind {
 }
 
 /// An insert/delete/contains percentage mix (the remainder is contains).
+///
+/// Validated at construction: `insert_pct + delete_pct <= 100`. The fields
+/// are private so a release-build matrix cell can never carry a mix that
+/// silently skews toward inserts (the old `debug_assert!`-in-`pick` bug).
 #[derive(Clone, Copy, Debug)]
 pub struct OpMix {
-    /// Percent of operations that insert.
-    pub insert_pct: u32,
-    /// Percent of operations that delete.
-    pub delete_pct: u32,
+    insert_pct: u32,
+    delete_pct: u32,
 }
 
 impl OpMix {
     /// The paper's update-heavy mix: 50% inserts, 50% deletes.
-    pub const UPDATE_HEAVY: OpMix = OpMix {
-        insert_pct: 50,
-        delete_pct: 50,
-    };
+    pub const UPDATE_HEAVY: OpMix = OpMix::new(50, 50);
 
     /// The paper's read-heavy mix: 5% inserts, 5% deletes, 90% contains.
-    pub const READ_HEAVY: OpMix = OpMix {
-        insert_pct: 5,
-        delete_pct: 5,
-    };
+    pub const READ_HEAVY: OpMix = OpMix::new(5, 5);
+
+    /// Builds a validated mix; the remainder up to 100% is contains.
+    ///
+    /// # Panics
+    ///
+    /// If `insert_pct + delete_pct > 100` — in **all** build profiles, at
+    /// construction time, so a bad matrix cell fails loudly up front
+    /// instead of silently rebalancing in `pick`.
+    pub const fn new(insert_pct: u32, delete_pct: u32) -> OpMix {
+        assert!(
+            insert_pct + delete_pct <= 100,
+            "OpMix: insert_pct + delete_pct must be <= 100"
+        );
+        OpMix {
+            insert_pct,
+            delete_pct,
+        }
+    }
+
+    /// Percent of operations that insert.
+    #[inline]
+    pub const fn insert_pct(&self) -> u32 {
+        self.insert_pct
+    }
+
+    /// Percent of operations that delete.
+    #[inline]
+    pub const fn delete_pct(&self) -> u32 {
+        self.delete_pct
+    }
+
+    /// Percent of operations that are contains (the remainder).
+    #[inline]
+    pub const fn contains_pct(&self) -> u32 {
+        100 - self.insert_pct - self.delete_pct
+    }
 
     /// Picks an operation from a uniform draw in `0..100`.
     #[inline]
     pub fn pick(&self, draw: u32) -> OpKind {
-        debug_assert!(self.insert_pct + self.delete_pct <= 100);
         if draw < self.insert_pct {
             OpKind::Insert
         } else if draw < self.insert_pct + self.delete_pct {
@@ -85,5 +116,23 @@ mod tests {
         assert_eq!(m.pick(0), OpKind::Insert);
         assert_eq!(m.pick(5), OpKind::Delete);
         assert_eq!(m.pick(10), OpKind::Contains);
+        assert_eq!(m.contains_pct(), 90);
+    }
+
+    #[test]
+    fn valid_mix_constructs() {
+        let m = OpMix::new(30, 70);
+        assert_eq!(m.insert_pct(), 30);
+        assert_eq!(m.delete_pct(), 70);
+        assert_eq!(m.contains_pct(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be <= 100")]
+    fn oversubscribed_mix_panics_at_construction() {
+        // The regression this guards: a release-build matrix cell with a
+        // bad mix used to sail through `pick`'s debug_assert! and skew
+        // toward inserts. Construction must reject it in every profile.
+        let _ = OpMix::new(60, 60);
     }
 }

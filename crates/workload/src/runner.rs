@@ -116,17 +116,33 @@ where
     // thread measures the same window.
     let barrier = Arc::new(Barrier::new(cfg.threads + 1));
     let sampler = Sampler::start(&smr);
-    let zipf = if cfg.skew > 0.0 {
-        Some(crate::zipf::Zipf::new(cfg.key_range, cfg.skew))
-    } else {
-        None
+    let zipf = match (cfg.kind, cfg.skew) {
+        (_, s) if s <= 0.0 => None,
+        (WorkloadKind::Uniform(_), s) => Some(crate::zipf::Zipf::new(cfg.key_range, s)),
+        (WorkloadKind::LongRunningReads { .. }, s) => panic!(
+            "skew = {s} is incompatible with WorkloadKind::LongRunningReads: \
+             the long-running-reads shape draws reader keys uniformly and \
+             confines updaters to update_range (skew would be silently \
+             ignored); use WorkloadKind::Uniform for the skew ablation"
+        ),
     };
+
+    // Deadline enforcement: the main thread's `sleep` can wake late under
+    // oversubscription (scheduler latency is unbounded), so the *workers*
+    // — which are on-core by definition while the trial runs — also poll
+    // the deadline and the first thread past it stamps the window end.
+    // `deadline_ns`/`end_ns` are nanoseconds since `epoch`.
+    let epoch = Instant::now();
+    let deadline_ns = Arc::new(AtomicU64::new(0));
+    let end_ns = Arc::new(AtomicU64::new(0));
 
     let mut handles = Vec::with_capacity(cfg.threads);
     for tid in 0..cfg.threads {
         let map = Arc::clone(&map);
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
+        let deadline_ns = Arc::clone(&deadline_ns);
+        let end_ns = Arc::clone(&end_ns);
         let zipf = zipf.as_ref().map(|z| z.clone_handle());
         let cfg = cfg.clone();
         handles.push(std::thread::spawn(move || {
@@ -205,6 +221,25 @@ where
                     }
                 }
                 ops += 1;
+                // Deadline poll (cheap vdso clock read, amortized over 32
+                // ops): whoever crosses first stamps the window end and
+                // raises the stop flag, so the measured window closes at
+                // the deadline even if the main thread oversleeps.
+                if ops.is_multiple_of(32) {
+                    let dl = deadline_ns.load(Ordering::Acquire);
+                    if dl != 0 {
+                        let now = epoch.elapsed().as_nanos() as u64;
+                        if now >= dl {
+                            let _ = end_ns.compare_exchange(
+                                0,
+                                now,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                            stop.store(true, Ordering::Release);
+                        }
+                    }
+                }
             }
             drop(reg);
             (ops, reads, updates)
@@ -212,10 +247,23 @@ where
     }
 
     barrier.wait(); // all prefilled
-    let t0 = Instant::now();
     barrier.wait(); // start measuring
+                    // The throughput denominator must bracket exactly the measured window:
+                    // t0 *after* the start barrier releases (not before — barrier wake-up
+                    // skew is not measured work) and elapsed immediately after the stop
+                    // flag is raised (not after the joins — stop-flag observation skew,
+                    // `drop(reg)` orphan-sealing and reclamation drain all happen *after*
+                    // the window, and that teardown error grows with thread count).
+    let t0_ns = epoch.elapsed().as_nanos() as u64;
+    deadline_ns.store(t0_ns + cfg.duration.as_nanos() as u64, Ordering::Release);
     std::thread::sleep(cfg.duration);
+    let now = epoch.elapsed().as_nanos() as u64;
+    // A worker usually beat us to the deadline (its stamp wins); this CAS
+    // only lands when every worker was off-core or idle at the deadline.
+    let _ = end_ns.compare_exchange(0, now, Ordering::AcqRel, Ordering::Acquire);
     stop.store(true, Ordering::Release);
+    let elapsed_ns = end_ns.load(Ordering::Acquire).saturating_sub(t0_ns).max(1);
+    let elapsed = Duration::from_nanos(elapsed_ns);
 
     let mut ops = 0u64;
     let mut reads = 0u64;
@@ -226,7 +274,6 @@ where
         reads += r;
         updates += u;
     }
-    let elapsed = t0.elapsed();
     let peak_bytes = sampler.finish();
     let stats = smr.stats().snapshot();
 
@@ -282,6 +329,9 @@ pub struct LatencyReport {
     pub update_ns: (u64, u64, u64, u64),
     /// Samples recorded.
     pub samples: u64,
+    /// Measured-phase wall time — bracketed exactly like
+    /// [`run_workload`]'s (start barrier → stop flag, never the joins).
+    pub seconds: f64,
 }
 
 /// Tail-latency extension experiment: like [`run_workload`], but samples
@@ -304,12 +354,18 @@ where
     let map = Arc::new(make(Arc::clone(&smr)));
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    // Worker-enforced deadline, as in `run_workload`.
+    let epoch = Instant::now();
+    let deadline_ns = Arc::new(AtomicU64::new(0));
+    let end_ns = Arc::new(AtomicU64::new(0));
 
     let mut handles = Vec::with_capacity(cfg.threads);
     for tid in 0..cfg.threads {
         let map = Arc::clone(&map);
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
+        let deadline_ns = Arc::clone(&deadline_ns);
+        let end_ns = Arc::clone(&end_ns);
         let cfg = cfg.clone();
         handles.push(std::thread::spawn(move || {
             if cfg.pin_threads {
@@ -371,6 +427,22 @@ where
                     }
                 }
                 i += 1;
+                // Same worker-side deadline poll as `run_workload`.
+                if i.is_multiple_of(32) {
+                    let dl = deadline_ns.load(Ordering::Acquire);
+                    if dl != 0 {
+                        let now = epoch.elapsed().as_nanos() as u64;
+                        if now >= dl {
+                            let _ = end_ns.compare_exchange(
+                                0,
+                                now,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                            stop.store(true, Ordering::Release);
+                        }
+                    }
+                }
             }
             drop(reg);
             (reads, updates)
@@ -378,8 +450,17 @@ where
     }
     barrier.wait();
     barrier.wait();
+    // Same timing audit as `run_workload`: the window opens after the
+    // start barrier releases and closes at the deadline stamp (worker- or
+    // main-thread side, whichever crosses first), before the joins.
+    let t0_ns = epoch.elapsed().as_nanos() as u64;
+    deadline_ns.store(t0_ns + cfg.duration.as_nanos() as u64, Ordering::Release);
     std::thread::sleep(cfg.duration);
+    let now = epoch.elapsed().as_nanos() as u64;
+    let _ = end_ns.compare_exchange(0, now, Ordering::AcqRel, Ordering::Acquire);
     stop.store(true, Ordering::Release);
+    let elapsed_ns = end_ns.load(Ordering::Acquire).saturating_sub(t0_ns).max(1);
+    let elapsed = Duration::from_nanos(elapsed_ns);
 
     let mut reads = crate::histogram::LatencyHistogram::new();
     let mut updates = crate::histogram::LatencyHistogram::new();
@@ -394,6 +475,7 @@ where
         read_ns: reads.summary(),
         update_ns: updates.summary(),
         samples: reads.len() + updates.len(),
+        seconds: elapsed.as_secs_f64(),
     }
 }
 
@@ -505,6 +587,24 @@ mod tests {
                 "oversubscribed churn must exercise the signal path"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with WorkloadKind::LongRunningReads")]
+    fn skew_plus_long_running_reads_is_an_error() {
+        // Regression: skew used to be *silently ignored* for the
+        // long-running-reads shape (the Zipf table was even built).
+        let cfg = RunConfig {
+            threads: 1,
+            duration: Duration::from_millis(10),
+            key_range: 64,
+            kind: WorkloadKind::LongRunningReads { update_range: 8 },
+            prefill: false,
+            pin_threads: false,
+            seed: 1,
+            skew: 0.99,
+        };
+        let _ = run_workload::<Ebr, HmList<Ebr>, _>(&cfg, SmrConfig::for_tests(1), HmList::new);
     }
 
     #[test]

@@ -1,18 +1,33 @@
-//! Zipf-distributed key sampling via a precomputed inverse-CDF table.
+//! Zipf-distributed key sampling via rejection-inversion (Hörmann).
 //!
 //! The paper's evaluation draws keys uniformly; real caches and indexes
 //! are skewed. The `ablation-skew` experiment uses this sampler to check
 //! that publish-on-ping's advantage survives contention (hot keys
 //! concentrate CAS failures and retirements on a few nodes).
 //!
-//! Sampling is O(log n) binary search over a cumulative table built once
-//! per (n, s); the table is shared read-only across threads.
-
-use std::sync::Arc;
+//! Sampling uses Hörmann & Derflinger's rejection-inversion method
+//! ("Rejection-inversion to generate variates from monotone discrete
+//! distributions", ACM TOMACS 1996): invert the integral of the continuous
+//! density `x^-s` and accept/reject against the discrete pmf. Memory is
+//! **O(1)** and setup is a handful of `powf` calls, so the paper's 10⁸ key
+//! range costs nothing — the previous inverse-CDF table materialized an
+//! O(n) `Vec<f64>` (800 MB at that range) per `(n, s)` pair.
 
 /// Zipf(`n`, `s`) distribution over ranks `0..n` (rank 0 most popular).
+///
+/// The struct is a few floats; [`Zipf::clone_handle`] is a copy.
+#[derive(Clone, Copy, Debug)]
 pub struct Zipf {
-    cdf: Arc<Vec<f64>>,
+    n: u64,
+    s: f64,
+    /// `H(1.5) - h(1)` — lower endpoint of the inversion domain, extended
+    /// by `h(1)` so rank 1's full mass is covered without rejection.
+    h_x1: f64,
+    /// `H(n + 0.5)` — upper endpoint of the inversion domain.
+    h_n: f64,
+    /// Hörmann's `s` shortcut constant: accept immediately when
+    /// `k - x <= threshold`.
+    threshold: f64,
 }
 
 impl Zipf {
@@ -20,37 +35,121 @@ impl Zipf {
     /// `~0.99` = web-like skew). `n` must be ≥ 1.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n >= 1, "Zipf needs a non-empty support");
-        let mut cdf = Vec::with_capacity(n as usize);
-        let mut acc = 0.0f64;
-        for k in 1..=n {
-            acc += 1.0 / (k as f64).powf(s);
-            cdf.push(acc);
+        assert!(s >= 0.0 && s.is_finite(), "skew must be finite and >= 0");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            threshold,
         }
-        let total = acc;
-        for v in cdf.iter_mut() {
-            *v /= total;
-        }
-        Zipf { cdf: Arc::new(cdf) }
     }
 
     /// Maps a uniform draw in `[0, 1)` to a rank in `0..n`.
+    ///
+    /// Deterministic per `u`: rejection retries draw follow-up uniforms
+    /// from a splitmix64 stream seeded by `u`'s bit pattern, so two handles
+    /// given the same `u` return the same rank (and the expected number of
+    /// iterations is < 2 for every `(n, s)`).
     #[inline]
     pub fn rank(&self, u: f64) -> u64 {
-        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
-        self.cdf.partition_point(|&c| c < u) as u64
+        let mut seed = u.to_bits() ^ 0x9E37_79B9_7F4A_7C15;
+        let mut draw = u.clamp(0.0, 1.0 - f64::EPSILON);
+        loop {
+            // Map into the inversion domain [h_x1, h_n); low values of the
+            // domain correspond to rank 1 (most probable), so draw = 0
+            // lands on rank 0 of the 0-based API.
+            let v = self.h_x1 + draw * (self.h_n - self.h_x1);
+            let x = h_integral_inverse(v, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.threshold || v >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k as u64 - 1;
+            }
+            draw = next_f64(&mut seed);
+        }
     }
 
     /// Support size.
     pub fn n(&self) -> u64 {
-        self.cdf.len() as u64
+        self.n
     }
 
-    /// Cheap handle for another thread (shares the table).
-    pub fn clone_handle(&self) -> Zipf {
-        Zipf {
-            cdf: Arc::clone(&self.cdf),
-        }
+    /// Skew exponent.
+    pub fn s(&self) -> f64 {
+        self.s
     }
+
+    /// Probability of `rank` (0-based) under the exact discrete pmf,
+    /// `rank^-s / H_n` — used by the frequency-vs-pmf tests and figure
+    /// annotations; O(n) only when called.
+    pub fn pmf(&self, rank: u64) -> f64 {
+        assert!(rank < self.n);
+        let norm: f64 = (1..=self.n).map(|k| (k as f64).powf(-self.s)).sum();
+        ((rank + 1) as f64).powf(-self.s) / norm
+    }
+
+    /// Cheap handle for another thread (the sampler is a few floats).
+    pub fn clone_handle(&self) -> Zipf {
+        *self
+    }
+}
+
+/// `H(x) = ∫ t^-s dt` from 1 to `x` (the logarithm at `s = 1`).
+#[inline]
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^-s`, the continuous density majorizing the pmf.
+#[inline]
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+#[inline]
+fn h_integral_inverse(v: f64, s: f64) -> f64 {
+    let mut t = v * (1.0 - s);
+    // Numerical guard: t must stay above -1 for the series below.
+    if t < -1.0 {
+        t = -1.0;
+    }
+    (helper1(t) * v).exp()
+}
+
+/// `log1p(x) / x`, stable near 0.
+#[inline]
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `expm1(x) / x`, stable near 0.
+#[inline]
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+/// splitmix64 step → uniform f64 in [0, 1).
+#[inline]
+fn next_f64(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -130,5 +229,53 @@ mod tests {
         for u in [0.1, 0.37, 0.8, 0.99] {
             assert_eq!(z.rank(u), h.rank(u));
         }
+    }
+
+    #[test]
+    fn constant_memory_at_paper_scale() {
+        // The bug this replaces: a 10⁸-key sampler used to allocate an
+        // 800 MB CDF table. Construction must now be instant and tiny.
+        let z = Zipf::new(100_000_000, 0.99);
+        assert!(core::mem::size_of::<Zipf>() <= 64);
+        let mut x = 99u64;
+        for _ in 0..1000 {
+            assert!(z.rank(xorshift(&mut x)) < 100_000_000);
+        }
+    }
+
+    /// Empirical frequency vs the exact pmf at s ∈ {0, 0.99} (the satellite
+    /// test): 200k draws over n=50; every rank with non-trivial expected
+    /// mass must land within 15% relative error.
+    #[test]
+    fn frequency_matches_pmf_at_skew_extremes() {
+        const SAMPLES: u64 = 200_000;
+        const N: u64 = 50;
+        for s in [0.0, 0.99] {
+            let z = Zipf::new(N, s);
+            let mut x = 0xDEADBEEFu64;
+            let mut counts = vec![0u64; N as usize];
+            for _ in 0..SAMPLES {
+                counts[z.rank(xorshift(&mut x)) as usize] += 1;
+            }
+            for rank in 0..N {
+                let expect = z.pmf(rank) * SAMPLES as f64;
+                if expect < 500.0 {
+                    continue; // too little mass for a tight bound
+                }
+                let got = counts[rank as usize] as f64;
+                let rel = (got - expect).abs() / expect;
+                assert!(
+                    rel < 0.15,
+                    "s={s} rank={rank}: got {got}, expected {expect:.0} (rel {rel:.3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(200, 0.7);
+        let total: f64 = (0..200).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
     }
 }

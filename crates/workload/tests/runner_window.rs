@@ -1,0 +1,158 @@
+//! Regression tests for the benchmark runner's measurement window.
+//!
+//! The bugs these pin down (fixed in the same PR): `run_workload` used to
+//! take `t0` *before* the measurement-start barrier and compute `elapsed`
+//! *after joining all workers*, so the throughput denominator absorbed
+//! stop-flag observation skew, `drop(reg)` orphan-sealing and reclamation
+//! drain — error that grows with thread count and with how expensive a
+//! scheme's teardown is. A scheme whose unregister stalls must therefore
+//! NOT deflate measured throughput, and the reported `seconds` for a
+//! 100 ms trial must bracket the configured duration tightly.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pop_core::{DomainStats, Ebr, ReadResult, Restart, Retired, Smr, SmrConfig};
+use pop_ds::hml::HmList;
+use pop_workload::{run_workload, OpMix, RunConfig, WorkloadKind};
+
+/// How long each worker's teardown (unregister) stalls, simulating an
+/// expensive reclamation drain / orphan-sealing pass.
+const STALL_MS: u64 = 250;
+
+/// An EBR wrapper whose `unregister` stalls for [`STALL_MS`] — the
+/// "stalled-teardown scheme stub". With the old post-join `elapsed`, every
+/// worker's stall landed inside the throughput denominator.
+struct StallingEbr {
+    inner: Arc<Ebr>,
+    stalls: AtomicU64,
+}
+
+impl Smr for StallingEbr {
+    const NAME: &'static str = "StallingEBR";
+    const ROBUST: bool = false;
+    const NEEDS_SIGNALS: bool = false;
+
+    fn new(cfg: SmrConfig) -> Arc<Self> {
+        Arc::new(StallingEbr {
+            inner: Ebr::new(cfg),
+            stalls: AtomicU64::new(0),
+        })
+    }
+
+    fn config(&self) -> &SmrConfig {
+        self.inner.config()
+    }
+
+    fn stats(&self) -> &DomainStats {
+        self.inner.stats()
+    }
+
+    fn register_raw(&self, tid: usize) {
+        self.inner.register_raw(tid);
+    }
+
+    fn unregister(&self, tid: usize) {
+        // The stub's whole point: teardown is slow, measurement must not be.
+        std::thread::sleep(Duration::from_millis(STALL_MS));
+        self.stalls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.unregister(tid);
+    }
+
+    fn begin_op(&self, tid: usize) {
+        self.inner.begin_op(tid);
+    }
+
+    fn end_op(&self, tid: usize) {
+        self.inner.end_op(tid);
+    }
+
+    fn protect<T>(
+        &self,
+        tid: usize,
+        slot: usize,
+        src: &core::sync::atomic::AtomicPtr<T>,
+    ) -> ReadResult<T> {
+        self.inner.protect(tid, slot, src)
+    }
+
+    fn check_restart(&self, tid: usize) -> Result<(), Restart> {
+        self.inner.check_restart(tid)
+    }
+
+    unsafe fn retire(&self, tid: usize, retired: Retired) {
+        // SAFETY: forwarded contract.
+        unsafe { self.inner.retire(tid, retired) };
+    }
+
+    fn current_era(&self) -> u64 {
+        self.inner.current_era()
+    }
+
+    fn flush(&self, tid: usize) {
+        self.inner.flush(tid);
+    }
+}
+
+fn window_cfg(threads: usize, millis: u64) -> RunConfig {
+    RunConfig {
+        threads,
+        duration: Duration::from_millis(millis),
+        key_range: 256,
+        kind: WorkloadKind::Uniform(OpMix::UPDATE_HEAVY),
+        prefill: true,
+        pin_threads: false,
+        seed: 0xBEEF,
+        skew: 0.0,
+    }
+}
+
+/// Acceptance criterion: measured `seconds` for a 100 ms trial at 8
+/// threads is within 5% of the configured duration. (Before the fix it
+/// included barrier skew + join/teardown and ran long.)
+#[test]
+fn measured_window_within_five_percent_at_8_threads() {
+    let cfg = window_cfg(8, 100);
+    let rec = run_workload::<Ebr, HmList<Ebr>, _>(
+        &cfg,
+        SmrConfig::for_tests(8).with_reclaim_freq(256),
+        HmList::new,
+    );
+    assert!(rec.ops > 0);
+    // The window opens after the start barrier and closes at the stop
+    // flag; only the sleep itself (plus scheduler noise) is inside it.
+    assert!(
+        rec.seconds >= 0.100 && rec.seconds <= 0.105,
+        "seconds = {} must be within 5% above the configured 0.100",
+        rec.seconds
+    );
+}
+
+/// The stalled-teardown stub: 4 workers × 250 ms stalls used to add a
+/// full second to a 100 ms denominator (>10× throughput deflation). With
+/// the window closed at the stop flag, the stalls are invisible.
+#[test]
+fn stalled_teardown_does_not_deflate_throughput() {
+    let cfg = window_cfg(4, 100);
+    let rec = run_workload::<StallingEbr, HmList<StallingEbr>, _>(
+        &cfg,
+        SmrConfig::for_tests(4).with_reclaim_freq(256),
+        HmList::new,
+    );
+    assert!(rec.ops > 0);
+    assert!(
+        rec.seconds < 0.150,
+        "seconds = {} absorbed the {STALL_MS} ms teardown stalls \
+         (old post-join elapsed bug)",
+        rec.seconds
+    );
+    // Cross-check via the throughput field itself: ops/seconds must agree
+    // with the recorded rate, and the rate must reflect the real window.
+    let recomputed = rec.ops as f64 / rec.seconds / 1e6;
+    assert!(
+        (recomputed - rec.throughput_mops).abs() < 1e-9,
+        "throughput must be ops / measured-window seconds"
+    );
+}

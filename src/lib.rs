@@ -12,9 +12,10 @@
 //!   the paper's **HazardPtrPOP**, **HazardEraPOP** and **EpochPOP**, plus
 //!   the baselines HP, HPAsym, HE, EBR, IBR, NBR+, a Crystalline-family
 //!   batch reference counter, and leaky NR.
-//! * [`ds`] — five concurrent set/map data structures written once against
-//!   the `Smr` trait: Harris-Michael list, lazy list, hash table, external
-//!   BST and an (a,b)-tree.
+//! * [`ds`] — seven concurrent set/map data structures written once
+//!   against the `Smr` trait: Harris-Michael list, lazy list, hash table,
+//!   lock-based external BST, (a,b)-tree, lock-free skip list and the
+//!   Natarajan-Mittal lock-free external BST.
 //! * [`workload`] — the timed multithreaded benchmark engine used by the
 //!   `pop-bench` figure harness.
 //!

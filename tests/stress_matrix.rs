@@ -15,6 +15,8 @@ use pop::ds::ext_bst::ExtBst;
 use pop::ds::hash_map::HashMapHm;
 use pop::ds::hml::HmList;
 use pop::ds::lazy_list::LazyList;
+use pop::ds::nm_tree::NmTree;
+use pop::ds::skip_list::SkipList;
 use pop::ds::ConcurrentMap;
 use pop::smr::{
     Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, Hyaline, Ibr,
@@ -122,6 +124,14 @@ macro_rules! stress_tests {
                 #[test]
                 fn ab_tree() {
                     stress::<$scheme, AbTree<$scheme>>();
+                }
+                #[test]
+                fn skip_list() {
+                    stress::<$scheme, SkipList<$scheme>>();
+                }
+                #[test]
+                fn nm_tree() {
+                    stress::<$scheme, NmTree<$scheme>>();
                 }
             }
         )+
