@@ -31,13 +31,20 @@
 //!   stall clears — and a parity check that the default watermarks stay
 //!   silent (gauge enabled, zero trips) under quiescent churn.
 //!
-//! * **Matrix smoke** (PR 9): four cells of the evaluation matrix — the
-//!   two new structures (skip list, NM tree) under HazardPtrPOP and EBR —
-//!   run through the same [`pop_bench::matrix`] path the `matrix` binary
-//!   uses, reporting throughput and max retire length per cell.
+//! * **Matrix smoke** (PR 9): cells of the evaluation matrix — the two
+//!   new structures (skip list, NM tree) under HazardPtrPOP and EBR, plus
+//!   a VBR cell — run through the same [`pop_bench::matrix`] path the
+//!   `matrix` binary uses, reporting throughput and max retire length per
+//!   cell.
+//!
+//! * **Slab settlement** (PR 10): the whole-slab settle path (owned-arena
+//!   bump fills whose retire blocks pass one range test and free wholesale
+//!   into their slab) vs the per-node merge-join sweep over a Box-backed
+//!   address-random fill, plus the `slab_frees_whole` count and the bytes
+//!   `madvise`d back to the OS after the drain.
 //!
 //! Usage: `bench_smoke [--out PATH] [--iters N]` (defaults:
-//! `BENCH_pr9.json`, 60 iterations per measurement).
+//! `BENCH_pr10.json`, 60 iterations per measurement).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
@@ -470,7 +477,8 @@ fn publish_pass_ns(mode: PublishMode, peers: usize, iters: u32) -> f64 {
 }
 
 /// PR 9 matrix smoke: the two new structures under one POP scheme and one
-/// epoch baseline, driven through the same `MatrixCell::run` path as the
+/// epoch baseline — plus scheme #12 (VBR, PR 10) on the list it exercises
+/// hardest — driven through the same `MatrixCell::run` path as the
 /// `matrix` binary. Returns `(cell_id, throughput_mops, max_retire_len)`
 /// rows.
 fn matrix_smoke() -> Vec<(String, f64, u64)> {
@@ -479,6 +487,7 @@ fn matrix_smoke() -> Vec<(String, f64, u64)> {
         (SchemeId::HazardPtrPop, DsId::Nmt),
         (SchemeId::Ebr, DsId::Skl),
         (SchemeId::Ebr, DsId::Nmt),
+        (SchemeId::Vbr, DsId::Hml),
     ];
     cells
         .into_iter()
@@ -500,8 +509,74 @@ fn matrix_smoke() -> Vec<(String, f64, u64)> {
         .collect()
 }
 
+/// PR 10: whole-slab settlement vs the merge-join sweep, at the same node
+/// and reservation counts. The baseline fills `Box`-backed (address-random
+/// after heap churn) with the reservations spread across the list, so
+/// nearly every block pays the per-node merge-join; the slab side
+/// bump-fills the owned arenas with the reservations drawn from the tail,
+/// so the reserved window misses all but the last block(s) and the rest
+/// settle whole — one range test, then a wholesale free into their slab.
+/// Returns `(slab_ns_per_node, merge_join_ns_per_node, slab_frees_whole,
+/// slab_released_bytes)`.
+fn slab_settlement(iters: u32) -> (f64, f64, u64, u64) {
+    const NODES: usize = SWEEP_NODES * 4;
+    const RSIZE: usize = 64;
+    // The two sides run INTERLEAVED round-robin (as the PR-5 comparisons
+    // do) so host-load drift across the measurement hits both equally
+    // instead of biasing whichever side ran later, and each side reports
+    // its fastest iteration: scheduling noise is strictly additive, so
+    // min-of-iters is the algorithmic cost, not the host's mood.
+    let mut box_bench = SweepBench::new();
+    let mut slab_bench = SweepBench::new();
+    let mut box_ns = u128::MAX;
+    let mut slab_ns = u128::MAX;
+    for i in 0..iters + 2 {
+        let ptrs = box_bench.fill(NODES);
+        let mut reserved: Vec<u64> = ptrs
+            .iter()
+            .copied()
+            .step_by(NODES / RSIZE)
+            .take(RSIZE)
+            .collect();
+        reserved.sort_unstable();
+        let t0 = Instant::now();
+        let freed = box_bench.sweep_merge_join(&reserved);
+        let dt = t0.elapsed();
+        assert_eq!(freed, NODES - RSIZE);
+        box_bench.drain();
+        if i >= 2 {
+            box_ns = box_ns.min(dt.as_nanos());
+        }
+
+        let ptrs = slab_bench.fill_slab(NODES);
+        let mut reserved: Vec<u64> = ptrs[NODES - RSIZE..].to_vec();
+        reserved.sort_unstable();
+        let t0 = Instant::now();
+        let freed = slab_bench.sweep_merge_join(&reserved);
+        let dt = t0.elapsed();
+        assert_eq!(freed, NODES - RSIZE);
+        slab_bench.drain();
+        if i >= 2 {
+            slab_ns = slab_ns.min(dt.as_nanos());
+        }
+    }
+    let frees_whole = slab_bench.slab_frees_whole();
+    assert!(frees_whole > 0, "slab fills must settle blocks whole");
+    // Seal the bench thread's actives so the final drain settles every
+    // slab: the released-bytes gauge only moves for sealed slabs.
+    pop_core::slab::release_thread_slabs();
+    let released = pop_core::slab::released_bytes();
+    assert!(released > 0, "drained slabs must hand pages back to the OS");
+    (
+        slab_ns as f64 / NODES as f64,
+        box_ns as f64 / NODES as f64,
+        frees_whole,
+        released,
+    )
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_pr9.json");
+    let mut out_path = String::from("BENCH_pr10.json");
     let mut iters: u32 = 60;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -734,6 +809,17 @@ fn main() {
     );
     println!("pressure_untripped_default: {untripped}");
 
+    // PR 10: whole-slab settlement vs the merge-join sweep, plus the
+    // OS-release gauge after the drain. Acceptance bar: the settle path
+    // ≥ 2× faster, and `slab_released_bytes > 0`.
+    let (slab_ns, slab_mj_ns, slab_whole, slab_released) = slab_settlement(iters);
+    let slab_speedup = slab_mj_ns / slab_ns;
+    println!(
+        "slab_settlement: whole-slab {slab_ns:.2} ns/node vs merge-join \
+         {slab_mj_ns:.2} ns/node ({slab_speedup:.2}x), {slab_whole} blocks \
+         settled whole, {slab_released} bytes released"
+    );
+
     // PR 9: the new matrix cells (skip list + NM tree) through the
     // evaluation-grid driver path.
     let matrix_rows = matrix_smoke();
@@ -752,7 +838,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"pr9_matrix\",\n  \"iters\": {iters},\n  \
+        "{{\n  \"bench\": \"pr10_slab_vbr\",\n  \"iters\": {iters},\n  \
          \"sweep_filter\": [{sweeps}\n  ],\n  \
          \"binned_fill\": [{binned}\n  ],\n  \
          \"sequential_fill_monotone_share\": {seq_share:.3},\n  \
@@ -774,6 +860,11 @@ fn main() {
          \"emergency_trips\": {p_emerg}, \"blocks_quarantined\": {p_quar}, \
          \"pool_blocks_trimmed\": {p_trim}, \"recovery_ns\": {p_recovery_ns:.0}, \
          \"untripped_default\": {untripped}}},\n  \
+         \"slab_vbr\": {{\"slab_settle_ns_per_node\": {slab_ns:.2}, \
+         \"merge_join_ns_per_node\": {slab_mj_ns:.2}, \
+         \"settle_speedup\": {slab_speedup:.3}, \
+         \"slab_frees_whole\": {slab_whole}, \
+         \"slab_released_bytes\": {slab_released}}},\n  \
          \"matrix_smoke\": [{matrix_json}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");

@@ -162,6 +162,10 @@ mod tests {
             blocks_quarantined: 0,
             blocks_unquarantined: 0,
             pool_blocks_trimmed: 0,
+            slab_allocs: 0,
+            slab_frees_whole: 0,
+            version_aborts: 0,
+            slab_released_bytes: 0,
         }
     }
 

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use pop_core::{
     Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, Hyaline, Ibr,
-    NbrPlus, NoReclaim, Smr, SmrConfig,
+    NbrPlus, NoReclaim, Smr, SmrConfig, Vbr,
 };
 use pop_ds::ab_tree::AbTree;
 use pop_ds::ext_bst::ExtBst;
@@ -46,6 +46,7 @@ pub enum SchemeId {
     HazardEraPop,
     EpochPop,
     Hyaline,
+    Vbr,
 }
 
 impl SchemeId {
@@ -64,8 +65,9 @@ impl SchemeId {
         SchemeId::EpochPop,
     ];
 
-    /// All schemes including the Crystalline-family stand-in.
-    pub const ALL: [SchemeId; 11] = [
+    /// All schemes including the Crystalline-family stand-in and the
+    /// slab-arena VBR (neither joins the paper's main figures).
+    pub const ALL: [SchemeId; 12] = [
         SchemeId::Nr,
         SchemeId::Ebr,
         SchemeId::Ibr,
@@ -77,6 +79,7 @@ impl SchemeId {
         SchemeId::HazardEraPop,
         SchemeId::EpochPop,
         SchemeId::Hyaline,
+        SchemeId::Vbr,
     ];
 
     /// Plot label.
@@ -93,6 +96,7 @@ impl SchemeId {
             SchemeId::HazardEraPop => HazardEraPop::NAME,
             SchemeId::EpochPop => EpochPop::NAME,
             SchemeId::Hyaline => Hyaline::NAME,
+            SchemeId::Vbr => Vbr::NAME,
         }
     }
 
@@ -181,6 +185,7 @@ pub fn run_one(scheme: SchemeId, ds: DsId, cfg: &RunConfig, smr_cfg: SmrConfig) 
         SchemeId::HazardEraPop => run_ds::<HazardEraPop>(ds, cfg, smr_cfg),
         SchemeId::EpochPop => run_ds::<EpochPop>(ds, cfg, smr_cfg),
         SchemeId::Hyaline => run_ds::<Hyaline>(ds, cfg, smr_cfg),
+        SchemeId::Vbr => run_ds::<Vbr>(ds, cfg, smr_cfg),
     }
 }
 
@@ -221,6 +226,7 @@ pub fn run_latency_one(
         SchemeId::HazardEraPop => latency_ds::<HazardEraPop>(ds, cfg, smr_cfg),
         SchemeId::EpochPop => latency_ds::<EpochPop>(ds, cfg, smr_cfg),
         SchemeId::Hyaline => latency_ds::<Hyaline>(ds, cfg, smr_cfg),
+        SchemeId::Vbr => latency_ds::<Vbr>(ds, cfg, smr_cfg),
     }
 }
 
@@ -260,6 +266,7 @@ mod tests {
             (SchemeId::EpochPop, DsId::Dgt),
             (SchemeId::NbrPlus, DsId::Ll),
             (SchemeId::Hyaline, DsId::Abt),
+            (SchemeId::Vbr, DsId::Skl),
         ] {
             let rec = run_one(
                 s,

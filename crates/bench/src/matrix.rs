@@ -327,7 +327,7 @@ mod tests {
         let schemes: BTreeSet<&str> = cells.iter().map(|c| c.scheme.name()).collect();
         let structures: BTreeSet<&str> = cells.iter().map(|c| c.ds.name()).collect();
         let threads: BTreeSet<usize> = cells.iter().map(|c| c.threads).collect();
-        assert_eq!(schemes.len(), SchemeId::ALL.len(), "all 11 schemes");
+        assert_eq!(schemes.len(), SchemeId::ALL.len(), "all 12 schemes");
         assert!(
             structures.len() >= 4,
             "at least 4 structures: {structures:?}"

@@ -820,7 +820,7 @@ impl DomainBase {
     /// The scheme must have proven no thread can access the object, and
     /// `tid` must be the caller's registered domain thread id.
     pub(crate) unsafe fn free_now(&self, tid: usize, r: Retired) {
-        let bytes = r.header().size() as u64;
+        let bytes = r.size() as u64;
         let shard = self.stats.shard(tid);
         shard.freed_nodes.fetch_add(1, Ordering::Relaxed);
         shard.freed_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -840,7 +840,7 @@ impl DomainBase {
         let mut bytes = 0u64;
         while let Some(r) = block.pop() {
             nodes += 1;
-            bytes += r.header().size() as u64;
+            bytes += r.size() as u64;
             // SAFETY: forwarded contract.
             unsafe { self.free_raw(r) };
         }
@@ -1033,7 +1033,7 @@ impl Drop for DomainBase {
                     overflow.freed_nodes.fetch_add(1, Ordering::Relaxed);
                     overflow
                         .freed_bytes
-                        .fetch_add(r.header().size() as u64, Ordering::Relaxed);
+                        .fetch_add(r.size() as u64, Ordering::Relaxed);
                     // SAFETY: as above.
                     unsafe { r.free() };
                 }
@@ -1048,7 +1048,7 @@ impl Drop for DomainBase {
                 overflow.freed_nodes.fetch_add(1, Ordering::Relaxed);
                 overflow
                     .freed_bytes
-                    .fetch_add(r.header().size() as u64, Ordering::Relaxed);
+                    .fetch_add(r.size() as u64, Ordering::Relaxed);
                 // SAFETY: as above.
                 unsafe { r.free() };
             }
@@ -1256,16 +1256,50 @@ pub(crate) unsafe fn sweep_blocks(
                 write_block += 1;
             }
             BlockPlan::FreeAll => {
+                // Whole-slab settlement: a wholly-freed block whose pointer
+                // extrema share one slab-aligned base (which, since slot
+                // spans never straddle slabs, proves every member is a slot
+                // of that slab) settles against its slab in one step — the
+                // payloads drop in place, then a single batched `freed`
+                // update replaces the per-slot RMW + settle-probe chain.
+                // The quarantine config parks nodes instead of freeing, so
+                // it keeps the general per-record path.
+                let slab_base = if n > 0 && !base.cfg.quarantine {
+                    let (lo, hi) = b.ptr_range();
+                    let slab_mask = !(crate::slab::SLAB_BYTES as u64 - 1);
+                    (lo & slab_mask == hi & slab_mask && b.nodes()[0].header().is_slab_backed())
+                        .then_some((lo & slab_mask) as usize)
+                } else {
+                    None
+                };
                 let ptr = b.as_mut_ptr();
                 // SAFETY: defensive truncation; records read out below.
                 unsafe { b.set_len(0) };
                 let mut freed_bytes = 0u64;
-                for read in 0..n {
-                    // SAFETY: `read < n`, the original initialized length.
-                    let r = unsafe { core::ptr::read(ptr.add(read)) };
-                    freed_bytes += r.header().size() as u64;
-                    // SAFETY: forwarded contract — proven unreachable.
-                    unsafe { base.free_raw(r) };
+                if let Some(slab) = slab_base {
+                    for read in 0..n {
+                        // SAFETY: `read < n`, the original initialized
+                        // length.
+                        let r = unsafe { core::ptr::read(ptr.add(read)) };
+                        freed_bytes += r.size() as u64;
+                        // SAFETY: proven unreachable; slab-backed per the
+                        // confinement test — slot returned in the batch
+                        // settle below.
+                        unsafe { r.drop_payload_for_batch() };
+                    }
+                    // SAFETY: all `n` slots belong to `slab`, payloads
+                    // dropped above, each counted exactly once.
+                    unsafe { crate::slab::free_slots_batch(slab, n as u32) };
+                    shard.slab_frees_whole.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    for read in 0..n {
+                        // SAFETY: `read < n`, the original initialized
+                        // length.
+                        let r = unsafe { core::ptr::read(ptr.add(read)) };
+                        freed_bytes += r.size() as u64;
+                        // SAFETY: forwarded contract — proven unreachable.
+                        unsafe { base.free_raw(r) };
+                    }
                 }
                 shard.freed_nodes.fetch_add(n as u64, Ordering::Relaxed);
                 shard.freed_bytes.fetch_add(freed_bytes, Ordering::Relaxed);
@@ -1293,7 +1327,7 @@ pub(crate) unsafe fn sweep_blocks(
                         // go is free.
                         write += 1;
                     } else {
-                        freed_bytes += r.header().size() as u64;
+                        freed_bytes += r.size() as u64;
                         freed_nodes += 1;
                         // SAFETY: forwarded contract — proven unreachable.
                         unsafe { base.free_raw(r) };
@@ -1912,6 +1946,40 @@ impl SweepBench {
             push_retired(&self.base, 0, &mut self.list, r);
         }
         ptrs
+    }
+
+    /// Allocates and retires `n` nodes from the owned slab arenas (PR 10):
+    /// bump fills are address-monotone by construction and retire blocks
+    /// stay confined to single slabs, so sweeps settle most blocks whole
+    /// with one range test. Returns the pointer words in retire order.
+    pub fn fill_slab(&mut self, n: usize) -> Vec<u64> {
+        let mut ptrs = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let p = crate::slab::alloc_value(
+                SweepBenchNode {
+                    hdr: crate::header::Header::new(i, core::mem::size_of::<SweepBenchNode>()),
+                    _payload: [0; 2],
+                },
+                true,
+            );
+            self.base
+                .stats
+                .shard(0)
+                .allocated_nodes
+                .fetch_add(1, Ordering::Relaxed);
+            // SAFETY: freshly allocated, never shared, retired exactly once.
+            let r = unsafe { Retired::new(p) };
+            r.header().set_retire_era(i);
+            ptrs.push(r.ptr() as u64);
+            push_retired(&self.base, 0, &mut self.list, r);
+        }
+        ptrs
+    }
+
+    /// Retire blocks that settled wholly against a single slab with one
+    /// range test (`slab_frees_whole`).
+    pub fn slab_frees_whole(&self) -> u64 {
+        self.base.stats.snapshot().slab_frees_whole
     }
 
     /// Allocates and retires `n` nodes in **address order** — the ideal

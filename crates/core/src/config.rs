@@ -139,6 +139,7 @@ impl PublishMode {
 /// | `POP_PRESSURE_EMERGENCY`  | emergency pressure watermark in nodes        |
 /// | `POP_FREE_POOL_CAP`       | recycled-block pool cap in blocks (`0` = unbounded) |
 /// | `POP_PUBLISH_MODE`        | POP publish mode: `auto` / `signal` / `futex` / `membarrier` |
+/// | `POP_SLAB`                | `0`/`off` = legacy `Box` node allocation (no owned slabs) |
 /// | `POP_FAULTS`              | fault plan (needs the `fault-injection` feature; parsed by `pop_runtime::faults`) |
 ///
 /// ```
@@ -153,6 +154,7 @@ impl PublishMode {
 /// std::env::set_var("POP_PRESSURE_EMERGENCY", "512");
 /// std::env::set_var("POP_FREE_POOL_CAP", "4");
 /// std::env::set_var("POP_PUBLISH_MODE", "membarrier");
+/// std::env::set_var("POP_SLAB", "0");
 /// let cfg = SmrConfig::for_tests(2);
 /// assert_eq!(cfg.retire_batch, 1);
 /// assert_eq!(cfg.retire_bins, 1);
@@ -164,12 +166,13 @@ impl PublishMode {
 /// );
 /// assert_eq!(cfg.free_pool_cap, 4);
 /// assert_eq!(cfg.publish_mode, PublishMode::Membarrier);
+/// assert!(!cfg.slab_alloc, "POP_SLAB=0 restores Box allocation");
 ///
 /// // Unset (or unparsable) variables leave the defaults alone.
 /// for k in [
 ///     "POP_RETIRE_BATCH", "POP_RETIRE_BINS", "POP_FUTEX_WAIT", "POP_ADAPTIVE",
 ///     "POP_PRESSURE_SOFT", "POP_PRESSURE_HARD", "POP_PRESSURE_EMERGENCY",
-///     "POP_FREE_POOL_CAP", "POP_PUBLISH_MODE",
+///     "POP_FREE_POOL_CAP", "POP_PUBLISH_MODE", "POP_SLAB",
 /// ] {
 ///     std::env::remove_var(k);
 /// }
@@ -178,6 +181,7 @@ impl PublishMode {
 /// assert!(cfg.futex_wait && cfg.adaptive);
 /// assert!(cfg.pressure_soft > 0, "the gauge is on by default");
 /// assert_eq!(cfg.publish_mode, PublishMode::Futex, "historical default");
+/// assert!(cfg.slab_alloc, "owned slabs are the default allocator");
 /// ```
 #[derive(Clone, Debug)]
 pub struct SmrConfig {
@@ -271,6 +275,13 @@ pub struct SmrConfig {
     /// [`Self::resolved_publish_mode`]. Env `POP_PUBLISH_MODE`
     /// (`auto`/`signal`/`futex`/`membarrier`).
     pub publish_mode: PublishMode,
+    /// Allocate reclaimable nodes from the owned slab arenas
+    /// ([`crate::slab`]): per-thread bump fills are address-monotone by
+    /// construction, whole-slab frees settle via one range test, and
+    /// fully-empty slabs are `madvise`d back to the OS. `false` restores
+    /// plain `Box` allocation (the legacy pipeline, where arena bins are
+    /// guessed from pointer high bits). Env `POP_SLAB`.
+    pub slab_alloc: bool,
 }
 
 impl SmrConfig {
@@ -300,6 +311,7 @@ impl SmrConfig {
             pressure_emergency: reclaim_freq * PRESSURE_EMERGENCY_FACTOR,
             free_pool_cap: DEFAULT_FREE_POOL_CAP,
             publish_mode: PublishMode::default(),
+            slab_alloc: true,
         }
     }
 
@@ -375,6 +387,13 @@ impl SmrConfig {
         }
         if let Some(n) = get("POP_FREE_POOL_CAP").and_then(|v| v.parse().ok()) {
             self.free_pool_cap = n;
+        }
+        if let Some(v) = get("POP_SLAB") {
+            match v.as_str() {
+                "0" | "false" | "off" => self.slab_alloc = false,
+                "1" | "true" | "on" => self.slab_alloc = true,
+                _ => {}
+            }
         }
         // Applied last: an explicit signal/futex mode also pins the wait
         // flavor, overriding a conflicting POP_FUTEX_WAIT.
@@ -494,6 +513,13 @@ impl SmrConfig {
     /// blocks; `0` = unbounded).
     pub fn with_free_pool_cap(mut self, cap: usize) -> Self {
         self.free_pool_cap = cap;
+        self
+    }
+
+    /// Builder-style toggle for slab-backed node allocation (`false` =
+    /// legacy `Box` allocation; see [`Self::slab_alloc`]).
+    pub fn with_slab(mut self, on: bool) -> Self {
+        self.slab_alloc = on;
         self
     }
 
@@ -687,6 +713,23 @@ mod tests {
             24_576 * PRESSURE_SOFT_FACTOR,
             "garbage leaves the default alone"
         );
+    }
+
+    #[test]
+    fn slab_default_builder_and_env() {
+        let c = SmrConfig::test_defaults(1);
+        assert!(c.slab_alloc, "owned slabs are the default");
+        assert!(!c.with_slab(false).slab_alloc);
+        let c = SmrConfig::test_defaults(1)
+            .with_overrides_from(|k| (k == "POP_SLAB").then(|| "off".to_string()));
+        assert!(!c.slab_alloc, "POP_SLAB=off restores Box allocation");
+        let c = SmrConfig::test_defaults(1)
+            .with_slab(false)
+            .with_overrides_from(|k| (k == "POP_SLAB").then(|| "1".to_string()));
+        assert!(c.slab_alloc, "POP_SLAB=1 forces slabs back on");
+        let c = SmrConfig::test_defaults(1)
+            .with_overrides_from(|k| (k == "POP_SLAB").then(|| "sideways".to_string()));
+        assert!(c.slab_alloc, "garbage leaves the default alone");
     }
 
     #[test]

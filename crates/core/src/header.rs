@@ -15,6 +15,10 @@ const LIVE_MAGIC: u64 = 0x51AE_0000_0000_0000;
 const POISON_MAGIC: u64 = 0xDEAD_0000_0000_0000;
 const MAGIC_MASK: u64 = 0xFFFF_0000_0000_0000;
 const SIZE_MASK: u64 = 0x0000_0000_FFFF_FFFF;
+/// Meta bit recording that the object lives in an owned slab slot
+/// ([`crate::slab`]) rather than a `Box` — the free path dispatches on it.
+/// Masking a pointer to find its slab is only legal when this bit is set.
+const SLAB_BIT: u64 = 0x0000_0001_0000_0000;
 
 /// Intrusive header for reclaimable objects.
 ///
@@ -66,10 +70,25 @@ impl Header {
         self.meta.load(Ordering::Relaxed) & MAGIC_MASK == POISON_MAGIC
     }
 
-    /// Marks the object freed (quarantine mode).
+    /// Whether the object lives in an owned slab slot (see [`crate::slab`]).
+    /// Set once at allocation; the free path dispatches on it, and only
+    /// slab-backed pointers may be masked down to their slab base.
+    pub fn is_slab_backed(&self) -> bool {
+        self.meta.load(Ordering::Relaxed) & SLAB_BIT != 0
+    }
+
+    /// Records that the object was placed in a slab slot. Called by the
+    /// slab allocator before the pointer is published anywhere.
+    pub(crate) fn mark_slab_backed(&self) {
+        self.meta.fetch_or(SLAB_BIT, Ordering::Relaxed);
+    }
+
+    /// Marks the object freed (quarantine mode). Preserves the size *and*
+    /// the slab bit: a quarantined slot must still free back into its slab
+    /// when the quarantine releases it.
     pub(crate) fn poison(&self) {
-        let size = self.meta.load(Ordering::Relaxed) & SIZE_MASK;
-        self.meta.store(POISON_MAGIC | size, Ordering::Release);
+        let keep = self.meta.load(Ordering::Relaxed) & (SIZE_MASK | SLAB_BIT);
+        self.meta.store(POISON_MAGIC | keep, Ordering::Release);
     }
 }
 
@@ -93,7 +112,12 @@ pub unsafe trait HasHeader: Sized {
 /// one retire list.
 pub struct Retired {
     ptr: *mut Header,
-    drop_fn: unsafe fn(*mut Header),
+    /// `None` for slab-backed types with no drop glue: the slot return is
+    /// the entire free, so the whole-slab settlement loop skips the record.
+    drop_fn: Option<unsafe fn(*mut Header)>,
+    /// Object size, captured at retirement (the header is hot then) so the
+    /// sweeps' byte accounting reads the record, not the cold node header.
+    size: u32,
 }
 
 // SAFETY: a Retired is an exclusively-owned deferred destructor; the object
@@ -106,18 +130,43 @@ impl Retired {
     ///
     /// # Safety
     ///
-    /// `ptr` must point to a live, heap-allocated (`Box`) `T` that has been
-    /// unlinked from every shared structure, and must not be retired again.
+    /// `ptr` must point to a live `T` allocated either as a `Box` or from
+    /// the slab allocator ([`crate::slab::alloc_value`] — the header's slab
+    /// bit decides which free path runs), unlinked from every shared
+    /// structure, and must not be retired again.
     pub unsafe fn new<T: HasHeader>(ptr: *mut T) -> Retired {
         unsafe fn drop_box<T>(h: *mut Header) {
             // SAFETY: constructed from Box<T> in `Retired::new`; called at
             // most once, after the scheme proved no thread can access it.
             unsafe { drop(Box::from_raw(h as *mut T)) }
         }
+        unsafe fn drop_slab_payload<T>(h: *mut Header) {
+            // SAFETY: the slab bit proved `h` is a slab slot; called at
+            // most once, after the scheme proved no thread can access it.
+            // The slot itself is returned by the caller ([`Retired::free`]
+            // per node, or the whole-slab batch settlement in one step).
+            unsafe { core::ptr::drop_in_place(h as *mut T) }
+        }
+        // SAFETY: `ptr` is live per the caller's contract.
+        let hdr = unsafe { &*(ptr as *mut Header) };
+        let slab = hdr.is_slab_backed();
         Retired {
             ptr: ptr as *mut Header,
-            drop_fn: drop_box::<T>,
+            drop_fn: if slab {
+                // No drop glue ⇒ returning the slot IS the free.
+                core::mem::needs_drop::<T>().then_some(drop_slab_payload::<T> as _)
+            } else {
+                Some(drop_box::<T>)
+            },
+            size: hdr.size() as u32,
         }
+    }
+
+    /// The retired object's size in bytes, as recorded in its header at
+    /// retirement time.
+    #[inline]
+    pub(crate) fn size(&self) -> usize {
+        self.size as usize
     }
 
     /// The retired object's header.
@@ -139,8 +188,33 @@ impl Retired {
     /// Caller must have established that no thread can access the object —
     /// this is precisely the reclamation scheme's job.
     pub(crate) unsafe fn free(self) {
-        // SAFETY: forwarded contract.
-        unsafe { (self.drop_fn)(self.ptr) }
+        // SAFETY: forwarded contract. Slab-backed records drop the payload
+        // then return their slot; Box-backed records drop whole.
+        unsafe {
+            let slab = (*self.ptr).is_slab_backed();
+            if let Some(drop_fn) = self.drop_fn {
+                drop_fn(self.ptr);
+            }
+            if slab {
+                crate::slab::free_slot(self.ptr as *mut u8);
+            }
+        }
+    }
+
+    /// Drops the payload **without** returning the slot — the whole-slab
+    /// settlement path, where the caller returns every slot of the block in
+    /// one [`crate::slab::free_slots_batch`] accounting step.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Self::free`], and the record must be slab-backed
+    /// (the caller proved the block is confined to one slab).
+    pub(crate) unsafe fn drop_payload_for_batch(self) {
+        debug_assert!(self.header().is_slab_backed());
+        if let Some(drop_fn) = self.drop_fn {
+            // SAFETY: forwarded contract.
+            unsafe { drop_fn(self.ptr) }
+        }
     }
 }
 

@@ -78,6 +78,7 @@ pub mod header;
 mod pop_shared;
 pub mod pressure;
 pub mod schemes;
+pub mod slab;
 pub mod smr;
 pub mod stats;
 
@@ -92,7 +93,8 @@ pub use config::{PublishMode, SmrConfig};
 pub use header::{unmark_word, HasHeader, Header, Retired, RETIRE_BATCH_CAP};
 pub use pressure::{PressureGauge, PressureRung};
 pub use smr::{
-    as_header, protect_infallible, retire_node, OpGuard, ReadResult, Registration, Restart, Smr,
+    alloc_node, as_header, dealloc_node_unpublished, free_node_raw, protect_infallible,
+    retire_node, OpGuard, ReadResult, Registration, Restart, Smr,
 };
 pub use stats::{DomainStats, ShardStats, StatsSnapshot};
 
@@ -108,3 +110,4 @@ pub use schemes::hyaline::Hyaline;
 pub use schemes::ibr::Ibr;
 pub use schemes::nbr::NbrPlus;
 pub use schemes::nr::NoReclaim;
+pub use schemes::vbr::Vbr;

@@ -1,4 +1,4 @@
-//! The eleven reclamation schemes.
+//! The twelve reclamation schemes.
 //!
 //! | Module | Scheme | Paper role |
 //! |--------|--------|------------|
@@ -13,6 +13,7 @@
 //! | [`ibr`] | `IBR` — 2GE interval-based | baseline |
 //! | [`nbr`] | `NBR+` — neutralization (cooperative) | baseline |
 //! | [`hyaline`] | `Hyaline-1` — Crystalline-family batch refcounting | appendix baseline |
+//! | [`vbr`] | `VBR` — version-based, owned slab arenas (PR 10) | allocator-integration scheme |
 
 pub mod ebr;
 pub mod epoch_pop;
@@ -25,3 +26,4 @@ pub mod hyaline;
 pub mod ibr;
 pub mod nbr;
 pub mod nr;
+pub mod vbr;

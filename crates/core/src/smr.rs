@@ -1,6 +1,6 @@
 //! The scheme-generic safe-memory-reclamation interface.
 //!
-//! All eleven schemes implement [`Smr`]; concurrent data structures are
+//! All twelve schemes implement [`Smr`]; concurrent data structures are
 //! written once against it. The interface mirrors the programmer's view of
 //! hazard pointers from the paper (§4.1.1): `read` (here [`Smr::protect`]),
 //! `clear` (folded into [`Smr::end_op`]) and `retire`, extended with the
@@ -283,8 +283,9 @@ pub fn protect_infallible<S: Smr, T>(
     }
 }
 
-/// Helper: retire a typed node allocated with `Box` (wraps [`Retired::new`]
-/// and the era tagging common to every call site).
+/// Helper: retire a typed node allocated with [`alloc_node`] (wraps
+/// [`Retired::new`] — which dispatches slab vs `Box` on the header's slab
+/// bit — and the era tagging common to every call site).
 ///
 /// # Safety
 ///
@@ -296,6 +297,57 @@ pub unsafe fn retire_node<S: Smr, T: crate::header::HasHeader>(smr: &S, tid: usi
         r.header().set_retire_era(smr.current_era());
         smr.retire(tid, r);
     }
+}
+
+/// Allocates a reclaimable node for `smr`'s domain: slab-backed when
+/// [`SmrConfig::slab_alloc`] is on and `T` fits a slab size class (counted
+/// as `slab_allocs` on `tid`'s shard), `Box`-backed otherwise. Either way
+/// the allocation is accounted via [`Smr::note_alloc`] and must be released
+/// through [`retire_node`], [`dealloc_node_unpublished`] or
+/// [`free_node_raw`] — never a bare `Box::from_raw`.
+pub fn alloc_node<S: Smr, T: crate::header::HasHeader>(smr: &S, tid: usize, value: T) -> *mut T {
+    use core::sync::atomic::Ordering::Relaxed;
+    smr.note_alloc(tid, core::mem::size_of::<T>());
+    let p = crate::slab::alloc_value(value, smr.config().slab_alloc);
+    // SAFETY: freshly allocated above, exclusively owned.
+    if unsafe { (*p).header().is_slab_backed() } {
+        smr.stats().shard(tid).slab_allocs.fetch_add(1, Relaxed);
+    }
+    p
+}
+
+/// Frees a node that was never published to the shared structure (e.g. a
+/// failed insert CAS), reversing [`alloc_node`]'s accounting.
+///
+/// # Safety
+///
+/// `node` must come from [`alloc_node`] on this domain, be unpublished (no
+/// other thread ever saw it), and not be freed again. Must run on the same
+/// `tid` that allocated it.
+pub unsafe fn dealloc_node_unpublished<S: Smr, T: crate::header::HasHeader>(
+    smr: &S,
+    tid: usize,
+    node: *mut T,
+) {
+    // SAFETY: forwarded contract — exclusively owned, freed once; the slab
+    // bit picks the matching free path.
+    unsafe { crate::slab::free_value(node) };
+    smr.note_dealloc_unpublished(tid, core::mem::size_of::<T>());
+}
+
+/// Frees a node during structure teardown (`Drop` walks), dispatching on
+/// the header's slab bit. The replacement for the bare `Box::from_raw` that
+/// teardown paths used before owned slabs existed — calling that on a slab
+/// slot is undefined behavior.
+///
+/// # Safety
+///
+/// `node` must be a live allocation from [`alloc_node`] /
+/// [`crate::slab::alloc_value`] (or `Box::into_raw`), unreachable by every
+/// other thread, and not freed again.
+pub unsafe fn free_node_raw<T: crate::header::HasHeader>(node: *mut T) {
+    // SAFETY: forwarded contract.
+    unsafe { crate::slab::free_value(node) }
 }
 
 /// Erases a typed node pointer to the header pointer used by

@@ -146,6 +146,18 @@ pub struct ShardStats {
     /// trimming (the [`crate::config::SmrConfig::free_pool_cap`] cap, or
     /// pressure-driven trims to zero).
     pub pool_blocks_trimmed: AtomicU64,
+    /// Nodes placed in owned slab slots by [`crate::smr::alloc_node`]
+    /// (Box-backed allocations — oversized types, `POP_SLAB=0` — are the
+    /// difference to `allocated_nodes`).
+    pub slab_allocs: AtomicU64,
+    /// Sealed blocks freed whole whose members all lived in one slab —
+    /// settlement was a single range test against the slab base, the
+    /// owned-arena fast path the slab allocator exists to maximize.
+    pub slab_frees_whole: AtomicU64,
+    /// Operations restarted by VBR because the announced version lagged the
+    /// domain version past the tolerance window (the scheme's substitute
+    /// for per-node sweeps: the reader re-announces and retries).
+    pub version_aborts: AtomicU64,
 }
 
 impl ShardStats {
@@ -346,7 +358,17 @@ impl DomainStats {
             out.pool_blocks_trimmed = out
                 .pool_blocks_trimmed
                 .wrapping_add(s.pool_blocks_trimmed.load(Ordering::Relaxed));
+            out.slab_allocs = out
+                .slab_allocs
+                .wrapping_add(s.slab_allocs.load(Ordering::Relaxed));
+            out.slab_frees_whole = out
+                .slab_frees_whole
+                .wrapping_add(s.slab_frees_whole.load(Ordering::Relaxed));
+            out.version_aborts = out
+                .version_aborts
+                .wrapping_add(s.version_aborts.load(Ordering::Relaxed));
         }
+        out.slab_released_bytes = crate::slab::released_bytes();
         out
     }
 }
@@ -424,6 +446,18 @@ pub struct StatsSnapshot {
     pub blocks_unquarantined: u64,
     /// See [`ShardStats::pool_blocks_trimmed`].
     pub pool_blocks_trimmed: u64,
+    /// See [`ShardStats::slab_allocs`].
+    pub slab_allocs: u64,
+    /// See [`ShardStats::slab_frees_whole`].
+    pub slab_frees_whole: u64,
+    /// See [`ShardStats::version_aborts`].
+    pub version_aborts: u64,
+    /// **Process-wide** bytes the slab allocator has handed back to the OS
+    /// (`madvise(MADV_DONTNEED)` on fully-empty slabs) — sampled from
+    /// [`crate::slab::released_bytes`] at snapshot time. Unlike the other
+    /// fields this is a global gauge shared by every domain in the process,
+    /// not a per-domain tally.
+    pub slab_released_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -520,6 +554,18 @@ mod tests {
         assert_eq!(snap.blocks_quarantined, 4);
         assert_eq!(snap.blocks_unquarantined, 5);
         assert_eq!(snap.pool_blocks_trimmed, 6);
+    }
+
+    #[test]
+    fn slab_and_version_counters_aggregate_across_shards() {
+        let s = DomainStats::new(2);
+        s.shard(0).slab_allocs.fetch_add(7, Ordering::Relaxed);
+        s.shard(1).slab_frees_whole.fetch_add(2, Ordering::Relaxed);
+        s.overflow().version_aborts.fetch_add(3, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.slab_allocs, 7);
+        assert_eq!(snap.slab_frees_whole, 2);
+        assert_eq!(snap.version_aborts, 3);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use pop_core::{
     retire_node, Ebr, EpochPop, HasHeader, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym,
-    HazardPtrPop, Header, Ibr, NbrPlus, Smr, SmrConfig,
+    HazardPtrPop, Header, Ibr, NbrPlus, Smr, SmrConfig, Vbr,
 };
 
 static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
@@ -130,6 +130,7 @@ fn steady_state_passes_are_allocation_free() {
     assert_steady_state_alloc_free::<Ebr>();
     assert_steady_state_alloc_free::<Ibr>();
     assert_steady_state_alloc_free::<NbrPlus>();
+    assert_steady_state_alloc_free::<Vbr>();
 
     cross_thread_pop_pass_is_allocation_free();
 }

@@ -11,7 +11,7 @@ use std::sync::atomic::AtomicPtr;
 use pop_core::testing::era_range_reserved;
 use pop_core::{
     retire_node, Ebr, EpochPop, HasHeader, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym,
-    HazardPtrPop, Header, Hyaline, Ibr, NbrPlus, NoReclaim, Smr, SmrConfig,
+    HazardPtrPop, Header, Hyaline, Ibr, NbrPlus, NoReclaim, Smr, SmrConfig, Vbr,
 };
 
 #[repr(C)]
@@ -118,6 +118,7 @@ accounting_laws! {
     he_pop_accounting: HazardEraPop,
     epoch_pop_accounting: EpochPop,
     hyaline_accounting: Hyaline,
+    vbr_accounting: Vbr,
 }
 
 proptest! {

@@ -24,7 +24,10 @@
 use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use pop_core::{as_header, retire_node, HasHeader, Header, Restart, Smr};
+use pop_core::{
+    alloc_node, as_header, dealloc_node_unpublished, free_node_raw, retire_node, HasHeader, Header,
+    Restart, Smr,
+};
 
 use crate::{ConcurrentMap, Key, Value};
 
@@ -64,43 +67,49 @@ impl AbNode {
     fn leaf<S: Smr>(smr: &S, tid: usize, keys: &[Key], vals: &[Value]) -> *mut AbNode {
         debug_assert!(keys.len() <= B && keys.len() == vals.len());
         debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys sorted");
-        smr.note_alloc(tid, core::mem::size_of::<AbNode>());
         let mut k = [0u64; B];
         let mut v = [0u64; B];
         k[..keys.len()].copy_from_slice(keys);
         v[..vals.len()].copy_from_slice(vals);
-        Box::into_raw(Box::new(AbNode {
-            hdr: Header::new(smr.current_era(), core::mem::size_of::<AbNode>()),
-            keys: k,
-            vals: v,
-            children: NULL_CHILDREN,
-            len: keys.len() as u16,
-            is_leaf: true,
-            marked: AtomicBool::new(false),
-            lock: AtomicBool::new(false),
-        }))
+        alloc_node(
+            smr,
+            tid,
+            AbNode {
+                hdr: Header::new(smr.current_era(), core::mem::size_of::<AbNode>()),
+                keys: k,
+                vals: v,
+                children: NULL_CHILDREN,
+                len: keys.len() as u16,
+                is_leaf: true,
+                marked: AtomicBool::new(false),
+                lock: AtomicBool::new(false),
+            },
+        )
     }
 
     fn internal<S: Smr>(smr: &S, tid: usize, seps: &[Key], kids: &[*mut AbNode]) -> *mut AbNode {
         debug_assert!(kids.len() <= B && seps.len() + 1 == kids.len());
         debug_assert!(seps.windows(2).all(|w| w[0] < w[1]), "separators sorted");
-        smr.note_alloc(tid, core::mem::size_of::<AbNode>());
         let mut k = [0u64; B];
         k[..seps.len()].copy_from_slice(seps);
         let children = NULL_CHILDREN;
         for (i, &c) in kids.iter().enumerate() {
             children[i].store(c, Ordering::Relaxed);
         }
-        Box::into_raw(Box::new(AbNode {
-            hdr: Header::new(smr.current_era(), core::mem::size_of::<AbNode>()),
-            keys: k,
-            vals: [0u64; B],
-            children,
-            len: kids.len() as u16,
-            is_leaf: false,
-            marked: AtomicBool::new(false),
-            lock: AtomicBool::new(false),
-        }))
+        alloc_node(
+            smr,
+            tid,
+            AbNode {
+                hdr: Header::new(smr.current_era(), core::mem::size_of::<AbNode>()),
+                keys: k,
+                vals: [0u64; B],
+                children,
+                len: kids.len() as u16,
+                is_leaf: false,
+                marked: AtomicBool::new(false),
+                lock: AtomicBool::new(false),
+            },
+        )
     }
 
     #[inline(always)]
@@ -317,11 +326,9 @@ impl<S: Smr> AbTree<S> {
             // Unpublished halves: free directly.
             // SAFETY: never shared.
             unsafe {
-                drop(Box::from_raw(left));
-                drop(Box::from_raw(right));
+                dealloc_node_unpublished(&*self.smr, tid, left);
+                dealloc_node_unpublished(&*self.smr, tid, right);
             }
-            self.smr
-                .note_dealloc_unpublished(tid, 2 * core::mem::size_of::<AbNode>());
             return Err(r);
         }
 
@@ -352,12 +359,10 @@ impl<S: Smr> AbTree<S> {
                 // this indicates a racing replacement): undo and retry.
                 // SAFETY: never shared.
                 unsafe {
-                    drop(Box::from_raw(left));
-                    drop(Box::from_raw(right));
-                    drop(Box::from_raw(new_par));
+                    dealloc_node_unpublished(&*self.smr, tid, left);
+                    dealloc_node_unpublished(&*self.smr, tid, right);
+                    dealloc_node_unpublished(&*self.smr, tid, new_par);
                 }
-                self.smr
-                    .note_dealloc_unpublished(tid, 3 * core::mem::size_of::<AbNode>());
                 self.smr.end_write(tid);
                 return Err(Restart);
             };
@@ -613,12 +618,17 @@ impl<S: Smr> Drop for AbTree<S> {
             if p.is_null() {
                 return;
             }
-            // SAFETY: exclusive access in Drop.
-            let n = unsafe { Box::from_raw(p) };
-            if !n.is_leaf {
-                for i in 0..n.len as usize {
-                    free(n.children[i].load(Ordering::Relaxed));
-                }
+            // SAFETY: exclusive access in Drop. Children are read out
+            // before the node is freed (the slot may be slab-backed).
+            let mut kids: [*mut AbNode; B] = [core::ptr::null_mut(); B];
+            let n = unsafe { &*p };
+            let fanout = if n.is_leaf { 0 } else { n.len as usize };
+            for (slot, child) in kids.iter_mut().zip(n.children.iter()).take(fanout) {
+                *slot = child.load(Ordering::Relaxed);
+            }
+            unsafe { free_node_raw(p) };
+            for &c in &kids[..fanout] {
+                free(c);
             }
         }
         free(self.root_holder);

@@ -16,7 +16,9 @@
 use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use pop_core::{as_header, retire_node, HasHeader, Header, Restart, Smr};
+use pop_core::{
+    alloc_node, as_header, free_node_raw, retire_node, HasHeader, Header, Restart, Smr,
+};
 
 use crate::{ConcurrentMap, Key, Value};
 
@@ -61,10 +63,9 @@ impl BstNode {
         left: *mut BstNode,
         right: *mut BstNode,
     ) -> *mut BstNode {
-        smr.note_alloc(tid, core::mem::size_of::<BstNode>());
         let mut n = Self::new_raw(key, value, left, right);
         n.hdr = Header::new(smr.current_era(), core::mem::size_of::<BstNode>());
-        Box::into_raw(Box::new(n))
+        alloc_node(smr, tid, n)
     }
 
     #[inline(always)]
@@ -394,10 +395,17 @@ impl<S: Smr> Drop for ExtBst<S> {
             if p.is_null() {
                 return;
             }
-            // SAFETY: exclusive access in Drop.
-            let n = unsafe { Box::from_raw(p) };
-            free(n.left.load(Ordering::Relaxed));
-            free(n.right.load(Ordering::Relaxed));
+            // SAFETY: exclusive access in Drop. Children are read out
+            // before the node is freed (the slot may be slab-backed).
+            let (l, r) = unsafe {
+                (
+                    (*p).left.load(Ordering::Relaxed),
+                    (*p).right.load(Ordering::Relaxed),
+                )
+            };
+            unsafe { free_node_raw(p) };
+            free(l);
+            free(r);
         }
         free(self.grand_root);
     }

@@ -9,7 +9,7 @@ use core::sync::atomic::AtomicPtr;
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
-use pop_core::{Restart, Smr};
+use pop_core::{free_node_raw, Restart, Smr};
 
 use crate::hml::{self, Node};
 use crate::marked::unmarked;
@@ -148,7 +148,8 @@ impl<S: Smr> Drop for HashMapHm<S> {
                         .next
                         .load(core::sync::atomic::Ordering::Relaxed),
                 );
-                unsafe { drop(Box::from_raw(p)) };
+                // SAFETY: exclusive access; dispatches on the slab bit.
+                unsafe { free_node_raw(p) };
                 p = next;
             }
         }

@@ -25,7 +25,10 @@
 use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pop_core::{as_header, retire_node, HasHeader, Header, ReadResult, Restart, Smr};
+use pop_core::{
+    alloc_node, as_header, dealloc_node_unpublished, free_node_raw, retire_node, HasHeader, Header,
+    ReadResult, Restart, Smr,
+};
 
 use crate::marked::{is_marked, unmarked};
 use crate::{ConcurrentMap, Key, Value};
@@ -48,13 +51,16 @@ unsafe impl HasHeader for Node {}
 
 impl Node {
     fn alloc<S: Smr>(smr: &S, tid: usize, key: Key, value: Value, next: *mut Node) -> *mut Node {
-        smr.note_alloc(tid, core::mem::size_of::<Node>());
-        Box::into_raw(Box::new(Node {
-            hdr: Header::new(smr.current_era(), core::mem::size_of::<Node>()),
-            key,
-            value: AtomicU64::new(value),
-            next: AtomicPtr::new(next),
-        }))
+        alloc_node(
+            smr,
+            tid,
+            Node {
+                hdr: Header::new(smr.current_era(), core::mem::size_of::<Node>()),
+                key,
+                value: AtomicU64::new(value),
+                next: AtomicPtr::new(next),
+            },
+        )
     }
 }
 
@@ -189,8 +195,7 @@ pub fn insert_at<S: Smr>(
     }
     if let Err(r) = smr.begin_write(tid, &wset[..n]) {
         // SAFETY: `node` was never published.
-        unsafe { drop(Box::from_raw(node)) };
-        smr.note_dealloc_unpublished(tid, core::mem::size_of::<Node>());
+        unsafe { dealloc_node_unpublished(smr, tid, node) };
         return Err(r);
     }
     // SAFETY: pred_link is the head or the protected pred node's next.
@@ -202,8 +207,7 @@ pub fn insert_at<S: Smr>(
         Ok(node)
     } else {
         // SAFETY: CAS failed; `node` was never published.
-        unsafe { drop(Box::from_raw(node)) };
-        smr.note_dealloc_unpublished(tid, core::mem::size_of::<Node>());
+        unsafe { dealloc_node_unpublished(smr, tid, node) };
         Err(Restart)
     }
 }
@@ -374,7 +378,8 @@ impl<S: Smr> Drop for HmList<S> {
         while !p.is_null() {
             // SAFETY: exclusive access in Drop.
             let next = unmarked(unsafe { &*p }.next.load(Ordering::Relaxed));
-            unsafe { drop(Box::from_raw(p)) };
+            // SAFETY: exclusive access; dispatches on the slab bit.
+            unsafe { free_node_raw(p) };
             p = next;
         }
     }

@@ -15,7 +15,9 @@
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pop_core::{as_header, retire_node, HasHeader, Header, Restart, Smr};
+use pop_core::{
+    alloc_node, as_header, free_node_raw, retire_node, HasHeader, Header, Restart, Smr,
+};
 
 use crate::{ConcurrentMap, Key, Value};
 
@@ -40,15 +42,18 @@ unsafe impl HasHeader for Node {}
 
 impl Node {
     fn alloc<S: Smr>(smr: &S, tid: usize, key: Key, value: Value, next: *mut Node) -> *mut Node {
-        smr.note_alloc(tid, core::mem::size_of::<Node>());
-        Box::into_raw(Box::new(Node {
-            hdr: Header::new(smr.current_era(), core::mem::size_of::<Node>()),
-            key,
-            value: AtomicU64::new(value),
-            next: AtomicPtr::new(next),
-            marked: AtomicBool::new(false),
-            lock: AtomicBool::new(false),
-        }))
+        alloc_node(
+            smr,
+            tid,
+            Node {
+                hdr: Header::new(smr.current_era(), core::mem::size_of::<Node>()),
+                key,
+                value: AtomicU64::new(value),
+                next: AtomicPtr::new(next),
+                marked: AtomicBool::new(false),
+                lock: AtomicBool::new(false),
+            },
+        )
     }
 
     /// Spin-acquires the node lock, polling the scheme's restart flag so a
@@ -315,7 +320,8 @@ impl<S: Smr> Drop for LazyList<S> {
         while !p.is_null() {
             // SAFETY: exclusive access in Drop.
             let next = unsafe { &*p }.next.load(Ordering::Relaxed);
-            unsafe { drop(Box::from_raw(p)) };
+            // SAFETY: exclusive access; dispatches on the slab bit.
+            unsafe { free_node_raw(p) };
             p = next;
         }
     }

@@ -9,7 +9,9 @@
 use core::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use pop_core::{as_header, retire_node, HasHeader, Header, Restart, Smr};
+use pop_core::{
+    alloc_node, as_header, free_node_raw, retire_node, HasHeader, Header, Restart, Smr,
+};
 
 use crate::Value;
 
@@ -26,12 +28,15 @@ unsafe impl HasHeader for QueueNode {}
 
 impl QueueNode {
     fn alloc<S: Smr>(smr: &S, tid: usize, value: Value) -> *mut QueueNode {
-        smr.note_alloc(tid, core::mem::size_of::<QueueNode>());
-        Box::into_raw(Box::new(QueueNode {
-            hdr: Header::new(smr.current_era(), core::mem::size_of::<QueueNode>()),
-            value,
-            next: AtomicPtr::new(core::ptr::null_mut()),
-        }))
+        alloc_node(
+            smr,
+            tid,
+            QueueNode {
+                hdr: Header::new(smr.current_era(), core::mem::size_of::<QueueNode>()),
+                value,
+                next: AtomicPtr::new(core::ptr::null_mut()),
+            },
+        )
     }
 }
 
@@ -175,7 +180,8 @@ impl<S: Smr> Drop for MsQueue<S> {
         while !p.is_null() {
             // SAFETY: exclusive access in Drop.
             let next = unsafe { &*p }.next.load(Ordering::Relaxed);
-            unsafe { drop(Box::from_raw(p)) };
+            // SAFETY: exclusive access; dispatches on the slab bit.
+            unsafe { free_node_raw(p) };
             p = next;
         }
     }

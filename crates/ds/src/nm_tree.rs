@@ -37,7 +37,10 @@
 use core::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use pop_core::{as_header, retire_node, HasHeader, Header, Restart, Smr};
+use pop_core::{
+    alloc_node, as_header, dealloc_node_unpublished, free_node_raw, retire_node, HasHeader, Header,
+    Restart, Smr,
+};
 
 use crate::marked::unmarked;
 use crate::{ConcurrentMap, Key, Value};
@@ -122,10 +125,9 @@ impl NmNode {
         left: *mut NmNode,
         right: *mut NmNode,
     ) -> *mut NmNode {
-        smr.note_alloc(tid, core::mem::size_of::<NmNode>());
         let mut n = Self::new_raw(key, value, left, right);
         n.hdr = Header::new(smr.current_era(), core::mem::size_of::<NmNode>());
-        Box::into_raw(Box::new(n))
+        alloc_node(smr, tid, n)
     }
 
     #[inline(always)]
@@ -380,10 +382,9 @@ impl<S: Smr> NmTree<S> {
         let free_pair = |s: &S| {
             // SAFETY: never published.
             unsafe {
-                drop(Box::from_raw(internal));
-                drop(Box::from_raw(new_leaf));
+                dealloc_node_unpublished(s, tid, internal);
+                dealloc_node_unpublished(s, tid, new_leaf);
             }
-            s.note_dealloc_unpublished(tid, 2 * core::mem::size_of::<NmNode>());
         };
         if let Err(r) = smr.begin_write(tid, &[as_header(rec.parent), as_header(rec.leaf)]) {
             free_pair(smr);
@@ -557,10 +558,17 @@ impl<S: Smr> Drop for NmTree<S> {
             if p.is_null() {
                 return;
             }
-            // SAFETY: exclusive access in Drop.
-            let n = unsafe { Box::from_raw(p) };
-            free(n.left.load(Ordering::Relaxed));
-            free(n.right.load(Ordering::Relaxed));
+            // SAFETY: exclusive access in Drop. Children are read out
+            // before the node is freed (the slot may be slab-backed).
+            let (l, r) = unsafe {
+                (
+                    (*p).left.load(Ordering::Relaxed),
+                    (*p).right.load(Ordering::Relaxed),
+                )
+            };
+            unsafe { free_node_raw(p) };
+            free(l);
+            free(r);
         }
         free(self.root);
     }

@@ -30,7 +30,10 @@
 use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pop_core::{as_header, retire_node, HasHeader, Header, Restart, Smr};
+use pop_core::{
+    alloc_node, as_header, dealloc_node_unpublished, free_node_raw, retire_node, HasHeader, Header,
+    Restart, Smr,
+};
 
 use crate::marked::{is_marked, marked, unmarked};
 use crate::{ConcurrentMap, Key, Value};
@@ -76,10 +79,9 @@ impl SkipNode {
     }
 
     fn alloc<S: Smr>(smr: &S, tid: usize, key: Key, value: Value, height: usize) -> *mut SkipNode {
-        smr.note_alloc(tid, core::mem::size_of::<SkipNode>());
         let mut n = Self::new_raw(key, value, height);
         n.hdr = Header::new(smr.current_era(), core::mem::size_of::<SkipNode>());
-        Box::into_raw(Box::new(n))
+        alloc_node(smr, tid, n)
     }
 }
 
@@ -239,8 +241,7 @@ impl<S: Smr> SkipList<S> {
         let pin = AtomicPtr::new(node);
         if smr.protect(tid, PIN_SLOT, &pin).is_err() {
             // SAFETY: never published.
-            unsafe { drop(Box::from_raw(node)) };
-            smr.note_dealloc_unpublished(tid, core::mem::size_of::<SkipNode>());
+            unsafe { dealloc_node_unpublished(smr, tid, node) };
             return Err(Restart);
         }
         let mut wset = [core::ptr::null_mut::<Header>(); 2];
@@ -255,8 +256,7 @@ impl<S: Smr> SkipList<S> {
         }
         if let Err(r) = smr.begin_write(tid, &wset[..n]) {
             // SAFETY: never published.
-            unsafe { drop(Box::from_raw(node)) };
-            smr.note_dealloc_unpublished(tid, core::mem::size_of::<SkipNode>());
+            unsafe { dealloc_node_unpublished(smr, tid, node) };
             return Err(r);
         }
         // SAFETY: pred_link is the head tower or the protected pred's.
@@ -266,8 +266,7 @@ impl<S: Smr> SkipList<S> {
         smr.end_write(tid);
         if !ok {
             // SAFETY: CAS failed; never published.
-            unsafe { drop(Box::from_raw(node)) };
-            smr.note_dealloc_unpublished(tid, core::mem::size_of::<SkipNode>());
+            unsafe { dealloc_node_unpublished(smr, tid, node) };
             return Err(Restart);
         }
         // The set insert linearized at the level-0 CAS; upper levels are
@@ -486,11 +485,12 @@ impl<S: Smr> Drop for SkipList<S> {
         while !p.is_null() {
             // SAFETY: exclusive access in Drop.
             let next = unmarked(unsafe { &*p }.next[0].load(Ordering::Relaxed));
-            unsafe { drop(Box::from_raw(p)) };
+            // SAFETY: exclusive access; dispatches on the slab bit.
+            unsafe { free_node_raw(p) };
             p = next;
         }
         // SAFETY: head was never shared beyond this struct.
-        unsafe { drop(Box::from_raw(self.head)) };
+        unsafe { free_node_raw(self.head) };
     }
 }
 

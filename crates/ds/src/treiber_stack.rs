@@ -10,7 +10,9 @@
 use core::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use pop_core::{as_header, retire_node, HasHeader, Header, Restart, Smr};
+use pop_core::{
+    alloc_node, as_header, free_node_raw, retire_node, HasHeader, Header, Restart, Smr,
+};
 
 use crate::Value;
 
@@ -74,12 +76,15 @@ impl<S: Smr> TreiberStack<S> {
 
     /// Pushes a value.
     pub fn push(&self, tid: usize, value: Value) {
-        self.smr.note_alloc(tid, core::mem::size_of::<StackNode>());
-        let node = Box::into_raw(Box::new(StackNode {
-            hdr: Header::new(self.smr.current_era(), core::mem::size_of::<StackNode>()),
-            value,
-            next: AtomicPtr::new(core::ptr::null_mut()),
-        }));
+        let node = alloc_node(
+            &*self.smr,
+            tid,
+            StackNode {
+                hdr: Header::new(self.smr.current_era(), core::mem::size_of::<StackNode>()),
+                value,
+                next: AtomicPtr::new(core::ptr::null_mut()),
+            },
+        );
         loop {
             self.smr.begin_op(tid);
             let r = self.try_push(tid, node);
@@ -154,7 +159,8 @@ impl<S: Smr> Drop for TreiberStack<S> {
         while !p.is_null() {
             // SAFETY: exclusive access in Drop.
             let next = unsafe { &*p }.next.load(Ordering::Relaxed);
-            unsafe { drop(Box::from_raw(p)) };
+            // SAFETY: exclusive access; dispatches on the slab bit.
+            unsafe { free_node_raw(p) };
             p = next;
         }
     }

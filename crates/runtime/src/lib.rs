@@ -19,6 +19,8 @@
 //!   in the kernel instead of burning scheduler quanta (`yield_now`
 //!   fallback off Linux).
 //! * [`affinity`] — best-effort CPU pinning for benchmark threads.
+//! * [`vm`] — slab-aligned anonymous mappings and page release
+//!   (`madvise(MADV_DONTNEED)`) for the owned slab arenas in `pop-core`.
 //!
 //! ## Async-signal-safety contract
 //!
@@ -36,6 +38,7 @@ pub mod futex;
 pub mod membarrier;
 pub mod registry;
 pub mod signal;
+pub mod vm;
 
 pub use registry::{
     register_current_shared, Liveness, PingOutcome, Registry, SharedRegistration,

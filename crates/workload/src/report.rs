@@ -83,16 +83,27 @@ pub struct RunRecord {
     pub blocks_unquarantined: u64,
     /// Recycled fill blocks dropped by the free-pool trim.
     pub pool_blocks_trimmed: u64,
+    /// Nodes handed out by the owned slab arenas (vs the `Box` fallback).
+    pub slab_allocs: u64,
+    /// Wholly-freed retire blocks that settled against a single slab with
+    /// one range test (the owned-arena fast path).
+    pub slab_frees_whole: u64,
+    /// VBR version aborts (reads restarted because the announcement went
+    /// stale); 0 for every other scheme.
+    pub version_aborts: u64,
+    /// Slab payload bytes handed back to the OS (`madvise(MADV_DONTNEED)`)
+    /// — a process-wide gauge sampled at snapshot time.
+    pub slab_released_bytes: u64,
 }
 
 impl RunRecord {
     /// CSV header matching [`RunRecord::csv_row`].
-    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,membarrier_passes,signals_avoided,batches_sealed,blocks_sealed_monotone,blocks_sealed_era_monotone,epoch_decay_steps,bin_resizes,orphans_stolen,restarts,publish_wait_timeouts,pings_failed,participants_reaped,faults_injected,pressure_soft_trips,pressure_hard_trips,pressure_emergency_trips,blocks_quarantined,blocks_unquarantined,pool_blocks_trimmed";
+    pub const CSV_HEADER: &'static str = "figure,ds,scheme,threads,key_range,ops,read_ops,update_ops,seconds,throughput_mops,read_mops,max_retire_len,peak_live_bytes,unreclaimed_nodes,pings_sent,pings_skipped,pings_elided_adaptive,membarrier_passes,signals_avoided,batches_sealed,blocks_sealed_monotone,blocks_sealed_era_monotone,epoch_decay_steps,bin_resizes,orphans_stolen,restarts,publish_wait_timeouts,pings_failed,participants_reaped,faults_injected,pressure_soft_trips,pressure_hard_trips,pressure_emergency_trips,blocks_quarantined,blocks_unquarantined,pool_blocks_trimmed,slab_allocs,slab_frees_whole,version_aborts,slab_released_bytes";
 
     /// Serializes this record as a CSV row tagged with `figure`.
     pub fn csv_row(&self, figure: &str) -> String {
         format!(
-            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{figure},{},{},{},{},{},{},{},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.ds,
             self.scheme,
             self.threads,
@@ -128,6 +139,10 @@ impl RunRecord {
             self.blocks_quarantined,
             self.blocks_unquarantined,
             self.pool_blocks_trimmed,
+            self.slab_allocs,
+            self.slab_frees_whole,
+            self.version_aborts,
+            self.slab_released_bytes,
         )
     }
 }
@@ -224,6 +239,10 @@ mod tests {
             blocks_quarantined: 5,
             blocks_unquarantined: 5,
             pool_blocks_trimmed: 2,
+            slab_allocs: 99,
+            slab_frees_whole: 8,
+            version_aborts: 4,
+            slab_released_bytes: 61_440,
         }
     }
 
@@ -257,6 +276,10 @@ mod tests {
         assert_eq!(col("blocks_quarantined"), "5");
         assert_eq!(col("blocks_unquarantined"), "5");
         assert_eq!(col("pool_blocks_trimmed"), "2");
+        assert_eq!(col("slab_allocs"), "99");
+        assert_eq!(col("slab_frees_whole"), "8");
+        assert_eq!(col("version_aborts"), "4");
+        assert_eq!(col("slab_released_bytes"), "61440");
     }
 
     #[test]

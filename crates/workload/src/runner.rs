@@ -313,6 +313,10 @@ where
         blocks_quarantined: stats.blocks_quarantined,
         blocks_unquarantined: stats.blocks_unquarantined,
         pool_blocks_trimmed: stats.pool_blocks_trimmed,
+        slab_allocs: stats.slab_allocs,
+        slab_frees_whole: stats.slab_frees_whole,
+        version_aborts: stats.version_aborts,
+        slab_released_bytes: stats.slab_released_bytes,
     }
 }
 

@@ -8,10 +8,11 @@
 //!
 //! * [`runtime`] — process-global thread registry, POSIX-signal "ping"
 //!   machinery, and the asymmetric process-wide memory barrier.
-//! * [`smr`] — the [`smr::Smr`] trait and eleven reclamation schemes:
+//! * [`smr`] — the [`smr::Smr`] trait and twelve reclamation schemes:
 //!   the paper's **HazardPtrPOP**, **HazardEraPOP** and **EpochPOP**, plus
 //!   the baselines HP, HPAsym, HE, EBR, IBR, NBR+, a Crystalline-family
-//!   batch reference counter, and leaky NR.
+//!   batch reference counter, leaky NR, and VBR (version-based
+//!   reclamation over the owned slab arenas).
 //! * [`ds`] — seven concurrent set/map data structures written once
 //!   against the `Smr` trait: Harris-Michael list, lazy list, hash table,
 //!   lock-based external BST, (a,b)-tree, lock-free skip list and the

@@ -19,9 +19,9 @@ use std::sync::atomic::AtomicPtr;
 use std::sync::Arc;
 
 use pop::smr::{
-    as_header, protect_infallible, retire_node, Ebr, EpochPop, HasHeader, HazardEra, HazardEraPop,
-    HazardPtr, HazardPtrAsym, HazardPtrPop, Header, Hyaline, Ibr, NbrPlus, NoReclaim, Smr,
-    SmrConfig,
+    alloc_node, as_header, protect_infallible, retire_node, Ebr, EpochPop, HasHeader, HazardEra,
+    HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, Header, Hyaline, Ibr, NbrPlus, NoReclaim,
+    Smr, SmrConfig, Vbr,
 };
 
 #[repr(C)]
@@ -32,11 +32,14 @@ struct Node {
 unsafe impl HasHeader for Node {}
 
 fn alloc<S: Smr>(smr: &S, tid: usize, v: u64) -> *mut Node {
-    smr.note_alloc(tid, core::mem::size_of::<Node>());
-    Box::into_raw(Box::new(Node {
-        hdr: Header::new(smr.current_era(), core::mem::size_of::<Node>()),
-        v,
-    }))
+    alloc_node(
+        smr,
+        tid,
+        Node {
+            hdr: Header::new(smr.current_era(), core::mem::size_of::<Node>()),
+            v,
+        },
+    )
 }
 
 /// What the scheme is expected to do with garbage a dead thread left
@@ -173,6 +176,17 @@ fn lifecycle<S: Smr>(expect: Expect) {
             assert_eq!(s.unreclaimed_nodes(), 0);
         }
     }
+    // Slab-granular conservation (PR 10): with the owned arenas on, every
+    // node of this test fits a slab class, so the allocation side must be
+    // fully slab-backed — and reclamation must hand the slots back (the
+    // per-node frees above already balanced `allocated == freed`; the slab
+    // bit guarantees they went to their slab, not the global allocator).
+    if smr.config().slab_alloc {
+        assert_eq!(
+            s.slab_allocs, total,
+            "owned arenas on: every allocation takes the slab path: {s:?}"
+        );
+    }
     match expect {
         Expect::ReclaimsViaOrphans => {
             assert!(
@@ -184,6 +198,16 @@ fn lifecycle<S: Smr>(expect: Expect) {
                 "parked blocks must be freed whole from their surviving \
                  summaries (range-test hit), not record by record: {s:?}"
             );
+            // One thread's bump fills stay confined to single slabs, so
+            // whole-block frees must settle against their slab in one
+            // batched range test — the owned-arena fast path.
+            if smr.config().slab_alloc {
+                assert!(
+                    s.slab_frees_whole >= 1,
+                    "slab-backed blocks freed whole must settle against \
+                     their slab: {s:?}"
+                );
+            }
         }
         Expect::ReclaimsNoOrphans => {
             assert_eq!(
@@ -196,6 +220,61 @@ fn lifecycle<S: Smr>(expect: Expect) {
             assert_eq!(s.orphans_adopted + s.orphans_stolen, 0);
         }
     }
+}
+
+/// ISSUE 10 satellite: with the owned slab arenas on, **interleaved
+/// multi-thread fills** still seal address-monotone blocks. Each thread
+/// bump-allocates from its own active slab, so concurrent allocation never
+/// perturbs per-thread address order — the monotone sealed-block share
+/// must hold at ≥ 0.95 (the only legal breaks are slab-boundary
+/// crossings, one block in ~30 at worst).
+#[test]
+fn slab_fills_seal_monotone_blocks_across_threads() {
+    const THREADS: usize = 3;
+    const PER_THREAD: u64 = 3_000;
+    let smr = Ebr::new(SmrConfig::for_tests(THREADS + 1).with_reclaim_freq(1 << 20));
+    if !smr.config().slab_alloc {
+        return; // POP_SLAB=0 fallback leg: the floor is a slab property
+    }
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let smr = Arc::clone(&smr);
+            std::thread::spawn(move || {
+                let reg = smr.register(tid);
+                for i in 0..PER_THREAD {
+                    let p = alloc(&*smr, tid, i);
+                    unsafe { retire_node(&*smr, tid, p) };
+                }
+                drop(reg); // seals every partial fill bin
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("fill worker panicked");
+    }
+    let s = smr.stats().snapshot();
+    assert!(s.batches_sealed > 0, "fills must seal blocks: {s:?}");
+    let share = s.blocks_sealed_monotone as f64 / s.batches_sealed as f64;
+    assert!(
+        share >= 0.95,
+        "monotone share {share:.3} below the owned-arena floor \
+         ({}/{} blocks): {s:?}",
+        s.blocks_sealed_monotone,
+        s.batches_sealed
+    );
+    // Drain the orphaned lists so the test conserves every node.
+    let reg = smr.register(THREADS);
+    let mut passes = 0;
+    while smr.stats().snapshot().unreclaimed_nodes() > 0 && passes < 64 {
+        smr.flush(THREADS);
+        passes += 1;
+    }
+    assert_eq!(
+        smr.stats().snapshot().unreclaimed_nodes(),
+        0,
+        "drain within {passes} passes"
+    );
+    drop(reg);
 }
 
 macro_rules! lifecycle_tests {
@@ -221,4 +300,5 @@ lifecycle_tests! {
     hazard_era_pop: HazardEraPop => Expect::ReclaimsViaOrphans,
     epoch_pop: EpochPop => Expect::ReclaimsViaOrphans,
     hyaline: Hyaline => Expect::ReclaimsNoOrphans,
+    vbr: Vbr => Expect::ReclaimsViaOrphans,
 }

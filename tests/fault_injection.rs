@@ -34,6 +34,7 @@ use pop::runtime::faults::{FaultPlan, FaultSite};
 use pop::smr::{
     retire_node, Ebr, EpochPop, HasHeader, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym,
     HazardPtrPop, Header, Hyaline, Ibr, NbrPlus, NoReclaim, OpGuard, PressureRung, Smr, SmrConfig,
+    Vbr,
 };
 
 const WORKERS: usize = 3;
@@ -469,6 +470,7 @@ panic_matrix!(
     Ibr,
     Hyaline,
     NoReclaim,
+    Vbr,
 );
 
 // ---------------------------------------------------------------------
@@ -637,3 +639,87 @@ macro_rules! pressure_trials {
 }
 
 pressure_trials!(Ebr, EpochPop, Ibr, HazardEra, HazardEraPop);
+
+/// ISSUE 10 satellite: VBR's quarantine rung is a **documented no-op**.
+/// The scheme's sweep plan has no `Quarantine` arm by construction — a
+/// stalled reader's stale announcement pins garbage only until the
+/// reader's next read (which version-aborts and re-announces) or its exit,
+/// so there is no per-block blocker to park against. The pressure ladder
+/// still climbs (soft → hard → emergency trips fire), but `blocks_quarantined`
+/// must stay zero under a live stall, and the whole backlog must drain
+/// within one pass of the stall clearing.
+#[test]
+fn vbr_quarantine_rung_is_a_no_op() {
+    let _g = plan_lock();
+    faults::install(Default::default());
+    with_deadline("vbr_quarantine_no_op", Duration::from_secs(60), || {
+        let smr = Vbr::new(
+            SmrConfig::for_tests(2)
+                .with_reclaim_freq(16)
+                .with_retire_bins(1)
+                .with_pressure_watermarks(64, 96, 128)
+                .with_quarantine(),
+        );
+        let reg0 = smr.register(0);
+        let hot = alloc_node(&*smr, 0, u64::MAX);
+        let src = Arc::new(AtomicPtr::new(hot));
+        let hold = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::spawn({
+            let smr = Arc::clone(&smr);
+            let src = Arc::clone(&src);
+            let hold = Arc::clone(&hold);
+            move || {
+                let reg1 = smr.register(1);
+                smr.begin_op(1);
+                let _ = smr.protect(1, 0, &src);
+                tx.send(()).unwrap();
+                while hold.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                smr.end_op(1);
+                drop(reg1);
+            }
+        });
+        rx.recv().unwrap();
+        // Churn a backlog the parked announcement pins: every retire era
+        // is >= the version the reader announced, so no sweep may free it
+        // while the reader sits in-op.
+        for i in 0..2_000u64 {
+            let p = alloc_node(&*smr, 0, i);
+            unsafe { retire_node(&*smr, 0, p) };
+        }
+        smr.flush(0);
+        let mid = smr.stats().snapshot();
+        assert!(
+            mid.pressure_emergency_trips >= 1,
+            "the ladder must reach the emergency rung: {mid:?}"
+        );
+        assert_eq!(
+            mid.blocks_quarantined, 0,
+            "VBR's quarantine rung is a no-op by construction: {mid:?}"
+        );
+        assert!(
+            mid.unreclaimed_nodes() > 0,
+            "the stalled announcement must pin the backlog: {mid:?}"
+        );
+        // Clear the stall: the reader's exit goes quiescent and unpins
+        // everything — one forced pass drains the whole backlog.
+        hold.store(false, Ordering::Release);
+        reader.join().unwrap();
+        src.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { retire_node(&*smr, 0, hot) };
+        smr.flush(0);
+        let fin = smr.stats().snapshot();
+        assert_eq!(
+            fin.unreclaimed_nodes(),
+            0,
+            "everything drains within one pass of the stall clearing: {fin:?}"
+        );
+        assert_eq!(
+            fin.blocks_quarantined, 0,
+            "no block was ever parked: {fin:?}"
+        );
+        drop(reg0);
+    });
+}

@@ -15,7 +15,7 @@ use pop::ds::ConcurrentMap;
 use pop::smr::config::PublishMode;
 #[cfg(feature = "fault-injection")]
 use pop::smr::HazardEraPop;
-use pop::smr::{EpochPop, HazardPtrPop, Smr, SmrConfig};
+use pop::smr::{EpochPop, HazardPtrPop, Smr, SmrConfig, Vbr};
 
 const WORKERS: usize = 3;
 const KEYS: u64 = 64;
@@ -196,6 +196,29 @@ fn fan_out_flavors_agree() {
         "futex flavor must run the fan-out: {s:?}"
     );
     assert_eq!(s.membarrier_passes, 0, "fan-out flavor never membarriers");
+}
+
+/// VBR's version stamps replace the publish step entirely: whatever mode
+/// the domain is configured with, the same churn drains with zero pings
+/// and zero membarriers (ISSUE 10 — `NEEDS_SIGNALS` is false and no pass
+/// ever touches the publish machinery).
+#[test]
+fn vbr_uses_neither_publish_mechanism() {
+    let _g = plan_lock();
+    for mode in [PublishMode::Signal, PublishMode::Membarrier] {
+        let smr = churn::<Vbr>(cfg(mode));
+        assert_drained_and_conserved(&*smr, "vbr");
+        let s = smr.stats().snapshot();
+        assert_eq!(
+            s.pings_sent + s.pings_skipped + s.pings_elided_adaptive,
+            0,
+            "VBR must never run the signal fan-out ({mode:?}): {s:?}"
+        );
+        assert_eq!(
+            s.membarrier_passes, 0,
+            "VBR must never issue a heavy barrier ({mode:?}): {s:?}"
+        );
+    }
 }
 
 /// Forcing `membarrier(2)` to report unavailable downgrades a

@@ -9,7 +9,7 @@ use pop::ds::ms_queue::MsQueue;
 use pop::ds::treiber_stack::TreiberStack;
 use pop::smr::{
     Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, Hyaline, Ibr,
-    NbrPlus, Smr, SmrConfig,
+    NbrPlus, Smr, SmrConfig, Vbr,
 };
 
 const PER_PRODUCER: u64 = 4_000;
@@ -153,4 +153,5 @@ conservation_tests! {
     hazard_era_pop: HazardEraPop,
     epoch_pop: EpochPop,
     hyaline: Hyaline,
+    vbr: Vbr,
 }

@@ -20,7 +20,7 @@ use pop::ds::skip_list::SkipList;
 use pop::ds::ConcurrentMap;
 use pop::smr::{
     Ebr, EpochPop, HazardEra, HazardEraPop, HazardPtr, HazardPtrAsym, HazardPtrPop, Hyaline, Ibr,
-    NbrPlus, NoReclaim, Smr, SmrConfig,
+    NbrPlus, NoReclaim, Smr, SmrConfig, Vbr,
 };
 
 const THREADS: usize = 3;
@@ -150,4 +150,5 @@ stress_tests! {
     hazard_era_pop: HazardEraPop,
     epoch_pop: EpochPop,
     hyaline: Hyaline,
+    vbr: Vbr,
 }

@@ -14,6 +14,16 @@ pub type c_ulong = u64;
 pub type size_t = usize;
 pub type pid_t = i32;
 pub type pthread_t = c_ulong;
+pub type off_t = i64;
+
+/// Opaque C `void` (one-variant enum layout, matching the real crate).
+#[repr(u8)]
+pub enum c_void {
+    #[doc(hidden)]
+    __variant1,
+    #[doc(hidden)]
+    __variant2,
+}
 
 /// glibc `sigset_t`: 1024 bits.
 #[repr(C)]
@@ -87,6 +97,13 @@ pub const FUTEX_WAIT: c_int = 0;
 pub const FUTEX_WAKE: c_int = 1;
 pub const FUTEX_PRIVATE_FLAG: c_int = 128;
 
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const MAP_PRIVATE: c_int = 0x02;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+pub const MADV_DONTNEED: c_int = 4;
+
 /// Clears every CPU from the set (glibc implements this as a macro).
 #[allow(clippy::missing_safety_doc)]
 pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
@@ -113,6 +130,16 @@ extern "C" {
     pub fn pthread_kill(thread: pthread_t, sig: c_int) -> c_int;
     pub fn __errno_location() -> *mut c_int;
     pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
 }
 
 #[cfg(test)]
@@ -168,6 +195,34 @@ mod tests {
         let self_tid = unsafe { syscall(SYS_gettid) } as pid_t;
         let live = unsafe { syscall(SYS_tgkill, pid, self_tid, 0) };
         assert_eq!(live, 0, "sig-0 probe of the calling thread");
+    }
+
+    #[test]
+    fn mmap_madvise_roundtrip() {
+        // Anonymous map → write → MADV_DONTNEED → pages read back as zero →
+        // unmap, proving the declared signatures and constants are correct.
+        let len: size_t = 1 << 16;
+        unsafe {
+            let p = mmap(
+                core::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED, "anonymous mmap failed");
+            let bytes = p as *mut u8;
+            bytes.write(0xAB);
+            bytes.add(len - 1).write(0xCD);
+            assert_eq!(bytes.read(), 0xAB);
+            let rc = madvise(p, len, MADV_DONTNEED);
+            assert_eq!(rc, 0, "madvise(MADV_DONTNEED) failed");
+            // Private anonymous pages dropped by DONTNEED refault as zero.
+            assert_eq!(bytes.read(), 0);
+            assert_eq!(bytes.add(len - 1).read(), 0);
+            assert_eq!(munmap(p, len), 0);
+        }
     }
 
     #[test]
